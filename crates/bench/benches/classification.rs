@@ -1,0 +1,77 @@
+//! Per-sample private-classification cost (the Fig. 9 kernel): original
+//! vs private, linear vs expanded polynomial, across dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppcs_bench::private_classify;
+use ppcs_core::ProtocolConfig;
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn blob_model(dim: usize, kernel: Kernel, seed: u64) -> (SvmModel, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(dim);
+    for k in 0..120 {
+        let positive = k % 2 == 0;
+        let c = if positive { 0.5 } else { -0.5 };
+        ds.push(
+            (0..dim).map(|_| c + rng.gen_range(-0.45..0.45)).collect(),
+            if positive {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
+    }
+    let model = SvmModel::train(&ds, kernel, &SmoParams::default());
+    let samples: Vec<Vec<f64>> = (0..8)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    (model, samples)
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let cfg_full = ProtocolConfig::default();
+    let cfg_fast = ProtocolConfig::functional();
+
+    let mut group = c.benchmark_group("classify_batch8_linear");
+    group.sample_size(20);
+    for dim in [8usize, 60, 123] {
+        let (model, samples) = blob_model(dim, Kernel::Linear, dim as u64);
+        group.bench_with_input(BenchmarkId::new("plain", dim), &dim, |b, _| {
+            b.iter(|| {
+                for s in &samples {
+                    black_box(model.predict(s));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("private_functional", dim), &dim, |b, _| {
+            b.iter(|| black_box(private_classify(&model, &samples, cfg_fast, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("private_full", dim), &dim, |b, _| {
+            b.iter(|| black_box(private_classify(&model, &samples, cfg_full, 2)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("classify_batch8_poly3");
+    group.sample_size(10);
+    for dim in [4usize, 8, 16] {
+        let (model, samples) = blob_model(dim, Kernel::paper_polynomial(dim), 100 + dim as u64);
+        group.bench_with_input(BenchmarkId::new("plain", dim), &dim, |b, _| {
+            b.iter(|| {
+                for s in &samples {
+                    black_box(model.predict(s));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("private_functional", dim), &dim, |b, _| {
+            b.iter(|| black_box(private_classify(&model, &samples, cfg_fast, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

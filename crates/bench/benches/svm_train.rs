@@ -1,0 +1,58 @@
+//! SMO training benchmarks: the LIBSVM-substitute substrate, across
+//! training-set sizes and kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn blobs(dim: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(dim);
+    for k in 0..n {
+        let positive = k % 2 == 0;
+        let c = if positive { 0.5 } else { -0.5 };
+        ds.push(
+            (0..dim).map(|_| c + rng.gen_range(-0.6..0.6)).collect(),
+            if positive {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
+    }
+    ds
+}
+
+fn bench_train(c: &mut Criterion) {
+    let params = SmoParams::default();
+
+    let mut group = c.benchmark_group("smo_train_linear_dim8");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let ds = blobs(8, n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(SvmModel::train(&ds, Kernel::Linear, &params)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("smo_train_kernels_n400");
+    group.sample_size(10);
+    let ds = blobs(8, 400, 7);
+    for (name, kernel) in [
+        ("linear", Kernel::Linear),
+        ("poly3", Kernel::paper_polynomial(8)),
+        ("rbf", Kernel::Rbf { gamma: 0.5 }),
+        ("sigmoid", Kernel::Sigmoid { a0: 0.1, c0: 0.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(SvmModel::train(&ds, kernel, &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! **Related-work comparison** — the paper rejects the Paillier-based
+//! approach of its comparator \[15\] as "too much complexity for the
+//! computations … not practical to be used in the real application".
+//! This harness quantifies that claim: per-classification wall-clock and
+//! traffic for the OMPE scheme (various OT engines) vs the homomorphic
+//! baseline (various key sizes), same linear model, same samples.
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin baseline_compare --release
+//! ```
+
+use std::time::Instant;
+
+use ppcs_bench::{print_row, print_rule};
+use ppcs_core::{Client, ProtocolConfig, Trainer};
+use ppcs_math::FixedFpAlgebra;
+use ppcs_ot::{IknpOt, NaorPinkasOt, ObliviousTransfer, TrustedSimOt};
+use ppcs_paillier::{baseline_classify, baseline_serve, BaselineParams};
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use ppcs_transport::run_pair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 8;
+const SAMPLES: usize = 10;
+
+fn model_and_samples_dim(dim: usize, samples: usize) -> (SvmModel, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ds = Dataset::new(dim);
+    for k in 0..120 {
+        let pos = k % 2 == 0;
+        let c = if pos { 0.5 } else { -0.5 };
+        ds.push(
+            (0..dim).map(|_| c + rng.gen_range(-0.4..0.4)).collect(),
+            if pos { Label::Positive } else { Label::Negative },
+        );
+    }
+    let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+    let samples = (0..samples)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    (model, samples)
+}
+
+fn model_and_samples() -> (SvmModel, Vec<Vec<f64>>) {
+    model_and_samples_dim(DIM, SAMPLES)
+}
+
+fn run_ompe(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    ot: &'static dyn ObliviousTransfer,
+) -> (f64, u64, Vec<Label>) {
+    let n_samples = samples.len();
+    let cfg = ProtocolConfig::default();
+    let trainer = Trainer::new(FixedFpAlgebra::new(16), model, cfg).expect("trainer");
+    let client = Client::new(FixedFpAlgebra::new(16), cfg);
+    let samples = samples.to_vec();
+    let start = Instant::now();
+    let ((_, bytes), labels) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let n = trainer.serve(&ep, ot, &mut rng).expect("serve");
+            (n, ep.stats().total_bytes())
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(3);
+            client
+                .classify_batch(&ep, ot, &mut rng, &samples)
+                .expect("classify")
+        },
+    );
+    (
+        start.elapsed().as_secs_f64() * 1e3 / n_samples as f64,
+        bytes / n_samples as u64,
+        labels,
+    )
+}
+
+fn run_paillier(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    modulus_bits: u64,
+) -> (f64, u64, Vec<Label>) {
+    let n_samples = samples.len();
+    let params = BaselineParams {
+        modulus_bits,
+        frac_bits: 16,
+    };
+    let model = model.clone();
+    let samples = samples.to_vec();
+    let start = Instant::now();
+    let ((_, bytes), labels) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let n = baseline_serve(&model, &params, &ep, &mut rng).expect("serve");
+            (n, ep.stats().total_bytes())
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(5);
+            baseline_classify(&params, &ep, &mut rng, &samples).expect("classify")
+        },
+    );
+    (
+        start.elapsed().as_secs_f64() * 1e3 / n_samples as f64,
+        bytes / n_samples as u64,
+        labels,
+    )
+}
+
+fn main() {
+    let (model, samples) = model_and_samples();
+    let expected: Vec<Label> = samples.iter().map(|s| model.predict(s)).collect();
+
+    println!(
+        "\nOMPE scheme vs Paillier baseline [15] — {DIM}-dim linear model,\n\
+         per-classification cost averaged over {SAMPLES} samples\n\
+         (Paillier time includes the client's one-time key generation).\n"
+    );
+    let widths = [28usize, 14, 14, 10];
+    print_row(
+        &[
+            "scheme".into(),
+            "ms / sample".into(),
+            "bytes / sample".into(),
+            "correct".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    use std::sync::OnceLock;
+    static NP2048: OnceLock<NaorPinkasOt> = OnceLock::new();
+    static NP768: OnceLock<NaorPinkasOt> = OnceLock::new();
+    static IKNP: OnceLock<IknpOt> = OnceLock::new();
+    static SIM: TrustedSimOt = TrustedSimOt;
+
+    let engines: Vec<(&str, &'static dyn ObliviousTransfer)> = vec![
+        ("ompe / naor-pinkas-2048", NP2048.get_or_init(NaorPinkasOt::new)),
+        (
+            "ompe / naor-pinkas-768",
+            NP768.get_or_init(NaorPinkasOt::fast_insecure),
+        ),
+        (
+            "ompe / iknp-ext-768",
+            IKNP.get_or_init(IknpOt::fast_insecure),
+        ),
+        ("ompe / ideal-ot", &SIM),
+    ];
+    for (name, ot) in engines {
+        let (ms, bytes, labels) = run_ompe(&model, &samples, ot);
+        print_row(
+            &[
+                name.into(),
+                format!("{ms:.2}"),
+                format!("{bytes}"),
+                format!("{}", labels == expected),
+            ],
+            &widths,
+        );
+    }
+    for bits in [2048u64, 1024, 512] {
+        let (ms, bytes, labels) = run_paillier(&model, &samples, bits);
+        print_row(
+            &[
+                format!("paillier-{bits} [15]"),
+                format!("{ms:.2}"),
+                format!("{bytes}"),
+                format!("{}", labels == expected),
+            ],
+            &widths,
+        );
+    }
+    // Part 2: the dimension axis. Paillier pays n public-key operations
+    // per sample (one encryption per feature); OMPE's oblivious-transfer
+    // count is independent of n — so the comparison crosses over as
+    // dimensionality grows.
+    println!("\nDimension sweep (speed-tier parameters: NP-768 vs Paillier-1024):\n");
+    let widths2 = [6usize, 18, 20];
+    print_row(
+        &["dims".into(), "ompe ms/sample".into(), "paillier ms/sample".into()],
+        &widths2,
+    );
+    print_rule(&widths2);
+    for dim in [4usize, 16, 64, 123] {
+        let (model, samples) = model_and_samples_dim(dim, 5);
+        let (ompe_ms, _, _) = run_ompe(&model, &samples, NP768.get_or_init(NaorPinkasOt::fast_insecure));
+        let (pail_ms, _, _) = run_paillier(&model, &samples, 1024);
+        print_row(
+            &[
+                format!("{dim}"),
+                format!("{ompe_ms:.2}"),
+                format!("{pail_ms:.2}"),
+            ],
+            &widths2,
+        );
+    }
+    println!(
+        "\nThe paper's §II claim under test: the uniform-OMPE approach avoids the\n\
+         homomorphic baseline's per-feature public-key work (n encryptions + n\n\
+         constant-multiplications per sample, plus key management); OMPE's OT\n\
+         count depends only on the masking parameters, not on n."
+    );
+}

@@ -1,0 +1,50 @@
+//! Calibration helper: sweeps the polynomial-kernel `C` for a dataset
+//! analog and prints accuracy/convergence, used to tune the catalog.
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin calibrate --release -- diabetes
+//! ```
+
+use ppcs_bench::{print_row, print_rule};
+use ppcs_datasets::{generate, spec_by_name};
+use ppcs_svm::{Kernel, SmoParams, SvmModel};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "diabetes".into());
+    let spec = spec_by_name(&name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let data = generate(&spec);
+
+    let widths = [12usize, 10, 10, 12, 10, 8];
+    println!("\npoly-C sweep for {name} (dim {}, train {})\n", spec.dim, data.train.len());
+    print_row(
+        &[
+            "C".into(),
+            "train %".into(),
+            "test %".into(),
+            "iterations".into(),
+            "conv".into(),
+            "#SV".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+    for c in [1e-4, 1e-3, 0.01, 0.1, 1.0, 8.0, 27.0, 100.0, 250.0, 1000.0, 4000.0, 2e4, 1e5] {
+        let params = SmoParams {
+            c,
+            max_iterations: 400_000,
+            ..SmoParams::default()
+        };
+        let model = SvmModel::train(&data.train, Kernel::paper_polynomial(spec.dim), &params);
+        print_row(
+            &[
+                format!("{c:.0}"),
+                format!("{:.2}", 100.0 * model.accuracy(&data.train)),
+                format!("{:.2}", 100.0 * model.accuracy(&data.test)),
+                format!("{}", model.iterations()),
+                format!("{}", model.converged()),
+                format!("{}", model.support_vectors().len()),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! **Fig. 6** — Decision-function retrieval: with raw (un-randomized)
+//! decision values, three points suffice to reconstruct a 2-D linear
+//! classifier (the tangent-circle argument); the per-query amplifier
+//! defeats the same attack.
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin fig6 --release
+//! ```
+
+use ppcs_bench::{print_row, print_rule};
+use ppcs_core::privacy::retrieval_attack;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let true_w = [0.8, -0.6];
+    let true_b = 0.15;
+    println!(
+        "\nFig. 6 — Decision Function Retrieval (2-D, 3 query points)\n\
+         \nTrue boundary: {:.2}·t1 + {:.2}·t2 + {:.2} = 0\n",
+        true_w[0], true_w[1], true_b
+    );
+
+    let widths = [22usize, 12, 14, 12];
+    print_row(
+        &[
+            "attacker sees".into(),
+            "angle err °".into(),
+            "offset err".into(),
+            "recovered".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    let mut recovered_exact = 0;
+    let mut recovered_random = 0;
+    let trials = 10;
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(600 + trial);
+        let exact = retrieval_attack(&true_w, true_b, 3, false, 16, &mut rng);
+        let random = retrieval_attack(&true_w, true_b, 3, true, 16, &mut rng);
+        recovered_exact += exact.recovered as u32;
+        recovered_random += random.recovered as u32;
+        if trial < 3 {
+            print_row(
+                &[
+                    "exact distances".into(),
+                    format!("{:.4}", exact.angle_error_deg),
+                    format!("{:.4}", exact.offset_error),
+                    format!("{}", exact.recovered),
+                ],
+                &widths,
+            );
+            print_row(
+                &[
+                    "randomized (fresh r_a)".into(),
+                    format!("{:.4}", random.angle_error_deg),
+                    format!("{:.4}", random.offset_error),
+                    format!("{}", random.recovered),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nOver {trials} trials: exact distances reconstructed the boundary \
+         {recovered_exact}/{trials} times;\nrandomized values reconstructed it \
+         {recovered_random}/{trials} times."
+    );
+    println!(
+        "This is the paper's §VI-A argument for the amplifier: without r_a, a\n\
+         client holding n+1 = 3 distance values retrieves the classifier exactly."
+    );
+}

@@ -1,0 +1,101 @@
+//! **Fig. 8** — Accuracy of nonlinear (degree-3 polynomial kernel) data
+//! classification: original SVM vs the privacy-preserving scheme.
+//!
+//! The private leg requires the monomial expansion `C(n+2, 3)`; madelon's
+//! 500 dimensions would need ~2.1·10⁷ monomials and gigabytes of cover
+//! polynomials per sample, so its private column runs on a
+//! reduced-dimension (30-feature) variant — the protocol-parity property
+//! being verified is dimension-independent (see DESIGN.md §5).
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin fig8 --release
+//! ```
+
+use ppcs_bench::{plain_accuracy, print_row, print_rule, private_accuracy, train_entry};
+use ppcs_core::ProtocolConfig;
+use ppcs_datasets::{spec_by_name, DatasetSpec, Structure};
+
+/// The paper's Fig. 8 x-axis order.
+const DATASETS: [&str; 8] = [
+    "cod-rna",
+    "splice",
+    "diabetes",
+    "australian",
+    "ionosphere",
+    "german.numer",
+    "breast-cancer",
+    "madelon",
+];
+
+fn private_spec(spec: &DatasetSpec) -> (DatasetSpec, bool) {
+    if spec.dim <= 150 {
+        return (spec.clone(), false);
+    }
+    // Reduced-dimension variant for the expansion-bound datasets.
+    let reduced = DatasetSpec {
+        name: spec.name,
+        dim: 30,
+        train_size: spec.train_size.min(800),
+        test_size: 500,
+        structure: match spec.structure {
+            Structure::TripleProduct { linear_leak, .. } => Structure::TripleProduct {
+                decoy_amplitude: 0.15,
+                linear_leak,
+            },
+            other => other,
+        },
+        ..spec.clone()
+    };
+    (reduced, true)
+}
+
+fn main() {
+    println!("\nFig. 8 — Accuracy of Nonlinear Data Classification (poly kernel, p = 3)\n");
+    let widths = [14usize, 12, 14, 10, 10, 10];
+    print_row(
+        &[
+            "dataset".into(),
+            "original %".into(),
+            "private %".into(),
+            "equal?".into(),
+            "samples".into(),
+            "reduced".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    for name in DATASETS {
+        let spec = spec_by_name(name).expect("catalog entry");
+        let (pspec, reduced) = private_spec(&spec);
+        let entry = train_entry(&pspec);
+        let cfg = ProtocolConfig {
+            max_expanded_terms: 50_000,
+            ..ProtocolConfig::functional()
+        };
+        // Keep per-dataset protocol work bounded: the expansion cost per
+        // sample is O(n'), so budget fewer samples for wide datasets.
+        let budget = match pspec.dim {
+            0..=15 => 500,
+            16..=40 => 200,
+            _ => 60,
+        };
+        let plain = plain_accuracy(&entry.poly, &entry.test, budget);
+        let (private, n) = private_accuracy(&entry.poly, &entry.test, budget, cfg, 8);
+        print_row(
+            &[
+                name.into(),
+                format!("{:.2}", 100.0 * plain),
+                format!("{:.2}", 100.0 * private),
+                format!("{}", (plain - private).abs() < 1e-12),
+                format!("{n}"),
+                if reduced { "30 dims".into() } else { "-".into() },
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nAs in the paper: nonlinear private classification reproduces the\n\
+         original kernel SVM's predictions exactly (column 'equal?')."
+    );
+}

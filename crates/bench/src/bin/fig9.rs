@@ -1,0 +1,141 @@
+//! **Fig. 9** — Computational cost of classification vs data size:
+//! the a1a–a9a sweep with four curves — {linear, nonlinear} ×
+//! {original, privacy-preserving}.
+//!
+//! The private curves run the full masking configuration (random
+//! polynomials + decoys) over the ideal OT, so the sweep measures the
+//! protocol's compute overhead — the paper attributes its ≈ 4× factor to
+//! the random-polynomial work. Per-sample cost is measured on a capped
+//! batch and scaled to the full split (classification is embarrassingly
+//! per-sample).
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin fig9 --release
+//! ```
+
+use ppcs_bench::{print_row, print_rule, time_ms, time_private_batch, train_entry};
+use ppcs_core::ProtocolConfig;
+use ppcs_datasets::catalog;
+use ppcs_ot::TrustedSimOt;
+use ppcs_svm::SvmModel;
+
+static SIM: TrustedSimOt = TrustedSimOt;
+
+/// Measured batch caps (per-sample cost is flat; the full-split numbers
+/// are `per_sample × test_size`).
+const PLAIN_CAP: usize = 5_000;
+const PRIVATE_LINEAR_CAP: usize = 1_000;
+const PRIVATE_POLY_CAP: usize = 40;
+
+/// Plain-classification timing in LIBSVM's support-vector form
+/// (`Σ_s α_s y_s K(x_s, t) + b`) — the baseline the paper's "original
+/// scheme" measured.
+fn plain_sv_batch_ms(model: &SvmModel, samples: &[Vec<f64>]) -> f64 {
+    let (_, ms) = time_ms(|| {
+        let mut acc = 0usize;
+        for s in samples {
+            acc += (model.decision(s) > 0.0) as usize;
+        }
+        std::hint::black_box(acc)
+    });
+    ms
+}
+
+/// Plain linear classification in explicit weight form `wᵀt + b` — the
+/// representation the private protocol actually evaluates, included so
+/// the overhead attributable to the protocol itself is visible.
+fn plain_w_batch_ms(model: &SvmModel, samples: &[Vec<f64>]) -> f64 {
+    let w = model.linear_weights().expect("linear model");
+    let (_, ms) = time_ms(|| {
+        let mut acc = 0usize;
+        for s in samples {
+            let d = ppcs_svm::dot(&w, s) + model.bias();
+            acc += (d > 0.0) as usize;
+        }
+        std::hint::black_box(acc)
+    });
+    ms
+}
+
+fn main() {
+    println!(
+        "\nFig. 9 — Computational Cost of Classification (a1a–a9a sweep)\n\
+         \nAll times in ms, extrapolated to the full test split from capped batches;\n\
+         'KB' is the raw classified payload (8 bytes per dimension value).\n"
+    );
+    let widths = [6usize, 9, 10, 11, 11, 12, 13, 14];
+    print_row(
+        &[
+            "set".into(),
+            "samples".into(),
+            "KB".into(),
+            "lin w-form".into(),
+            "lin SV-form".into(),
+            "poly orig".into(),
+            "lin private".into(),
+            "poly private".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    // Full masking configuration (fresh random polynomials and decoys per
+    // sample) over the ideal OT: this measures exactly the overhead the
+    // paper attributes to "adding the random polynomial to the process".
+    let cfg = ProtocolConfig::default();
+    for spec in catalog().into_iter().filter(|s| s.name.len() == 3 && s.name.starts_with('a')) {
+        let entry = train_entry(&spec);
+        let total = entry.test.len();
+        let all: Vec<Vec<f64>> = (0..total).map(|i| entry.test.features(i).to_vec()).collect();
+
+        let scale = |cap: usize, ms: f64| ms * total as f64 / cap.min(total) as f64;
+
+        let plain_lin_w = scale(
+            PLAIN_CAP,
+            plain_w_batch_ms(&entry.linear, &all[..PLAIN_CAP.min(total)]),
+        );
+        let plain_lin_sv = scale(
+            PLAIN_CAP,
+            plain_sv_batch_ms(&entry.linear, &all[..PLAIN_CAP.min(total)]),
+        );
+        let plain_poly = scale(
+            PLAIN_CAP,
+            plain_sv_batch_ms(&entry.poly, &all[..PLAIN_CAP.min(total)]),
+        );
+        let (_, priv_lin_ms) = time_private_batch(
+            &entry.linear,
+            &all[..PRIVATE_LINEAR_CAP.min(total)],
+            cfg,
+            &SIM,
+            9,
+        );
+        let priv_lin = scale(PRIVATE_LINEAR_CAP, priv_lin_ms);
+        let (_, priv_poly_ms) = time_private_batch(
+            &entry.poly,
+            &all[..PRIVATE_POLY_CAP.min(total)],
+            cfg,
+            &SIM,
+            10,
+        );
+        let priv_poly = scale(PRIVATE_POLY_CAP, priv_poly_ms);
+
+        print_row(
+            &[
+                spec.name.into(),
+                format!("{total}"),
+                format!("{}", entry.test.payload_bytes() / 1024),
+                format!("{plain_lin_w:.1}"),
+                format!("{plain_lin_sv:.1}"),
+                format!("{plain_poly:.1}"),
+                format!("{priv_lin:.1}"),
+                format!("{priv_poly:.1}"),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nShape to compare with the paper's Fig. 9: all four curves grow linearly\n\
+         with data size; the private schemes sit a constant factor above the\n\
+         original ones (the paper reports ≈ 4×), and nonlinear sits above linear."
+    );
+}

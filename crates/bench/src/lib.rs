@@ -1,0 +1,194 @@
+//! # ppcs-bench
+//!
+//! Shared harness code for the experiment binaries (`table1`, `table2`,
+//! `fig5`–`fig10`) and the Criterion benches. Each binary regenerates
+//! one table or figure of the ICDCS'16 evaluation; `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use ppcs_core::{Client, ProtocolConfig, Trainer};
+use ppcs_datasets::{generate, DatasetSpec};
+use ppcs_math::F64Algebra;
+use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use ppcs_transport::run_pair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trained (linear, polynomial) model pair plus its data.
+pub struct TrainedEntry {
+    /// The catalog spec that produced this entry.
+    pub spec: DatasetSpec,
+    /// Training split.
+    pub train: Dataset,
+    /// Testing split.
+    pub test: Dataset,
+    /// Linear-kernel model.
+    pub linear: SvmModel,
+    /// Paper-default polynomial-kernel model (`a₀ = 1/n, b₀ = 0, p = 3`).
+    pub poly: SvmModel,
+}
+
+/// Generates the analog dataset for `spec` and trains both kernels with
+/// the spec's `C`.
+pub fn train_entry(spec: &DatasetSpec) -> TrainedEntry {
+    let data = generate(spec);
+    let linear_params = SmoParams {
+        c: spec.c_param,
+        max_iterations: 300_000,
+        ..SmoParams::default()
+    };
+    let poly_params = SmoParams {
+        c: spec.poly_c,
+        max_iterations: 300_000,
+        ..SmoParams::default()
+    };
+    let linear = SvmModel::train(&data.train, Kernel::Linear, &linear_params);
+    let poly = SvmModel::train(&data.train, Kernel::paper_polynomial(spec.dim), &poly_params);
+    TrainedEntry {
+        spec: spec.clone(),
+        train: data.train,
+        test: data.test,
+        linear,
+        poly,
+    }
+}
+
+/// Runs the private classification protocol over `samples` and returns
+/// the labels (functional mode by default via the supplied config).
+pub fn private_classify(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    seed: u64,
+) -> Vec<Label> {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = samples.to_vec();
+    let (_, labels) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trainer.serve(&ep, &TrustedSimOt, &mut rng).expect("serve")
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            client
+                .classify_batch(&ep, &TrustedSimOt, &mut rng, &samples)
+                .expect("classify")
+        },
+    );
+    labels
+}
+
+/// Accuracy of the private protocol on (a subsample of) the test split.
+///
+/// `max_samples` caps the protocol runs; because private and plain
+/// predictions agree sample-by-sample (asserted throughout the test
+/// suite), the subsample accuracy is reported alongside the subsample
+/// size.
+pub fn private_accuracy(
+    model: &SvmModel,
+    test: &Dataset,
+    max_samples: usize,
+    cfg: ProtocolConfig,
+    seed: u64,
+) -> (f64, usize) {
+    let n = test.len().min(max_samples);
+    let samples: Vec<Vec<f64>> = (0..n).map(|i| test.features(i).to_vec()).collect();
+    let labels = private_classify(model, &samples, cfg, seed);
+    let correct = labels
+        .iter()
+        .zip((0..n).map(|i| test.label(i)))
+        .filter(|(a, b)| **a == *b)
+        .count();
+    (correct as f64 / n as f64, n)
+}
+
+/// Plain accuracy on (a subsample of) the test split, matching the
+/// subsampling of [`private_accuracy`] for apples-to-apples columns.
+pub fn plain_accuracy(model: &SvmModel, test: &Dataset, max_samples: usize) -> f64 {
+    let n = test.len().min(max_samples);
+    let correct = (0..n)
+        .filter(|&i| model.predict(test.features(i)) == test.label(i))
+        .count();
+    correct as f64 / n as f64
+}
+
+/// Wall-clock time of `f`, in milliseconds.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times a full private-classification batch; returns (labels, ms).
+pub fn time_private_batch(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    ot: &'static dyn ObliviousTransfer,
+    seed: u64,
+) -> (Vec<Label>, f64) {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = samples.to_vec();
+    let start = Instant::now();
+    let (_, labels) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trainer.serve(&ep, ot, &mut rng).expect("serve")
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            client
+                .classify_batch(&ep, ot, &mut rng, &samples)
+                .expect("classify")
+        },
+    );
+    (labels, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a rule of the combined table width.
+pub fn print_rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_datasets::spec_by_name;
+
+    #[test]
+    fn train_entry_produces_working_models() {
+        let spec = spec_by_name("breast-cancer").unwrap();
+        let entry = train_entry(&spec);
+        assert!(entry.linear.accuracy(&entry.test) > 0.8);
+        assert_eq!(entry.test.len(), spec.test_size);
+    }
+
+    #[test]
+    fn private_accuracy_matches_plain_on_subsample() {
+        let spec = spec_by_name("diabetes").unwrap();
+        let entry = train_entry(&spec);
+        let (private, n) =
+            private_accuracy(&entry.linear, &entry.test, 50, ProtocolConfig::functional(), 1);
+        let plain = plain_accuracy(&entry.linear, &entry.test, 50);
+        assert_eq!(n, 50);
+        assert!((private - plain).abs() < 1e-12);
+    }
+}

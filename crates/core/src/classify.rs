@@ -1,0 +1,718 @@
+//! Privacy-preserving data classification (Section IV of the paper).
+//!
+//! Roles: the **trainer** (Alice) holds a trained SVM; the **client**
+//! (Bob) holds unlabeled samples. After a session the client knows only
+//! the predicted class of each sample — the sign of an
+//! amplifier-randomized decision value — and the trainer has learned
+//! nothing about the samples.
+//!
+//! Linear models run OMPE directly on the decision function
+//! `d(t) = wᵀt + b` (§IV-A). Nonlinear models are first rewritten as a
+//! linear function of monomial features `τ` (§IV-B, see
+//! [`expansion`](crate::expansion)); the client maps `t̃ ↦ τ̃` locally and
+//! the same machinery applies, with the masking degree raised to `p·q` as
+//! in the paper.
+//!
+//! A **fresh amplifier `r_a` is drawn per classification**: Section VI-A
+//! shows that reusing one would let a colluding client reconstruct the
+//! hyperplane from `n + 1` exact distance values (the tangent attack of
+//! Fig. 6, implemented in [`privacy`](crate::privacy)).
+
+use ppcs_math::{Algebra, DenseAffine};
+use ppcs_ompe::{ompe_receive, ompe_send, OmpeParams};
+use ppcs_ot::ObliviousTransfer;
+use ppcs_svm::{Kernel, Label, SvmModel};
+use ppcs_transport::{Encodable, Endpoint};
+use rand::RngCore;
+
+use crate::config::ProtocolConfig;
+use crate::error::PpcsError;
+use crate::expansion::{expand_model, BasisKind};
+
+const KIND_CLS_HELLO: u16 = 0x0500;
+const KIND_CLS_SPEC: u16 = 0x0501;
+
+/// Fixed-point scale power of the decision value both sides decode at
+/// (inputs and coefficients sit at scale 1, so products sit at 2).
+const OUTPUT_SCALE: u32 = 2;
+
+/// How the client must derive the OMPE input vector from a raw sample —
+/// public protocol metadata sent by the trainer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputForm {
+    /// Use the sample coordinates directly (linear models).
+    Direct,
+    /// Map the sample to monomial features in the given basis
+    /// (expanded nonlinear models).
+    Monomials(BasisKind),
+}
+
+/// The public session header describing the protocol instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassifySpec {
+    /// Raw sample dimensionality `n`.
+    pub dim: usize,
+    /// Input derivation rule.
+    pub input_form: InputForm,
+    /// OMPE parameters (degree bound, masking degree, decoy factor).
+    pub ompe: OmpeParams,
+}
+
+impl ClassifySpec {
+    /// Arity of the OMPE input vector.
+    pub fn input_arity(&self) -> usize {
+        match self.input_form {
+            InputForm::Direct => self.dim,
+            InputForm::Monomials(basis) => basis
+                .len(self.dim)
+                .expect("validated at construction") as usize,
+        }
+    }
+
+    pub(crate) fn encode_wire(&self) -> Vec<u64> {
+        let (tag, degree) = match self.input_form {
+            InputForm::Direct => (0u64, 0u64),
+            InputForm::Monomials(BasisKind::Homogeneous { degree }) => (1, degree as u64),
+            InputForm::Monomials(BasisKind::UpTo { degree }) => (2, degree as u64),
+        };
+        vec![
+            self.dim as u64,
+            tag,
+            degree,
+            self.ompe.degree_bound as u64,
+            self.ompe.sigma as u64,
+            self.ompe.decoy_factor as u64,
+        ]
+    }
+
+    pub(crate) fn decode_wire(fields: &[u64]) -> Result<Self, PpcsError> {
+        let [dim, tag, degree, bound, sigma, decoy] = fields else {
+            return Err(PpcsError::Protocol("malformed classify spec".into()));
+        };
+        let input_form = match tag {
+            0 => InputForm::Direct,
+            1 => InputForm::Monomials(BasisKind::Homogeneous {
+                degree: *degree as u32,
+            }),
+            2 => InputForm::Monomials(BasisKind::UpTo {
+                degree: *degree as u32,
+            }),
+            _ => return Err(PpcsError::Protocol(format!("unknown input form {tag}"))),
+        };
+        let ompe = OmpeParams::new(*bound as usize, *sigma as usize, *decoy as usize)?;
+        Ok(Self {
+            dim: *dim as usize,
+            input_form,
+            ompe,
+        })
+    }
+}
+
+/// The trainer role: owns the (encoded, unamplified) secret decision
+/// polynomial and serves classification sessions.
+///
+/// # Examples
+///
+/// See [`Client`] for a full two-party example.
+pub struct Trainer<A: Algebra> {
+    alg: A,
+    cfg: ProtocolConfig,
+    base: DenseAffine<A>,
+    spec: ClassifySpec,
+}
+
+impl<A: Algebra> Trainer<A>
+where
+    A::Elem: Encodable,
+{
+    /// Prepares a trained model for private serving: expands nonlinear
+    /// kernels into monomial form and fixed-point-encodes the
+    /// coefficients.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Config`] on an invalid configuration,
+    /// [`PpcsError::Expansion`] if the kernel cannot be expanded within
+    /// the configured cap.
+    pub fn new(alg: A, model: &SvmModel, cfg: ProtocolConfig) -> Result<Self, PpcsError> {
+        cfg.validate()?;
+        let (weights, bias, input_form, degree_bound) = match model.kernel() {
+            Kernel::Linear => {
+                let w = model
+                    .linear_weights()
+                    .expect("linear kernel always has weights");
+                (w, model.bias(), InputForm::Direct, 1)
+            }
+            kernel => {
+                let expanded = expand_model(model, &cfg)?;
+                // The paper sets the nonlinear masking degree to p·q: the
+                // OMPE degree bound is the original kernel degree even
+                // though the expanded secret is affine in τ.
+                let bound = match (kernel, expanded.basis) {
+                    (_, BasisKind::Homogeneous { degree }) => degree as usize,
+                    (_, BasisKind::UpTo { degree }) => degree as usize,
+                };
+                (
+                    expanded.coeffs,
+                    expanded.bias,
+                    InputForm::Monomials(expanded.basis),
+                    bound,
+                )
+            }
+        };
+        let spec = ClassifySpec {
+            dim: model.dim(),
+            input_form,
+            ompe: OmpeParams::new(degree_bound, cfg.sigma, cfg.decoy_factor)?,
+        };
+        let encoded_weights = weights.iter().map(|w| alg.encode(*w, 1)).collect();
+        let encoded_bias = alg.encode(bias, OUTPUT_SCALE);
+        Ok(Self {
+            alg,
+            cfg,
+            base: DenseAffine::new(encoded_weights, encoded_bias),
+            spec,
+        })
+    }
+
+    /// Prepares an already-expanded decision function for private
+    /// serving — the entry point for classifier families that are
+    /// natively polynomial, such as Gaussian Naive Bayes
+    /// ([`crate::expansion::ExpandedDecision::from_quadratic_diag`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Config`] on an invalid configuration.
+    pub fn from_expanded(
+        alg: A,
+        expanded: &crate::expansion::ExpandedDecision,
+        cfg: ProtocolConfig,
+    ) -> Result<Self, PpcsError> {
+        cfg.validate()?;
+        let degree_bound = match expanded.basis {
+            BasisKind::Homogeneous { degree } => degree as usize,
+            BasisKind::UpTo { degree } => degree as usize,
+        };
+        let spec = ClassifySpec {
+            dim: expanded.dim,
+            input_form: InputForm::Monomials(expanded.basis),
+            ompe: OmpeParams::new(degree_bound, cfg.sigma, cfg.decoy_factor)?,
+        };
+        let encoded_weights = expanded.coeffs.iter().map(|w| alg.encode(*w, 1)).collect();
+        let encoded_bias = alg.encode(expanded.bias, OUTPUT_SCALE);
+        Ok(Self {
+            alg,
+            cfg,
+            base: DenseAffine::new(encoded_weights, encoded_bias),
+            spec,
+        })
+    }
+
+    /// The public session header.
+    pub fn spec(&self) -> ClassifySpec {
+        self.spec
+    }
+
+    /// Serves a single OMPE round with an explicit amplifier element —
+    /// the building block the multi-class session composes (shared or
+    /// fresh amplifiers across the per-class rounds of one sample).
+    ///
+    /// # Errors
+    ///
+    /// Transport, OT, and OMPE failures.
+    pub(crate) fn serve_one_with_amplifier(
+        &self,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        amplifier: A::Elem,
+    ) -> Result<(), PpcsError> {
+        let secret = self.base.scale(&self.alg, &amplifier);
+        ompe_send(&self.alg, ep, ot, rng, &secret, &self.spec.ompe)?;
+        Ok(())
+    }
+
+    /// Serves one classification session (a batch of samples announced by
+    /// the client). Returns the number of samples served.
+    ///
+    /// # Errors
+    ///
+    /// Transport, OT, and OMPE failures.
+    pub fn serve(
+        &self,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, PpcsError> {
+        let num_samples: u64 = ep.recv_msg(KIND_CLS_HELLO)?;
+        ep.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
+        for _ in 0..num_samples {
+            // Fresh positive integer amplifier per sample (Level-2
+            // privacy; see the module docs).
+            let ra = self.alg.encode_int(self.cfg.draw_amplifier(rng));
+            let secret = self.base.scale(&self.alg, &ra);
+            ompe_send(&self.alg, ep, ot, rng, &secret, &self.spec.ompe)?;
+        }
+        Ok(num_samples as usize)
+    }
+}
+
+/// The client role: classifies private samples against a remote trainer.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_core::{Client, ProtocolConfig, Trainer};
+/// use ppcs_math::F64Algebra;
+/// use ppcs_ot::TrustedSimOt;
+/// use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+/// use ppcs_transport::run_pair;
+/// use rand::SeedableRng;
+///
+/// // Alice trains on her private data.
+/// let mut ds = Dataset::new(1);
+/// for i in 0..20 {
+///     let v = i as f64 / 10.0 - 1.0;
+///     ds.push(vec![v], if v < 0.0 { Label::Negative } else { Label::Positive });
+/// }
+/// let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+///
+/// let cfg = ProtocolConfig::default();
+/// let trainer = Trainer::new(F64Algebra::new(), &model, cfg).unwrap();
+/// let client = Client::new(F64Algebra::new(), cfg);
+///
+/// let samples = vec![vec![0.9], vec![-0.7]];
+/// let (served, labels) = run_pair(
+///     move |ep| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///         trainer.serve(&ep, &TrustedSimOt, &mut rng).unwrap()
+///     },
+///     move |ep| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+///         client.classify_batch(&ep, &TrustedSimOt, &mut rng, &samples).unwrap()
+///     },
+/// );
+/// assert_eq!(served, 2);
+/// assert_eq!(labels, vec![Label::Positive, Label::Negative]);
+/// ```
+pub struct Client<A: Algebra> {
+    alg: A,
+    cfg: ProtocolConfig,
+}
+
+impl<A: Algebra> Client<A>
+where
+    A::Elem: Encodable,
+{
+    /// Creates a client.
+    pub fn new(alg: A, cfg: ProtocolConfig) -> Self {
+        Self { alg, cfg }
+    }
+
+    /// Classifies a batch of samples in one session. Returns one label
+    /// per sample, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Protocol`] if the trainer's announced spec disagrees
+    /// with the samples' dimensionality or this client's configuration,
+    /// plus transport/OMPE failures.
+    pub fn classify_batch(
+        &self,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        samples: &[Vec<f64>],
+    ) -> Result<Vec<Label>, PpcsError> {
+        Ok(self
+            .classify_batch_values(ep, ot, rng, samples)?
+            .into_iter()
+            .map(|(label, _)| label)
+            .collect())
+    }
+
+    /// Runs a single private classification round against a known spec —
+    /// the building block the multi-class session composes.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Protocol`] on a dimensionality mismatch, plus
+    /// transport/OMPE failures.
+    pub(crate) fn classify_one(
+        &self,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        sample: &[f64],
+        spec: &ClassifySpec,
+    ) -> Result<(Label, f64), PpcsError> {
+        if sample.len() != spec.dim {
+            return Err(PpcsError::Protocol(format!(
+                "sample has {} features, trainer expects {}",
+                sample.len(),
+                spec.dim
+            )));
+        }
+        let raw_inputs: Vec<f64> = match spec.input_form {
+            InputForm::Direct => sample.to_vec(),
+            InputForm::Monomials(basis) => basis.features(sample),
+        };
+        let alpha: Vec<A::Elem> = raw_inputs.iter().map(|v| self.alg.encode(*v, 1)).collect();
+        let value = ompe_receive(&self.alg, ep, ot, rng, &alpha, &spec.ompe)?;
+        let decoded = self.alg.decode(&value, OUTPUT_SCALE);
+        Ok((Label::from_sign(decoded), decoded))
+    }
+
+    /// Like [`Client::classify_batch`], but also returns the randomized
+    /// decision value `r_a·d(t̃)` each label was derived from.
+    ///
+    /// This is exactly what a client *actually learns* per query; the
+    /// privacy experiments ([`crate::privacy`]) pool these values to play
+    /// the colluding-coalition attacks of Figs. 5–6.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::classify_batch`].
+    pub fn classify_batch_values(
+        &self,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        samples: &[Vec<f64>],
+    ) -> Result<Vec<(Label, f64)>, PpcsError> {
+        ep.send_msg(KIND_CLS_HELLO, &(samples.len() as u64))?;
+        let fields = decode_u64s(&ep.recv_msg::<Vec<u8>>(KIND_CLS_SPEC)?)?;
+        let spec = ClassifySpec::decode_wire(&fields)?;
+        if spec.ompe.sigma != self.cfg.sigma || spec.ompe.decoy_factor != self.cfg.decoy_factor {
+            return Err(PpcsError::Protocol(format!(
+                "trainer announced sigma={} decoys={}, client configured sigma={} decoys={}",
+                spec.ompe.sigma, spec.ompe.decoy_factor, self.cfg.sigma, self.cfg.decoy_factor
+            )));
+        }
+
+        let mut labels = Vec::with_capacity(samples.len());
+        for sample in samples {
+            labels.push(self.classify_one(ep, ot, rng, sample, &spec)?);
+        }
+        Ok(labels)
+    }
+}
+
+fn encode_u64s(vals: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_u64s(bytes: &[u8]) -> Result<Vec<u64>, PpcsError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(PpcsError::Protocol("malformed u64 field block".into()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_math::{F64Algebra, FixedFpAlgebra};
+    use ppcs_ot::{NaorPinkasOt, TrustedSimOt};
+    use ppcs_svm::{Dataset, SmoParams};
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(dim: usize, n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        for k in 0..n {
+            let positive = k % 2 == 0;
+            let c = if positive { 0.5 } else { -0.5 };
+            ds.push(
+                (0..dim).map(|_| c + rng.gen_range(-0.45..0.45)).collect(),
+                if positive {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            );
+        }
+        ds
+    }
+
+    fn run_batch<A: Algebra>(
+        alg: A,
+        model: &SvmModel,
+        cfg: ProtocolConfig,
+        samples: Vec<Vec<f64>>,
+        ot: &'static dyn ObliviousTransfer,
+        seed: u64,
+    ) -> Vec<Label>
+    where
+        A::Elem: Encodable,
+    {
+        let trainer = Trainer::new(alg.clone(), model, cfg).unwrap();
+        let client = Client::new(alg, cfg);
+        let (_, labels) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                trainer.serve(&ep, ot, &mut rng).unwrap()
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                client.classify_batch(&ep, ot, &mut rng, &samples).unwrap()
+            },
+        );
+        labels
+    }
+
+    static SIM: TrustedSimOt = TrustedSimOt;
+
+    #[test]
+    fn linear_private_matches_plain_f64() {
+        let ds = blob_data(4, 80, 1);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let samples: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.features(i).to_vec()).collect();
+        let labels = run_batch(
+            F64Algebra::new(),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            &SIM,
+            10,
+        );
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, model.predict(sample));
+        }
+    }
+
+    #[test]
+    fn linear_private_matches_plain_fixed_point() {
+        let ds = blob_data(3, 60, 2);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let samples: Vec<Vec<f64>> = (0..20).map(|i| ds.features(i).to_vec()).collect();
+        let labels = run_batch(
+            FixedFpAlgebra::new(16),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            &SIM,
+            20,
+        );
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, model.predict(sample));
+        }
+    }
+
+    #[test]
+    fn polynomial_private_matches_plain() {
+        let ds = blob_data(4, 80, 3);
+        let model = SvmModel::train(&ds, Kernel::paper_polynomial(4), &SmoParams::default());
+        let samples: Vec<Vec<f64>> = (0..30).map(|i| ds.features(i).to_vec()).collect();
+        let labels = run_batch(
+            F64Algebra::new(),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            &SIM,
+            30,
+        );
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, model.predict(sample));
+        }
+    }
+
+    #[test]
+    fn inhomogeneous_polynomial_roundtrip() {
+        let ds = blob_data(3, 60, 4);
+        let model = SvmModel::train(
+            &ds,
+            Kernel::Polynomial {
+                a0: 0.5,
+                b0: 1.0,
+                degree: 2,
+            },
+            &SmoParams::default(),
+        );
+        let samples: Vec<Vec<f64>> = (0..20).map(|i| ds.features(i).to_vec()).collect();
+        let labels = run_batch(
+            F64Algebra::new(),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            &SIM,
+            40,
+        );
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, model.predict(sample));
+        }
+    }
+
+    #[test]
+    fn rbf_private_matches_truncated_expansion() {
+        let ds = blob_data(3, 50, 5);
+        let model = SvmModel::train(&ds, Kernel::Rbf { gamma: 0.4 }, &SmoParams::default());
+        let cfg = ProtocolConfig {
+            taylor_order: 4,
+            ..ProtocolConfig::default()
+        };
+        let samples: Vec<Vec<f64>> = (0..15).map(|i| ds.features(i).to_vec()).collect();
+        let labels = run_batch(F64Algebra::new(), &model, cfg, samples.clone(), &SIM, 50);
+        // The private result equals the sign of the *truncated* expansion.
+        let expanded = expand_model(&model, &cfg).unwrap();
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, Label::from_sign(expanded.eval(sample)));
+        }
+    }
+
+    #[test]
+    fn works_over_cryptographic_ot() {
+        use std::sync::OnceLock;
+        static NP: OnceLock<NaorPinkasOt> = OnceLock::new();
+        let ot: &'static dyn ObliviousTransfer =
+            NP.get_or_init(NaorPinkasOt::fast_insecure);
+        let ds = blob_data(2, 40, 6);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let samples: Vec<Vec<f64>> = (0..4).map(|i| ds.features(i).to_vec()).collect();
+        let labels = run_batch(
+            FixedFpAlgebra::new(16),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            ot,
+            60,
+        );
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, model.predict(sample));
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let ds = blob_data(3, 40, 7);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let cfg = ProtocolConfig::default();
+        let trainer = Trainer::new(F64Algebra::new(), &model, cfg).unwrap();
+        let client = Client::new(F64Algebra::new(), cfg);
+        let (_, res) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let _ = trainer.serve(&ep, &SIM, &mut rng);
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                client.classify_batch(&ep, &SIM, &mut rng, &[vec![1.0, 2.0]])
+            },
+        );
+        assert!(matches!(res.unwrap_err(), PpcsError::Protocol(_)));
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let ds = blob_data(2, 40, 8);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let trainer =
+            Trainer::new(F64Algebra::new(), &model, ProtocolConfig::default()).unwrap();
+        let client = Client::new(F64Algebra::new(), ProtocolConfig::functional());
+        let (_, res) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let _ = trainer.serve(&ep, &SIM, &mut rng);
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                client.classify_batch(&ep, &SIM, &mut rng, &[vec![0.0, 0.0]])
+            },
+        );
+        assert!(matches!(res.unwrap_err(), PpcsError::Protocol(_)));
+    }
+
+    #[test]
+    fn spec_wire_roundtrip() {
+        for spec in [
+            ClassifySpec {
+                dim: 5,
+                input_form: InputForm::Direct,
+                ompe: OmpeParams::new(1, 3, 2).unwrap(),
+            },
+            ClassifySpec {
+                dim: 8,
+                input_form: InputForm::Monomials(BasisKind::Homogeneous { degree: 3 }),
+                ompe: OmpeParams::new(3, 3, 2).unwrap(),
+            },
+            ClassifySpec {
+                dim: 4,
+                input_form: InputForm::Monomials(BasisKind::UpTo { degree: 6 }),
+                ompe: OmpeParams::new(6, 2, 1).unwrap(),
+            },
+        ] {
+            let wire = spec.encode_wire();
+            assert_eq!(ClassifySpec::decode_wire(&wire).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn naive_bayes_private_matches_plain() {
+        use ppcs_svm::GaussianNb;
+        let ds = blob_data(3, 80, 12);
+        let nb = GaussianNb::train(&ds);
+        let form = nb.to_quadratic_form();
+        let expanded = crate::expansion::ExpandedDecision::from_quadratic_diag(
+            &form.quadratic,
+            &form.linear,
+            form.bias,
+        );
+        // The expansion must agree with the model before going private.
+        for i in 0..10 {
+            let t = ds.features(i);
+            assert!((expanded.eval(t) - nb.decision(t)).abs() < 1e-9);
+        }
+        let cfg = ProtocolConfig::default();
+        let trainer =
+            Trainer::from_expanded(F64Algebra::new(), &expanded, cfg).unwrap();
+        let client = Client::new(F64Algebra::new(), cfg);
+        let samples: Vec<Vec<f64>> = (0..25).map(|i| ds.features(i).to_vec()).collect();
+        let samples2 = samples.clone();
+        let (_, labels) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(80);
+                trainer.serve(&ep, &SIM, &mut rng).unwrap()
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(81);
+                client.classify_batch(&ep, &SIM, &mut rng, &samples2).unwrap()
+            },
+        );
+        for (sample, got) in samples.iter().zip(&labels) {
+            assert_eq!(*got, nb.predict(sample));
+        }
+    }
+
+    #[test]
+    fn functional_mode_agrees_with_full_mode() {
+        let ds = blob_data(3, 60, 9);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let samples: Vec<Vec<f64>> = (0..25).map(|i| ds.features(i).to_vec()).collect();
+        let full = run_batch(
+            F64Algebra::new(),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            &SIM,
+            70,
+        );
+        let functional = run_batch(
+            F64Algebra::new(),
+            &model,
+            ProtocolConfig::functional(),
+            samples,
+            &SIM,
+            71,
+        );
+        assert_eq!(full, functional);
+    }
+}

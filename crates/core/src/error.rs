@@ -1,0 +1,63 @@
+//! Errors of the ppcs protocols.
+
+use core::fmt;
+
+use ppcs_ompe::OmpeError;
+use ppcs_ot::OtError;
+use ppcs_transport::TransportError;
+
+/// Errors raised by the classification and similarity protocols.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PpcsError {
+    /// Invalid configuration.
+    Config(String),
+    /// The model could not be expanded into the protocol's polynomial
+    /// form (unsupported kernel parameters, expansion too large, …).
+    Expansion(String),
+    /// Underlying OMPE failure.
+    Ompe(OmpeError),
+    /// Underlying transport failure.
+    Transport(TransportError),
+    /// The peer deviated from the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for PpcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Expansion(msg) => write!(f, "model expansion failed: {msg}"),
+            Self::Ompe(e) => write!(f, "oblivious polynomial evaluation failed: {e}"),
+            Self::Transport(e) => write!(f, "transport failed: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PpcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ompe(e) => Some(e),
+            Self::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OmpeError> for PpcsError {
+    fn from(e: OmpeError) -> Self {
+        Self::Ompe(e)
+    }
+}
+
+impl From<TransportError> for PpcsError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+impl From<OtError> for PpcsError {
+    fn from(e: OtError) -> Self {
+        Self::Ompe(OmpeError::Ot(e))
+    }
+}

@@ -1,0 +1,49 @@
+//! # ppcs-core
+//!
+//! The protocols of *"Privacy-preserving Data Classification and
+//! Similarity Evaluation for Distributed Systems"* (Jia, Guo, Jin,
+//! Fang — ICDCS 2016):
+//!
+//! * **Private classification** (Section IV): a [`Trainer`] serves its
+//!   SVM decision function through oblivious multivariate polynomial
+//!   evaluation; a [`Client`] learns only the class of each private
+//!   sample. Nonlinear kernels run through monomial expansion
+//!   ([`expansion`]).
+//! * **Private similarity evaluation** (Section V): two trainers
+//!   compute the bounded-hyperplane triangle-area metric
+//!   `T² = ¼(L⁴+L₀⁴)(sin²θ+sin²θ₀)` without revealing either model
+//!   ([`similarity_request`] / [`similarity_respond`]).
+//! * **Privacy experiments** (Section VI-A): the collusion attacks the
+//!   amplifier randomization defeats ([`privacy`]).
+//!
+//! Every protocol is generic over the numeric backend
+//! ([`ppcs_math::F64Algebra`] as in the paper's experiments,
+//! [`ppcs_math::FixedFpAlgebra`] for the cryptographically sound
+//! instantiation) and over the OT engine
+//! ([`ppcs_ot::NaorPinkasOt`] / [`ppcs_ot::TrustedSimOt`]).
+//!
+//! See the crate examples in `examples/` for end-to-end scenarios
+//! (e-commerce trend testing, hospital diagnosis, partner matching).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod config;
+mod error;
+pub mod expansion;
+mod multiclass;
+pub mod privacy;
+mod similarity;
+
+pub use classify::{ClassifySpec, Client, InputForm, Trainer};
+pub use config::ProtocolConfig;
+pub use error::PpcsError;
+pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
+pub use expansion::{expand_model, BasisKind, ExpandedDecision};
+pub use similarity::{
+    boundary_points_decision, boundary_points_linear, centroid, cos2_between,
+    direction_input, similarity_plain, similarity_plain_geometry, similarity_request,
+    similarity_request_geometry, similarity_respond, similarity_respond_geometry,
+    triangle_area_squared, ModelGeometry, SimilarityConfig,
+};

@@ -1,0 +1,934 @@
+//! Privacy-preserving data similarity evaluation (Section V).
+//!
+//! Two trainers compare their models without revealing them. The metric
+//! combines direction and position of the *bounded* decision hyperplanes:
+//! an isosceles triangle with legs `L` (centroid distance) and vertex
+//! angle `θ` (hyperplane included angle), measured by its squared area
+//!
+//! ```text
+//! T² = ¼ (L⁴ + L₀⁴)(sin²θ + sin²θ₀)
+//! ```
+//!
+//! with public floor constants `L₀, θ₀` that keep the two degenerate
+//! cases (parallel planes vs coincident centroids) distinguishable from
+//! each other.
+//!
+//! The private computation (§V-B) runs three OMPE rounds: Bob first
+//! obtains the amplified cross terms `x₁ = r_am·(m_A·m_B)` and
+//! `x₂ = r_aw·(w_A·w_B) + r_b`, then evaluates Alice's two-variate
+//! degree-4 polynomial `T²(x₁, x₂)` whose constants fold in the
+//! amplifier inverses. Bob contributes `|m_B|²`, `|w_B|²` in the clear —
+//! inseparable aggregates that reveal neither vector.
+//!
+//! Note: the paper prints `d₂ = r_aw⁻¹`; because `x₂ − (−d₃)` is squared
+//! inside the polynomial, the inverse must be applied twice for the
+//! identity to hold, so this implementation uses `d₂ = r_aw⁻²`
+//! (documented erratum, see DESIGN.md §3.3).
+
+use ppcs_math::{Algebra, DenseAffine, MvPolynomial};
+use ppcs_ompe::{ompe_receive, ompe_send, OmpeParams};
+use ppcs_ot::ObliviousTransfer;
+use ppcs_svm::{Kernel, SvmModel};
+use ppcs_transport::{Encodable, Endpoint};
+use rand::RngCore;
+
+use crate::config::ProtocolConfig;
+use crate::error::PpcsError;
+use crate::expansion::BasisKind;
+
+const KIND_SIM_HELLO: u16 = 0x0600;
+
+/// Input scale (1) ⇒ cross terms x₁/x₂ at scale 2 ⇒ A-part at 4,
+/// B-part at 8, product at 12.
+const CROSS_SCALE: u32 = 2;
+const OUTPUT_SCALE: u32 = 12;
+
+/// Configuration of a similarity evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimilarityConfig {
+    /// The bounded data-space interval `[α, β]` per dimension.
+    pub bounds: (f64, f64),
+    /// Distance floor `L₀` (public).
+    pub l0: f64,
+    /// Angle floor `θ₀` in degrees (public, `≪ 90°`).
+    pub theta0_deg: f64,
+    /// Shared protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// Grid resolution for nonlinear boundary tracing.
+    pub boundary_grid: usize,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        Self {
+            bounds: (-1.0, 1.0),
+            l0: 0.05,
+            theta0_deg: 2.0,
+            protocol: ProtocolConfig::default(),
+            boundary_grid: 64,
+        }
+    }
+}
+
+impl SimilarityConfig {
+    fn sin2_theta0(&self) -> f64 {
+        self.theta0_deg.to_radians().sin().powi(2)
+    }
+
+    fn ompe_linear(&self) -> Result<OmpeParams, PpcsError> {
+        Ok(OmpeParams::new(
+            1,
+            self.protocol.sigma,
+            self.protocol.decoy_factor,
+        )?)
+    }
+
+    fn ompe_area(&self) -> Result<OmpeParams, PpcsError> {
+        Ok(OmpeParams::new(
+            4,
+            self.protocol.sigma,
+            self.protocol.decoy_factor,
+        )?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry: boundary points, centroids, the plain (non-private) metric.
+// ---------------------------------------------------------------------
+
+/// All boundary points of the hyperplane `wᵀt + b = 0` inside the box
+/// `[α, β]ⁿ`, via the paper's Eq. (5): for each dimension as the free
+/// variable, solve against every corner assignment of the others and
+/// keep the in-range solutions.
+///
+/// # Panics
+///
+/// Panics if `w` is empty or `n > 24` (the `2^{n-1}` corner enumeration
+/// is exponential by construction — the paper's similarity experiments
+/// stay at `n ≤ 8`).
+pub fn boundary_points_linear(w: &[f64], b: f64, bounds: (f64, f64)) -> Vec<Vec<f64>> {
+    let n = w.len();
+    assert!(n >= 1, "need at least one dimension");
+    assert!(n <= 24, "corner enumeration is 2^(n-1); {n} dims is too many");
+    let (alpha, beta) = bounds;
+    let mut points = Vec::new();
+    for free in 0..n {
+        if w[free] == 0.0 {
+            continue;
+        }
+        let others: Vec<usize> = (0..n).filter(|&i| i != free).collect();
+        for mask in 0u64..(1u64 << others.len()) {
+            let mut t = vec![0.0; n];
+            let mut rhs = -b;
+            for (bit, &i) in others.iter().enumerate() {
+                let v = if mask >> bit & 1 == 1 { beta } else { alpha };
+                t[i] = v;
+                rhs -= w[i] * v;
+            }
+            let u = rhs / w[free];
+            if u >= alpha && u <= beta {
+                t[free] = u;
+                points.push(t);
+            }
+        }
+    }
+    dedupe_points(points)
+}
+
+/// Boundary points form a set: a plane through a box corner is found once
+/// per incident edge, and keeping the duplicates would skew the centroid
+/// by floating-point luck.
+fn dedupe_points(points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(points.len());
+    for p in points {
+        let duplicate = out.iter().any(|q| {
+            p.iter()
+                .zip(q)
+                .all(|(a, b)| (a - b).abs() < 1e-7)
+        });
+        if !duplicate {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Boundary points of a general decision surface `d(t) = 0` inside the
+/// box, found by scanning each box edge for sign changes of `d` and
+/// bisecting (the nonlinear analog of Eq. 5).
+///
+/// # Panics
+///
+/// Same dimensional limits as [`boundary_points_linear`].
+pub fn boundary_points_decision(
+    decision: &dyn Fn(&[f64]) -> f64,
+    dim: usize,
+    bounds: (f64, f64),
+    grid: usize,
+) -> Vec<Vec<f64>> {
+    assert!(dim >= 1, "need at least one dimension");
+    assert!(dim <= 24, "corner enumeration is 2^(n-1); {dim} dims is too many");
+    let (alpha, beta) = bounds;
+    let grid = grid.max(2);
+    let mut points = Vec::new();
+    for free in 0..dim {
+        let others: Vec<usize> = (0..dim).filter(|&i| i != free).collect();
+        for mask in 0u64..(1u64 << others.len()) {
+            let mut t = vec![0.0; dim];
+            for (bit, &i) in others.iter().enumerate() {
+                t[i] = if mask >> bit & 1 == 1 { beta } else { alpha };
+            }
+            let eval_at = |u: f64, t: &mut Vec<f64>| {
+                t[free] = u;
+                decision(t)
+            };
+            let mut prev_u = alpha;
+            let mut prev_v = eval_at(prev_u, &mut t);
+            for g in 1..=grid {
+                let u = alpha + (beta - alpha) * g as f64 / grid as f64;
+                let v = eval_at(u, &mut t);
+                if prev_v == 0.0 {
+                    t[free] = prev_u;
+                    points.push(t.clone());
+                } else if prev_v * v < 0.0 {
+                    // Bisect the bracketing interval.
+                    let (mut lo, mut hi) = (prev_u, u);
+                    let (mut flo, _) = (prev_v, v);
+                    for _ in 0..60 {
+                        let mid = 0.5 * (lo + hi);
+                        let fmid = eval_at(mid, &mut t);
+                        if flo * fmid <= 0.0 {
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                            flo = fmid;
+                        }
+                    }
+                    t[free] = 0.5 * (lo + hi);
+                    points.push(t.clone());
+                }
+                prev_u = u;
+                prev_v = v;
+            }
+            // A zero sitting exactly on the far endpoint has no following
+            // node to report it; handle it here.
+            if prev_v == 0.0 {
+                t[free] = prev_u;
+                points.push(t.clone());
+            }
+        }
+    }
+    dedupe_points(points)
+}
+
+/// The centroid of a point set, or `None` if empty (plane misses the
+/// box).
+pub fn centroid(points: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let first = points.first()?;
+    let mut acc = vec![0.0; first.len()];
+    for p in points {
+        for (a, v) in acc.iter_mut().zip(p) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= points.len() as f64;
+    }
+    Some(acc)
+}
+
+/// `cos²θ` between two normal vectors.
+pub fn cos2_between(v: &[f64], w: &[f64]) -> f64 {
+    let num = ppcs_svm::dot(v, w).powi(2);
+    let den = ppcs_svm::dot(v, v) * ppcs_svm::dot(w, w);
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// The squared triangle-area metric of Eq. (4)/(6), computed in the
+/// clear.
+pub fn triangle_area_squared(l2: f64, cos2: f64, l0: f64, sin2_theta0: f64) -> f64 {
+    0.25 * (l2 * l2 + l0.powi(4)) * ((1.0 - cos2) + sin2_theta0)
+}
+
+/// The geometric summary of one model that similarity runs on: the
+/// bounded-plane centroid `m` and the direction vector `w`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelGeometry {
+    /// Centroid of the bounded decision surface.
+    pub centroid: Vec<f64>,
+    /// Direction: linear weights, or (nonlinear) the expanded coefficient
+    /// vector standing in for the feature-space normal.
+    pub direction: Vec<f64>,
+    /// `|m|²` in the appropriate space (`K(m, m)` for kernels).
+    pub m_norm2: f64,
+    /// `|w|²` (`K(w, w)` for kernels).
+    pub w_norm2: f64,
+    /// `true` if the geometry lives in the expanded monomial space.
+    expanded: Option<BasisKind>,
+}
+
+impl ModelGeometry {
+    /// Extracts the geometry from a trained model.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Expansion`] if the surface misses the bounded box
+    /// (no boundary points) or the kernel is unsupported for similarity
+    /// (only linear and homogeneous polynomial kernels are implemented,
+    /// matching §V-B/§V-C).
+    #[allow(clippy::redundant_guards)] // float literal patterns are a hard error
+    pub fn from_model(model: &SvmModel, cfg: &SimilarityConfig) -> Result<Self, PpcsError> {
+        match model.kernel() {
+            Kernel::Linear => {
+                let w = model
+                    .linear_weights()
+                    .expect("linear kernel always has weights");
+                let pts = boundary_points_linear(&w, model.bias(), cfg.bounds);
+                let m = centroid(&pts).ok_or_else(|| {
+                    PpcsError::Expansion(
+                        "decision hyperplane does not intersect the bounded box".into(),
+                    )
+                })?;
+                let m_norm2 = ppcs_svm::dot(&m, &m);
+                let w_norm2 = ppcs_svm::dot(&w, &w);
+                Ok(Self {
+                    centroid: m,
+                    direction: w,
+                    m_norm2,
+                    w_norm2,
+                    expanded: None,
+                })
+            }
+            Kernel::Polynomial { a0, b0, degree } if b0 == 0.0 => {
+                let dim = model.dim();
+                let decision = |t: &[f64]| model.decision(t);
+                let pts =
+                    boundary_points_decision(&decision, dim, cfg.bounds, cfg.boundary_grid);
+                let m = centroid(&pts).ok_or_else(|| {
+                    PpcsError::Expansion(
+                        "decision surface does not intersect the bounded box".into(),
+                    )
+                })?;
+                let basis = BasisKind::Homogeneous { degree };
+                // Feature-space image of the centroid and of the normal:
+                // φ(m) has coordinates √mult·τ(m); working with plain τ and
+                // multiplicity-weighted partner vectors keeps all inner
+                // products equal to the kernel values (see protocol notes).
+                let kernel = model.kernel();
+                let m_norm2 = kernel.eval(&m, &m);
+                // K(w, w) = Σ_su c_s c_u K(x_s, x_u).
+                let svs = model.support_vectors();
+                let cs = model.coefficients();
+                let mut w_norm2 = 0.0;
+                for (xs, &cs_i) in svs.iter().zip(cs) {
+                    for (xu, &cu) in svs.iter().zip(cs) {
+                        w_norm2 += cs_i * cu * kernel.eval(xs, xu);
+                    }
+                }
+                // Direction in expanded space: the homogeneous expansion
+                // coefficients of Σ_s c_s (a0 xᵀ·)^p, multiplicity-weighted
+                // so that direction · τ(y) = K(w, y).
+                let expansion = crate::expansion::expand_model(
+                    model,
+                    &ProtocolConfig {
+                        max_expanded_terms: cfg.protocol.max_expanded_terms,
+                        ..cfg.protocol
+                    },
+                )?;
+                let _ = a0;
+                Ok(Self {
+                    centroid: m,
+                    direction: expansion.coeffs,
+                    m_norm2,
+                    w_norm2,
+                    expanded: Some(basis),
+                })
+            }
+            other => Err(PpcsError::Expansion(format!(
+                "similarity evaluation supports linear and homogeneous polynomial \
+                 kernels, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The cross inner product `m_A · m_B` (or `K(m_A, m_B)`), given the
+    /// peer's centroid.
+    fn cross_m(&self, other_centroid: &[f64], kernel: Kernel) -> f64 {
+        match self.expanded {
+            None => ppcs_svm::dot(&self.centroid, other_centroid),
+            Some(_) => kernel.eval(&self.centroid, other_centroid),
+        }
+    }
+}
+
+/// Plain (non-private) similarity: both models in one place — the
+/// baseline of Table II and Fig. 10.
+///
+/// # Errors
+///
+/// Propagates geometry extraction failures; also fails if the models
+/// disagree in kernel or dimensionality.
+pub fn similarity_plain(
+    model_a: &SvmModel,
+    model_b: &SvmModel,
+    cfg: &SimilarityConfig,
+) -> Result<f64, PpcsError> {
+    if model_a.kernel() != model_b.kernel() || model_a.dim() != model_b.dim() {
+        return Err(PpcsError::Config(
+            "similarity requires models with matching kernel and dimensionality".into(),
+        ));
+    }
+    let ga = ModelGeometry::from_model(model_a, cfg)?;
+    let gb = ModelGeometry::from_model(model_b, cfg)?;
+    Ok(similarity_plain_geometry(
+        &ga,
+        &gb,
+        model_a.kernel(),
+        &direction_input(&gb, model_b),
+        cfg,
+    ))
+}
+
+/// The plain metric given precomputed geometries — the quantity whose
+/// per-evaluation cost Fig. 10's "ordinary" curve measures.
+pub fn similarity_plain_geometry(
+    ga: &ModelGeometry,
+    gb: &ModelGeometry,
+    kernel: Kernel,
+    gb_direction_input: &[f64],
+    cfg: &SimilarityConfig,
+) -> f64 {
+    let cross_m = ga.cross_m(&gb.centroid, kernel);
+    let cross_w = ppcs_svm::dot(&ga.direction, gb_direction_input);
+    let l2 = ga.m_norm2 + gb.m_norm2 - 2.0 * cross_m;
+    let cos2 = cross_w * cross_w / (ga.w_norm2 * gb.w_norm2);
+    let t2 = triangle_area_squared(l2, cos2, cfg.l0, cfg.sin2_theta0());
+    t2.max(0.0).sqrt()
+}
+
+/// Bob's OMPE-2 input vector: his raw direction for linear models, or
+/// the aggregated support-vector monomials `Z = Σ_u c_u τ(x_u)` for
+/// kernels (so that Alice's expansion coefficients dot with it to give
+/// `K(w_A, w_B)`).
+pub fn direction_input(g: &ModelGeometry, model: &SvmModel) -> Vec<f64> {
+    match g.expanded {
+        None => g.direction.clone(),
+        Some(basis) => {
+            let mut z = vec![0.0; basis.len(model.dim()).expect("validated") as usize];
+            for (sv, &c) in model.support_vectors().iter().zip(model.coefficients()) {
+                for (zi, f) in z.iter_mut().zip(basis.features(sv)) {
+                    *zi += c * f;
+                }
+            }
+            z
+        }
+    }
+}
+
+/// Bob's OMPE-1 input: his centroid (linear) or its monomial features.
+fn centroid_input(g: &ModelGeometry, dim: usize) -> Vec<f64> {
+    match g.expanded {
+        None => g.centroid.clone(),
+        Some(basis) => basis.features(&g.centroid[..dim]),
+    }
+}
+
+/// Alice's OMPE-1 coefficient vector: her centroid (linear), or the
+/// multiplicity- and `a₀^p`-weighted monomials of her centroid so that
+/// `coeffs · τ(m_B) = K(m_A, m_B)` for the homogeneous kernel.
+fn centroid_coefficients(g: &ModelGeometry, kernel: Kernel) -> Vec<f64> {
+    match g.expanded {
+        None => g.centroid.clone(),
+        Some(BasisKind::Homogeneous { degree }) => {
+            let Kernel::Polynomial { a0, .. } = kernel else {
+                unreachable!("expanded geometry implies a polynomial kernel")
+            };
+            let scale = a0.powi(degree as i32);
+            let mut out = Vec::new();
+            crate::expansion::for_each_multiset(g.centroid.len(), degree, &mut |tuple| {
+                let mult =
+                    ppcs_math::multinomial_coeff(degree, &crate::expansion::multiplicities(tuple));
+                let prod: f64 = tuple.iter().map(|&i| g.centroid[i as usize]).product();
+                out.push(scale * mult * prod);
+            });
+            out
+        }
+        Some(BasisKind::UpTo { .. }) => {
+            unreachable!("similarity only constructs homogeneous expansions")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The private protocol.
+// ---------------------------------------------------------------------
+
+/// Alice's (responder) side of a private similarity evaluation.
+///
+/// # Errors
+///
+/// Geometry extraction, transport, and OMPE failures.
+pub fn similarity_respond<A>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    model: &SvmModel,
+    cfg: &SimilarityConfig,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    let geom = ModelGeometry::from_model(model, cfg)?;
+    similarity_respond_geometry(alg, ep, ot, rng, &geom, model.kernel(), model.dim(), cfg)
+}
+
+/// [`similarity_respond`] with a precomputed [`ModelGeometry`] — lets a
+/// trainer reuse its boundary/centroid computation across sessions.
+///
+/// # Errors
+///
+/// Same as [`similarity_respond`].
+#[allow(clippy::too_many_arguments)]
+pub fn similarity_respond_geometry<A>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    geom: &ModelGeometry,
+    kernel: Kernel,
+    model_dim: usize,
+    cfg: &SimilarityConfig,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    cfg.protocol.validate()?;
+
+    // Round 0: Bob's inseparable aggregates arrive in the clear.
+    let hello: Vec<u8> = ep.recv_msg(KIND_SIM_HELLO)?;
+    let (dim, mb_norm2, wb_norm2) = decode_hello(&hello)?;
+    if dim != model_dim {
+        return Err(PpcsError::Protocol(format!(
+            "peer evaluates {dim}-dimensional models, ours is {model_dim}-dimensional"
+        )));
+    }
+
+    // Round 1: x₁ = r_am · (m_A · m_B).
+    let ram = cfg.protocol.draw_amplifier(rng);
+    let ma_inputs = centroid_coefficients(geom, kernel);
+    let secret1 = DenseAffine::new(
+        ma_inputs
+            .iter()
+            .map(|v| alg.mul(&alg.encode(*v, 1), &alg.encode_int(ram)))
+            .collect(),
+        alg.zero(),
+    );
+    ompe_send(alg, ep, ot, rng, &secret1, &cfg.ompe_linear()?)?;
+
+    // Round 2: x₂ = r_aw · (w_A · w_B) + r_b.
+    let raw = cfg.protocol.draw_amplifier(rng);
+    let rb = cfg.protocol.draw_amplifier(rng);
+    let rb_enc = alg.encode(rb as f64, CROSS_SCALE);
+    let secret2 = DenseAffine::new(
+        geom.direction
+            .iter()
+            .map(|v| alg.mul(&alg.encode(*v, 1), &alg.encode_int(raw)))
+            .collect(),
+        rb_enc.clone(),
+    );
+    ompe_send(alg, ep, ot, rng, &secret2, &cfg.ompe_linear()?)?;
+
+    // Round 3: the two-variate degree-4 area polynomial.
+    let area_poly = build_area_polynomial(
+        alg,
+        geom.m_norm2 + mb_norm2,
+        cfg.l0,
+        1.0 / (geom.w_norm2 * wb_norm2),
+        1.0 + cfg.sin2_theta0(),
+        ram,
+        raw,
+        &rb_enc,
+    );
+    ompe_send(alg, ep, ot, rng, &area_poly, &cfg.ompe_area()?)?;
+    Ok(())
+}
+
+/// Bob's (requester) side; returns the similarity value `T`.
+///
+/// # Errors
+///
+/// Geometry extraction, transport, and OMPE failures.
+pub fn similarity_request<A>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    model: &SvmModel,
+    cfg: &SimilarityConfig,
+) -> Result<f64, PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    let geom = ModelGeometry::from_model(model, cfg)?;
+    let direction_input = direction_input(&geom, model);
+    similarity_request_geometry(alg, ep, ot, rng, &geom, &direction_input, model.dim(), cfg)
+}
+
+/// [`similarity_request`] with a precomputed [`ModelGeometry`] and
+/// direction input (`w_B` for linear models, `Z = Σ c_u τ(x_u)` for
+/// kernels).
+///
+/// # Errors
+///
+/// Same as [`similarity_request`].
+#[allow(clippy::too_many_arguments)]
+pub fn similarity_request_geometry<A>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    geom: &ModelGeometry,
+    direction_input: &[f64],
+    model_dim: usize,
+    cfg: &SimilarityConfig,
+) -> Result<f64, PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    cfg.protocol.validate()?;
+    let dim = model_dim;
+
+    ep.send_msg(
+        KIND_SIM_HELLO,
+        &encode_hello(dim, geom.m_norm2, geom.w_norm2),
+    )?;
+
+    // Round 1.
+    let mb_inputs: Vec<A::Elem> = centroid_input(geom, dim)
+        .iter()
+        .map(|v| alg.encode(*v, 1))
+        .collect();
+    let x1 = ompe_receive(alg, ep, ot, rng, &mb_inputs, &cfg.ompe_linear()?)?;
+
+    // Round 2.
+    let wb_inputs: Vec<A::Elem> = direction_input
+        .iter()
+        .map(|v| alg.encode(*v, 1))
+        .collect();
+    let x2 = ompe_receive(alg, ep, ot, rng, &wb_inputs, &cfg.ompe_linear()?)?;
+
+    // Round 3: feed the raw (still-encoded) cross terms back in.
+    let t2_elem = ompe_receive(alg, ep, ot, rng, &[x1, x2], &cfg.ompe_area()?)?;
+    let t2 = alg.decode(&t2_elem, OUTPUT_SCALE);
+    Ok(t2.max(0.0).sqrt())
+}
+
+/// Builds Alice's round-3 secret
+/// `T²(x₁,x₂) = ¼[(c₁−2d₁x₁)² + c₂][c₄ − c₃d₂(d₃+x₂)²]`
+/// with the fixed-point scale layout documented at the top of this file.
+#[allow(clippy::too_many_arguments)]
+fn build_area_polynomial<A: Algebra>(
+    alg: &A,
+    c1_real: f64,
+    l0: f64,
+    c3_real: f64,
+    c4_real: f64,
+    ram: i64,
+    raw: i64,
+    rb_enc: &A::Elem,
+) -> MvPolynomial<A> {
+    let d1 = alg
+        .inv(&alg.encode_int(ram))
+        .expect("amplifiers are nonzero");
+    let raw_inv = alg
+        .inv(&alg.encode_int(raw))
+        .expect("amplifiers are nonzero");
+    let d2 = alg.mul(&raw_inv, &raw_inv);
+    let d3 = alg.neg(rb_enc); // scale 2
+
+    let c1 = alg.encode(c1_real, 2);
+    let c2 = alg.encode(l0.powi(4), 4);
+    let c3 = alg.encode(c3_real, 4);
+    let c4 = alg.encode(c4_real, 8);
+
+    let two = alg.encode_int(2);
+    let four = alg.encode_int(4);
+
+    // A-part: a₀ + a₁x₁ + a₂x₁², uniform scale 4.
+    let a0 = alg.add(&alg.mul(&c1, &c1), &c2);
+    let a1 = alg.neg(&alg.mul(&four, &alg.mul(&c1, &d1)));
+    let a2 = alg.mul(&four, &alg.mul(&d1, &d1));
+
+    // B-part: b₀ + b₁x₂ + b₂x₂², uniform scale 8.
+    let c3d2 = alg.mul(&c3, &d2);
+    let b0 = alg.sub(&c4, &alg.mul(&c3d2, &alg.mul(&d3, &d3)));
+    let b1 = alg.neg(&alg.mul(&two, &alg.mul(&c3d2, &d3)));
+    let b2 = alg.neg(&c3d2);
+
+    let quarter = alg
+        .inv(&alg.encode_int(4))
+        .expect("4 is invertible");
+
+    let a_coeffs = [a0, a1, a2];
+    let b_coeffs = [b0, b1, b2];
+    let mut terms = Vec::with_capacity(9);
+    for (i, ai) in a_coeffs.iter().enumerate() {
+        for (j, bj) in b_coeffs.iter().enumerate() {
+            let coeff = alg.mul(&quarter, &alg.mul(ai, bj));
+            terms.push((coeff, vec![i as u32, j as u32]));
+        }
+    }
+    MvPolynomial::from_terms(2, terms)
+}
+
+fn encode_hello(dim: usize, m_norm2: f64, w_norm2: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    out.extend_from_slice(&(dim as u64).to_le_bytes());
+    out.extend_from_slice(&m_norm2.to_le_bytes());
+    out.extend_from_slice(&w_norm2.to_le_bytes());
+    out
+}
+
+fn decode_hello(bytes: &[u8]) -> Result<(usize, f64, f64), PpcsError> {
+    if bytes.len() != 24 {
+        return Err(PpcsError::Protocol("malformed similarity hello".into()));
+    }
+    let dim = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) as usize;
+    let m = f64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let w = f64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    Ok((dim, m, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_math::{F64Algebra, FixedFpAlgebra};
+    use ppcs_ot::TrustedSimOt;
+    use ppcs_svm::{Dataset, Label, SmoParams};
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    static SIM_OT: TrustedSimOt = TrustedSimOt;
+
+    fn train_rotated(dim: usize, angle_deg: f64, seed: u64, kernel: Kernel) -> SvmModel {
+        // Boundary through the origin rotated by `angle_deg` in the
+        // (0,1)-plane.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        let theta = angle_deg.to_radians();
+        let (c, s) = (theta.cos(), theta.sin());
+        while ds.len() < 160 {
+            let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let score = c * x[0] + s * x[1];
+            if score.abs() < 0.1 {
+                continue;
+            }
+            ds.push(x, Label::from_sign(score));
+        }
+        SvmModel::train(&ds, kernel, &SmoParams { c: 10.0, ..SmoParams::default() })
+    }
+
+    #[test]
+    fn boundary_points_of_axis_plane() {
+        // Plane t₁ = 0 in 2-D, box [-1,1]²: boundary points are
+        // (0, ±1) plus, sweeping t₂ free, none from w₂ = 0.
+        let pts = boundary_points_linear(&[1.0, 0.0], 0.0, (-1.0, 1.0));
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p[0], 0.0);
+            assert_eq!(p[1].abs(), 1.0);
+        }
+        let m = centroid(&pts).unwrap();
+        assert_eq!(m, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn boundary_points_match_decision_scan_for_linear() {
+        let w = [0.7, -0.4, 0.2];
+        let b = 0.1;
+        let exact = boundary_points_linear(&w, b, (-1.0, 1.0));
+        let decision = |t: &[f64]| ppcs_svm::dot(&w, t) + b;
+        let scanned = boundary_points_decision(&decision, 3, (-1.0, 1.0), 64);
+        // Same centroid from both constructions.
+        let me = centroid(&exact).unwrap();
+        let ms = centroid(&scanned).unwrap();
+        for (a, b) in me.iter().zip(&ms) {
+            assert!((a - b).abs() < 1e-6, "{me:?} vs {ms:?}");
+        }
+    }
+
+    #[test]
+    fn plane_outside_box_has_no_boundary() {
+        let pts = boundary_points_linear(&[1.0, 1.0], 10.0, (-1.0, 1.0));
+        assert!(pts.is_empty());
+        assert!(centroid(&pts).is_none());
+    }
+
+    #[test]
+    fn identical_models_have_floor_similarity() {
+        let cfg = SimilarityConfig::default();
+        let m = train_rotated(2, 30.0, 1, Kernel::Linear);
+        let t = similarity_plain(&m, &m, &cfg).unwrap();
+        // T_min = ½·L₀²·sinθ₀ at coincident planes... as T² form:
+        let t_min = triangle_area_squared(0.0, 1.0, cfg.l0, cfg.sin2_theta0()).sqrt();
+        assert!((t - t_min).abs() < 1e-9, "{t} vs floor {t_min}");
+    }
+
+    #[test]
+    fn similarity_grows_with_angle() {
+        let cfg = SimilarityConfig::default();
+        let base = train_rotated(2, 0.0, 2, Kernel::Linear);
+        let mut prev = similarity_plain(&base, &base, &cfg).unwrap();
+        for angle in [10.0, 25.0, 45.0, 80.0] {
+            let other = train_rotated(2, angle, 3, Kernel::Linear);
+            let t = similarity_plain(&base, &other, &cfg).unwrap();
+            assert!(
+                t > prev - 1e-6,
+                "T should grow with angle: {t} after {prev} at {angle}°"
+            );
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn private_similarity_matches_plain_f64() {
+        let cfg = SimilarityConfig::default();
+        let ma = train_rotated(2, 15.0, 4, Kernel::Linear);
+        let mb = train_rotated(2, 60.0, 5, Kernel::Linear);
+        let want = similarity_plain(&ma, &mb, &cfg).unwrap();
+
+        let ma2 = ma.clone();
+        let mb2 = mb.clone();
+        let (res_a, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(10);
+                similarity_respond(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &ma2, &cfg)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(11);
+                similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb2, &cfg)
+                    .unwrap()
+            },
+        );
+        res_a.unwrap();
+        assert!(
+            (got - want).abs() < 1e-6 * want.max(1.0),
+            "private {got} vs plain {want}"
+        );
+    }
+
+    #[test]
+    fn private_similarity_matches_plain_fixed_point() {
+        let cfg = SimilarityConfig {
+            protocol: ProtocolConfig {
+                amplifier_bits: 12,
+                ..ProtocolConfig::default()
+            },
+            ..SimilarityConfig::default()
+        };
+        let ma = train_rotated(3, 20.0, 6, Kernel::Linear);
+        let mb = train_rotated(3, 70.0, 7, Kernel::Linear);
+        let want = similarity_plain(&ma, &mb, &cfg).unwrap();
+
+        let alg = FixedFpAlgebra::new(16);
+        let ma2 = ma.clone();
+        let mb2 = mb.clone();
+        let alg2 = alg;
+        let (res_a, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(20);
+                similarity_respond(&alg, &ep, &SIM_OT, &mut rng, &ma2, &cfg)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(21);
+                similarity_request(&alg2, &ep, &SIM_OT, &mut rng, &mb2, &cfg).unwrap()
+            },
+        );
+        res_a.unwrap();
+        assert!(
+            (got - want).abs() < 0.02 * want.max(0.1),
+            "private {got} vs plain {want}"
+        );
+    }
+
+    #[test]
+    fn nonlinear_similarity_plain_and_private_agree() {
+        let cfg = SimilarityConfig::default();
+        let kernel = Kernel::Polynomial {
+            a0: 0.5,
+            b0: 0.0,
+            degree: 3,
+        };
+        let ma = train_rotated(2, 10.0, 8, kernel);
+        let mb = train_rotated(2, 55.0, 9, kernel);
+        let want = similarity_plain(&ma, &mb, &cfg).unwrap();
+        let (res_a, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(30);
+                similarity_respond(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &ma, &cfg)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(31);
+                similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb, &cfg)
+                    .unwrap()
+            },
+        );
+        res_a.unwrap();
+        assert!(
+            (got - want).abs() < 1e-6 * want.max(1.0),
+            "private {got} vs plain {want}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let cfg = SimilarityConfig::default();
+        let ma = train_rotated(2, 10.0, 12, Kernel::Linear);
+        let mb = train_rotated(3, 10.0, 13, Kernel::Linear);
+        let (res_a, _) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(40);
+                similarity_respond(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &ma, &cfg)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(41);
+                let _ = similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb, &cfg);
+            },
+        );
+        assert!(matches!(res_a.unwrap_err(), PpcsError::Protocol(_)));
+    }
+
+    #[test]
+    fn rbf_kernel_is_rejected_for_similarity() {
+        let cfg = SimilarityConfig::default();
+        let m = train_rotated(2, 10.0, 14, Kernel::Rbf { gamma: 0.5 });
+        assert!(matches!(
+            ModelGeometry::from_model(&m, &cfg),
+            Err(PpcsError::Expansion(_))
+        ));
+    }
+
+    #[test]
+    fn area_metric_distinguishes_degenerate_cases() {
+        let cfg = SimilarityConfig::default();
+        let s20 = cfg.sin2_theta0();
+        // Parallel planes at distance L: T² = ¼(L⁴+L₀⁴)·sin²θ₀ > floor.
+        let parallel = triangle_area_squared(0.5, 1.0, cfg.l0, s20);
+        // Coincident centroids, crossed at θ: floor on the L part only.
+        let crossed = triangle_area_squared(0.0, 0.5, cfg.l0, s20);
+        let floor = triangle_area_squared(0.0, 1.0, cfg.l0, s20);
+        assert!(parallel > floor);
+        assert!(crossed > floor);
+        assert_ne!(parallel, crossed);
+    }
+}

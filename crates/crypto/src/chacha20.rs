@@ -1,0 +1,154 @@
+//! ChaCha20 stream cipher (RFC 8439) — the symmetric layer that encrypts
+//! OT payloads under HKDF-derived keys.
+
+/// ChaCha20 keystream generator / XOR cipher.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_crypto::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut ct = b"attack at dawn".to_vec();
+/// ChaCha20::new(&key, &nonce, 0).apply(&mut ct);
+/// assert_ne!(&ct, b"attack at dawn");
+/// ChaCha20::new(&key, &nonce, 0).apply(&mut ct);
+/// assert_eq!(&ct, b"attack at dawn");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance from a 256-bit key, 96-bit nonce, and
+    /// initial block counter.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..(i + 1) * 4].try_into().expect("4 bytes"));
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] =
+                u32::from_le_bytes(nonce[i * 4..(i + 1) * 4].try_into().expect("4 bytes"));
+        }
+        Self { state }
+    }
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        let mut working = self.state;
+        working[12] = counter;
+        let initial = working;
+        for _ in 0..10 {
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(initial[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply(&self, data: &mut [u8]) {
+        let start = self.state[12];
+        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(start.wrapping_add(block_idx as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Produces `len` raw keystream bytes.
+    pub fn keystream(&self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 §2.3.2
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.block(1);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // RFC 8439 §2.4.2
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn apply_twice_is_identity() {
+        let key = [0xab; 32];
+        let nonce = [0xcd; 12];
+        let original: Vec<u8> = (0..200).map(|i| (i * 7) as u8).collect();
+        let mut data = original.clone();
+        ChaCha20::new(&key, &nonce, 5).apply(&mut data);
+        assert_ne!(data, original);
+        ChaCha20::new(&key, &nonce, 5).apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn keystream_spans_block_boundary_consistently() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let long = ChaCha20::new(&key, &nonce, 0).keystream(130);
+        let short = ChaCha20::new(&key, &nonce, 0).keystream(64);
+        assert_eq!(&long[..64], &short[..]);
+        // Second block must differ from the first.
+        assert_ne!(&long[..64], &long[64..128]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Diffie–Hellman groups over safe primes — the algebraic setting of the
+//! Naor–Pinkas oblivious transfer.
+//!
+//! Two fixed groups are provided: the RFC 3526 2048-bit MODP group
+//! (security-grade) and the RFC 2409 768-bit Oakley group 1 (fast, for
+//! tests and micro-benchmarks — *not* for production security).
+
+use num_bigint::{BigUint, RandBigInt};
+use num_traits::One;
+use rand::Rng;
+use std::sync::OnceLock;
+
+use crate::hmac::hkdf;
+
+/// RFC 3526 group 14 (2048-bit MODP), generator 2.
+const MODP_2048_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED",
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D",
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F",
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B",
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9",
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510",
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+);
+
+/// RFC 2409 Oakley group 1 (768-bit), generator 2. Test/bench use only.
+const MODP_768_HEX: &str = concat!(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1",
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD",
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245",
+    "E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF"
+);
+
+/// A multiplicative group modulo a safe prime `p = 2q + 1` with a fixed
+/// generator, plus key-derivation from group elements.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_crypto::DhGroup;
+/// use rand::SeedableRng;
+///
+/// let group = DhGroup::modp_768();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = group.random_exponent(&mut rng);
+/// let b = group.random_exponent(&mut rng);
+/// // DH correctness: (g^a)^b == (g^b)^a
+/// let left = group.exp(&group.power_g(&a), &b);
+/// let right = group.exp(&group.power_g(&b), &a);
+/// assert_eq!(left, right);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DhGroup {
+    p: BigUint,
+    q: BigUint,
+    g: BigUint,
+    element_len: usize,
+}
+
+impl DhGroup {
+    fn from_hex(hex: &str) -> Self {
+        let p = BigUint::parse_bytes(hex.as_bytes(), 16).expect("valid hex constant");
+        let q = (&p - BigUint::one()) >> 1;
+        let element_len = (p.bits() as usize).div_ceil(8);
+        Self {
+            p,
+            q,
+            g: BigUint::from(2u32),
+            element_len,
+        }
+    }
+
+    /// The RFC 3526 2048-bit MODP group (security parameter ~112 bits).
+    pub fn modp_2048() -> &'static DhGroup {
+        static G: OnceLock<DhGroup> = OnceLock::new();
+        G.get_or_init(|| DhGroup::from_hex(MODP_2048_HEX))
+    }
+
+    /// The RFC 2409 768-bit Oakley group — fast, for tests and
+    /// micro-benchmarks only; do not rely on it for real security.
+    pub fn modp_768() -> &'static DhGroup {
+        static G: OnceLock<DhGroup> = OnceLock::new();
+        G.get_or_init(|| DhGroup::from_hex(MODP_768_HEX))
+    }
+
+    /// The modulus `p`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// The subgroup order `q = (p-1)/2`.
+    pub fn order(&self) -> &BigUint {
+        &self.q
+    }
+
+    /// The generator.
+    pub fn generator(&self) -> &BigUint {
+        &self.g
+    }
+
+    /// Fixed serialized length of a group element, in bytes.
+    pub fn element_len(&self) -> usize {
+        self.element_len
+    }
+
+    /// Draws a uniform exponent in `[1, q)`.
+    pub fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let e = rng.gen_biguint_below(&self.q);
+            if !e.bits() == 0 || e > BigUint::one() {
+                return e.max(BigUint::one());
+            }
+        }
+    }
+
+    /// `base^e mod p`.
+    pub fn exp(&self, base: &BigUint, e: &BigUint) -> BigUint {
+        base.modpow(e, &self.p)
+    }
+
+    /// `g^e mod p`.
+    pub fn power_g(&self, e: &BigUint) -> BigUint {
+        self.g.modpow(e, &self.p)
+    }
+
+    /// Group multiplication `a · b mod p`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        (a * b) % &self.p
+    }
+
+    /// Multiplicative inverse mod `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero (not a group element).
+    pub fn inv(&self, a: &BigUint) -> BigUint {
+        // p is prime, so a^{p-2} is the inverse.
+        let exp = &self.p - BigUint::from(2u32);
+        assert!(!a.is_zero_ext(), "zero has no inverse in the group");
+        a.modpow(&exp, &self.p)
+    }
+
+    /// Serializes a group element to fixed-length big-endian bytes.
+    pub fn element_bytes(&self, e: &BigUint) -> Vec<u8> {
+        let mut bytes = e.to_bytes_be();
+        assert!(
+            bytes.len() <= self.element_len,
+            "element exceeds group modulus size"
+        );
+        let mut out = vec![0u8; self.element_len - bytes.len()];
+        out.append(&mut bytes);
+        out
+    }
+
+    /// Parses a fixed-length big-endian group element, validating range.
+    pub fn element_from_bytes(&self, bytes: &[u8]) -> Option<BigUint> {
+        if bytes.len() != self.element_len {
+            return None;
+        }
+        let e = BigUint::from_bytes_be(bytes);
+        if e >= self.p || e.is_zero_ext() {
+            None
+        } else {
+            Some(e)
+        }
+    }
+
+    /// Derives a 256-bit symmetric key from a group element and a context
+    /// label via HKDF-SHA256.
+    pub fn derive_key(&self, e: &BigUint, context: &[u8]) -> [u8; 32] {
+        let okm = hkdf(b"ppcs-ot-v1", &self.element_bytes(e), context, 32);
+        okm.try_into().expect("hkdf returned requested length")
+    }
+}
+
+/// Tiny extension so `is_zero` does not collide with num-traits import
+/// ambiguity at call sites.
+trait IsZeroExt {
+    fn is_zero_ext(&self) -> bool;
+}
+
+impl IsZeroExt for BigUint {
+    fn is_zero_ext(&self) -> bool {
+        use num_traits::Zero;
+        self.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_parameters_are_sane() {
+        for group in [DhGroup::modp_768(), DhGroup::modp_2048()] {
+            // p = 2q + 1
+            assert_eq!(
+                group.modulus(),
+                &((group.order() << 1) + BigUint::one())
+            );
+            // g^q == 1 (generator of the order-q subgroup... g=2 generates
+            // a subgroup whose order divides 2q; for these safe primes
+            // 2^q = ±1).
+            let gq = group.exp(group.generator(), group.order());
+            assert!(gq == BigUint::one() || gq == group.modulus() - BigUint::one());
+        }
+    }
+
+    #[test]
+    fn element_bytes_roundtrip() {
+        let group = DhGroup::modp_768();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let e = group.power_g(&group.random_exponent(&mut rng));
+            let bytes = group.element_bytes(&e);
+            assert_eq!(bytes.len(), group.element_len());
+            assert_eq!(group.element_from_bytes(&bytes), Some(e));
+        }
+    }
+
+    #[test]
+    fn element_from_bytes_rejects_bad_input() {
+        let group = DhGroup::modp_768();
+        assert_eq!(group.element_from_bytes(&[1, 2, 3]), None);
+        let too_big = group.element_bytes(&(group.modulus() - BigUint::one())); // p-1 ok
+        assert!(group.element_from_bytes(&too_big).is_some());
+        let zero = vec![0u8; group.element_len()];
+        assert_eq!(group.element_from_bytes(&zero), None);
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let group = DhGroup::modp_768();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = group.power_g(&group.random_exponent(&mut rng));
+        let inv = group.inv(&e);
+        assert_eq!(group.mul(&e, &inv), BigUint::one());
+    }
+
+    #[test]
+    fn derived_keys_differ_by_context() {
+        let group = DhGroup::modp_768();
+        let e = group.power_g(&BigUint::from(12345u32));
+        assert_ne!(group.derive_key(&e, b"a"), group.derive_key(&e, b"b"));
+    }
+}

@@ -1,0 +1,145 @@
+//! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//!
+//! The OT protocols derive one-time pads from Diffie–Hellman shared
+//! elements with HKDF; HMAC also authenticates framed transcripts in the
+//! transport tests.
+
+use crate::sha256::Sha256;
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_crypto::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// HKDF-Extract: condenses input keying material into a pseudorandom key.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: stretches a pseudorandom key to `len` output bytes bound
+/// to `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output limited to 8160 bytes");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        t = block.to_vec();
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+/// One-call HKDF (extract + expand).
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Case 6: key longer than the block size.
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0u8..=0x0c).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_lengths() {
+        let out = hkdf(b"salt", b"ikm", b"info", 100);
+        assert_eq!(out.len(), 100);
+        // Different info must give unrelated output.
+        let out2 = hkdf(b"salt", b"ikm", b"info2", 100);
+        assert_ne!(out, out2);
+    }
+}

@@ -1,0 +1,396 @@
+//! Deterministic generators realizing the [`DatasetSpec`] catalog.
+
+use ppcs_svm::{Dataset, Label};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{DatasetSpec, Structure};
+
+/// A generated train/test pair, already in `[-1, 1]` per feature (the
+/// generators emit bounded features directly, making the paper's scaling
+/// step a no-op).
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// The training split.
+    pub train: Dataset,
+    /// The testing split.
+    pub test: Dataset,
+}
+
+/// Generates the train/test pair for a catalog entry. Deterministic in
+/// `spec.seed`.
+pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let latent = Latent::draw(spec, &mut rng);
+    let train = sample_split(spec, &latent, spec.train_size, &mut rng);
+    let test = sample_split(spec, &latent, spec.test_size, &mut rng);
+    GeneratedDataset { train, test }
+}
+
+/// The hidden ground-truth model shared by a spec's train and test split.
+struct Latent {
+    /// Unit-normalized linear weights.
+    weights: Vec<f64>,
+    /// Linear offset.
+    offset: f64,
+    /// Low-rank factor loadings (dim × k): real tabular data has
+    /// correlated features, and without them the paper's `a₀ = 1/n`
+    /// homogeneous cubic kernel degenerates to a near-diagonal Gram
+    /// matrix (cross-sample dot products vanish relative to norms) and
+    /// memorizes instead of generalizing.
+    factors: Vec<Vec<f64>>,
+}
+
+impl Latent {
+    fn draw(spec: &DatasetSpec, rng: &mut StdRng) -> Self {
+        let mut weights: Vec<f64> = (0..spec.dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm: f64 = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
+        for w in &mut weights {
+            *w /= norm.max(1e-12);
+        }
+        let offset = rng.gen_range(-0.2..0.2);
+        let k = (spec.dim / 8).clamp(4, 16).min(spec.dim);
+        let factors = (0..spec.dim)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let n: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+                for v in &mut row {
+                    *v /= n;
+                }
+                row
+            })
+            .collect();
+        Self {
+            weights,
+            offset,
+            factors,
+        }
+    }
+
+    fn linear_score(&self, x: &[f64]) -> f64 {
+        ppcs_svm::dot(&self.weights, x) + self.offset
+    }
+
+    /// Draws a feature vector with low-rank correlation structure,
+    /// bounded in `[-1, 1]`.
+    fn correlated_point(&self, rng: &mut StdRng) -> Vec<f64> {
+        let k = self.factors[0].len();
+        let z: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        self.factors
+            .iter()
+            .map(|row| {
+                let common: f64 = ppcs_svm::dot(row, &z);
+                (1.4 * common + 0.35 * rng.gen_range(-1.0..1.0)).clamp(-1.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+fn sample_split(
+    spec: &DatasetSpec,
+    latent: &Latent,
+    size: usize,
+    rng: &mut StdRng,
+) -> Dataset {
+    let mut out = Dataset::new(spec.dim);
+    // Guarantee both classes are present (SMO requires it): force the
+    // first two samples to opposite classes by resampling.
+    while out.len() < size {
+        let force = if out.is_empty() {
+            Some(Label::Positive)
+        } else if out.len() == 1 {
+            Some(Label::Negative)
+        } else {
+            None
+        };
+        let (x, label) = sample_one(spec, latent, rng, force);
+        out.push(x, label);
+    }
+    out
+}
+
+fn sample_one(
+    spec: &DatasetSpec,
+    latent: &Latent,
+    rng: &mut StdRng,
+    force: Option<Label>,
+) -> (Vec<f64>, Label) {
+    // Rejection-sample until the clean label matches `force` (if any).
+    loop {
+        let (x, clean) = match spec.structure {
+            Structure::Linear { margin } => sample_linear(spec, latent, margin, rng),
+            Structure::MixedCubic {
+                linear_share,
+                margin,
+            } => sample_mixed_cubic(spec, latent, linear_share, margin, rng),
+            Structure::TripleProduct {
+                decoy_amplitude,
+                linear_leak,
+            } => sample_triple_product(spec, decoy_amplitude, linear_leak, rng),
+            Structure::CubicHostile {
+                positive_share,
+                margin,
+            } => sample_cubic_hostile(spec, latent, positive_share, margin, rng),
+        };
+        if let Some(f) = force {
+            if clean != f {
+                continue;
+            }
+        }
+        let label = if rng.gen::<f64>() < spec.label_noise {
+            flip(clean)
+        } else {
+            clean
+        };
+        return (x, label);
+    }
+}
+
+fn flip(l: Label) -> Label {
+    match l {
+        Label::Positive => Label::Negative,
+        Label::Negative => Label::Positive,
+    }
+}
+
+fn uniform_point(dim: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn sample_linear(
+    spec: &DatasetSpec,
+    latent: &Latent,
+    margin: f64,
+    rng: &mut StdRng,
+) -> (Vec<f64>, Label) {
+    let _ = spec;
+    loop {
+        let x = latent.correlated_point(rng);
+        let score = latent.linear_score(&x);
+        if score.abs() < margin {
+            continue;
+        }
+        return (x, Label::from_sign(score));
+    }
+}
+
+fn sample_mixed_cubic(
+    spec: &DatasetSpec,
+    latent: &Latent,
+    linear_share: f64,
+    margin: f64,
+    rng: &mut StdRng,
+) -> (Vec<f64>, Label) {
+    let _ = spec;
+    loop {
+        let mut x = latent.correlated_point(rng);
+        // Make the first three dimensions bimodal so the cubic component
+        // x₀x₁x₂ has a magnitude floor — a learnable margin for the
+        // degree-3 kernel rather than a signal that vanishes near zero.
+        for xi in x.iter_mut().take(3) {
+            let mag = rng.gen_range(0.4..1.0);
+            *xi = if *xi >= 0.0 { mag } else { -mag };
+        }
+        // Normalize the two components to comparable dynamic ranges:
+        // wᵀx ∈ roughly [-0.6, 0.6] for unit w; |x₀x₁x₂| ∈ [0.064, 1],
+        // mean ≈ 0.35.
+        let linear = latent.linear_score(&x) / 0.6;
+        let cubic = x[0] * x[1] * x[2] / 0.35;
+        let score = linear_share * linear + (1.0 - linear_share) * cubic;
+        if score.abs() < margin {
+            continue;
+        }
+        return (x, Label::from_sign(score));
+    }
+}
+
+fn sample_triple_product(
+    spec: &DatasetSpec,
+    decoy_amplitude: f64,
+    linear_leak: f64,
+    rng: &mut StdRng,
+) -> (Vec<f64>, Label) {
+    assert!(spec.dim >= 4, "triple-product structure needs ≥ 4 dimensions");
+    let mut x = Vec::with_capacity(spec.dim);
+    // Three informative bimodal dimensions with a guaranteed magnitude
+    // floor, then low-amplitude decoys: after the (no-op) scaling the
+    // informative product dominates the cubic kernel's signal.
+    for _ in 0..3 {
+        let mag = rng.gen_range(0.7..1.0);
+        x.push(if rng.gen::<bool>() { mag } else { -mag });
+    }
+    for _ in 3..spec.dim {
+        x.push(rng.gen_range(-decoy_amplitude..decoy_amplitude));
+    }
+    let label = Label::from_sign(x[0] * x[1] * x[2]);
+    // A weak leaked feature gives the linear kernel its above-chance
+    // share (dimension 3 overwrites its decoy value).
+    if rng.gen::<f64>() < linear_leak {
+        x[3] = label.to_f64() * rng.gen_range(0.2..1.0);
+    }
+    (x, label)
+}
+
+fn sample_cubic_hostile(
+    spec: &DatasetSpec,
+    latent: &Latent,
+    positive_share: f64,
+    margin: f64,
+    rng: &mut StdRng,
+) -> (Vec<f64>, Label) {
+    // A clean linear boundary, but with the class balance pinned: the
+    // under-regularized homogeneous cubic kernel collapses to the
+    // majority class here while the linear SVM is near-perfect.
+    loop {
+        let want_positive = rng.gen::<f64>() < positive_share;
+        let x = uniform_point(spec.dim, rng);
+        let score = latent.linear_score(&x);
+        if score.abs() < margin {
+            continue;
+        }
+        let label = Label::from_sign(score);
+        if (label == Label::Positive) == want_positive {
+            return (x, label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{catalog, spec_by_name};
+    use ppcs_svm::{Kernel, SmoParams, SvmModel};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = spec_by_name("diabetes").unwrap();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.train.len(), b.train.len());
+        for i in 0..a.train.len() {
+            assert_eq!(a.train.features(i), b.train.features(i));
+            assert_eq!(a.train.label(i), b.train.label(i));
+        }
+    }
+
+    #[test]
+    fn sizes_and_dims_match_spec() {
+        for spec in catalog() {
+            if spec.test_size > 10_000 {
+                continue; // keep the unit-test suite fast
+            }
+            let g = generate(&spec);
+            assert_eq!(g.train.len(), spec.train_size, "{}", spec.name);
+            assert_eq!(g.test.len(), spec.test_size, "{}", spec.name);
+            assert_eq!(g.train.dim(), spec.dim);
+            // Features already in [-1, 1].
+            for (x, _) in g.train.iter().take(50) {
+                assert!(x.iter().all(|v| (-1.0..=1.0).contains(v)));
+            }
+            let (pos, neg) = g.train.class_counts();
+            assert!(pos > 0 && neg > 0, "{} must have both classes", spec.name);
+        }
+    }
+
+    #[test]
+    fn triple_product_confounds_linear_but_not_cubic() {
+        // A small madelon-like instance.
+        let spec = DatasetSpec {
+            name: "mini-madelon",
+            dim: 10,
+            train_size: 300,
+            test_size: 300,
+            structure: Structure::TripleProduct {
+                decoy_amplitude: 0.1,
+                linear_leak: 0.0,
+            },
+            label_noise: 0.0,
+            c_param: 64.0,
+            poly_c: 2000.0,
+            paper_linear_pct: 0.0,
+            paper_poly_pct: 0.0,
+            seed: 77,
+        };
+        let g = generate(&spec);
+        let linear = SvmModel::train(
+            &g.train,
+            Kernel::Linear,
+            &SmoParams {
+                c: spec.c_param,
+                max_iterations: 200_000,
+                ..SmoParams::default()
+            },
+        );
+        let poly = SvmModel::train(
+            &g.train,
+            Kernel::paper_polynomial(spec.dim),
+            &SmoParams {
+                c: spec.poly_c,
+                max_iterations: 200_000,
+                ..SmoParams::default()
+            },
+        );
+        let lin_acc = linear.accuracy(&g.test);
+        let poly_acc = poly.accuracy(&g.test);
+        assert!(
+            poly_acc > 0.9,
+            "cubic kernel should solve the product structure, got {poly_acc}"
+        );
+        assert!(
+            lin_acc < poly_acc - 0.2,
+            "linear should trail badly: {lin_acc} vs {poly_acc}"
+        );
+    }
+
+    #[test]
+    fn linear_structure_is_linearly_learnable() {
+        let spec = DatasetSpec {
+            name: "mini-linear",
+            dim: 12,
+            train_size: 300,
+            test_size: 300,
+            structure: Structure::Linear { margin: 0.05 },
+            label_noise: 0.0,
+            c_param: 4.0,
+            poly_c: 100.0,
+            paper_linear_pct: 0.0,
+            paper_poly_pct: 0.0,
+            seed: 78,
+        };
+        let g = generate(&spec);
+        let params = SmoParams {
+            c: spec.c_param,
+            ..SmoParams::default()
+        };
+        let linear = SvmModel::train(&g.train, Kernel::Linear, &params);
+        assert!(linear.accuracy(&g.test) > 0.95);
+    }
+
+    #[test]
+    fn label_noise_caps_accuracy() {
+        let spec = DatasetSpec {
+            name: "noisy",
+            dim: 6,
+            train_size: 400,
+            test_size: 400,
+            structure: Structure::Linear { margin: 0.05 },
+            label_noise: 0.3,
+            c_param: 1.0,
+            poly_c: 30.0,
+            paper_linear_pct: 0.0,
+            paper_poly_pct: 0.0,
+            seed: 79,
+        };
+        let g = generate(&spec);
+        let params = SmoParams {
+            c: spec.c_param,
+            ..SmoParams::default()
+        };
+        let linear = SvmModel::train(&g.train, Kernel::Linear, &params);
+        let acc = linear.accuracy(&g.test);
+        assert!(
+            acc < 0.8 && acc > 0.55,
+            "30% label noise should cap accuracy near 70%, got {acc}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # ppcs-datasets
+//!
+//! Synthetic analogs of the 17 LIBSVM datasets the ICDCS'16 paper
+//! evaluates on (Table I), plus the four diabetes subsets of Table II.
+//!
+//! The real dataset files are not redistributable inside this
+//! repository, so each analog reproduces the shape that the paper's
+//! experiments actually depend on: dimensionality, split sizes, and the
+//! linear-vs-polynomial separability profile. See `DESIGN.md` §5 for the
+//! substitution rationale.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppcs_datasets::{generate, spec_by_name};
+//! use ppcs_svm::{Kernel, SmoParams, SvmModel};
+//!
+//! let spec = spec_by_name("breast-cancer").expect("catalog entry");
+//! let data = generate(&spec);
+//! let model = SvmModel::train(
+//!     &data.train,
+//!     Kernel::Linear,
+//!     &SmoParams { c: spec.c_param, ..SmoParams::default() },
+//! );
+//! assert!(model.accuracy(&data.test) > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod spec;
+mod subsets;
+
+pub use generate::{generate, GeneratedDataset};
+pub use spec::{catalog, spec_by_name, DatasetSpec, Structure};
+pub use subsets::{
+    diabetes_subsets, DIABETES_DIM, NUM_SUBSETS, SUBSET_SIZE, TABLE2_PAIRS, TABLE2_PAPER,
+};

@@ -1,0 +1,387 @@
+//! The [`Algebra`] abstraction over which every ppcs protocol is generic.
+//!
+//! The ICDCS'16 paper describes the protocols over the reals; its reference
+//! implementation computed with doubles. A cryptographically meaningful
+//! instantiation, however, must work over a finite field so that masking
+//! polynomials perfectly hide their payload. We therefore abstract the
+//! number system behind a trait with two implementations:
+//!
+//! * [`F64Algebra`] — paper-faithful floating point. Fast, used for the
+//!   accuracy-parity and timing experiments (Table I, Figs 7–10).
+//! * [`FixedFpAlgebra`] — fixed-point values embedded in the 256-bit prime
+//!   field [`Fp256`](crate::Fp256), the sound instantiation.
+//!
+//! Fixed-point scale bookkeeping: encoding at *scale power* `k` stores
+//! `round(x · 2^{k·FRAC_BITS})`. A product of elements at scales `j` and
+//! `k` sits at scale `j + k`; the protocols track the scale of the final
+//! output analytically and decode with [`Algebra::decode`].
+
+use core::fmt::Debug;
+use rand::Rng;
+
+use crate::fp256::Fp256;
+
+/// A (possibly approximate) field in which the ppcs polynomials live.
+///
+/// Two implementations exist: [`F64Algebra`] (paper-faithful floats)
+/// and [`FixedFpAlgebra`] (fixed-point in the 256-bit prime field).
+pub trait Algebra: Clone + Debug + Send + Sync + 'static {
+    /// The element type.
+    type Elem: Clone + Debug + PartialEq + Send + Sync + 'static;
+
+    /// The additive identity.
+    fn zero(&self) -> Self::Elem;
+    /// The multiplicative identity.
+    fn one(&self) -> Self::Elem;
+    /// `a + b`.
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a - b`.
+    fn sub(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a · b`.
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `-a`.
+    fn neg(&self, a: &Self::Elem) -> Self::Elem;
+    /// Multiplicative inverse, `None` for zero (or values with no inverse).
+    fn inv(&self, a: &Self::Elem) -> Option<Self::Elem>;
+    /// `true` iff `a` is the additive identity.
+    fn is_zero(&self, a: &Self::Elem) -> bool;
+
+    /// Encodes a real value at fixed-point scale power `scale_pow`.
+    ///
+    /// Over [`F64Algebra`] the scale power is ignored.
+    fn encode(&self, x: f64, scale_pow: u32) -> Self::Elem;
+
+    /// Decodes an element known to sit at scale power `scale_pow` back to a
+    /// real value.
+    fn decode(&self, e: &Self::Elem, scale_pow: u32) -> f64;
+
+    /// Encodes an exact small integer (scale power 0); integers survive
+    /// multiplication without scale drift, which is what the protocols use
+    /// for random amplifiers such as `r_a`.
+    fn encode_int(&self, v: i64) -> Self::Elem;
+
+    /// Draws an evaluation point: nonzero and, over floats, bounded so
+    /// that Lagrange interpolation stays well conditioned.
+    fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Elem;
+
+    /// Draws a masking coefficient. Over a finite field this is a uniform
+    /// element (information-theoretic hiding); over floats it is a bounded
+    /// random value (heuristic hiding, as in the paper's experiments).
+    fn random_mask<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Elem;
+
+    /// Draws a disguise value used for the decoy positions of the OMPE
+    /// point cloud.
+    fn random_disguise<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Elem {
+        self.random_mask(rng)
+    }
+}
+
+/// Paper-faithful double-precision backend.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::{Algebra, F64Algebra};
+///
+/// let alg = F64Algebra::default();
+/// let x = alg.encode(0.25, 1);
+/// assert_eq!(alg.decode(&x, 1), 0.25);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct F64Algebra {
+    _priv: (),
+}
+
+impl F64Algebra {
+    /// Creates the floating-point backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Algebra for F64Algebra {
+    type Elem = f64;
+
+    #[inline]
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn one(&self) -> f64 {
+        1.0
+    }
+    #[inline]
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+    #[inline]
+    fn sub(&self, a: &f64, b: &f64) -> f64 {
+        a - b
+    }
+    #[inline]
+    fn mul(&self, a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+    #[inline]
+    fn neg(&self, a: &f64) -> f64 {
+        -a
+    }
+    #[inline]
+    fn inv(&self, a: &f64) -> Option<f64> {
+        if *a == 0.0 {
+            None
+        } else {
+            Some(1.0 / a)
+        }
+    }
+    #[inline]
+    fn is_zero(&self, a: &f64) -> bool {
+        *a == 0.0
+    }
+    #[inline]
+    fn encode(&self, x: f64, _scale_pow: u32) -> f64 {
+        x
+    }
+    #[inline]
+    fn decode(&self, e: &f64, _scale_pow: u32) -> f64 {
+        *e
+    }
+    #[inline]
+    fn encode_int(&self, v: i64) -> f64 {
+        v as f64
+    }
+
+    fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Points away from zero in [-2, -0.25] ∪ [0.25, 2] keep the
+        // Vandermonde system of the interpolation well conditioned for the
+        // masking degrees the protocols use (≤ ~20).
+        let mag = rng.gen_range(0.25..2.0);
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+
+    fn random_mask<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(-1.0..1.0)
+    }
+}
+
+/// Fixed-point values in the 256-bit prime field — the cryptographically
+/// sound backend.
+///
+/// `frac_bits` is the number of fractional bits per scale power; 16 is a
+/// good default (similarity evaluation multiplies up to scale power 12,
+/// i.e. 192 bits, comfortably inside the 255-bit balanced range).
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::{Algebra, FixedFpAlgebra};
+///
+/// let alg = FixedFpAlgebra::new(16);
+/// let a = alg.encode(1.5, 1);
+/// let b = alg.encode(-2.25, 1);
+/// let prod = alg.mul(&a, &b); // now at scale power 2
+/// assert!((alg.decode(&prod, 2) - (-3.375)).abs() < 1e-4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FixedFpAlgebra {
+    frac_bits: u32,
+}
+
+impl FixedFpAlgebra {
+    /// Creates a fixed-point backend with `frac_bits` fractional bits per
+    /// scale power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits` is 0 or greater than 20 (beyond which the
+    /// degree-4 similarity polynomial would overflow the balanced range).
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(
+            (1..=20).contains(&frac_bits),
+            "frac_bits must be in 1..=20, got {frac_bits}"
+        );
+        Self { frac_bits }
+    }
+
+    /// The number of fractional bits per scale power.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+}
+
+impl Default for FixedFpAlgebra {
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl Algebra for FixedFpAlgebra {
+    type Elem = Fp256;
+
+    #[inline]
+    fn zero(&self) -> Fp256 {
+        Fp256::ZERO
+    }
+    #[inline]
+    fn one(&self) -> Fp256 {
+        Fp256::ONE
+    }
+    #[inline]
+    fn add(&self, a: &Fp256, b: &Fp256) -> Fp256 {
+        *a + *b
+    }
+    #[inline]
+    fn sub(&self, a: &Fp256, b: &Fp256) -> Fp256 {
+        *a - *b
+    }
+    #[inline]
+    fn mul(&self, a: &Fp256, b: &Fp256) -> Fp256 {
+        *a * *b
+    }
+    #[inline]
+    fn neg(&self, a: &Fp256) -> Fp256 {
+        -*a
+    }
+    #[inline]
+    fn inv(&self, a: &Fp256) -> Option<Fp256> {
+        a.inv()
+    }
+    #[inline]
+    fn is_zero(&self, a: &Fp256) -> bool {
+        a.is_zero()
+    }
+
+    fn encode(&self, x: f64, scale_pow: u32) -> Fp256 {
+        let scale = self.frac_bits * scale_pow;
+        assert!(
+            scale <= 200,
+            "fixed-point scale 2^{scale} leaves no headroom below the modulus"
+        );
+        assert!(x.is_finite(), "cannot encode non-finite value {x}");
+        // An f64 mantissa carries 53 bits; shifting by more than ~60 bits
+        // adds no precision, so do the rounding at a safe shift and move
+        // the rest into the field as an exact power of two.
+        let safe_shift = scale.min(60);
+        let scaled = x * 2f64.powi(safe_shift as i32);
+        assert!(
+            scaled.is_finite() && scaled.abs() < 1.6e38,
+            "fixed-point encode overflow: {x} at scale power {scale_pow}"
+        );
+        let mut e = Fp256::from_i128(scaled.round() as i128);
+        for _ in safe_shift..scale {
+            e = e.double();
+        }
+        e
+    }
+
+    fn decode(&self, e: &Fp256, scale_pow: u32) -> f64 {
+        let scale = (self.frac_bits * scale_pow) as i32;
+        match e.to_i128() {
+            Some(v) => v as f64 / 2f64.powi(scale),
+            None => e.to_f64_approx() / 2f64.powi(scale),
+        }
+    }
+
+    fn encode_int(&self, v: i64) -> Fp256 {
+        Fp256::from_i64(v)
+    }
+
+    fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Fp256 {
+        Fp256::random_nonzero(rng)
+    }
+
+    fn random_mask<R: Rng + ?Sized>(&self, rng: &mut R) -> Fp256 {
+        Fp256::random(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f64_backend_is_transparent() {
+        let alg = F64Algebra::new();
+        assert_eq!(alg.encode(3.25, 7), 3.25);
+        assert_eq!(alg.decode(&3.25, 7), 3.25);
+        assert_eq!(alg.encode_int(-4), -4.0);
+        assert_eq!(alg.inv(&4.0), Some(0.25));
+        assert_eq!(alg.inv(&0.0), None);
+    }
+
+    #[test]
+    fn fixed_encode_decode_roundtrip() {
+        let alg = FixedFpAlgebra::new(16);
+        for &x in &[0.0, 1.0, -1.0, 0.5, -3.141592653589793, 123.456] {
+            let e = alg.encode(x, 1);
+            assert!((alg.decode(&e, 1) - x).abs() < 1e-4, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn fixed_encode_roundtrips_at_high_scales() {
+        // Scale powers past the i128 range (f·k > 127 bits) must still
+        // round-trip — the similarity polynomial encodes constants at
+        // scale 8 and decodes products at scale 12.
+        let alg = FixedFpAlgebra::new(16);
+        for scale_pow in [7u32, 8, 10, 12] {
+            for &x in &[1.0, -1.0, 0.001218, 512.75, -3.25e4] {
+                let e = alg.encode(x, scale_pow);
+                let back = alg.decode(&e, scale_pow);
+                assert!(
+                    (back - x).abs() < 1e-4 * x.abs().max(1.0),
+                    "x = {x} at scale {scale_pow}: got {back}"
+                );
+            }
+        }
+        // Mixed-scale product: encode(a, 8)·encode(b, 4) decodes at 12.
+        let a = alg.encode(3.5, 8);
+        let b = alg.encode(-2.0, 4);
+        let prod = alg.mul(&a, &b);
+        assert!((alg.decode(&prod, 12) + 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_products_accumulate_scale() {
+        let alg = FixedFpAlgebra::new(16);
+        let a = alg.encode(1.5, 1);
+        let b = alg.encode(2.5, 1);
+        let c = alg.encode(-0.75, 1);
+        let abc = alg.mul(&alg.mul(&a, &b), &c);
+        assert!((alg.decode(&abc, 3) - (1.5 * 2.5 * -0.75)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_integer_amplifier_is_exactly_invertible() {
+        let alg = FixedFpAlgebra::new(16);
+        let ra = alg.encode_int(918273);
+        let x = alg.encode(-0.3321, 2);
+        let amplified = alg.mul(&ra, &x);
+        let recovered = alg.mul(&alg.inv(&ra).unwrap(), &amplified);
+        assert_eq!(recovered, x);
+    }
+
+    #[test]
+    fn random_points_are_nonzero() {
+        let alg = FixedFpAlgebra::new(16);
+        let f = F64Algebra::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!alg.is_zero(&alg.random_point(&mut rng)));
+            let p = f.random_point(&mut rng);
+            assert!(p != 0.0 && p.abs() >= 0.25 && p.abs() <= 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn fixed_rejects_oversized_frac_bits() {
+        let _ = FixedFpAlgebra::new(32);
+    }
+}

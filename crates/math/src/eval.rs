@@ -1,0 +1,157 @@
+//! The [`PolyEval`] abstraction over secret-polynomial representations.
+//!
+//! The OMPE sender only ever *evaluates* its secret polynomial, so the
+//! protocol is generic over this trait rather than a concrete
+//! representation. Two implementations exist:
+//!
+//! * [`MvPolynomial`](crate::MvPolynomial) — general sparse terms (the
+//!   degree-4 similarity polynomial, small linear models);
+//! * [`DenseAffine`] — a dense degree-1 form `wᵀy + b`, which is what a
+//!   monomial-expanded kernel model collapses to. Expanded models can
+//!   have millions of variables (madelon at `p = 3` has ≈ 2.1 × 10⁷
+//!   monomials), where per-term exponent vectors would be prohibitive.
+
+use crate::algebra::Algebra;
+use crate::mvpoly::MvPolynomial;
+
+/// A secret polynomial the OMPE sender can evaluate.
+pub trait PolyEval<A: Algebra>: Send + Sync {
+    /// Number of input variables.
+    fn num_vars(&self) -> usize;
+    /// Total degree (an upper bound is acceptable).
+    fn total_degree(&self) -> usize;
+    /// Evaluates at `y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `y.len() != self.num_vars()`.
+    fn eval(&self, alg: &A, y: &[A::Elem]) -> A::Elem;
+}
+
+impl<A: Algebra> PolyEval<A> for MvPolynomial<A> {
+    fn num_vars(&self) -> usize {
+        MvPolynomial::num_vars(self)
+    }
+    fn total_degree(&self) -> usize {
+        MvPolynomial::total_degree(self)
+    }
+    fn eval(&self, alg: &A, y: &[A::Elem]) -> A::Elem {
+        MvPolynomial::eval(self, alg, y)
+    }
+}
+
+/// A dense affine polynomial `wᵀy + b` — the shape of every expanded SVM
+/// decision function the classification protocol serves.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::{DenseAffine, F64Algebra, PolyEval};
+///
+/// let alg = F64Algebra::new();
+/// let p = DenseAffine::new(vec![1.0, -2.0], 0.5);
+/// assert_eq!(p.eval(&alg, &[3.0, 1.0]), 3.0 - 2.0 + 0.5);
+/// assert_eq!(p.total_degree(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseAffine<A: Algebra> {
+    weights: Vec<A::Elem>,
+    bias: A::Elem,
+}
+
+impl<A: Algebra> DenseAffine<A> {
+    /// Builds `wᵀy + b`.
+    pub fn new(weights: Vec<A::Elem>, bias: A::Elem) -> Self {
+        Self { weights, bias }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[A::Elem] {
+        &self.weights
+    }
+
+    /// The bias.
+    pub fn bias(&self) -> &A::Elem {
+        &self.bias
+    }
+
+    /// Returns a copy with all coefficients (weights and bias) multiplied
+    /// by `k` — the protocol's random amplification.
+    pub fn scale(&self, alg: &A, k: &A::Elem) -> Self {
+        Self {
+            weights: self.weights.iter().map(|w| alg.mul(w, k)).collect(),
+            bias: alg.mul(&self.bias, k),
+        }
+    }
+
+    /// Returns a copy with `delta` added to the bias.
+    pub fn add_constant(&self, alg: &A, delta: &A::Elem) -> Self {
+        Self {
+            weights: self.weights.clone(),
+            bias: alg.add(&self.bias, delta),
+        }
+    }
+}
+
+impl<A: Algebra> PolyEval<A> for DenseAffine<A> {
+    fn num_vars(&self) -> usize {
+        self.weights.len()
+    }
+    fn total_degree(&self) -> usize {
+        1
+    }
+    fn eval(&self, alg: &A, y: &[A::Elem]) -> A::Elem {
+        assert_eq!(
+            y.len(),
+            self.weights.len(),
+            "evaluation point has wrong arity: {} vs {}",
+            y.len(),
+            self.weights.len()
+        );
+        let mut acc = self.bias.clone();
+        for (w, v) in self.weights.iter().zip(y) {
+            acc = alg.add(&acc, &alg.mul(w, v));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{F64Algebra, FixedFpAlgebra};
+
+    #[test]
+    fn dense_affine_matches_mvpolynomial() {
+        let alg = F64Algebra::new();
+        let w = vec![0.5, -1.5, 2.0];
+        let dense = DenseAffine::new(w.clone(), -0.25);
+        let sparse = MvPolynomial::affine(&alg, &w, -0.25);
+        let y = [1.0, 2.0, -0.5];
+        assert_eq!(PolyEval::eval(&dense, &alg, &y), sparse.eval(&alg, &y));
+        assert_eq!(PolyEval::total_degree(&dense), 1);
+        assert_eq!(PolyEval::num_vars(&dense), 3);
+    }
+
+    #[test]
+    fn scale_and_add_constant() {
+        let alg = FixedFpAlgebra::new(16);
+        let dense = DenseAffine::new(vec![alg.encode(1.0, 1)], alg.encode(2.0, 2));
+        let k = alg.encode_int(3);
+        let scaled = dense.scale(&alg, &k);
+        let y = [alg.encode(0.5, 1)];
+        let got = alg.decode(&PolyEval::eval(&scaled, &alg, &y), 2);
+        assert!((got - 3.0 * (0.5 + 2.0)).abs() < 1e-3);
+        let shifted = dense.add_constant(&alg, &alg.encode(1.0, 2));
+        let got2 = alg.decode(&PolyEval::eval(&shifted, &alg, &y), 2);
+        assert!((got2 - (0.5 + 3.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn dense_affine_rejects_wrong_arity() {
+        let alg = F64Algebra::new();
+        let dense = DenseAffine::new(vec![1.0, 2.0], 0.0);
+        let _ = PolyEval::eval(&dense, &alg, &[1.0]);
+    }
+}

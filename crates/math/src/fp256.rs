@@ -1,0 +1,594 @@
+//! A 256-bit prime field with 4-limb Montgomery arithmetic.
+//!
+//! The modulus is the secp256k1 base-field prime
+//! `p = 2^256 - 2^32 - 977`, chosen because it is large enough to hold the
+//! fixed-point dynamic range of every polynomial the ppcs protocols
+//! evaluate (degree-4 similarity polynomials at 16 fractional bits stay
+//! far below `p/2`) and because its special form makes the implementation
+//! easy to cross-check against well-known test vectors.
+//!
+//! All arithmetic is implemented in-tree (CIOS Montgomery multiplication,
+//! Fermat inversion); the `num-bigint` crate is used only in tests as a
+//! reference implementation.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The secp256k1 prime `p = 2^256 - 2^32 - 977`, little-endian limbs.
+pub const MODULUS: [u64; 4] = [
+    0xFFFF_FFFE_FFFF_FC2F,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+];
+
+/// `-p^{-1} mod 2^64`, the Montgomery reduction constant.
+const N0_INV: u64 = const_n0_inv();
+
+/// `R mod p` where `R = 2^256`; this is the Montgomery form of 1.
+const R_MOD_P: [u64; 4] = const_r_mod_p();
+
+/// `R^2 mod p`, used to convert into Montgomery form.
+const R2_MOD_P: [u64; 4] = const_r2_mod_p();
+
+/// `(p - 1) / 2`, the canonical boundary between "positive" and "negative"
+/// residues in the balanced (signed) interpretation of the field.
+const HALF_MODULUS: [u64; 4] = [
+    0xFFFF_FFFF_7FFF_FE17,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0x7FFF_FFFF_FFFF_FFFF,
+];
+
+const fn const_n0_inv() -> u64 {
+    // Newton iteration: x_{k+1} = x_k * (2 - p0 * x_k) doubles the number
+    // of correct low bits each step; 6 steps suffice for 64 bits.
+    let p0 = MODULUS[0];
+    let mut x: u64 = 1;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(p0.wrapping_mul(x)));
+        i += 1;
+    }
+    x.wrapping_neg()
+}
+
+const fn const_geq(a: [u64; 4], b: [u64; 4]) -> bool {
+    let mut i = 3usize;
+    loop {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+        if i == 0 {
+            return true;
+        }
+        i -= 1;
+    }
+}
+
+const fn const_sub(a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        r[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+        i += 1;
+    }
+    r
+}
+
+const fn const_mod_double(a: [u64; 4]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        r[i] = (a[i] << 1) | carry;
+        carry = a[i] >> 63;
+        i += 1;
+    }
+    if carry == 1 || const_geq(r, MODULUS) {
+        const_sub(r, MODULUS)
+    } else {
+        r
+    }
+}
+
+const fn const_r_mod_p() -> [u64; 4] {
+    // 2^256 mod p = 2^256 - p because p > 2^255.
+    const_sub([0, 0, 0, 0], MODULUS)
+}
+
+const fn const_r2_mod_p() -> [u64; 4] {
+    // Double R mod p 256 times: R * 2^256 = R^2 (mod p).
+    let mut x = const_r_mod_p();
+    let mut i = 0;
+    while i < 256 {
+        x = const_mod_double(x);
+        i += 1;
+    }
+    x
+}
+
+#[inline(always)]
+fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (acc as u128) + (a as u128) * (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+#[inline]
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// An element of the prime field `GF(p)` with `p = 2^256 - 2^32 - 977`,
+/// stored in Montgomery form.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::Fp256;
+///
+/// let a = Fp256::from_u64(7);
+/// let b = Fp256::from_i64(-3);
+/// assert_eq!(a + b, Fp256::from_u64(4));
+/// assert_eq!((a * b).to_i128(), Some(-21));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp256 {
+    /// Montgomery representation `a * R mod p`, little-endian limbs.
+    mont: [u64; 4],
+}
+
+impl Fp256 {
+    /// The additive identity.
+    pub const ZERO: Fp256 = Fp256 { mont: [0; 4] };
+
+    /// The multiplicative identity.
+    pub const ONE: Fp256 = Fp256 { mont: R_MOD_P };
+
+    /// Builds a field element from a non-negative integer.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_raw([v, 0, 0, 0])
+    }
+
+    /// Builds a field element from a signed integer, mapping negative
+    /// values to `p - |v|`.
+    #[inline]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Self::from_u64(v as u64)
+        } else {
+            -Self::from_u64(v.unsigned_abs())
+        }
+    }
+
+    /// Builds a field element from a signed 128-bit integer.
+    pub fn from_i128(v: i128) -> Self {
+        let mag = v.unsigned_abs();
+        let raw = [mag as u64, (mag >> 64) as u64, 0, 0];
+        let e = Self::from_raw(raw);
+        if v < 0 {
+            -e
+        } else {
+            e
+        }
+    }
+
+    /// Builds a field element from canonical little-endian limbs.
+    ///
+    /// Values `>= p` are reduced.
+    pub fn from_raw(mut limbs: [u64; 4]) -> Self {
+        if geq(&limbs, &MODULUS) {
+            limbs = const_sub(limbs, MODULUS);
+        }
+        let mut e = Fp256 { mont: limbs };
+        e = e.mont_mul(&Fp256 { mont: R2_MOD_P });
+        e
+    }
+
+    /// Returns the canonical (non-Montgomery) little-endian limbs in `[0, p)`.
+    pub fn to_raw(self) -> [u64; 4] {
+        // Multiplying by 1 (non-Montgomery) performs one Montgomery
+        // reduction, which divides by R.
+        self.mont_mul(&Fp256 { mont: [1, 0, 0, 0] }).mont
+    }
+
+    /// Serializes to 32 little-endian bytes (canonical form).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let raw = self.to_raw();
+        let mut out = [0u8; 32];
+        for (i, limb) in raw.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from 32 little-endian bytes, reducing mod `p`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            *limb = u64::from_le_bytes(b);
+        }
+        Self::from_raw(limbs)
+    }
+
+    /// Interprets the element as a signed integer in the balanced range
+    /// `(-p/2, p/2]` and returns it if it fits in an `i128`.
+    ///
+    /// This is how fixed-point decoding recovers signed real values.
+    pub fn to_i128(self) -> Option<i128> {
+        let raw = self.to_raw();
+        if geq(&HALF_MODULUS, &raw) {
+            // Non-negative branch: fits iff the top limbs are zero and
+            // bit 127 is clear.
+            if raw[2] == 0 && raw[3] == 0 && raw[1] >> 63 == 0 {
+                Some(((raw[1] as u128) << 64 | raw[0] as u128) as i128)
+            } else {
+                None
+            }
+        } else {
+            let neg = const_sub(MODULUS, raw);
+            if neg[2] == 0 && neg[3] == 0 && neg[1] >> 63 == 0 {
+                Some(-(((neg[1] as u128) << 64 | neg[0] as u128) as i128))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Returns the balanced-signed magnitude as an `f64` approximation,
+    /// even when the value does not fit in an `i128`.
+    pub fn to_f64_approx(self) -> f64 {
+        let raw = self.to_raw();
+        let (sign, mag) = if geq(&HALF_MODULUS, &raw) {
+            (1.0, raw)
+        } else {
+            (-1.0, const_sub(MODULUS, raw))
+        };
+        let mut acc = 0.0f64;
+        for i in (0..4).rev() {
+            acc = acc * 1.8446744073709552e19 + mag[i] as f64;
+        }
+        sign * acc
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.mont == [0; 4]
+    }
+
+    /// Draws a uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling keeps the distribution exactly uniform; the
+        // gap between 2^256 and p is ~2^-224 so a retry is essentially
+        // impossible in practice.
+        loop {
+            let limbs = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            if !geq(&limbs, &MODULUS) {
+                // Already canonical: build the Montgomery form directly.
+                let e = Fp256 { mont: limbs };
+                return e.mont_mul(&Fp256 { mont: R2_MOD_P });
+            }
+        }
+    }
+
+    /// Draws a uniformly random *nonzero* field element.
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let e = Self::random(rng);
+            if !e.is_zero() {
+                return e;
+            }
+        }
+    }
+
+    /// Montgomery product (CIOS method).
+    #[inline]
+    fn mont_mul(&self, other: &Self) -> Self {
+        let a = &self.mont;
+        let b = &other.mont;
+        let mut t = [0u64; 4];
+        let mut t4 = 0u64;
+        let mut t5 = 0u64;
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry = 0u64;
+            for j in 0..4 {
+                let (lo, hi) = mac(t[j], ai, b[j], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t4, carry, 0);
+            t4 = lo;
+            t5 = t5.wrapping_add(hi);
+
+            // Reduce: t += m * p, then shift one limb.
+            let m = t[0].wrapping_mul(N0_INV);
+            let (_, mut carry) = mac(t[0], m, MODULUS[0], 0);
+            for j in 1..4 {
+                let (lo, hi) = mac(t[j], m, MODULUS[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t4, carry, 0);
+            t[3] = lo;
+            t4 = t5.wrapping_add(hi);
+            t5 = 0;
+        }
+        // Final conditional subtraction: the intermediate can exceed p by
+        // at most one multiple.
+        if t4 != 0 || geq(&t, &MODULUS) {
+            t = const_sub(t, MODULUS);
+        }
+        Fp256 { mont: t }
+    }
+
+    /// Squares the element.
+    #[inline]
+    pub fn square(self) -> Self {
+        self.mont_mul(&self)
+    }
+
+    /// Raises the element to a 256-bit little-endian exponent.
+    pub fn pow(self, exp: &[u64; 4]) -> Self {
+        let mut result = Fp256::ONE;
+        let mut base = self;
+        for &limb in exp.iter() {
+            let mut l = limb;
+            for _ in 0..64 {
+                if l & 1 == 1 {
+                    result = result.mont_mul(&base);
+                }
+                base = base.square();
+                l >>= 1;
+            }
+        }
+        result
+    }
+
+    /// Computes the multiplicative inverse, or `None` for zero.
+    ///
+    /// Uses Fermat's little theorem: `a^{p-2} = a^{-1} (mod p)`.
+    pub fn inv(self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let exp = const_sub(MODULUS, [2, 0, 0, 0]);
+        Some(self.pow(&exp))
+    }
+
+    /// Doubles the element.
+    #[inline]
+    pub fn double(self) -> Self {
+        self + self
+    }
+}
+
+impl Add for Fp256 {
+    type Output = Fp256;
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // parallel limb walk with carry
+    fn add(self, rhs: Fp256) -> Fp256 {
+        let mut r = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (lo, c) = adc(self.mont[i], rhs.mont[i], carry);
+            r[i] = lo;
+            carry = c;
+        }
+        if carry != 0 || geq(&r, &MODULUS) {
+            r = const_sub(r, MODULUS);
+        }
+        Fp256 { mont: r }
+    }
+}
+
+impl Sub for Fp256 {
+    type Output = Fp256;
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // parallel limb walk with borrow
+    fn sub(self, rhs: Fp256) -> Fp256 {
+        let mut r = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (lo, b) = sbb(self.mont[i], rhs.mont[i], borrow);
+            r[i] = lo;
+            borrow = b;
+        }
+        if borrow != 0 {
+            let mut carry = 0u64;
+            for i in 0..4 {
+                let (lo, c) = adc(r[i], MODULUS[i], carry);
+                r[i] = lo;
+                carry = c;
+            }
+        }
+        Fp256 { mont: r }
+    }
+}
+
+impl Mul for Fp256 {
+    type Output = Fp256;
+    #[inline]
+    fn mul(self, rhs: Fp256) -> Fp256 {
+        self.mont_mul(&rhs)
+    }
+}
+
+impl Neg for Fp256 {
+    type Output = Fp256;
+    #[inline]
+    fn neg(self) -> Fp256 {
+        Fp256::ZERO - self
+    }
+}
+
+impl AddAssign for Fp256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fp256) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Fp256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fp256) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Fp256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fp256) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Debug for Fp256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let raw = self.to_raw();
+        write!(
+            f,
+            "Fp256(0x{:016x}{:016x}{:016x}{:016x})",
+            raw[3], raw[2], raw[1], raw[0]
+        )
+    }
+}
+
+impl fmt::Display for Fp256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_i128() {
+            Some(v) => write!(f, "{v}"),
+            None => fmt::Debug::fmt(self, f),
+        }
+    }
+}
+
+impl From<u64> for Fp256 {
+    fn from(v: u64) -> Self {
+        Fp256::from_u64(v)
+    }
+}
+
+impl From<i64> for Fp256 {
+    fn from(v: i64) -> Self {
+        Fp256::from_i64(v)
+    }
+}
+
+impl Serialize for Fp256 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.to_bytes())
+    }
+}
+
+impl<'de> Deserialize<'de> for Fp256 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let bytes: Vec<u8> = serde::Deserialize::deserialize(deserializer)?;
+        let arr: [u8; 32] = bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| D::Error::custom("Fp256 expects exactly 32 bytes"))?;
+        Ok(Fp256::from_bytes(&arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constants_are_consistent() {
+        // N0_INV * p[0] == -1 mod 2^64
+        assert_eq!(N0_INV.wrapping_mul(MODULUS[0]), u64::MAX);
+        // ONE round-trips
+        assert_eq!(Fp256::ONE.to_raw(), [1, 0, 0, 0]);
+        assert_eq!(Fp256::ZERO.to_raw(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Fp256::from_u64(1234);
+        let b = Fp256::from_u64(5678);
+        assert_eq!((a + b).to_i128(), Some(1234 + 5678));
+        assert_eq!((a * b).to_i128(), Some(1234 * 5678));
+        assert_eq!((a - b).to_i128(), Some(1234 - 5678));
+        assert_eq!((-a).to_i128(), Some(-1234));
+    }
+
+    #[test]
+    fn from_i128_roundtrip() {
+        for v in [0i128, 1, -1, i64::MAX as i128 * 3, -(1i128 << 100)] {
+            assert_eq!(Fp256::from_i128(v).to_i128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn inverse_small() {
+        let a = Fp256::from_u64(65537);
+        let inv = a.inv().unwrap();
+        assert_eq!(a * inv, Fp256::ONE);
+        assert!(Fp256::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn balanced_sign_boundary() {
+        // p is odd, so (p-1)/2 is the largest "positive" value.
+        let half_plus_one = Fp256::from_raw(HALF_MODULUS) + Fp256::ONE;
+        // One past the boundary must decode as negative.
+        assert!(half_plus_one.to_f64_approx() < 0.0);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let a = Fp256::random(&mut rng);
+            assert_eq!(Fp256::from_bytes(&a.to_bytes()), a);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fp256::from_u64(3);
+        let mut acc = Fp256::ONE;
+        for _ in 0..77 {
+            acc *= a;
+        }
+        assert_eq!(a.pow(&[77, 0, 0, 0]), acc);
+    }
+}

@@ -1,0 +1,246 @@
+//! Lagrange interpolation — the retrieval step (Eq. 3) of the protocols.
+//!
+//! After the oblivious transfer, the receiver holds `m = q + 1` pairs
+//! `(v_i, B(v_i))` of a degree-`q` univariate polynomial and needs `B(0)`.
+//! [`interpolate_at_zero`] computes exactly that without reconstructing the
+//! coefficient vector; [`interpolate_coeffs`] recovers the full polynomial
+//! (used by tests and by the privacy experiments that *attempt* to extract
+//! information from transcripts).
+
+use crate::algebra::Algebra;
+use crate::poly::Polynomial;
+
+/// Errors from interpolation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpolationError {
+    /// Fewer than one point supplied.
+    Empty,
+    /// Two supplied abscissae coincide, so no unique interpolant exists.
+    DuplicateAbscissa,
+    /// An abscissa was zero; the protocols evaluate at zero, so sample
+    /// points must avoid it.
+    ZeroAbscissa,
+}
+
+impl core::fmt::Display for InterpolationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "no interpolation points supplied"),
+            Self::DuplicateAbscissa => write!(f, "duplicate abscissa in interpolation points"),
+            Self::ZeroAbscissa => write!(f, "abscissa zero is reserved for the secret"),
+        }
+    }
+}
+
+impl std::error::Error for InterpolationError {}
+
+/// Evaluates the unique degree-`(n-1)` interpolant of `points` at zero.
+///
+/// This is Eq. (3) of the paper specialized to `v = 0`:
+/// `B(0) = Σ_j y_j Π_{i≠j} (-v_i)/(v_j - v_i)`.
+///
+/// # Errors
+///
+/// Returns an error if `points` is empty, contains a duplicate abscissa,
+/// or contains the abscissa zero.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::{interpolate_at_zero, F64Algebra};
+///
+/// // B(v) = 5 - 2v; two points determine it.
+/// let alg = F64Algebra::new();
+/// let b0 = interpolate_at_zero(&alg, &[(1.0, 3.0), (2.0, 1.0)])?;
+/// assert!((b0 - 5.0).abs() < 1e-12);
+/// # Ok::<(), ppcs_math::InterpolationError>(())
+/// ```
+pub fn interpolate_at_zero<A: Algebra>(
+    alg: &A,
+    points: &[(A::Elem, A::Elem)],
+) -> Result<A::Elem, InterpolationError> {
+    validate::<A>(alg, points)?;
+    let mut acc = alg.zero();
+    for (j, (xj, yj)) in points.iter().enumerate() {
+        let mut num = alg.one();
+        let mut den = alg.one();
+        for (i, (xi, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = alg.mul(&num, &alg.neg(xi));
+            den = alg.mul(&den, &alg.sub(xj, xi));
+        }
+        let weight = alg
+            .inv(&den)
+            .expect("denominator nonzero: abscissae are distinct");
+        let term = alg.mul(yj, &alg.mul(&num, &weight));
+        acc = alg.add(&acc, &term);
+    }
+    Ok(acc)
+}
+
+/// Recovers the full coefficient vector of the interpolant.
+///
+/// # Errors
+///
+/// Same conditions as [`interpolate_at_zero`], except that a zero abscissa
+/// is permitted here (coefficient recovery does not reserve the origin).
+pub fn interpolate_coeffs<A: Algebra>(
+    alg: &A,
+    points: &[(A::Elem, A::Elem)],
+) -> Result<Polynomial<A>, InterpolationError> {
+    if points.is_empty() {
+        return Err(InterpolationError::Empty);
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        for (xj, _) in points.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(InterpolationError::DuplicateAbscissa);
+            }
+        }
+    }
+    let mut result = Polynomial::zero();
+    for (j, (xj, yj)) in points.iter().enumerate() {
+        // Basis polynomial L_j(x) = Π_{i≠j} (x - x_i) / (x_j - x_i).
+        let mut basis = Polynomial::constant(alg.one());
+        let mut den = alg.one();
+        for (i, (xi, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            basis = basis.mul(alg, &Polynomial::new(vec![alg.neg(xi), alg.one()]));
+            den = alg.mul(&den, &alg.sub(xj, xi));
+        }
+        let weight = alg.mul(
+            yj,
+            &alg.inv(&den)
+                .expect("denominator nonzero: abscissae are distinct"),
+        );
+        result = result.add(alg, &basis.scale(alg, &weight));
+    }
+    Ok(result)
+}
+
+fn validate<A: Algebra>(
+    alg: &A,
+    points: &[(A::Elem, A::Elem)],
+) -> Result<(), InterpolationError> {
+    if points.is_empty() {
+        return Err(InterpolationError::Empty);
+    }
+    for (i, (xi, _)) in points.iter().enumerate() {
+        if alg.is_zero(xi) {
+            return Err(InterpolationError::ZeroAbscissa);
+        }
+        for (xj, _) in points.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(InterpolationError::DuplicateAbscissa);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{F64Algebra, FixedFpAlgebra};
+    use crate::fp256::Fp256;
+    use crate::poly::Polynomial;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_constant_term_over_f64() {
+        let alg = F64Algebra::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for degree in 1..12 {
+            let p = Polynomial::random_with_constant(&alg, degree, 0.423, &mut rng);
+            let mut pts = Vec::new();
+            let mut used = Vec::new();
+            while pts.len() <= degree {
+                let x = alg.random_point(&mut rng);
+                if used.iter().any(|u: &f64| (u - x).abs() < 1e-9) {
+                    continue;
+                }
+                used.push(x);
+                pts.push((x, p.eval(&alg, &x)));
+            }
+            let b0 = interpolate_at_zero(&alg, &pts).unwrap();
+            assert!(
+                (b0 - 0.423).abs() < 1e-6,
+                "degree {degree}: got {b0}, want 0.423"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_constant_term_over_field_exactly() {
+        let alg = FixedFpAlgebra::new(16);
+        let mut rng = StdRng::seed_from_u64(12);
+        let secret = alg.encode(-7.25, 2);
+        for degree in 1..12 {
+            let p = Polynomial::random_with_constant(&alg, degree, secret, &mut rng);
+            let pts: Vec<(Fp256, Fp256)> = (0..=degree)
+                .map(|_| {
+                    let x = alg.random_point(&mut rng);
+                    let y = p.eval(&alg, &x);
+                    (x, y)
+                })
+                .collect();
+            let b0 = interpolate_at_zero(&alg, &pts).unwrap();
+            assert_eq!(b0, secret, "field interpolation must be exact");
+        }
+    }
+
+    #[test]
+    fn full_coefficient_recovery() {
+        let alg = F64Algebra::new();
+        let p = Polynomial::new(vec![1.0, -4.0, 2.0]);
+        let pts: Vec<(f64, f64)> = [0.5, 1.5, -1.0]
+            .iter()
+            .map(|&x| (x, p.eval(&alg, &x)))
+            .collect();
+        let q = interpolate_coeffs(&alg, &pts).unwrap();
+        for (a, b) in p.coeffs().iter().zip(q.coeffs()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let alg = F64Algebra::new();
+        assert_eq!(
+            interpolate_at_zero(&alg, &[]),
+            Err(InterpolationError::Empty)
+        );
+        assert_eq!(
+            interpolate_at_zero(&alg, &[(1.0, 2.0), (1.0, 3.0)]),
+            Err(InterpolationError::DuplicateAbscissa)
+        );
+        assert_eq!(
+            interpolate_at_zero(&alg, &[(0.0, 2.0)]),
+            Err(InterpolationError::ZeroAbscissa)
+        );
+    }
+
+    #[test]
+    fn interpolation_is_exact_on_random_field_samples() {
+        // Property-style check: interpolating more points of the same
+        // polynomial still returns the same value at zero.
+        let alg = FixedFpAlgebra::new(12);
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = Polynomial::random_with_constant(&alg, 6, alg.encode(3.5, 1), &mut rng);
+        for extra in 0..4 {
+            let pts: Vec<_> = (0..(7 + extra))
+                .map(|_| {
+                    let x: Fp256 = Fp256::from_u64(rng.gen_range(1..1u64 << 40));
+                    (x, p.eval(&alg, &x))
+                })
+                .collect();
+            let b0 = interpolate_at_zero(&alg, &pts).unwrap();
+            assert_eq!(alg.decode(&b0, 1), 3.5);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Monomial-basis expansion of polynomial kernels (Section IV-B).
+//!
+//! The nonlinear decision function with a polynomial kernel,
+//! `d(t) = Σ_s α_s y_s (xᵀt)^p + b`, expands by the multinomial theorem
+//! into a *linear* function of the `n' = C(n+p-1, p)` degree-`p` monomials
+//! `τ_j = Π_i t_i^{k_i}` (with `Σ k_i = p`). The private protocol then
+//! treats `τ` as the input vector, reducing the nonlinear case to the
+//! linear machinery.
+//!
+//! This module enumerates the monomial basis, computes multinomial
+//! coefficients, expands trained models into the basis, and maps samples
+//! `t ↦ τ`.
+
+/// Returns all exponent vectors `(k_1, …, k_n)` with `Σ k_i = p`, in
+/// lexicographic order.
+///
+/// The count is `C(n+p-1, p)`; callers exposed to untrusted sizes should
+/// check [`expanded_dimension`] first.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::monomial_exponents;
+///
+/// let exps = monomial_exponents(2, 2);
+/// assert_eq!(exps, vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+/// ```
+pub fn monomial_exponents(n: usize, p: u32) -> Vec<Vec<u32>> {
+    assert!(n > 0, "need at least one variable");
+    let mut out = Vec::new();
+    let mut current = vec![0u32; n];
+    fill(&mut out, &mut current, 0, p);
+    out
+}
+
+fn fill(out: &mut Vec<Vec<u32>>, current: &mut [u32], idx: usize, remaining: u32) {
+    if idx == current.len() - 1 {
+        current[idx] = remaining;
+        out.push(current.to_vec());
+        return;
+    }
+    for k in 0..=remaining {
+        current[idx] = k;
+        fill(out, current, idx + 1, remaining - k);
+    }
+    current[idx] = 0;
+}
+
+/// The number of degree-`p` monomials in `n` variables, `C(n+p-1, p)`,
+/// or `None` on overflow.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::expanded_dimension;
+///
+/// assert_eq!(expanded_dimension(8, 3), Some(120));
+/// assert_eq!(expanded_dimension(500, 3), Some(20_958_500));
+/// ```
+pub fn expanded_dimension(n: usize, p: u32) -> Option<u64> {
+    binomial((n as u64).checked_add(p as u64)?.checked_sub(1)?, p as u64)
+}
+
+/// Binomial coefficient `C(n, k)` with overflow detection.
+pub fn binomial(n: u64, k: u64) -> Option<u64> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return None;
+        }
+    }
+    Some(acc as u64)
+}
+
+/// Multinomial coefficient `p! / (k_1! ⋯ k_n!)` as an `f64` (the expansion
+/// coefficients are consumed as reals).
+///
+/// # Panics
+///
+/// Panics if the exponents do not sum to `p`.
+pub fn multinomial_coeff(p: u32, ks: &[u32]) -> f64 {
+    assert_eq!(
+        ks.iter().sum::<u32>(),
+        p,
+        "exponents must sum to the kernel degree"
+    );
+    // Compute iteratively as a product of binomials to stay in range.
+    let mut acc = 1.0f64;
+    let mut remaining = p;
+    for &k in ks {
+        acc *= binomial(remaining as u64, k as u64)
+            .expect("multinomial coefficient overflow") as f64;
+        remaining -= k;
+    }
+    acc
+}
+
+/// Maps a sample `t` to its monomial features `τ_j = Π t_i^{k_i}` for each
+/// exponent vector.
+pub fn monomial_features(t: &[f64], exponents: &[Vec<u32>]) -> Vec<f64> {
+    exponents
+        .iter()
+        .map(|ks| {
+            ks.iter()
+                .enumerate()
+                .map(|(i, &k)| t[i].powi(k as i32))
+                .product()
+        })
+        .collect()
+}
+
+/// Expands `scale · Σ_s c_s (x_sᵀ t)^p` into monomial-basis coefficients:
+/// `coeff_j = scale · Σ_s c_s · multinom(p; k) · Π_i x_{s,i}^{k_i}`.
+///
+/// `support` iterates over `(c_s, x_s)` pairs — for an SVM,
+/// `c_s = α_s y_s`. The result aligns with `exponents`.
+pub fn expand_power_dot(
+    support: &[(f64, Vec<f64>)],
+    p: u32,
+    scale: f64,
+    exponents: &[Vec<u32>],
+) -> Vec<f64> {
+    let mut coeffs = vec![0.0f64; exponents.len()];
+    for (j, ks) in exponents.iter().enumerate() {
+        let mc = multinomial_coeff(p, ks);
+        let mut acc = 0.0;
+        for (c, x) in support {
+            let mut prod = *c;
+            for (i, &k) in ks.iter().enumerate() {
+                prod *= x[i].powi(k as i32);
+            }
+            acc += prod;
+        }
+        coeffs[j] = scale * mc * acc;
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exponent_count_matches_formula() {
+        for n in 1..6 {
+            for p in 1..5 {
+                let exps = monomial_exponents(n, p);
+                assert_eq!(exps.len() as u64, expanded_dimension(n, p).unwrap());
+                for e in &exps {
+                    assert_eq!(e.iter().sum::<u32>(), p);
+                    assert_eq!(e.len(), n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponents_are_unique() {
+        let exps = monomial_exponents(4, 3);
+        for (i, a) in exps.iter().enumerate() {
+            for b in exps.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(10, 10), Some(1));
+        assert_eq!(binomial(10, 11), Some(0));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+        assert!(binomial(1000, 500).is_none(), "must detect overflow");
+    }
+
+    #[test]
+    fn multinomial_matches_known_values() {
+        assert_eq!(multinomial_coeff(3, &[3, 0]), 1.0);
+        assert_eq!(multinomial_coeff(3, &[2, 1]), 3.0);
+        assert_eq!(multinomial_coeff(3, &[1, 1, 1]), 6.0);
+        assert_eq!(multinomial_coeff(4, &[2, 2]), 6.0);
+    }
+
+    #[test]
+    fn expansion_reproduces_power_of_dot_product() {
+        // Σ_s c_s (x_sᵀ t)^p must equal coeffs · τ(t) exactly.
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2usize, 3, 5] {
+            for p in [2u32, 3] {
+                let support: Vec<(f64, Vec<f64>)> = (0..4)
+                    .map(|_| {
+                        (
+                            rng.gen_range(-1.0..1.0),
+                            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                        )
+                    })
+                    .collect();
+                let exps = monomial_exponents(n, p);
+                let coeffs = expand_power_dot(&support, p, 1.0, &exps);
+                let t: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let tau = monomial_features(&t, &exps);
+                let expanded: f64 = coeffs.iter().zip(&tau).map(|(c, f)| c * f).sum();
+                let direct: f64 = support
+                    .iter()
+                    .map(|(c, x)| {
+                        let dot: f64 = x.iter().zip(&t).map(|(a, b)| a * b).sum();
+                        c * dot.powi(p as i32)
+                    })
+                    .sum();
+                assert!(
+                    (expanded - direct).abs() < 1e-9,
+                    "n={n} p={p}: {expanded} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_respects_scale() {
+        let support = vec![(1.0, vec![0.5, 0.5])];
+        let exps = monomial_exponents(2, 2);
+        let unscaled = expand_power_dot(&support, 2, 1.0, &exps);
+        let scaled = expand_power_dot(&support, 2, 2.5, &exps);
+        for (a, b) in unscaled.iter().zip(&scaled) {
+            assert!((b - 2.5 * a).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Univariate polynomials over an [`Algebra`].
+//!
+//! These are the masking polynomials of the protocols: the trainer's
+//! `h(u)` with `h(0) = 0` and the client's cover polynomials `g_i(v)` with
+//! `g_i(0) = t̃_i`.
+
+use rand::Rng;
+
+use crate::algebra::Algebra;
+
+/// A dense univariate polynomial `c_0 + c_1 x + ... + c_d x^d`.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_math::{F64Algebra, Polynomial};
+///
+/// let alg = F64Algebra::new();
+/// // 1 + 2x + 3x^2 at x = 2 is 17.
+/// let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(p.eval(&alg, &2.0), 17.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial<A: Algebra> {
+    coeffs: Vec<A::Elem>,
+}
+
+impl<A: Algebra> Polynomial<A> {
+    /// Builds a polynomial from coefficients in ascending-degree order.
+    ///
+    /// An empty coefficient list denotes the zero polynomial.
+    pub fn new(coeffs: Vec<A::Elem>) -> Self {
+        Self { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: A::Elem) -> Self {
+        Self { coeffs: vec![c] }
+    }
+
+    /// Draws a uniformly random polynomial of exactly the given degree with
+    /// the prescribed constant term.
+    ///
+    /// This is the primitive behind both masking constructions: the paper's
+    /// `h(u)` is `random_with_constant(q, 0)` and the client's `g_i(v)` is
+    /// `random_with_constant(q, t̃_i)`.
+    pub fn random_with_constant<R: Rng + ?Sized>(
+        alg: &A,
+        degree: usize,
+        constant: A::Elem,
+        rng: &mut R,
+    ) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(constant);
+        for i in 1..=degree {
+            let c = if i == degree {
+                // A zero leading coefficient would silently reduce the
+                // masking degree and weaken the hiding argument.
+                loop {
+                    let c = alg.random_mask(rng);
+                    if !alg.is_zero(&c) {
+                        break c;
+                    }
+                }
+            } else {
+                alg.random_mask(rng)
+            };
+            coeffs.push(c);
+        }
+        Self { coeffs }
+    }
+
+    /// The degree (0 for constants and for the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// The coefficients, ascending by degree.
+    pub fn coeffs(&self) -> &[A::Elem] {
+        &self.coeffs
+    }
+
+    /// Evaluates at `x` using Horner's rule.
+    pub fn eval(&self, alg: &A, x: &A::Elem) -> A::Elem {
+        let mut acc = alg.zero();
+        for c in self.coeffs.iter().rev() {
+            acc = alg.add(&alg.mul(&acc, x), c);
+        }
+        acc
+    }
+
+    /// The constant term `p(0)`.
+    pub fn constant_term(&self, alg: &A) -> A::Elem {
+        self.coeffs.first().cloned().unwrap_or_else(|| alg.zero())
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, alg: &A, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).cloned().unwrap_or_else(|| alg.zero());
+            let b = other.coeffs.get(i).cloned().unwrap_or_else(|| alg.zero());
+            coeffs.push(alg.add(&a, &b));
+        }
+        Self { coeffs }
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scale(&self, alg: &A, k: &A::Elem) -> Self {
+        Self {
+            coeffs: self.coeffs.iter().map(|c| alg.mul(c, k)).collect(),
+        }
+    }
+
+    /// Full polynomial product (schoolbook; degrees here are tiny).
+    pub fn mul(&self, alg: &A, other: &Self) -> Self {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![alg.zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                let prod = alg.mul(a, b);
+                coeffs[i + j] = alg.add(&coeffs[i + j], &prod);
+            }
+        }
+        Self { coeffs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{F64Algebra, FixedFpAlgebra};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn horner_matches_naive() {
+        let alg = F64Algebra::new();
+        let p = Polynomial::new(vec![4.0, -3.0, 0.5, 2.0]);
+        let x = 1.7f64;
+        let naive = 4.0 - 3.0 * x + 0.5 * x * x + 2.0 * x * x * x;
+        assert!((p.eval(&alg, &x) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_with_constant_pins_constant_and_degree() {
+        let alg = FixedFpAlgebra::new(16);
+        let mut rng = StdRng::seed_from_u64(42);
+        let c = alg.encode(0.75, 1);
+        for degree in 1..10 {
+            let p = Polynomial::random_with_constant(&alg, degree, c, &mut rng);
+            assert_eq!(p.degree(), degree);
+            assert_eq!(p.constant_term(&alg), c);
+            assert!(!alg.is_zero(&p.coeffs()[degree]));
+        }
+    }
+
+    #[test]
+    fn add_scale_mul_are_consistent_with_eval() {
+        let alg = F64Algebra::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Polynomial::random_with_constant(&alg, 4, 1.0, &mut rng);
+        let q = Polynomial::random_with_constant(&alg, 3, -2.0, &mut rng);
+        let x = 0.9;
+        let sum = p.add(&alg, &q);
+        assert!((sum.eval(&alg, &x) - (p.eval(&alg, &x) + q.eval(&alg, &x))).abs() < 1e-12);
+        let scaled = p.scale(&alg, &3.0);
+        assert!((scaled.eval(&alg, &x) - 3.0 * p.eval(&alg, &x)).abs() < 1e-12);
+        let prod = p.mul(&alg, &q);
+        assert!((prod.eval(&alg, &x) - p.eval(&alg, &x) * q.eval(&alg, &x)).abs() < 1e-10);
+        assert_eq!(prod.degree(), 7);
+    }
+
+    #[test]
+    fn zero_polynomial_evaluates_to_zero() {
+        let alg = F64Algebra::new();
+        let z = Polynomial::<F64Algebra>::zero();
+        assert_eq!(z.eval(&alg, &5.0), 0.0);
+        assert_eq!(z.constant_term(&alg), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! OMPE errors.
+
+use core::fmt;
+
+use ppcs_math::InterpolationError;
+use ppcs_ot::OtError;
+use ppcs_transport::TransportError;
+
+/// Errors raised by the OMPE protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OmpeError {
+    /// Invalid protocol parameters.
+    Params(String),
+    /// The sender's secret polynomial exceeds the agreed degree bound or
+    /// arity.
+    SecretMismatch(String),
+    /// Underlying oblivious-transfer failure.
+    Ot(OtError),
+    /// Underlying transport failure.
+    Transport(TransportError),
+    /// The retrieval interpolation failed (duplicate or zero abscissae —
+    /// indicates a protocol violation by the peer).
+    Interpolation(InterpolationError),
+    /// The peer deviated from the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for OmpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Params(msg) => write!(f, "invalid OMPE parameters: {msg}"),
+            Self::SecretMismatch(msg) => write!(f, "secret polynomial mismatch: {msg}"),
+            Self::Ot(e) => write!(f, "oblivious transfer failed: {e}"),
+            Self::Transport(e) => write!(f, "transport failed: {e}"),
+            Self::Interpolation(e) => write!(f, "retrieval interpolation failed: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OmpeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ot(e) => Some(e),
+            Self::Transport(e) => Some(e),
+            Self::Interpolation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OtError> for OmpeError {
+    fn from(e: OtError) -> Self {
+        Self::Ot(e)
+    }
+}
+
+impl From<TransportError> for OmpeError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+impl From<InterpolationError> for OmpeError {
+    fn from(e: InterpolationError) -> Self {
+        Self::Interpolation(e)
+    }
+}

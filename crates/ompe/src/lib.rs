@@ -1,0 +1,61 @@
+//! # ppcs-ompe
+//!
+//! Oblivious Multivariate Polynomial Evaluation (Tassa, Jarrous,
+//! Ben-Ya'akov — J. Math. Cryptol. 2013), the protocol every ppcs scheme
+//! is built on (Section III-C of the ICDCS'16 paper).
+//!
+//! The **sender** holds a secret `r`-variate polynomial `P` of public
+//! total degree ≤ `degree_bound`; the **receiver** holds a private input
+//! vector `α ∈ Aʳ`. After the protocol the receiver knows `P(α)` and
+//! nothing else about `P`; the sender learns nothing about `α`.
+//!
+//! Construction: the receiver hides each `α_i` as the constant term of a
+//! random degree-`σ` polynomial `S_i`, submits `N = n·m` evaluation
+//! points of which only `n = σ·degree_bound + 1` are genuine covers
+//! `(x, S(x))`, and the sender answers with `Q(x, y) = M(x) + P(y)` where
+//! `M` is a random masking polynomial with `M(0) = 0`. An n-out-of-N
+//! oblivious transfer delivers the cover values; Lagrange interpolation
+//! at zero strips the mask: `R(0) = M(0) + P(S(0)) = P(α)`.
+//!
+//! The protocol is generic over the [`Algebra`](ppcs_math::Algebra)
+//! backend (floats as in the paper's experiments, or fixed-point field
+//! elements for the cryptographically sound instantiation) and over the
+//! [`ObliviousTransfer`](ppcs_ot::ObliviousTransfer) engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppcs_math::{F64Algebra, MvPolynomial};
+//! use ppcs_ompe::{ompe_receive, ompe_send, OmpeParams};
+//! use ppcs_ot::TrustedSimOt;
+//! use ppcs_transport::run_pair;
+//! use rand::SeedableRng;
+//!
+//! let alg = F64Algebra::new();
+//! // Sender's secret: P(y1, y2) = 2·y1 - 3·y2 + 0.5
+//! let secret = MvPolynomial::affine(&alg, &[2.0, -3.0], 0.5);
+//! let params = OmpeParams::new(1, 4, 3).unwrap();
+//!
+//! let (send_res, value) = run_pair(
+//!     move |ep| {
+//!         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!         ompe_send(&F64Algebra::new(), &ep, &TrustedSimOt, &mut rng, &secret, &params)
+//!     },
+//!     move |ep| {
+//!         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//!         ompe_receive(&F64Algebra::new(), &ep, &TrustedSimOt, &mut rng, &[1.0, 2.0], &params)
+//!             .unwrap()
+//!     },
+//! );
+//! send_res.unwrap();
+//! assert!((value - (2.0 - 6.0 + 0.5)).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod protocol;
+
+pub use error::OmpeError;
+pub use protocol::{ompe_receive, ompe_send, OmpeParams};

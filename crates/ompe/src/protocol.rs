@@ -1,0 +1,434 @@
+//! The OMPE sender and receiver.
+
+use bytes::{Bytes, BytesMut};
+use ppcs_math::{interpolate_at_zero, Algebra, PolyEval, Polynomial};
+use ppcs_ot::ObliviousTransfer;
+use ppcs_transport::{decode_seq, encode_seq, Encodable, Endpoint};
+use rand::seq::index::sample;
+use rand::RngCore;
+
+use crate::error::OmpeError;
+
+const KIND_OMPE_POINTS: u16 = 0x0400;
+
+/// Public parameters both parties must agree on before running OMPE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OmpeParams {
+    /// Public upper bound on the total degree of the sender's secret
+    /// polynomial (`p` in the paper's nonlinear protocol, 1 for linear).
+    pub degree_bound: usize,
+    /// Degree of the receiver's input-masking polynomials (`q` in the
+    /// paper). Larger values raise the interpolation threshold an
+    /// eavesdropper would need.
+    pub sigma: usize,
+    /// Decoy multiplier (`m` such that `N = n·m` points are submitted,
+    /// `k` in the paper's notation for the classification scheme).
+    /// A factor of 1 disables decoys — only meaningful together with the
+    /// ideal-functionality OT in functional-benchmark mode.
+    pub decoy_factor: usize,
+}
+
+impl OmpeParams {
+    /// Validates and builds a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmpeError::Params`] if any parameter is zero.
+    pub fn new(
+        degree_bound: usize,
+        sigma: usize,
+        decoy_factor: usize,
+    ) -> Result<Self, OmpeError> {
+        if degree_bound == 0 {
+            return Err(OmpeError::Params("degree_bound must be ≥ 1".into()));
+        }
+        if sigma == 0 {
+            return Err(OmpeError::Params("sigma must be ≥ 1".into()));
+        }
+        if decoy_factor == 0 {
+            return Err(OmpeError::Params("decoy_factor must be ≥ 1".into()));
+        }
+        Ok(Self {
+            degree_bound,
+            sigma,
+            decoy_factor,
+        })
+    }
+
+    /// The composite degree `D = degree_bound · sigma` of the masked
+    /// univariate polynomial the receiver reconstructs.
+    pub fn composite_degree(&self) -> usize {
+        self.degree_bound * self.sigma
+    }
+
+    /// The number of genuine cover points, `n = D + 1`.
+    pub fn num_covers(&self) -> usize {
+        self.composite_degree() + 1
+    }
+
+    /// The total number of submitted points, `N = n · decoy_factor`.
+    pub fn num_points(&self) -> usize {
+        self.num_covers() * self.decoy_factor
+    }
+}
+
+fn encode_elems<E: Encodable>(elems: &[E]) -> Bytes {
+    let mut out = BytesMut::new();
+    encode_seq(elems, &mut out);
+    out.freeze()
+}
+
+/// Sender side of OMPE: obliviously evaluates `secret` on the receiver's
+/// hidden input.
+///
+/// # Errors
+///
+/// [`OmpeError::SecretMismatch`] if `secret` exceeds the agreed degree
+/// bound, plus transport/OT/protocol failures.
+pub fn ompe_send<A, P>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    secret: &P,
+    params: &OmpeParams,
+) -> Result<(), OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+    P: PolyEval<A> + ?Sized,
+{
+    if secret.total_degree() > params.degree_bound {
+        return Err(OmpeError::SecretMismatch(format!(
+            "secret has total degree {}, agreed bound is {}",
+            secret.total_degree(),
+            params.degree_bound
+        )));
+    }
+    let n_points = params.num_points();
+    let r = secret.num_vars();
+
+    // Receive the receiver's point cloud: N abscissae and N input vectors.
+    let mut payload: Bytes = {
+        let blob: Vec<u8> = ep.recv_msg(KIND_OMPE_POINTS)?;
+        Bytes::from(blob)
+    };
+    let xs: Vec<A::Elem> = decode_seq(&mut payload)?;
+    let ys_flat: Vec<A::Elem> = decode_seq(&mut payload)?;
+    if xs.len() != n_points {
+        return Err(OmpeError::Protocol(format!(
+            "receiver submitted {} points, parameters require {n_points}",
+            xs.len()
+        )));
+    }
+    if ys_flat.len() != n_points * r {
+        return Err(OmpeError::Protocol(format!(
+            "receiver submitted {} input coordinates, expected {}",
+            ys_flat.len(),
+            n_points * r
+        )));
+    }
+
+    // Fresh masking polynomial M with M(0) = 0 and degree exactly D.
+    let mask = Polynomial::random_with_constant(
+        alg,
+        params.composite_degree(),
+        alg.zero(),
+        rng,
+    );
+
+    // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
+    let mut answers = Vec::with_capacity(n_points);
+    for (i, x) in xs.iter().enumerate() {
+        let y = &ys_flat[i * r..(i + 1) * r];
+        let q = alg.add(&mask.eval(alg, x), &secret.eval(alg, y));
+        answers.push(encode_elems(std::slice::from_ref(&q)).to_vec());
+    }
+
+    // n-out-of-N oblivious transfer of the answers.
+    ot.send(ep, rng, &answers, params.num_covers())?;
+    Ok(())
+}
+
+/// Receiver side of OMPE: learns `P(α)` for the private input `alpha`.
+///
+/// # Errors
+///
+/// [`OmpeError::Params`] on empty input, plus transport/OT/interpolation
+/// failures.
+pub fn ompe_receive<A>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    alpha: &[A::Elem],
+    params: &OmpeParams,
+) -> Result<A::Elem, OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    if alpha.is_empty() {
+        return Err(OmpeError::Params("input vector must be non-empty".into()));
+    }
+    let r = alpha.len();
+    let n_covers = params.num_covers();
+    let n_points = params.num_points();
+
+    // Hide each input coordinate as the constant term of a random
+    // degree-σ polynomial.
+    let cover_polys: Vec<Polynomial<A>> = alpha
+        .iter()
+        .map(|a| Polynomial::random_with_constant(alg, params.sigma, a.clone(), rng))
+        .collect();
+
+    // Distinct nonzero abscissae for all N points.
+    let xs = draw_distinct_points(alg, n_points, rng);
+
+    // Choose which positions are genuine covers.
+    let cover_positions: Vec<usize> = sample(rng, n_points, n_covers).into_vec();
+    let mut is_cover = vec![false; n_points];
+    for &pos in &cover_positions {
+        is_cover[pos] = true;
+    }
+
+    // Build the submitted input vectors: S(x) at covers, disguises
+    // elsewhere.
+    let mut ys_flat = Vec::with_capacity(n_points * r);
+    for (i, x) in xs.iter().enumerate() {
+        if is_cover[i] {
+            for poly in &cover_polys {
+                ys_flat.push(poly.eval(alg, x));
+            }
+        } else {
+            for _ in 0..r {
+                ys_flat.push(alg.random_disguise(rng));
+            }
+        }
+    }
+
+    let mut payload = BytesMut::new();
+    encode_seq(&xs, &mut payload);
+    encode_seq(&ys_flat, &mut payload);
+    ep.send_msg(KIND_OMPE_POINTS, &payload.to_vec())?;
+
+    // Obliviously fetch the answers at the cover positions.
+    let raw = ot.receive(ep, rng, n_points, &cover_positions)?;
+    let mut points = Vec::with_capacity(n_covers);
+    for (raw_value, &pos) in raw.iter().zip(&cover_positions) {
+        let mut input = Bytes::from(raw_value.clone());
+        let values: Vec<A::Elem> = decode_seq(&mut input)
+            .map_err(|e| OmpeError::Protocol(format!("bad OT payload: {e}")))?;
+        let [value] = <[A::Elem; 1]>::try_from(values)
+            .map_err(|_| OmpeError::Protocol("OT payload is not a single element".into()))?;
+        points.push((xs[pos].clone(), value));
+    }
+
+    // Interpolate R(v) = M(v) + P(S(v)) and evaluate at zero:
+    // R(0) = M(0) + P(S(0)) = P(α).
+    Ok(interpolate_at_zero(alg, &points)?)
+}
+
+/// Draws `count` pairwise-distinct nonzero evaluation points.
+fn draw_distinct_points<A: Algebra>(
+    alg: &A,
+    count: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<A::Elem> {
+    let mut xs: Vec<A::Elem> = Vec::with_capacity(count);
+    while xs.len() < count {
+        let candidate = alg.random_point(rng);
+        if xs.contains(&candidate) {
+            continue;
+        }
+        xs.push(candidate);
+    }
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_math::{F64Algebra, FixedFpAlgebra, MvPolynomial};
+    use ppcs_ot::{NaorPinkasOt, TrustedSimOt};
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_ompe<A>(
+        alg: A,
+        secret: MvPolynomial<A>,
+        alpha: Vec<A::Elem>,
+        params: OmpeParams,
+        ot_engine: &'static dyn ObliviousTransfer,
+        seed: u64,
+    ) -> A::Elem
+    where
+        A: Algebra,
+        A::Elem: Encodable,
+    {
+        let alg2 = alg.clone();
+        let (send_res, value) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                ompe_send(&alg, &ep, ot_engine, &mut rng, &secret, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed + 1);
+                ompe_receive(&alg2, &ep, ot_engine, &mut rng, &alpha, &params)
+            },
+        );
+        send_res.unwrap();
+        value.unwrap()
+    }
+
+    static SIM: TrustedSimOt = TrustedSimOt;
+
+    #[test]
+    fn linear_polynomial_over_f64() {
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::affine(&alg, &[1.5, -2.0, 0.25], 3.0);
+        let alpha = vec![2.0, 1.0, 4.0];
+        let want = 1.5 * 2.0 - 2.0 + 0.25 * 4.0 + 3.0;
+        let params = OmpeParams::new(1, 5, 4).unwrap();
+        for seed in 0..5 {
+            let got = run_ompe(alg, secret.clone(), alpha.clone(), params, &SIM, seed * 17);
+            assert!((got - want).abs() < 1e-6, "seed {seed}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn linear_polynomial_over_field_is_exact() {
+        let alg = FixedFpAlgebra::new(16);
+        let weights = vec![alg.encode(1.5, 1), alg.encode(-2.0, 1)];
+        let bias = alg.encode(3.0, 2);
+        let secret = MvPolynomial::affine(&alg, &weights, bias);
+        let alpha = vec![alg.encode(0.5, 1), alg.encode(-0.25, 1)];
+        let params = OmpeParams::new(1, 5, 4).unwrap();
+        let got = run_ompe(alg, secret, alpha, params, &SIM, 3);
+        let want = 1.5 * 0.5 - 2.0 * -0.25 + 3.0;
+        assert!(
+            (alg.decode(&got, 2) - want).abs() < 1e-3,
+            "{} vs {want}",
+            alg.decode(&got, 2)
+        );
+    }
+
+    #[test]
+    fn degree_four_two_variate_over_field() {
+        // The similarity polynomial shape: degree 4 in 2 variables.
+        let alg = FixedFpAlgebra::new(12);
+        // P(y1,y2) = (y1 - 1)^2 · y2^2, expanded; inputs at scale 1, so a
+        // degree-k term needs its coefficient at scale (4-k) for a
+        // uniform output scale of 4.
+        let terms = vec![
+            (alg.encode(1.0, 0), vec![2, 2]),
+            (alg.encode(-2.0, 1), vec![1, 2]),
+            (alg.encode(1.0, 2), vec![0, 2]),
+        ];
+        let secret = MvPolynomial::from_terms(2, terms);
+        let alpha = vec![alg.encode(3.0, 1), alg.encode(-2.0, 1)];
+        let params = OmpeParams::new(4, 2, 3).unwrap();
+        let got = run_ompe(alg, secret, alpha, params, &SIM, 4);
+        let want = (3.0f64 - 1.0).powi(2) * 4.0;
+        assert!(
+            (alg.decode(&got, 4) - want).abs() < 1e-2,
+            "{} vs {want}",
+            alg.decode(&got, 4)
+        );
+    }
+
+    #[test]
+    fn works_over_real_naor_pinkas_ot() {
+        static NP: once_fast::Lazy = once_fast::Lazy;
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::affine(&alg, &[2.0, 1.0], -0.5);
+        let params = OmpeParams::new(1, 3, 2).unwrap();
+        let got = run_ompe(alg, secret, vec![0.5, 0.5], params, NP.get(), 9);
+        assert!((got - (1.0 + 0.5 - 0.5)).abs() < 1e-6);
+    }
+
+    /// Small helper to get a `&'static dyn ObliviousTransfer` for the
+    /// Naor–Pinkas engine.
+    mod once_fast {
+        use super::*;
+        use std::sync::OnceLock;
+        pub struct Lazy;
+        impl Lazy {
+            pub fn get(&self) -> &'static dyn ObliviousTransfer {
+                static CELL: OnceLock<NaorPinkasOt> = OnceLock::new();
+                CELL.get_or_init(NaorPinkasOt::fast_insecure)
+            }
+        }
+    }
+
+    #[test]
+    fn sender_rejects_overdegree_secret() {
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::from_terms(1, vec![(1.0, vec![3])]);
+        let params = OmpeParams::new(2, 2, 2).unwrap();
+        let (send_res, _) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                ompe_send(&F64Algebra::new(), &ep, &SIM, &mut rng, &secret, &params)
+            },
+            move |_ep| {},
+        );
+        assert!(matches!(
+            send_res.unwrap_err(),
+            OmpeError::SecretMismatch(_)
+        ));
+        let _ = alg;
+    }
+
+    #[test]
+    fn params_reject_zeroes() {
+        assert!(OmpeParams::new(0, 1, 1).is_err());
+        assert!(OmpeParams::new(1, 0, 1).is_err());
+        assert!(OmpeParams::new(1, 1, 0).is_err());
+        let p = OmpeParams::new(3, 4, 5).unwrap();
+        assert_eq!(p.composite_degree(), 12);
+        assert_eq!(p.num_covers(), 13);
+        assert_eq!(p.num_points(), 65);
+    }
+
+    #[test]
+    fn point_count_mismatch_is_detected() {
+        // Receiver and sender disagree on the decoy factor.
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::affine(&alg, &[1.0], 0.0);
+        let params_s = OmpeParams::new(1, 2, 4).unwrap();
+        let params_r = OmpeParams::new(1, 2, 3).unwrap();
+        let (send_res, _) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                ompe_send(&F64Algebra::new(), &ep, &SIM, &mut rng, &secret, &params_s)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let _ = ompe_receive(
+                    &F64Algebra::new(),
+                    &ep,
+                    &SIM,
+                    &mut rng,
+                    &[1.0],
+                    &params_r,
+                );
+            },
+        );
+        assert!(matches!(send_res.unwrap_err(), OmpeError::Protocol(_)));
+    }
+
+    #[test]
+    fn distinct_points_are_distinct() {
+        let alg = F64Algebra::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = draw_distinct_points(&alg, 200, &mut rng);
+        for (i, a) in xs.iter().enumerate() {
+            assert!(*a != 0.0);
+            for b in xs.iter().skip(i + 1) {
+                assert!(a != b);
+            }
+        }
+    }
+}

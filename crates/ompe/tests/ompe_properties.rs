@@ -1,0 +1,132 @@
+//! Property tests for OMPE: correctness must hold for arbitrary secret
+//! polynomials, inputs, and parameter choices.
+
+use ppcs_math::{Algebra, F64Algebra, FixedFpAlgebra, MvPolynomial};
+use ppcs_ompe::{ompe_receive, ompe_send, OmpeParams};
+use ppcs_ot::TrustedSimOt;
+use ppcs_transport::run_pair;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static SIM: TrustedSimOt = TrustedSimOt;
+
+fn run_f64(
+    weights: Vec<f64>,
+    bias: f64,
+    alpha: Vec<f64>,
+    sigma: usize,
+    decoys: usize,
+    seed: u64,
+) -> f64 {
+    let alg = F64Algebra::new();
+    let secret = MvPolynomial::affine(&alg, &weights, bias);
+    let params = OmpeParams::new(1, sigma, decoys).expect("valid params");
+    let (send, value) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ompe_send(&F64Algebra::new(), &ep, &SIM, &mut rng, &secret, &params)
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+            ompe_receive(&F64Algebra::new(), &ep, &SIM, &mut rng, &alpha, &params)
+        },
+    );
+    send.expect("send");
+    value.expect("receive")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn affine_ompe_is_correct_over_f64(
+        weights in prop::collection::vec(-3.0f64..3.0, 1..6),
+        bias in -2.0f64..2.0,
+        alpha_raw in prop::collection::vec(-1.0f64..1.0, 6),
+        sigma in 1usize..5,
+        decoys in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let alpha = alpha_raw[..weights.len()].to_vec();
+        let want: f64 = weights.iter().zip(&alpha).map(|(w, a)| w * a).sum::<f64>() + bias;
+        let got = run_f64(weights, bias, alpha, sigma, decoys, seed);
+        prop_assert!(
+            (got - want).abs() < 1e-5 * want.abs().max(1.0),
+            "got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn affine_ompe_is_exact_over_fixed_point(
+        weights in prop::collection::vec(-3.0f64..3.0, 1..5),
+        bias in -2.0f64..2.0,
+        alpha_raw in prop::collection::vec(-1.0f64..1.0, 5),
+        seed in 0u64..1000,
+    ) {
+        let alg = FixedFpAlgebra::new(16);
+        let alpha: Vec<f64> = alpha_raw[..weights.len()].to_vec();
+        let want: f64 = weights.iter().zip(&alpha).map(|(w, a)| w * a).sum::<f64>() + bias;
+
+        let enc_weights: Vec<_> = weights.iter().map(|w| alg.encode(*w, 1)).collect();
+        let secret = MvPolynomial::affine(&alg, &enc_weights, alg.encode(bias, 2));
+        let enc_alpha: Vec<_> = alpha.iter().map(|a| alg.encode(*a, 1)).collect();
+        let params = OmpeParams::new(1, 3, 2).expect("valid params");
+
+        let (send, value) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                ompe_send(&FixedFpAlgebra::new(16), &ep, &SIM, &mut rng, &secret, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xAAAA);
+                ompe_receive(&FixedFpAlgebra::new(16), &ep, &SIM, &mut rng, &enc_alpha, &params)
+            },
+        );
+        send.expect("send");
+        let got = alg.decode(&value.expect("receive"), 2);
+        // Quantization error only: inputs and weights each quantized at
+        // 2^-16, products bounded by dim · 3 · 2^-16 · 2.
+        prop_assert!(
+            (got - want).abs() < 1e-3,
+            "got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn quadratic_two_variate_ompe(
+        c0 in -1.0f64..1.0,
+        c1 in -1.0f64..1.0,
+        c2 in -1.0f64..1.0,
+        x in -1.0f64..1.0,
+        y in -1.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        // P(x, y) = c2·x·y + c1·x + c0
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::from_terms(
+            2,
+            vec![(c2, vec![1, 1]), (c1, vec![1, 0]), (c0, vec![0, 0])],
+        );
+        let want = c2 * x * y + c1 * x + c0;
+        let params = OmpeParams::new(2, 2, 2).expect("valid params");
+        let alpha = vec![x, y];
+        let (send, value) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                ompe_send(&F64Algebra::new(), &ep, &SIM, &mut rng, &secret, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+                ompe_receive(&F64Algebra::new(), &ep, &SIM, &mut rng, &alpha, &params)
+            },
+        );
+        send.expect("send");
+        let got = value.expect("receive");
+        prop_assert!(
+            (got - want).abs() < 1e-5,
+            "got {got}, want {want}"
+        );
+        let _ = alg;
+    }
+}

@@ -1,0 +1,296 @@
+//! The object-safe k-out-of-N OT interface consumed by OMPE, plus the two
+//! engines: cryptographic Naor–Pinkas and the ideal-functionality
+//! simulator used for large-scale functional benchmarks.
+
+use ppcs_crypto::DhGroup;
+use ppcs_transport::Endpoint;
+use rand::RngCore;
+
+use crate::error::OtError;
+use crate::kn::{otkn_receive, otkn_send};
+
+const KIND_SIM_INDICES: u16 = 0x0300;
+const KIND_SIM_MESSAGES: u16 = 0x0301;
+
+/// A k-out-of-N oblivious transfer engine.
+///
+/// The sender calls [`send`](ObliviousTransfer::send) with all `N`
+/// messages (and the agreed `k`); the receiver calls
+/// [`receive`](ObliviousTransfer::receive) with its `k` indices and gets
+/// exactly those messages back, in order.
+pub trait ObliviousTransfer: Send + Sync {
+    /// Sender side of a k-out-of-N transfer.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific [`OtError`]s; all report transport
+    /// failures and unequal message lengths.
+    fn send(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        messages: &[Vec<u8>],
+        k: usize,
+    ) -> Result<(), OtError>;
+
+    /// Receiver side; returns the messages at `indices`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific [`OtError`]s; all validate index ranges.
+    fn receive(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        num_messages: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, OtError>;
+
+    /// A short label for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Cryptographic k-out-of-N OT (Naor–Pinkas base OTs over a MODP group).
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_ot::{NaorPinkasOt, ObliviousTransfer};
+/// use ppcs_transport::run_pair;
+/// use rand::SeedableRng;
+///
+/// let ot = NaorPinkasOt::fast_insecure(); // 768-bit group: tests only
+/// let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 4]).collect();
+/// let msgs2 = msgs.clone();
+/// let ot2 = ot.clone();
+/// let (_, got) = run_pair(
+///     move |ep| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///         ot.send(&ep, &mut rng, &msgs, 2).unwrap();
+///     },
+///     move |ep| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+///         ot2.receive(&ep, &mut rng, 8, &[6, 1]).unwrap()
+///     },
+/// );
+/// assert_eq!(got, vec![msgs2[6].clone(), msgs2[1].clone()]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NaorPinkasOt {
+    group: &'static DhGroup,
+}
+
+impl NaorPinkasOt {
+    /// Security-grade engine over the RFC 3526 2048-bit MODP group.
+    pub fn new() -> Self {
+        Self {
+            group: DhGroup::modp_2048(),
+        }
+    }
+
+    /// Fast engine over a 768-bit group — for tests and micro-benchmarks
+    /// only; 768-bit discrete logs are not a modern security margin.
+    pub fn fast_insecure() -> Self {
+        Self {
+            group: DhGroup::modp_768(),
+        }
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &'static DhGroup {
+        self.group
+    }
+}
+
+impl Default for NaorPinkasOt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObliviousTransfer for NaorPinkasOt {
+    fn send(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        messages: &[Vec<u8>],
+        k: usize,
+    ) -> Result<(), OtError> {
+        otkn_send(self.group, ep, rng, messages, k)
+    }
+
+    fn receive(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        num_messages: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, OtError> {
+        otkn_receive(self.group, ep, rng, num_messages, indices)
+    }
+
+    fn name(&self) -> &'static str {
+        if core::ptr::eq(self.group, DhGroup::modp_2048()) {
+            "naor-pinkas-2048"
+        } else {
+            "naor-pinkas-768"
+        }
+    }
+}
+
+/// Ideal-functionality OT: the receiver reveals its indices to an assumed
+/// trusted channel and gets exactly the selected messages back.
+///
+/// This models the OT as an ideal functionality so that protocol-level
+/// experiments can run at dataset scale (Fig. 9 of the paper sweeps tens
+/// of thousands of classifications). It provides **no sender privacy
+/// against the transport** and must never be used where the OT's
+/// cryptographic guarantees matter; the benchmark harness reports which
+/// engine produced each number.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrustedSimOt;
+
+impl TrustedSimOt {
+    /// Creates the simulator engine.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ObliviousTransfer for TrustedSimOt {
+    fn send(
+        &self,
+        ep: &Endpoint,
+        _rng: &mut dyn RngCore,
+        messages: &[Vec<u8>],
+        k: usize,
+    ) -> Result<(), OtError> {
+        let msg_len = messages.first().map_or(0, Vec::len);
+        if messages.iter().any(|m| m.len() != msg_len) {
+            return Err(OtError::UnequalMessageLengths);
+        }
+        let blob: Vec<u8> = ep.recv_msg(KIND_SIM_INDICES)?;
+        if !blob.len().is_multiple_of(8) {
+            return Err(OtError::Protocol("malformed index blob".into()));
+        }
+        let indices: Vec<usize> = blob
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+            .collect();
+        if indices.len() != k {
+            return Err(OtError::Protocol(format!(
+                "receiver opened {} positions, agreed k = {k}",
+                indices.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(indices.len() * msg_len);
+        for &i in &indices {
+            let m = messages.get(i).ok_or(OtError::InvalidIndex {
+                index: i,
+                num_messages: messages.len(),
+            })?;
+            out.extend_from_slice(m);
+        }
+        ep.send_msg(KIND_SIM_MESSAGES, &out)?;
+        Ok(())
+    }
+
+    fn receive(
+        &self,
+        ep: &Endpoint,
+        _rng: &mut dyn RngCore,
+        num_messages: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, OtError> {
+        for &i in indices {
+            if i >= num_messages {
+                return Err(OtError::InvalidIndex {
+                    index: i,
+                    num_messages,
+                });
+            }
+        }
+        let mut blob = Vec::with_capacity(indices.len() * 8);
+        for &i in indices {
+            blob.extend_from_slice(&(i as u64).to_le_bytes());
+        }
+        ep.send_msg(KIND_SIM_INDICES, &blob)?;
+        let out: Vec<u8> = ep.recv_msg(KIND_SIM_MESSAGES)?;
+        if indices.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !out.len().is_multiple_of(indices.len()) {
+            return Err(OtError::Protocol("malformed message blob".into()));
+        }
+        let msg_len = out.len() / indices.len();
+        Ok(out.chunks_exact(msg_len).map(<[u8]>::to_vec).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "trusted-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exercise(ot: impl ObliviousTransfer + Clone + 'static) {
+        let msgs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 8]).collect();
+        let msgs_s = msgs.clone();
+        let ot_r = ot.clone();
+        let indices = vec![9usize, 0, 4];
+        let idx = indices.clone();
+        let (_, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                ot.send(&ep, &mut rng, &msgs_s, 3).unwrap();
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                ot_r.receive(&ep, &mut rng, 10, &idx).unwrap()
+            },
+        );
+        for (g, &i) in got.iter().zip(&indices) {
+            assert_eq!(g, &msgs[i]);
+        }
+    }
+
+    #[test]
+    fn naor_pinkas_engine_works() {
+        exercise(NaorPinkasOt::fast_insecure());
+    }
+
+    #[test]
+    fn trusted_sim_engine_works() {
+        exercise(TrustedSimOt::new());
+    }
+
+    #[test]
+    fn trusted_sim_rejects_wrong_k() {
+        let ot = TrustedSimOt::new();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 4]).collect();
+        let (res, _) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                TrustedSimOt::new().send(&ep, &mut rng, &msgs, 2)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                // Receiver tries to open 3 positions when k = 2.
+                let _ = ot.receive(&ep, &mut rng, 4, &[0, 1, 2]);
+            },
+        );
+        assert!(matches!(res.unwrap_err(), OtError::Protocol(_)));
+    }
+
+    #[test]
+    fn engines_report_names() {
+        assert_eq!(NaorPinkasOt::new().name(), "naor-pinkas-2048");
+        assert_eq!(NaorPinkasOt::fast_insecure().name(), "naor-pinkas-768");
+        assert_eq!(TrustedSimOt::new().name(), "trusted-sim");
+    }
+}

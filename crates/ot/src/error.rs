@@ -1,0 +1,52 @@
+//! Oblivious-transfer errors.
+
+use core::fmt;
+use ppcs_transport::TransportError;
+
+/// Errors raised by the OT protocols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OtError {
+    /// The underlying channel failed.
+    Transport(TransportError),
+    /// The receiver requested an index outside `0..num_messages`.
+    InvalidIndex {
+        /// The offending index.
+        index: usize,
+        /// The number of messages in the transfer.
+        num_messages: usize,
+    },
+    /// The sender's messages do not all have the same length.
+    UnequalMessageLengths,
+    /// The peer deviated from the protocol (malformed group element,
+    /// inconsistent counts, …).
+    Protocol(String),
+}
+
+impl fmt::Display for OtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "transport failure: {e}"),
+            Self::InvalidIndex {
+                index,
+                num_messages,
+            } => write!(f, "index {index} out of range for {num_messages} messages"),
+            Self::UnequalMessageLengths => write!(f, "all OT messages must have equal length"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for OtError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}

@@ -1,0 +1,288 @@
+//! k-out-of-N oblivious transfer over the IKNP extension: the same
+//! construction as [`kn`](crate::kn) (per-query bit keys + encrypted
+//! message tables), but all `k·⌈log₂N⌉` underlying 1-of-2 transfers run
+//! in a single extension batch costing `κ = 128` public-key operations
+//! total instead of four per bit.
+
+use ppcs_crypto::DhGroup;
+use ppcs_transport::Endpoint;
+use rand::RngCore;
+
+use crate::api::ObliviousTransfer;
+use crate::error::OtError;
+use crate::ext::{iknp_receive, iknp_send};
+use crate::kn::{encrypt_message, message_key, num_bits};
+
+const KIND_KNX_TABLE: u16 = 0x0290;
+
+/// k-out-of-N OT engine backed by the IKNP extension.
+///
+/// Amortizes the public-key cost across the whole selection: one batch
+/// of `κ` base OTs regardless of `k` and `N`. The engine of choice when
+/// a session transfers many positions (large decoy factors or large
+/// masking degrees).
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_ot::{IknpOt, ObliviousTransfer};
+/// use ppcs_transport::run_pair;
+/// use rand::SeedableRng;
+///
+/// let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 8]).collect();
+/// let expect = vec![msgs[3].clone(), msgs[9].clone()];
+/// let (send, got) = run_pair(
+///     move |ep| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///         IknpOt::fast_insecure().send(&ep, &mut rng, &msgs, 2)
+///     },
+///     move |ep| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+///         IknpOt::fast_insecure().receive(&ep, &mut rng, 16, &[3, 9]).unwrap()
+///     },
+/// );
+/// send.unwrap();
+/// assert_eq!(got, expect);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IknpOt {
+    group: &'static DhGroup,
+}
+
+impl IknpOt {
+    /// Security-grade engine (2048-bit base OTs).
+    pub fn new() -> Self {
+        Self {
+            group: DhGroup::modp_2048(),
+        }
+    }
+
+    /// Fast engine over the 768-bit test group — tests and benches only.
+    pub fn fast_insecure() -> Self {
+        Self {
+            group: DhGroup::modp_768(),
+        }
+    }
+}
+
+impl Default for IknpOt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObliviousTransfer for IknpOt {
+    fn send(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        messages: &[Vec<u8>],
+        k: usize,
+    ) -> Result<(), OtError> {
+        let n = messages.len();
+        if n == 0 {
+            return Err(OtError::Protocol("cannot transfer zero messages".into()));
+        }
+        let msg_len = messages[0].len();
+        if messages.iter().any(|m| m.len() != msg_len) {
+            return Err(OtError::UnequalMessageLengths);
+        }
+        let bits = num_bits(n);
+
+        // Fresh 32-byte key pairs for every (query, bit) slot, shipped
+        // through one extension batch.
+        let mut pairs = Vec::with_capacity(k * bits);
+        let mut key_table = Vec::with_capacity(k);
+        for _query in 0..k {
+            let mut per_query = Vec::with_capacity(bits);
+            for _bit in 0..bits {
+                let mut k0 = [0u8; 32];
+                let mut k1 = [0u8; 32];
+                rng.fill_bytes(&mut k0);
+                rng.fill_bytes(&mut k1);
+                pairs.push((k0.to_vec(), k1.to_vec()));
+                per_query.push((k0, k1));
+            }
+            key_table.push(per_query);
+        }
+        iknp_send(self.group, ep, rng, &pairs)?;
+
+        // Per-query encrypted message tables, exactly as in the
+        // non-extended construction.
+        for (query, per_query) in key_table.iter().enumerate() {
+            let mut blob = Vec::with_capacity(16 + n * msg_len);
+            blob.extend_from_slice(&(n as u64).to_le_bytes());
+            blob.extend_from_slice(&(msg_len as u64).to_le_bytes());
+            for (i, msg) in messages.iter().enumerate() {
+                let selected: Vec<[u8; 32]> = (0..bits)
+                    .map(|b| {
+                        if (i >> b) & 1 == 0 {
+                            per_query[b].0
+                        } else {
+                            per_query[b].1
+                        }
+                    })
+                    .collect();
+                let key = message_key(&selected, i, query as u64);
+                let mut c = msg.clone();
+                encrypt_message(&key, i, &mut c);
+                blob.extend_from_slice(&c);
+            }
+            ep.send_msg(KIND_KNX_TABLE, &blob)?;
+        }
+        Ok(())
+    }
+
+    fn receive(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        num_messages: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, OtError> {
+        for &i in indices {
+            if i >= num_messages {
+                return Err(OtError::InvalidIndex {
+                    index: i,
+                    num_messages,
+                });
+            }
+        }
+        let bits = num_bits(num_messages);
+        let choices: Vec<bool> = indices
+            .iter()
+            .flat_map(|&index| (0..bits).map(move |b| (index >> b) & 1 == 1))
+            .collect();
+        let keys_flat = iknp_receive(self.group, ep, rng, &choices)?;
+
+        let mut out = Vec::with_capacity(indices.len());
+        for (query, &index) in indices.iter().enumerate() {
+            let blob: Vec<u8> = ep.recv_msg(KIND_KNX_TABLE)?;
+            if blob.len() < 16 {
+                return Err(OtError::Protocol("message table too short".into()));
+            }
+            let n = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes")) as usize;
+            let msg_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes")) as usize;
+            if n != num_messages || blob.len() != 16 + n * msg_len {
+                return Err(OtError::Protocol("message table shape mismatch".into()));
+            }
+            let mut keys = Vec::with_capacity(bits);
+            for b in 0..bits {
+                let key: [u8; 32] = keys_flat[query * bits + b]
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| OtError::Protocol("bit key has wrong length".into()))?;
+                keys.push(key);
+            }
+            let key = message_key(&keys, index, query as u64);
+            let mut m = blob[16 + index * msg_len..16 + (index + 1) * msg_len].to_vec();
+            encrypt_message(&key, index, &mut m);
+            out.push(m);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        if core::ptr::eq(self.group, DhGroup::modp_2048()) {
+            "iknp-2048"
+        } else {
+            "iknp-768"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exercise(n: usize, indices: Vec<usize>) {
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![(i * 13) as u8; 24]).collect();
+        let msgs_s = msgs.clone();
+        let idx = indices.clone();
+        let k = indices.len();
+        let (send, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(5);
+                IknpOt::fast_insecure().send(&ep, &mut rng, &msgs_s, k)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(6);
+                IknpOt::fast_insecure().receive(&ep, &mut rng, n, &idx)
+            },
+        );
+        send.expect("send");
+        let got = got.expect("receive");
+        for (g, &i) in got.iter().zip(&indices) {
+            assert_eq!(g, &msgs[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn small_selection() {
+        exercise(8, vec![0, 7, 3]);
+    }
+
+    #[test]
+    fn larger_selection_with_repeats() {
+        exercise(33, vec![32, 0, 16, 16, 5, 21, 9]);
+    }
+
+    #[test]
+    fn single_message_universe() {
+        exercise(1, vec![0, 0]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let (_, res) = run_pair(
+            move |_ep| {},
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(6);
+                IknpOt::fast_insecure().receive(&ep, &mut rng, 4, &[4])
+            },
+        );
+        assert_eq!(
+            res.unwrap_err(),
+            OtError::InvalidIndex {
+                index: 4,
+                num_messages: 4
+            }
+        );
+    }
+
+    #[test]
+    fn agrees_with_plain_naor_pinkas_engine() {
+        // Both engines implement the same ideal functionality.
+        use crate::api::NaorPinkasOt;
+        let msgs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 8]).collect();
+        let indices = vec![9usize, 2, 2, 0];
+        for engine in [
+            Box::new(IknpOt::fast_insecure()) as Box<dyn ObliviousTransfer>,
+            Box::new(NaorPinkasOt::fast_insecure()),
+        ] {
+            let msgs_s = msgs.clone();
+            let idx = indices.clone();
+            let engine: &dyn ObliviousTransfer = engine.as_ref();
+            let (send, got) = std::thread::scope(|scope| {
+                let (a, b) = ppcs_transport::duplex();
+                let ha = scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    engine.send(&a, &mut rng, &msgs_s, 4)
+                });
+                let hb = scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    engine.receive(&b, &mut rng, 10, &idx)
+                });
+                (ha.join().unwrap(), hb.join().unwrap())
+            });
+            send.expect("send");
+            let got = got.expect("receive");
+            for (g, &i) in got.iter().zip(&indices) {
+                assert_eq!(g, &msgs[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ppcs-ot
+//!
+//! Oblivious transfer, the cryptographic workhorse of the ppcs protocols
+//! (Section III-B of the paper): 1-out-of-2, 1-out-of-N, and k-out-of-N
+//! transfers, all over in-tree primitives.
+//!
+//! Three interchangeable engines implement the [`ObliviousTransfer`] trait:
+//!
+//! * [`NaorPinkasOt`] — real public-key OT (Naor–Pinkas base OTs over the
+//!   RFC 3526 MODP-2048 group; a 768-bit group is available for tests);
+//! * [`IknpOt`] — the same k-of-N functionality over the IKNP OT
+//!   *extension*: `κ = 128` base OTs amortized across the whole batch,
+//!   the engine of choice for selection-heavy sessions;
+//! * [`TrustedSimOt`] — an ideal-functionality stand-in that lets the
+//!   benchmark harness sweep paper-scale workloads (32k-sample datasets)
+//!   without paying thousands of modular exponentiations per sample. It
+//!   is clearly labeled and never used where OT security is the claim
+//!   under test.
+//!
+//! The building blocks ([`ot12_send`]/[`ot12_receive`],
+//! [`ot1n_send`]/[`ot1n_receive`], [`otkn_send`]/[`otkn_receive`]) are
+//! exported for direct use and for the protocol-level tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod base;
+mod error;
+mod ext;
+mod kn;
+mod knx;
+
+pub use api::{NaorPinkasOt, ObliviousTransfer, TrustedSimOt};
+pub use base::{ot12_receive, ot12_send};
+pub use error::OtError;
+pub use ext::{iknp_receive, iknp_send, random_choices, KAPPA};
+pub use kn::{ot1n_receive, ot1n_send, otkn_receive, otkn_send};
+pub use knx::IknpOt;

@@ -1,0 +1,257 @@
+//! A Paillier-based private classification baseline, modeled on the
+//! paper's comparator \[15\] (Rahulamathavan et al., IEEE TDSC 2014): the
+//! client encrypts its sample under its own key; the trainer evaluates
+//! the (amplified, fixed-point) linear decision function homomorphically
+//! and returns a single ciphertext; the client decrypts and takes the
+//! sign.
+//!
+//! The paper dismisses this approach as "too much complexity for the
+//! computations … not practical" — implementing it lets the benchmark
+//! harness (`ppcs-bench`, binary `baseline_compare`) quantify that claim
+//! against OMPE.
+
+use num_bigint::BigInt;
+use ppcs_svm::{Label, SvmModel};
+use ppcs_transport::{decode_seq, encode_seq, Endpoint, TransportError};
+use rand::{Rng, RngCore};
+
+use crate::scheme::{generate_keypair, Ciphertext, PublicKey};
+
+const KIND_PB_HELLO: u16 = 0x0800;
+const KIND_PB_SAMPLE: u16 = 0x0801;
+const KIND_PB_RESULT: u16 = 0x0802;
+
+/// Errors of the baseline protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaselineError {
+    /// Channel failure.
+    Transport(TransportError),
+    /// Peer deviated from the protocol.
+    Protocol(String),
+}
+
+impl core::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "transport failed: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<TransportError> for BaselineError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+/// Shared parameters of the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineParams {
+    /// Paillier modulus size in bits (2048 for security; 512/1024 speed
+    /// tiers for benchmarking).
+    pub modulus_bits: u64,
+    /// Fixed-point fractional bits for features and weights.
+    pub frac_bits: u32,
+}
+
+impl Default for BaselineParams {
+    fn default() -> Self {
+        Self {
+            modulus_bits: 2048,
+            frac_bits: 16,
+        }
+    }
+}
+
+fn encode_fixed(x: f64, frac_bits: u32) -> BigInt {
+    BigInt::from((x * 2f64.powi(frac_bits as i32)).round() as i64)
+}
+
+/// Trainer side: serves one session of homomorphic classifications.
+///
+/// Only linear models are supported (matching \[15\]'s linear multi-class
+/// setting); the decision value is amplified by a fresh positive `r_a`
+/// per sample, mirroring the OMPE scheme's Level-2 defense.
+///
+/// # Errors
+///
+/// [`BaselineError::Protocol`] if the model is nonlinear or the peer
+/// misbehaves.
+pub fn baseline_serve(
+    model: &SvmModel,
+    params: &BaselineParams,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+) -> Result<usize, BaselineError> {
+    let weights = model
+        .linear_weights()
+        .ok_or_else(|| BaselineError::Protocol("baseline supports linear models only".into()))?;
+
+    // Hello: sample count + the client's public modulus.
+    let mut payload = bytes::Bytes::from(ep.recv_msg::<Vec<u8>>(KIND_PB_HELLO)?);
+    let num_samples: u64 = ppcs_transport::Encodable::decode(&mut payload)?;
+    let modulus_bytes: Vec<u8> = ppcs_transport::Encodable::decode(&mut payload)?;
+    let pk = PublicKey::from_modulus_bytes(&modulus_bytes)
+        .ok_or_else(|| BaselineError::Protocol("invalid public modulus".into()))?;
+
+    let scaled_weights: Vec<BigInt> = weights
+        .iter()
+        .map(|w| encode_fixed(*w, params.frac_bits))
+        .collect();
+    let scaled_bias = encode_fixed(model.bias(), 2 * params.frac_bits);
+
+    for _ in 0..num_samples {
+        let blob: Vec<u8> = ep.recv_msg(KIND_PB_SAMPLE)?;
+        let mut input = bytes::Bytes::from(blob);
+        let cts_bytes: Vec<Vec<u8>> = decode_seq(&mut input)?;
+        if cts_bytes.len() != scaled_weights.len() {
+            return Err(BaselineError::Protocol(format!(
+                "sample has {} ciphertexts, model has {} weights",
+                cts_bytes.len(),
+                scaled_weights.len()
+            )));
+        }
+        let cts: Vec<Ciphertext> = cts_bytes
+            .iter()
+            .map(|b| Ciphertext::from_bytes(b))
+            .collect();
+
+        // Fresh positive amplifier.
+        let ra = BigInt::from(rng.gen_range(2i64..1 << 16));
+        // Enc(r_a·(Σ w_i·t_i + b)) via homomorphic affine combination.
+        let mut acc = pk.encrypt(&(&ra * &scaled_bias), rng);
+        for (ct, w) in cts.iter().zip(&scaled_weights) {
+            acc = pk.add(&acc, &pk.mul_constant(ct, &(&ra * w)));
+        }
+        ep.send_msg(KIND_PB_RESULT, &acc.to_bytes())?;
+    }
+    Ok(num_samples as usize)
+}
+
+/// Client side: classifies private samples through the homomorphic
+/// baseline. Returns one label per sample.
+///
+/// # Errors
+///
+/// Transport/protocol failures.
+pub fn baseline_classify(
+    params: &BaselineParams,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    samples: &[Vec<f64>],
+) -> Result<Vec<Label>, BaselineError> {
+    let (pk, sk) = generate_keypair(params.modulus_bits, rng);
+
+    let mut hello = bytes::BytesMut::new();
+    ppcs_transport::Encodable::encode(&(samples.len() as u64), &mut hello);
+    ppcs_transport::Encodable::encode(&pk.modulus_bytes(), &mut hello);
+    ep.send_msg(KIND_PB_HELLO, &hello.to_vec())?;
+
+    let mut labels = Vec::with_capacity(samples.len());
+    for sample in samples {
+        let cts: Vec<Vec<u8>> = sample
+            .iter()
+            .map(|&t| {
+                pk.encrypt(&encode_fixed(t, params.frac_bits), rng)
+                    .to_bytes()
+            })
+            .collect();
+        let mut payload = bytes::BytesMut::new();
+        encode_seq(&cts, &mut payload);
+        ep.send_msg(KIND_PB_SAMPLE, &payload.to_vec())?;
+
+        let result_bytes: Vec<u8> = ep.recv_msg(KIND_PB_RESULT)?;
+        let value = sk.decrypt(&Ciphertext::from_bytes(&result_bytes));
+        labels.push(if value.sign() == num_bigint::Sign::Minus {
+            Label::Negative
+        } else {
+            Label::Positive
+        });
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_svm::{Dataset, Kernel, SmoParams};
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_model() -> SvmModel {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ds = Dataset::new(2);
+        for k in 0..60 {
+            let pos = k % 2 == 0;
+            let c = if pos { 0.5 } else { -0.5 };
+            ds.push(
+                vec![c + rng.gen_range(-0.4..0.4), c + rng.gen_range(-0.4..0.4)],
+                if pos { Label::Positive } else { Label::Negative },
+            );
+        }
+        SvmModel::train(&ds, Kernel::Linear, &SmoParams::default())
+    }
+
+    #[test]
+    fn baseline_matches_plain_predictions() {
+        let model = toy_model();
+        let mut rng = StdRng::seed_from_u64(2);
+        use rand::Rng;
+        let samples: Vec<Vec<f64>> = (0..6)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let expected: Vec<Label> = samples.iter().map(|s| model.predict(s)).collect();
+
+        // 512-bit keys keep the test fast; correctness is size-independent.
+        let params = BaselineParams {
+            modulus_bits: 512,
+            frac_bits: 16,
+        };
+        let model2 = model.clone();
+        let samples2 = samples.clone();
+        let (served, labels) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(3);
+                baseline_serve(&model2, &params, &ep, &mut rng).expect("serve")
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(4);
+                baseline_classify(&params, &ep, &mut rng, &samples2).expect("classify")
+            },
+        );
+        assert_eq!(served, samples.len());
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn nonlinear_model_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ds = Dataset::new(2);
+        for k in 0..40 {
+            use rand::Rng;
+            let pos = k % 2 == 0;
+            let c = if pos { 0.5 } else { -0.5 };
+            ds.push(
+                vec![c + rng.gen_range(-0.3..0.3), c + rng.gen_range(-0.3..0.3)],
+                if pos { Label::Positive } else { Label::Negative },
+            );
+        }
+        let model = SvmModel::train(&ds, Kernel::paper_polynomial(2), &SmoParams::default());
+        let params = BaselineParams {
+            modulus_bits: 512,
+            frac_bits: 16,
+        };
+        let (res, _) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(6);
+                baseline_serve(&model, &params, &ep, &mut rng)
+            },
+            move |_ep| {},
+        );
+        assert!(matches!(res.unwrap_err(), BaselineError::Protocol(_)));
+    }
+}

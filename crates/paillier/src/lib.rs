@@ -1,0 +1,39 @@
+//! # ppcs-paillier
+//!
+//! The Paillier cryptosystem and a homomorphic-encryption private
+//! classification baseline — the approach of the paper's comparator
+//! Rahulamathavan et al. \[15\], which the paper rejects as impractical.
+//! Implementing it lets the benchmark suite quantify that comparison
+//! (`crates/bench/benches/baseline.rs` and EXPERIMENTS.md).
+//!
+//! * [`generate_keypair`] / [`PublicKey`] / [`PrivateKey`] — additively
+//!   homomorphic encryption with the `g = n + 1` simplification;
+//! * [`generate_prime`] / [`is_probably_prime`] — Miller–Rabin key
+//!   material;
+//! * [`baseline_serve`] / [`baseline_classify`] — the encrypted-sample
+//!   classification protocol.
+//!
+//! ## Example
+//!
+//! ```
+//! use num_bigint::BigInt;
+//! use ppcs_paillier::generate_keypair;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (pk, sk) = generate_keypair(256, &mut rng); // toy size
+//! let c1 = pk.encrypt(&BigInt::from(20), &mut rng);
+//! let c2 = pk.encrypt(&BigInt::from(22), &mut rng);
+//! assert_eq!(sk.decrypt(&pk.add(&c1, &c2)), BigInt::from(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod primes;
+mod scheme;
+
+pub use baseline::{baseline_classify, baseline_serve, BaselineError, BaselineParams};
+pub use primes::{generate_prime, is_probably_prime};
+pub use scheme::{generate_keypair, Ciphertext, PrivateKey, PublicKey};

@@ -1,0 +1,146 @@
+//! Probabilistic prime generation (Miller–Rabin) for Paillier key
+//! generation.
+
+use num_bigint::{BigUint, RandBigInt};
+use num_traits::{One, Zero};
+use rand::RngCore;
+
+/// Small primes used to pre-sieve candidates.
+const SMALL_PRIMES: [u32; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin rounds: error probability ≤ 4⁻⁴⁰ per candidate.
+const MR_ROUNDS: usize = 40;
+
+/// Deterministic trial division against the small-prime sieve.
+fn passes_sieve(n: &BigUint) -> bool {
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from(p);
+        if n == &p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    true
+}
+
+/// One Miller–Rabin round with the given base.
+fn mr_round(n: &BigUint, base: &BigUint, d: &BigUint, r: u64) -> bool {
+    let n_minus_1 = n - BigUint::one();
+    let mut x = base.modpow(d, n);
+    if x.is_one() || x == n_minus_1 {
+        return true;
+    }
+    for _ in 0..r.saturating_sub(1) {
+        x = (&x * &x) % n;
+        if x == n_minus_1 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Probabilistic primality test.
+///
+/// # Examples
+///
+/// ```
+/// use num_bigint::BigUint;
+/// use ppcs_paillier::is_probably_prime;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(is_probably_prime(&BigUint::from(65537u32), &mut rng));
+/// assert!(!is_probably_prime(&BigUint::from(65536u32), &mut rng));
+/// ```
+pub fn is_probably_prime(n: &BigUint, rng: &mut dyn RngCore) -> bool {
+    use num_traits::ToPrimitive;
+    if n < &BigUint::from(2u32) {
+        return false;
+    }
+    if let Some(small) = n.to_u32() {
+        if SMALL_PRIMES.contains(&small) {
+            return true;
+        }
+    }
+    if !passes_sieve(n) {
+        return false;
+    }
+    // n − 1 = d · 2^r with d odd.
+    let n_minus_1 = n - BigUint::one();
+    let r = n_minus_1.trailing_zeros().unwrap_or(0);
+    let d = &n_minus_1 >> r;
+    let two = BigUint::from(2u32);
+    for _ in 0..MR_ROUNDS {
+        let base = rng.gen_biguint_range(&two, &n_minus_1);
+        if !mr_round(n, &base, &d, r) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generates a random prime of exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+pub fn generate_prime(bits: u64, rng: &mut dyn RngCore) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    loop {
+        let mut candidate = rng.gen_biguint(bits);
+        // Force top and bottom bits: exact size and odd.
+        candidate.set_bit(bits - 1, true);
+        candidate.set_bit(0, true);
+        if is_probably_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 104729, 1_000_000_007, 2_147_483_647] {
+            assert!(
+                is_probably_prime(&BigUint::from(p), &mut rng),
+                "{p} is prime"
+            );
+        }
+        for c in [1u64, 4, 100, 104730, 1_000_000_008, 561, 6601] {
+            // 561 and 6601 are Carmichael numbers — MR must catch them.
+            assert!(
+                !is_probably_prime(&BigUint::from(c), &mut rng),
+                "{c} is composite"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_exact_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [64u64, 128, 256] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probably_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn distinct_primes_from_distinct_draws() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = generate_prime(128, &mut rng);
+        let q = generate_prime(128, &mut rng);
+        assert_ne!(p, q);
+    }
+}

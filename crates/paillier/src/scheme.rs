@@ -1,0 +1,273 @@
+//! The Paillier cryptosystem (additively homomorphic public-key
+//! encryption), simplified variant with `g = n + 1`.
+
+use num_bigint::{BigInt, BigUint, RandBigInt, Sign};
+use num_integer::Integer;
+use num_traits::{One, Signed, Zero};
+use rand::RngCore;
+
+use crate::primes::generate_prime;
+
+/// A Paillier public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+/// A Paillier private key (holds the public part too).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrivateKey {
+    public: PublicKey,
+    /// λ = lcm(p−1, q−1).
+    lambda: BigUint,
+    /// μ = (L(g^λ mod n²))⁻¹ mod n; with g = n+1, μ = λ⁻¹ mod n.
+    mu: BigUint,
+}
+
+/// A ciphertext under some [`PublicKey`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ciphertext(BigUint);
+
+impl Ciphertext {
+    /// Raw ciphertext bytes (big-endian), for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Parses a ciphertext from transport bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Ciphertext(BigUint::from_bytes_be(bytes))
+    }
+}
+
+/// Generates a key pair with an `n` of roughly `modulus_bits` bits.
+///
+/// # Panics
+///
+/// Panics if `modulus_bits < 64`.
+pub fn generate_keypair(modulus_bits: u64, rng: &mut dyn RngCore) -> (PublicKey, PrivateKey) {
+    assert!(modulus_bits >= 64, "modulus too small to be meaningful");
+    let half = modulus_bits / 2;
+    let (p, q) = loop {
+        let p = generate_prime(half, rng);
+        let q = generate_prime(half, rng);
+        if p != q {
+            break (p, q);
+        }
+    };
+    let n = &p * &q;
+    let n_squared = &n * &n;
+    let lambda = (&p - BigUint::one()).lcm(&(&q - BigUint::one()));
+    let mu = mod_inverse(&lambda, &n).expect("λ is invertible mod n for distinct primes");
+    let public = PublicKey { n, n_squared };
+    (
+        public.clone(),
+        PrivateKey {
+            public,
+            lambda,
+            mu,
+        },
+    )
+}
+
+impl PublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Serializes the modulus for transport (big-endian).
+    pub fn modulus_bytes(&self) -> Vec<u8> {
+        self.n.to_bytes_be()
+    }
+
+    /// Rebuilds a public key from transported modulus bytes; `None` for
+    /// a degenerate (zero/one) modulus.
+    pub fn from_modulus_bytes(bytes: &[u8]) -> Option<Self> {
+        let n = BigUint::from_bytes_be(bytes);
+        if n <= BigUint::one() {
+            return None;
+        }
+        let n_squared = &n * &n;
+        Some(Self { n, n_squared })
+    }
+
+    /// Size of one ciphertext in bytes (`⌈bits(n²)/8⌉`).
+    pub fn ciphertext_len(&self) -> usize {
+        (self.n_squared.bits() as usize).div_ceil(8)
+    }
+
+    /// Encrypts a signed integer message (balanced encoding into
+    /// `[0, n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|m| ≥ n/2` (message out of the balanced range).
+    pub fn encrypt(&self, m: &BigInt, rng: &mut dyn RngCore) -> Ciphertext {
+        let m_enc = self.encode_signed(m);
+        // r uniform in [1, n) and coprime to n (overwhelmingly likely).
+        let r = loop {
+            let r = rng.gen_biguint_below(&self.n);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                break r;
+            }
+        };
+        // (1 + n)^m = 1 + m·n (mod n²) — the g = n+1 shortcut.
+        let gm = (BigUint::one() + &m_enc * &self.n) % &self.n_squared;
+        let rn = r.modpow(&self.n, &self.n_squared);
+        Ciphertext((gm * rn) % &self.n_squared)
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊞ Enc(b) = Enc(a + b)`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext((&a.0 * &b.0) % &self.n_squared)
+    }
+
+    /// Homomorphic scalar multiplication: `Enc(a)^k = Enc(k·a)`.
+    pub fn mul_constant(&self, a: &Ciphertext, k: &BigInt) -> Ciphertext {
+        let k_enc = self.encode_signed(k);
+        Ciphertext(a.0.modpow(&k_enc, &self.n_squared))
+    }
+
+    fn encode_signed(&self, m: &BigInt) -> BigUint {
+        let half = &self.n >> 1;
+        let mag = m.magnitude().clone();
+        assert!(
+            mag < half,
+            "message magnitude exceeds the balanced plaintext range"
+        );
+        if m.is_negative() {
+            &self.n - mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl PrivateKey {
+    /// The public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Decrypts to a signed integer (balanced decoding).
+    pub fn decrypt(&self, c: &Ciphertext) -> BigInt {
+        let n = &self.public.n;
+        let x = c.0.modpow(&self.lambda, &self.public.n_squared);
+        // L(x) = (x − 1) / n.
+        let l = (&x - BigUint::one()) / n;
+        let m = (l * &self.mu) % n;
+        let half = n >> 1;
+        if m > half {
+            BigInt::from_biguint(Sign::Minus, n - m)
+        } else {
+            BigInt::from_biguint(Sign::Plus, m)
+        }
+    }
+}
+
+/// Modular inverse via extended Euclid.
+fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    let a = BigInt::from(a.clone());
+    let m_int = BigInt::from(m.clone());
+    let e = a.extended_gcd(&m_int);
+    if !e.gcd.is_one() {
+        return None;
+    }
+    let mut x = e.x % &m_int;
+    if x.is_negative() {
+        x += &m_int;
+    }
+    Some(x.magnitude().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> (PublicKey, PrivateKey) {
+        let mut rng = StdRng::seed_from_u64(1);
+        generate_keypair(512, &mut rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (pk, sk) = keys();
+        let mut rng = StdRng::seed_from_u64(2);
+        for m in [0i64, 1, -1, 123456789, -987654321] {
+            let c = pk.encrypt(&BigInt::from(m), &mut rng);
+            assert_eq!(sk.decrypt(&c), BigInt::from(m), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (pk, _) = keys();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = pk.encrypt(&BigInt::from(7), &mut rng);
+        let b = pk.encrypt(&BigInt::from(7), &mut rng);
+        assert_ne!(a, b, "fresh randomness per encryption");
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (pk, sk) = keys();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = pk.encrypt(&BigInt::from(1234), &mut rng);
+        let b = pk.encrypt(&BigInt::from(-234), &mut rng);
+        let sum = pk.add(&a, &b);
+        assert_eq!(sk.decrypt(&sum), BigInt::from(1000));
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let (pk, sk) = keys();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = pk.encrypt(&BigInt::from(-41), &mut rng);
+        let scaled = pk.mul_constant(&a, &BigInt::from(3));
+        assert_eq!(sk.decrypt(&scaled), BigInt::from(-123));
+        let neg = pk.mul_constant(&a, &BigInt::from(-2));
+        assert_eq!(sk.decrypt(&neg), BigInt::from(82));
+    }
+
+    #[test]
+    fn affine_combination_matches_plain() {
+        // Enc(Σ k_i m_i + b) from ciphertexts — the classification core.
+        let (pk, sk) = keys();
+        let mut rng = StdRng::seed_from_u64(6);
+        let ms = [5i64, -3, 11];
+        let ks = [2i64, 7, -4];
+        let bias = 9i64;
+        let cts: Vec<Ciphertext> = ms
+            .iter()
+            .map(|&m| pk.encrypt(&BigInt::from(m), &mut rng))
+            .collect();
+        let mut acc = pk.encrypt(&BigInt::from(bias), &mut rng);
+        for (c, &k) in cts.iter().zip(&ks) {
+            acc = pk.add(&acc, &pk.mul_constant(c, &BigInt::from(k)));
+        }
+        let want: i64 = ms.iter().zip(&ks).map(|(m, k)| m * k).sum::<i64>() + bias;
+        assert_eq!(sk.decrypt(&acc), BigInt::from(want));
+    }
+
+    #[test]
+    fn ciphertext_bytes_roundtrip() {
+        let (pk, sk) = keys();
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = pk.encrypt(&BigInt::from(31337), &mut rng);
+        let c2 = Ciphertext::from_bytes(&c.to_bytes());
+        assert_eq!(sk.decrypt(&c2), BigInt::from(31337));
+    }
+
+    #[test]
+    #[should_panic(expected = "balanced plaintext range")]
+    fn oversized_message_rejected() {
+        let (pk, _) = keys();
+        let mut rng = StdRng::seed_from_u64(8);
+        let huge = BigInt::from(pk.modulus().clone());
+        let _ = pk.encrypt(&huge, &mut rng);
+    }
+}

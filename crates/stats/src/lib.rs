@@ -1,0 +1,29 @@
+//! # ppcs-stats
+//!
+//! Statistical baselines used by the ppcs evaluation:
+//!
+//! * the two-sample Kolmogorov–Smirnov test, the non-private similarity
+//!   baseline the paper compares against in Table II;
+//! * summary statistics and Spearman rank correlation, used by the
+//!   harness to quantify how well the private triangle-area metric
+//!   tracks the K-S ordering ("same trend of comparisons").
+//!
+//! ## Example
+//!
+//! ```
+//! use ppcs_stats::ks_statistic;
+//!
+//! let a = [0.1, 0.2, 0.3, 0.4];
+//! let b = [0.6, 0.7, 0.8, 0.9];
+//! // Disjoint supports: maximal CDF gap.
+//! assert_eq!(ks_statistic(&a, &b), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ks;
+mod summary;
+
+pub use ks::{ks_average_over_dims, ks_scaled, ks_statistic};
+pub use summary::{mean, spearman_rank_correlation, std_dev, Summary};

@@ -1,0 +1,322 @@
+//! Labeled datasets, feature scaling, and splits.
+//!
+//! The paper scales every dataset to `[-1, 1]` per feature before
+//! training; [`Scaler`] reproduces that preprocessing.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary class label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The `+1` class.
+    Positive,
+    /// The `-1` class.
+    Negative,
+}
+
+impl Label {
+    /// The label as the `±1.0` value used in the SVM dual.
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Label::Positive => 1.0,
+            Label::Negative => -1.0,
+        }
+    }
+
+    /// Builds a label from the sign of a decision value.
+    ///
+    /// Zero maps to [`Label::Positive`], matching LIBSVM's convention.
+    pub fn from_sign(value: f64) -> Self {
+        if value < 0.0 {
+            Label::Negative
+        } else {
+            Label::Positive
+        }
+    }
+}
+
+impl core::fmt::Display for Label {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Label::Positive => write!(f, "+1"),
+            Label::Negative => write!(f, "-1"),
+        }
+    }
+}
+
+/// A dataset of dense feature vectors with binary labels.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_svm::{Dataset, Label};
+///
+/// let mut ds = Dataset::new(2);
+/// ds.push(vec![0.0, 1.0], Label::Positive);
+/// ds.push(vec![1.0, 0.0], Label::Negative);
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.dim(), 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    features: Vec<Vec<f64>>,
+    labels: Vec<Label>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of fixed dimensionality.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.dim()`.
+    pub fn push(&mut self, features: Vec<f64>, label: Label) {
+        assert_eq!(
+            features.len(),
+            self.dim,
+            "sample has {} features, dataset dimensionality is {}",
+            features.len(),
+            self.dim
+        );
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature vector of sample `i`.
+    pub fn features(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// The label of sample `i`.
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], Label)> + '_ {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Class balance: `(positives, negatives)`.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self
+            .labels
+            .iter()
+            .filter(|l| **l == Label::Positive)
+            .count();
+        (pos, self.labels.len() - pos)
+    }
+
+    /// Shuffles the samples in place.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.features = order.iter().map(|&i| self.features[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of the samples in
+    /// the first part (no shuffling; call [`Dataset::shuffle`] first for a
+    /// random split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1), got {train_fraction}"
+        );
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        let mut train = Dataset::new(self.dim);
+        let mut test = Dataset::new(self.dim);
+        for i in 0..self.len() {
+            let target = if i < cut { &mut train } else { &mut test };
+            target.push(self.features[i].clone(), self.labels[i]);
+        }
+        (train, test)
+    }
+
+    /// Returns the subset at the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.dim);
+        for &i in indices {
+            out.push(self.features[i].clone(), self.labels[i]);
+        }
+        out
+    }
+
+    /// Total size of the raw feature payload in bytes (8 bytes per
+    /// dimension value, as in the paper's Fig. 9 x-axis).
+    pub fn payload_bytes(&self) -> u64 {
+        (self.len() * self.dim * 8) as u64
+    }
+}
+
+/// Per-feature affine scaler mapping the training range to `[-1, 1]`.
+///
+/// Constant features map to 0.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Scaler {
+    /// Learns the per-feature ranges of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let dim = data.dim();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for (x, _) in data.iter() {
+            for (d, &v) in x.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Scales a single feature vector into `[-1, 1]` (values outside the
+    /// training range extrapolate linearly).
+    pub fn transform_vec(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let range = self.maxs[d] - self.mins[d];
+                if range == 0.0 {
+                    0.0
+                } else {
+                    2.0 * (v - self.mins[d]) / range - 1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Returns a scaled copy of the dataset.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(data.dim());
+        for (x, y) in data.iter() {
+            out.push(self.transform_vec(x), y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0, 10.0], Label::Positive);
+        ds.push(vec![5.0, 20.0], Label::Negative);
+        ds.push(vec![10.0, 30.0], Label::Positive);
+        ds
+    }
+
+    #[test]
+    fn scaler_maps_training_range_to_unit_interval() {
+        let ds = toy();
+        let scaler = Scaler::fit(&ds);
+        let scaled = scaler.transform(&ds);
+        assert_eq!(scaled.features(0), &[-1.0, -1.0]);
+        assert_eq!(scaled.features(1), &[0.0, 0.0]);
+        assert_eq!(scaled.features(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn scaler_handles_constant_features() {
+        let mut ds = Dataset::new(1);
+        ds.push(vec![7.0], Label::Positive);
+        ds.push(vec![7.0], Label::Negative);
+        let scaler = Scaler::fit(&ds);
+        assert_eq!(scaler.transform(&ds).features(0), &[0.0]);
+    }
+
+    #[test]
+    fn split_preserves_samples_and_order() {
+        let ds = toy();
+        let (train, test) = ds.split(0.67);
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 1);
+        assert_eq!(test.features(0), ds.features(2));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut ds = toy();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.features(i).to_vec()).collect();
+        ds.shuffle(&mut rng);
+        let mut after: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.features(i).to_vec()).collect();
+        let mut before_sorted = before;
+        before_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(before_sorted, after);
+    }
+
+    #[test]
+    fn class_counts_and_payload() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), (2, 1));
+        assert_eq!(ds.payload_bytes(), 3 * 2 * 8);
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        assert_eq!(Label::from_sign(3.0), Label::Positive);
+        assert_eq!(Label::from_sign(-0.1), Label::Negative);
+        assert_eq!(Label::from_sign(0.0), Label::Positive);
+        assert_eq!(Label::Positive.to_f64(), 1.0);
+        assert_eq!(Label::Negative.to_f64(), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn push_rejects_wrong_dimension() {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![1.0], Label::Positive);
+    }
+}

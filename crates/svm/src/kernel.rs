@@ -1,0 +1,152 @@
+//! SVM kernel functions (Section III-A of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A kernel function `K(x, y)`.
+///
+/// The polynomial kernel matches the paper's parameterization
+/// `K(x, y) = (a₀·xᵀy + b₀)^p`; the paper's default for the nonlinear
+/// experiments is `a₀ = 1/n`, `b₀ = 0`, `p = 3`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(x, y) = xᵀy`.
+    Linear,
+    /// `K(x, y) = (a0·xᵀy + b0)^degree`.
+    Polynomial {
+        /// The inner-product scale `a₀` (LIBSVM's `gamma`).
+        a0: f64,
+        /// The additive constant `b₀` (LIBSVM's `coef0`).
+        b0: f64,
+        /// The degree `p`.
+        degree: u32,
+    },
+    /// `K(x, y) = exp(-gamma·‖x−y‖²)`.
+    Rbf {
+        /// The width parameter.
+        gamma: f64,
+    },
+    /// `K(x, y) = tanh(a0·xᵀy + c0)`.
+    Sigmoid {
+        /// The inner-product scale.
+        a0: f64,
+        /// The additive constant `c₀`.
+        c0: f64,
+    },
+}
+
+impl Kernel {
+    /// The paper's default nonlinear kernel for an `n`-dimensional
+    /// dataset: polynomial with `a₀ = 1/n`, `b₀ = 0`, `p = 3`.
+    pub fn paper_polynomial(dim: usize) -> Self {
+        Kernel::Polynomial {
+            a0: 1.0 / dim.max(1) as f64,
+            b0: 0.0,
+            degree: 3,
+        }
+    }
+
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "kernel arguments must have equal length");
+        match *self {
+            Kernel::Linear => dot(x, y),
+            Kernel::Polynomial { a0, b0, degree } => (a0 * dot(x, y) + b0).powi(degree as i32),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x
+                    .iter()
+                    .zip(y)
+                    .map(|(a, b)| {
+                        let d = a - b;
+                        d * d
+                    })
+                    .sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Sigmoid { a0, c0 } => (a0 * dot(x, y) + c0).tanh(),
+        }
+    }
+
+    /// `true` for the linear kernel (where the model collapses to an
+    /// explicit weight vector).
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Kernel::Linear)
+    }
+}
+
+/// Dense dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn polynomial_matches_formula() {
+        let k = Kernel::Polynomial {
+            a0: 0.5,
+            b0: 1.0,
+            degree: 3,
+        };
+        let got = k.eval(&[2.0], &[3.0]);
+        assert!((got - (0.5 * 6.0 + 1.0f64).powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance() {
+        let k = Kernel::Rbf { gamma: 0.7 };
+        assert!((k.eval(&[1.0, -2.0], &[1.0, -2.0]) - 1.0).abs() < 1e-15);
+        // Symmetric and decreasing with distance.
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!(near > far);
+        assert_eq!(near, k.eval(&[0.1, 0.0], &[0.0, 0.0]));
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        let k = Kernel::Sigmoid { a0: 1.0, c0: 0.0 };
+        for v in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let r = k.eval(&[v], &[1.0]);
+            assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn paper_polynomial_defaults() {
+        let k = Kernel::paper_polynomial(8);
+        assert_eq!(
+            k,
+            Kernel::Polynomial {
+                a0: 0.125,
+                b0: 0.0,
+                degree: 3
+            }
+        );
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        let kernels = [
+            Kernel::Linear,
+            Kernel::paper_polynomial(3),
+            Kernel::Rbf { gamma: 0.3 },
+            Kernel::Sigmoid { a0: 0.2, c0: 0.1 },
+        ];
+        let x = [0.3, -0.7, 0.9];
+        let y = [-0.2, 0.5, 0.1];
+        for k in kernels {
+            assert!((k.eval(&x, &y) - k.eval(&y, &x)).abs() < 1e-15);
+        }
+    }
+}

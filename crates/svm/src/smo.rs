@@ -1,0 +1,366 @@
+//! Sequential Minimal Optimization (Platt / LIBSVM-style) for the C-SVC
+//! dual problem.
+//!
+//! Solves `min ½ αᵀQα − eᵀα` subject to `0 ≤ α_i ≤ C`, `yᵀα = 0`, with
+//! `Q_ij = y_i y_j K(x_i, x_j)`, using maximal-violating-pair working-set
+//! selection and an LRU kernel-row cache.
+
+use std::collections::HashMap;
+
+use crate::data::Dataset;
+use crate::kernel::Kernel;
+
+/// Tunable parameters of the SMO solver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmoParams {
+    /// The soft-margin penalty `C`.
+    pub c: f64,
+    /// KKT violation tolerance (LIBSVM default 1e-3).
+    pub tolerance: f64,
+    /// Hard cap on optimization iterations.
+    pub max_iterations: usize,
+    /// Maximum number of cached kernel rows.
+    pub cache_rows: usize,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            tolerance: 1e-3,
+            max_iterations: 10_000_000,
+            cache_rows: 4096,
+        }
+    }
+}
+
+/// Raw output of the SMO solver.
+#[derive(Clone, Debug)]
+pub struct SmoSolution {
+    /// The dual variables `α` (one per training sample).
+    pub alphas: Vec<f64>,
+    /// The bias term `b` of the decision function `Σ αᵢyᵢK(xᵢ,·) + b`.
+    pub bias: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// `true` if the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// LRU cache of kernel matrix rows.
+struct KernelCache<'a> {
+    data: &'a Dataset,
+    kernel: Kernel,
+    rows: HashMap<usize, (u64, Vec<f64>)>,
+    capacity: usize,
+    clock: u64,
+    /// Diagonal is always fully materialized (cheap, used every step).
+    diag: Vec<f64>,
+}
+
+impl<'a> KernelCache<'a> {
+    fn new(data: &'a Dataset, kernel: Kernel, capacity: usize) -> Self {
+        let diag = (0..data.len())
+            .map(|i| kernel.eval(data.features(i), data.features(i)))
+            .collect();
+        Self {
+            data,
+            kernel,
+            rows: HashMap::new(),
+            capacity: capacity.max(2),
+            clock: 0,
+            diag,
+        }
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+
+    fn row(&mut self, i: usize) -> &[f64] {
+        self.clock += 1;
+        let clock = self.clock;
+        if !self.rows.contains_key(&i) {
+            if self.rows.len() >= self.capacity {
+                // Evict the least recently used row.
+                if let Some((&lru, _)) = self.rows.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+                    self.rows.remove(&lru);
+                }
+            }
+            let xi = self.data.features(i);
+            let row: Vec<f64> = (0..self.data.len())
+                .map(|j| self.kernel.eval(xi, self.data.features(j)))
+                .collect();
+            self.rows.insert(i, (clock, row));
+        }
+        let entry = self.rows.get_mut(&i).expect("row just inserted");
+        entry.0 = clock;
+        &entry.1
+    }
+}
+
+/// Runs SMO on `data` with the given kernel.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or contains a single class (no binary
+/// separation problem to solve).
+pub fn solve(data: &Dataset, kernel: Kernel, params: &SmoParams) -> SmoSolution {
+    let n = data.len();
+    assert!(n > 0, "cannot train on an empty dataset");
+    let (pos, neg) = data.class_counts();
+    assert!(
+        pos > 0 && neg > 0,
+        "training data must contain both classes (got {pos} positive, {neg} negative)"
+    );
+
+    let y: Vec<f64> = (0..n).map(|i| data.label(i).to_f64()).collect();
+    let mut alphas = vec![0.0f64; n];
+    // G_i = Σ_j Q_ij α_j − 1; starts at −1 with α = 0.
+    let mut grad = vec![-1.0f64; n];
+    let mut cache = KernelCache::new(data, kernel, params.cache_rows);
+
+    let c = params.c;
+    let tau = 1e-12;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < params.max_iterations {
+        // Maximal violating pair selection.
+        let mut i_sel: Option<usize> = None;
+        let mut g_max = f64::NEG_INFINITY;
+        let mut j_sel: Option<usize> = None;
+        let mut g_min = f64::INFINITY;
+        for t in 0..n {
+            let in_up = (y[t] > 0.0 && alphas[t] < c) || (y[t] < 0.0 && alphas[t] > 0.0);
+            let in_low = (y[t] > 0.0 && alphas[t] > 0.0) || (y[t] < 0.0 && alphas[t] < c);
+            let v = -y[t] * grad[t];
+            if in_up && v > g_max {
+                g_max = v;
+                i_sel = Some(t);
+            }
+            if in_low && v < g_min {
+                g_min = v;
+                j_sel = Some(t);
+            }
+        }
+        let (i, j) = match (i_sel, j_sel) {
+            (Some(i), Some(j)) => (i, j),
+            _ => break,
+        };
+        if g_max - g_min < params.tolerance {
+            converged = true;
+            break;
+        }
+
+        // Two-variable subproblem along the feasible direction.
+        let kii = cache.diag(i);
+        let kjj = cache.diag(j);
+        let kij = cache.row(i)[j];
+        let quad = (kii + kjj - 2.0 * kij).max(tau);
+        let mut delta = (g_max - g_min) / quad;
+
+        // Clip to the box.
+        let bound_i = if y[i] > 0.0 { c - alphas[i] } else { alphas[i] };
+        let bound_j = if y[j] > 0.0 { alphas[j] } else { c - alphas[j] };
+        delta = delta.min(bound_i).min(bound_j);
+
+        let d_alpha_i = y[i] * delta;
+        let d_alpha_j = -y[j] * delta;
+        alphas[i] += d_alpha_i;
+        alphas[j] += d_alpha_j;
+
+        // Gradient maintenance: ΔG_k = Q_ki Δα_i + Q_kj Δα_j.
+        {
+            let row_i = cache.row(i).to_vec();
+            let row_j = cache.row(j);
+            for k in 0..n {
+                grad[k] += y[k] * (row_i[k] * y[i] * d_alpha_i + row_j[k] * y[j] * d_alpha_j);
+            }
+        }
+        iterations += 1;
+    }
+
+    // Bias from the final violating-pair bounds (LIBSVM's rho, negated).
+    let mut g_max = f64::NEG_INFINITY;
+    let mut g_min = f64::INFINITY;
+    let mut free_sum = 0.0;
+    let mut free_count = 0usize;
+    for t in 0..n {
+        let in_up = (y[t] > 0.0 && alphas[t] < c) || (y[t] < 0.0 && alphas[t] > 0.0);
+        let in_low = (y[t] > 0.0 && alphas[t] > 0.0) || (y[t] < 0.0 && alphas[t] < c);
+        let v = -y[t] * grad[t];
+        if in_up {
+            g_max = g_max.max(v);
+        }
+        if in_low {
+            g_min = g_min.min(v);
+        }
+        if alphas[t] > 0.0 && alphas[t] < c {
+            free_sum += v;
+            free_count += 1;
+        }
+    }
+    let bias = if free_count > 0 {
+        free_sum / free_count as f64
+    } else {
+        (g_max + g_min) / 2.0
+    };
+
+    SmoSolution {
+        alphas,
+        bias,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(2);
+        for _ in 0..n {
+            let positive = rng.gen::<bool>();
+            let (cx, cy) = if positive { (1.5, 1.5) } else { (-1.5, -1.5) };
+            ds.push(
+                vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)],
+                if positive {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            );
+        }
+        ds
+    }
+
+    fn decision(data: &Dataset, sol: &SmoSolution, kernel: Kernel, x: &[f64]) -> f64 {
+        let mut acc = sol.bias;
+        for i in 0..data.len() {
+            if sol.alphas[i] > 0.0 {
+                acc += sol.alphas[i] * data.label(i).to_f64() * kernel.eval(data.features(i), x);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn solves_separable_problem() {
+        let ds = separable(80, 1);
+        let sol = solve(&ds, Kernel::Linear, &SmoParams::default());
+        assert!(sol.converged, "SMO must converge on separable data");
+        for (x, label) in ds.iter() {
+            let d = decision(&ds, &sol, Kernel::Linear, x);
+            assert_eq!(Label::from_sign(d), label);
+        }
+    }
+
+    #[test]
+    fn alphas_satisfy_constraints() {
+        let ds = separable(60, 2);
+        let params = SmoParams {
+            c: 0.7,
+            ..SmoParams::default()
+        };
+        let sol = solve(&ds, Kernel::Linear, &params);
+        let mut balance = 0.0;
+        for (i, &a) in sol.alphas.iter().enumerate() {
+            assert!((0.0..=params.c + 1e-9).contains(&a), "alpha out of box");
+            balance += a * ds.label(i).to_f64();
+        }
+        assert!(balance.abs() < 1e-9, "yᵀα must be 0, got {balance}");
+    }
+
+    #[test]
+    fn xor_needs_nonlinear_kernel() {
+        // Classic XOR: linearly inseparable, poly kernel separates.
+        let mut ds = Dataset::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let a = rng.gen::<bool>();
+            let b = rng.gen::<bool>();
+            let x = if a { 1.0 } else { -1.0 } + rng.gen_range(-0.3..0.3);
+            let y = if b { 1.0 } else { -1.0 } + rng.gen_range(-0.3..0.3);
+            ds.push(
+                vec![x, y],
+                if a ^ b {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            );
+        }
+        let params = SmoParams {
+            c: 10.0,
+            ..SmoParams::default()
+        };
+        let kernel = Kernel::Polynomial {
+            a0: 1.0,
+            b0: 1.0,
+            degree: 2,
+        };
+        let sol = solve(&ds, kernel, &params);
+        let correct = ds
+            .iter()
+            .filter(|(x, label)| Label::from_sign(decision(&ds, &sol, kernel, x)) == *label)
+            .count();
+        assert!(
+            correct as f64 / ds.len() as f64 > 0.95,
+            "poly kernel should separate XOR, got {correct}/{}",
+            ds.len()
+        );
+
+        let lin = solve(&ds, Kernel::Linear, &params);
+        let lin_correct = ds
+            .iter()
+            .filter(|(x, label)| Label::from_sign(decision(&ds, &lin, Kernel::Linear, x)) == *label)
+            .count();
+        assert!(
+            lin_correct < correct,
+            "linear kernel should do worse on XOR ({lin_correct} vs {correct})"
+        );
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let ds = separable(100, 4);
+        let params = SmoParams {
+            max_iterations: 3,
+            ..SmoParams::default()
+        };
+        let sol = solve(&ds, Kernel::Linear, &params);
+        assert_eq!(sol.iterations, 3);
+        assert!(!sol.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class_data() {
+        let mut ds = Dataset::new(1);
+        ds.push(vec![1.0], Label::Positive);
+        ds.push(vec![2.0], Label::Positive);
+        let _ = solve(&ds, Kernel::Linear, &SmoParams::default());
+    }
+
+    #[test]
+    fn tiny_cache_still_correct() {
+        let ds = separable(50, 5);
+        let params = SmoParams {
+            cache_rows: 2,
+            ..SmoParams::default()
+        };
+        let sol_small = solve(&ds, Kernel::Linear, &params);
+        let sol_big = solve(&ds, Kernel::Linear, &SmoParams::default());
+        // Same optimization path regardless of cache size.
+        assert_eq!(sol_small.iterations, sol_big.iterations);
+        for (a, b) in sol_small.alphas.iter().zip(&sol_big.alphas) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

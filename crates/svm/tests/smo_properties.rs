@@ -1,0 +1,123 @@
+//! Property tests for the SMO solver: KKT-style invariants must hold on
+//! arbitrary (well-formed) training sets.
+
+use ppcs_svm::{solve, Dataset, Kernel, Label, SmoParams};
+use proptest::prelude::*;
+
+/// Strategy: a dataset of `n` points in `dim` dimensions with at least
+/// one sample per class.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 4usize..40).prop_flat_map(|(dim, n)| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(-1.0f64..1.0, dim),
+                n,
+            ),
+            prop::collection::vec(any::<bool>(), n),
+            Just(dim),
+        )
+            .prop_map(|(points, labels, dim)| {
+                let mut ds = Dataset::new(dim);
+                for (i, (x, pos)) in points.into_iter().zip(labels).enumerate() {
+                    // Force both classes to exist.
+                    let label = if i == 0 {
+                        Label::Positive
+                    } else if i == 1 {
+                        Label::Negative
+                    } else if pos {
+                        Label::Positive
+                    } else {
+                        Label::Negative
+                    };
+                    ds.push(x, label);
+                }
+                ds
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alphas_satisfy_box_and_balance(ds in dataset_strategy(), c in 0.1f64..10.0) {
+        let params = SmoParams { c, ..SmoParams::default() };
+        let sol = solve(&ds, Kernel::Linear, &params);
+        let mut balance = 0.0;
+        for (i, &a) in sol.alphas.iter().enumerate() {
+            prop_assert!(a >= -1e-12 && a <= c + 1e-9, "alpha {a} outside [0, {c}]");
+            balance += a * ds.label(i).to_f64();
+        }
+        prop_assert!(balance.abs() < 1e-8, "yᵀα = {balance} ≠ 0");
+    }
+
+    #[test]
+    fn duplicated_dataset_keeps_constraints(ds in dataset_strategy()) {
+        // Duplicating every sample must not break the invariants (a
+        // classic degenerate case for working-set selection).
+        let mut doubled = Dataset::new(ds.dim());
+        for (x, y) in ds.iter() {
+            doubled.push(x.to_vec(), y);
+            doubled.push(x.to_vec(), y);
+        }
+        let params = SmoParams::default();
+        let sol = solve(&doubled, Kernel::Linear, &params);
+        let balance: f64 = sol
+            .alphas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| a * doubled.label(i).to_f64())
+            .sum();
+        prop_assert!(balance.abs() < 1e-8);
+    }
+
+    #[test]
+    fn decision_is_translation_consistent_for_linear(
+        ds in dataset_strategy(),
+        t in prop::collection::vec(-1.0f64..1.0, 2..5),
+    ) {
+        // For a linear kernel the model collapses to (w, b): the decision
+        // function evaluated through SV-form and w-form must agree.
+        let model = ppcs_svm::SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let t = &t[..ds.dim().min(t.len())];
+        if t.len() != ds.dim() { return Ok(()); }
+        let w = model.linear_weights().expect("linear weights");
+        let via_w: f64 = ppcs_svm::dot(&w, t) + model.bias();
+        let via_sv = model.decision(t);
+        prop_assert!((via_w - via_sv).abs() < 1e-9, "{via_w} vs {via_sv}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index-parallel gradient recomputation
+    fn converged_solutions_have_no_strong_violating_pair(ds in dataset_strategy()) {
+        let params = SmoParams { tolerance: 1e-3, ..SmoParams::default() };
+        let sol = solve(&ds, Kernel::Linear, &params);
+        if !sol.converged {
+            return Ok(());
+        }
+        // Recompute the gradient and check the stopping criterion holds.
+        let n = ds.len();
+        let mut grad = vec![-1.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let kij = ppcs_svm::dot(ds.features(i), ds.features(j));
+                grad[i] += ds.label(i).to_f64() * ds.label(j).to_f64() * kij * sol.alphas[j];
+            }
+        }
+        let c = params.c;
+        let mut up = f64::NEG_INFINITY;
+        let mut low = f64::INFINITY;
+        for t in 0..n {
+            let y = ds.label(t).to_f64();
+            let v = -y * grad[t];
+            let in_up = (y > 0.0 && sol.alphas[t] < c) || (y < 0.0 && sol.alphas[t] > 0.0);
+            let in_low = (y > 0.0 && sol.alphas[t] > 0.0) || (y < 0.0 && sol.alphas[t] < c);
+            if in_up { up = up.max(v); }
+            if in_low { low = low.min(v); }
+        }
+        prop_assert!(
+            up - low < params.tolerance + 1e-9,
+            "violating pair remains: {up} - {low}"
+        );
+    }
+}

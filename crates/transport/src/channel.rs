@@ -1,0 +1,366 @@
+//! In-memory duplex channels with traffic accounting.
+//!
+//! Each protocol session runs over a pair of [`Endpoint`]s. The endpoints
+//! count frames and payload bytes in both directions, which is how the
+//! benchmark harness reports the communication cost of each protocol —
+//! the paper's Fig. 9/10 discussion attributes most private-protocol cost
+//! to the random-polynomial traffic, and these counters make that visible.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::error::TransportError;
+use crate::wire::Encodable;
+
+/// A tagged message: a `kind` discriminant plus an opaque payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Protocol-defined discriminant for the message type.
+    pub kind: u16,
+    /// Encoded message body.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Frame header overhead charged to the traffic counters, matching a
+    /// minimal length-prefixed TCP framing (2-byte kind + 4-byte length).
+    pub const HEADER_LEN: usize = 6;
+
+    /// Builds a frame by encoding `body` with the wire codec.
+    pub fn encode<T: Encodable>(kind: u16, body: &T) -> Self {
+        let mut out = BytesMut::new();
+        body.encode(&mut out);
+        Self {
+            kind,
+            payload: out.freeze(),
+        }
+    }
+
+    /// Decodes the payload as `T`, checking the kind tag first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::UnexpectedFrame`] on a kind mismatch and
+    /// [`TransportError::Decode`] if the payload is malformed or has
+    /// trailing bytes.
+    pub fn decode_as<T: Encodable>(&self, expected_kind: u16) -> Result<T, TransportError> {
+        if self.kind != expected_kind {
+            return Err(TransportError::UnexpectedFrame {
+                expected: expected_kind,
+                got: self.kind,
+            });
+        }
+        let mut input = self.payload.clone();
+        let value = T::decode(&mut input)?;
+        if !input.is_empty() {
+            return Err(TransportError::Decode(format!(
+                "{} trailing bytes after frame body",
+                input.len()
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Total accounted size (header + payload).
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.payload.len()
+    }
+}
+
+/// Cumulative traffic counters for one endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Frames sent by this endpoint.
+    pub frames_sent: u64,
+    /// Wire bytes (header + payload) sent by this endpoint.
+    pub bytes_sent: u64,
+    /// Frames received by this endpoint.
+    pub frames_received: u64,
+    /// Wire bytes received by this endpoint.
+    pub bytes_received: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsCell {
+    stats: Mutex<TrafficStats>,
+}
+
+/// The medium an endpoint speaks over.
+#[derive(Debug)]
+enum Backend {
+    /// In-memory crossbeam channels (tests, benches, co-located parties).
+    Memory {
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+    },
+    /// A framed TCP socket (real distributed deployment; see
+    /// [`tcp_connect`](crate::tcp_connect) / [`tcp_accept`](crate::tcp_accept)).
+    Tcp(Mutex<crate::tcp::TcpConnection>),
+}
+
+/// One side of a duplex protocol connection — in-memory or TCP; the
+/// protocols are agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_transport::{duplex, Frame};
+///
+/// let (alice, bob) = duplex();
+/// alice.send(Frame::encode(1, &42u64))?;
+/// let frame = bob.recv()?;
+/// assert_eq!(frame.decode_as::<u64>(1)?, 42);
+/// # Ok::<(), ppcs_transport::TransportError>(())
+/// ```
+#[derive(Debug)]
+pub struct Endpoint {
+    backend: Backend,
+    stats: Arc<StatsCell>,
+    /// Default timeout for blocking receives; `None` blocks forever.
+    recv_timeout: Option<Duration>,
+}
+
+impl Endpoint {
+    /// Wraps a connected TCP stream.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces socket configuration failures.
+    pub(crate) fn from_tcp(stream: std::net::TcpStream) -> Result<Self, TransportError> {
+        Ok(Self {
+            backend: Backend::Tcp(Mutex::new(crate::tcp::TcpConnection::new(stream)?)),
+            stats: Arc::new(StatsCell::default()),
+            recv_timeout: Some(Duration::from_secs(30)),
+        })
+    }
+
+    /// Sends a frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer was dropped.
+    pub fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        let len = frame.wire_len() as u64;
+        match &self.backend {
+            Backend::Memory { tx, .. } => {
+                tx.send(frame).map_err(|_| TransportError::Disconnected)?;
+            }
+            Backend::Tcp(conn) => conn.lock().send(&frame)?,
+        }
+        let mut s = self.stats.stats.lock();
+        s.frames_sent += 1;
+        s.bytes_sent += len;
+        Ok(())
+    }
+
+    /// Encodes and sends a message in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer was dropped.
+    pub fn send_msg<T: Encodable>(&self, kind: u16, body: &T) -> Result<(), TransportError> {
+        self.send(Frame::encode(kind, body))
+    }
+
+    /// Receives the next frame, honoring the configured timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] if the peer dropped its endpoint,
+    /// [`TransportError::Timeout`] if the configured deadline passed.
+    pub fn recv(&self) -> Result<Frame, TransportError> {
+        let frame = match &self.backend {
+            Backend::Memory { rx, .. } => match self.recv_timeout {
+                None => rx.recv().map_err(|_| TransportError::Disconnected)?,
+                Some(limit) => rx.recv_timeout(limit).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => TransportError::Timeout,
+                    RecvTimeoutError::Disconnected => TransportError::Disconnected,
+                })?,
+            },
+            Backend::Tcp(conn) => {
+                let mut conn = conn.lock();
+                conn.set_read_timeout(self.recv_timeout)?;
+                conn.recv()?
+            }
+        };
+        let mut s = self.stats.stats.lock();
+        s.frames_received += 1;
+        s.bytes_received += frame.wire_len() as u64;
+        Ok(frame)
+    }
+
+    /// Receives and decodes a message of the expected kind.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TransportError`] from [`Endpoint::recv`] or
+    /// [`Frame::decode_as`].
+    pub fn recv_msg<T: Encodable>(&self, expected_kind: u16) -> Result<T, TransportError> {
+        self.recv()?.decode_as(expected_kind)
+    }
+
+    /// Sets the blocking-receive timeout (defaults to 30 s).
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
+        self.recv_timeout = timeout;
+    }
+
+    /// Snapshot of this endpoint's traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        *self.stats.stats.lock()
+    }
+
+    /// Resets the traffic counters (used between benchmark iterations).
+    pub fn reset_stats(&self) {
+        *self.stats.stats.lock() = TrafficStats::default();
+    }
+}
+
+/// Creates a connected pair of endpoints.
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    let default_timeout = Some(Duration::from_secs(30));
+    let a = Endpoint {
+        backend: Backend::Memory { tx: tx_ab, rx: rx_ba },
+        stats: Arc::new(StatsCell::default()),
+        recv_timeout: default_timeout,
+    };
+    let b = Endpoint {
+        backend: Backend::Memory { tx: tx_ba, rx: rx_ab },
+        stats: Arc::new(StatsCell::default()),
+        recv_timeout: default_timeout,
+    };
+    (a, b)
+}
+
+/// Runs two party closures on separate threads over a fresh duplex
+/// connection and returns both results.
+///
+/// Protocol errors propagate as panics in the party threads; this helper
+/// re-raises them on the caller thread with the party name attached.
+///
+/// # Panics
+///
+/// Panics if either party thread panics.
+pub fn run_pair<FA, FB, RA, RB>(alice: FA, bob: FB) -> (RA, RB)
+where
+    FA: FnOnce(Endpoint) -> RA + Send,
+    FB: FnOnce(Endpoint) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let (ep_a, ep_b) = duplex();
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(move || alice(ep_a));
+        let hb = scope.spawn(move || bob(ep_b));
+        let ra = match ha.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        };
+        let rb = match hb.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (a, b) = duplex();
+        a.send_msg(7, &123u64).unwrap();
+        assert_eq!(b.recv_msg::<u64>(7).unwrap(), 123);
+    }
+
+    #[test]
+    fn kind_mismatch_is_detected() {
+        let (a, b) = duplex();
+        a.send_msg(7, &123u64).unwrap();
+        let err = b.recv_msg::<u64>(8).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::UnexpectedFrame {
+                expected: 8,
+                got: 7
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (a, b) = duplex();
+        a.send_msg(1, &(1u64, 2u64)).unwrap();
+        assert!(matches!(
+            b.recv_msg::<u64>(1),
+            Err(TransportError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let (a, b) = duplex();
+        a.send_msg(1, &1u64).unwrap();
+        a.send_msg(1, &2u64).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        b.send_msg(2, &vec![0u8; 100]).unwrap();
+        a.recv().unwrap();
+
+        let sa = a.stats();
+        assert_eq!(sa.frames_sent, 2);
+        assert_eq!(sa.bytes_sent, 2 * (Frame::HEADER_LEN as u64 + 8));
+        assert_eq!(sa.frames_received, 1);
+        let sb = b.stats();
+        assert_eq!(sb.frames_received, 2);
+        assert_eq!(sb.bytes_sent, Frame::HEADER_LEN as u64 + 8 + 100);
+        a.reset_stats();
+        assert_eq!(a.stats(), TrafficStats::default());
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (a, b) = duplex();
+        drop(b);
+        assert_eq!(a.send_msg(1, &1u64), Err(TransportError::Disconnected));
+        assert_eq!(a.recv().unwrap_err(), TransportError::Disconnected);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let (mut a, _b) = duplex();
+        a.set_recv_timeout(Some(Duration::from_millis(10)));
+        assert_eq!(a.recv().unwrap_err(), TransportError::Timeout);
+    }
+
+    #[test]
+    fn run_pair_exchanges_messages() {
+        let (sum_a, sum_b) = run_pair(
+            |ep| {
+                ep.send_msg(1, &10u64).unwrap();
+                ep.recv_msg::<u64>(2).unwrap()
+            },
+            |ep| {
+                let v = ep.recv_msg::<u64>(1).unwrap();
+                ep.send_msg(2, &(v * 2)).unwrap();
+                v
+            },
+        );
+        assert_eq!(sum_a, 20);
+        assert_eq!(sum_b, 10);
+    }
+}

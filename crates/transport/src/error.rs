@@ -1,0 +1,36 @@
+//! Transport-layer errors.
+
+use core::fmt;
+
+/// Errors surfaced by channels and the wire codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint has been dropped.
+    Disconnected,
+    /// A blocking receive timed out.
+    Timeout,
+    /// The payload could not be decoded.
+    Decode(String),
+    /// A frame arrived with an unexpected kind tag.
+    UnexpectedFrame {
+        /// The frame kind the protocol expected next.
+        expected: u16,
+        /// The frame kind actually received.
+        got: u16,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Disconnected => write!(f, "peer endpoint disconnected"),
+            Self::Timeout => write!(f, "receive timed out"),
+            Self::Decode(msg) => write!(f, "wire decode failed: {msg}"),
+            Self::UnexpectedFrame { expected, got } => {
+                write!(f, "unexpected frame kind {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}

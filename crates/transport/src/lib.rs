@@ -1,0 +1,39 @@
+//! # ppcs-transport
+//!
+//! The two-party messaging substrate for the ppcs protocols: in-memory
+//! duplex channels with per-endpoint traffic accounting, a compact wire
+//! codec, and a scoped-thread party runner.
+//!
+//! Every protocol in this workspace (`ppcs-ot`, `ppcs-ompe`, `ppcs-core`)
+//! is written against [`Endpoint`], so the same code path that runs
+//! in-process here would run over a socket in a deployment — and the
+//! traffic counters report exactly what would cross the network.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppcs_transport::{run_pair, Frame};
+//!
+//! let (bytes_sent, hello) = run_pair(
+//!     |ep| {
+//!         ep.send_msg(1, &vec![104u8, 105]).expect("send");
+//!         ep.stats().bytes_sent
+//!     },
+//!     |ep| ep.recv_msg::<Vec<u8>>(1).expect("recv"),
+//! );
+//! assert_eq!(hello, b"hi");
+//! assert_eq!(bytes_sent, (hello.len() + 8 + Frame::HEADER_LEN) as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod error;
+mod tcp;
+mod wire;
+
+pub use channel::{duplex, run_pair, Endpoint, Frame, TrafficStats};
+pub use error::TransportError;
+pub use tcp::{tcp_accept, tcp_connect};
+pub use wire::{decode_seq, encode_seq, Encodable};

@@ -1,0 +1,167 @@
+//! TCP backend for [`Endpoint`](crate::Endpoint): the same protocols
+//! that run over in-memory channels run across real sockets.
+//!
+//! Wire framing: `kind: u16 LE | payload_len: u32 LE | payload`, matching
+//! the byte accounting of [`Frame::wire_len`](crate::Frame::wire_len).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::channel::Frame;
+use crate::error::TransportError;
+
+/// Maximum accepted payload size (64 MiB) — guards against a corrupt or
+/// hostile length prefix allocating unbounded memory.
+const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// A framed TCP connection carrying [`Frame`]s.
+#[derive(Debug)]
+pub(crate) struct TcpConnection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpConnection {
+    pub(crate) fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true).map_err(io_err)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let writer = BufWriter::new(stream);
+        Ok(Self { reader, writer })
+    }
+
+    pub(crate) fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        let len: u32 = frame
+            .payload
+            .len()
+            .try_into()
+            .map_err(|_| TransportError::Decode("frame payload exceeds u32 length".into()))?;
+        if len > MAX_PAYLOAD {
+            return Err(TransportError::Decode(format!(
+                "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+            )));
+        }
+        self.writer
+            .write_all(&frame.kind.to_le_bytes())
+            .and_then(|()| self.writer.write_all(&len.to_le_bytes()))
+            .and_then(|()| self.writer.write_all(&frame.payload))
+            .and_then(|()| self.writer.flush())
+            .map_err(io_err)
+    }
+
+    pub(crate) fn recv(&mut self) -> Result<Frame, TransportError> {
+        let mut header = [0u8; 6];
+        self.reader.read_exact(&mut header).map_err(io_err)?;
+        let kind = u16::from_le_bytes(header[0..2].try_into().expect("2 bytes"));
+        let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(TransportError::Decode(format!(
+                "peer announced a {len}-byte frame, cap is {MAX_PAYLOAD}"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.reader.read_exact(&mut payload).map_err(io_err)?;
+        Ok(Frame {
+            kind,
+            payload: Bytes::from(payload),
+        })
+    }
+
+    pub(crate) fn set_read_timeout(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<(), TransportError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(io_err)
+    }
+}
+
+fn io_err(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => TransportError::Timeout,
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::BrokenPipe
+        | std::io::ErrorKind::ConnectionAborted => TransportError::Disconnected,
+        _ => TransportError::Decode(format!("socket error: {e}")),
+    }
+}
+
+/// Connects to a listening ppcs peer.
+///
+/// # Errors
+///
+/// [`TransportError::Decode`] wrapping the underlying socket error.
+pub fn tcp_connect<A: ToSocketAddrs>(addr: A) -> Result<crate::Endpoint, TransportError> {
+    let stream = TcpStream::connect(addr).map_err(io_err)?;
+    crate::Endpoint::from_tcp(stream)
+}
+
+/// Accepts one inbound connection on `listener`.
+///
+/// # Errors
+///
+/// [`TransportError::Decode`] wrapping the underlying socket error.
+pub fn tcp_accept(listener: &TcpListener) -> Result<crate::Endpoint, TransportError> {
+    let (stream, _peer) = listener.accept().map_err(io_err)?;
+    crate::Endpoint::from_tcp(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Endpoint;
+
+    fn tcp_pair() -> (Endpoint, Endpoint) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let join = std::thread::spawn(move || tcp_connect(addr).expect("connect"));
+        let server = tcp_accept(&listener).expect("accept");
+        let client = join.join().expect("client thread");
+        (server, client)
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let (server, client) = tcp_pair();
+        client.send_msg(3, &42u64).expect("send");
+        assert_eq!(server.recv_msg::<u64>(3).expect("recv"), 42);
+        server.send_msg(4, &vec![1u8, 2, 3]).expect("send");
+        assert_eq!(client.recv_msg::<Vec<u8>>(4).expect("recv"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tcp_counts_traffic() {
+        let (server, client) = tcp_pair();
+        client.send_msg(1, &7u64).expect("send");
+        let _ = server.recv().expect("recv");
+        assert_eq!(client.stats().bytes_sent, 6 + 8);
+        assert_eq!(server.stats().bytes_received, 6 + 8);
+    }
+
+    #[test]
+    fn tcp_disconnect_detected() {
+        let (server, client) = tcp_pair();
+        drop(client);
+        assert_eq!(server.recv().unwrap_err(), TransportError::Disconnected);
+    }
+
+    #[test]
+    fn tcp_timeout_honored() {
+        let (mut server, _client) = tcp_pair();
+        server.set_recv_timeout(Some(Duration::from_millis(20)));
+        assert_eq!(server.recv().unwrap_err(), TransportError::Timeout);
+    }
+
+    #[test]
+    fn tcp_large_frame() {
+        let (server, client) = tcp_pair();
+        let big = vec![0xabu8; 1 << 20];
+        client.send_msg(9, &big).expect("send");
+        assert_eq!(server.recv_msg::<Vec<u8>>(9).expect("recv"), big);
+    }
+}

