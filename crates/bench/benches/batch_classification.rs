@@ -1,0 +1,102 @@
+//! Batched/parallel classification throughput: per-sample sessions vs
+//! one batched session (state reuse + coalesced point clouds) vs the
+//! multi-lane parallel pipeline, across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppcs_bench::{private_classify, private_classify_parallel, private_classify_parallel_with_ot};
+use ppcs_core::ProtocolConfig;
+use ppcs_ot::NaorPinkasOt;
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn blob_model(dim: usize, batch: usize, seed: u64) -> (SvmModel, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(dim);
+    for k in 0..120 {
+        let positive = k % 2 == 0;
+        let c = if positive { 0.5 } else { -0.5 };
+        ds.push(
+            (0..dim).map(|_| c + rng.gen_range(-0.45..0.45)).collect(),
+            if positive {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
+    }
+    let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+    let samples: Vec<Vec<f64>> = (0..batch)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    (model, samples)
+}
+
+/// One session per sample — the pre-batching baseline shape.
+fn classify_per_sample(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    seed: u64,
+) -> Vec<Label> {
+    samples
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| private_classify(model, std::slice::from_ref(s), cfg, seed + i as u64))
+        .collect()
+}
+
+fn bench_batch_classification(c: &mut Criterion) {
+    let cfg = ProtocolConfig::default();
+    let dim = 16usize;
+
+    let mut group = c.benchmark_group("batch_classification");
+    group.sample_size(10);
+    for batch in [16usize, 64, 256] {
+        let (model, samples) = blob_model(dim, batch, batch as u64);
+        group.bench_with_input(
+            BenchmarkId::new("per_sample_sessions", batch),
+            &batch,
+            |b, _| b.iter(|| black_box(classify_per_sample(&model, &samples, cfg, 1))),
+        );
+        group.bench_with_input(BenchmarkId::new("batched_1lane", batch), &batch, |b, _| {
+            b.iter(|| black_box(private_classify(&model, &samples, cfg, 2)))
+        });
+        for lanes in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_{lanes}lanes"), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| black_box(private_classify_parallel(&model, &samples, cfg, lanes, 3)))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Under the real Naor–Pinkas OT each sample costs real modular
+    // exponentiations, so lane scaling (not just session reuse) shows.
+    let np = NaorPinkasOt::fast_insecure();
+    let mut group = c.benchmark_group("batch_classification_np");
+    group.sample_size(10);
+    let batch = 16usize;
+    let (model, samples) = blob_model(dim, batch, 7);
+    for lanes in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel_{lanes}lanes"), batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    black_box(private_classify_parallel_with_ot(
+                        &model, &samples, cfg, lanes, 3, &np,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_classification);
+criterion_main!(benches);

@@ -23,9 +23,7 @@ fn bench_field(c: &mut Criterion) {
     group.bench_function("square", |bench| {
         bench.iter(|| black_box(black_box(a).square()))
     });
-    group.bench_function("inv", |bench| {
-        bench.iter(|| black_box(black_box(a).inv()))
-    });
+    group.bench_function("inv", |bench| bench.iter(|| black_box(black_box(a).inv())));
     group.finish();
 
     let fixed = FixedFpAlgebra::new(16);

@@ -43,7 +43,14 @@ fn run_fixed(arity: usize, params: OmpeParams) {
     let (res, v) = run_pair(
         move |ep| {
             let mut rng = StdRng::seed_from_u64(1);
-            ompe_send(&FixedFpAlgebra::new(16), &ep, &SIM, &mut rng, &secret, &params)
+            ompe_send(
+                &FixedFpAlgebra::new(16),
+                &ep,
+                &SIM,
+                &mut rng,
+                &secret,
+                &params,
+            )
         },
         move |ep| {
             let mut rng = StdRng::seed_from_u64(2);

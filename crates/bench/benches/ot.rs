@@ -31,8 +31,7 @@ fn bench_ot_real(c: &mut Criterion) {
     use std::sync::OnceLock;
     static NP768: OnceLock<NaorPinkasOt> = OnceLock::new();
     static SIM: TrustedSimOt = TrustedSimOt;
-    let np: &'static dyn ObliviousTransfer =
-        NP768.get_or_init(NaorPinkasOt::fast_insecure);
+    let np: &'static dyn ObliviousTransfer = NP768.get_or_init(NaorPinkasOt::fast_insecure);
 
     let mut group = c.benchmark_group("ot_k_of_n");
     group.sample_size(10);

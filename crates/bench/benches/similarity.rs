@@ -2,9 +2,7 @@
 //! three-round protocol, across hyperplane dimensions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppcs_core::{
-    similarity_plain, similarity_request, similarity_respond, SimilarityConfig,
-};
+use ppcs_core::{similarity_plain, similarity_request, similarity_respond, SimilarityConfig};
 use ppcs_math::F64Algebra;
 use ppcs_ot::TrustedSimOt;
 use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};

@@ -32,7 +32,11 @@ fn model_and_samples_dim(dim: usize, samples: usize) -> (SvmModel, Vec<Vec<f64>>
         let c = if pos { 0.5 } else { -0.5 };
         ds.push(
             (0..dim).map(|_| c + rng.gen_range(-0.4..0.4)).collect(),
-            if pos { Label::Positive } else { Label::Negative },
+            if pos {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
         );
     }
     let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
@@ -136,7 +140,10 @@ fn main() {
     static SIM: TrustedSimOt = TrustedSimOt;
 
     let engines: Vec<(&str, &'static dyn ObliviousTransfer)> = vec![
-        ("ompe / naor-pinkas-2048", NP2048.get_or_init(NaorPinkasOt::new)),
+        (
+            "ompe / naor-pinkas-2048",
+            NP2048.get_or_init(NaorPinkasOt::new),
+        ),
         (
             "ompe / naor-pinkas-768",
             NP768.get_or_init(NaorPinkasOt::fast_insecure),
@@ -178,13 +185,21 @@ fn main() {
     println!("\nDimension sweep (speed-tier parameters: NP-768 vs Paillier-1024):\n");
     let widths2 = [6usize, 18, 20];
     print_row(
-        &["dims".into(), "ompe ms/sample".into(), "paillier ms/sample".into()],
+        &[
+            "dims".into(),
+            "ompe ms/sample".into(),
+            "paillier ms/sample".into(),
+        ],
         &widths2,
     );
     print_rule(&widths2);
     for dim in [4usize, 16, 64, 123] {
         let (model, samples) = model_and_samples_dim(dim, 5);
-        let (ompe_ms, _, _) = run_ompe(&model, &samples, NP768.get_or_init(NaorPinkasOt::fast_insecure));
+        let (ompe_ms, _, _) = run_ompe(
+            &model,
+            &samples,
+            NP768.get_or_init(NaorPinkasOt::fast_insecure),
+        );
         let (pail_ms, _, _) = run_paillier(&model, &samples, 1024);
         print_row(
             &[

@@ -15,7 +15,11 @@ fn main() {
     let data = generate(&spec);
 
     let widths = [12usize, 10, 10, 12, 10, 8];
-    println!("\npoly-C sweep for {name} (dim {}, train {})\n", spec.dim, data.train.len());
+    println!(
+        "\npoly-C sweep for {name} (dim {}, train {})\n",
+        spec.dim,
+        data.train.len()
+    );
     print_row(
         &[
             "C".into(),
@@ -28,7 +32,9 @@ fn main() {
         &widths,
     );
     print_rule(&widths);
-    for c in [1e-4, 1e-3, 0.01, 0.1, 1.0, 8.0, 27.0, 100.0, 250.0, 1000.0, 4000.0, 2e4, 1e5] {
+    for c in [
+        1e-4, 1e-3, 0.01, 0.1, 1.0, 8.0, 27.0, 100.0, 250.0, 1000.0, 4000.0, 2e4, 1e5,
+    ] {
         let params = SmoParams {
             c,
             max_iterations: 400_000,

@@ -89,7 +89,11 @@ fn main() {
                 format!("{:.2}", 100.0 * private),
                 format!("{}", (plain - private).abs() < 1e-12),
                 format!("{n}"),
-                if reduced { "30 dims".into() } else { "-".into() },
+                if reduced {
+                    "30 dims".into()
+                } else {
+                    "-".into()
+                },
             ],
             &widths,
         );

@@ -83,10 +83,15 @@ fn main() {
     // sample) over the ideal OT: this measures exactly the overhead the
     // paper attributes to "adding the random polynomial to the process".
     let cfg = ProtocolConfig::default();
-    for spec in catalog().into_iter().filter(|s| s.name.len() == 3 && s.name.starts_with('a')) {
+    for spec in catalog()
+        .into_iter()
+        .filter(|s| s.name.len() == 3 && s.name.starts_with('a'))
+    {
         let entry = train_entry(&spec);
         let total = entry.test.len();
-        let all: Vec<Vec<f64>> = (0..total).map(|i| entry.test.features(i).to_vec()).collect();
+        let all: Vec<Vec<f64>> = (0..total)
+            .map(|i| entry.test.features(i).to_vec())
+            .collect();
 
         let scale = |cap: usize, ms: f64| ms * total as f64 / cap.min(total) as f64;
 

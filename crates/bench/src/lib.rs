@@ -15,7 +15,7 @@ use ppcs_datasets::{generate, DatasetSpec};
 use ppcs_math::F64Algebra;
 use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
 use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
-use ppcs_transport::run_pair;
+use ppcs_transport::{duplex_pool, run_pair};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,7 +48,11 @@ pub fn train_entry(spec: &DatasetSpec) -> TrainedEntry {
         ..SmoParams::default()
     };
     let linear = SvmModel::train(&data.train, Kernel::Linear, &linear_params);
-    let poly = SvmModel::train(&data.train, Kernel::paper_polynomial(spec.dim), &poly_params);
+    let poly = SvmModel::train(
+        &data.train,
+        Kernel::paper_polynomial(spec.dim),
+        &poly_params,
+    );
     TrainedEntry {
         spec: spec.clone(),
         train: data.train,
@@ -82,6 +86,51 @@ pub fn private_classify(
         },
     );
     labels
+}
+
+/// Runs the private classification protocol over `samples` spread across
+/// `lanes` independent transport lanes, trainer and client each fanning
+/// out one thread per lane. With `lanes == 1` this measures the batched
+/// single-session path (session reuse + coalesced point clouds) without
+/// parallelism.
+pub fn private_classify_parallel(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    lanes: usize,
+    seed: u64,
+) -> Vec<Label> {
+    private_classify_parallel_with_ot(model, samples, cfg, lanes, seed, &TrustedSimOt)
+}
+
+/// [`private_classify_parallel`] with an explicit OT engine, so the
+/// benches can measure lane scaling under the real (CPU-heavy)
+/// Naor–Pinkas transfers as well as the ideal functionality.
+pub fn private_classify_parallel_with_ot(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    lanes: usize,
+    seed: u64,
+    ot: &dyn ObliviousTransfer,
+) -> Vec<Label> {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let (trainer_eps, client_eps) = duplex_pool(lanes);
+    std::thread::scope(|scope| {
+        let t = scope.spawn(|| {
+            trainer
+                .serve_parallel(&trainer_eps, ot, seed)
+                .expect("serve_parallel")
+        });
+        let c = scope.spawn(|| {
+            client
+                .classify_batch_parallel(&client_eps, ot, seed + 1000, samples)
+                .expect("classify_batch_parallel")
+        });
+        t.join().expect("trainer thread");
+        c.join().expect("client thread")
+    })
 }
 
 /// Accuracy of the private protocol on (a subsample of) the test split.
@@ -185,8 +234,13 @@ mod tests {
     fn private_accuracy_matches_plain_on_subsample() {
         let spec = spec_by_name("diabetes").unwrap();
         let entry = train_entry(&spec);
-        let (private, n) =
-            private_accuracy(&entry.linear, &entry.test, 50, ProtocolConfig::functional(), 1);
+        let (private, n) = private_accuracy(
+            &entry.linear,
+            &entry.test,
+            50,
+            ProtocolConfig::functional(),
+            1,
+        );
         let plain = plain_accuracy(&entry.linear, &entry.test, 50);
         assert_eq!(n, 50);
         assert!((private - plain).abs() < 1e-12);

@@ -19,11 +19,12 @@
 //! Fig. 6, implemented in [`privacy`](crate::privacy)).
 
 use ppcs_math::{Algebra, DenseAffine};
-use ppcs_ompe::{ompe_receive, ompe_send, OmpeParams};
+use ppcs_ompe::{ompe_receive, ompe_receive_batch, ompe_send, ompe_send_batch, OmpeParams};
 use ppcs_ot::ObliviousTransfer;
 use ppcs_svm::{Kernel, Label, SvmModel};
 use ppcs_transport::{Encodable, Endpoint};
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::config::ProtocolConfig;
 use crate::error::PpcsError;
@@ -63,9 +64,9 @@ impl ClassifySpec {
     pub fn input_arity(&self) -> usize {
         match self.input_form {
             InputForm::Direct => self.dim,
-            InputForm::Monomials(basis) => basis
-                .len(self.dim)
-                .expect("validated at construction") as usize,
+            InputForm::Monomials(basis) => {
+                basis.len(self.dim).expect("validated at construction") as usize
+            }
         }
     }
 
@@ -235,6 +236,12 @@ where
     /// Serves one classification session (a batch of samples announced by
     /// the client). Returns the number of samples served.
     ///
+    /// The whole batch runs through one OMPE sender session: the
+    /// masking-polynomial storage and the OT base-phase commitment are
+    /// set up once, and the client's point clouds arrive in a single
+    /// coalesced frame. Each sample still gets a **fresh amplifier**
+    /// (Level-2 privacy; see the module docs).
+    ///
     /// # Errors
     ///
     /// Transport, OT, and OMPE failures.
@@ -246,14 +253,51 @@ where
     ) -> Result<usize, PpcsError> {
         let num_samples: u64 = ep.recv_msg(KIND_CLS_HELLO)?;
         ep.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
-        for _ in 0..num_samples {
-            // Fresh positive integer amplifier per sample (Level-2
-            // privacy; see the module docs).
-            let ra = self.alg.encode_int(self.cfg.draw_amplifier(rng));
-            let secret = self.base.scale(&self.alg, &ra);
-            ompe_send(&self.alg, ep, ot, rng, &secret, &self.spec.ompe)?;
-        }
+        let secrets: Vec<DenseAffine<A>> = (0..num_samples)
+            .map(|_| {
+                let ra = self.alg.encode_int(self.cfg.draw_amplifier(rng));
+                self.base.scale(&self.alg, &ra)
+            })
+            .collect();
+        ompe_send_batch(&self.alg, ep, ot, rng, &secrets, &self.spec.ompe)?;
         Ok(num_samples as usize)
+    }
+
+    /// Serves one classification session per lane, each on its own
+    /// thread — the trainer half of
+    /// [`Client::classify_batch_parallel`]. Returns the total number of
+    /// samples served across all lanes.
+    ///
+    /// Per-lane randomness is derived from `seed` (lane `i` uses
+    /// `seed + i`), so a run is reproducible without sharing one RNG
+    /// across threads.
+    ///
+    /// # Errors
+    ///
+    /// The first lane error, if any lane fails.
+    pub fn serve_parallel(
+        &self,
+        lanes: &[Endpoint],
+        ot: &dyn ObliviousTransfer,
+        seed: u64,
+    ) -> Result<usize, PpcsError> {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, ep)| {
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                        self.serve(ep, ot, &mut rng)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve lane thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        results.into_iter().sum()
     }
 }
 
@@ -346,18 +390,7 @@ where
         sample: &[f64],
         spec: &ClassifySpec,
     ) -> Result<(Label, f64), PpcsError> {
-        if sample.len() != spec.dim {
-            return Err(PpcsError::Protocol(format!(
-                "sample has {} features, trainer expects {}",
-                sample.len(),
-                spec.dim
-            )));
-        }
-        let raw_inputs: Vec<f64> = match spec.input_form {
-            InputForm::Direct => sample.to_vec(),
-            InputForm::Monomials(basis) => basis.features(sample),
-        };
-        let alpha: Vec<A::Elem> = raw_inputs.iter().map(|v| self.alg.encode(*v, 1)).collect();
+        let alpha = self.encode_input(sample, spec)?;
         let value = ompe_receive(&self.alg, ep, ot, rng, &alpha, &spec.ompe)?;
         let decoded = self.alg.decode(&value, OUTPUT_SCALE);
         Ok((Label::from_sign(decoded), decoded))
@@ -390,12 +423,106 @@ where
             )));
         }
 
+        // Encode every sample's OMPE input up front so the whole batch
+        // runs through one receiver session: cover-polynomial storage and
+        // the OT base phase are reused, and all point clouds leave in one
+        // coalesced frame.
+        let alphas: Vec<Vec<A::Elem>> = samples
+            .iter()
+            .map(|sample| self.encode_input(sample, &spec))
+            .collect::<Result<_, _>>()?;
+        let values = ompe_receive_batch(&self.alg, ep, ot, rng, &alphas, &spec.ompe)?;
+        Ok(values
+            .iter()
+            .map(|value| {
+                let decoded = self.alg.decode(value, OUTPUT_SCALE);
+                (Label::from_sign(decoded), decoded)
+            })
+            .collect())
+    }
+
+    /// Validates a sample against the announced spec and encodes it as
+    /// the OMPE input vector.
+    fn encode_input(&self, sample: &[f64], spec: &ClassifySpec) -> Result<Vec<A::Elem>, PpcsError> {
+        if sample.len() != spec.dim {
+            return Err(PpcsError::Protocol(format!(
+                "sample has {} features, trainer expects {}",
+                sample.len(),
+                spec.dim
+            )));
+        }
+        let raw_inputs: Vec<f64> = match spec.input_form {
+            InputForm::Direct => sample.to_vec(),
+            InputForm::Monomials(basis) => basis.features(sample),
+        };
+        Ok(raw_inputs.iter().map(|v| self.alg.encode(*v, 1)).collect())
+    }
+
+    /// Classifies a batch across several lanes concurrently, one session
+    /// per lane on its own thread — the client half of
+    /// [`Trainer::serve_parallel`].
+    ///
+    /// Samples are sharded into contiguous, near-equal chunks (lane `i`
+    /// takes chunk `i`) and the per-chunk labels are reassembled in the
+    /// original order, so the result is exactly what
+    /// [`Client::classify_batch`] over one lane would return for the
+    /// same model. Per-lane randomness is derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Protocol`] if `lanes` is empty, plus the first lane
+    /// error, if any lane fails.
+    pub fn classify_batch_parallel(
+        &self,
+        lanes: &[Endpoint],
+        ot: &dyn ObliviousTransfer,
+        seed: u64,
+        samples: &[Vec<f64>],
+    ) -> Result<Vec<Label>, PpcsError> {
+        if lanes.is_empty() {
+            return Err(PpcsError::Protocol(
+                "classify_batch_parallel needs at least one lane".into(),
+            ));
+        }
+        let chunks = shard_evenly(samples, lanes.len());
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .iter()
+                .zip(&chunks)
+                .enumerate()
+                .map(|(i, (ep, chunk))| {
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                        self.classify_batch(ep, ot, &mut rng, chunk)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("classify lane thread panicked"))
+                .collect::<Vec<_>>()
+        });
         let mut labels = Vec::with_capacity(samples.len());
-        for sample in samples {
-            labels.push(self.classify_one(ep, ot, rng, sample, &spec)?);
+        for lane_labels in results {
+            labels.extend(lane_labels?);
         }
         Ok(labels)
     }
+}
+
+/// Splits `samples` into `lanes` contiguous chunks whose lengths differ
+/// by at most one (the first `len % lanes` chunks get the extra sample).
+fn shard_evenly(samples: &[Vec<f64>], lanes: usize) -> Vec<&[Vec<f64>]> {
+    let base = samples.len() / lanes;
+    let extra = samples.len() % lanes;
+    let mut chunks = Vec::with_capacity(lanes);
+    let mut start = 0;
+    for i in 0..lanes {
+        let len = base + usize::from(i < extra);
+        chunks.push(&samples[start..start + len]);
+        start += len;
+    }
+    chunks
 }
 
 fn encode_u64s(vals: &[u64]) -> Vec<u8> {
@@ -573,8 +700,7 @@ mod tests {
     fn works_over_cryptographic_ot() {
         use std::sync::OnceLock;
         static NP: OnceLock<NaorPinkasOt> = OnceLock::new();
-        let ot: &'static dyn ObliviousTransfer =
-            NP.get_or_init(NaorPinkasOt::fast_insecure);
+        let ot: &'static dyn ObliviousTransfer = NP.get_or_init(NaorPinkasOt::fast_insecure);
         let ds = blob_data(2, 40, 6);
         let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
         let samples: Vec<Vec<f64>> = (0..4).map(|i| ds.features(i).to_vec()).collect();
@@ -615,8 +741,7 @@ mod tests {
     fn config_mismatch_is_rejected() {
         let ds = blob_data(2, 40, 8);
         let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
-        let trainer =
-            Trainer::new(F64Algebra::new(), &model, ProtocolConfig::default()).unwrap();
+        let trainer = Trainer::new(F64Algebra::new(), &model, ProtocolConfig::default()).unwrap();
         let client = Client::new(F64Algebra::new(), ProtocolConfig::functional());
         let (_, res) = run_pair(
             move |ep| {
@@ -629,6 +754,57 @@ mod tests {
             },
         );
         assert!(matches!(res.unwrap_err(), PpcsError::Protocol(_)));
+    }
+
+    #[test]
+    fn parallel_lanes_match_sequential_labels() {
+        use ppcs_transport::duplex_pool;
+        let ds = blob_data(3, 80, 21);
+        let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());
+        let cfg = ProtocolConfig::default();
+        let samples: Vec<Vec<f64>> = (0..33).map(|i| ds.features(i).to_vec()).collect();
+
+        let sequential = run_batch(F64Algebra::new(), &model, cfg, samples.clone(), &SIM, 90);
+
+        let trainer = Trainer::new(F64Algebra::new(), &model, cfg).unwrap();
+        let client = Client::new(F64Algebra::new(), cfg);
+        for lanes in [1usize, 2, 4] {
+            let (trainer_eps, client_eps) = duplex_pool(lanes);
+            let (served, labels) = std::thread::scope(|scope| {
+                let t = scope.spawn(|| trainer.serve_parallel(&trainer_eps, &SIM, 91).unwrap());
+                let c = scope.spawn(|| {
+                    client
+                        .classify_batch_parallel(&client_eps, &SIM, 92, &samples)
+                        .unwrap()
+                });
+                (t.join().unwrap(), c.join().unwrap())
+            });
+            assert_eq!(served, samples.len());
+            assert_eq!(labels, sequential, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_empty_lane_set() {
+        let client = Client::new(F64Algebra::new(), ProtocolConfig::default());
+        let err = client
+            .classify_batch_parallel(&[], &SIM, 0, &[vec![0.0]])
+            .unwrap_err();
+        assert!(matches!(err, PpcsError::Protocol(_)));
+    }
+
+    #[test]
+    fn shard_evenly_covers_all_samples_in_order() {
+        let samples: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        for lanes in 1..=6 {
+            let chunks = shard_evenly(&samples, lanes);
+            assert_eq!(chunks.len(), lanes);
+            let flat: Vec<Vec<f64>> = chunks.iter().flat_map(|c| c.to_vec()).collect();
+            assert_eq!(flat, samples, "lanes={lanes}");
+            let max = chunks.iter().map(|c| c.len()).max().unwrap();
+            let min = chunks.iter().map(|c| c.len()).min().unwrap();
+            assert!(max - min <= 1, "lanes={lanes}: uneven shards");
+        }
     }
 
     #[test]
@@ -672,8 +848,7 @@ mod tests {
             assert!((expanded.eval(t) - nb.decision(t)).abs() < 1e-9);
         }
         let cfg = ProtocolConfig::default();
-        let trainer =
-            Trainer::from_expanded(F64Algebra::new(), &expanded, cfg).unwrap();
+        let trainer = Trainer::from_expanded(F64Algebra::new(), &expanded, cfg).unwrap();
         let client = Client::new(F64Algebra::new(), cfg);
         let samples: Vec<Vec<f64>> = (0..25).map(|i| ds.features(i).to_vec()).collect();
         let samples2 = samples.clone();
@@ -684,7 +859,9 @@ mod tests {
             },
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(81);
-                client.classify_batch(&ep, &SIM, &mut rng, &samples2).unwrap()
+                client
+                    .classify_batch(&ep, &SIM, &mut rng, &samples2)
+                    .unwrap()
             },
         );
         for (sample, got) in samples.iter().zip(&labels) {

@@ -64,9 +64,7 @@ impl ProtocolConfig {
             return Err(PpcsError::Config("decoy_factor must be ≥ 1".into()));
         }
         if self.amplifier_bits == 0 || self.amplifier_bits > 40 {
-            return Err(PpcsError::Config(
-                "amplifier_bits must be in 1..=40".into(),
-            ));
+            return Err(PpcsError::Config("amplifier_bits must be in 1..=40".into()));
         }
         if self.max_expanded_terms == 0 {
             return Err(PpcsError::Config("max_expanded_terms must be ≥ 1".into()));

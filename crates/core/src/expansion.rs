@@ -211,7 +211,11 @@ pub fn expand_model(model: &SvmModel, cfg: &ProtocolConfig) -> Result<ExpandedDe
     }
 }
 
-fn check_basis_size(basis: BasisKind, dim: usize, cfg: &ProtocolConfig) -> Result<usize, PpcsError> {
+fn check_basis_size(
+    basis: BasisKind,
+    dim: usize,
+    cfg: &ProtocolConfig,
+) -> Result<usize, PpcsError> {
     let len = basis
         .len(dim)
         .ok_or_else(|| PpcsError::Expansion("monomial basis size overflows u64".into()))?;
@@ -278,8 +282,8 @@ fn expand_inhomogeneous(
 
     let mut coeffs = Vec::with_capacity(len);
     for j in 1..=p {
-        let binom = ppcs_math::binomial(p as u64, j as u64)
-            .expect("small binomial cannot overflow") as f64;
+        let binom =
+            ppcs_math::binomial(p as u64, j as u64).expect("small binomial cannot overflow") as f64;
         let scale = binom * b0.powi((p - j) as i32) * a0.powi(j as i32);
         for_each_multiset(dim, j, &mut |tuple| {
             let mult = ppcs_math::multinomial_coeff(j, &multiplicities(tuple));
@@ -343,9 +347,8 @@ impl RealPoly {
     /// Drops terms above `max_degree` (Taylor truncation boundary) and
     /// negligible coefficients.
     fn truncate(&mut self, max_degree: u32) {
-        self.terms.retain(|e, c| {
-            e.iter().sum::<u32>() <= max_degree && c.abs() > 1e-300
-        });
+        self.terms
+            .retain(|e, c| e.iter().sum::<u32>() <= max_degree && c.abs() > 1e-300);
     }
 }
 
@@ -564,10 +567,7 @@ mod tests {
         let basis = BasisKind::Homogeneous { degree: 2 };
         let t = [2.0, 3.0, 5.0];
         // Order: 00, 01, 02, 11, 12, 22.
-        assert_eq!(
-            basis.features(&t),
-            vec![4.0, 6.0, 10.0, 9.0, 15.0, 25.0]
-        );
+        assert_eq!(basis.features(&t), vec![4.0, 6.0, 10.0, 9.0, 15.0, 25.0]);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! * **Privacy experiments** (Section VI-A): the collusion attacks the
 //!   amplifier randomization defeats ([`privacy`]).
 //!
+//! Classification batches run through per-session OMPE state (mask and
+//! cover-polynomial storage set up once, one OT base-phase commitment
+//! per batch) with all point clouds coalesced into a single framed
+//! write, and can be spread across independent transport lanes with
+//! [`Trainer::serve_parallel`] / [`Client::classify_batch_parallel`].
+//!
 //! Every protocol is generic over the numeric backend
 //! ([`ppcs_math::F64Algebra`] as in the paper's experiments,
 //! [`ppcs_math::FixedFpAlgebra`] for the cryptographically sound
@@ -39,11 +45,11 @@ mod similarity;
 pub use classify::{ClassifySpec, Client, InputForm, Trainer};
 pub use config::ProtocolConfig;
 pub use error::PpcsError;
-pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
 pub use expansion::{expand_model, BasisKind, ExpandedDecision};
+pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
 pub use similarity::{
-    boundary_points_decision, boundary_points_linear, centroid, cos2_between,
-    direction_input, similarity_plain, similarity_plain_geometry, similarity_request,
-    similarity_request_geometry, similarity_respond, similarity_respond_geometry,
-    triangle_area_squared, ModelGeometry, SimilarityConfig,
+    boundary_points_decision, boundary_points_linear, centroid, cos2_between, direction_input,
+    similarity_plain, similarity_plain_geometry, similarity_request, similarity_request_geometry,
+    similarity_respond, similarity_respond_geometry, triangle_area_squared, ModelGeometry,
+    SimilarityConfig,
 };

@@ -190,7 +190,9 @@ where
         let mode = MultiClassMode::from_wire(fields[1])?;
         // Header layout: count | mode | class ids | 6 spec fields.
         if fields.len() != 2 + num_classes + 6 {
-            return Err(PpcsError::Protocol("multiclass header shape mismatch".into()));
+            return Err(PpcsError::Protocol(
+                "multiclass header shape mismatch".into(),
+            ));
         }
         let class_ids: Vec<u32> = fields[2..2 + num_classes]
             .iter()
@@ -274,8 +276,7 @@ mod tests {
         seed: u64,
     ) -> Vec<Option<u32>> {
         let cfg = ProtocolConfig::default();
-        let trainer =
-            MultiClassTrainer::new(F64Algebra::new(), model, cfg, mode).expect("trainer");
+        let trainer = MultiClassTrainer::new(F64Algebra::new(), model, cfg, mode).expect("trainer");
         let client = MultiClassClient::new(F64Algebra::new(), cfg);
         let (_, labels) = run_pair(
             move |ep| {

@@ -115,14 +115,7 @@ pub fn retrieval_attack(
     amplifier_bits: u32,
     rng: &mut dyn RngCore,
 ) -> RetrievalOutcome {
-    let outcome = estimation_attack(
-        true_w,
-        true_b,
-        num_points,
-        amplifier_bits,
-        amplified,
-        rng,
-    );
+    let outcome = estimation_attack(true_w, true_b, num_points, amplifier_bits, amplified, rng);
     // Normalize the true boundary for offset comparison.
     let wn: f64 = ppcs_svm::dot(true_w, true_w).sqrt();
     let true_offset = true_b / wn;
@@ -187,7 +180,12 @@ fn gauss_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -263,7 +261,10 @@ mod tests {
         let spread = errors.iter().cloned().fold(0.0, f64::max)
             - errors.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(mean > 5.0, "estimates should ramble; mean error {mean}°");
-        assert!(spread > 5.0, "estimates should be unstable; spread {spread}°");
+        assert!(
+            spread > 5.0,
+            "estimates should be unstable; spread {spread}°"
+        );
     }
 
     #[test]

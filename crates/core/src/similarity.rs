@@ -109,7 +109,10 @@ impl SimilarityConfig {
 pub fn boundary_points_linear(w: &[f64], b: f64, bounds: (f64, f64)) -> Vec<Vec<f64>> {
     let n = w.len();
     assert!(n >= 1, "need at least one dimension");
-    assert!(n <= 24, "corner enumeration is 2^(n-1); {n} dims is too many");
+    assert!(
+        n <= 24,
+        "corner enumeration is 2^(n-1); {n} dims is too many"
+    );
     let (alpha, beta) = bounds;
     let mut points = Vec::new();
     for free in 0..n {
@@ -141,11 +144,9 @@ pub fn boundary_points_linear(w: &[f64], b: f64, bounds: (f64, f64)) -> Vec<Vec<
 fn dedupe_points(points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
     let mut out: Vec<Vec<f64>> = Vec::with_capacity(points.len());
     for p in points {
-        let duplicate = out.iter().any(|q| {
-            p.iter()
-                .zip(q)
-                .all(|(a, b)| (a - b).abs() < 1e-7)
-        });
+        let duplicate = out
+            .iter()
+            .any(|q| p.iter().zip(q).all(|(a, b)| (a - b).abs() < 1e-7));
         if !duplicate {
             out.push(p);
         }
@@ -167,7 +168,10 @@ pub fn boundary_points_decision(
     grid: usize,
 ) -> Vec<Vec<f64>> {
     assert!(dim >= 1, "need at least one dimension");
-    assert!(dim <= 24, "corner enumeration is 2^(n-1); {dim} dims is too many");
+    assert!(
+        dim <= 24,
+        "corner enumeration is 2^(n-1); {dim} dims is too many"
+    );
     let (alpha, beta) = bounds;
     let grid = grid.max(2);
     let mut points = Vec::new();
@@ -306,8 +310,7 @@ impl ModelGeometry {
             Kernel::Polynomial { a0, b0, degree } if b0 == 0.0 => {
                 let dim = model.dim();
                 let decision = |t: &[f64]| model.decision(t);
-                let pts =
-                    boundary_points_decision(&decision, dim, cfg.bounds, cfg.boundary_grid);
+                let pts = boundary_points_decision(&decision, dim, cfg.bounds, cfg.boundary_grid);
                 let m = centroid(&pts).ok_or_else(|| {
                     PpcsError::Expansion(
                         "decision surface does not intersect the bounded box".into(),
@@ -620,20 +623,19 @@ where
     let x1 = ompe_receive(alg, ep, ot, rng, &mb_inputs, &cfg.ompe_linear()?)?;
 
     // Round 2.
-    let wb_inputs: Vec<A::Elem> = direction_input
-        .iter()
-        .map(|v| alg.encode(*v, 1))
-        .collect();
+    let wb_inputs: Vec<A::Elem> = direction_input.iter().map(|v| alg.encode(*v, 1)).collect();
     let x2 = ompe_receive(alg, ep, ot, rng, &wb_inputs, &cfg.ompe_linear()?)?;
 
-    // Round 3: feed the raw (still-encoded) cross terms back in.
+    // Round 3: feed the raw (still-encoded) cross terms back in. The
+    // evaluation yields 4·T² (see `build_area_polynomial` on why the ¼
+    // stays out of the field); apply the public prefactor on the reals.
     let t2_elem = ompe_receive(alg, ep, ot, rng, &[x1, x2], &cfg.ompe_area()?)?;
-    let t2 = alg.decode(&t2_elem, OUTPUT_SCALE);
+    let t2 = 0.25 * alg.decode(&t2_elem, OUTPUT_SCALE);
     Ok(t2.max(0.0).sqrt())
 }
 
 /// Builds Alice's round-3 secret
-/// `T²(x₁,x₂) = ¼[(c₁−2d₁x₁)² + c₂][c₄ − c₃d₂(d₃+x₂)²]`
+/// `4T²(x₁,x₂) = [(c₁−2d₁x₁)² + c₂][c₄ − c₃d₂(d₃+x₂)²]`
 /// with the fixed-point scale layout documented at the top of this file.
 #[allow(clippy::too_many_arguments)]
 fn build_area_polynomial<A: Algebra>(
@@ -674,16 +676,18 @@ fn build_area_polynomial<A: Algebra>(
     let b1 = alg.neg(&alg.mul(&two, &alg.mul(&c3d2, &d3)));
     let b2 = alg.neg(&c3d2);
 
-    let quarter = alg
-        .inv(&alg.encode_int(4))
-        .expect("4 is invertible");
-
+    // The public ¼ prefactor is deliberately NOT folded in here. Over the
+    // prime field, multiplying by inv(4) only reproduces a real quarter
+    // when the integer fixed-point product A·B happens to be ≡ 0 (mod 4);
+    // for the other residues the result lands near r·(p+1)/4 — garbage
+    // after decoding. The requester applies the (public) ¼ on the decoded
+    // real value instead, which is exact for every backend.
     let a_coeffs = [a0, a1, a2];
     let b_coeffs = [b0, b1, b2];
     let mut terms = Vec::with_capacity(9);
     for (i, ai) in a_coeffs.iter().enumerate() {
         for (j, bj) in b_coeffs.iter().enumerate() {
-            let coeff = alg.mul(&quarter, &alg.mul(ai, bj));
+            let coeff = alg.mul(ai, bj);
             terms.push((coeff, vec![i as u32, j as u32]));
         }
     }
@@ -735,7 +739,14 @@ mod tests {
             }
             ds.push(x, Label::from_sign(score));
         }
-        SvmModel::train(&ds, kernel, &SmoParams { c: 10.0, ..SmoParams::default() })
+        SvmModel::train(
+            &ds,
+            kernel,
+            &SmoParams {
+                c: 10.0,
+                ..SmoParams::default()
+            },
+        )
     }
 
     #[test]
@@ -816,8 +827,7 @@ mod tests {
             },
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(11);
-                similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb2, &cfg)
-                    .unwrap()
+                similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb2, &cfg).unwrap()
             },
         );
         res_a.unwrap();
@@ -879,8 +889,7 @@ mod tests {
             },
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(31);
-                similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb, &cfg)
-                    .unwrap()
+                similarity_request(&F64Algebra::new(), &ep, &SIM_OT, &mut rng, &mb, &cfg).unwrap()
             },
         );
         res_a.unwrap();

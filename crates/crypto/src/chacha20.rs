@@ -109,10 +109,7 @@ mod tests {
         let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let cipher = ChaCha20::new(&key, &nonce, 1);
         let block = cipher.block(1);
-        assert_eq!(
-            hex(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
         assert_eq!(hex(&block[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
     }
 

@@ -200,10 +200,7 @@ mod tests {
     fn group_parameters_are_sane() {
         for group in [DhGroup::modp_768(), DhGroup::modp_2048()] {
             // p = 2q + 1
-            assert_eq!(
-                group.modulus(),
-                &((group.order() << 1) + BigUint::one())
-            );
+            assert_eq!(group.modulus(), &((group.order() << 1) + BigUint::one()));
             // g^q == 1 (generator of the order-q subgroup... g=2 generates
             // a subgroup whose order divides 2q; for these safe primes
             // 2^q = ±1).

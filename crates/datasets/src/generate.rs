@@ -86,12 +86,7 @@ impl Latent {
     }
 }
 
-fn sample_split(
-    spec: &DatasetSpec,
-    latent: &Latent,
-    size: usize,
-    rng: &mut StdRng,
-) -> Dataset {
+fn sample_split(spec: &DatasetSpec, latent: &Latent, size: usize, rng: &mut StdRng) -> Dataset {
     let mut out = Dataset::new(spec.dim);
     // Guarantee both classes are present (SMO requires it): force the
     // first two samples to opposite classes by resampling.
@@ -210,7 +205,10 @@ fn sample_triple_product(
     linear_leak: f64,
     rng: &mut StdRng,
 ) -> (Vec<f64>, Label) {
-    assert!(spec.dim >= 4, "triple-product structure needs ≥ 4 dimensions");
+    assert!(
+        spec.dim >= 4,
+        "triple-product structure needs ≥ 4 dimensions"
+    );
     let mut x = Vec::with_capacity(spec.dim);
     // Three informative bimodal dimensions with a guaranteed magnitude
     // floor, then low-amplitude decoys: after the (no-op) scaling the

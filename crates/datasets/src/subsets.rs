@@ -44,7 +44,9 @@ const SHIFT_DIR: [f64; DIABETES_DIM] = [0.5, -0.4, 0.45, -0.35, 0.4, -0.5, 0.35,
 pub fn diabetes_subsets(seed: u64) -> [Dataset; NUM_SUBSETS] {
     let mut rng = StdRng::seed_from_u64(seed);
     // Shared base boundary direction.
-    let base_w: Vec<f64> = (0..DIABETES_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let base_w: Vec<f64> = (0..DIABETES_DIM)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     // Fixed rotation direction, orthogonal-ish to the shift profile.
     let rot: [f64; DIABETES_DIM] = [0.9, 0.7, -0.8, 0.0, 0.0, 0.0, 0.0, 0.0];
 
@@ -67,9 +69,7 @@ pub fn diabetes_subsets(seed: u64) -> [Dataset; NUM_SUBSETS] {
             // Features: uniform cube translated by κ along the shift
             // profile, clamped back into [-1, 1].
             let x: Vec<f64> = (0..DIABETES_DIM)
-                .map(|d| {
-                    (rng.gen_range(-1.0..1.0) + kappa * SHIFT_DIR[d]).clamp(-1.0, 1.0)
-                })
+                .map(|d| (rng.gen_range(-1.0..1.0) + kappa * SHIFT_DIR[d]).clamp(-1.0, 1.0))
                 .collect();
             let score: f64 = ppcs_svm::dot(&w, &x) + offset;
             if score.abs() < 0.02 {

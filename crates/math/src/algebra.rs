@@ -43,6 +43,14 @@ pub trait Algebra: Clone + Debug + Send + Sync + 'static {
     fn neg(&self, a: &Self::Elem) -> Self::Elem;
     /// Multiplicative inverse, `None` for zero (or values with no inverse).
     fn inv(&self, a: &Self::Elem) -> Option<Self::Elem>;
+
+    /// Inverts a whole batch at once; `None` if any element has no
+    /// inverse. The default is element-wise [`inv`](Algebra::inv);
+    /// backends with an expensive inversion override it with Montgomery's
+    /// batch trick (one inversion plus ~3 multiplications per element).
+    fn batch_inv(&self, elems: &[Self::Elem]) -> Option<Vec<Self::Elem>> {
+        elems.iter().map(|e| self.inv(e)).collect()
+    }
     /// `true` iff `a` is the additive identity.
     fn is_zero(&self, a: &Self::Elem) -> bool;
 
@@ -250,6 +258,15 @@ impl Algebra for FixedFpAlgebra {
     fn inv(&self, a: &Fp256) -> Option<Fp256> {
         a.inv()
     }
+
+    fn batch_inv(&self, elems: &[Fp256]) -> Option<Vec<Fp256>> {
+        let mut out = elems.to_vec();
+        if Fp256::batch_inv(&mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
     #[inline]
     fn is_zero(&self, a: &Fp256) -> bool {
         a.is_zero()
@@ -383,5 +400,23 @@ mod tests {
     #[should_panic(expected = "frac_bits")]
     fn fixed_rejects_oversized_frac_bits() {
         let _ = FixedFpAlgebra::new(32);
+    }
+
+    #[test]
+    fn batch_inv_agrees_with_inv_on_both_backends() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fixed = FixedFpAlgebra::new(16);
+        let elems: Vec<Fp256> = (0..25).map(|_| fixed.random_point(&mut rng)).collect();
+        let batched = fixed.batch_inv(&elems).unwrap();
+        for (e, b) in elems.iter().zip(&batched) {
+            assert_eq!(fixed.inv(e).unwrap(), *b);
+        }
+        assert!(fixed
+            .batch_inv(&[Fp256::from_u64(2), Fp256::ZERO])
+            .is_none());
+
+        let f64a = F64Algebra::new();
+        assert_eq!(f64a.batch_inv(&[2.0, -4.0]), Some(vec![0.5, -0.25]));
+        assert_eq!(f64a.batch_inv(&[2.0, 0.0]), None);
     }
 }

@@ -14,8 +14,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use rand::Rng;
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 /// The secp256k1 prime `p = 2^256 - 2^32 - 977`, little-endian limbs.
 pub const MODULUS: [u64; 4] = [
@@ -394,6 +392,40 @@ impl Fp256 {
     pub fn double(self) -> Self {
         self + self
     }
+
+    /// Inverts every element in place with Montgomery's batch trick:
+    /// one Fermat inversion plus three multiplications per element,
+    /// instead of one ~256-squaring inversion per element.
+    ///
+    /// Returns `false` and leaves `elems` untouched if any element is
+    /// zero (a batch containing zero has no well-defined inverse).
+    pub fn batch_inv(elems: &mut [Fp256]) -> bool {
+        if elems.iter().any(|e| e.is_zero()) {
+            return false;
+        }
+        // prefix[i] = e_0 · e_1 · … · e_i
+        let mut prefix = Vec::with_capacity(elems.len());
+        let mut acc = Fp256::ONE;
+        for e in elems.iter() {
+            acc = acc.mont_mul(e);
+            prefix.push(acc);
+        }
+        let Some(mut suffix_inv) = acc.inv() else {
+            return false;
+        };
+        // Walking backwards, suffix_inv = (e_0 · … · e_i)^{-1}; peeling
+        // off prefix[i-1] isolates e_i^{-1}.
+        for i in (0..elems.len()).rev() {
+            let inv_i = if i == 0 {
+                suffix_inv
+            } else {
+                suffix_inv.mont_mul(&prefix[i - 1])
+            };
+            suffix_inv = suffix_inv.mont_mul(&elems[i]);
+            elems[i] = inv_i;
+        }
+        true
+    }
 }
 
 impl Add for Fp256 {
@@ -508,23 +540,6 @@ impl From<i64> for Fp256 {
     }
 }
 
-impl Serialize for Fp256 {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_bytes(&self.to_bytes())
-    }
-}
-
-impl<'de> Deserialize<'de> for Fp256 {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let bytes: Vec<u8> = serde::Deserialize::deserialize(deserializer)?;
-        let arr: [u8; 32] = bytes
-            .as_slice()
-            .try_into()
-            .map_err(|_| D::Error::custom("Fp256 expects exactly 32 bytes"))?;
-        Ok(Fp256::from_bytes(&arr))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +595,28 @@ mod tests {
             let a = Fp256::random(&mut rng);
             assert_eq!(Fp256::from_bytes(&a.to_bytes()), a);
         }
+    }
+
+    #[test]
+    fn batch_inv_matches_per_element() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [0usize, 1, 2, 3, 17, 64] {
+            let elems: Vec<Fp256> = (0..n).map(|_| Fp256::random_nonzero(&mut rng)).collect();
+            let mut batched = elems.clone();
+            assert!(Fp256::batch_inv(&mut batched));
+            for (e, b) in elems.iter().zip(&batched) {
+                assert_eq!(e.inv().unwrap(), *b);
+                assert_eq!(*e * *b, Fp256::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inv_rejects_zero_and_leaves_input_untouched() {
+        let mut elems = [Fp256::from_u64(3), Fp256::ZERO, Fp256::from_u64(7)];
+        let before = elems;
+        assert!(!Fp256::batch_inv(&mut elems));
+        assert_eq!(elems, before);
     }
 
     #[test]

@@ -60,8 +60,13 @@ pub fn interpolate_at_zero<A: Algebra>(
     points: &[(A::Elem, A::Elem)],
 ) -> Result<A::Elem, InterpolationError> {
     validate::<A>(alg, points)?;
-    let mut acc = alg.zero();
-    for (j, (xj, yj)) in points.iter().enumerate() {
+    // Gather every barycentric denominator, then invert the lot with a
+    // single batch inversion — on the prime-field backend that is one
+    // Fermat inversion for the whole interpolation instead of one per
+    // point, which dominates the OMPE retrieval step.
+    let mut nums = Vec::with_capacity(points.len());
+    let mut dens = Vec::with_capacity(points.len());
+    for (j, (xj, _)) in points.iter().enumerate() {
         let mut num = alg.one();
         let mut den = alg.one();
         for (i, (xi, _)) in points.iter().enumerate() {
@@ -71,10 +76,15 @@ pub fn interpolate_at_zero<A: Algebra>(
             num = alg.mul(&num, &alg.neg(xi));
             den = alg.mul(&den, &alg.sub(xj, xi));
         }
-        let weight = alg
-            .inv(&den)
-            .expect("denominator nonzero: abscissae are distinct");
-        let term = alg.mul(yj, &alg.mul(&num, &weight));
+        nums.push(num);
+        dens.push(den);
+    }
+    let weights = alg
+        .batch_inv(&dens)
+        .expect("denominators nonzero: abscissae are distinct");
+    let mut acc = alg.zero();
+    for (((_, yj), num), weight) in points.iter().zip(&nums).zip(&weights) {
+        let term = alg.mul(yj, &alg.mul(num, weight));
         acc = alg.add(&acc, &term);
     }
     Ok(acc)
@@ -122,10 +132,7 @@ pub fn interpolate_coeffs<A: Algebra>(
     Ok(result)
 }
 
-fn validate<A: Algebra>(
-    alg: &A,
-    points: &[(A::Elem, A::Elem)],
-) -> Result<(), InterpolationError> {
+fn validate<A: Algebra>(alg: &A, points: &[(A::Elem, A::Elem)]) -> Result<(), InterpolationError> {
     if points.is_empty() {
         return Err(InterpolationError::Empty);
     }

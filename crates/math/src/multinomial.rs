@@ -94,8 +94,8 @@ pub fn multinomial_coeff(p: u32, ks: &[u32]) -> f64 {
     let mut acc = 1.0f64;
     let mut remaining = p;
     for &k in ks {
-        acc *= binomial(remaining as u64, k as u64)
-            .expect("multinomial coefficient overflow") as f64;
+        acc *=
+            binomial(remaining as u64, k as u64).expect("multinomial coefficient overflow") as f64;
         remaining -= k;
     }
     acc

@@ -55,8 +55,27 @@ impl<A: Algebra> Polynomial<A> {
         constant: A::Elem,
         rng: &mut R,
     ) -> Self {
-        let mut coeffs = Vec::with_capacity(degree + 1);
-        coeffs.push(constant);
+        let mut p = Self::zero();
+        p.refresh_random_with_constant(alg, degree, constant, rng);
+        p
+    }
+
+    /// Redraws this polynomial in place as a fresh uniformly random one
+    /// of exactly `degree` with the prescribed constant term, reusing the
+    /// coefficient allocation.
+    ///
+    /// Batch protocols set up the masking-polynomial storage once per
+    /// session and refresh it here for every round.
+    pub fn refresh_random_with_constant<R: Rng + ?Sized>(
+        &mut self,
+        alg: &A,
+        degree: usize,
+        constant: A::Elem,
+        rng: &mut R,
+    ) {
+        self.coeffs.clear();
+        self.coeffs.reserve(degree + 1);
+        self.coeffs.push(constant);
         for i in 1..=degree {
             let c = if i == degree {
                 // A zero leading coefficient would silently reduce the
@@ -70,9 +89,8 @@ impl<A: Algebra> Polynomial<A> {
             } else {
                 alg.random_mask(rng)
             };
-            coeffs.push(c);
+            self.coeffs.push(c);
         }
-        Self { coeffs }
     }
 
     /// The degree (0 for constants and for the zero polynomial).

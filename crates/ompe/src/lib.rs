@@ -56,6 +56,10 @@
 
 mod error;
 mod protocol;
+mod session;
 
 pub use error::OmpeError;
 pub use protocol::{ompe_receive, ompe_send, OmpeParams};
+pub use session::{
+    ompe_receive_batch, ompe_send_batch, OmpeReceiverSession, OmpeSenderSession, PreparedRound,
+};

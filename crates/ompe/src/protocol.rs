@@ -1,15 +1,14 @@
 //! The OMPE sender and receiver.
 
-use bytes::{Bytes, BytesMut};
-use ppcs_math::{interpolate_at_zero, Algebra, PolyEval, Polynomial};
+use ppcs_math::{Algebra, PolyEval};
 use ppcs_ot::ObliviousTransfer;
-use ppcs_transport::{decode_seq, encode_seq, Encodable, Endpoint};
-use rand::seq::index::sample;
+use ppcs_transport::{Encodable, Endpoint};
 use rand::RngCore;
 
 use crate::error::OmpeError;
+use crate::session::{OmpeReceiverSession, OmpeSenderSession};
 
-const KIND_OMPE_POINTS: u16 = 0x0400;
+pub(crate) const KIND_OMPE_POINTS: u16 = 0x0400;
 
 /// Public parameters both parties must agree on before running OMPE.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,11 +33,7 @@ impl OmpeParams {
     /// # Errors
     ///
     /// Returns [`OmpeError::Params`] if any parameter is zero.
-    pub fn new(
-        degree_bound: usize,
-        sigma: usize,
-        decoy_factor: usize,
-    ) -> Result<Self, OmpeError> {
+    pub fn new(degree_bound: usize, sigma: usize, decoy_factor: usize) -> Result<Self, OmpeError> {
         if degree_bound == 0 {
             return Err(OmpeError::Params("degree_bound must be ≥ 1".into()));
         }
@@ -72,12 +67,6 @@ impl OmpeParams {
     }
 }
 
-fn encode_elems<E: Encodable>(elems: &[E]) -> Bytes {
-    let mut out = BytesMut::new();
-    encode_seq(elems, &mut out);
-    out.freeze()
-}
-
 /// Sender side of OMPE: obliviously evaluates `secret` on the receiver's
 /// hidden input.
 ///
@@ -98,56 +87,7 @@ where
     A::Elem: Encodable,
     P: PolyEval<A> + ?Sized,
 {
-    if secret.total_degree() > params.degree_bound {
-        return Err(OmpeError::SecretMismatch(format!(
-            "secret has total degree {}, agreed bound is {}",
-            secret.total_degree(),
-            params.degree_bound
-        )));
-    }
-    let n_points = params.num_points();
-    let r = secret.num_vars();
-
-    // Receive the receiver's point cloud: N abscissae and N input vectors.
-    let mut payload: Bytes = {
-        let blob: Vec<u8> = ep.recv_msg(KIND_OMPE_POINTS)?;
-        Bytes::from(blob)
-    };
-    let xs: Vec<A::Elem> = decode_seq(&mut payload)?;
-    let ys_flat: Vec<A::Elem> = decode_seq(&mut payload)?;
-    if xs.len() != n_points {
-        return Err(OmpeError::Protocol(format!(
-            "receiver submitted {} points, parameters require {n_points}",
-            xs.len()
-        )));
-    }
-    if ys_flat.len() != n_points * r {
-        return Err(OmpeError::Protocol(format!(
-            "receiver submitted {} input coordinates, expected {}",
-            ys_flat.len(),
-            n_points * r
-        )));
-    }
-
-    // Fresh masking polynomial M with M(0) = 0 and degree exactly D.
-    let mask = Polynomial::random_with_constant(
-        alg,
-        params.composite_degree(),
-        alg.zero(),
-        rng,
-    );
-
-    // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
-    let mut answers = Vec::with_capacity(n_points);
-    for (i, x) in xs.iter().enumerate() {
-        let y = &ys_flat[i * r..(i + 1) * r];
-        let q = alg.add(&mask.eval(alg, x), &secret.eval(alg, y));
-        answers.push(encode_elems(std::slice::from_ref(&q)).to_vec());
-    }
-
-    // n-out-of-N oblivious transfer of the answers.
-    ot.send(ep, rng, &answers, params.num_covers())?;
-    Ok(())
+    OmpeSenderSession::single_shot(*params).send_round(alg, ep, ot, rng, secret)
 }
 
 /// Receiver side of OMPE: learns `P(α)` for the private input `alpha`.
@@ -168,82 +108,7 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
-    if alpha.is_empty() {
-        return Err(OmpeError::Params("input vector must be non-empty".into()));
-    }
-    let r = alpha.len();
-    let n_covers = params.num_covers();
-    let n_points = params.num_points();
-
-    // Hide each input coordinate as the constant term of a random
-    // degree-σ polynomial.
-    let cover_polys: Vec<Polynomial<A>> = alpha
-        .iter()
-        .map(|a| Polynomial::random_with_constant(alg, params.sigma, a.clone(), rng))
-        .collect();
-
-    // Distinct nonzero abscissae for all N points.
-    let xs = draw_distinct_points(alg, n_points, rng);
-
-    // Choose which positions are genuine covers.
-    let cover_positions: Vec<usize> = sample(rng, n_points, n_covers).into_vec();
-    let mut is_cover = vec![false; n_points];
-    for &pos in &cover_positions {
-        is_cover[pos] = true;
-    }
-
-    // Build the submitted input vectors: S(x) at covers, disguises
-    // elsewhere.
-    let mut ys_flat = Vec::with_capacity(n_points * r);
-    for (i, x) in xs.iter().enumerate() {
-        if is_cover[i] {
-            for poly in &cover_polys {
-                ys_flat.push(poly.eval(alg, x));
-            }
-        } else {
-            for _ in 0..r {
-                ys_flat.push(alg.random_disguise(rng));
-            }
-        }
-    }
-
-    let mut payload = BytesMut::new();
-    encode_seq(&xs, &mut payload);
-    encode_seq(&ys_flat, &mut payload);
-    ep.send_msg(KIND_OMPE_POINTS, &payload.to_vec())?;
-
-    // Obliviously fetch the answers at the cover positions.
-    let raw = ot.receive(ep, rng, n_points, &cover_positions)?;
-    let mut points = Vec::with_capacity(n_covers);
-    for (raw_value, &pos) in raw.iter().zip(&cover_positions) {
-        let mut input = Bytes::from(raw_value.clone());
-        let values: Vec<A::Elem> = decode_seq(&mut input)
-            .map_err(|e| OmpeError::Protocol(format!("bad OT payload: {e}")))?;
-        let [value] = <[A::Elem; 1]>::try_from(values)
-            .map_err(|_| OmpeError::Protocol("OT payload is not a single element".into()))?;
-        points.push((xs[pos].clone(), value));
-    }
-
-    // Interpolate R(v) = M(v) + P(S(v)) and evaluate at zero:
-    // R(0) = M(0) + P(S(0)) = P(α).
-    Ok(interpolate_at_zero(alg, &points)?)
-}
-
-/// Draws `count` pairwise-distinct nonzero evaluation points.
-fn draw_distinct_points<A: Algebra>(
-    alg: &A,
-    count: usize,
-    rng: &mut dyn RngCore,
-) -> Vec<A::Elem> {
-    let mut xs: Vec<A::Elem> = Vec::with_capacity(count);
-    while xs.len() < count {
-        let candidate = alg.random_point(rng);
-        if xs.contains(&candidate) {
-            continue;
-        }
-        xs.push(candidate);
-    }
-    xs
+    OmpeReceiverSession::single_shot(*params).receive_round(alg, ep, ot, rng, alpha)
 }
 
 #[cfg(test)]
@@ -406,14 +271,7 @@ mod tests {
             },
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(2);
-                let _ = ompe_receive(
-                    &F64Algebra::new(),
-                    &ep,
-                    &SIM,
-                    &mut rng,
-                    &[1.0],
-                    &params_r,
-                );
+                let _ = ompe_receive(&F64Algebra::new(), &ep, &SIM, &mut rng, &[1.0], &params_r);
             },
         );
         assert!(matches!(send_res.unwrap_err(), OmpeError::Protocol(_)));
@@ -423,7 +281,7 @@ mod tests {
     fn distinct_points_are_distinct() {
         let alg = F64Algebra::new();
         let mut rng = StdRng::seed_from_u64(7);
-        let xs = draw_distinct_points(&alg, 200, &mut rng);
+        let xs = crate::session::draw_distinct_points(&alg, 200, &mut rng);
         for (i, a) in xs.iter().enumerate() {
             assert!(*a != 0.0);
             for b in xs.iter().skip(i + 1) {

@@ -1,0 +1,587 @@
+//! Batch OMPE sessions: per-batch state reuse and coalesced transport.
+//!
+//! A classification batch runs one OMPE round per sample over the same
+//! channel and parameter set. The session types here hoist everything a
+//! round does not need to redo out of the per-round loop:
+//!
+//! * the sender's masking-polynomial storage is allocated once and
+//!   refreshed in place each round (fresh randomness, no reallocation);
+//! * the receiver's cover-polynomial storage is reused the same way;
+//! * the OT engine's base-phase material (the Naor–Pinkas commitment
+//!   `C = g^c`) is drawn and transmitted once per batch instead of once
+//!   per base transfer;
+//! * the receiver's point clouds for a whole batch travel in a single
+//!   coalesced frame — one framed write instead of one per round.
+//!
+//! [`ompe_send_batch`] / [`ompe_receive_batch`] wire these together; the
+//! single-round entry points in [`crate::protocol`] are thin wrappers
+//! over one-round sessions with no batch state.
+
+use bytes::{Bytes, BytesMut};
+use ppcs_math::{interpolate_at_zero, Algebra, PolyEval, Polynomial};
+use ppcs_ot::{ObliviousTransfer, OtBatchState};
+use ppcs_transport::{decode_seq, encode_seq, Encodable, Endpoint, Frame};
+use rand::seq::index::sample;
+use rand::RngCore;
+
+use crate::error::OmpeError;
+use crate::protocol::{OmpeParams, KIND_OMPE_POINTS};
+
+fn encode_elems<E: Encodable>(elems: &[E]) -> Bytes {
+    let mut out = BytesMut::new();
+    encode_seq(elems, &mut out);
+    out.freeze()
+}
+
+/// One received point cloud: the `N` abscissae and the `N·r` flattened
+/// input coordinates (row-major).
+type PointCloud<A> = (Vec<<A as Algebra>::Elem>, Vec<<A as Algebra>::Elem>);
+
+/// Sender-side batch session: owns the per-batch state reused by every
+/// [`send_round`](OmpeSenderSession::send_round).
+#[derive(Debug)]
+pub struct OmpeSenderSession<A: Algebra> {
+    params: OmpeParams,
+    /// Masking-polynomial storage, refreshed in place each round.
+    mask: Polynomial<A>,
+    ot_state: OtBatchState,
+}
+
+impl<A> OmpeSenderSession<A>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    /// Sets up the per-batch state: masking-polynomial storage plus the
+    /// OT engine's base-phase material (transmitted to the peer, which
+    /// must construct an [`OmpeReceiverSession`] symmetrically).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures during the OT base phase.
+    pub fn new(
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        params: OmpeParams,
+    ) -> Result<Self, OmpeError> {
+        let ot_state = ot.begin_batch_send(ep, rng)?;
+        Ok(Self {
+            params,
+            mask: Polynomial::zero(),
+            ot_state,
+        })
+    }
+
+    /// A one-round session with no batch state; backs the single-shot
+    /// [`ompe_send`](crate::protocol::ompe_send).
+    pub(crate) fn single_shot(params: OmpeParams) -> Self {
+        Self {
+            params,
+            mask: Polynomial::zero(),
+            ot_state: OtBatchState::default(),
+        }
+    }
+
+    /// Obliviously evaluates `secret` on the receiver's next hidden
+    /// input (one OMPE round within the batch).
+    ///
+    /// # Errors
+    ///
+    /// [`OmpeError::SecretMismatch`] if `secret` exceeds the agreed
+    /// degree bound, plus transport/OT/protocol failures.
+    pub fn send_round<P>(
+        &mut self,
+        alg: &A,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        secret: &P,
+    ) -> Result<(), OmpeError>
+    where
+        P: PolyEval<A> + ?Sized,
+    {
+        self.check_degree(secret)?;
+        let cloud = self.recv_cloud(ep, secret.num_vars())?;
+        self.answer_cloud(alg, ep, ot, rng, secret, &cloud)
+    }
+
+    fn check_degree<P>(&self, secret: &P) -> Result<(), OmpeError>
+    where
+        P: PolyEval<A> + ?Sized,
+    {
+        if secret.total_degree() > self.params.degree_bound {
+            return Err(OmpeError::SecretMismatch(format!(
+                "secret has total degree {}, agreed bound is {}",
+                secret.total_degree(),
+                self.params.degree_bound
+            )));
+        }
+        Ok(())
+    }
+
+    /// Receives and validates one round's point cloud: `N` abscissae and
+    /// `N` `r`-dimensional input vectors. In batch mode every cloud of
+    /// the batch arrives in one coalesced frame, so these must all be
+    /// drained before the per-round oblivious transfers begin.
+    fn recv_cloud(&self, ep: &Endpoint, r: usize) -> Result<PointCloud<A>, OmpeError> {
+        let n_points = self.params.num_points();
+        let mut payload: Bytes = {
+            let blob: Vec<u8> = ep.recv_msg(KIND_OMPE_POINTS)?;
+            Bytes::from(blob)
+        };
+        let xs: Vec<A::Elem> = decode_seq(&mut payload)?;
+        let ys_flat: Vec<A::Elem> = decode_seq(&mut payload)?;
+        if xs.len() != n_points {
+            return Err(OmpeError::Protocol(format!(
+                "receiver submitted {} points, parameters require {n_points}",
+                xs.len()
+            )));
+        }
+        if ys_flat.len() != n_points * r {
+            return Err(OmpeError::Protocol(format!(
+                "receiver submitted {} input coordinates, expected {}",
+                ys_flat.len(),
+                n_points * r
+            )));
+        }
+        Ok((xs, ys_flat))
+    }
+
+    /// Masks, evaluates, and obliviously transfers the answers for one
+    /// received point cloud.
+    fn answer_cloud<P>(
+        &mut self,
+        alg: &A,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        secret: &P,
+        (xs, ys_flat): &PointCloud<A>,
+    ) -> Result<(), OmpeError>
+    where
+        P: PolyEval<A> + ?Sized,
+    {
+        let params = &self.params;
+        let n_points = params.num_points();
+        let r = secret.num_vars();
+
+        // Fresh masking polynomial M with M(0) = 0 and degree exactly D,
+        // drawn into the storage set up at session creation.
+        self.mask
+            .refresh_random_with_constant(alg, params.composite_degree(), alg.zero(), rng);
+
+        // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
+        let mut answers = Vec::with_capacity(n_points);
+        for (i, x) in xs.iter().enumerate() {
+            let y = &ys_flat[i * r..(i + 1) * r];
+            let q = alg.add(&self.mask.eval(alg, x), &secret.eval(alg, y));
+            answers.push(encode_elems(std::slice::from_ref(&q)).to_vec());
+        }
+
+        // n-out-of-N oblivious transfer of the answers.
+        ot.send_batched(&self.ot_state, ep, rng, &answers, params.num_covers())?;
+        Ok(())
+    }
+}
+
+/// One receiver round built by
+/// [`prepare_round`](OmpeReceiverSession::prepare_round) but not yet
+/// transmitted: the point-cloud frame plus the local state needed to
+/// finish after the oblivious transfer.
+#[derive(Debug)]
+pub struct PreparedRound<A: Algebra> {
+    frame: Frame,
+    xs: Vec<A::Elem>,
+    cover_positions: Vec<usize>,
+}
+
+impl<A: Algebra> PreparedRound<A> {
+    /// The point-cloud frame to transmit (cheap to clone; the payload is
+    /// reference-counted).
+    pub fn frame(&self) -> Frame {
+        self.frame.clone()
+    }
+}
+
+/// Receiver-side batch session: owns the per-batch state reused by every
+/// round.
+#[derive(Debug)]
+pub struct OmpeReceiverSession<A: Algebra> {
+    params: OmpeParams,
+    /// Cover-polynomial storage, refreshed in place each round.
+    cover_polys: Vec<Polynomial<A>>,
+    ot_state: OtBatchState,
+}
+
+impl<A> OmpeReceiverSession<A>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    /// Sets up the per-batch state, consuming the sender's OT base-phase
+    /// material from the channel.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures during the OT base phase.
+    pub fn new(
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        params: OmpeParams,
+    ) -> Result<Self, OmpeError> {
+        let ot_state = ot.begin_batch_receive(ep)?;
+        Ok(Self {
+            params,
+            cover_polys: Vec::new(),
+            ot_state,
+        })
+    }
+
+    /// A one-round session with no batch state; backs the single-shot
+    /// [`ompe_receive`](crate::protocol::ompe_receive).
+    pub(crate) fn single_shot(params: OmpeParams) -> Self {
+        Self {
+            params,
+            cover_polys: Vec::new(),
+            ot_state: OtBatchState::default(),
+        }
+    }
+
+    /// Builds one round's point cloud without transmitting it, so that a
+    /// whole batch of rounds can go out in one coalesced write.
+    ///
+    /// # Errors
+    ///
+    /// [`OmpeError::Params`] on an empty input vector.
+    pub fn prepare_round(
+        &mut self,
+        alg: &A,
+        rng: &mut dyn RngCore,
+        alpha: &[A::Elem],
+    ) -> Result<PreparedRound<A>, OmpeError> {
+        if alpha.is_empty() {
+            return Err(OmpeError::Params("input vector must be non-empty".into()));
+        }
+        let params = &self.params;
+        let r = alpha.len();
+        let n_covers = params.num_covers();
+        let n_points = params.num_points();
+
+        // Hide each input coordinate as the constant term of a random
+        // degree-σ polynomial, refreshing the session's storage.
+        self.cover_polys.truncate(r);
+        while self.cover_polys.len() < r {
+            self.cover_polys.push(Polynomial::zero());
+        }
+        for (poly, a) in self.cover_polys.iter_mut().zip(alpha) {
+            poly.refresh_random_with_constant(alg, params.sigma, a.clone(), rng);
+        }
+
+        // Distinct nonzero abscissae for all N points.
+        let xs = draw_distinct_points(alg, n_points, rng);
+
+        // Choose which positions are genuine covers.
+        let cover_positions: Vec<usize> = sample(rng, n_points, n_covers).into_vec();
+        let mut is_cover = vec![false; n_points];
+        for &pos in &cover_positions {
+            is_cover[pos] = true;
+        }
+
+        // Build the submitted input vectors: S(x) at covers, disguises
+        // elsewhere.
+        let mut ys_flat = Vec::with_capacity(n_points * r);
+        for (i, x) in xs.iter().enumerate() {
+            if is_cover[i] {
+                for poly in &self.cover_polys {
+                    ys_flat.push(poly.eval(alg, x));
+                }
+            } else {
+                for _ in 0..r {
+                    ys_flat.push(alg.random_disguise(rng));
+                }
+            }
+        }
+
+        let mut payload = BytesMut::new();
+        encode_seq(&xs, &mut payload);
+        encode_seq(&ys_flat, &mut payload);
+        let frame = Frame::encode(KIND_OMPE_POINTS, &payload.to_vec());
+        Ok(PreparedRound {
+            frame,
+            xs,
+            cover_positions,
+        })
+    }
+
+    /// Runs the oblivious transfer and interpolation for a prepared
+    /// round whose point-cloud frame has already been transmitted;
+    /// returns `P(α)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/OT/interpolation failures.
+    pub fn finish_round(
+        &self,
+        alg: &A,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        round: &PreparedRound<A>,
+    ) -> Result<A::Elem, OmpeError> {
+        let n_covers = self.params.num_covers();
+        let n_points = self.params.num_points();
+
+        // Obliviously fetch the answers at the cover positions.
+        let raw = ot.receive_batched(&self.ot_state, ep, rng, n_points, &round.cover_positions)?;
+        let mut points = Vec::with_capacity(n_covers);
+        for (raw_value, &pos) in raw.iter().zip(&round.cover_positions) {
+            let mut input = Bytes::from(raw_value.clone());
+            let values: Vec<A::Elem> = decode_seq(&mut input)
+                .map_err(|e| OmpeError::Protocol(format!("bad OT payload: {e}")))?;
+            let [value] = <[A::Elem; 1]>::try_from(values)
+                .map_err(|_| OmpeError::Protocol("OT payload is not a single element".into()))?;
+            points.push((round.xs[pos].clone(), value));
+        }
+
+        // Interpolate R(v) = M(v) + P(S(v)) and evaluate at zero:
+        // R(0) = M(0) + P(S(0)) = P(α).
+        Ok(interpolate_at_zero(alg, &points)?)
+    }
+
+    /// Prepares, transmits, and finishes one round (the non-coalesced
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`prepare_round`](OmpeReceiverSession::prepare_round)
+    /// or [`finish_round`](OmpeReceiverSession::finish_round).
+    pub fn receive_round(
+        &mut self,
+        alg: &A,
+        ep: &Endpoint,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        alpha: &[A::Elem],
+    ) -> Result<A::Elem, OmpeError> {
+        let round = self.prepare_round(alg, rng, alpha)?;
+        ep.send(round.frame())?;
+        self.finish_round(alg, ep, ot, rng, &round)
+    }
+}
+
+/// Sender side of a batch of OMPE rounds: evaluates `secrets[i]` on the
+/// receiver's `i`-th hidden input, reusing per-batch state throughout.
+///
+/// # Errors
+///
+/// Any per-round error of
+/// [`OmpeSenderSession::send_round`]; the batch stops at the first
+/// failure.
+pub fn ompe_send_batch<A, P>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    secrets: &[P],
+    params: &OmpeParams,
+) -> Result<(), OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+    P: PolyEval<A>,
+{
+    if secrets.is_empty() {
+        return Ok(());
+    }
+    let mut session = OmpeSenderSession::new(ep, ot, rng, *params)?;
+    for secret in secrets {
+        session.check_degree(secret)?;
+    }
+    // The receiver ships every round's point cloud in one coalesced
+    // frame, so drain them all before any per-round OT traffic starts —
+    // otherwise an OT receive would pop a queued point cloud instead of
+    // the frame it expects.
+    let clouds: Vec<_> = secrets
+        .iter()
+        .map(|secret| session.recv_cloud(ep, secret.num_vars()))
+        .collect::<Result<_, _>>()?;
+    for (secret, cloud) in secrets.iter().zip(&clouds) {
+        session.answer_cloud(alg, ep, ot, rng, secret, cloud)?;
+    }
+    Ok(())
+}
+
+/// Receiver side of a batch of OMPE rounds: learns `P_i(α_i)` for every
+/// private input, transmitting all point clouds in one coalesced frame.
+///
+/// # Errors
+///
+/// Any per-round error; the batch stops at the first failure.
+pub fn ompe_receive_batch<A>(
+    alg: &A,
+    ep: &Endpoint,
+    ot: &dyn ObliviousTransfer,
+    rng: &mut dyn RngCore,
+    alphas: &[Vec<A::Elem>],
+    params: &OmpeParams,
+) -> Result<Vec<A::Elem>, OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    if alphas.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut session = OmpeReceiverSession::new(ep, ot, *params)?;
+    let rounds: Vec<PreparedRound<A>> = alphas
+        .iter()
+        .map(|alpha| session.prepare_round(alg, rng, alpha))
+        .collect::<Result<_, _>>()?;
+    // One framed write carries every round's point cloud.
+    let frames: Vec<Frame> = rounds.iter().map(PreparedRound::frame).collect();
+    ep.send_coalesced(&frames)?;
+    rounds
+        .iter()
+        .map(|round| session.finish_round(alg, ep, ot, rng, round))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_math::{F64Algebra, FixedFpAlgebra, MvPolynomial};
+    use ppcs_ot::{NaorPinkasOt, TrustedSimOt};
+    use ppcs_transport::run_pair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    static SIM: TrustedSimOt = TrustedSimOt;
+
+    #[test]
+    fn batch_matches_sequential_over_field() {
+        let alg = FixedFpAlgebra::new(16);
+        let weights = vec![alg.encode(1.5, 1), alg.encode(-2.0, 1)];
+        let secret = MvPolynomial::affine(&alg, &weights, alg.encode(3.0, 2));
+        let params = OmpeParams::new(1, 5, 4).unwrap();
+        let inputs: Vec<Vec<_>> = (0..8)
+            .map(|i| {
+                let v = f64::from(i) * 0.25 - 1.0;
+                vec![alg.encode(v, 1), alg.encode(-v, 1)]
+            })
+            .collect();
+        let secrets = vec![secret; inputs.len()];
+        let alg_s = alg;
+        let secrets_s = secrets.clone();
+        let alphas = inputs.clone();
+        let (send_res, values) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(21);
+                ompe_send_batch(&alg_s, &ep, &SIM, &mut rng, &secrets_s, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(22);
+                ompe_receive_batch(&alg, &ep, &SIM, &mut rng, &alphas, &params).unwrap()
+            },
+        );
+        send_res.unwrap();
+        for (input, got) in inputs.iter().zip(&values) {
+            let a = alg.decode(&input[0], 1);
+            let b = alg.decode(&input[1], 1);
+            let want = 1.5 * a - 2.0 * b + 3.0;
+            assert!(
+                (alg.decode(got, 2) - want).abs() < 1e-3,
+                "{} vs {want}",
+                alg.decode(got, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_point_clouds_travel_in_one_frame() {
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::affine(&alg, &[2.0], 1.0);
+        let params = OmpeParams::new(1, 3, 2).unwrap();
+        let secrets = vec![secret; 4];
+        let alphas: Vec<Vec<f64>> = (0..4).map(|i| vec![f64::from(i)]).collect();
+        let (send_res, (values, frames_sent)) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(31);
+                ompe_send_batch(&alg, &ep, &SIM, &mut rng, &secrets, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(32);
+                let vals = ompe_receive_batch(&alg, &ep, &SIM, &mut rng, &alphas, &params).unwrap();
+                // The sim OT sends one index frame per round; only ONE
+                // frame beyond those carries all four point clouds.
+                (vals, ep.stats().frames_sent)
+            },
+        );
+        send_res.unwrap();
+        assert_eq!(
+            frames_sent,
+            1 + 4,
+            "one coalesced frame + 4 OT index frames"
+        );
+        for (i, v) in values.iter().enumerate() {
+            assert!((v - (2.0 * f64::from(i as u32) + 1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn batch_works_over_naor_pinkas_with_shared_commitment() {
+        static CELL: std::sync::OnceLock<NaorPinkasOt> = std::sync::OnceLock::new();
+        let ot: &'static dyn ObliviousTransfer = CELL.get_or_init(NaorPinkasOt::fast_insecure);
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::affine(&alg, &[1.0, -1.0], 0.5);
+        let params = OmpeParams::new(1, 2, 2).unwrap();
+        let secrets = vec![secret; 3];
+        let alphas: Vec<Vec<f64>> = vec![vec![1.0, 0.5], vec![-0.5, 0.25], vec![2.0, 2.0]];
+        let expected: Vec<f64> = alphas.iter().map(|a| a[0] - a[1] + 0.5).collect();
+        let (send_res, values) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(41);
+                ompe_send_batch(&alg, &ep, ot, &mut rng, &secrets, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(42);
+                ompe_receive_batch(&alg, &ep, ot, &mut rng, &alphas, &params).unwrap()
+            },
+        );
+        send_res.unwrap();
+        for (got, want) in values.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let alg = F64Algebra::new();
+        let params = OmpeParams::new(1, 2, 2).unwrap();
+        let (_, values) = run_pair(
+            move |_ep| {},
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                ompe_receive_batch::<F64Algebra>(&alg, &ep, &SIM, &mut rng, &[], &params).unwrap()
+            },
+        );
+        assert!(values.is_empty());
+    }
+}
+
+/// Draws `count` pairwise-distinct nonzero evaluation points.
+pub(crate) fn draw_distinct_points<A: Algebra>(
+    alg: &A,
+    count: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<A::Elem> {
+    let mut xs: Vec<A::Elem> = Vec::with_capacity(count);
+    while xs.len() < count {
+        let candidate = alg.random_point(rng);
+        if xs.contains(&candidate) {
+            continue;
+        }
+        xs.push(candidate);
+    }
+    xs
+}

@@ -2,15 +2,28 @@
 //! engines: cryptographic Naor–Pinkas and the ideal-functionality
 //! simulator used for large-scale functional benchmarks.
 
+use num_bigint::BigUint;
 use ppcs_crypto::DhGroup;
 use ppcs_transport::Endpoint;
 use rand::RngCore;
 
+use crate::base::{commit_c, receive_c};
 use crate::error::OtError;
-use crate::kn::{otkn_receive, otkn_send};
+use crate::kn::{otkn_receive, otkn_receive_with_c, otkn_send, otkn_send_with_c};
 
 const KIND_SIM_INDICES: u16 = 0x0300;
 const KIND_SIM_MESSAGES: u16 = 0x0301;
+
+/// Per-batch OT session state: base-phase material an engine draws once
+/// and reuses for every transfer of a batch. Created by
+/// [`ObliviousTransfer::begin_batch_send`] /
+/// [`ObliviousTransfer::begin_batch_receive`]; opaque to callers.
+#[derive(Clone, Debug, Default)]
+pub struct OtBatchState {
+    /// Naor–Pinkas: the base-OT commitment `C`, transmitted once per
+    /// batch. `None` for engines without a base phase.
+    np_c: Option<BigUint>,
+}
 
 /// A k-out-of-N oblivious transfer engine.
 ///
@@ -48,6 +61,68 @@ pub trait ObliviousTransfer: Send + Sync {
 
     /// A short label for reports and benchmarks.
     fn name(&self) -> &'static str;
+
+    /// One-time sender-side base-phase setup for a batch of transfers
+    /// over `ep`.
+    ///
+    /// The default is a no-op for engines without a base phase. The
+    /// Naor–Pinkas engine draws and transmits its commitment `C = g^c`
+    /// here, so every later transfer of the batch skips one modular
+    /// exponentiation and one frame per base OT. The peer must call
+    /// [`begin_batch_receive`](ObliviousTransfer::begin_batch_receive)
+    /// symmetrically.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures while transmitting setup material.
+    fn begin_batch_send(
+        &self,
+        _ep: &Endpoint,
+        _rng: &mut dyn RngCore,
+    ) -> Result<OtBatchState, OtError> {
+        Ok(OtBatchState::default())
+    }
+
+    /// Receiver half of [`begin_batch_send`](ObliviousTransfer::begin_batch_send).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures while receiving setup material.
+    fn begin_batch_receive(&self, _ep: &Endpoint) -> Result<OtBatchState, OtError> {
+        Ok(OtBatchState::default())
+    }
+
+    /// [`send`](ObliviousTransfer::send) reusing per-batch state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`send`](ObliviousTransfer::send).
+    fn send_batched(
+        &self,
+        _state: &OtBatchState,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        messages: &[Vec<u8>],
+        k: usize,
+    ) -> Result<(), OtError> {
+        self.send(ep, rng, messages, k)
+    }
+
+    /// [`receive`](ObliviousTransfer::receive) reusing per-batch state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`receive`](ObliviousTransfer::receive).
+    fn receive_batched(
+        &self,
+        _state: &OtBatchState,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        num_messages: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, OtError> {
+        self.receive(ep, rng, num_messages, indices)
+    }
 }
 
 /// Cryptographic k-out-of-N OT (Naor–Pinkas base OTs over a MODP group).
@@ -135,6 +210,51 @@ impl ObliviousTransfer for NaorPinkasOt {
         } else {
             "naor-pinkas-768"
         }
+    }
+
+    fn begin_batch_send(
+        &self,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+    ) -> Result<OtBatchState, OtError> {
+        Ok(OtBatchState {
+            np_c: Some(commit_c(self.group, ep, rng)?),
+        })
+    }
+
+    fn begin_batch_receive(&self, ep: &Endpoint) -> Result<OtBatchState, OtError> {
+        Ok(OtBatchState {
+            np_c: Some(receive_c(self.group, ep)?),
+        })
+    }
+
+    fn send_batched(
+        &self,
+        state: &OtBatchState,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        messages: &[Vec<u8>],
+        k: usize,
+    ) -> Result<(), OtError> {
+        otkn_send_with_c(self.group, ep, rng, messages, k, state.np_c.as_ref())
+    }
+
+    fn receive_batched(
+        &self,
+        state: &OtBatchState,
+        ep: &Endpoint,
+        rng: &mut dyn RngCore,
+        num_messages: usize,
+        indices: &[usize],
+    ) -> Result<Vec<Vec<u8>>, OtError> {
+        otkn_receive_with_c(
+            self.group,
+            ep,
+            rng,
+            num_messages,
+            indices,
+            state.np_c.as_ref(),
+        )
     }
 }
 
@@ -285,6 +405,60 @@ mod tests {
             },
         );
         assert!(matches!(res.unwrap_err(), OtError::Protocol(_)));
+    }
+
+    #[test]
+    fn batched_transfers_share_one_commitment() {
+        let ot = NaorPinkasOt::fast_insecure();
+        let msgs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 8]).collect();
+        let msgs_s = msgs.clone();
+        let ot_r = ot.clone();
+        let rounds = 3usize;
+        let (_, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let state = ot.begin_batch_send(&ep, &mut rng).unwrap();
+                for _ in 0..rounds {
+                    ot.send_batched(&state, &ep, &mut rng, &msgs_s, 2).unwrap();
+                }
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let state = ot_r.begin_batch_receive(&ep).unwrap();
+                (0..rounds)
+                    .map(|r| {
+                        ot_r.receive_batched(&state, &ep, &mut rng, 6, &[r, 5 - r])
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+        for (r, round) in got.iter().enumerate() {
+            assert_eq!(round[0], msgs[r]);
+            assert_eq!(round[1], msgs[5 - r]);
+        }
+    }
+
+    #[test]
+    fn default_batch_state_is_a_noop() {
+        let ot = TrustedSimOt::new();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 4]).collect();
+        let msgs_s = msgs.clone();
+        let (_, got) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let state = TrustedSimOt::new().begin_batch_send(&ep, &mut rng).unwrap();
+                TrustedSimOt::new()
+                    .send_batched(&state, &ep, &mut rng, &msgs_s, 1)
+                    .unwrap();
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let state = ot.begin_batch_receive(&ep).unwrap();
+                ot.receive_batched(&state, &ep, &mut rng, 4, &[2]).unwrap()
+            },
+        );
+        assert_eq!(got, vec![msgs[2].clone()]);
     }
 
     #[test]

@@ -55,10 +55,60 @@ pub fn ot12_send(
         return Err(OtError::UnequalMessageLengths);
     }
     // Step 1: commit to C.
+    let big_c = commit_c(group, ep, rng)?;
+    ot12_send_precommitted(group, ep, rng, m0, m1, tag, &big_c)
+}
+
+/// Draws the sender's commitment `C = g^c` and transmits it.
+///
+/// The sender never uses the discrete log `c` — `C` only has to be a
+/// group element whose discrete log the receiver does not know — so one
+/// commitment can safely serve every transfer of a batch session. This
+/// is the base-phase work that batch mode hoists out of the per-transfer
+/// loop (one modular exponentiation and one frame per base OT).
+///
+/// # Errors
+///
+/// Transport failures from sending the commitment frame.
+pub fn commit_c(group: &DhGroup, ep: &Endpoint, rng: &mut dyn RngCore) -> Result<BigUint, OtError> {
     let c_exp = group.random_exponent(rng);
     let big_c = group.power_g(&c_exp);
     ep.send_msg(KIND_OT12_C, &group.element_bytes(&big_c))?;
+    Ok(big_c)
+}
 
+/// Receives the sender's commitment `C` (the receiver half of
+/// [`commit_c`]).
+///
+/// # Errors
+///
+/// Transport failures, or [`OtError::Protocol`] for an invalid element.
+pub fn receive_c(group: &DhGroup, ep: &Endpoint) -> Result<BigUint, OtError> {
+    let c_bytes: Vec<u8> = ep.recv_msg(KIND_OT12_C)?;
+    group
+        .element_from_bytes(&c_bytes)
+        .ok_or_else(|| OtError::Protocol("sender sent invalid C".into()))
+}
+
+/// Sender side of a 1-out-of-2 OT whose commitment `C` was already
+/// transmitted (steps 2–3 of the protocol).
+///
+/// # Errors
+///
+/// Same as [`ot12_send`].
+pub fn ot12_send_precommitted(
+    group: &DhGroup,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    m0: &[u8],
+    m1: &[u8],
+    tag: u64,
+    big_c: &BigUint,
+) -> Result<(), OtError> {
+    if m0.len() != m1.len() {
+        return Err(OtError::UnequalMessageLengths);
+    }
+    let big_c = big_c.clone();
     // Step 2: receive PK_0, derive PK_1.
     let pk0_bytes: Vec<u8> = ep.recv_msg(KIND_OT12_PK0)?;
     let pk0 = group
@@ -76,10 +126,7 @@ pub fn ot12_send(
     pad_apply(&k0, tag, &mut e0);
     pad_apply(&k1, tag, &mut e1);
 
-    ep.send_msg(
-        KIND_OT12_PAYLOAD,
-        &(group.element_bytes(&g_r), (e0, e1)),
-    )?;
+    ep.send_msg(KIND_OT12_PAYLOAD, &(group.element_bytes(&g_r), (e0, e1)))?;
     Ok(())
 }
 
@@ -97,11 +144,25 @@ pub fn ot12_receive(
     tag: u64,
 ) -> Result<Vec<u8>, OtError> {
     // Step 1: receive C.
-    let c_bytes: Vec<u8> = ep.recv_msg(KIND_OT12_C)?;
-    let big_c = group
-        .element_from_bytes(&c_bytes)
-        .ok_or_else(|| OtError::Protocol("sender sent invalid C".into()))?;
+    let big_c = receive_c(group, ep)?;
+    ot12_receive_precommitted(group, ep, rng, choice, tag, &big_c)
+}
 
+/// Receiver side of a 1-out-of-2 OT whose commitment `C` was already
+/// received (steps 2–4 of the protocol).
+///
+/// # Errors
+///
+/// Same as [`ot12_receive`].
+pub fn ot12_receive_precommitted(
+    group: &DhGroup,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    choice: bool,
+    tag: u64,
+    big_c: &BigUint,
+) -> Result<Vec<u8>, OtError> {
+    let big_c = big_c.clone();
     // Step 2: build the key pair so we know the discrete log of PK_choice
     // only.
     let x = group.random_exponent(rng);
@@ -114,8 +175,7 @@ pub fn ot12_receive(
     ep.send_msg(KIND_OT12_PK0, &group.element_bytes(&pk0))?;
 
     // Step 3/4: decrypt our branch.
-    let (g_r_bytes, (e0, e1)): (Vec<u8>, (Vec<u8>, Vec<u8>)) =
-        ep.recv_msg(KIND_OT12_PAYLOAD)?;
+    let (g_r_bytes, (e0, e1)): (Vec<u8>, (Vec<u8>, Vec<u8>)) = ep.recv_msg(KIND_OT12_PAYLOAD)?;
     let g_r: BigUint = group
         .element_from_bytes(&g_r_bytes)
         .ok_or_else(|| OtError::Protocol("sender sent invalid g^r".into()))?;

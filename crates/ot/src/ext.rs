@@ -224,8 +224,8 @@ pub fn iknp_receive(
         if cursor + 4 > payload.len() {
             return Err(OtError::Protocol("truncated extension payload".into()));
         }
-        let len = u32::from_le_bytes(payload[cursor..cursor + 4].try_into().expect("4 bytes"))
-            as usize;
+        let len =
+            u32::from_le_bytes(payload[cursor..cursor + 4].try_into().expect("4 bytes")) as usize;
         cursor += 4;
         if cursor + 2 * len > payload.len() {
             return Err(OtError::Protocol("truncated extension payload".into()));
@@ -240,7 +240,9 @@ pub fn iknp_receive(
         cursor += 2 * len;
     }
     if cursor != payload.len() {
-        return Err(OtError::Protocol("trailing bytes in extension payload".into()));
+        return Err(OtError::Protocol(
+            "trailing bytes in extension payload".into(),
+        ));
     }
     Ok(out)
 }
@@ -338,7 +340,9 @@ mod tests {
     #[test]
     fn transpose_is_involutive_on_square() {
         let mut rng = StdRng::seed_from_u64(9);
-        let cols: Vec<Vec<u8>> = (0..16).map(|_| (0..2).map(|_| rng.gen()).collect()).collect();
+        let cols: Vec<Vec<u8>> = (0..16)
+            .map(|_| (0..2).map(|_| rng.gen()).collect())
+            .collect();
         let rows = transpose_columns(&cols, 16);
         let back = transpose_columns(&rows, 16);
         for (a, b) in cols.iter().zip(&back) {

@@ -12,11 +12,12 @@
 //! open unchosen messages). This matches the paper's use: the OMPE
 //! receiver opens its `m` cover positions among the `M` submitted points.
 
+use num_bigint::BigUint;
 use ppcs_crypto::{ChaCha20, DhGroup, Sha256};
 use ppcs_transport::Endpoint;
 use rand::RngCore;
 
-use crate::base::{ot12_receive, ot12_send};
+use crate::base::{ot12_receive, ot12_receive_precommitted, ot12_send, ot12_send_precommitted};
 use crate::error::OtError;
 
 pub(crate) const KIND_OT1N_CIPHERTEXTS: u16 = 0x0200;
@@ -59,6 +60,24 @@ pub fn ot1n_send(
     rng: &mut dyn RngCore,
     messages: &[Vec<u8>],
     query: u64,
+) -> Result<(), OtError> {
+    ot1n_send_with_c(group, ep, rng, messages, query, None)
+}
+
+/// [`ot1n_send`] with an optional precommitted base-OT commitment `C`
+/// (see [`commit_c`](crate::base::commit_c)); `None` draws and transmits
+/// a fresh one per base OT.
+///
+/// # Errors
+///
+/// Same as [`ot1n_send`].
+pub fn ot1n_send_with_c(
+    group: &DhGroup,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    messages: &[Vec<u8>],
+    query: u64,
+    big_c: Option<&BigUint>,
 ) -> Result<(), OtError> {
     let n = messages.len();
     if n == 0 {
@@ -107,10 +126,11 @@ pub fn ot1n_send(
 
     // One base OT per bit position.
     for (b, (k0, k1)) in key_pairs.iter().enumerate() {
-        let tag = query
-            .wrapping_mul(1 << 16)
-            .wrapping_add(b as u64);
-        ot12_send(group, ep, rng, k0, k1, tag)?;
+        let tag = query.wrapping_mul(1 << 16).wrapping_add(b as u64);
+        match big_c {
+            Some(c) => ot12_send_precommitted(group, ep, rng, k0, k1, tag, c)?,
+            None => ot12_send(group, ep, rng, k0, k1, tag)?,
+        }
     }
     Ok(())
 }
@@ -128,6 +148,24 @@ pub fn ot1n_receive(
     num_messages: usize,
     index: usize,
     query: u64,
+) -> Result<Vec<u8>, OtError> {
+    ot1n_receive_with_c(group, ep, rng, num_messages, index, query, None)
+}
+
+/// [`ot1n_receive`] with an optional precommitted base-OT commitment
+/// `C`; must match the sender's choice.
+///
+/// # Errors
+///
+/// Same as [`ot1n_receive`].
+pub fn ot1n_receive_with_c(
+    group: &DhGroup,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    num_messages: usize,
+    index: usize,
+    query: u64,
+    big_c: Option<&BigUint>,
 ) -> Result<Vec<u8>, OtError> {
     if index >= num_messages {
         return Err(OtError::InvalidIndex {
@@ -153,11 +191,12 @@ pub fn ot1n_receive(
     let bits = num_bits(n);
     let mut keys = Vec::with_capacity(bits);
     for b in 0..bits {
-        let tag = query
-            .wrapping_mul(1 << 16)
-            .wrapping_add(b as u64);
+        let tag = query.wrapping_mul(1 << 16).wrapping_add(b as u64);
         let choice = (index >> b) & 1 == 1;
-        let key_bytes = ot12_receive(group, ep, rng, choice, tag)?;
+        let key_bytes = match big_c {
+            Some(c) => ot12_receive_precommitted(group, ep, rng, choice, tag, c)?,
+            None => ot12_receive(group, ep, rng, choice, tag)?,
+        };
         let key: [u8; 32] = key_bytes
             .try_into()
             .map_err(|_| OtError::Protocol("bit key has wrong length".into()))?;
@@ -182,8 +221,25 @@ pub fn otkn_send(
     messages: &[Vec<u8>],
     k: usize,
 ) -> Result<(), OtError> {
+    otkn_send_with_c(group, ep, rng, messages, k, None)
+}
+
+/// [`otkn_send`] with an optional precommitted base-OT commitment `C`
+/// shared by every query of the transfer.
+///
+/// # Errors
+///
+/// Propagates the per-query errors of [`ot1n_send`].
+pub fn otkn_send_with_c(
+    group: &DhGroup,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    messages: &[Vec<u8>],
+    k: usize,
+    big_c: Option<&BigUint>,
+) -> Result<(), OtError> {
     for query in 0..k {
-        ot1n_send(group, ep, rng, messages, query as u64)?;
+        ot1n_send_with_c(group, ep, rng, messages, query as u64, big_c)?;
     }
     Ok(())
 }
@@ -201,11 +257,28 @@ pub fn otkn_receive(
     num_messages: usize,
     indices: &[usize],
 ) -> Result<Vec<Vec<u8>>, OtError> {
+    otkn_receive_with_c(group, ep, rng, num_messages, indices, None)
+}
+
+/// [`otkn_receive`] with an optional precommitted base-OT commitment
+/// `C` shared by every query of the transfer.
+///
+/// # Errors
+///
+/// Propagates the per-query errors of [`ot1n_receive`].
+pub fn otkn_receive_with_c(
+    group: &DhGroup,
+    ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    num_messages: usize,
+    indices: &[usize],
+    big_c: Option<&BigUint>,
+) -> Result<Vec<Vec<u8>>, OtError> {
     indices
         .iter()
         .enumerate()
         .map(|(query, &index)| {
-            ot1n_receive(group, ep, rng, num_messages, index, query as u64)
+            ot1n_receive_with_c(group, ep, rng, num_messages, index, query as u64, big_c)
         })
         .collect()
 }

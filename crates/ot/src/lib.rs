@@ -31,9 +31,14 @@ mod ext;
 mod kn;
 mod knx;
 
-pub use api::{NaorPinkasOt, ObliviousTransfer, TrustedSimOt};
-pub use base::{ot12_receive, ot12_send};
+pub use api::{NaorPinkasOt, ObliviousTransfer, OtBatchState, TrustedSimOt};
+pub use base::{
+    commit_c, ot12_receive, ot12_receive_precommitted, ot12_send, ot12_send_precommitted, receive_c,
+};
 pub use error::OtError;
 pub use ext::{iknp_receive, iknp_send, random_choices, KAPPA};
-pub use kn::{ot1n_receive, ot1n_send, otkn_receive, otkn_send};
+pub use kn::{
+    ot1n_receive, ot1n_receive_with_c, ot1n_send, ot1n_send_with_c, otkn_receive,
+    otkn_receive_with_c, otkn_send, otkn_send_with_c,
+};
 pub use knx::IknpOt;

@@ -190,7 +190,11 @@ mod tests {
             let c = if pos { 0.5 } else { -0.5 };
             ds.push(
                 vec![c + rng.gen_range(-0.4..0.4), c + rng.gen_range(-0.4..0.4)],
-                if pos { Label::Positive } else { Label::Negative },
+                if pos {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
             );
         }
         SvmModel::train(&ds, Kernel::Linear, &SmoParams::default())
@@ -237,7 +241,11 @@ mod tests {
             let c = if pos { 0.5 } else { -0.5 };
             ds.push(
                 vec![c + rng.gen_range(-0.3..0.3), c + rng.gen_range(-0.3..0.3)],
-                if pos { Label::Positive } else { Label::Negative },
+                if pos {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
             );
         }
         let model = SvmModel::train(&ds, Kernel::paper_polynomial(2), &SmoParams::default());

@@ -7,8 +7,8 @@ use rand::RngCore;
 
 /// Small primes used to pre-sieve candidates.
 const SMALL_PRIMES: [u32; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Miller–Rabin rounds: error probability ≤ 4⁻⁴⁰ per candidate.

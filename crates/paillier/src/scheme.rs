@@ -61,14 +61,7 @@ pub fn generate_keypair(modulus_bits: u64, rng: &mut dyn RngCore) -> (PublicKey,
     let lambda = (&p - BigUint::one()).lcm(&(&q - BigUint::one()));
     let mu = mod_inverse(&lambda, &n).expect("λ is invertible mod n for distinct primes");
     let public = PublicKey { n, n_squared };
-    (
-        public.clone(),
-        PrivateKey {
-            public,
-            lambda,
-            mu,
-        },
-    )
+    (public.clone(), PrivateKey { public, lambda, mu })
 }
 
 impl PublicKey {

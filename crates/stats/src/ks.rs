@@ -8,7 +8,10 @@ use ppcs_svm::Dataset;
 ///
 /// Panics if either sample is empty or contains a NaN.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "K-S needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "K-S needs non-empty samples"
+    );
     let mut a = a.to_vec();
     let mut b = b.to_vec();
     a.sort_by(|x, y| x.partial_cmp(y).expect("NaN in K-S sample"));

@@ -5,10 +5,9 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A binary class label.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Label {
     /// The `+1` class.
     Positive,
@@ -59,7 +58,7 @@ impl core::fmt::Display for Label {
 /// assert_eq!(ds.len(), 2);
 /// assert_eq!(ds.dim(), 2);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Dataset {
     dim: usize,
     features: Vec<Vec<f64>>,
@@ -190,7 +189,7 @@ impl Dataset {
 /// Per-feature affine scaler mapping the training range to `[-1, 1]`.
 ///
 /// Constant features map to 0.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scaler {
     mins: Vec<f64>,
     maxs: Vec<f64>,

@@ -1,0 +1,474 @@
+//! Hand-rolled JSON persistence for trained models.
+//!
+//! The workspace builds fully offline, so instead of a serde dependency
+//! the model (de)serialization is a ~200-line purpose-built encoder and
+//! recursive-descent parser. Floats are written with Rust's shortest
+//! round-trip `Display` formatting, so `to_json` → `from_json` preserves
+//! every `f64` bit-for-bit (for finite values, which is all a trained
+//! model contains).
+
+use std::fmt::Write as _;
+
+use crate::kernel::Kernel;
+use crate::model::SvmModel;
+
+/// A parse failure, with a human-readable reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid model JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+// ---------------------------------------------------------------------
+// Generic JSON value model (subset: no unicode escapes, no exponents in
+// output — both accepted on input).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string (escapes already resolved).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document, requiring it to span the whole input.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Object(fields) => match fields.iter().find(|(k, _)| k == key) {
+                Some((_, v)) => Ok(v),
+                None => err(format!("missing field `{key}`")),
+            },
+            _ => err(format!("expected object while reading `{key}`")),
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            _ => err("expected number"),
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return err(format!("expected unsigned integer, got {n}"));
+        }
+        Ok(n as usize)
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => err("expected bool"),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => err("expected string"),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => err("expected array"),
+        }
+    }
+
+    /// The value as a `Vec<f64>`.
+    pub fn as_f64_vec(&self) -> Result<Vec<f64>, JsonError> {
+        self.as_array()?.iter().map(Json::as_f64).collect()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            err(format!("expected `{token}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| JsonError("bad escape".into()))?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return err(format!("unsupported escape `\\{}`", other as char)),
+                    });
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar; the input came from &str so
+                    // boundaries are valid.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError("bad utf-8".into()))?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Number(n)),
+            Err(_) => err(format!("bad number `{text}`")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat("{")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer helpers.
+// ---------------------------------------------------------------------
+
+/// Writes an `f64` so that parsing it back reproduces the exact bits
+/// (Rust's `Display` emits the shortest round-trip decimal form).
+fn push_f64(out: &mut String, v: f64) {
+    assert!(v.is_finite(), "model floats must be finite for JSON");
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        // `Display` prints `1` for 1.0; keep a trailing `.0` so the value
+        // reads as a float.
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn push_f64_slice(out: &mut String, vs: &[f64]) {
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push(']');
+}
+
+// ---------------------------------------------------------------------
+// Kernel encoding: {"type": "linear" | "polynomial" | "rbf" | "sigmoid", ...params}
+// ---------------------------------------------------------------------
+
+pub(crate) fn kernel_to_json(out: &mut String, kernel: Kernel) {
+    match kernel {
+        Kernel::Linear => out.push_str("{\"type\":\"linear\"}"),
+        Kernel::Polynomial { a0, b0, degree } => {
+            out.push_str("{\"type\":\"polynomial\",\"a0\":");
+            push_f64(out, a0);
+            out.push_str(",\"b0\":");
+            push_f64(out, b0);
+            let _ = write!(out, ",\"degree\":{degree}}}");
+        }
+        Kernel::Rbf { gamma } => {
+            out.push_str("{\"type\":\"rbf\",\"gamma\":");
+            push_f64(out, gamma);
+            out.push('}');
+        }
+        Kernel::Sigmoid { a0, c0 } => {
+            out.push_str("{\"type\":\"sigmoid\",\"a0\":");
+            push_f64(out, a0);
+            out.push_str(",\"c0\":");
+            push_f64(out, c0);
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn kernel_from_json(v: &Json) -> Result<Kernel, JsonError> {
+    match v.get("type")?.as_str()? {
+        "linear" => Ok(Kernel::Linear),
+        "polynomial" => Ok(Kernel::Polynomial {
+            a0: v.get("a0")?.as_f64()?,
+            b0: v.get("b0")?.as_f64()?,
+            degree: v.get("degree")?.as_usize()? as u32,
+        }),
+        "rbf" => Ok(Kernel::Rbf {
+            gamma: v.get("gamma")?.as_f64()?,
+        }),
+        "sigmoid" => Ok(Kernel::Sigmoid {
+            a0: v.get("a0")?.as_f64()?,
+            c0: v.get("c0")?.as_f64()?,
+        }),
+        other => err(format!("unknown kernel type `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// SvmModel encoding.
+// ---------------------------------------------------------------------
+
+impl SvmModel {
+    /// Serializes the model to a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"kernel\":");
+        kernel_to_json(&mut out, self.kernel());
+        out.push_str(",\"support_vectors\":[");
+        for (i, sv) in self.support_vectors().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_f64_slice(&mut out, sv);
+        }
+        out.push_str("],\"coefficients\":");
+        push_f64_slice(&mut out, self.coefficients());
+        out.push_str(",\"bias\":");
+        push_f64(&mut out, self.bias());
+        let _ = write!(
+            &mut out,
+            ",\"dim\":{},\"converged\":{},\"iterations\":{}}}",
+            self.dim(),
+            self.converged(),
+            self.iterations()
+        );
+        out
+    }
+
+    /// Restores a model previously written by [`SvmModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed input or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let kernel = kernel_from_json(v.get("kernel")?)?;
+        let support_vectors = v
+            .get("support_vectors")?
+            .as_array()?
+            .iter()
+            .map(Json::as_f64_vec)
+            .collect::<Result<Vec<_>, _>>()?;
+        let coefficients = v.get("coefficients")?.as_f64_vec()?;
+        let bias = v.get("bias")?.as_f64()?;
+        if support_vectors.len() != coefficients.len() {
+            return err("support_vectors and coefficients lengths differ");
+        }
+        let model = SvmModel::from_parts(kernel, support_vectors, coefficients, bias);
+        // from_parts marks synthetic provenance; carry the recorded
+        // training metadata through instead.
+        Ok(model.with_metadata(
+            v.get("dim")?.as_usize()?,
+            v.get("converged")?.as_bool()?,
+            v.get("iterations")?.as_usize()?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e3").unwrap(), Json::Number(-2500.0));
+        assert_eq!(
+            Json::parse("\"a\\n\\\"b\"").unwrap(),
+            Json::String("a\n\"b".into())
+        );
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = Json::parse(r#"{"a": [1, 2.5, -3], "b": {"c": false}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_f64_vec().unwrap(),
+            vec![1.0, 2.5, -3.0]
+        );
+        assert!(!v.get("b").unwrap().get("c").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\"}").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+        ] {
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s}");
+        }
+    }
+
+    #[test]
+    fn kernel_round_trips() {
+        for k in [
+            Kernel::Linear,
+            Kernel::paper_polynomial(5),
+            Kernel::Rbf { gamma: 0.37 },
+            Kernel::Sigmoid { a0: 0.1, c0: -0.2 },
+        ] {
+            let mut s = String::new();
+            kernel_to_json(&mut s, k);
+            assert_eq!(kernel_from_json(&Json::parse(&s).unwrap()).unwrap(), k);
+        }
+    }
+}

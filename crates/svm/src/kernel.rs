@@ -1,13 +1,11 @@
 //! SVM kernel functions (Section III-A of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// A kernel function `K(x, y)`.
 ///
 /// The polynomial kernel matches the paper's parameterization
 /// `K(x, y) = (a₀·xᵀy + b₀)^p`; the paper's default for the nonlinear
 /// experiments is `a₀ = 1/n`, `b₀ = 0`, `p = 3`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Kernel {
     /// `K(x, y) = xᵀy`.
     Linear,

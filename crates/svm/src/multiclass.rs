@@ -2,15 +2,13 @@
 //! binary classifier (its related work [15] handles multi-class the same
 //! way).
 
-use serde::{Deserialize, Serialize};
-
 use crate::data::{Dataset, Label};
 use crate::kernel::Kernel;
 use crate::model::SvmModel;
 use crate::smo::SmoParams;
 
 /// A multi-class dataset: dense features with `u32` class ids.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MultiDataset {
     dim: usize,
     features: Vec<Vec<f64>>,
@@ -95,7 +93,7 @@ impl MultiDataset {
 /// assert_eq!(model.predict(&[0.5]), 0);
 /// assert_eq!(model.predict(&[2.5]), 2);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MultiClassModel {
     class_ids: Vec<u32>,
     models: Vec<SvmModel>,

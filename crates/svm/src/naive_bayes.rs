@@ -4,8 +4,6 @@
 //! log-likelihood ratio is an explicit degree-2 polynomial, so it runs
 //! through the same OMPE machinery as the SVM).
 
-use serde::{Deserialize, Serialize};
-
 use crate::data::{Dataset, Label};
 
 /// Variance floor: features that are constant within a class would
@@ -28,7 +26,7 @@ const VAR_FLOOR: f64 = 1e-6;
 /// assert_eq!(nb.predict(&[0.8]), Label::Positive);
 /// assert_eq!(nb.predict(&[-0.8]), Label::Negative);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GaussianNb {
     dim: usize,
     log_prior_ratio: f64,
@@ -42,7 +40,7 @@ pub struct GaussianNb {
 /// `d(t) = Σ q_i t_i² + Σ l_i t_i + bias` — the exact polynomial form of
 /// a Gaussian NB log-likelihood ratio, consumable by the private
 /// classification protocol.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QuadraticForm {
     /// Per-dimension quadratic coefficients.
     pub quadratic: Vec<f64>,
@@ -185,14 +183,22 @@ mod tests {
         let mut ds = Dataset::new(2);
         for k in 0..n {
             let pos = k % 2 == 0;
-            let (cx, cy, s) = if pos { (0.5, 0.4, 0.15) } else { (-0.5, -0.3, 0.25) };
+            let (cx, cy, s) = if pos {
+                (0.5, 0.4, 0.15)
+            } else {
+                (-0.5, -0.3, 0.25)
+            };
             // Box-Muller-ish: sum of uniforms approximates a Gaussian.
             let g = |rng: &mut StdRng| -> f64 {
                 (0..6).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() / 1.5
             };
             ds.push(
                 vec![cx + s * g(&mut rng), cy + s * g(&mut rng)],
-                if pos { Label::Positive } else { Label::Negative },
+                if pos {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
             );
         }
         ds

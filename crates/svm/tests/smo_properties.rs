@@ -9,10 +9,7 @@ use proptest::prelude::*;
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (2usize..5, 4usize..40).prop_flat_map(|(dim, n)| {
         (
-            prop::collection::vec(
-                prop::collection::vec(-1.0f64..1.0, dim),
-                n,
-            ),
+            prop::collection::vec(prop::collection::vec(-1.0f64..1.0, dim), n),
             prop::collection::vec(any::<bool>(), n),
             Just(dim),
         )

@@ -33,7 +33,7 @@ mod error;
 mod tcp;
 mod wire;
 
-pub use channel::{duplex, run_pair, Endpoint, Frame, TrafficStats};
+pub use channel::{duplex, duplex_pool, run_pair, Endpoint, Frame, TrafficStats, KIND_COALESCED};
 pub use error::TransportError;
 pub use tcp::{tcp_accept, tcp_connect};
 pub use wire::{decode_seq, encode_seq, Encodable};

@@ -71,9 +71,9 @@ fn main() {
 
     // --- Three sellers test their designs privately. -------------------
     let designs = vec![
-        vec![0.8, 0.7, -0.2, 0.9, 0.1],  // bold seasonal premium piece
+        vec![0.8, 0.7, -0.2, 0.9, 0.1],   // bold seasonal premium piece
         vec![-0.5, -0.8, 0.6, -0.7, 0.0], // heavy muted off-season item
-        vec![0.1, 0.9, -0.1, -0.8, 0.4], // bold but out-of-season
+        vec![0.1, 0.9, -0.1, -0.8, 0.4],  // bold but out-of-season
     ];
     let expected: Vec<Label> = designs.iter().map(|d| model.predict(d)).collect();
 

@@ -71,9 +71,7 @@ fn main() {
                 },
             );
             res_a.expect("responder");
-            println!(
-                "  {name_a:16} vs {name_b:16}: private T = {private:.5} (plain {plain:.5})"
-            );
+            println!("  {name_a:16} vs {name_b:16}: private T = {private:.5} (plain {plain:.5})");
             results.push((format!("{name_a} + {name_b}"), private, plain));
         }
     }

@@ -74,9 +74,7 @@ fn main() {
         println!("  {sample:?}  →  class {label}");
     }
     assert_eq!(labels, expected, "private must match plain classification");
-    println!(
-        "\nParity check passed: private results equal Alice's plain predictions."
-    );
+    println!("\nParity check passed: private results equal Alice's plain predictions.");
     println!(
         "Traffic on Alice's endpoint: {} bytes sent, {} bytes received.",
         served.1.bytes_sent, served.1.bytes_received

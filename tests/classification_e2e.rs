@@ -88,9 +88,7 @@ fn nonlinear_catalog_dataset_parity_on_subsample() {
             ..SmoParams::default()
         },
     );
-    let samples: Vec<Vec<f64>> = (0..60)
-        .map(|i| data.test.features(i).to_vec())
-        .collect();
+    let samples: Vec<Vec<f64>> = (0..60).map(|i| data.test.features(i).to_vec()).collect();
     let labels = roundtrip(
         F64Algebra::new(),
         &model,

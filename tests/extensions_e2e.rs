@@ -111,10 +111,7 @@ fn multiclass_shared_amplifier_parity_over_sim_ot() {
         let class = (k % 4) as u32;
         let (cx, cy) = centers[class as usize];
         ds.push(
-            vec![
-                cx + rng.gen_range(-0.2..0.2),
-                cy + rng.gen_range(-0.2..0.2),
-            ],
+            vec![cx + rng.gen_range(-0.2..0.2), cy + rng.gen_range(-0.2..0.2)],
             class,
         );
     }

@@ -107,13 +107,9 @@ fn self_similarity_hits_the_floor_for_any_model() {
     for angle in [0.0, 15.0, 45.0, 89.0] {
         let m = rotated_model(2, angle, 700 + angle as u64, Kernel::Linear);
         let t = similarity_plain(&m, &m, &cfg).expect("metric");
-        let floor = triangle_area_squared(
-            0.0,
-            1.0,
-            cfg.l0,
-            cfg.theta0_deg.to_radians().sin().powi(2),
-        )
-        .sqrt();
+        let floor =
+            triangle_area_squared(0.0, 1.0, cfg.l0, cfg.theta0_deg.to_radians().sin().powi(2))
+                .sqrt();
         assert!(
             (t - floor).abs() < 1e-9,
             "self-similarity must equal the floor: {t} vs {floor}"

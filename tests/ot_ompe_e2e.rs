@@ -50,7 +50,14 @@ fn ompe_engines_agree() {
             let (ep_a, ep_b) = ppcs_transport::duplex();
             let ha = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(10);
-                ompe_send(&F64Algebra::new(), &ep_a, engine, &mut rng, &secret, &params)
+                ompe_send(
+                    &F64Algebra::new(),
+                    &ep_a,
+                    engine,
+                    &mut rng,
+                    &secret,
+                    &params,
+                )
             });
             let hb = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(11);
@@ -124,8 +131,15 @@ fn ompe_transcript_hides_cover_positions_from_wire_size() {
         let (bytes, _) = run_pair(
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                ompe_send(&F64Algebra::new(), &ep, &TrustedSimOt, &mut rng, &secret, &params)
-                    .expect("send");
+                ompe_send(
+                    &F64Algebra::new(),
+                    &ep,
+                    &TrustedSimOt,
+                    &mut rng,
+                    &secret,
+                    &params,
+                )
+                .expect("send");
                 ep.stats().bytes_received
             },
             move |ep| {
@@ -166,12 +180,26 @@ fn large_batch_of_random_affine_instances() {
         let (res, got) = run_pair(
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(1000 + case);
-                ompe_send(&F64Algebra::new(), &ep, &TrustedSimOt, &mut rng, &secret, &params)
+                ompe_send(
+                    &F64Algebra::new(),
+                    &ep,
+                    &TrustedSimOt,
+                    &mut rng,
+                    &secret,
+                    &params,
+                )
             },
             move |ep| {
                 let mut rng = StdRng::seed_from_u64(2000 + case);
-                ompe_receive(&F64Algebra::new(), &ep, &TrustedSimOt, &mut rng, &alpha2, &params)
-                    .expect("receive")
+                ompe_receive(
+                    &F64Algebra::new(),
+                    &ep,
+                    &TrustedSimOt,
+                    &mut rng,
+                    &alpha2,
+                    &params,
+                )
+                .expect("receive")
             },
         );
         res.expect("send");

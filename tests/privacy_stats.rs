@@ -136,7 +136,11 @@ fn amplified_values_span_the_amplifier_range() {
         let c = if pos { 0.5 } else { -0.5 };
         ds.push(
             vec![c + rng.gen_range(-0.4..0.4), c + rng.gen_range(-0.4..0.4)],
-            if pos { Label::Positive } else { Label::Negative },
+            if pos {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
         );
     }
     let model = SvmModel::train(&ds, Kernel::Linear, &SmoParams::default());

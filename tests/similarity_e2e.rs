@@ -2,9 +2,7 @@
 //! models on the four diabetes subsets, compare the private triangle
 //! metric against the K-S baseline's ordering.
 
-use ppcs_core::{
-    similarity_plain, similarity_request, similarity_respond, SimilarityConfig,
-};
+use ppcs_core::{similarity_plain, similarity_request, similarity_respond, SimilarityConfig};
 use ppcs_datasets::{diabetes_subsets, TABLE2_PAIRS};
 use ppcs_math::{F64Algebra, FixedFpAlgebra};
 use ppcs_ot::TrustedSimOt;
@@ -51,7 +49,12 @@ fn table2_private_metric_tracks_ks_ordering() {
     let mut t_values = Vec::new();
     for (k, &(i, j)) in TABLE2_PAIRS.iter().enumerate() {
         ks_values.push(ks_average_over_dims(&subsets[i], &subsets[j]));
-        t_values.push(private_similarity(&models[i], &models[j], cfg, 500 + k as u64));
+        t_values.push(private_similarity(
+            &models[i],
+            &models[j],
+            cfg,
+            500 + k as u64,
+        ));
     }
 
     // The paper's claim: "they show the same trend of comparisons".

@@ -1,0 +1,11 @@
+//! Minimal in-tree replacement for the `crossbeam` crate: an unbounded
+//! MPMC channel with timeout-aware receive, plus scoped threads
+//! (re-exported from std).
+
+pub mod channel;
+
+/// Scoped threads (std's implementation matches the crossbeam API the
+/// workspace uses).
+pub mod thread {
+    pub use std::thread::{scope, Scope};
+}

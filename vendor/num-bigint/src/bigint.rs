@@ -1,0 +1,481 @@
+//! Signed arbitrary-precision integers: a sign plus a [`BigUint`]
+//! magnitude.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub};
+
+use num_integer::{ExtendedGcd, Integer};
+use num_traits::{One, Signed, ToPrimitive, Zero};
+
+use crate::BigUint;
+
+/// The sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Negative.
+    Minus,
+    /// Zero.
+    NoSign,
+    /// Positive.
+    Plus,
+}
+
+impl Sign {
+    fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::NoSign => Sign::NoSign,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariant: a zero magnitude always carries [`Sign::NoSign`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Builds from an explicit sign and magnitude (zero magnitude forces
+    /// [`Sign::NoSign`]).
+    pub fn from_biguint(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt {
+                sign: Sign::NoSign,
+                mag,
+            }
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `self^exp mod modulus` (exponent and modulus must be
+    /// non-negative; the result is in `[0, modulus)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative exponent or non-positive modulus.
+    pub fn modpow(&self, exp: &BigInt, modulus: &BigInt) -> BigInt {
+        assert!(
+            exp.sign != Sign::Minus,
+            "modpow requires a non-negative exponent"
+        );
+        assert!(modulus.sign == Sign::Plus, "modpow requires modulus > 0");
+        let base = self.mod_floor(modulus);
+        let r = base.mag.modpow(&exp.mag, &modulus.mag);
+        BigInt::from_biguint(Sign::Plus, r)
+    }
+
+    /// Formats in the given radix.
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        let mag = self.mag.to_str_radix(radix);
+        if self.sign == Sign::Minus {
+            format!("-{mag}")
+        } else {
+            mag
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_biguint(Sign::Plus, mag)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                BigInt::from_biguint(Sign::Plus, BigUint::from(v))
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                if v < 0 {
+                    BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs() as u128))
+                } else {
+                    BigInt::from_biguint(Sign::Plus, BigUint::from(v as u128))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, i128, isize);
+
+impl Zero for BigInt {
+    fn zero() -> Self {
+        BigInt {
+            sign: Sign::NoSign,
+            mag: BigUint::zero(),
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+}
+
+impl One for BigInt {
+    fn one() -> Self {
+        BigInt::from_biguint(Sign::Plus, BigUint::one())
+    }
+    fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.is_one()
+    }
+}
+
+impl Signed for BigInt {
+    fn abs(&self) -> Self {
+        BigInt::from_biguint(Sign::Plus, self.mag.clone())
+    }
+    fn signum(&self) -> Self {
+        match self.sign {
+            Sign::Minus => -BigInt::one(),
+            Sign::NoSign => BigInt::zero(),
+            Sign::Plus => BigInt::one(),
+        }
+    }
+    fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+    fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+}
+
+impl ToPrimitive for BigInt {
+    fn to_u32(&self) -> Option<u32> {
+        if self.sign == Sign::Minus {
+            None
+        } else {
+            self.mag.to_u32()
+        }
+    }
+    fn to_u64(&self) -> Option<u64> {
+        if self.sign == Sign::Minus {
+            None
+        } else {
+            self.mag.to_u64()
+        }
+    }
+    fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Minus => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+            _ => i64::try_from(mag).ok(),
+        }
+    }
+    fn to_f64(&self) -> Option<f64> {
+        let f = self.mag.to_f64()?;
+        Some(if self.sign == Sign::Minus { -f } else { f })
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Minus => 0,
+            Sign::NoSign => 1,
+            Sign::Plus => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => {
+                if self.sign == Sign::Minus {
+                    other.mag.cmp(&self.mag)
+                } else {
+                    self.mag.cmp(&other.mag)
+                }
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_biguint(self.sign.negate(), self.mag)
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt::from_biguint(self.sign.negate(), self.mag.clone())
+    }
+}
+
+fn add(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::NoSign, _) => b.clone(),
+        (_, Sign::NoSign) => a.clone(),
+        (sa, sb) if sa == sb => BigInt::from_biguint(sa, &a.mag + &b.mag),
+        (sa, _) => match a.mag.cmp(&b.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(sa, &a.mag - &b.mag),
+            Ordering::Less => BigInt::from_biguint(sa.negate(), &b.mag - &a.mag),
+        },
+    }
+}
+
+fn sub(a: &BigInt, b: &BigInt) -> BigInt {
+    add(a, &-b)
+}
+
+fn mul(a: &BigInt, b: &BigInt) -> BigInt {
+    let sign = match (a.sign, b.sign) {
+        (Sign::NoSign, _) | (_, Sign::NoSign) => Sign::NoSign,
+        (sa, sb) if sa == sb => Sign::Plus,
+        _ => Sign::Minus,
+    };
+    BigInt::from_biguint(sign, &a.mag * &b.mag)
+}
+
+/// Truncated division (quotient rounds toward zero, remainder takes the
+/// dividend's sign) — matching upstream `num-bigint`.
+fn div_rem(a: &BigInt, b: &BigInt) -> (BigInt, BigInt) {
+    let (q_mag, r_mag) = a.mag.div_rem(&b.mag);
+    let q_sign = match (a.sign, b.sign) {
+        (Sign::NoSign, _) | (_, Sign::NoSign) => Sign::NoSign,
+        (sa, sb) if sa == sb => Sign::Plus,
+        _ => Sign::Minus,
+    };
+    (
+        BigInt::from_biguint(q_sign, q_mag),
+        BigInt::from_biguint(a.sign, r_mag),
+    )
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $func:expr) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $func(&self, &rhs)
+            }
+        }
+        impl<'a> $trait<&'a BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &'a BigInt) -> BigInt {
+                $func(&self, rhs)
+            }
+        }
+        impl<'a> $trait<BigInt> for &'a BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $func(self, &rhs)
+            }
+        }
+        impl<'a, 'b> $trait<&'b BigInt> for &'a BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &'b BigInt) -> BigInt {
+                $func(self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add);
+forward_binop!(Sub, sub, sub);
+forward_binop!(Mul, mul, mul);
+forward_binop!(Div, div, |a, b| div_rem(a, b).0);
+forward_binop!(Rem, rem, |a, b| div_rem(a, b).1);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = add(self, rhs);
+    }
+}
+
+impl AddAssign<BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = add(self, &rhs);
+    }
+}
+
+impl Integer for BigInt {
+    fn gcd(&self, other: &Self) -> Self {
+        BigInt::from_biguint(Sign::Plus, Integer::gcd(&self.mag, &other.mag))
+    }
+
+    fn lcm(&self, other: &Self) -> Self {
+        BigInt::from_biguint(Sign::Plus, Integer::lcm(&self.mag, &other.mag))
+    }
+
+    fn div_floor(&self, other: &Self) -> Self {
+        let (q, r) = div_rem(self, other);
+        if r.is_zero() || (r.sign == other.sign) {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+
+    fn mod_floor(&self, other: &Self) -> Self {
+        let r = self % other;
+        if r.is_zero() || r.sign == other.sign {
+            r
+        } else {
+            r + other
+        }
+    }
+
+    /// Extended Euclid: returns `gcd ≥ 0` and Bézout coefficients with
+    /// `gcd = self·x + other·y`.
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+        let (mut old_r, mut r) = (self.clone(), other.clone());
+        let (mut old_x, mut x) = (BigInt::one(), BigInt::zero());
+        let (mut old_y, mut y) = (BigInt::zero(), BigInt::one());
+        while !r.is_zero() {
+            let q = &old_r / &r;
+            let next_r = &old_r - &(&q * &r);
+            old_r = std::mem::replace(&mut r, next_r);
+            let next_x = &old_x - &(&q * &x);
+            old_x = std::mem::replace(&mut x, next_x);
+            let next_y = &old_y - &(&q * &y);
+            old_y = std::mem::replace(&mut y, next_y);
+        }
+        if old_r.sign == Sign::Minus {
+            old_r = -old_r;
+            old_x = -old_x;
+            old_y = -old_y;
+        }
+        ExtendedGcd {
+            gcd: old_r,
+            x: old_x,
+            y: old_y,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_str_radix(10))
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_arithmetic_matches_i128() {
+        let cases: [(i128, i128); 6] = [
+            (0, 5),
+            (7, -3),
+            (-7, 3),
+            (-7, -3),
+            // Keep |a * b| within i128 so the reference arithmetic is exact.
+            (i32::MAX as i128 * 3, -(i64::MAX as i128)),
+            (-1, 1),
+        ];
+        for &(a, b) in &cases {
+            let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+            assert_eq!(&ba + &bb, BigInt::from(a + b), "{a} + {b}");
+            assert_eq!(&ba - &bb, BigInt::from(a - b), "{a} - {b}");
+            assert_eq!(&ba * &bb, BigInt::from(a * b), "{a} * {b}");
+            if b != 0 {
+                assert_eq!(&ba / &bb, BigInt::from(a / b), "{a} / {b}");
+                assert_eq!(&ba % &bb, BigInt::from(a % b), "{a} % {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![
+            BigInt::from(3),
+            BigInt::from(-10),
+            BigInt::zero(),
+            BigInt::from(-2),
+            BigInt::from(11),
+        ];
+        v.sort();
+        let got: Vec<i64> = v.iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, [-10, -2, 0, 3, 11]);
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let a = BigInt::from(240);
+        let b = BigInt::from(46);
+        let e = a.extended_gcd(&b);
+        assert_eq!(e.gcd, BigInt::from(2));
+        assert_eq!(&a * &e.x + &b * &e.y, e.gcd);
+
+        // Modular inverse via extended gcd, as the Paillier code does it.
+        let m = BigInt::from(1_000_000_007i64);
+        let x = BigInt::from(123_456_789i64);
+        let e = x.extended_gcd(&m);
+        assert!(e.gcd.is_one());
+        let mut inv = e.x % &m;
+        if inv.is_negative() {
+            inv += &m;
+        }
+        assert_eq!((&x * &inv) % &m, BigInt::one());
+    }
+
+    #[test]
+    fn modpow_handles_negative_base() {
+        let m = BigInt::from(97);
+        let r = BigInt::from(-5).modpow(&BigInt::from(2), &m);
+        assert_eq!(r, BigInt::from(25));
+        let r = BigInt::from(-5).modpow(&BigInt::from(3), &m);
+        assert_eq!(r, BigInt::from((97 - 125 % 97 + 97) % 97));
+    }
+
+    #[test]
+    fn to_primitive_conversions() {
+        assert_eq!(BigInt::from(-42).to_i64(), Some(-42));
+        assert_eq!(BigInt::from(-1).to_u64(), None);
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from(-2).to_f64(), Some(-2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BigInt::from(-123).to_string(), "-123");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,103 @@
+//! Uniform random generation of big integers (the `rand` feature).
+
+use num_traits::Zero;
+use rand::RngCore;
+
+use crate::BigUint;
+
+/// Random big-integer generation, blanket-implemented for every
+/// [`RngCore`] (including `dyn RngCore`).
+pub trait RandBigInt {
+    /// Uniform draw from `[0, 2^bits)`.
+    fn gen_biguint(&mut self, bits: u64) -> BigUint;
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint;
+
+    /// Uniform draw from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint;
+}
+
+impl<R: RngCore + ?Sized> RandBigInt for R {
+    fn gen_biguint(&mut self, bits: u64) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let limbs = bits.div_ceil(64) as usize;
+        let mut raw = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            raw.push(self.next_u64());
+        }
+        let top_bits = bits % 64;
+        if top_bits != 0 {
+            let last = raw.last_mut().expect("at least one limb");
+            *last &= (1u64 << top_bits) - 1;
+        }
+        BigUint::from_limbs(raw)
+    }
+
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "gen_biguint_below: zero bound");
+        let bits = bound.bits();
+        // Rejection sampling: each draw succeeds with probability > 1/2.
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint {
+        assert!(low < high, "gen_biguint_range: empty range");
+        low + self.gen_biguint_below(&(high - low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_traits::One;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = BigUint::parse_bytes(b"deadbeefcafebabe12345678", 16).unwrap();
+        for _ in 0..100 {
+            assert!(rng.gen_biguint_below(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let low = BigUint::from(1u32) << 100usize;
+        let high = &low + BigUint::from(1000u32);
+        for _ in 0..100 {
+            let v = rng.gen_biguint_range(&low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn bit_sized_draws_fit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bits in [1u64, 7, 64, 65, 256] {
+            let v = rng.gen_biguint(bits);
+            assert!(v.bits() <= bits);
+        }
+        // Unit range: only one possible value.
+        let one = BigUint::one();
+        assert!(rng.gen_biguint_below(&one).is_zero());
+    }
+}

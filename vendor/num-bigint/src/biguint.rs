@@ -1,0 +1,746 @@
+//! Arbitrary-precision unsigned integers on little-endian `u64` limbs.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+
+use num_integer::{ExtendedGcd, Integer};
+use num_traits::{One, ToPrimitive, Zero};
+
+const BASE: u128 = 1u128 << 64;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` is little-endian with no trailing zero limbs, so
+/// zero is the empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Parses an ASCII representation in the given radix (2–36).
+    ///
+    /// Returns `None` on an empty buffer or any invalid digit.
+    pub fn parse_bytes(buf: &[u8], radix: u32) -> Option<Self> {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        if buf.is_empty() {
+            return None;
+        }
+        let mut acc = BigUint::zero();
+        let radix_big = BigUint::from(u64::from(radix));
+        for &b in buf {
+            let d = (b as char).to_digit(radix)?;
+            acc = acc * &radix_big + BigUint::from(u64::from(d));
+        }
+        Some(acc)
+    }
+
+    /// Builds from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut le = bytes.to_vec();
+        le.reverse();
+        Self::from_bytes_le(&le)
+    }
+
+    /// Builds from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Big-endian bytes, no leading zeros (zero encodes as `[0]`).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut bytes = self.to_bytes_le();
+        bytes.reverse();
+        bytes
+    }
+
+    /// Little-endian bytes, no trailing zeros (zero encodes as `[0]`).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return vec![0];
+        }
+        let mut bytes = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in &self.limbs {
+            bytes.extend_from_slice(&limb.to_le_bytes());
+        }
+        while bytes.last() == Some(&0) {
+            bytes.pop();
+        }
+        bytes
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + u64::from(64 - top.leading_zeros()),
+        }
+    }
+
+    /// Sets or clears the bit at position `bit`.
+    pub fn set_bit(&mut self, bit: u64, value: bool) {
+        let limb = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= mask;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !mask;
+            while self.limbs.last() == Some(&0) {
+                self.limbs.pop();
+            }
+        }
+    }
+
+    /// Whether the bit at position `bit` is set.
+    pub fn bit(&self, bit: u64) -> bool {
+        let limb = (bit / 64) as usize;
+        limb < self.limbs.len() && self.limbs[limb] >> (bit % 64) & 1 == 1
+    }
+
+    /// Number of trailing zero bits, or `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(i as u64 * 64 + u64::from(limb.trailing_zeros()));
+            }
+        }
+        None
+    }
+
+    /// `self^exp mod modulus` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self % modulus;
+        let nbits = exp.bits();
+        for i in 0..nbits {
+            if exp.bit(i) {
+                result = &result * &base % modulus;
+            }
+            if i + 1 < nbits {
+                base = &base * &base % modulus;
+            }
+        }
+        result
+    }
+
+    /// `self^exp` by repeated squaring.
+    pub fn pow(&self, exp: u32) -> BigUint {
+        let mut result = BigUint::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        result
+    }
+
+    /// Integer square root (largest `r` with `r² ≤ self`).
+    pub fn sqrt(&self) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        // Newton's method from a safe over-estimate.
+        let mut x = BigUint::one() << (self.bits().div_ceil(2) as usize);
+        loop {
+            let next = (&x + self / &x) >> 1usize;
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Formats in the given radix (supported: 2–36).
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let radix_big = BigUint::from(u64::from(radix));
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = div_rem(&cur, &radix_big);
+            let d = r.limbs.first().copied().unwrap_or(0) as u32;
+            digits.push(char::from_digit(d, radix).expect("digit below radix"));
+            cur = q;
+        }
+        digits.iter().rev().collect()
+    }
+
+    pub(crate) fn div_rem(&self, other: &BigUint) -> (BigUint, BigUint) {
+        div_rem(self, other)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                BigUint::from_limbs(vec![u64::from(v)])
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64);
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from_limbs(vec![v as u64])
+    }
+}
+
+impl Zero for BigUint {
+    fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+}
+
+impl One for BigUint {
+    fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+    fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+}
+
+impl ToPrimitive for BigUint {
+    fn to_u32(&self) -> Option<u32> {
+        self.to_u64().and_then(|v| u32::try_from(v).ok())
+    }
+    fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+    fn to_i64(&self) -> Option<i64> {
+        self.to_u64().and_then(|v| i64::try_from(v).ok())
+    }
+    fn to_f64(&self) -> Option<f64> {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * BASE as f64 + limb as f64;
+        }
+        Some(acc)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn add(a: &BigUint, b: &BigUint) -> BigUint {
+    let (long, short) = if a.limbs.len() >= b.limbs.len() {
+        (&a.limbs, &b.limbs)
+    } else {
+        (&b.limbs, &a.limbs)
+    };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u128;
+    for (i, limb) in long.iter().enumerate() {
+        let sum = *limb as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+        out.push(sum as u64);
+        carry = sum >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    BigUint::from_limbs(out)
+}
+
+fn sub(a: &BigUint, b: &BigUint) -> BigUint {
+    assert!(a >= b, "BigUint subtraction underflow");
+    let mut out = Vec::with_capacity(a.limbs.len());
+    let mut borrow = 0i128;
+    for i in 0..a.limbs.len() {
+        let d = a.limbs[i] as i128 - b.limbs.get(i).copied().unwrap_or(0) as i128 - borrow;
+        if d < 0 {
+            out.push((d + BASE as i128) as u64);
+            borrow = 1;
+        } else {
+            out.push(d as u64);
+            borrow = 0;
+        }
+    }
+    BigUint::from_limbs(out)
+}
+
+fn mul(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let mut out = vec![0u64; a.limbs.len() + b.limbs.len()];
+    for (i, &x) in a.limbs.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &y) in b.limbs.iter().enumerate() {
+            let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.limbs.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    BigUint::from_limbs(out)
+}
+
+/// Knuth Algorithm D (normalized schoolbook division).
+fn div_rem(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    assert!(!v.is_zero(), "BigUint division by zero");
+    if u < v {
+        return (BigUint::zero(), u.clone());
+    }
+    if v.limbs.len() == 1 {
+        let d = v.limbs[0] as u128;
+        let mut q = vec![0u64; u.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..u.limbs.len()).rev() {
+            let cur = (rem << 64) | u.limbs[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        return (
+            BigUint::from_limbs(q),
+            BigUint::from_limbs(vec![rem as u64]),
+        );
+    }
+
+    let shift = v.limbs.last().expect("nonzero").leading_zeros() as usize;
+    let vn = v << shift;
+    let un_shifted = u << shift;
+    let n = vn.limbs.len();
+    let mut un = un_shifted.limbs.clone();
+    un.resize(u.limbs.len() + 1, 0);
+    let m = un.len() - 1 - n;
+    let mut q = vec![0u64; m + 1];
+    let vtop = vn.limbs[n - 1] as u128;
+    let vsec = vn.limbs[n - 2] as u128;
+
+    for j in (0..=m).rev() {
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = top / vtop;
+        let mut rhat = top % vtop;
+        while qhat >= BASE || qhat * vsec > ((rhat << 64) | un[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += vtop;
+            if rhat >= BASE {
+                break;
+            }
+        }
+
+        // Multiply and subtract (may go one too far, fixed up below).
+        let mut k = 0i128;
+        for i in 0..n {
+            let p = qhat * vn.limbs[i] as u128;
+            let t = un[i + j] as i128 - k - (p as u64) as i128;
+            un[i + j] = t as u64;
+            k = (p >> 64) as i128 - (t >> 64);
+        }
+        let t = un[j + n] as i128 - k;
+        un[j + n] = t as u64;
+
+        if t < 0 {
+            qhat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let s = un[i + j] as u128 + vn.limbs[i] as u128 + carry;
+                un[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    let rem = BigUint::from_limbs(un[..n].to_vec()) >> shift;
+    (BigUint::from_limbs(q), rem)
+}
+
+fn shl(a: &BigUint, bits: usize) -> BigUint {
+    if a.is_zero() || bits == 0 {
+        return a.clone();
+    }
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut out = vec![0u64; a.limbs.len() + limb_shift + 1];
+    for (i, &limb) in a.limbs.iter().enumerate() {
+        out[i + limb_shift] |= limb << bit_shift;
+        if bit_shift != 0 {
+            out[i + limb_shift + 1] |= limb >> (64 - bit_shift);
+        }
+    }
+    BigUint::from_limbs(out)
+}
+
+fn shr(a: &BigUint, bits: usize) -> BigUint {
+    let limb_shift = bits / 64;
+    if limb_shift >= a.limbs.len() {
+        return BigUint::zero();
+    }
+    let bit_shift = bits % 64;
+    let mut out = vec![0u64; a.limbs.len() - limb_shift];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = a.limbs[i + limb_shift] >> bit_shift;
+        if bit_shift != 0 && i + limb_shift + 1 < a.limbs.len() {
+            *slot |= a.limbs[i + limb_shift + 1] << (64 - bit_shift);
+        }
+    }
+    BigUint::from_limbs(out)
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $func:path) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $func(&self, &rhs)
+            }
+        }
+        impl<'a> $trait<&'a BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &'a BigUint) -> BigUint {
+                $func(&self, rhs)
+            }
+        }
+        impl<'a> $trait<BigUint> for &'a BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $func(self, &rhs)
+            }
+        }
+        impl<'a, 'b> $trait<&'b BigUint> for &'a BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &'b BigUint) -> BigUint {
+                $func(self, rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add);
+forward_binop!(Sub, sub, sub);
+forward_binop!(Mul, mul, mul);
+
+fn div(a: &BigUint, b: &BigUint) -> BigUint {
+    div_rem(a, b).0
+}
+
+fn rem(a: &BigUint, b: &BigUint) -> BigUint {
+    div_rem(a, b).1
+}
+
+forward_binop!(Div, div, div);
+forward_binop!(Rem, rem, rem);
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = add(self, rhs);
+    }
+}
+
+impl AddAssign<BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: BigUint) {
+        *self = add(self, &rhs);
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = sub(self, rhs);
+    }
+}
+
+impl SubAssign<BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: BigUint) {
+        *self = sub(self, &rhs);
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = mul(self, rhs);
+    }
+}
+
+impl MulAssign<BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: BigUint) {
+        *self = mul(self, &rhs);
+    }
+}
+
+macro_rules! impl_shifts {
+    ($($t:ty),*) => {$(
+        impl Shl<$t> for BigUint {
+            type Output = BigUint;
+            fn shl(self, bits: $t) -> BigUint {
+                shl(&self, bits as usize)
+            }
+        }
+        impl Shl<$t> for &BigUint {
+            type Output = BigUint;
+            fn shl(self, bits: $t) -> BigUint {
+                shl(self, bits as usize)
+            }
+        }
+        impl Shr<$t> for BigUint {
+            type Output = BigUint;
+            fn shr(self, bits: $t) -> BigUint {
+                shr(&self, bits as usize)
+            }
+        }
+        impl Shr<$t> for &BigUint {
+            type Output = BigUint;
+            fn shr(self, bits: $t) -> BigUint {
+                shr(self, bits as usize)
+            }
+        }
+    )*};
+}
+
+impl_shifts!(u32, u64, usize, i32);
+
+impl Integer for BigUint {
+    fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    fn lcm(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        self / self.gcd(other) * other
+    }
+
+    fn div_floor(&self, other: &Self) -> Self {
+        self / other
+    }
+
+    fn mod_floor(&self, other: &Self) -> Self {
+        self % other
+    }
+
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+        // Coefficients can be negative in general; unsigned callers only
+        // use `gcd`. The signed variant lives on `BigInt`.
+        ExtendedGcd {
+            gcd: Integer::gcd(self, other),
+            x: BigUint::zero(),
+            y: BigUint::zero(),
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_str_radix(10))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::parse_bytes(s.as_bytes(), 10).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211457",
+        ] {
+            assert_eq!(big(s).to_string(), s);
+        }
+        let h = BigUint::parse_bytes(b"ff00000000000000ff", 16).unwrap();
+        assert_eq!(h.to_str_radix(16), "ff00000000000000ff");
+        assert!(BigUint::parse_bytes(b"12g4", 10).is_none());
+        assert!(BigUint::parse_bytes(b"", 16).is_none());
+    }
+
+    #[test]
+    fn arithmetic_matches_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, u64::MAX as u128),
+            (u64::MAX as u128 + 17, 12345),
+            (u64::MAX as u128 * 97, u64::MAX as u128 - 3),
+        ];
+        for &(a, b) in &cases {
+            let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+            assert_eq!(&ba + &bb, BigUint::from(a + b));
+            if a >= b {
+                assert_eq!(&ba - &bb, BigUint::from(a - b));
+            }
+            if b != 0 {
+                assert_eq!(&ba / &bb, BigUint::from(a / b));
+                assert_eq!(&ba % &bb, BigUint::from(a % b));
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_and_division_agree() {
+        let a = big("123456789012345678901234567890123456789");
+        let b = big("987654321098765432109876543210");
+        let p = &a * &b;
+        assert_eq!(&p / &a, b);
+        assert_eq!(&p % &a, BigUint::zero());
+        let r = big("55555");
+        let with_rem = &p + &r;
+        assert_eq!(&with_rem / &b, &a + BigUint::zero());
+        // Remainder must survive the full Knuth-D path.
+        assert_eq!(&with_rem % &b, r % b);
+    }
+
+    #[test]
+    fn division_stress_near_limb_boundaries() {
+        // Exercise the qhat correction branches.
+        let a = (BigUint::one() << 192usize) - BigUint::one();
+        let b = (BigUint::one() << 64usize) + BigUint::one();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, (BigUint::one() << 192usize) - BigUint::one());
+        assert!(r < b);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("12345678901234567890");
+        assert_eq!(&a << 64u32 >> 64u32, a);
+        assert_eq!(&BigUint::one() << 200usize >> 199usize, BigUint::from(2u32));
+        assert_eq!(&a >> 1000u64, BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        let p = BigUint::from(1_000_000_007u64);
+        let b = BigUint::from(2u32);
+        assert_eq!(b.modpow(&BigUint::from(10u32), &p), BigUint::from(1024u32));
+        // Fermat: a^(p-1) ≡ 1 (mod p).
+        let a = BigUint::from(123456u64);
+        assert_eq!(a.modpow(&(&p - BigUint::one()), &p), BigUint::one());
+        assert_eq!(a.modpow(&BigUint::zero(), &p), BigUint::one());
+    }
+
+    #[test]
+    fn bits_and_bit_ops() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::from(255u32).bits(), 8);
+        assert_eq!((BigUint::one() << 100usize).bits(), 101);
+        let mut v = BigUint::zero();
+        v.set_bit(130, true);
+        assert_eq!(v, BigUint::one() << 130usize);
+        assert!(v.bit(130));
+        v.set_bit(130, false);
+        assert!(v.is_zero());
+        assert_eq!((BigUint::from(8u32)).trailing_zeros(), Some(3));
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let a = big("123456789012345678901234567890");
+        assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+        assert_eq!(BigUint::from_bytes_le(&a.to_bytes_le()), a);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1]), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_lcm_sqrt_pow() {
+        assert_eq!(Integer::gcd(&big("48"), &big("36")), big("12"));
+        assert_eq!(Integer::lcm(&big("4"), &big("6")), big("12"));
+        assert_eq!(big("144").sqrt(), big("12"));
+        assert_eq!(big("145").sqrt(), big("12"));
+        assert_eq!(BigUint::from(3u32).pow(20), big("3486784401"));
+    }
+
+    #[test]
+    fn to_f64_approximates() {
+        let v = BigUint::one() << 100usize;
+        let f = v.to_f64().unwrap();
+        assert!((f - 2f64.powi(100)).abs() < 1e15);
+    }
+}

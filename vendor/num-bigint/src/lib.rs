@@ -1,0 +1,19 @@
+//! Minimal in-tree replacement for the `num-bigint` crate.
+//!
+//! Arbitrary-precision unsigned ([`BigUint`]) and signed ([`BigInt`])
+//! integers on 64-bit limbs, covering the API surface the ppcs workspace
+//! uses: arithmetic (including Knuth Algorithm D division), modular
+//! exponentiation, radix parsing/formatting, byte-order conversions, and
+//! (behind the `rand` feature) uniform random generation.
+
+mod bigint;
+mod biguint;
+
+#[cfg(feature = "rand")]
+mod bigrand;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+
+#[cfg(feature = "rand")]
+pub use bigrand::RandBigInt;

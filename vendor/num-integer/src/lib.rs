@@ -1,0 +1,89 @@
+//! Minimal in-tree replacement for the `num-integer` crate.
+//!
+//! Provides the [`Integer`] trait surface the workspace uses (gcd, lcm,
+//! extended gcd, floored division). Implementations for the bignum types
+//! live in the in-tree `num-bigint` crate; primitive unsigned integers get
+//! a straightforward Euclidean implementation here.
+
+use num_traits::Zero;
+
+/// The result of an extended GCD computation: `gcd = a·x + b·y`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtendedGcd<T> {
+    /// The greatest common divisor.
+    pub gcd: T,
+    /// Bézout coefficient of the first operand.
+    pub x: T,
+    /// Bézout coefficient of the second operand.
+    pub y: T,
+}
+
+/// Integer-specific arithmetic.
+pub trait Integer: Sized + Zero {
+    /// Greatest common divisor.
+    fn gcd(&self, other: &Self) -> Self;
+    /// Least common multiple.
+    fn lcm(&self, other: &Self) -> Self;
+    /// Floored division.
+    fn div_floor(&self, other: &Self) -> Self;
+    /// Remainder with the sign of the divisor (`self mod other ≥ 0` for
+    /// positive `other`).
+    fn mod_floor(&self, other: &Self) -> Self;
+    /// Extended Euclidean algorithm: returns `gcd` and Bézout
+    /// coefficients with `gcd = self·x + other·y`.
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self>;
+    /// Whether `self` divides evenly into `other`'s multiples.
+    fn is_multiple_of_int(&self, other: &Self) -> bool {
+        self.mod_floor(other).is_zero()
+    }
+}
+
+macro_rules! impl_integer_unsigned {
+    ($($t:ty),*) => {$(
+        impl Integer for $t {
+            fn gcd(&self, other: &Self) -> Self {
+                let (mut a, mut b) = (*self, *other);
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a
+            }
+            fn lcm(&self, other: &Self) -> Self {
+                if *self == 0 || *other == 0 {
+                    return 0;
+                }
+                self / self.gcd(other) * other
+            }
+            fn div_floor(&self, other: &Self) -> Self {
+                self / other
+            }
+            fn mod_floor(&self, other: &Self) -> Self {
+                self % other
+            }
+            fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+                // Unsigned coefficients are only meaningful when they end
+                // up non-negative; the workspace uses the bignum impls for
+                // the general case.
+                let g = self.gcd(other);
+                ExtendedGcd { gcd: g, x: 0, y: 0 }
+            }
+        }
+    )*};
+}
+
+impl_integer_unsigned!(u8, u16, u32, u64, u128, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_gcd_lcm() {
+        assert_eq!(12u64.gcd(&18), 6);
+        assert_eq!(4u32.lcm(&6), 12);
+        assert_eq!(0u64.gcd(&7), 7);
+        assert_eq!(0u64.lcm(&7), 0);
+    }
+}

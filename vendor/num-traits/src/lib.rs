@@ -1,0 +1,187 @@
+//! Minimal in-tree replacement for the `num-traits` crate.
+//!
+//! Only the surface the ppcs workspace actually consumes is provided:
+//! [`Zero`], [`One`], [`Signed`], and [`ToPrimitive`]. Implementations
+//! for the bignum types live in the in-tree `num-bigint` crate.
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// Returns the additive identity.
+    fn zero() -> Self;
+    /// Whether `self` is the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// Returns the multiplicative identity.
+    fn one() -> Self;
+    /// Whether `self` is the multiplicative identity.
+    fn is_one(&self) -> bool;
+}
+
+/// Signed number operations.
+pub trait Signed: Sized {
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// Sign of the number: -1, 0 or +1.
+    fn signum(&self) -> Self;
+    /// Whether `self > 0`.
+    fn is_positive(&self) -> bool;
+    /// Whether `self < 0`.
+    fn is_negative(&self) -> bool;
+}
+
+/// Lossy/checked conversion toward primitive types.
+pub trait ToPrimitive {
+    /// Converts to `u32` if the value fits.
+    fn to_u32(&self) -> Option<u32>;
+    /// Converts to `u64` if the value fits.
+    fn to_u64(&self) -> Option<u64>;
+    /// Converts to `i64` if the value fits.
+    fn to_i64(&self) -> Option<i64>;
+    /// Converts to `usize` if the value fits.
+    fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+    /// Approximate conversion to `f64`.
+    fn to_f64(&self) -> Option<f64>;
+}
+
+macro_rules! impl_numeric_for_int {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self {
+                0
+            }
+            fn is_zero(&self) -> bool {
+                *self == 0
+            }
+        }
+        impl One for $t {
+            fn one() -> Self {
+                1
+            }
+            fn is_one(&self) -> bool {
+                *self == 1
+            }
+        }
+        impl ToPrimitive for $t {
+            fn to_u32(&self) -> Option<u32> {
+                u32::try_from(*self).ok()
+            }
+            fn to_u64(&self) -> Option<u64> {
+                u64::try_from(*self).ok()
+            }
+            fn to_i64(&self) -> Option<i64> {
+                i64::try_from(*self).ok()
+            }
+            fn to_f64(&self) -> Option<f64> {
+                Some(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_numeric_for_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_numeric_for_float {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self {
+                0.0
+            }
+            fn is_zero(&self) -> bool {
+                *self == 0.0
+            }
+        }
+        impl One for $t {
+            fn one() -> Self {
+                1.0
+            }
+            fn is_one(&self) -> bool {
+                *self == 1.0
+            }
+        }
+        impl ToPrimitive for $t {
+            fn to_u32(&self) -> Option<u32> {
+                if *self >= 0.0 && *self <= u32::MAX as $t {
+                    Some(*self as u32)
+                } else {
+                    None
+                }
+            }
+            fn to_u64(&self) -> Option<u64> {
+                if *self >= 0.0 && *self <= u64::MAX as $t {
+                    Some(*self as u64)
+                } else {
+                    None
+                }
+            }
+            fn to_i64(&self) -> Option<i64> {
+                if *self >= i64::MIN as $t && *self <= i64::MAX as $t {
+                    Some(*self as i64)
+                } else {
+                    None
+                }
+            }
+            fn to_f64(&self) -> Option<f64> {
+                Some(f64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_numeric_for_float!(f32, f64);
+
+macro_rules! impl_signed_for_int {
+    ($($t:ty),*) => {$(
+        impl Signed for $t {
+            fn abs(&self) -> Self {
+                <$t>::abs(*self)
+            }
+            fn signum(&self) -> Self {
+                <$t>::signum(*self)
+            }
+            fn is_positive(&self) -> bool {
+                *self > 0
+            }
+            fn is_negative(&self) -> bool {
+                *self < 0
+            }
+        }
+    )*};
+}
+
+impl_signed_for_int!(i8, i16, i32, i64, i128, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(u64::zero(), 0);
+        assert!(0u32.is_zero());
+        assert_eq!(i64::one(), 1);
+        assert!(1usize.is_one());
+        assert!(!2u8.is_one());
+    }
+
+    #[test]
+    fn signed_ops() {
+        assert_eq!(Signed::abs(&-5i64), 5);
+        assert_eq!(Signed::signum(&-5i32), -1);
+        assert!(Signed::is_negative(&-1i8));
+        assert!(Signed::is_positive(&3i128));
+    }
+
+    #[test]
+    fn to_primitive() {
+        assert_eq!(300u64.to_u32(), Some(300));
+        assert_eq!(u64::MAX.to_u32(), None);
+        assert_eq!((-1i64).to_u64(), None);
+        assert_eq!(2.5f64.to_u32(), Some(2));
+        assert_eq!(7u8.to_f64(), Some(7.0));
+    }
+}

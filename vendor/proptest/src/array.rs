@@ -1,0 +1,38 @@
+//! Fixed-size array strategies (`prop::array`).
+
+use rand::rngs::StdRng;
+
+use crate::Strategy;
+
+/// Strategy for `[T; N]` drawing every element from `element`.
+#[derive(Clone, Debug)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($fn_name:ident => $n:literal),+ $(,)?) => {$(
+        /// Array strategy with every element drawn from `element`.
+        pub fn $fn_name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )+};
+}
+
+uniform_fns!(
+    uniform1 => 1,
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform12 => 12,
+    uniform16 => 16,
+    uniform32 => 32,
+);

@@ -1,0 +1,53 @@
+//! Collection strategies (`prop::collection`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Acceptable length specifications for [`vec`]: an exact `usize`, a
+/// half-open range, or an inclusive range.
+pub trait SizeSpec {
+    /// Draws a length.
+    fn pick_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeSpec for usize {
+    fn pick_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeSpec for std::ops::Range<usize> {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty vec length range");
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeSpec for std::ops::RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and length
+/// specification `size`.
+pub fn vec<S: Strategy, Z: SizeSpec>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.pick_len(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

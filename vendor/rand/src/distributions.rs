@@ -1,0 +1,202 @@
+//! Distributions: the `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// Types that can produce values of `T` from randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_small_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_small_uint!(u8, u16, u32);
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+macro_rules! impl_standard_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let v: $u = self.sample(rng);
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Draws `v` uniform in `[0, span)`; `span ≥ 1`.
+    fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span >= 1);
+        // Rejection sampling over the largest multiple of `span` that
+        // fits in 64 bits, to avoid modulo bias.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let v = rng.next_u64();
+            if v >= threshold {
+                return v % span;
+            }
+        }
+    }
+
+    /// Types with a uniform sampler over half-open and inclusive ranges.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform draw from `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`).
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let width = (high as $u).wrapping_sub(low as $u);
+                    let span = if inclusive {
+                        match u64::from(width).checked_add(1) {
+                            Some(s) => s,
+                            // Full-domain inclusive range of a 64-bit type.
+                            None => return rng.next_u64() as $t,
+                        }
+                    } else {
+                        u64::from(width)
+                    };
+                    let v = uniform_u64_below(rng, span);
+                    low.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64
+    );
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    let unit = (rng.next_u64() >> 11) as $t
+                        * (1.0 / (1u64 << 53) as $t);
+                    let v = low + (high - low) * unit;
+                    if v < high {
+                        v
+                    } else {
+                        // Guard against rounding up to the open bound.
+                        <$t>::from_bits(high.to_bits() - 1).max(low)
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_float!(f64);
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            let v = low + (high - low) * unit;
+            if v < high {
+                v
+            } else {
+                f32::from_bits(high.to_bits() - 1).max(low)
+            }
+        }
+    }
+
+    /// Range expressions accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Draws one uniform value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "gen_range: empty range");
+            T::sample_between(rng, low, high, true)
+        }
+    }
+}

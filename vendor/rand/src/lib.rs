@@ -1,0 +1,199 @@
+//! Minimal in-tree replacement for the `rand` crate (API-compatible with
+//! the subset the ppcs workspace uses).
+//!
+//! Provides [`RngCore`], [`Rng`], [`SeedableRng`], a deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), uniform range
+//! sampling, and the slice/index helpers under [`seq`].
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`] (including `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Returns a value of the standard distribution for `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns a value uniformly distributed in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    /// Fills `dest` with random bytes (alias for
+    /// [`fill_bytes`](RngCore::fill_bytes)).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a `u64` through SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..3);
+            assert!(w < 3);
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a = [0u8; 37];
+        let mut b = [0u8; 37];
+        rng.fill_bytes(&mut a);
+        rng.fill_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        fn draw(rng: &mut dyn RngCore) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(draw(&mut rng) < 100);
+        }
+    }
+}
