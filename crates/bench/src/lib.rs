@@ -15,7 +15,7 @@ use ppcs_datasets::{generate, DatasetSpec};
 use ppcs_math::F64Algebra;
 use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
 use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
-use ppcs_transport::{duplex_pool, run_pair};
+use ppcs_transport::{drive_blocking, duplex, duplex_pool, run_pair, Driver, Transcript};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -133,6 +133,51 @@ pub fn private_classify_parallel_with_ot(
     })
 }
 
+/// Runs one private-classification session over a duplex with the
+/// client's [`Driver`] recording, and returns the labels plus the
+/// session [`Transcript`].
+///
+/// The transcript's byte accounting is asserted against the endpoint's
+/// own [`TrafficStats`](ppcs_transport::TrafficStats): every wire byte
+/// the client moved must be attributed to a recorded frame, so the
+/// communication-volume figures derived from transcripts are exact.
+pub fn recorded_classification_session(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    seed: u64,
+) -> (Vec<Label>, Transcript) {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let sel = TrustedSimOt.select();
+    let (ep_t, ep_c) = duplex();
+    let (_, (values, transcript)) = std::thread::scope(|scope| {
+        let t = scope.spawn(|| {
+            let mut eng = trainer.serve_engine(sel, seed);
+            drive_blocking(&ep_t, &mut eng).expect("serve")
+        });
+        let c = scope.spawn(|| {
+            let mut driver = Driver::new().with_recording();
+            let mut eng = client.classify_engine(sel, seed + 1, samples);
+            let values = driver.drive(&ep_c, &mut eng).expect("classify");
+            let transcript = driver.take_transcript().expect("recording enabled");
+            let stats = ep_c.stats();
+            assert_eq!(
+                transcript.total_wire_bytes() as u64,
+                stats.bytes_sent + stats.bytes_received,
+                "transcript byte accounting must match the endpoint's traffic counters"
+            );
+            (values, transcript)
+        });
+        (
+            t.join().expect("trainer thread"),
+            c.join().expect("client thread"),
+        )
+    });
+    let labels = values.into_iter().map(|(label, _)| label).collect();
+    (labels, transcript)
+}
+
 /// Accuracy of the private protocol on (a subsample of) the test split.
 ///
 /// `max_samples` caps the protocol runs; because private and plain
@@ -228,6 +273,23 @@ mod tests {
         let entry = train_entry(&spec);
         assert!(entry.linear.accuracy(&entry.test) > 0.8);
         assert_eq!(entry.test.len(), spec.test_size);
+    }
+
+    #[test]
+    fn recorded_session_bytes_match_traffic_and_labels_match_plain_path() {
+        let spec = spec_by_name("diabetes").unwrap();
+        let entry = train_entry(&spec);
+        let cfg = ProtocolConfig::functional();
+        let samples: Vec<Vec<f64>> = (0..10).map(|i| entry.test.features(i).to_vec()).collect();
+        let (labels, transcript) = recorded_classification_session(&entry.linear, &samples, cfg, 5);
+        // Byte-for-byte agreement with the blocking path: same seeds,
+        // same frames, same labels.
+        assert_eq!(labels, private_classify(&entry.linear, &samples, cfg, 5));
+        assert!(transcript.total_wire_bytes() > 0);
+        assert!(transcript.total_frames() > 0);
+        // The transcript serializes and round-trips.
+        let restored = Transcript::from_bytes(&transcript.to_bytes()).unwrap();
+        assert_eq!(restored.total_wire_bytes(), transcript.total_wire_bytes());
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //! Fig. 6, implemented in [`privacy`](crate::privacy)).
 
 use ppcs_math::{Algebra, DenseAffine};
-use ppcs_ompe::{ompe_receive, ompe_receive_batch, ompe_send, ompe_send_batch, OmpeParams};
-use ppcs_ot::ObliviousTransfer;
+use ppcs_ompe::{
+    ompe_receive_batch_io, ompe_receive_io, ompe_send_batch_io, ompe_send_io, OmpeParams,
+};
+use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::{Kernel, Label, SvmModel};
-use ppcs_transport::{Encodable, Endpoint};
+use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -221,15 +223,15 @@ where
     /// # Errors
     ///
     /// Transport, OT, and OMPE failures.
-    pub(crate) fn serve_one_with_amplifier(
+    pub(crate) async fn serve_one_with_amplifier_io(
         &self,
-        ep: &Endpoint,
-        ot: &dyn ObliviousTransfer,
+        io: &FrameIo,
+        sel: OtSelect,
         rng: &mut dyn RngCore,
         amplifier: A::Elem,
     ) -> Result<(), PpcsError> {
         let secret = self.base.scale(&self.alg, &amplifier);
-        ompe_send(&self.alg, ep, ot, rng, &secret, &self.spec.ompe)?;
+        ompe_send_io(&self.alg, io, sel, rng, &secret, &self.spec.ompe).await?;
         Ok(())
     }
 
@@ -251,16 +253,45 @@ where
         ot: &dyn ObliviousTransfer,
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
-        let num_samples: u64 = ep.recv_msg(KIND_CLS_HELLO)?;
-        ep.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
+        let sel = ot.select();
+        let mut engine =
+            ProtocolEngine::new(|io| async move { self.serve_io(&io, sel, rng).await });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O twin of [`Trainer::serve`]: the trainer role over a
+    /// [`FrameIo`] mailbox, frame-for-frame and draw-for-draw identical
+    /// to the blocking entry point.
+    ///
+    /// # Errors
+    ///
+    /// Transport, OT, and OMPE failures.
+    pub async fn serve_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, PpcsError> {
+        let num_samples: u64 = io.recv_msg(KIND_CLS_HELLO).await?;
+        io.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
         let secrets: Vec<DenseAffine<A>> = (0..num_samples)
             .map(|_| {
                 let ra = self.alg.encode_int(self.cfg.draw_amplifier(rng));
                 self.base.scale(&self.alg, &ra)
             })
             .collect();
-        ompe_send_batch(&self.alg, ep, ot, rng, &secrets, &self.spec.ompe)?;
+        ompe_send_batch_io(&self.alg, io, sel, rng, &secrets, &self.spec.ompe).await?;
         Ok(num_samples as usize)
+    }
+
+    /// Packages the trainer role as a self-contained [`ProtocolEngine`]
+    /// owning its RNG (seeded from `seed`), so a session can be driven,
+    /// recorded, and re-created bit-identically for transcript replay.
+    pub fn serve_engine(&self, sel: OtSelect, seed: u64) -> ProtocolEngine<'_, usize, PpcsError> {
+        ProtocolEngine::new(move |io| async move {
+            let mut rng = StdRng::seed_from_u64(seed);
+            self.serve_io(&io, sel, &mut rng).await
+        })
     }
 
     /// Serves one classification session per lane, each on its own
@@ -382,16 +413,16 @@ where
     ///
     /// [`PpcsError::Protocol`] on a dimensionality mismatch, plus
     /// transport/OMPE failures.
-    pub(crate) fn classify_one(
+    pub(crate) async fn classify_one_io(
         &self,
-        ep: &Endpoint,
-        ot: &dyn ObliviousTransfer,
+        io: &FrameIo,
+        sel: OtSelect,
         rng: &mut dyn RngCore,
         sample: &[f64],
         spec: &ClassifySpec,
     ) -> Result<(Label, f64), PpcsError> {
         let alpha = self.encode_input(sample, spec)?;
-        let value = ompe_receive(&self.alg, ep, ot, rng, &alpha, &spec.ompe)?;
+        let value = ompe_receive_io(&self.alg, io, sel, rng, &alpha, &spec.ompe).await?;
         let decoded = self.alg.decode(&value, OUTPUT_SCALE);
         Ok((Label::from_sign(decoded), decoded))
     }
@@ -413,8 +444,28 @@ where
         rng: &mut dyn RngCore,
         samples: &[Vec<f64>],
     ) -> Result<Vec<(Label, f64)>, PpcsError> {
-        ep.send_msg(KIND_CLS_HELLO, &(samples.len() as u64))?;
-        let fields = decode_u64s(&ep.recv_msg::<Vec<u8>>(KIND_CLS_SPEC)?)?;
+        let sel = ot.select();
+        let mut engine = ProtocolEngine::new(|io| async move {
+            self.classify_batch_values_io(&io, sel, rng, samples).await
+        });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O twin of [`Client::classify_batch_values`]: the client
+    /// role over a [`FrameIo`] mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::classify_batch_values`].
+    pub async fn classify_batch_values_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        samples: &[Vec<f64>],
+    ) -> Result<Vec<(Label, f64)>, PpcsError> {
+        io.send_msg(KIND_CLS_HELLO, &(samples.len() as u64))?;
+        let fields = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_SPEC).await?)?;
         let spec = ClassifySpec::decode_wire(&fields)?;
         if spec.ompe.sigma != self.cfg.sigma || spec.ompe.decoy_factor != self.cfg.decoy_factor {
             return Err(PpcsError::Protocol(format!(
@@ -431,7 +482,7 @@ where
             .iter()
             .map(|sample| self.encode_input(sample, &spec))
             .collect::<Result<_, _>>()?;
-        let values = ompe_receive_batch(&self.alg, ep, ot, rng, &alphas, &spec.ompe)?;
+        let values = ompe_receive_batch_io(&self.alg, io, sel, rng, &alphas, &spec.ompe).await?;
         Ok(values
             .iter()
             .map(|value| {
@@ -439,6 +490,22 @@ where
                 (Label::from_sign(decoded), decoded)
             })
             .collect())
+    }
+
+    /// Packages the client role as a self-contained [`ProtocolEngine`]
+    /// owning its RNG (seeded from `seed`) — the replay-friendly
+    /// counterpart of [`Trainer::serve_engine`].
+    pub fn classify_engine<'a>(
+        &'a self,
+        sel: OtSelect,
+        seed: u64,
+        samples: &'a [Vec<f64>],
+    ) -> ProtocolEngine<'a, Vec<(Label, f64)>, PpcsError> {
+        ProtocolEngine::new(move |io| async move {
+            let mut rng = StdRng::seed_from_u64(seed);
+            self.classify_batch_values_io(&io, sel, &mut rng, samples)
+                .await
+        })
     }
 
     /// Validates a sample against the announced spec and encodes it as

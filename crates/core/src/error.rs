@@ -4,7 +4,7 @@ use core::fmt;
 
 use ppcs_ompe::OmpeError;
 use ppcs_ot::OtError;
-use ppcs_transport::TransportError;
+use ppcs_transport::{ErrorLayer, ProtocolError, TransportError};
 
 /// Errors raised by the classification and similarity protocols.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,5 +59,39 @@ impl From<TransportError> for PpcsError {
 impl From<OtError> for PpcsError {
     fn from(e: OtError) -> Self {
         Self::Ompe(OmpeError::Ot(e))
+    }
+}
+
+impl From<PpcsError> for ProtocolError {
+    fn from(e: PpcsError) -> Self {
+        match e {
+            // Delegate so transport, OT, and OMPE causes keep their own
+            // layers instead of collapsing into a blanket "protocol".
+            PpcsError::Transport(t) => Self::from(t),
+            PpcsError::Ompe(o) => Self::from(o),
+            PpcsError::Config(_) | PpcsError::Expansion(_) | PpcsError::Protocol(_) => {
+                Self::new(ErrorLayer::Protocol, e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppcs_errors_map_to_layers() {
+        let t: ProtocolError = PpcsError::Transport(TransportError::Disconnected).into();
+        assert_eq!(t.layer(), ErrorLayer::Transport);
+        let o: ProtocolError =
+            PpcsError::Ompe(OmpeError::Ot(OtError::UnequalMessageLengths)).into();
+        assert_eq!(o.layer(), ErrorLayer::Crypto);
+        let p: ProtocolError = PpcsError::Protocol("bad spec".into()).into();
+        assert_eq!(p.layer(), ErrorLayer::Protocol);
+        assert!(matches!(
+            p.downcast_ref::<PpcsError>(),
+            Some(PpcsError::Protocol(_))
+        ));
     }
 }

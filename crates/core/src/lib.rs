@@ -22,6 +22,17 @@
 //! write, and can be spread across independent transport lanes with
 //! [`Trainer::serve_parallel`] / [`Client::classify_batch_parallel`].
 //!
+//! Every role is implemented **sans-I/O**: the `*_io` twins
+//! ([`Trainer::serve_io`], [`Client::classify_batch_values_io`],
+//! [`similarity_respond_io`], …) run over a
+//! [`ppcs_transport::FrameIo`] mailbox and never touch a transport; the
+//! blocking entry points wrap them in a
+//! [`ppcs_transport::ProtocolEngine`] pumped by
+//! [`ppcs_transport::drive_blocking`]. [`Trainer::serve_engine`] /
+//! [`Client::classify_engine`] package a role with an owned seeded RNG
+//! so sessions can be driven over any backend, recorded to a
+//! [`ppcs_transport::Transcript`], and replayed deterministically.
+//!
 //! Every protocol is generic over the numeric backend
 //! ([`ppcs_math::F64Algebra`] as in the paper's experiments,
 //! [`ppcs_math::FixedFpAlgebra`] for the cryptographically sound
@@ -50,6 +61,7 @@ pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
 pub use similarity::{
     boundary_points_decision, boundary_points_linear, centroid, cos2_between, direction_input,
     similarity_plain, similarity_plain_geometry, similarity_request, similarity_request_geometry,
-    similarity_respond, similarity_respond_geometry, triangle_area_squared, ModelGeometry,
-    SimilarityConfig,
+    similarity_request_geometry_io, similarity_request_io, similarity_respond,
+    similarity_respond_geometry, similarity_respond_geometry_io, similarity_respond_io,
+    triangle_area_squared, ModelGeometry, SimilarityConfig,
 };

@@ -22,9 +22,9 @@
 //!   (but still neither their scale nor the models).
 
 use ppcs_math::Algebra;
-use ppcs_ot::ObliviousTransfer;
+use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::MultiClassModel;
-use ppcs_transport::{Encodable, Endpoint};
+use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
 use crate::classify::{ClassifySpec, Client, Trainer};
@@ -113,7 +113,24 @@ where
         ot: &dyn ObliviousTransfer,
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
-        let num_samples: u64 = ep.recv_msg(KIND_MC_HELLO)?;
+        let sel = ot.select();
+        let mut engine =
+            ProtocolEngine::new(|io| async move { self.serve_io(&io, sel, rng).await });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O twin of [`MultiClassTrainer::serve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiClassTrainer::serve`].
+    pub async fn serve_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+    ) -> Result<usize, PpcsError> {
+        let num_samples: u64 = io.recv_msg(KIND_MC_HELLO).await?;
         let mut header: Vec<u8> = Vec::new();
         header.extend_from_slice(&(self.class_ids.len() as u64).to_le_bytes());
         header.extend_from_slice(&self.mode.wire().to_le_bytes());
@@ -125,7 +142,7 @@ where
         for field in self.trainers[0].spec().encode_wire() {
             header.extend_from_slice(&field.to_le_bytes());
         }
-        ep.send_msg(KIND_MC_SPEC, &header)?;
+        io.send_msg(KIND_MC_SPEC, &header)?;
 
         for sample_idx in 0..num_samples {
             let shared = match self.mode {
@@ -137,7 +154,9 @@ where
                     Some(ra) => ra,
                     None => self.cfg.draw_amplifier(rng),
                 };
-                trainer.serve_one_with_amplifier(ep, ot, rng, self.alg.encode_int(ra))?;
+                trainer
+                    .serve_one_with_amplifier_io(io, sel, rng, self.alg.encode_int(ra))
+                    .await?;
             }
             let _ = sample_idx;
         }
@@ -177,8 +196,27 @@ where
         rng: &mut dyn RngCore,
         samples: &[Vec<f64>],
     ) -> Result<Vec<Option<u32>>, PpcsError> {
-        ep.send_msg(KIND_MC_HELLO, &(samples.len() as u64))?;
-        let header: Vec<u8> = ep.recv_msg(KIND_MC_SPEC)?;
+        let sel = ot.select();
+        let mut engine = ProtocolEngine::new(|io| async move {
+            self.classify_batch_io(&io, sel, rng, samples).await
+        });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O twin of [`MultiClassClient::classify_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiClassClient::classify_batch`].
+    pub async fn classify_batch_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        samples: &[Vec<f64>],
+    ) -> Result<Vec<Option<u32>>, PpcsError> {
+        io.send_msg(KIND_MC_HELLO, &(samples.len() as u64))?;
+        let header: Vec<u8> = io.recv_msg(KIND_MC_SPEC).await?;
         if header.len() < 16 || !header.len().is_multiple_of(8) {
             return Err(PpcsError::Protocol("malformed multiclass header".into()));
         }
@@ -204,7 +242,10 @@ where
         for sample in samples {
             let mut values = Vec::with_capacity(num_classes);
             for _class in 0..num_classes {
-                let (_, value) = self.client.classify_one(ep, ot, rng, sample, &spec)?;
+                let (_, value) = self
+                    .client
+                    .classify_one_io(io, sel, rng, sample, &spec)
+                    .await?;
                 values.push(value);
             }
             out.push(decide(&class_ids, &values, mode));

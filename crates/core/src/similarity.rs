@@ -23,13 +23,13 @@
 //! Note: the paper prints `d₂ = r_aw⁻¹`; because `x₂ − (−d₃)` is squared
 //! inside the polynomial, the inverse must be applied twice for the
 //! identity to hold, so this implementation uses `d₂ = r_aw⁻²`
-//! (documented erratum, see DESIGN.md §3.3).
+//! (documented erratum, see DESIGN.md §3.4).
 
 use ppcs_math::{Algebra, DenseAffine, MvPolynomial};
-use ppcs_ompe::{ompe_receive, ompe_send, OmpeParams};
-use ppcs_ot::ObliviousTransfer;
+use ppcs_ompe::{ompe_receive_io, ompe_send_io, OmpeParams};
+use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::{Kernel, SvmModel};
-use ppcs_transport::{Encodable, Endpoint};
+use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
 use crate::config::ProtocolConfig;
@@ -491,6 +491,28 @@ where
     similarity_respond_geometry(alg, ep, ot, rng, &geom, model.kernel(), model.dim(), cfg)
 }
 
+/// Sans-I/O twin of [`similarity_respond`]: Alice's role over a
+/// [`FrameIo`] mailbox.
+///
+/// # Errors
+///
+/// Same as [`similarity_respond`].
+pub async fn similarity_respond_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    model: &SvmModel,
+    cfg: &SimilarityConfig,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    let geom = ModelGeometry::from_model(model, cfg)?;
+    similarity_respond_geometry_io(alg, io, sel, rng, &geom, model.kernel(), model.dim(), cfg).await
+}
+
 /// [`similarity_respond`] with a precomputed [`ModelGeometry`] — lets a
 /// trainer reuse its boundary/centroid computation across sessions.
 ///
@@ -512,10 +534,37 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
+    let sel = ot.select();
+    let mut engine = ProtocolEngine::new(|io| async move {
+        similarity_respond_geometry_io(alg, &io, sel, rng, geom, kernel, model_dim, cfg).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O twin of [`similarity_respond_geometry`].
+///
+/// # Errors
+///
+/// Same as [`similarity_respond_geometry`].
+#[allow(clippy::too_many_arguments)]
+pub async fn similarity_respond_geometry_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    geom: &ModelGeometry,
+    kernel: Kernel,
+    model_dim: usize,
+    cfg: &SimilarityConfig,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
     cfg.protocol.validate()?;
 
     // Round 0: Bob's inseparable aggregates arrive in the clear.
-    let hello: Vec<u8> = ep.recv_msg(KIND_SIM_HELLO)?;
+    let hello: Vec<u8> = io.recv_msg(KIND_SIM_HELLO).await?;
     let (dim, mb_norm2, wb_norm2) = decode_hello(&hello)?;
     if dim != model_dim {
         return Err(PpcsError::Protocol(format!(
@@ -533,7 +582,7 @@ where
             .collect(),
         alg.zero(),
     );
-    ompe_send(alg, ep, ot, rng, &secret1, &cfg.ompe_linear()?)?;
+    ompe_send_io(alg, io, sel, rng, &secret1, &cfg.ompe_linear()?).await?;
 
     // Round 2: x₂ = r_aw · (w_A · w_B) + r_b.
     let raw = cfg.protocol.draw_amplifier(rng);
@@ -546,7 +595,7 @@ where
             .collect(),
         rb_enc.clone(),
     );
-    ompe_send(alg, ep, ot, rng, &secret2, &cfg.ompe_linear()?)?;
+    ompe_send_io(alg, io, sel, rng, &secret2, &cfg.ompe_linear()?).await?;
 
     // Round 3: the two-variate degree-4 area polynomial.
     let area_poly = build_area_polynomial(
@@ -559,7 +608,7 @@ where
         raw,
         &rb_enc,
     );
-    ompe_send(alg, ep, ot, rng, &area_poly, &cfg.ompe_area()?)?;
+    ompe_send_io(alg, io, sel, rng, &area_poly, &cfg.ompe_area()?).await?;
     Ok(())
 }
 
@@ -585,6 +634,30 @@ where
     similarity_request_geometry(alg, ep, ot, rng, &geom, &direction_input, model.dim(), cfg)
 }
 
+/// Sans-I/O twin of [`similarity_request`]: Bob's role over a
+/// [`FrameIo`] mailbox.
+///
+/// # Errors
+///
+/// Same as [`similarity_request`].
+pub async fn similarity_request_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    model: &SvmModel,
+    cfg: &SimilarityConfig,
+) -> Result<f64, PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    let geom = ModelGeometry::from_model(model, cfg)?;
+    let direction_input = direction_input(&geom, model);
+    similarity_request_geometry_io(alg, io, sel, rng, &geom, &direction_input, model.dim(), cfg)
+        .await
+}
+
 /// [`similarity_request`] with a precomputed [`ModelGeometry`] and
 /// direction input (`w_B` for linear models, `Z = Σ c_u τ(x_u)` for
 /// kernels).
@@ -607,10 +680,38 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
+    let sel = ot.select();
+    let mut engine = ProtocolEngine::new(|io| async move {
+        similarity_request_geometry_io(alg, &io, sel, rng, geom, direction_input, model_dim, cfg)
+            .await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O twin of [`similarity_request_geometry`].
+///
+/// # Errors
+///
+/// Same as [`similarity_request_geometry`].
+#[allow(clippy::too_many_arguments)]
+pub async fn similarity_request_geometry_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    geom: &ModelGeometry,
+    direction_input: &[f64],
+    model_dim: usize,
+    cfg: &SimilarityConfig,
+) -> Result<f64, PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
     cfg.protocol.validate()?;
     let dim = model_dim;
 
-    ep.send_msg(
+    io.send_msg(
         KIND_SIM_HELLO,
         &encode_hello(dim, geom.m_norm2, geom.w_norm2),
     )?;
@@ -620,16 +721,16 @@ where
         .iter()
         .map(|v| alg.encode(*v, 1))
         .collect();
-    let x1 = ompe_receive(alg, ep, ot, rng, &mb_inputs, &cfg.ompe_linear()?)?;
+    let x1 = ompe_receive_io(alg, io, sel, rng, &mb_inputs, &cfg.ompe_linear()?).await?;
 
     // Round 2.
     let wb_inputs: Vec<A::Elem> = direction_input.iter().map(|v| alg.encode(*v, 1)).collect();
-    let x2 = ompe_receive(alg, ep, ot, rng, &wb_inputs, &cfg.ompe_linear()?)?;
+    let x2 = ompe_receive_io(alg, io, sel, rng, &wb_inputs, &cfg.ompe_linear()?).await?;
 
     // Round 3: feed the raw (still-encoded) cross terms back in. The
     // evaluation yields 4·T² (see `build_area_polynomial` on why the ¼
     // stays out of the field); apply the public prefactor on the reals.
-    let t2_elem = ompe_receive(alg, ep, ot, rng, &[x1, x2], &cfg.ompe_area()?)?;
+    let t2_elem = ompe_receive_io(alg, io, sel, rng, &[x1, x2], &cfg.ompe_area()?).await?;
     let t2 = 0.25 * alg.decode(&t2_elem, OUTPUT_SCALE);
     Ok(t2.max(0.0).sqrt())
 }

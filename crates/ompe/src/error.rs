@@ -4,7 +4,7 @@ use core::fmt;
 
 use ppcs_math::InterpolationError;
 use ppcs_ot::OtError;
-use ppcs_transport::TransportError;
+use ppcs_transport::{ErrorLayer, ProtocolError, TransportError};
 
 /// Errors raised by the OMPE protocol.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,5 +64,39 @@ impl From<TransportError> for OmpeError {
 impl From<InterpolationError> for OmpeError {
     fn from(e: InterpolationError) -> Self {
         Self::Interpolation(e)
+    }
+}
+
+impl From<OmpeError> for ProtocolError {
+    fn from(e: OmpeError) -> Self {
+        match e {
+            // Delegate to the inner layering so transport and OT causes
+            // land on their own layers instead of a blanket "protocol".
+            OmpeError::Transport(t) => Self::from(t),
+            OmpeError::Ot(o) => Self::from(o),
+            OmpeError::Interpolation(_) => Self::new(ErrorLayer::Crypto, e),
+            OmpeError::Params(_) | OmpeError::SecretMismatch(_) | OmpeError::Protocol(_) => {
+                Self::new(ErrorLayer::Protocol, e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ompe_errors_map_to_layers() {
+        let t: ProtocolError = OmpeError::Transport(TransportError::Disconnected).into();
+        assert_eq!(t.layer(), ErrorLayer::Transport);
+        let o: ProtocolError = OmpeError::Ot(OtError::UnequalMessageLengths).into();
+        assert_eq!(o.layer(), ErrorLayer::Crypto);
+        let p: ProtocolError = OmpeError::Protocol("bad cloud".into()).into();
+        assert_eq!(p.layer(), ErrorLayer::Protocol);
+        assert!(matches!(
+            p.downcast_ref::<OmpeError>(),
+            Some(OmpeError::Protocol(_))
+        ));
     }
 }

@@ -59,7 +59,8 @@ mod protocol;
 mod session;
 
 pub use error::OmpeError;
-pub use protocol::{ompe_receive, ompe_send, OmpeParams};
+pub use protocol::{ompe_receive, ompe_receive_io, ompe_send, ompe_send_io, OmpeParams};
 pub use session::{
-    ompe_receive_batch, ompe_send_batch, OmpeReceiverSession, OmpeSenderSession, PreparedRound,
+    ompe_receive_batch, ompe_receive_batch_io, ompe_send_batch, ompe_send_batch_io,
+    OmpeReceiverSession, OmpeSenderSession, PreparedRound,
 };

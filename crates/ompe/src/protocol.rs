@@ -1,8 +1,8 @@
 //! The OMPE sender and receiver.
 
 use ppcs_math::{Algebra, PolyEval};
-use ppcs_ot::ObliviousTransfer;
-use ppcs_transport::{Encodable, Endpoint};
+use ppcs_ot::{ObliviousTransfer, OtSelect};
+use ppcs_transport::{Encodable, Endpoint, FrameIo};
 use rand::RngCore;
 
 use crate::error::OmpeError;
@@ -109,6 +109,52 @@ where
     A::Elem: Encodable,
 {
     OmpeReceiverSession::single_shot(*params).receive_round(alg, ep, ot, rng, alpha)
+}
+
+/// Sans-I/O variant of [`ompe_send`]: the sender role over a [`FrameIo`]
+/// mailbox and an [`OtSelect`] engine selector.
+///
+/// # Errors
+///
+/// Same as [`ompe_send`].
+pub async fn ompe_send_io<A, P>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    secret: &P,
+    params: &OmpeParams,
+) -> Result<(), OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+    P: PolyEval<A> + ?Sized,
+{
+    OmpeSenderSession::single_shot(*params)
+        .send_round_io(alg, io, sel, rng, secret)
+        .await
+}
+
+/// Sans-I/O variant of [`ompe_receive`].
+///
+/// # Errors
+///
+/// Same as [`ompe_receive`].
+pub async fn ompe_receive_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    alpha: &[A::Elem],
+    params: &OmpeParams,
+) -> Result<A::Elem, OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    OmpeReceiverSession::single_shot(*params)
+        .receive_round_io(alg, io, sel, rng, alpha)
+        .await
 }
 
 #[cfg(test)]

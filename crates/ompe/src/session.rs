@@ -13,14 +13,22 @@
 //! * the receiver's point clouds for a whole batch travel in a single
 //!   coalesced frame — one framed write instead of one per round.
 //!
-//! [`ompe_send_batch`] / [`ompe_receive_batch`] wire these together; the
-//! single-round entry points in [`crate::protocol`] are thin wrappers
-//! over one-round sessions with no batch state.
+//! The role logic lives in the `*_io` methods, written sans-I/O against a
+//! [`FrameIo`] mailbox and an [`OtSelect`] engine selector — no
+//! `Endpoint` appears in their signatures, so any driver (in-memory,
+//! TCP, transcript replay) can pump them. The blocking methods and
+//! [`ompe_send_batch`] / [`ompe_receive_batch`] are thin wrappers that
+//! drive the same logic over an `Endpoint`; the single-round entry
+//! points in [`crate::protocol`] wrap one-round sessions with no batch
+//! state.
 
 use bytes::{Bytes, BytesMut};
 use ppcs_math::{interpolate_at_zero, Algebra, PolyEval, Polynomial};
-use ppcs_ot::{ObliviousTransfer, OtBatchState};
-use ppcs_transport::{decode_seq, encode_seq, Encodable, Endpoint, Frame};
+use ppcs_ot::{ot_begin_receive_io, ot_begin_send_io, ot_receive_io, ot_send_io};
+use ppcs_ot::{ObliviousTransfer, OtBatchState, OtSelect};
+use ppcs_transport::{
+    decode_seq, drive_blocking, encode_seq, Encodable, Endpoint, Frame, FrameIo, ProtocolEngine,
+};
 use rand::seq::index::sample;
 use rand::RngCore;
 
@@ -65,7 +73,25 @@ where
         rng: &mut dyn RngCore,
         params: OmpeParams,
     ) -> Result<Self, OmpeError> {
-        let ot_state = ot.begin_batch_send(ep, rng)?;
+        let sel = ot.select();
+        let mut engine =
+            ProtocolEngine::new(|io| async move { Self::new_io(&io, sel, rng, params).await });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O variant of [`new`](OmpeSenderSession::new): sets up the
+    /// per-batch state over a [`FrameIo`] mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures during the OT base phase.
+    pub async fn new_io(
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        params: OmpeParams,
+    ) -> Result<Self, OmpeError> {
+        let ot_state = ot_begin_send_io(sel, io, rng).await?;
         Ok(Self {
             params,
             mask: Polynomial::zero(),
@@ -101,9 +127,33 @@ where
     where
         P: PolyEval<A> + ?Sized,
     {
+        let sel = ot.select();
+        let mut engine = ProtocolEngine::new(|io| async move {
+            self.send_round_io(alg, &io, sel, rng, secret).await
+        });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O variant of [`send_round`](OmpeSenderSession::send_round).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`send_round`](OmpeSenderSession::send_round).
+    pub async fn send_round_io<P>(
+        &mut self,
+        alg: &A,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        secret: &P,
+    ) -> Result<(), OmpeError>
+    where
+        P: PolyEval<A> + ?Sized,
+    {
         self.check_degree(secret)?;
-        let cloud = self.recv_cloud(ep, secret.num_vars())?;
-        self.answer_cloud(alg, ep, ot, rng, secret, &cloud)
+        let cloud = self.recv_cloud_io(io, secret.num_vars()).await?;
+        self.answer_cloud_io(alg, io, sel, rng, secret, &cloud)
+            .await
     }
 
     fn check_degree<P>(&self, secret: &P) -> Result<(), OmpeError>
@@ -124,10 +174,10 @@ where
     /// `N` `r`-dimensional input vectors. In batch mode every cloud of
     /// the batch arrives in one coalesced frame, so these must all be
     /// drained before the per-round oblivious transfers begin.
-    fn recv_cloud(&self, ep: &Endpoint, r: usize) -> Result<PointCloud<A>, OmpeError> {
+    async fn recv_cloud_io(&self, io: &FrameIo, r: usize) -> Result<PointCloud<A>, OmpeError> {
         let n_points = self.params.num_points();
         let mut payload: Bytes = {
-            let blob: Vec<u8> = ep.recv_msg(KIND_OMPE_POINTS)?;
+            let blob: Vec<u8> = io.recv_msg(KIND_OMPE_POINTS).await?;
             Bytes::from(blob)
         };
         let xs: Vec<A::Elem> = decode_seq(&mut payload)?;
@@ -150,11 +200,11 @@ where
 
     /// Masks, evaluates, and obliviously transfers the answers for one
     /// received point cloud.
-    fn answer_cloud<P>(
+    async fn answer_cloud_io<P>(
         &mut self,
         alg: &A,
-        ep: &Endpoint,
-        ot: &dyn ObliviousTransfer,
+        io: &FrameIo,
+        sel: OtSelect,
         rng: &mut dyn RngCore,
         secret: &P,
         (xs, ys_flat): &PointCloud<A>,
@@ -180,7 +230,7 @@ where
         }
 
         // n-out-of-N oblivious transfer of the answers.
-        ot.send_batched(&self.ot_state, ep, rng, &answers, params.num_covers())?;
+        ot_send_io(sel, &self.ot_state, io, rng, &answers, params.num_covers()).await?;
         Ok(())
     }
 }
@@ -230,7 +280,23 @@ where
         ot: &dyn ObliviousTransfer,
         params: OmpeParams,
     ) -> Result<Self, OmpeError> {
-        let ot_state = ot.begin_batch_receive(ep)?;
+        let sel = ot.select();
+        let mut engine =
+            ProtocolEngine::new(|io| async move { Self::new_io(&io, sel, params).await });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O variant of [`new`](OmpeReceiverSession::new).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures during the OT base phase.
+    pub async fn new_io(
+        io: &FrameIo,
+        sel: OtSelect,
+        params: OmpeParams,
+    ) -> Result<Self, OmpeError> {
+        let ot_state = ot_begin_receive_io(sel, io).await?;
         Ok(Self {
             params,
             cover_polys: Vec::new(),
@@ -329,11 +395,39 @@ where
         rng: &mut dyn RngCore,
         round: &PreparedRound<A>,
     ) -> Result<A::Elem, OmpeError> {
+        let sel = ot.select();
+        let mut engine = ProtocolEngine::new(|io| async move {
+            self.finish_round_io(alg, &io, sel, rng, round).await
+        });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O variant of [`finish_round`](OmpeReceiverSession::finish_round).
+    ///
+    /// # Errors
+    ///
+    /// Transport/OT/interpolation failures.
+    pub async fn finish_round_io(
+        &self,
+        alg: &A,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        round: &PreparedRound<A>,
+    ) -> Result<A::Elem, OmpeError> {
         let n_covers = self.params.num_covers();
         let n_points = self.params.num_points();
 
         // Obliviously fetch the answers at the cover positions.
-        let raw = ot.receive_batched(&self.ot_state, ep, rng, n_points, &round.cover_positions)?;
+        let raw = ot_receive_io(
+            sel,
+            &self.ot_state,
+            io,
+            rng,
+            n_points,
+            &round.cover_positions,
+        )
+        .await?;
         let mut points = Vec::with_capacity(n_covers);
         for (raw_value, &pos) in raw.iter().zip(&round.cover_positions) {
             let mut input = Bytes::from(raw_value.clone());
@@ -364,9 +458,29 @@ where
         rng: &mut dyn RngCore,
         alpha: &[A::Elem],
     ) -> Result<A::Elem, OmpeError> {
+        let sel = ot.select();
+        let mut engine = ProtocolEngine::new(|io| async move {
+            self.receive_round_io(alg, &io, sel, rng, alpha).await
+        });
+        drive_blocking(ep, &mut engine)
+    }
+
+    /// Sans-I/O variant of [`receive_round`](OmpeReceiverSession::receive_round).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`receive_round`](OmpeReceiverSession::receive_round).
+    pub async fn receive_round_io(
+        &mut self,
+        alg: &A,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        alpha: &[A::Elem],
+    ) -> Result<A::Elem, OmpeError> {
         let round = self.prepare_round(alg, rng, alpha)?;
-        ep.send(round.frame())?;
-        self.finish_round(alg, ep, ot, rng, &round)
+        io.send(round.frame())?;
+        self.finish_round_io(alg, io, sel, rng, &round).await
     }
 }
 
@@ -391,10 +505,36 @@ where
     A::Elem: Encodable,
     P: PolyEval<A>,
 {
+    let sel = ot.select();
+    let mut engine = ProtocolEngine::new(|io| async move {
+        ompe_send_batch_io(alg, &io, sel, rng, secrets, params).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O variant of [`ompe_send_batch`]: the sender role of a whole
+/// batch as one engine.
+///
+/// # Errors
+///
+/// Same as [`ompe_send_batch`].
+pub async fn ompe_send_batch_io<A, P>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    secrets: &[P],
+    params: &OmpeParams,
+) -> Result<(), OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+    P: PolyEval<A>,
+{
     if secrets.is_empty() {
         return Ok(());
     }
-    let mut session = OmpeSenderSession::new(ep, ot, rng, *params)?;
+    let mut session = OmpeSenderSession::new_io(io, sel, rng, *params).await?;
     for secret in secrets {
         session.check_degree(secret)?;
     }
@@ -402,12 +542,14 @@ where
     // frame, so drain them all before any per-round OT traffic starts —
     // otherwise an OT receive would pop a queued point cloud instead of
     // the frame it expects.
-    let clouds: Vec<_> = secrets
-        .iter()
-        .map(|secret| session.recv_cloud(ep, secret.num_vars()))
-        .collect::<Result<_, _>>()?;
+    let mut clouds = Vec::with_capacity(secrets.len());
+    for secret in secrets {
+        clouds.push(session.recv_cloud_io(io, secret.num_vars()).await?);
+    }
     for (secret, cloud) in secrets.iter().zip(&clouds) {
-        session.answer_cloud(alg, ep, ot, rng, secret, cloud)?;
+        session
+            .answer_cloud_io(alg, io, sel, rng, secret, cloud)
+            .await?;
     }
     Ok(())
 }
@@ -430,21 +572,48 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
+    let sel = ot.select();
+    let mut engine = ProtocolEngine::new(|io| async move {
+        ompe_receive_batch_io(alg, &io, sel, rng, alphas, params).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O variant of [`ompe_receive_batch`]: the receiver role of a
+/// whole batch as one engine. All point clouds leave in one coalesced
+/// write, exactly as on the blocking path.
+///
+/// # Errors
+///
+/// Same as [`ompe_receive_batch`].
+pub async fn ompe_receive_batch_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    alphas: &[Vec<A::Elem>],
+    params: &OmpeParams,
+) -> Result<Vec<A::Elem>, OmpeError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
     if alphas.is_empty() {
         return Ok(Vec::new());
     }
-    let mut session = OmpeReceiverSession::new(ep, ot, *params)?;
+    let mut session = OmpeReceiverSession::new_io(io, sel, *params).await?;
     let rounds: Vec<PreparedRound<A>> = alphas
         .iter()
         .map(|alpha| session.prepare_round(alg, rng, alpha))
         .collect::<Result<_, _>>()?;
     // One framed write carries every round's point cloud.
     let frames: Vec<Frame> = rounds.iter().map(PreparedRound::frame).collect();
-    ep.send_coalesced(&frames)?;
-    rounds
-        .iter()
-        .map(|round| session.finish_round(alg, ep, ot, rng, round))
-        .collect()
+    io.send_coalesced(&frames)?;
+    let mut values = Vec::with_capacity(rounds.len());
+    for round in &rounds {
+        values.push(session.finish_round_io(alg, io, sel, rng, round).await?);
+    }
+    Ok(values)
 }
 
 #[cfg(test)]
@@ -566,6 +735,49 @@ mod tests {
             },
         );
         assert!(values.is_empty());
+    }
+
+    #[test]
+    fn engine_batch_matches_blocking_batch() {
+        // The same batch, run once over threads + duplex and once as an
+        // engine pair with no transport, must produce identical values.
+        let alg = F64Algebra::new();
+        let secret = MvPolynomial::affine(&alg, &[2.0, -1.0], 0.25);
+        let params = OmpeParams::new(1, 3, 2).unwrap();
+        let secrets = vec![secret.clone(); 3];
+        let alphas: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![-0.5, 0.5], vec![3.0, 0.0]];
+
+        let secrets_b = secrets.clone();
+        let alphas_b = alphas.clone();
+        let alg_b = alg;
+        let (send_res, blocking_values) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(51);
+                ompe_send_batch(&alg_b, &ep, &SIM, &mut rng, &secrets_b, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(52);
+                ompe_receive_batch(&alg, &ep, &SIM, &mut rng, &alphas_b, &params).unwrap()
+            },
+        );
+        send_res.unwrap();
+
+        let sel = SIM.select();
+        let mut rng_s = StdRng::seed_from_u64(51);
+        let mut rng_r = StdRng::seed_from_u64(52);
+        let secrets_e = secrets.clone();
+        let alphas_e = alphas.clone();
+        let mut sender = ProtocolEngine::new(|io| async move {
+            ompe_send_batch_io(&alg, &io, sel, &mut rng_s, &secrets_e, &params).await
+        });
+        let mut receiver = ProtocolEngine::new(|io| async move {
+            ompe_receive_batch_io(&alg, &io, sel, &mut rng_r, &alphas_e, &params).await
+        });
+        let (sent, received) =
+            ppcs_transport::run_engine_pair(&mut sender, &mut receiver).expect("pump");
+        sent.expect("send ok");
+        let engine_values = received.expect("receive ok");
+        assert_eq!(engine_values, blocking_values);
     }
 }
 

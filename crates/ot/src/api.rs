@@ -1,15 +1,27 @@
 //! The object-safe k-out-of-N OT interface consumed by OMPE, plus the two
 //! engines: cryptographic Naor–Pinkas and the ideal-functionality
 //! simulator used for large-scale functional benchmarks.
+//!
+//! Role logic written sans-I/O cannot hold a `&dyn ObliviousTransfer`
+//! *and* stay transport-free (the trait's blocking methods take an
+//! `Endpoint`), so each engine exposes an [`OtSelect`] value — a plain
+//! `Copy` selector — and the [`ot_send_io`]/[`ot_receive_io`] dispatch
+//! functions execute the corresponding sans-I/O role over a
+//! [`FrameIo`]. The blocking trait methods remain thin wrappers that
+//! drive the same role logic over an `Endpoint`.
 
 use num_bigint::BigUint;
 use ppcs_crypto::DhGroup;
-use ppcs_transport::Endpoint;
+use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
-use crate::base::{commit_c, receive_c};
+use crate::base::{commit_c, commit_c_io, receive_c, receive_c_io};
 use crate::error::OtError;
-use crate::kn::{otkn_receive, otkn_receive_with_c, otkn_send, otkn_send_with_c};
+use crate::kn::{
+    otkn_receive, otkn_receive_with_c, otkn_receive_with_c_io, otkn_send, otkn_send_with_c,
+    otkn_send_with_c_io,
+};
+use crate::knx::{knx_receive_io, knx_send_io};
 
 const KIND_SIM_INDICES: u16 = 0x0300;
 const KIND_SIM_MESSAGES: u16 = 0x0301;
@@ -23,6 +35,27 @@ pub struct OtBatchState {
     /// Naor–Pinkas: the base-OT commitment `C`, transmitted once per
     /// batch. `None` for engines without a base phase.
     np_c: Option<BigUint>,
+}
+
+/// Transport-free engine selector for sans-I/O role logic.
+///
+/// Obtained from [`ObliviousTransfer::select`]; `Copy`, so role
+/// functions can thread it through without borrowing the engine. Each
+/// variant carries exactly the configuration its sans-I/O roles need.
+#[derive(Clone, Copy, Debug)]
+pub enum OtSelect {
+    /// Cryptographic Naor–Pinkas k-out-of-N over the given group.
+    NaorPinkas {
+        /// The MODP group for the base OTs.
+        group: &'static DhGroup,
+    },
+    /// IKNP-extension-backed k-out-of-N over the given base-OT group.
+    Iknp {
+        /// The MODP group for the `κ` base OTs.
+        group: &'static DhGroup,
+    },
+    /// Ideal-functionality simulator (no cryptography).
+    TrustedSim,
 }
 
 /// A k-out-of-N oblivious transfer engine.
@@ -61,6 +94,10 @@ pub trait ObliviousTransfer: Send + Sync {
 
     /// A short label for reports and benchmarks.
     fn name(&self) -> &'static str;
+
+    /// The transport-free selector for this engine, consumed by sans-I/O
+    /// role logic via [`ot_send_io`] / [`ot_receive_io`].
+    fn select(&self) -> OtSelect;
 
     /// One-time sender-side base-phase setup for a batch of transfers
     /// over `ep`.
@@ -123,6 +160,161 @@ pub trait ObliviousTransfer: Send + Sync {
     ) -> Result<Vec<Vec<u8>>, OtError> {
         self.receive(ep, rng, num_messages, indices)
     }
+}
+
+/// Sans-I/O sender-side base-phase setup for the engine selected by
+/// `sel` (see [`ObliviousTransfer::begin_batch_send`]).
+///
+/// # Errors
+///
+/// Transport failures while transmitting setup material.
+pub async fn ot_begin_send_io(
+    sel: OtSelect,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+) -> Result<OtBatchState, OtError> {
+    match sel {
+        OtSelect::NaorPinkas { group } => Ok(OtBatchState {
+            np_c: Some(commit_c_io(group, io, rng)?),
+        }),
+        OtSelect::Iknp { .. } | OtSelect::TrustedSim => Ok(OtBatchState::default()),
+    }
+}
+
+/// Sans-I/O receiver half of [`ot_begin_send_io`].
+///
+/// # Errors
+///
+/// Transport failures while receiving setup material.
+pub async fn ot_begin_receive_io(sel: OtSelect, io: &FrameIo) -> Result<OtBatchState, OtError> {
+    match sel {
+        OtSelect::NaorPinkas { group } => Ok(OtBatchState {
+            np_c: Some(receive_c_io(group, io).await?),
+        }),
+        OtSelect::Iknp { .. } | OtSelect::TrustedSim => Ok(OtBatchState::default()),
+    }
+}
+
+/// Sans-I/O sender side of a k-out-of-N transfer with the engine
+/// selected by `sel`, reusing per-batch `state`.
+///
+/// # Errors
+///
+/// Engine-specific [`OtError`]s; all report transport failures and
+/// unequal message lengths.
+pub async fn ot_send_io(
+    sel: OtSelect,
+    state: &OtBatchState,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    messages: &[Vec<u8>],
+    k: usize,
+) -> Result<(), OtError> {
+    match sel {
+        OtSelect::NaorPinkas { group } => {
+            otkn_send_with_c_io(group, io, rng, messages, k, state.np_c.as_ref()).await
+        }
+        OtSelect::Iknp { group } => knx_send_io(group, io, rng, messages, k).await,
+        OtSelect::TrustedSim => sim_send_io(io, messages, k).await,
+    }
+}
+
+/// Sans-I/O receiver side of a k-out-of-N transfer with the engine
+/// selected by `sel`, reusing per-batch `state`; returns the messages at
+/// `indices`, in order.
+///
+/// # Errors
+///
+/// Engine-specific [`OtError`]s; all validate index ranges.
+pub async fn ot_receive_io(
+    sel: OtSelect,
+    state: &OtBatchState,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    num_messages: usize,
+    indices: &[usize],
+) -> Result<Vec<Vec<u8>>, OtError> {
+    match sel {
+        OtSelect::NaorPinkas { group } => {
+            otkn_receive_with_c_io(group, io, rng, num_messages, indices, state.np_c.as_ref()).await
+        }
+        OtSelect::Iknp { group } => knx_receive_io(group, io, rng, num_messages, indices).await,
+        OtSelect::TrustedSim => sim_receive_io(io, num_messages, indices).await,
+    }
+}
+
+/// Sans-I/O sender role of the ideal-functionality simulator (see
+/// [`TrustedSimOt`]).
+///
+/// # Errors
+///
+/// [`OtError::UnequalMessageLengths`], malformed peer blobs, plus
+/// transport failures.
+pub async fn sim_send_io(io: &FrameIo, messages: &[Vec<u8>], k: usize) -> Result<(), OtError> {
+    let msg_len = messages.first().map_or(0, Vec::len);
+    if messages.iter().any(|m| m.len() != msg_len) {
+        return Err(OtError::UnequalMessageLengths);
+    }
+    let blob: Vec<u8> = io.recv_msg(KIND_SIM_INDICES).await?;
+    if !blob.len().is_multiple_of(8) {
+        return Err(OtError::Protocol("malformed index blob".into()));
+    }
+    let indices: Vec<usize> = blob
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+        .collect();
+    if indices.len() != k {
+        return Err(OtError::Protocol(format!(
+            "receiver opened {} positions, agreed k = {k}",
+            indices.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(indices.len() * msg_len);
+    for &i in &indices {
+        let m = messages.get(i).ok_or(OtError::InvalidIndex {
+            index: i,
+            num_messages: messages.len(),
+        })?;
+        out.extend_from_slice(m);
+    }
+    io.send_msg(KIND_SIM_MESSAGES, &out)?;
+    Ok(())
+}
+
+/// Sans-I/O receiver role of the ideal-functionality simulator (see
+/// [`TrustedSimOt`]).
+///
+/// # Errors
+///
+/// [`OtError::InvalidIndex`], malformed peer blobs, plus transport
+/// failures.
+pub async fn sim_receive_io(
+    io: &FrameIo,
+    num_messages: usize,
+    indices: &[usize],
+) -> Result<Vec<Vec<u8>>, OtError> {
+    for &i in indices {
+        if i >= num_messages {
+            return Err(OtError::InvalidIndex {
+                index: i,
+                num_messages,
+            });
+        }
+    }
+    let mut blob = Vec::with_capacity(indices.len() * 8);
+    for &i in indices {
+        blob.extend_from_slice(&(i as u64).to_le_bytes());
+    }
+    io.send_msg(KIND_SIM_INDICES, &blob)?;
+    let out: Vec<u8> = io.recv_msg(KIND_SIM_MESSAGES).await?;
+    if indices.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !out.len().is_multiple_of(indices.len()) {
+        return Err(OtError::Protocol("malformed message blob".into()));
+    }
+    let msg_len = out.len() / indices.len();
+    Ok(out.chunks_exact(msg_len).map(<[u8]>::to_vec).collect())
 }
 
 /// Cryptographic k-out-of-N OT (Naor–Pinkas base OTs over a MODP group).
@@ -212,6 +404,10 @@ impl ObliviousTransfer for NaorPinkasOt {
         }
     }
 
+    fn select(&self) -> OtSelect {
+        OtSelect::NaorPinkas { group: self.group }
+    }
+
     fn begin_batch_send(
         &self,
         ep: &Endpoint,
@@ -285,34 +481,9 @@ impl ObliviousTransfer for TrustedSimOt {
         messages: &[Vec<u8>],
         k: usize,
     ) -> Result<(), OtError> {
-        let msg_len = messages.first().map_or(0, Vec::len);
-        if messages.iter().any(|m| m.len() != msg_len) {
-            return Err(OtError::UnequalMessageLengths);
-        }
-        let blob: Vec<u8> = ep.recv_msg(KIND_SIM_INDICES)?;
-        if !blob.len().is_multiple_of(8) {
-            return Err(OtError::Protocol("malformed index blob".into()));
-        }
-        let indices: Vec<usize> = blob
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
-            .collect();
-        if indices.len() != k {
-            return Err(OtError::Protocol(format!(
-                "receiver opened {} positions, agreed k = {k}",
-                indices.len()
-            )));
-        }
-        let mut out = Vec::with_capacity(indices.len() * msg_len);
-        for &i in &indices {
-            let m = messages.get(i).ok_or(OtError::InvalidIndex {
-                index: i,
-                num_messages: messages.len(),
-            })?;
-            out.extend_from_slice(m);
-        }
-        ep.send_msg(KIND_SIM_MESSAGES, &out)?;
-        Ok(())
+        let mut engine =
+            ProtocolEngine::new(|io| async move { sim_send_io(&io, messages, k).await });
+        drive_blocking(ep, &mut engine)
     }
 
     fn receive(
@@ -322,32 +493,19 @@ impl ObliviousTransfer for TrustedSimOt {
         num_messages: usize,
         indices: &[usize],
     ) -> Result<Vec<Vec<u8>>, OtError> {
-        for &i in indices {
-            if i >= num_messages {
-                return Err(OtError::InvalidIndex {
-                    index: i,
-                    num_messages,
-                });
-            }
-        }
-        let mut blob = Vec::with_capacity(indices.len() * 8);
-        for &i in indices {
-            blob.extend_from_slice(&(i as u64).to_le_bytes());
-        }
-        ep.send_msg(KIND_SIM_INDICES, &blob)?;
-        let out: Vec<u8> = ep.recv_msg(KIND_SIM_MESSAGES)?;
-        if indices.is_empty() {
-            return Ok(Vec::new());
-        }
-        if !out.len().is_multiple_of(indices.len()) {
-            return Err(OtError::Protocol("malformed message blob".into()));
-        }
-        let msg_len = out.len() / indices.len();
-        Ok(out.chunks_exact(msg_len).map(<[u8]>::to_vec).collect())
+        let mut engine =
+            ProtocolEngine::new(
+                |io| async move { sim_receive_io(&io, num_messages, indices).await },
+            );
+        drive_blocking(ep, &mut engine)
     }
 
     fn name(&self) -> &'static str {
         "trusted-sim"
+    }
+
+    fn select(&self) -> OtSelect {
+        OtSelect::TrustedSim
     }
 }
 
@@ -466,5 +624,38 @@ mod tests {
         assert_eq!(NaorPinkasOt::new().name(), "naor-pinkas-2048");
         assert_eq!(NaorPinkasOt::fast_insecure().name(), "naor-pinkas-768");
         assert_eq!(TrustedSimOt::new().name(), "trusted-sim");
+    }
+
+    #[test]
+    fn dispatch_matches_blocking_engines() {
+        // The sans-I/O dispatch path must return the same messages as the
+        // blocking trait methods for every engine.
+        use ppcs_transport::{run_engine_pair, ProtocolEngine};
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i ^ 0x5A; 6]).collect();
+        let indices = vec![7usize, 0, 3];
+        for sel in [
+            NaorPinkasOt::fast_insecure().select(),
+            crate::knx::IknpOt::fast_insecure().select(),
+            TrustedSimOt::new().select(),
+        ] {
+            let msgs_s = msgs.clone();
+            let idx = indices.clone();
+            let mut rng_s = StdRng::seed_from_u64(11);
+            let mut rng_r = StdRng::seed_from_u64(12);
+            let mut sender = ProtocolEngine::new(|io| async move {
+                let state = ot_begin_send_io(sel, &io, &mut rng_s).await?;
+                ot_send_io(sel, &state, &io, &mut rng_s, &msgs_s, 3).await
+            });
+            let mut receiver = ProtocolEngine::new(|io| async move {
+                let state = ot_begin_receive_io(sel, &io).await?;
+                ot_receive_io(sel, &state, &io, &mut rng_r, 8, &idx).await
+            });
+            let (sent, received) = run_engine_pair(&mut sender, &mut receiver).expect("pump");
+            sent.expect("send ok");
+            let got = received.expect("receive ok");
+            for (g, &i) in got.iter().zip(&indices) {
+                assert_eq!(g, &msgs[i], "engine {sel:?}, index {i}");
+            }
+        }
     }
 }

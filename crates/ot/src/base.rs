@@ -13,10 +13,15 @@
 //! 4. Receiver computes `(g^r)^x = PK_b^r` and decrypts `E_b`; the other
 //!    pad is indistinguishable from random without the discrete log of
 //!    `PK_{1-b}`.
+//!
+//! The role logic lives in the sans-I/O `*_io` functions, which speak to
+//! a [`FrameIo`] mailbox and never see a transport; the same-named
+//! blocking functions wrap them in a [`ProtocolEngine`] driven over an
+//! [`Endpoint`].
 
 use num_bigint::BigUint;
 use ppcs_crypto::{ChaCha20, DhGroup};
-use ppcs_transport::Endpoint;
+use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
 use crate::error::OtError;
@@ -51,12 +56,30 @@ pub fn ot12_send(
     m1: &[u8],
     tag: u64,
 ) -> Result<(), OtError> {
+    let mut engine =
+        ProtocolEngine::new(|io| async move { ot12_send_io(group, &io, rng, m0, m1, tag).await });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O sender role of a single 1-out-of-2 OT (see [`ot12_send`]).
+///
+/// # Errors
+///
+/// Same as [`ot12_send`].
+pub async fn ot12_send_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    m0: &[u8],
+    m1: &[u8],
+    tag: u64,
+) -> Result<(), OtError> {
     if m0.len() != m1.len() {
         return Err(OtError::UnequalMessageLengths);
     }
     // Step 1: commit to C.
-    let big_c = commit_c(group, ep, rng)?;
-    ot12_send_precommitted(group, ep, rng, m0, m1, tag, &big_c)
+    let big_c = commit_c_io(group, io, rng)?;
+    ot12_send_precommitted_io(group, io, rng, m0, m1, tag, &big_c).await
 }
 
 /// Draws the sender's commitment `C = g^c` and transmits it.
@@ -71,9 +94,25 @@ pub fn ot12_send(
 ///
 /// Transport failures from sending the commitment frame.
 pub fn commit_c(group: &DhGroup, ep: &Endpoint, rng: &mut dyn RngCore) -> Result<BigUint, OtError> {
+    let mut engine = ProtocolEngine::new(|io| async move { commit_c_io(group, &io, rng) });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O sender half of [`commit_c`]: draws `C` and queues the
+/// commitment frame. Synchronous because the commitment never waits for
+/// the peer.
+///
+/// # Errors
+///
+/// Only a driver-injected transport failure.
+pub fn commit_c_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+) -> Result<BigUint, OtError> {
     let c_exp = group.random_exponent(rng);
     let big_c = group.power_g(&c_exp);
-    ep.send_msg(KIND_OT12_C, &group.element_bytes(&big_c))?;
+    io.send_msg(KIND_OT12_C, &group.element_bytes(&big_c))?;
     Ok(big_c)
 }
 
@@ -84,7 +123,17 @@ pub fn commit_c(group: &DhGroup, ep: &Endpoint, rng: &mut dyn RngCore) -> Result
 ///
 /// Transport failures, or [`OtError::Protocol`] for an invalid element.
 pub fn receive_c(group: &DhGroup, ep: &Endpoint) -> Result<BigUint, OtError> {
-    let c_bytes: Vec<u8> = ep.recv_msg(KIND_OT12_C)?;
+    let mut engine = ProtocolEngine::new(|io| async move { receive_c_io(group, &io).await });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O receiver half of [`commit_c`].
+///
+/// # Errors
+///
+/// Same as [`receive_c`].
+pub async fn receive_c_io(group: &DhGroup, io: &FrameIo) -> Result<BigUint, OtError> {
+    let c_bytes: Vec<u8> = io.recv_msg(KIND_OT12_C).await?;
     group
         .element_from_bytes(&c_bytes)
         .ok_or_else(|| OtError::Protocol("sender sent invalid C".into()))
@@ -105,12 +154,32 @@ pub fn ot12_send_precommitted(
     tag: u64,
     big_c: &BigUint,
 ) -> Result<(), OtError> {
+    let mut engine = ProtocolEngine::new(|io| async move {
+        ot12_send_precommitted_io(group, &io, rng, m0, m1, tag, big_c).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O sender role of [`ot12_send_precommitted`].
+///
+/// # Errors
+///
+/// Same as [`ot12_send`].
+pub async fn ot12_send_precommitted_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    m0: &[u8],
+    m1: &[u8],
+    tag: u64,
+    big_c: &BigUint,
+) -> Result<(), OtError> {
     if m0.len() != m1.len() {
         return Err(OtError::UnequalMessageLengths);
     }
     let big_c = big_c.clone();
     // Step 2: receive PK_0, derive PK_1.
-    let pk0_bytes: Vec<u8> = ep.recv_msg(KIND_OT12_PK0)?;
+    let pk0_bytes: Vec<u8> = io.recv_msg(KIND_OT12_PK0).await?;
     let pk0 = group
         .element_from_bytes(&pk0_bytes)
         .ok_or_else(|| OtError::Protocol("receiver sent invalid PK_0".into()))?;
@@ -126,7 +195,7 @@ pub fn ot12_send_precommitted(
     pad_apply(&k0, tag, &mut e0);
     pad_apply(&k1, tag, &mut e1);
 
-    ep.send_msg(KIND_OT12_PAYLOAD, &(group.element_bytes(&g_r), (e0, e1)))?;
+    io.send_msg(KIND_OT12_PAYLOAD, &(group.element_bytes(&g_r), (e0, e1)))?;
     Ok(())
 }
 
@@ -143,9 +212,28 @@ pub fn ot12_receive(
     choice: bool,
     tag: u64,
 ) -> Result<Vec<u8>, OtError> {
+    let mut engine =
+        ProtocolEngine::new(
+            |io| async move { ot12_receive_io(group, &io, rng, choice, tag).await },
+        );
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O receiver role of [`ot12_receive`].
+///
+/// # Errors
+///
+/// Same as [`ot12_receive`].
+pub async fn ot12_receive_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    choice: bool,
+    tag: u64,
+) -> Result<Vec<u8>, OtError> {
     // Step 1: receive C.
-    let big_c = receive_c(group, ep)?;
-    ot12_receive_precommitted(group, ep, rng, choice, tag, &big_c)
+    let big_c = receive_c_io(group, io).await?;
+    ot12_receive_precommitted_io(group, io, rng, choice, tag, &big_c).await
 }
 
 /// Receiver side of a 1-out-of-2 OT whose commitment `C` was already
@@ -162,6 +250,25 @@ pub fn ot12_receive_precommitted(
     tag: u64,
     big_c: &BigUint,
 ) -> Result<Vec<u8>, OtError> {
+    let mut engine = ProtocolEngine::new(|io| async move {
+        ot12_receive_precommitted_io(group, &io, rng, choice, tag, big_c).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O receiver role of [`ot12_receive_precommitted`].
+///
+/// # Errors
+///
+/// Same as [`ot12_receive`].
+pub async fn ot12_receive_precommitted_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    choice: bool,
+    tag: u64,
+    big_c: &BigUint,
+) -> Result<Vec<u8>, OtError> {
     let big_c = big_c.clone();
     // Step 2: build the key pair so we know the discrete log of PK_choice
     // only.
@@ -172,10 +279,11 @@ pub fn ot12_receive_precommitted(
     } else {
         pk_choice.clone()
     };
-    ep.send_msg(KIND_OT12_PK0, &group.element_bytes(&pk0))?;
+    io.send_msg(KIND_OT12_PK0, &group.element_bytes(&pk0))?;
 
     // Step 3/4: decrypt our branch.
-    let (g_r_bytes, (e0, e1)): (Vec<u8>, (Vec<u8>, Vec<u8>)) = ep.recv_msg(KIND_OT12_PAYLOAD)?;
+    let (g_r_bytes, (e0, e1)): (Vec<u8>, (Vec<u8>, Vec<u8>)) =
+        io.recv_msg(KIND_OT12_PAYLOAD).await?;
     let g_r: BigUint = group
         .element_from_bytes(&g_r_bytes)
         .ok_or_else(|| OtError::Protocol("sender sent invalid g^r".into()))?;
@@ -242,5 +350,24 @@ mod tests {
         let m0 = b"secret-zero".to_vec();
         let got = run_ot12(&m0, b"secret-one!", true);
         assert_ne!(got, b"secret-zero");
+    }
+
+    #[test]
+    fn engine_pair_matches_blocking_path() {
+        // The sans-I/O engines, pumped without any transport, produce the
+        // same transfer as the blocking wrappers over a duplex channel.
+        let group = DhGroup::modp_768();
+        let mut rng_s = StdRng::seed_from_u64(1);
+        let mut rng_r = StdRng::seed_from_u64(2);
+        let mut sender = ProtocolEngine::new(|io| async move {
+            ot12_send_io(group, &io, &mut rng_s, b"zero!", b"one!!", 7).await
+        });
+        let mut receiver = ProtocolEngine::new(|io| async move {
+            ot12_receive_io(group, &io, &mut rng_r, true, 7).await
+        });
+        let (sent, got) =
+            ppcs_transport::run_engine_pair(&mut sender, &mut receiver).expect("no deadlock");
+        sent.expect("send");
+        assert_eq!(got.expect("receive"), run_ot12(b"zero!", b"one!!", true));
     }
 }

@@ -1,7 +1,7 @@
 //! Oblivious-transfer errors.
 
 use core::fmt;
-use ppcs_transport::TransportError;
+use ppcs_transport::{ErrorLayer, ProtocolError, TransportError};
 
 /// Errors raised by the OT protocols.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,5 +48,38 @@ impl std::error::Error for OtError {
 impl From<TransportError> for OtError {
     fn from(e: TransportError) -> Self {
         Self::Transport(e)
+    }
+}
+
+impl From<OtError> for ProtocolError {
+    fn from(e: OtError) -> Self {
+        match e {
+            // Preserve the transport-level layering (Timeout/Disconnected
+            // → transport, Decode/UnexpectedFrame → codec).
+            OtError::Transport(t) => Self::from(t),
+            OtError::InvalidIndex { .. } | OtError::UnequalMessageLengths => {
+                Self::new(ErrorLayer::Crypto, e)
+            }
+            OtError::Protocol(_) => Self::new(ErrorLayer::Protocol, e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ot_errors_map_to_layers() {
+        let t: ProtocolError = OtError::Transport(TransportError::Timeout).into();
+        assert_eq!(t.layer(), ErrorLayer::Transport);
+        let c: ProtocolError = OtError::UnequalMessageLengths.into();
+        assert_eq!(c.layer(), ErrorLayer::Crypto);
+        assert!(matches!(
+            c.downcast_ref::<OtError>(),
+            Some(OtError::UnequalMessageLengths)
+        ));
+        let p: ProtocolError = OtError::Protocol("bad blob".into()).into();
+        assert_eq!(p.layer(), ErrorLayer::Protocol);
     }
 }

@@ -16,10 +16,10 @@
 //! exactly `H(j, t_j) = H(j, q_j ⊕ r_j·s)` — its chosen one.
 
 use ppcs_crypto::{ChaCha20, DhGroup, Sha256};
-use ppcs_transport::Endpoint;
+use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::{Rng, RngCore};
 
-use crate::base::{ot12_receive, ot12_send};
+use crate::base::{ot12_receive_io, ot12_send_io};
 use crate::error::OtError;
 
 /// Computational security parameter: number of base OTs / matrix columns.
@@ -89,6 +89,22 @@ pub fn iknp_send(
     rng: &mut dyn RngCore,
     pairs: &[(Vec<u8>, Vec<u8>)],
 ) -> Result<(), OtError> {
+    let mut engine =
+        ProtocolEngine::new(|io| async move { iknp_send_io(group, &io, rng, pairs).await });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O sender role of an IKNP batch (see [`iknp_send`]).
+///
+/// # Errors
+///
+/// Same as [`iknp_send`].
+pub async fn iknp_send_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    pairs: &[(Vec<u8>, Vec<u8>)],
+) -> Result<(), OtError> {
     let m = pairs.len();
     if m == 0 {
         return Ok(());
@@ -107,13 +123,14 @@ pub fn iknp_send(
     let mut q_columns = Vec::with_capacity(KAPPA);
     let mut seeds = Vec::with_capacity(KAPPA);
     for i in 0..KAPPA {
-        let seed_bytes = ot12_receive(
+        let seed_bytes = ot12_receive_io(
             group,
-            ep,
+            io,
             rng,
             get_bit(&s_bits, i),
             BASE_TAG_OFFSET + i as u64,
-        )?;
+        )
+        .await?;
         let seed: [u8; 32] = seed_bytes
             .try_into()
             .map_err(|_| OtError::Protocol("base-OT seed has wrong length".into()))?;
@@ -121,7 +138,7 @@ pub fn iknp_send(
     }
 
     // Receive U and build Q column-wise: q_i = PRG(seed_i) ⊕ s_i·u_i.
-    let u_blob: Vec<u8> = ep.recv_msg(KIND_EXT_U)?;
+    let u_blob: Vec<u8> = io.recv_msg(KIND_EXT_U).await?;
     if u_blob.len() != KAPPA * col_bytes {
         return Err(OtError::Protocol(format!(
             "U matrix has {} bytes, expected {}",
@@ -163,7 +180,7 @@ pub fn iknp_send(
         payload.extend(xor_stream(&pad0, j, m0));
         payload.extend(xor_stream(&pad1, j, m1));
     }
-    ep.send_msg(KIND_EXT_PAYLOAD, &payload)?;
+    io.send_msg(KIND_EXT_PAYLOAD, &payload)?;
     Ok(())
 }
 
@@ -175,6 +192,22 @@ pub fn iknp_send(
 pub fn iknp_receive(
     group: &DhGroup,
     ep: &Endpoint,
+    rng: &mut dyn RngCore,
+    choices: &[bool],
+) -> Result<Vec<Vec<u8>>, OtError> {
+    let mut engine =
+        ProtocolEngine::new(|io| async move { iknp_receive_io(group, &io, rng, choices).await });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O receiver role of an IKNP batch (see [`iknp_receive`]).
+///
+/// # Errors
+///
+/// Same as [`iknp_receive`].
+pub async fn iknp_receive_io(
+    group: &DhGroup,
+    io: &FrameIo,
     rng: &mut dyn RngCore,
     choices: &[bool],
 ) -> Result<Vec<Vec<u8>>, OtError> {
@@ -197,7 +230,7 @@ pub fn iknp_receive(
         let mut s1 = [0u8; 32];
         rng.fill_bytes(&mut s0);
         rng.fill_bytes(&mut s1);
-        ot12_send(group, ep, rng, &s0, &s1, BASE_TAG_OFFSET + i as u64)?;
+        ot12_send_io(group, io, rng, &s0, &s1, BASE_TAG_OFFSET + i as u64).await?;
         seed_pairs.push((s0, s1));
     }
 
@@ -212,12 +245,12 @@ pub fn iknp_receive(
         }
         t_columns.push(t0);
     }
-    ep.send_msg(KIND_EXT_U, &u_blob)?;
+    io.send_msg(KIND_EXT_U, &u_blob)?;
 
     let t_rows = transpose_columns(&t_columns, m);
 
     // Open our branch of every pair.
-    let payload: Vec<u8> = ep.recv_msg(KIND_EXT_PAYLOAD)?;
+    let payload: Vec<u8> = io.recv_msg(KIND_EXT_PAYLOAD).await?;
     let mut out = Vec::with_capacity(m);
     let mut cursor = 0usize;
     for (j, &choice) in choices.iter().enumerate() {

@@ -11,13 +11,18 @@
 //! queries would let the receiver combine keys from different queries to
 //! open unchosen messages). This matches the paper's use: the OMPE
 //! receiver opens its `m` cover positions among the `M` submitted points.
+//!
+//! As in [`base`](crate::base), the `*_io` functions are the sans-I/O
+//! role logic; the blocking functions drive them over an `Endpoint`.
 
 use num_bigint::BigUint;
 use ppcs_crypto::{ChaCha20, DhGroup, Sha256};
-use ppcs_transport::Endpoint;
+use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
-use crate::base::{ot12_receive, ot12_receive_precommitted, ot12_send, ot12_send_precommitted};
+use crate::base::{
+    ot12_receive_io, ot12_receive_precommitted_io, ot12_send_io, ot12_send_precommitted_io,
+};
 use crate::error::OtError;
 
 pub(crate) const KIND_OT1N_CIPHERTEXTS: u16 = 0x0200;
@@ -79,6 +84,26 @@ pub fn ot1n_send_with_c(
     query: u64,
     big_c: Option<&BigUint>,
 ) -> Result<(), OtError> {
+    let mut engine = ProtocolEngine::new(|io| async move {
+        ot1n_send_with_c_io(group, &io, rng, messages, query, big_c).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O sender role of one 1-out-of-N query (see
+/// [`ot1n_send_with_c`]).
+///
+/// # Errors
+///
+/// Same as [`ot1n_send`].
+pub async fn ot1n_send_with_c_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    messages: &[Vec<u8>],
+    query: u64,
+    big_c: Option<&BigUint>,
+) -> Result<(), OtError> {
     let n = messages.len();
     if n == 0 {
         return Err(OtError::Protocol("cannot transfer zero messages".into()));
@@ -122,14 +147,14 @@ pub fn ot1n_send_with_c(
     for c in &ciphertexts {
         blob.extend_from_slice(c);
     }
-    ep.send_msg(KIND_OT1N_CIPHERTEXTS, &blob)?;
+    io.send_msg(KIND_OT1N_CIPHERTEXTS, &blob)?;
 
     // One base OT per bit position.
     for (b, (k0, k1)) in key_pairs.iter().enumerate() {
         let tag = query.wrapping_mul(1 << 16).wrapping_add(b as u64);
         match big_c {
-            Some(c) => ot12_send_precommitted(group, ep, rng, k0, k1, tag, c)?,
-            None => ot12_send(group, ep, rng, k0, k1, tag)?,
+            Some(c) => ot12_send_precommitted_io(group, io, rng, k0, k1, tag, c).await?,
+            None => ot12_send_io(group, io, rng, k0, k1, tag).await?,
         }
     }
     Ok(())
@@ -167,13 +192,34 @@ pub fn ot1n_receive_with_c(
     query: u64,
     big_c: Option<&BigUint>,
 ) -> Result<Vec<u8>, OtError> {
+    let mut engine = ProtocolEngine::new(|io| async move {
+        ot1n_receive_with_c_io(group, &io, rng, num_messages, index, query, big_c).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O receiver role of one 1-out-of-N query (see
+/// [`ot1n_receive_with_c`]).
+///
+/// # Errors
+///
+/// Same as [`ot1n_receive`].
+pub async fn ot1n_receive_with_c_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    num_messages: usize,
+    index: usize,
+    query: u64,
+    big_c: Option<&BigUint>,
+) -> Result<Vec<u8>, OtError> {
     if index >= num_messages {
         return Err(OtError::InvalidIndex {
             index,
             num_messages,
         });
     }
-    let blob: Vec<u8> = ep.recv_msg(KIND_OT1N_CIPHERTEXTS)?;
+    let blob: Vec<u8> = io.recv_msg(KIND_OT1N_CIPHERTEXTS).await?;
     if blob.len() < 16 {
         return Err(OtError::Protocol("ciphertext blob too short".into()));
     }
@@ -194,8 +240,8 @@ pub fn ot1n_receive_with_c(
         let tag = query.wrapping_mul(1 << 16).wrapping_add(b as u64);
         let choice = (index >> b) & 1 == 1;
         let key_bytes = match big_c {
-            Some(c) => ot12_receive_precommitted(group, ep, rng, choice, tag, c)?,
-            None => ot12_receive(group, ep, rng, choice, tag)?,
+            Some(c) => ot12_receive_precommitted_io(group, io, rng, choice, tag, c).await?,
+            None => ot12_receive_io(group, io, rng, choice, tag).await?,
         };
         let key: [u8; 32] = key_bytes
             .try_into()
@@ -238,8 +284,28 @@ pub fn otkn_send_with_c(
     k: usize,
     big_c: Option<&BigUint>,
 ) -> Result<(), OtError> {
+    let mut engine = ProtocolEngine::new(|io| async move {
+        otkn_send_with_c_io(group, &io, rng, messages, k, big_c).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O sender role of a k-out-of-N transfer (see
+/// [`otkn_send_with_c`]).
+///
+/// # Errors
+///
+/// Propagates the per-query errors of [`ot1n_send`].
+pub async fn otkn_send_with_c_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    messages: &[Vec<u8>],
+    k: usize,
+    big_c: Option<&BigUint>,
+) -> Result<(), OtError> {
     for query in 0..k {
-        ot1n_send_with_c(group, ep, rng, messages, query as u64, big_c)?;
+        ot1n_send_with_c_io(group, io, rng, messages, query as u64, big_c).await?;
     }
     Ok(())
 }
@@ -274,13 +340,34 @@ pub fn otkn_receive_with_c(
     indices: &[usize],
     big_c: Option<&BigUint>,
 ) -> Result<Vec<Vec<u8>>, OtError> {
-    indices
-        .iter()
-        .enumerate()
-        .map(|(query, &index)| {
-            ot1n_receive_with_c(group, ep, rng, num_messages, index, query as u64, big_c)
-        })
-        .collect()
+    let mut engine = ProtocolEngine::new(|io| async move {
+        otkn_receive_with_c_io(group, &io, rng, num_messages, indices, big_c).await
+    });
+    drive_blocking(ep, &mut engine)
+}
+
+/// Sans-I/O receiver role of a k-out-of-N transfer (see
+/// [`otkn_receive_with_c`]).
+///
+/// # Errors
+///
+/// Propagates the per-query errors of [`ot1n_receive`].
+pub async fn otkn_receive_with_c_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    num_messages: usize,
+    indices: &[usize],
+    big_c: Option<&BigUint>,
+) -> Result<Vec<Vec<u8>>, OtError> {
+    let mut out = Vec::with_capacity(indices.len());
+    for (query, &index) in indices.iter().enumerate() {
+        out.push(
+            ot1n_receive_with_c_io(group, io, rng, num_messages, index, query as u64, big_c)
+                .await?,
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -5,12 +5,12 @@
 //! total instead of four per bit.
 
 use ppcs_crypto::DhGroup;
-use ppcs_transport::Endpoint;
+use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
-use crate::api::ObliviousTransfer;
+use crate::api::{ObliviousTransfer, OtSelect};
 use crate::error::OtError;
-use crate::ext::{iknp_receive, iknp_send};
+use crate::ext::{iknp_receive_io, iknp_send_io};
 use crate::kn::{encrypt_message, message_key, num_bits};
 
 const KIND_KNX_TABLE: u16 = 0x0290;
@@ -71,6 +71,128 @@ impl Default for IknpOt {
     }
 }
 
+/// Sans-I/O sender role of an extension-backed k-out-of-N transfer.
+///
+/// # Errors
+///
+/// [`OtError::UnequalMessageLengths`], zero-message batches, plus
+/// transport/protocol failures.
+pub async fn knx_send_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    messages: &[Vec<u8>],
+    k: usize,
+) -> Result<(), OtError> {
+    let n = messages.len();
+    if n == 0 {
+        return Err(OtError::Protocol("cannot transfer zero messages".into()));
+    }
+    let msg_len = messages[0].len();
+    if messages.iter().any(|m| m.len() != msg_len) {
+        return Err(OtError::UnequalMessageLengths);
+    }
+    let bits = num_bits(n);
+
+    // Fresh 32-byte key pairs for every (query, bit) slot, shipped
+    // through one extension batch.
+    let mut pairs = Vec::with_capacity(k * bits);
+    let mut key_table = Vec::with_capacity(k);
+    for _query in 0..k {
+        let mut per_query = Vec::with_capacity(bits);
+        for _bit in 0..bits {
+            let mut k0 = [0u8; 32];
+            let mut k1 = [0u8; 32];
+            rng.fill_bytes(&mut k0);
+            rng.fill_bytes(&mut k1);
+            pairs.push((k0.to_vec(), k1.to_vec()));
+            per_query.push((k0, k1));
+        }
+        key_table.push(per_query);
+    }
+    iknp_send_io(group, io, rng, &pairs).await?;
+
+    // Per-query encrypted message tables, exactly as in the
+    // non-extended construction.
+    for (query, per_query) in key_table.iter().enumerate() {
+        let mut blob = Vec::with_capacity(16 + n * msg_len);
+        blob.extend_from_slice(&(n as u64).to_le_bytes());
+        blob.extend_from_slice(&(msg_len as u64).to_le_bytes());
+        for (i, msg) in messages.iter().enumerate() {
+            let selected: Vec<[u8; 32]> = (0..bits)
+                .map(|b| {
+                    if (i >> b) & 1 == 0 {
+                        per_query[b].0
+                    } else {
+                        per_query[b].1
+                    }
+                })
+                .collect();
+            let key = message_key(&selected, i, query as u64);
+            let mut c = msg.clone();
+            encrypt_message(&key, i, &mut c);
+            blob.extend_from_slice(&c);
+        }
+        io.send_msg(KIND_KNX_TABLE, &blob)?;
+    }
+    Ok(())
+}
+
+/// Sans-I/O receiver role of an extension-backed k-out-of-N transfer.
+///
+/// # Errors
+///
+/// [`OtError::InvalidIndex`] on out-of-range indices, plus
+/// transport/protocol failures.
+pub async fn knx_receive_io(
+    group: &DhGroup,
+    io: &FrameIo,
+    rng: &mut dyn RngCore,
+    num_messages: usize,
+    indices: &[usize],
+) -> Result<Vec<Vec<u8>>, OtError> {
+    for &i in indices {
+        if i >= num_messages {
+            return Err(OtError::InvalidIndex {
+                index: i,
+                num_messages,
+            });
+        }
+    }
+    let bits = num_bits(num_messages);
+    let choices: Vec<bool> = indices
+        .iter()
+        .flat_map(|&index| (0..bits).map(move |b| (index >> b) & 1 == 1))
+        .collect();
+    let keys_flat = iknp_receive_io(group, io, rng, &choices).await?;
+
+    let mut out = Vec::with_capacity(indices.len());
+    for (query, &index) in indices.iter().enumerate() {
+        let blob: Vec<u8> = io.recv_msg(KIND_KNX_TABLE).await?;
+        if blob.len() < 16 {
+            return Err(OtError::Protocol("message table too short".into()));
+        }
+        let n = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes")) as usize;
+        let msg_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes")) as usize;
+        if n != num_messages || blob.len() != 16 + n * msg_len {
+            return Err(OtError::Protocol("message table shape mismatch".into()));
+        }
+        let mut keys = Vec::with_capacity(bits);
+        for b in 0..bits {
+            let key: [u8; 32] = keys_flat[query * bits + b]
+                .as_slice()
+                .try_into()
+                .map_err(|_| OtError::Protocol("bit key has wrong length".into()))?;
+            keys.push(key);
+        }
+        let key = message_key(&keys, index, query as u64);
+        let mut m = blob[16 + index * msg_len..16 + (index + 1) * msg_len].to_vec();
+        encrypt_message(&key, index, &mut m);
+        out.push(m);
+    }
+    Ok(out)
+}
+
 impl ObliviousTransfer for IknpOt {
     fn send(
         &self,
@@ -79,58 +201,10 @@ impl ObliviousTransfer for IknpOt {
         messages: &[Vec<u8>],
         k: usize,
     ) -> Result<(), OtError> {
-        let n = messages.len();
-        if n == 0 {
-            return Err(OtError::Protocol("cannot transfer zero messages".into()));
-        }
-        let msg_len = messages[0].len();
-        if messages.iter().any(|m| m.len() != msg_len) {
-            return Err(OtError::UnequalMessageLengths);
-        }
-        let bits = num_bits(n);
-
-        // Fresh 32-byte key pairs for every (query, bit) slot, shipped
-        // through one extension batch.
-        let mut pairs = Vec::with_capacity(k * bits);
-        let mut key_table = Vec::with_capacity(k);
-        for _query in 0..k {
-            let mut per_query = Vec::with_capacity(bits);
-            for _bit in 0..bits {
-                let mut k0 = [0u8; 32];
-                let mut k1 = [0u8; 32];
-                rng.fill_bytes(&mut k0);
-                rng.fill_bytes(&mut k1);
-                pairs.push((k0.to_vec(), k1.to_vec()));
-                per_query.push((k0, k1));
-            }
-            key_table.push(per_query);
-        }
-        iknp_send(self.group, ep, rng, &pairs)?;
-
-        // Per-query encrypted message tables, exactly as in the
-        // non-extended construction.
-        for (query, per_query) in key_table.iter().enumerate() {
-            let mut blob = Vec::with_capacity(16 + n * msg_len);
-            blob.extend_from_slice(&(n as u64).to_le_bytes());
-            blob.extend_from_slice(&(msg_len as u64).to_le_bytes());
-            for (i, msg) in messages.iter().enumerate() {
-                let selected: Vec<[u8; 32]> = (0..bits)
-                    .map(|b| {
-                        if (i >> b) & 1 == 0 {
-                            per_query[b].0
-                        } else {
-                            per_query[b].1
-                        }
-                    })
-                    .collect();
-                let key = message_key(&selected, i, query as u64);
-                let mut c = msg.clone();
-                encrypt_message(&key, i, &mut c);
-                blob.extend_from_slice(&c);
-            }
-            ep.send_msg(KIND_KNX_TABLE, &blob)?;
-        }
-        Ok(())
+        let mut engine = ProtocolEngine::new(|io| async move {
+            knx_send_io(self.group, &io, rng, messages, k).await
+        });
+        drive_blocking(ep, &mut engine)
     }
 
     fn receive(
@@ -140,46 +214,10 @@ impl ObliviousTransfer for IknpOt {
         num_messages: usize,
         indices: &[usize],
     ) -> Result<Vec<Vec<u8>>, OtError> {
-        for &i in indices {
-            if i >= num_messages {
-                return Err(OtError::InvalidIndex {
-                    index: i,
-                    num_messages,
-                });
-            }
-        }
-        let bits = num_bits(num_messages);
-        let choices: Vec<bool> = indices
-            .iter()
-            .flat_map(|&index| (0..bits).map(move |b| (index >> b) & 1 == 1))
-            .collect();
-        let keys_flat = iknp_receive(self.group, ep, rng, &choices)?;
-
-        let mut out = Vec::with_capacity(indices.len());
-        for (query, &index) in indices.iter().enumerate() {
-            let blob: Vec<u8> = ep.recv_msg(KIND_KNX_TABLE)?;
-            if blob.len() < 16 {
-                return Err(OtError::Protocol("message table too short".into()));
-            }
-            let n = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes")) as usize;
-            let msg_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes")) as usize;
-            if n != num_messages || blob.len() != 16 + n * msg_len {
-                return Err(OtError::Protocol("message table shape mismatch".into()));
-            }
-            let mut keys = Vec::with_capacity(bits);
-            for b in 0..bits {
-                let key: [u8; 32] = keys_flat[query * bits + b]
-                    .as_slice()
-                    .try_into()
-                    .map_err(|_| OtError::Protocol("bit key has wrong length".into()))?;
-                keys.push(key);
-            }
-            let key = message_key(&keys, index, query as u64);
-            let mut m = blob[16 + index * msg_len..16 + (index + 1) * msg_len].to_vec();
-            encrypt_message(&key, index, &mut m);
-            out.push(m);
-        }
-        Ok(out)
+        let mut engine = ProtocolEngine::new(|io| async move {
+            knx_receive_io(self.group, &io, rng, num_messages, indices).await
+        });
+        drive_blocking(ep, &mut engine)
     }
 
     fn name(&self) -> &'static str {
@@ -188,6 +226,10 @@ impl ObliviousTransfer for IknpOt {
         } else {
             "iknp-768"
         }
+    }
+
+    fn select(&self) -> OtSelect {
+        OtSelect::Iknp { group: self.group }
     }
 }
 

@@ -20,6 +20,17 @@
 //! The building blocks ([`ot12_send`]/[`ot12_receive`],
 //! [`ot1n_send`]/[`ot1n_receive`], [`otkn_send`]/[`otkn_receive`]) are
 //! exported for direct use and for the protocol-level tests.
+//!
+//! ## Sans-I/O roles
+//!
+//! Every protocol here is implemented as transport-free role logic over
+//! a [`FrameIo`](ppcs_transport::FrameIo) mailbox (the `*_io` functions);
+//! the blocking functions above are thin wrappers that drive the same
+//! logic over an `Endpoint`. Role code that must stay generic over the
+//! engine takes an [`OtSelect`] value (from
+//! [`ObliviousTransfer::select`]) and calls the [`ot_send_io`] /
+//! [`ot_receive_io`] dispatchers, so no `Endpoint` — and no engine
+//! borrow — appears in its signature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,14 +42,20 @@ mod ext;
 mod kn;
 mod knx;
 
-pub use api::{NaorPinkasOt, ObliviousTransfer, OtBatchState, TrustedSimOt};
+pub use api::{
+    ot_begin_receive_io, ot_begin_send_io, ot_receive_io, ot_send_io, sim_receive_io, sim_send_io,
+    NaorPinkasOt, ObliviousTransfer, OtBatchState, OtSelect, TrustedSimOt,
+};
 pub use base::{
-    commit_c, ot12_receive, ot12_receive_precommitted, ot12_send, ot12_send_precommitted, receive_c,
+    commit_c, commit_c_io, ot12_receive, ot12_receive_io, ot12_receive_precommitted,
+    ot12_receive_precommitted_io, ot12_send, ot12_send_io, ot12_send_precommitted,
+    ot12_send_precommitted_io, receive_c, receive_c_io,
 };
 pub use error::OtError;
-pub use ext::{iknp_receive, iknp_send, random_choices, KAPPA};
+pub use ext::{iknp_receive, iknp_receive_io, iknp_send, iknp_send_io, random_choices, KAPPA};
 pub use kn::{
-    ot1n_receive, ot1n_receive_with_c, ot1n_send, ot1n_send_with_c, otkn_receive,
-    otkn_receive_with_c, otkn_send, otkn_send_with_c,
+    ot1n_receive, ot1n_receive_with_c, ot1n_receive_with_c_io, ot1n_send, ot1n_send_with_c,
+    ot1n_send_with_c_io, otkn_receive, otkn_receive_with_c, otkn_receive_with_c_io, otkn_send,
+    otkn_send_with_c, otkn_send_with_c_io,
 };
-pub use knx::IknpOt;
+pub use knx::{knx_receive_io, knx_send_io, IknpOt};

@@ -50,21 +50,29 @@ impl Frame {
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::UnexpectedFrame`] on a kind mismatch and
-    /// [`TransportError::Decode`] if the payload is malformed or has
-    /// trailing bytes.
+    /// Returns [`TransportError::UnexpectedFrame`] on a kind mismatch —
+    /// reporting the expected kind, the actual kind, and the payload
+    /// length — and [`TransportError::Decode`] (tagged with the frame
+    /// kind) if the payload is malformed or has trailing bytes.
     pub fn decode_as<T: Encodable>(&self, expected_kind: u16) -> Result<T, TransportError> {
         if self.kind != expected_kind {
             return Err(TransportError::UnexpectedFrame {
                 expected: expected_kind,
                 got: self.kind,
+                payload_len: self.payload.len(),
             });
         }
         let mut input = self.payload.clone();
-        let value = T::decode(&mut input)?;
+        let value = T::decode(&mut input).map_err(|e| match e {
+            TransportError::Decode(msg) => {
+                TransportError::Decode(format!("frame kind 0x{:04x}: {msg}", self.kind))
+            }
+            other => other,
+        })?;
         if !input.is_empty() {
             return Err(TransportError::Decode(format!(
-                "{} trailing bytes after frame body",
+                "frame kind 0x{:04x}: {} trailing bytes after frame body",
+                self.kind,
                 input.len()
             )));
         }
@@ -74,6 +82,23 @@ impl Frame {
     /// Total accounted size (header + payload).
     pub fn wire_len(&self) -> usize {
         Self::HEADER_LEN + self.payload.len()
+    }
+}
+
+impl Encodable for Frame {
+    fn encode(&self, out: &mut BytesMut) {
+        self.kind.encode(out);
+        out.put_u64_le(self.payload.len() as u64);
+        out.extend_from_slice(&self.payload);
+    }
+
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        let kind = u16::decode(input)?;
+        let payload = Vec::<u8>::decode(input)?;
+        Ok(Self {
+            kind,
+            payload: Bytes::from(payload),
+        })
     }
 }
 
@@ -195,38 +220,7 @@ impl Endpoint {
     /// Returns [`TransportError::Decode`] for an empty batch and
     /// [`TransportError::Disconnected`] if the peer was dropped.
     pub fn send_coalesced(&self, frames: &[Frame]) -> Result<(), TransportError> {
-        if frames.is_empty() {
-            return Err(TransportError::Decode(
-                "cannot coalesce an empty frame batch".into(),
-            ));
-        }
-        let first = &frames[0];
-        let uniform = frames
-            .iter()
-            .all(|f| f.kind == first.kind && f.payload.len() == first.payload.len());
-        let body_len: usize = frames.iter().map(|f| 6 + f.payload.len()).sum();
-        let mut out = BytesMut::with_capacity(5 + body_len);
-        out.put_u32_le(frames.len() as u32);
-        out.put_u8(uniform as u8);
-        if uniform {
-            // Batches of identical protocol rounds share one kind/length
-            // header, so the per-round framing overhead disappears.
-            out.put_u16_le(first.kind);
-            out.put_u32_le(first.payload.len() as u32);
-            for f in frames {
-                out.extend_from_slice(&f.payload);
-            }
-        } else {
-            for f in frames {
-                out.put_u16_le(f.kind);
-                out.put_u32_le(f.payload.len() as u32);
-                out.extend_from_slice(&f.payload);
-            }
-        }
-        self.send(Frame {
-            kind: KIND_COALESCED,
-            payload: out.freeze(),
-        })
+        self.send(coalesce_frames(frames)?)
     }
 
     /// Receives the next frame, honoring the configured timeout.
@@ -295,6 +289,51 @@ impl Endpoint {
     pub fn reset_stats(&self) {
         *self.stats.stats.lock() = TrafficStats::default();
     }
+}
+
+/// Packs a batch of frames into one [`KIND_COALESCED`] wire frame, the
+/// inverse of the unpacking [`Endpoint::recv`] performs.
+///
+/// Exposed so the transcript recorder can account for coalesced batches
+/// with the exact bytes [`Endpoint::send_coalesced`] would put on the
+/// wire.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Decode`] for an empty batch.
+pub fn coalesce_frames(frames: &[Frame]) -> Result<Frame, TransportError> {
+    if frames.is_empty() {
+        return Err(TransportError::Decode(
+            "cannot coalesce an empty frame batch".into(),
+        ));
+    }
+    let first = &frames[0];
+    let uniform = frames
+        .iter()
+        .all(|f| f.kind == first.kind && f.payload.len() == first.payload.len());
+    let body_len: usize = frames.iter().map(|f| 6 + f.payload.len()).sum();
+    let mut out = BytesMut::with_capacity(5 + body_len);
+    out.put_u32_le(frames.len() as u32);
+    out.put_u8(uniform as u8);
+    if uniform {
+        // Batches of identical protocol rounds share one kind/length
+        // header, so the per-round framing overhead disappears.
+        out.put_u16_le(first.kind);
+        out.put_u32_le(first.payload.len() as u32);
+        for f in frames {
+            out.extend_from_slice(&f.payload);
+        }
+    } else {
+        for f in frames {
+            out.put_u16_le(f.kind);
+            out.put_u32_le(f.payload.len() as u32);
+            out.extend_from_slice(&f.payload);
+        }
+    }
+    Ok(Frame {
+        kind: KIND_COALESCED,
+        payload: out.freeze(),
+    })
 }
 
 /// Splits a coalesced payload back into its sub-frames.
@@ -449,9 +488,33 @@ mod tests {
             err,
             TransportError::UnexpectedFrame {
                 expected: 8,
-                got: 7
+                got: 7,
+                payload_len: 8
             }
         );
+    }
+
+    #[test]
+    fn decode_errors_carry_the_frame_kind() {
+        let frame = Frame::encode(0x0400, &(1u64, 2u64));
+        let err = frame.decode_as::<u64>(0x0400).unwrap_err();
+        match err {
+            TransportError::Decode(msg) => {
+                assert!(msg.contains("0x0400"), "kind missing from: {msg}")
+            }
+            other => panic!("expected Decode, got {other:?}"),
+        }
+        let frame = Frame {
+            kind: 0x0400,
+            payload: Bytes::copy_from_slice(&[1, 2, 3]),
+        };
+        let err = frame.decode_as::<u64>(0x0400).unwrap_err();
+        match err {
+            TransportError::Decode(msg) => {
+                assert!(msg.contains("0x0400"), "kind missing from: {msg}")
+            }
+            other => panic!("expected Decode, got {other:?}"),
+        }
     }
 
     #[test]

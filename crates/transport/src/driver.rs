@@ -1,0 +1,527 @@
+//! Drivers and transcripts: everything that moves engine frames.
+//!
+//! [`Driver`] pumps one [`ProtocolEngine`] over any [`Endpoint`] backend
+//! (in-memory duplex, coalesced lanes, TCP) — the blocking protocol entry
+//! points across the workspace are thin wrappers over it.
+//! [`run_engine_pair`] pumps two engines against each other with no
+//! threads and no transport at all, deterministically, with deadlock
+//! detection. [`Transcript`] records a session's logical frames and
+//! [`replay`] re-drives an engine from the recording, asserting it emits
+//! byte-identical output.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::channel::{Endpoint, Frame};
+use crate::engine::{Outgoing, ProtocolEngine};
+use crate::error::{ProtocolError, TransportError};
+use crate::wire::{decode_seq, encode_seq, Encodable};
+
+/// Which way a transcript frame traveled, from the recorded party's
+/// perspective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Emitted by the recorded engine.
+    Sent,
+    /// Delivered to the recorded engine.
+    Received,
+}
+
+/// One transcript step: a direction plus the logical frames that moved.
+///
+/// A sent batch keeps its batch boundary (`coalesced = true`) so replay
+/// and byte accounting reproduce the exact wire behavior.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranscriptEntry {
+    /// Travel direction relative to the recorded engine.
+    pub direction: Direction,
+    /// Whether the frames were coalesced into one wire frame.
+    pub coalesced: bool,
+    /// The logical frames, in order.
+    pub frames: Vec<Frame>,
+}
+
+impl TranscriptEntry {
+    /// Bytes this step put on the wire.
+    pub fn wire_len(&self) -> usize {
+        if self.coalesced {
+            Outgoing::Batch(self.frames.clone()).wire_len()
+        } else {
+            self.frames.iter().map(Frame::wire_len).sum()
+        }
+    }
+}
+
+impl Encodable for TranscriptEntry {
+    fn encode(&self, out: &mut BytesMut) {
+        let dir: u8 = match self.direction {
+            Direction::Sent => 0,
+            Direction::Received => 1,
+        };
+        dir.encode(out);
+        self.coalesced.encode(out);
+        encode_seq(&self.frames, out);
+    }
+
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        let direction = match u8::decode(input)? {
+            0 => Direction::Sent,
+            1 => Direction::Received,
+            other => {
+                return Err(TransportError::Decode(format!(
+                    "unknown transcript direction tag {other}"
+                )))
+            }
+        };
+        let coalesced = bool::decode(input)?;
+        let frames = decode_seq(input)?;
+        Ok(Self {
+            direction,
+            coalesced,
+            frames,
+        })
+    }
+}
+
+/// A recorded protocol session: every logical frame one party sent or
+/// received, in order, with batch boundaries preserved.
+///
+/// Transcripts serialize to bytes (they implement [`Encodable`]) so a
+/// captured session can be stored and re-driven later with [`replay`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Transcript {
+    /// The recorded steps, in session order.
+    pub entries: Vec<TranscriptEntry>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&mut self, direction: Direction, out: &Outgoing) {
+        let (coalesced, frames) = match out {
+            Outgoing::Frame(f) => (false, vec![f.clone()]),
+            Outgoing::Batch(fs) => (true, fs.clone()),
+        };
+        self.entries.push(TranscriptEntry {
+            direction,
+            coalesced,
+            frames,
+        });
+    }
+
+    fn record_received(&mut self, frame: &Frame) {
+        self.entries.push(TranscriptEntry {
+            direction: Direction::Received,
+            coalesced: false,
+            frames: vec![frame.clone()],
+        });
+    }
+
+    /// Total bytes the session moved on the wire, both directions,
+    /// accounting coalesced batches at their true (shared-header) size.
+    pub fn total_wire_bytes(&self) -> usize {
+        self.entries.iter().map(TranscriptEntry::wire_len).sum()
+    }
+
+    /// Number of logical frames recorded, both directions.
+    pub fn total_frames(&self) -> usize {
+        self.entries.iter().map(|e| e.frames.len()).sum()
+    }
+
+    /// Serializes the transcript.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = BytesMut::new();
+        self.encode(&mut out);
+        out.to_vec()
+    }
+
+    /// Deserializes a transcript previously captured with
+    /// [`Transcript::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Decode`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TransportError> {
+        let mut input = Bytes::copy_from_slice(bytes);
+        let t = Self::decode(&mut input)?;
+        if !input.is_empty() {
+            return Err(TransportError::Decode(format!(
+                "{} trailing bytes after transcript",
+                input.len()
+            )));
+        }
+        Ok(t)
+    }
+}
+
+impl Encodable for Transcript {
+    fn encode(&self, out: &mut BytesMut) {
+        encode_seq(&self.entries, out);
+    }
+
+    fn decode(input: &mut Bytes) -> Result<Self, TransportError> {
+        Ok(Self {
+            entries: decode_seq(input)?,
+        })
+    }
+}
+
+/// Pumps a [`ProtocolEngine`] over an [`Endpoint`] until the role
+/// completes: outputs are transmitted (batches coalesced), and the
+/// endpoint is polled for input whenever the engine stalls. Transport
+/// failures are injected into the engine so the role surfaces the same
+/// typed error its blocking counterpart would.
+///
+/// One driver serves one session; enable recording before driving to
+/// capture a [`Transcript`].
+#[derive(Debug, Default)]
+pub struct Driver {
+    transcript: Option<Transcript>,
+}
+
+impl Driver {
+    /// A driver with recording disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables transcript recording for the next [`drive`](Self::drive).
+    #[must_use]
+    pub fn with_recording(mut self) -> Self {
+        self.transcript = Some(Transcript::new());
+        self
+    }
+
+    /// Takes the recorded transcript, if recording was enabled.
+    pub fn take_transcript(&mut self) -> Option<Transcript> {
+        self.transcript.take()
+    }
+
+    /// Drives `engine` over `ep` to completion.
+    ///
+    /// # Errors
+    ///
+    /// The role's own error on protocol failure; transport failures are
+    /// reported through the role (injected into its pending receive) so
+    /// the error type and variant match the blocking code path exactly.
+    pub fn drive<T, E>(
+        &mut self,
+        ep: &Endpoint,
+        engine: &mut ProtocolEngine<'_, T, E>,
+    ) -> Result<T, E>
+    where
+        E: From<TransportError>,
+    {
+        loop {
+            while let Some(out) = engine.poll_output() {
+                if let Some(t) = &mut self.transcript {
+                    t.record(Direction::Sent, &out);
+                }
+                let sent = match &out {
+                    Outgoing::Frame(f) => ep.send(f.clone()),
+                    Outgoing::Batch(fs) => ep.send_coalesced(fs),
+                };
+                if let Err(e) = sent {
+                    engine.inject_failure(e.clone());
+                    return match engine.take_result() {
+                        Some(r) => r,
+                        None => Err(E::from(e)),
+                    };
+                }
+            }
+            if engine.is_done() {
+                return engine.take_result().expect("engine reported done");
+            }
+            match ep.recv() {
+                Ok(frame) => {
+                    if let Some(t) = &mut self.transcript {
+                        t.record_received(&frame);
+                    }
+                    engine.handle_input(frame);
+                }
+                Err(e) => {
+                    engine.inject_failure(e.clone());
+                    return match engine.take_result() {
+                        Some(r) => r,
+                        None => Err(E::from(e)),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Drives an engine over an endpoint with a throwaway [`Driver`] — the
+/// one-liner the blocking protocol wrappers use.
+///
+/// # Errors
+///
+/// See [`Driver::drive`].
+pub fn drive_blocking<T, E>(ep: &Endpoint, engine: &mut ProtocolEngine<'_, T, E>) -> Result<T, E>
+where
+    E: From<TransportError>,
+{
+    Driver::new().drive(ep, engine)
+}
+
+/// Pumps two engines directly against each other — no threads, no
+/// transport, fully deterministic. Batched outputs are unpacked into
+/// logical frames for the peer, mirroring what
+/// [`Endpoint::recv`](crate::Endpoint::recv) does on a real connection.
+///
+/// Returns both role results once both engines complete.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] if both engines stall before completing
+/// (a protocol deadlock, which on a real transport would be a timeout).
+/// Role-level failures are reported inside the returned `Result`s, not
+/// here, so callers can assert on exact error variants.
+#[allow(clippy::type_complexity)]
+pub fn run_engine_pair<TA, EA, TB, EB>(
+    a: &mut ProtocolEngine<'_, TA, EA>,
+    b: &mut ProtocolEngine<'_, TB, EB>,
+) -> Result<(Result<TA, EA>, Result<TB, EB>), ProtocolError> {
+    loop {
+        let mut progressed = false;
+        while let Some(out) = a.poll_output() {
+            progressed = true;
+            for f in out.frames() {
+                b.handle_input(f.clone());
+            }
+        }
+        while let Some(out) = b.poll_output() {
+            progressed = true;
+            for f in out.frames() {
+                a.handle_input(f.clone());
+            }
+        }
+        if a.is_done() && b.is_done() {
+            let ra = a.take_result().expect("engine a done");
+            let rb = b.take_result().expect("engine b done");
+            return Ok((ra, rb));
+        }
+        if !progressed {
+            // One side finished (or wedged) while the other still waits:
+            // surface the stall as the timeout a real transport would hit.
+            if !a.is_done() {
+                a.inject_failure(TransportError::Timeout);
+            }
+            if !b.is_done() {
+                b.inject_failure(TransportError::Timeout);
+            }
+            if !(a.is_done() && b.is_done()) {
+                return Err(ProtocolError::violation(
+                    "engine pair deadlocked: both engines idle before completion",
+                ));
+            }
+        }
+    }
+}
+
+/// Re-drives `engine` from a recorded session: `Received` frames are fed
+/// in order, and every output the engine produces is checked
+/// byte-for-byte against the recorded `Sent` frames.
+///
+/// With deterministic role logic (same inputs, same RNG seed) a replay
+/// reproduces the original session exactly — the recorded party's result
+/// is recomputed without its peer being present.
+///
+/// # Errors
+///
+/// A [`ProtocolError`] if the engine diverges from the recording (wrong
+/// frame, missing output, early/late completion) or if the role itself
+/// fails.
+pub fn replay<T, E>(
+    transcript: &Transcript,
+    engine: &mut ProtocolEngine<'_, T, E>,
+) -> Result<T, ProtocolError>
+where
+    E: Into<ProtocolError>,
+{
+    let mut pending: Vec<Frame> = Vec::new();
+    let next_out = |eng: &mut ProtocolEngine<'_, T, E>, pending: &mut Vec<Frame>| {
+        if pending.is_empty() {
+            if let Some(out) = eng.poll_output() {
+                pending.extend(out.frames().iter().cloned());
+            }
+        }
+        if pending.is_empty() {
+            None
+        } else {
+            Some(pending.remove(0))
+        }
+    };
+    for (step, entry) in transcript.entries.iter().enumerate() {
+        match entry.direction {
+            Direction::Received => {
+                for f in &entry.frames {
+                    engine.handle_input(f.clone());
+                }
+            }
+            Direction::Sent => {
+                for want in &entry.frames {
+                    match next_out(engine, &mut pending) {
+                        Some(got) if &got == want => {}
+                        Some(got) => {
+                            return Err(ProtocolError::violation(format!(
+                                "replay diverged at step {step}: engine emitted kind \
+                                 0x{:04x} ({} bytes), transcript has kind 0x{:04x} ({} bytes)",
+                                got.kind,
+                                got.payload.len(),
+                                want.kind,
+                                want.payload.len()
+                            ))
+                            .with_frame_kind(want.kind));
+                        }
+                        None => {
+                            return Err(ProtocolError::violation(format!(
+                                "replay diverged at step {step}: engine produced no output, \
+                                 transcript expects kind 0x{:04x}",
+                                want.kind
+                            ))
+                            .with_frame_kind(want.kind));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(extra) = next_out(engine, &mut pending) {
+        return Err(ProtocolError::violation(format!(
+            "replay diverged after the transcript: engine emitted extra frame kind 0x{:04x}",
+            extra.kind
+        ))
+        .with_frame_kind(extra.kind));
+    }
+    match engine.take_result() {
+        Some(Ok(v)) => Ok(v),
+        Some(Err(e)) => Err(e.into()),
+        None => Err(ProtocolError::violation(
+            "transcript exhausted but the engine is not done",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::duplex;
+    use crate::engine::FrameIo;
+
+    async fn pinger(io: FrameIo) -> Result<u64, TransportError> {
+        io.send_msg(1, &7u64)?;
+        io.recv_msg::<u64>(2).await
+    }
+
+    async fn ponger(io: FrameIo) -> Result<u64, TransportError> {
+        let v = io.recv_msg::<u64>(1).await?;
+        io.send_msg(2, &(v * 3))?;
+        Ok(v)
+    }
+
+    #[test]
+    fn driver_pumps_over_duplex() {
+        let (ea, eb) = duplex();
+        let (ra, rb) = crate::run_pair(
+            move |ep| {
+                let mut eng = ProtocolEngine::new(pinger);
+                drive_blocking(&ep, &mut eng)
+            },
+            move |ep| {
+                let mut eng = ProtocolEngine::new(ponger);
+                drive_blocking(&ep, &mut eng)
+            },
+        );
+        let _ = (ea, eb);
+        assert_eq!(ra, Ok(21));
+        assert_eq!(rb, Ok(7));
+    }
+
+    #[test]
+    fn engine_pair_runs_without_transport() {
+        let mut a = ProtocolEngine::new(pinger);
+        let mut b = ProtocolEngine::new(ponger);
+        let (ra, rb) = run_engine_pair(&mut a, &mut b).expect("no deadlock");
+        assert_eq!(ra, Ok(21));
+        assert_eq!(rb, Ok(7));
+    }
+
+    #[test]
+    fn engine_pair_detects_deadlock() {
+        // Both roles immediately wait: nobody ever sends.
+        let mut a: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io| async move { io.recv_msg::<u64>(1).await });
+        let mut b: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io| async move { io.recv_msg::<u64>(1).await });
+        let (ra, rb) = run_engine_pair(&mut a, &mut b).expect("stall resolves via injection");
+        assert_eq!(ra, Err(TransportError::Timeout));
+        assert_eq!(rb, Err(TransportError::Timeout));
+    }
+
+    #[test]
+    fn transcript_records_and_replays() {
+        let (ep_a, ep_b) = duplex();
+        let handle = std::thread::spawn(move || {
+            let mut eng = ProtocolEngine::new(ponger);
+            drive_blocking(&ep_b, &mut eng)
+        });
+        let mut driver = Driver::new().with_recording();
+        let mut eng = ProtocolEngine::new(pinger);
+        let result = driver.drive(&ep_a, &mut eng).expect("session");
+        assert_eq!(result, 21);
+        handle.join().expect("peer").expect("peer result");
+
+        let transcript = driver.take_transcript().expect("recording enabled");
+        assert_eq!(transcript.total_frames(), 2);
+        assert!(transcript.total_wire_bytes() > 0);
+
+        // Serialize, deserialize, replay against a fresh engine.
+        let bytes = transcript.to_bytes();
+        let restored = Transcript::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored, transcript);
+        let mut fresh = ProtocolEngine::new(pinger);
+        let replayed = replay(&restored, &mut fresh).expect("replay");
+        assert_eq!(replayed, 21);
+    }
+
+    #[test]
+    fn replay_detects_divergence() {
+        let mut driver_transcript = Transcript::new();
+        driver_transcript.entries.push(TranscriptEntry {
+            direction: Direction::Sent,
+            coalesced: false,
+            frames: vec![Frame::encode(99, &0u64)],
+        });
+        let mut eng = ProtocolEngine::new(pinger);
+        let err = replay(&driver_transcript, &mut eng).unwrap_err();
+        assert_eq!(err.frame_kind(), Some(99));
+    }
+
+    #[test]
+    fn driver_injects_transport_failures() {
+        let (ep_a, ep_b) = duplex();
+        drop(ep_b);
+        let mut eng = ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
+        let err = drive_blocking(&ep_a, &mut eng).unwrap_err();
+        assert_eq!(err, TransportError::Disconnected);
+    }
+
+    #[test]
+    fn transcript_accounts_coalesced_batches_at_wire_size() {
+        let frames: Vec<Frame> = (0..16u64).map(|i| Frame::encode(1, &i)).collect();
+        let batch = TranscriptEntry {
+            direction: Direction::Sent,
+            coalesced: true,
+            frames: frames.clone(),
+        };
+        let singles = TranscriptEntry {
+            direction: Direction::Sent,
+            coalesced: false,
+            frames,
+        };
+        assert!(batch.wire_len() < singles.wire_len());
+    }
+}

@@ -5,9 +5,13 @@
 //! codec, and a scoped-thread party runner.
 //!
 //! Every protocol in this workspace (`ppcs-ot`, `ppcs-ompe`, `ppcs-core`)
-//! is written against [`Endpoint`], so the same code path that runs
-//! in-process here would run over a socket in a deployment — and the
-//! traffic counters report exactly what would cross the network.
+//! is written sans-I/O against [`FrameIo`] — the role logic is a pure
+//! state machine ([`ProtocolEngine`]) that never sees a socket — and the
+//! [`Driver`] pumps any engine over any [`Endpoint`] backend: in-memory
+//! duplex, coalesced lanes, or TCP. The traffic counters report exactly
+//! what would cross the network, and any session can be captured to a
+//! byte-serializable [`Transcript`] and re-driven deterministically with
+//! [`replay`].
 //!
 //! ## Example
 //!
@@ -29,11 +33,19 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod driver;
+mod engine;
 mod error;
 mod tcp;
 mod wire;
 
-pub use channel::{duplex, duplex_pool, run_pair, Endpoint, Frame, TrafficStats, KIND_COALESCED};
-pub use error::TransportError;
+pub use channel::{
+    coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, TrafficStats, KIND_COALESCED,
+};
+pub use driver::{
+    drive_blocking, replay, run_engine_pair, Direction, Driver, Transcript, TranscriptEntry,
+};
+pub use engine::{Engine, FrameIo, Outgoing, ProtocolEngine, RecvFut};
+pub use error::{ErrorLayer, ProtocolError, TransportError};
 pub use tcp::{tcp_accept, tcp_connect};
 pub use wire::{decode_seq, encode_seq, Encodable};

@@ -22,6 +22,11 @@ const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 pub(crate) struct TcpConnection {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The read timeout last applied to the socket, so the per-receive
+    /// [`set_read_timeout`](Self::set_read_timeout) only pays a syscall
+    /// when [`Endpoint::set_recv_timeout`](crate::Endpoint::set_recv_timeout)
+    /// actually changed the deadline. `None` = never applied.
+    applied_read_timeout: Option<Option<Duration>>,
 }
 
 impl TcpConnection {
@@ -29,7 +34,11 @@ impl TcpConnection {
         stream.set_nodelay(true).map_err(io_err)?;
         let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
         let writer = BufWriter::new(stream);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            applied_read_timeout: None,
+        })
     }
 
     pub(crate) fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
@@ -69,14 +78,28 @@ impl TcpConnection {
         })
     }
 
+    /// Applies the endpoint's receive deadline to the socket.
+    ///
+    /// `std` rejects a zero read timeout, so `Some(0)` is clamped to the
+    /// smallest representable deadline instead of erroring — callers get
+    /// "time out as fast as the OS allows" semantics.
     pub(crate) fn set_read_timeout(
         &mut self,
         timeout: Option<Duration>,
     ) -> Result<(), TransportError> {
+        let effective = match timeout {
+            Some(d) if d.is_zero() => Some(Duration::from_nanos(1)),
+            other => other,
+        };
+        if self.applied_read_timeout == Some(effective) {
+            return Ok(());
+        }
         self.reader
             .get_ref()
-            .set_read_timeout(timeout)
-            .map_err(io_err)
+            .set_read_timeout(effective)
+            .map_err(io_err)?;
+        self.applied_read_timeout = Some(effective);
+        Ok(())
     }
 }
 
@@ -87,7 +110,7 @@ fn io_err(e: std::io::Error) -> TransportError {
         | std::io::ErrorKind::ConnectionReset
         | std::io::ErrorKind::BrokenPipe
         | std::io::ErrorKind::ConnectionAborted => TransportError::Disconnected,
-        _ => TransportError::Decode(format!("socket error: {e}")),
+        _ => TransportError::Io(e.to_string()),
     }
 }
 
@@ -95,7 +118,7 @@ fn io_err(e: std::io::Error) -> TransportError {
 ///
 /// # Errors
 ///
-/// [`TransportError::Decode`] wrapping the underlying socket error.
+/// [`TransportError::Io`] wrapping the underlying socket error.
 pub fn tcp_connect<A: ToSocketAddrs>(addr: A) -> Result<crate::Endpoint, TransportError> {
     let stream = TcpStream::connect(addr).map_err(io_err)?;
     crate::Endpoint::from_tcp(stream)
@@ -105,7 +128,7 @@ pub fn tcp_connect<A: ToSocketAddrs>(addr: A) -> Result<crate::Endpoint, Transpo
 ///
 /// # Errors
 ///
-/// [`TransportError::Decode`] wrapping the underlying socket error.
+/// [`TransportError::Io`] wrapping the underlying socket error.
 pub fn tcp_accept(listener: &TcpListener) -> Result<crate::Endpoint, TransportError> {
     let (stream, _peer) = listener.accept().map_err(io_err)?;
     crate::Endpoint::from_tcp(stream)
@@ -155,6 +178,47 @@ mod tests {
         let (mut server, _client) = tcp_pair();
         server.set_recv_timeout(Some(Duration::from_millis(20)));
         assert_eq!(server.recv().unwrap_err(), TransportError::Timeout);
+    }
+
+    #[test]
+    fn tcp_timeout_can_be_retuned_between_receives() {
+        let (mut server, client) = tcp_pair();
+        // A short deadline times out, then a longer one set on the same
+        // connection lets a late frame through — the cached timeout must
+        // be re-applied when the endpoint deadline changes.
+        server.set_recv_timeout(Some(Duration::from_millis(10)));
+        assert_eq!(server.recv().unwrap_err(), TransportError::Timeout);
+        server.set_recv_timeout(Some(Duration::from_secs(5)));
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            client.send_msg(1, &99u64).expect("send");
+            client
+        });
+        assert_eq!(server.recv_msg::<u64>(1).expect("recv"), 99);
+        drop(sender.join().expect("sender thread"));
+    }
+
+    #[test]
+    fn tcp_zero_timeout_is_clamped_not_rejected() {
+        let (mut server, _client) = tcp_pair();
+        server.set_recv_timeout(Some(Duration::ZERO));
+        // std's set_read_timeout errors on a zero duration; the clamp
+        // turns it into an immediate Timeout instead of an Io error.
+        assert_eq!(server.recv().unwrap_err(), TransportError::Timeout);
+    }
+
+    #[test]
+    fn generic_socket_errors_map_to_io_variant() {
+        let err = io_err(std::io::Error::other("weird NIC failure"));
+        assert!(matches!(err, TransportError::Io(_)), "got {err:?}");
+        assert_eq!(
+            io_err(std::io::Error::from(std::io::ErrorKind::TimedOut)),
+            TransportError::Timeout
+        );
+        assert_eq!(
+            io_err(std::io::Error::from(std::io::ErrorKind::ConnectionReset)),
+            TransportError::Disconnected
+        );
     }
 
     #[test]

@@ -78,4 +78,64 @@ proptest! {
         let frame = Frame { kind: 1, payload: out.freeze() };
         prop_assert!(frame.decode_as::<u64>(1).is_err());
     }
+
+    #[test]
+    fn seq_roundtrips_and_every_truncation_errors(
+        items in prop::collection::vec(any::<u64>(), 0..40),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        // Full encoding round-trips exactly…
+        let mut out = BytesMut::new();
+        encode_seq(&items, &mut out);
+        let full = out.freeze();
+        let mut input = full.clone();
+        let decoded: Vec<u64> = decode_seq(&mut input).expect("full decode");
+        prop_assert_eq!(&decoded, &items);
+        prop_assert!(input.is_empty(), "decode_seq must consume everything");
+
+        // …and every strict prefix is rejected, never panics, and never
+        // fabricates elements past the truncation point.
+        if full.len() > 1 {
+            let cut_at = 1 + cut.index(full.len() - 1); // 1..full.len()
+            let mut truncated = full.slice(0..cut_at);
+            prop_assert!(
+                decode_seq::<u64>(&mut truncated).is_err(),
+                "truncated at {cut_at}/{} must error",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn seq_rejects_adversarial_length_prefix(
+        excess in 1u64..u64::MAX / 2,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A hostile count prefix larger than the bytes that follow must
+        // be rejected up front, not drive an unbounded allocation.
+        let mut out = BytesMut::new();
+        let available = (body.len() / 8) as u64;
+        let claimed = available + excess;
+        out.extend_from_slice(&claimed.to_le_bytes());
+        out.extend_from_slice(&body);
+        let mut input = out.freeze();
+        prop_assert!(decode_seq::<u64>(&mut input).is_err());
+    }
+
+    #[test]
+    fn frame_encodable_roundtrip(kind in any::<u16>(), payload in prop::collection::vec(any::<u8>(), 0..100)) {
+        let frame = Frame { kind, payload: Bytes::from(payload) };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn frame_decode_never_panics_on_truncation(kind in any::<u16>(), payload in prop::collection::vec(any::<u8>(), 0..50), cut in any::<prop::sample::Index>()) {
+        let frame = Frame { kind, payload: Bytes::from(payload) };
+        let mut out = BytesMut::new();
+        frame.encode(&mut out);
+        let full = out.freeze();
+        let cut_at = cut.index(full.len());
+        let mut truncated = full.slice(0..cut_at);
+        prop_assert!(Frame::decode(&mut truncated).is_err());
+    }
 }

@@ -1,0 +1,371 @@
+//! End-to-end tests for the sans-I/O protocol engines: every protocol
+//! (base OT, k/N OT, OMPE batch, linear/poly/RBF classification,
+//! similarity) driven through [`Driver`] over both in-memory duplex and
+//! real TCP loopback, asserting outputs identical to the blocking entry
+//! points, plus transcript record/replay of a full classification
+//! session.
+
+use ppcs_core::{
+    similarity_request, similarity_request_io, similarity_respond, similarity_respond_io, Client,
+    ProtocolConfig, SimilarityConfig, Trainer,
+};
+use ppcs_crypto::DhGroup;
+use ppcs_math::{DenseAffine, F64Algebra};
+use ppcs_ompe::{
+    ompe_receive_batch, ompe_receive_batch_io, ompe_send_batch, ompe_send_batch_io, OmpeParams,
+};
+use ppcs_ot::{
+    ot12_receive, ot12_receive_io, ot12_send, ot12_send_io, ot_begin_receive_io, ot_begin_send_io,
+    ot_receive_io, ot_send_io, IknpOt, NaorPinkasOt, ObliviousTransfer, TrustedSimOt,
+};
+use ppcs_svm::{Kernel, Label, SvmModel};
+use ppcs_tests::{blob_dataset, rotated_model};
+use ppcs_transport::{
+    drive_blocking, replay, run_pair, tcp_accept, tcp_connect, Driver, Endpoint, ProtocolEngine,
+    Transcript,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static SIM: TrustedSimOt = TrustedSimOt;
+
+/// Runs two closures against the two ends of a real TCP loopback
+/// connection — the socket analogue of [`run_pair`].
+fn tcp_pair<FA, FB, RA, RB>(a: FA, b: FB) -> (RA, RB)
+where
+    FA: FnOnce(Endpoint) -> RA + Send,
+    FB: FnOnce(Endpoint) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(move || a(tcp_accept(&listener).expect("accept")));
+        let hb = scope.spawn(move || b(tcp_connect(addr).expect("connect")));
+        (ha.join().expect("side a"), hb.join().expect("side b"))
+    })
+}
+
+/// Runs two closures over an in-memory duplex AND over TCP loopback,
+/// asserting both transports produce the same pair of results.
+fn both_transports<FA, FB, RA, RB>(a: FA, b: FB) -> (RA, RB)
+where
+    FA: Fn(Endpoint) -> RA + Send + Sync,
+    FB: Fn(Endpoint) -> RB + Send + Sync,
+    RA: Send + PartialEq + std::fmt::Debug,
+    RB: Send + PartialEq + std::fmt::Debug,
+{
+    let in_memory = run_pair(&a, &b);
+    let over_tcp = tcp_pair(&a, &b);
+    assert_eq!(in_memory, over_tcp, "in-memory and TCP results diverge");
+    in_memory
+}
+
+#[test]
+fn base_ot_engine_over_driver_matches_blocking() {
+    let group = DhGroup::modp_768();
+    let (m0, m1) = (b"message zero".to_vec(), b"message one!".to_vec());
+
+    let blocking = {
+        let (m0, m1) = (m0.clone(), m1.clone());
+        run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(100);
+                ot12_send(group, &ep, &mut rng, &m0, &m1, 7)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(101);
+                ot12_receive(group, &ep, &mut rng, true, 7).expect("receive")
+            },
+        )
+    };
+    blocking.0.expect("send");
+    assert_eq!(blocking.1, m1);
+
+    let (sent, got) = both_transports(
+        |ep| {
+            let (m0, m1) = (&m0, &m1);
+            let mut rng = StdRng::seed_from_u64(100);
+            let mut eng = ProtocolEngine::new(|io| async move {
+                ot12_send_io(group, &io, &mut rng, m0, m1, 7).await
+            });
+            Driver::new().drive(&ep, &mut eng)
+        },
+        |ep| {
+            let mut rng = StdRng::seed_from_u64(101);
+            let mut eng = ProtocolEngine::new(|io| async move {
+                ot12_receive_io(group, &io, &mut rng, true, 7).await
+            });
+            Driver::new().drive(&ep, &mut eng)
+        },
+    );
+    sent.expect("engine send");
+    assert_eq!(got.expect("engine receive"), blocking.1);
+}
+
+#[test]
+fn kn_ot_engines_over_driver_match_blocking() {
+    let messages: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 12]).collect();
+    let indices = [1usize, 4];
+    let engines: [&'static dyn ObliviousTransfer; 3] = [
+        &TrustedSimOt,
+        {
+            use std::sync::OnceLock;
+            static NP: OnceLock<NaorPinkasOt> = OnceLock::new();
+            NP.get_or_init(NaorPinkasOt::fast_insecure)
+        },
+        {
+            use std::sync::OnceLock;
+            static IK: OnceLock<IknpOt> = OnceLock::new();
+            IK.get_or_init(IknpOt::fast_insecure)
+        },
+    ];
+    for ot in engines {
+        let sel = ot.select();
+        let msgs = messages.clone();
+        let blocking = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(7);
+                ot.send(&ep, &mut rng, &msgs, indices.len())
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(8);
+                ot.receive(&ep, &mut rng, 6, &indices).expect("receive")
+            },
+        );
+        blocking.0.expect("blocking send");
+        assert_eq!(blocking.1[0], messages[1], "{}", ot.name());
+
+        let (sent, got) = both_transports(
+            |ep| {
+                let messages = &messages;
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut eng = ProtocolEngine::new(|io| async move {
+                    let state = ot_begin_send_io(sel, &io, &mut rng).await?;
+                    ot_send_io(sel, &state, &io, &mut rng, messages, indices.len()).await
+                });
+                Driver::new().drive(&ep, &mut eng)
+            },
+            |ep| {
+                let mut rng = StdRng::seed_from_u64(8);
+                let mut eng = ProtocolEngine::new(|io| async move {
+                    let state = ot_begin_receive_io(sel, &io).await?;
+                    ot_receive_io(sel, &state, &io, &mut rng, 6, &indices).await
+                });
+                Driver::new().drive(&ep, &mut eng)
+            },
+        );
+        sent.expect("engine send");
+        assert_eq!(got.expect("engine receive"), blocking.1, "{}", ot.name());
+    }
+}
+
+#[test]
+fn ompe_batch_engines_over_driver_match_blocking() {
+    let alg = F64Algebra::new();
+    let params = OmpeParams::new(1, 3, 2).expect("params");
+    let secrets: Vec<DenseAffine<F64Algebra>> = vec![
+        DenseAffine::new(vec![2.0, -3.0], 0.5),
+        DenseAffine::new(vec![0.25, 1.5], -1.0),
+        DenseAffine::new(vec![-4.0, 0.0], 2.0),
+    ];
+    let alphas: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![-0.5, 0.25], vec![3.0, -1.0]];
+
+    let blocking = {
+        let (secrets, alphas) = (secrets.clone(), alphas.clone());
+        run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(31);
+                ompe_send_batch(&F64Algebra::new(), &ep, &SIM, &mut rng, &secrets, &params)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(32);
+                ompe_receive_batch(&F64Algebra::new(), &ep, &SIM, &mut rng, &alphas, &params)
+                    .expect("receive")
+            },
+        )
+    };
+    blocking.0.expect("blocking send");
+
+    let sel = SIM.select();
+    let (sent, got) = both_transports(
+        |ep| {
+            let (alg, secrets) = (&alg, &secrets);
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut eng = ProtocolEngine::new(|io| async move {
+                ompe_send_batch_io(alg, &io, sel, &mut rng, secrets, &params).await
+            });
+            Driver::new().drive(&ep, &mut eng)
+        },
+        |ep| {
+            let (alg, alphas) = (&alg, &alphas);
+            let mut rng = StdRng::seed_from_u64(32);
+            let mut eng = ProtocolEngine::new(|io| async move {
+                ompe_receive_batch_io(alg, &io, sel, &mut rng, alphas, &params).await
+            });
+            Driver::new().drive(&ep, &mut eng)
+        },
+    );
+    sent.expect("engine send");
+    assert_eq!(got.expect("engine receive"), blocking.1);
+}
+
+/// Blocking classification baseline: serve / classify_batch over an
+/// in-memory duplex, exactly as before the engine refactor.
+fn blocking_labels(
+    model: &SvmModel,
+    cfg: ProtocolConfig,
+    samples: &[Vec<f64>],
+    seed: u64,
+) -> Vec<Label> {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = samples.to_vec();
+    let (served, labels) = run_pair(
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trainer.serve(&ep, &SIM, &mut rng).expect("serve")
+        },
+        move |ep| {
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            client
+                .classify_batch(&ep, &SIM, &mut rng, &samples)
+                .expect("classify")
+        },
+    );
+    assert_eq!(served, labels.len());
+    labels
+}
+
+#[test]
+fn classification_engines_over_driver_match_blocking_for_all_kernels() {
+    let cases: [(Kernel, ProtocolConfig); 3] = [
+        (Kernel::Linear, ProtocolConfig::default()),
+        (Kernel::paper_polynomial(4), ProtocolConfig::default()),
+        (
+            Kernel::Rbf { gamma: 0.4 },
+            ProtocolConfig {
+                taylor_order: 4,
+                ..ProtocolConfig::default()
+            },
+        ),
+    ];
+    for (case_idx, (kernel, cfg)) in cases.into_iter().enumerate() {
+        let seed = 200 + 10 * case_idx as u64;
+        let ds = blob_dataset(4, 60, seed);
+        let model = SvmModel::train(&ds, kernel, &Default::default());
+        let samples: Vec<Vec<f64>> = (0..8).map(|i| ds.features(i).to_vec()).collect();
+        let expected = blocking_labels(&model, cfg, &samples, seed);
+
+        let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+        let client = Client::new(F64Algebra::new(), cfg);
+        let sel = SIM.select();
+        let (served, values) = both_transports(
+            |ep| {
+                let mut eng = trainer.serve_engine(sel, seed);
+                Driver::new().drive(&ep, &mut eng)
+            },
+            |ep| {
+                let mut eng = client.classify_engine(sel, seed + 1, &samples);
+                Driver::new().drive(&ep, &mut eng)
+            },
+        );
+        assert_eq!(served.expect("engine serve"), samples.len());
+        let labels: Vec<Label> = values
+            .expect("engine classify")
+            .into_iter()
+            .map(|(label, _)| label)
+            .collect();
+        assert_eq!(labels, expected, "kernel case {case_idx}");
+    }
+}
+
+#[test]
+fn similarity_engines_over_driver_match_blocking() {
+    let cfg = SimilarityConfig::default();
+    let model_a = rotated_model(2, 15.0, 50, Kernel::Linear);
+    let model_b = rotated_model(2, 60.0, 51, Kernel::Linear);
+
+    let expected = {
+        let (ma, mb) = (model_a.clone(), model_b.clone());
+        let (res, t) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(60);
+                similarity_respond(&F64Algebra::new(), &ep, &SIM, &mut rng, &ma, &cfg)
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(61);
+                similarity_request(&F64Algebra::new(), &ep, &SIM, &mut rng, &mb, &cfg)
+                    .expect("request")
+            },
+        );
+        res.expect("respond");
+        t
+    };
+
+    let sel = SIM.select();
+    let (res, t) = both_transports(
+        |ep| {
+            let model_a = &model_a;
+            let mut rng = StdRng::seed_from_u64(60);
+            let mut eng = ProtocolEngine::new(|io| async move {
+                similarity_respond_io(&F64Algebra::new(), &io, sel, &mut rng, model_a, &cfg).await
+            });
+            Driver::new().drive(&ep, &mut eng)
+        },
+        |ep| {
+            let model_b = &model_b;
+            let mut rng = StdRng::seed_from_u64(61);
+            let mut eng = ProtocolEngine::new(|io| async move {
+                similarity_request_io(&F64Algebra::new(), &io, sel, &mut rng, model_b, &cfg).await
+            });
+            Driver::new().drive(&ep, &mut eng)
+        },
+    );
+    res.expect("engine respond");
+    let got = t.expect("engine request");
+    assert!(
+        (got - expected).abs() < f64::EPSILON,
+        "engine similarity {got} vs blocking {expected}"
+    );
+}
+
+#[test]
+fn recorded_classification_session_replays_to_same_labels() {
+    let cfg = ProtocolConfig::default();
+    let ds = blob_dataset(3, 60, 77);
+    let model = SvmModel::train(&ds, Kernel::Linear, &Default::default());
+    let samples: Vec<Vec<f64>> = (0..10).map(|i| ds.features(i).to_vec()).collect();
+    let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let sel = SIM.select();
+
+    // Live session over a duplex, recording the client's side.
+    let (ep_t, ep_c) = ppcs_transport::duplex();
+    let (served, (values, transcript)) = std::thread::scope(|scope| {
+        let t = scope.spawn(|| {
+            let mut eng = trainer.serve_engine(sel, 88);
+            drive_blocking(&ep_t, &mut eng).expect("serve")
+        });
+        let c = scope.spawn(|| {
+            let mut driver = Driver::new().with_recording();
+            let mut eng = client.classify_engine(sel, 89, &samples);
+            let values = driver.drive(&ep_c, &mut eng).expect("classify");
+            (values, driver.take_transcript().expect("recording enabled"))
+        });
+        (t.join().expect("trainer"), c.join().expect("client"))
+    });
+    assert_eq!(served, samples.len());
+    let live_labels: Vec<Label> = values.iter().map(|(label, _)| *label).collect();
+
+    // Round-trip the transcript through bytes, then re-drive a fresh
+    // client engine from the recording alone — no trainer present.
+    let restored = Transcript::from_bytes(&transcript.to_bytes()).expect("transcript bytes");
+    assert_eq!(restored, transcript);
+    let mut fresh = client.classify_engine(sel, 89, &samples);
+    let replayed = replay(&restored, &mut fresh).expect("replay");
+    let replayed_labels: Vec<Label> = replayed.iter().map(|(label, _)| *label).collect();
+    assert_eq!(replayed_labels, live_labels);
+    assert_eq!(replayed, values);
+}
