@@ -1,0 +1,103 @@
+//! Machine-readable classification bench: runs the private batch
+//! classification protocol with the telemetry registry attached, and
+//! writes a schema-validated `BENCH_classification.json` artifact with
+//! p50/p95 latency, round counts, and per-kind wire-byte totals.
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin bench_classification --release [iters] [out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ppcs_bench::report::{validate_bench_json, BenchArtifact, Overhead};
+use ppcs_bench::train_entry;
+use ppcs_core::{Client, ProtocolConfig, Trainer};
+use ppcs_datasets::spec_by_name;
+use ppcs_math::F64Algebra;
+use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
+use ppcs_svm::SvmModel;
+use ppcs_telemetry::MetricsRegistry;
+use ppcs_transport::{drive_blocking, duplex, Driver};
+
+const SAMPLES: usize = 8;
+
+fn run_sessions(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    iters: u64,
+    metrics: Option<&Arc<MetricsRegistry>>,
+) -> Vec<f64> {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let sel = TrustedSimOt.select();
+    let mut latencies = Vec::with_capacity(iters as usize);
+    for i in 0..iters {
+        let (ep_t, ep_c) = duplex();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| {
+                let mut eng = trainer.serve_engine(sel, 100 + i);
+                drive_blocking(&ep_t, &mut eng).expect("serve")
+            });
+            let mut driver = Driver::new();
+            if let Some(reg) = metrics {
+                driver = driver.with_metrics(reg.clone());
+            }
+            let mut eng = client.classify_engine(sel, 200 + i, samples);
+            driver.drive(&ep_c, &mut eng).expect("classify");
+            t.join().expect("trainer thread");
+        });
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    latencies
+}
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_classification.json".into());
+
+    let spec = spec_by_name("diabetes").expect("catalog has diabetes");
+    let entry = train_entry(&spec);
+    let cfg = ProtocolConfig::functional();
+    let samples: Vec<Vec<f64>> = (0..SAMPLES)
+        .map(|i| entry.test.features(i).to_vec())
+        .collect();
+
+    // Warm-up (allocators, thread pools) before anything is timed.
+    run_sessions(&entry.linear, &samples, cfg, 1, None);
+
+    let reg = MetricsRegistry::new(1, "client");
+    let latencies = run_sessions(&entry.linear, &samples, cfg, iters, Some(&reg));
+    let telemetry_on_ms: f64 = latencies.iter().sum();
+    let off = run_sessions(&entry.linear, &samples, cfg, iters, None);
+    let telemetry_off_ms: f64 = off.iter().sum();
+
+    let artifact = BenchArtifact {
+        bench: "classification".into(),
+        iterations: iters,
+        latency_ms: latencies,
+        session: reg.report(),
+        overhead: Some(Overhead {
+            telemetry_on_ms,
+            telemetry_off_ms,
+        }),
+    };
+    let text = artifact.to_json();
+    validate_bench_json(&text).expect("artifact must pass its own schema validator");
+    std::fs::write(&out, format!("{text}\n")).expect("write artifact");
+
+    println!("{}", artifact.session);
+    println!(
+        "telemetry on {telemetry_on_ms:.1} ms vs off {telemetry_off_ms:.1} ms \
+         over {iters} sessions (ratio {:.3})",
+        artifact.overhead.expect("set above").ratio()
+    );
+    println!("wrote {out}");
+}

@@ -1,0 +1,128 @@
+//! Machine-readable similarity bench: runs the private model-similarity
+//! protocol (three OMPE rounds) with the telemetry registry attached on
+//! the requester, and writes a schema-validated `BENCH_similarity.json`
+//! artifact with p50/p95 latency, round counts, and wire-byte totals.
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin bench_similarity --release [iters] [out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ppcs_bench::report::{validate_bench_json, BenchArtifact, Overhead};
+use ppcs_core::{similarity_request_io, similarity_respond_io, SimilarityConfig};
+use ppcs_math::F64Algebra;
+use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
+use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use ppcs_telemetry::MetricsRegistry;
+use ppcs_transport::{drive_blocking, duplex, Driver, ProtocolEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D linear model whose boundary passes through the origin rotated
+/// by `angle_deg` — guaranteed to intersect the default `[-1, 1]²` box.
+fn train_rotated(angle_deg: f64, seed: u64) -> SvmModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(2);
+    let theta = angle_deg.to_radians();
+    let (c, s) = (theta.cos(), theta.sin());
+    while ds.len() < 160 {
+        let x: Vec<f64> = (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let score = c * x[0] + s * x[1];
+        if score.abs() < 0.1 {
+            continue;
+        }
+        ds.push(x, Label::from_sign(score));
+    }
+    SvmModel::train(
+        &ds,
+        Kernel::Linear,
+        &SmoParams {
+            c: 10.0,
+            ..SmoParams::default()
+        },
+    )
+}
+
+fn run_sessions(
+    model_a: &SvmModel,
+    model_b: &SvmModel,
+    cfg: &SimilarityConfig,
+    iters: u64,
+    metrics: Option<&Arc<MetricsRegistry>>,
+) -> Vec<f64> {
+    let sel = TrustedSimOt.select();
+    let mut latencies = Vec::with_capacity(iters as usize);
+    for i in 0..iters {
+        let (ep_a, ep_b) = duplex();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let a = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(300 + i);
+                let mut eng = ProtocolEngine::new(|io| async move {
+                    similarity_respond_io(&F64Algebra::new(), &io, sel, &mut rng, model_a, cfg)
+                        .await
+                });
+                drive_blocking(&ep_a, &mut eng).expect("respond")
+            });
+            let mut rng = StdRng::seed_from_u64(400 + i);
+            let mut driver = Driver::new();
+            if let Some(reg) = metrics {
+                driver = driver.with_metrics(reg.clone());
+            }
+            let mut eng = ProtocolEngine::new(|io| async move {
+                similarity_request_io(&F64Algebra::new(), &io, sel, &mut rng, model_b, cfg).await
+            });
+            let t = driver.drive(&ep_b, &mut eng).expect("request");
+            assert!(t.is_finite() && t >= 0.0, "similarity must be a real value");
+            a.join().expect("responder thread");
+        });
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    latencies
+}
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_similarity.json".into());
+
+    let model_a = train_rotated(15.0, 4);
+    let model_b = train_rotated(60.0, 5);
+    let cfg = SimilarityConfig::default();
+
+    run_sessions(&model_a, &model_b, &cfg, 1, None);
+
+    let reg = MetricsRegistry::new(2, "requester");
+    let latencies = run_sessions(&model_a, &model_b, &cfg, iters, Some(&reg));
+    let telemetry_on_ms: f64 = latencies.iter().sum();
+    let off = run_sessions(&model_a, &model_b, &cfg, iters, None);
+    let telemetry_off_ms: f64 = off.iter().sum();
+
+    let artifact = BenchArtifact {
+        bench: "similarity".into(),
+        iterations: iters,
+        latency_ms: latencies,
+        session: reg.report(),
+        overhead: Some(Overhead {
+            telemetry_on_ms,
+            telemetry_off_ms,
+        }),
+    };
+    let text = artifact.to_json();
+    validate_bench_json(&text).expect("artifact must pass its own schema validator");
+    std::fs::write(&out, format!("{text}\n")).expect("write artifact");
+
+    println!("{}", artifact.session);
+    println!(
+        "telemetry on {telemetry_on_ms:.1} ms vs off {telemetry_off_ms:.1} ms \
+         over {iters} sessions (ratio {:.3})",
+        artifact.overhead.expect("set above").ratio()
+    );
+    println!("wrote {out}");
+}

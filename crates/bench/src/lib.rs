@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use std::time::Instant;
 
 use ppcs_core::{Client, ProtocolConfig, Trainer};

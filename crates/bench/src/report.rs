@@ -1,0 +1,264 @@
+//! Machine-readable bench artifacts.
+//!
+//! The `bench_classification` / `bench_similarity` binaries emit one
+//! `BENCH_<name>.json` file each, built from a telemetry
+//! [`SessionReport`] plus per-iteration wall-clock latencies. The schema
+//! is versioned (`"ppcs-bench/v1"`) and [`validate_bench_json`] checks
+//! it structurally, so CI can assert the artifacts stay well-formed
+//! without parsing them ad hoc.
+
+use ppcs_telemetry::json::{num, obj, Json};
+use ppcs_telemetry::SessionReport;
+
+/// Schema tag every artifact carries.
+pub const BENCH_SCHEMA: &str = "ppcs-bench/v1";
+
+/// Telemetry-on vs telemetry-off wall-clock comparison for the same
+/// workload, quantifying the cost of the instrumentation itself.
+#[derive(Clone, Copy, Debug)]
+pub struct Overhead {
+    /// Total wall time with a collector installed, milliseconds.
+    pub telemetry_on_ms: f64,
+    /// Total wall time with no collector (spans are no-ops), ms.
+    pub telemetry_off_ms: f64,
+}
+
+impl Overhead {
+    /// `on / off` ratio; 1.02 means 2% overhead.
+    pub fn ratio(&self) -> f64 {
+        if self.telemetry_off_ms <= 0.0 {
+            1.0
+        } else {
+            self.telemetry_on_ms / self.telemetry_off_ms
+        }
+    }
+}
+
+/// One bench run: the workload label, per-iteration latencies, and the
+/// accumulated client-side session report.
+#[derive(Debug)]
+pub struct BenchArtifact {
+    /// Workload name: `"classification"` or `"similarity"`.
+    pub bench: String,
+    /// Number of protocol sessions measured.
+    pub iterations: u64,
+    /// Per-iteration wall time in milliseconds (unsorted).
+    pub latency_ms: Vec<f64>,
+    /// The client/requester registry report accumulated over all
+    /// iterations.
+    pub session: SessionReport,
+    /// Optional on-vs-off overhead measurement.
+    pub overhead: Option<Overhead>,
+}
+
+/// The `q`-quantile of `values` (nearest-rank on a sorted copy).
+pub fn quantile_ms(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+impl BenchArtifact {
+    /// Renders the artifact as a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mean = if self.latency_ms.is_empty() {
+            0.0
+        } else {
+            self.latency_ms.iter().sum::<f64>() / self.latency_ms.len() as f64
+        };
+        let min = self
+            .latency_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.latency_ms.iter().copied().fold(0.0, f64::max);
+        let mut fields = vec![
+            ("schema", Json::String(BENCH_SCHEMA.into())),
+            ("bench", Json::String(self.bench.clone())),
+            ("iterations", num(self.iterations)),
+            (
+                "latency_ms",
+                obj(vec![
+                    ("p50", Json::Number(quantile_ms(&self.latency_ms, 0.50))),
+                    ("p95", Json::Number(quantile_ms(&self.latency_ms, 0.95))),
+                    ("min", Json::Number(if min.is_finite() { min } else { 0.0 })),
+                    ("max", Json::Number(max)),
+                    ("mean", Json::Number(mean)),
+                ]),
+            ),
+            ("rounds", num(self.session.rounds)),
+            (
+                "wire",
+                obj(vec![
+                    ("bytes_sent", num(self.session.bytes_sent())),
+                    ("bytes_received", num(self.session.bytes_received())),
+                    ("frames_sent", num(self.session.frames_sent())),
+                    ("frames_received", num(self.session.frames_received())),
+                ]),
+            ),
+            (
+                "session",
+                Json::parse(&self.session.to_json()).expect("SessionReport emits valid JSON"),
+            ),
+        ];
+        if let Some(o) = &self.overhead {
+            fields.push((
+                "overhead",
+                obj(vec![
+                    ("telemetry_on_ms", Json::Number(o.telemetry_on_ms)),
+                    ("telemetry_off_ms", Json::Number(o.telemetry_off_ms)),
+                    ("ratio", Json::Number(o.ratio())),
+                ]),
+            ));
+        }
+        obj(fields).to_string()
+    }
+}
+
+fn require<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn require_u64(json: &Json, key: &str) -> Result<u64, String> {
+    require(json, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn require_f64(json: &Json, key: &str) -> Result<f64, String> {
+    require(json, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} must be a number"))
+}
+
+/// Structurally validates a `BENCH_*.json` document.
+///
+/// Checks the schema tag, the latency quantile block (present, numeric,
+/// ordered `min ≤ p50 ≤ p95 ≤ max`), the wire-byte block, and that the
+/// embedded `session` object round-trips through
+/// [`SessionReport::from_json`] — which itself enforces the full
+/// per-phase / per-kind report shape.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let json = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = require(&json, "schema")?
+        .as_str()
+        .ok_or("schema tag must be a string")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?}, expected {BENCH_SCHEMA:?}"
+        ));
+    }
+    let bench = require(&json, "bench")?
+        .as_str()
+        .ok_or("bench name must be a string")?;
+    if bench.is_empty() {
+        return Err("bench name must be non-empty".into());
+    }
+    let iterations = require_u64(&json, "iterations")?;
+    if iterations == 0 {
+        return Err("iterations must be >= 1".into());
+    }
+
+    let latency = require(&json, "latency_ms")?;
+    let p50 = require_f64(latency, "p50")?;
+    let p95 = require_f64(latency, "p95")?;
+    let min = require_f64(latency, "min")?;
+    let max = require_f64(latency, "max")?;
+    require_f64(latency, "mean")?;
+    if !(min <= p50 && p50 <= p95 && p95 <= max) {
+        return Err(format!(
+            "latency quantiles out of order: min={min} p50={p50} p95={p95} max={max}"
+        ));
+    }
+
+    require_u64(&json, "rounds")?;
+    let wire = require(&json, "wire")?;
+    let bytes_sent = require_u64(wire, "bytes_sent")?;
+    let bytes_received = require_u64(wire, "bytes_received")?;
+    require_u64(wire, "frames_sent")?;
+    require_u64(wire, "frames_received")?;
+
+    let session = require(&json, "session")?;
+    let report = SessionReport::from_json(&session.to_string())
+        .map_err(|e| format!("embedded session report is malformed: {e}"))?;
+    if report.bytes_sent() != bytes_sent || report.bytes_received() != bytes_received {
+        return Err(format!(
+            "wire summary disagrees with session report: \
+             summary sent/recv {bytes_sent}/{bytes_received}, \
+             report {}/{}",
+            report.bytes_sent(),
+            report.bytes_received()
+        ));
+    }
+
+    if let Some(overhead) = json.get("overhead") {
+        require_f64(overhead, "telemetry_on_ms")?;
+        require_f64(overhead, "telemetry_off_ms")?;
+        require_f64(overhead, "ratio")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppcs_telemetry::{MetricsRegistry, Phase, WireDir};
+
+    fn sample_artifact() -> BenchArtifact {
+        let reg = MetricsRegistry::new(1, "client");
+        reg.record_rounds(3);
+        reg.record_phase_ns(Phase::Classify, 1_000_000);
+        reg.record_wire(0x0500, WireDir::Sent, 2, 128);
+        reg.record_wire(0x0501, WireDir::Received, 2, 256);
+        BenchArtifact {
+            bench: "classification".into(),
+            iterations: 4,
+            latency_ms: vec![2.0, 1.0, 4.0, 3.0],
+            session: reg.report(),
+            overhead: Some(Overhead {
+                telemetry_on_ms: 10.1,
+                telemetry_off_ms: 10.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn artifact_json_passes_its_own_validator() {
+        let text = sample_artifact().to_json();
+        validate_bench_json(&text).unwrap();
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_ms(&v, 0.50), 2.0);
+        assert_eq!(quantile_ms(&v, 0.95), 4.0);
+        assert_eq!(quantile_ms(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn validator_rejects_missing_and_inconsistent_fields() {
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("not json").is_err());
+
+        // Flip the schema tag.
+        let good = sample_artifact().to_json();
+        let bad = good.replace("ppcs-bench/v1", "ppcs-bench/v0");
+        assert!(validate_bench_json(&bad).unwrap_err().contains("schema"));
+
+        // Break the wire-vs-session consistency check. The `wire` summary
+        // block precedes the embedded `session`, so replacing only the
+        // first occurrence desynchronizes the two.
+        let bad = good.replacen("\"bytes_sent\":128", "\"bytes_sent\":129", 1);
+        assert!(validate_bench_json(&bad).unwrap_err().contains("disagrees"));
+    }
+}

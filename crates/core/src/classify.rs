@@ -24,6 +24,7 @@ use ppcs_ompe::{
 };
 use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::{Kernel, Label, SvmModel};
+use ppcs_telemetry::Phase;
 use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -272,6 +273,7 @@ where
         sel: OtSelect,
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
+        let _span = ppcs_telemetry::span(Phase::Classify);
         let num_samples: u64 = io.recv_msg(KIND_CLS_HELLO).await?;
         io.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
         let secrets: Vec<DenseAffine<A>> = (0..num_samples)
@@ -464,6 +466,7 @@ where
         rng: &mut dyn RngCore,
         samples: &[Vec<f64>],
     ) -> Result<Vec<(Label, f64)>, PpcsError> {
+        let _span = ppcs_telemetry::span(Phase::Classify);
         io.send_msg(KIND_CLS_HELLO, &(samples.len() as u64))?;
         let fields = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_SPEC).await?)?;
         let spec = ClassifySpec::decode_wire(&fields)?;

@@ -29,6 +29,7 @@ use ppcs_math::{Algebra, DenseAffine, MvPolynomial};
 use ppcs_ompe::{ompe_receive_io, ompe_send_io, OmpeParams};
 use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::{Kernel, SvmModel};
+use ppcs_telemetry::Phase;
 use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
@@ -561,6 +562,7 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
+    let _span = ppcs_telemetry::span(Phase::Similarity);
     cfg.protocol.validate()?;
 
     // Round 0: Bob's inseparable aggregates arrive in the clear.
@@ -708,6 +710,7 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
+    let _span = ppcs_telemetry::span(Phase::Similarity);
     cfg.protocol.validate()?;
     let dim = model_dim;
 

@@ -26,6 +26,7 @@ use bytes::{Bytes, BytesMut};
 use ppcs_math::{interpolate_at_zero, Algebra, PolyEval, Polynomial};
 use ppcs_ot::{ot_begin_receive_io, ot_begin_send_io, ot_receive_io, ot_send_io};
 use ppcs_ot::{ObliviousTransfer, OtBatchState, OtSelect};
+use ppcs_telemetry::Phase;
 use ppcs_transport::{
     decode_seq, drive_blocking, encode_seq, Encodable, Endpoint, Frame, FrameIo, ProtocolEngine,
 };
@@ -175,6 +176,7 @@ where
     /// the batch arrives in one coalesced frame, so these must all be
     /// drained before the per-round oblivious transfers begin.
     async fn recv_cloud_io(&self, io: &FrameIo, r: usize) -> Result<PointCloud<A>, OmpeError> {
+        let _span = ppcs_telemetry::span(Phase::OmpePointCloud);
         let n_points = self.params.num_points();
         let mut payload: Bytes = {
             let blob: Vec<u8> = io.recv_msg(KIND_OMPE_POINTS).await?;
@@ -216,18 +218,23 @@ where
         let n_points = params.num_points();
         let r = secret.num_vars();
 
-        // Fresh masking polynomial M with M(0) = 0 and degree exactly D,
-        // drawn into the storage set up at session creation.
-        self.mask
-            .refresh_random_with_constant(alg, params.composite_degree(), alg.zero(), rng);
+        let answers = {
+            let _span = ppcs_telemetry::span(Phase::OmpeMask);
 
-        // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
-        let mut answers = Vec::with_capacity(n_points);
-        for (i, x) in xs.iter().enumerate() {
-            let y = &ys_flat[i * r..(i + 1) * r];
-            let q = alg.add(&self.mask.eval(alg, x), &secret.eval(alg, y));
-            answers.push(encode_elems(std::slice::from_ref(&q)).to_vec());
-        }
+            // Fresh masking polynomial M with M(0) = 0 and degree exactly
+            // D, drawn into the storage set up at session creation.
+            self.mask
+                .refresh_random_with_constant(alg, params.composite_degree(), alg.zero(), rng);
+
+            // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
+            let mut answers = Vec::with_capacity(n_points);
+            for (i, x) in xs.iter().enumerate() {
+                let y = &ys_flat[i * r..(i + 1) * r];
+                let q = alg.add(&self.mask.eval(alg, x), &secret.eval(alg, y));
+                answers.push(encode_elems(std::slice::from_ref(&q)).to_vec());
+            }
+            answers
+        };
 
         // n-out-of-N oblivious transfer of the answers.
         ot_send_io(sel, &self.ot_state, io, rng, &answers, params.num_covers()).await?;
@@ -329,6 +336,7 @@ where
         if alpha.is_empty() {
             return Err(OmpeError::Params("input vector must be non-empty".into()));
         }
+        let _span = ppcs_telemetry::span(Phase::OmpePointCloud);
         let params = &self.params;
         let r = alpha.len();
         let n_covers = params.num_covers();
@@ -428,6 +436,7 @@ where
             &round.cover_positions,
         )
         .await?;
+        let _span = ppcs_telemetry::span(Phase::OmpeInterpolate);
         let mut points = Vec::with_capacity(n_covers);
         for (raw_value, &pos) in raw.iter().zip(&round.cover_positions) {
             let mut input = Bytes::from(raw_value.clone());

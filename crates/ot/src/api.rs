@@ -12,6 +12,7 @@
 
 use num_bigint::BigUint;
 use ppcs_crypto::DhGroup;
+use ppcs_telemetry::Phase;
 use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
@@ -174,9 +175,12 @@ pub async fn ot_begin_send_io(
     rng: &mut dyn RngCore,
 ) -> Result<OtBatchState, OtError> {
     match sel {
-        OtSelect::NaorPinkas { group } => Ok(OtBatchState {
-            np_c: Some(commit_c_io(group, io, rng)?),
-        }),
+        OtSelect::NaorPinkas { group } => {
+            let _span = ppcs_telemetry::span(Phase::BaseOt);
+            Ok(OtBatchState {
+                np_c: Some(commit_c_io(group, io, rng)?),
+            })
+        }
         OtSelect::Iknp { .. } | OtSelect::TrustedSim => Ok(OtBatchState::default()),
     }
 }
@@ -188,9 +192,12 @@ pub async fn ot_begin_send_io(
 /// Transport failures while receiving setup material.
 pub async fn ot_begin_receive_io(sel: OtSelect, io: &FrameIo) -> Result<OtBatchState, OtError> {
     match sel {
-        OtSelect::NaorPinkas { group } => Ok(OtBatchState {
-            np_c: Some(receive_c_io(group, io).await?),
-        }),
+        OtSelect::NaorPinkas { group } => {
+            let _span = ppcs_telemetry::span(Phase::BaseOt);
+            Ok(OtBatchState {
+                np_c: Some(receive_c_io(group, io).await?),
+            })
+        }
         OtSelect::Iknp { .. } | OtSelect::TrustedSim => Ok(OtBatchState::default()),
     }
 }
@@ -212,10 +219,17 @@ pub async fn ot_send_io(
 ) -> Result<(), OtError> {
     match sel {
         OtSelect::NaorPinkas { group } => {
+            let _span = ppcs_telemetry::span(Phase::KnOt);
             otkn_send_with_c_io(group, io, rng, messages, k, state.np_c.as_ref()).await
         }
-        OtSelect::Iknp { group } => knx_send_io(group, io, rng, messages, k).await,
-        OtSelect::TrustedSim => sim_send_io(io, messages, k).await,
+        OtSelect::Iknp { group } => {
+            let _span = ppcs_telemetry::span(Phase::OtExt);
+            knx_send_io(group, io, rng, messages, k).await
+        }
+        OtSelect::TrustedSim => {
+            let _span = ppcs_telemetry::span(Phase::KnOt);
+            sim_send_io(io, messages, k).await
+        }
     }
 }
 
@@ -236,10 +250,17 @@ pub async fn ot_receive_io(
 ) -> Result<Vec<Vec<u8>>, OtError> {
     match sel {
         OtSelect::NaorPinkas { group } => {
+            let _span = ppcs_telemetry::span(Phase::KnOt);
             otkn_receive_with_c_io(group, io, rng, num_messages, indices, state.np_c.as_ref()).await
         }
-        OtSelect::Iknp { group } => knx_receive_io(group, io, rng, num_messages, indices).await,
-        OtSelect::TrustedSim => sim_receive_io(io, num_messages, indices).await,
+        OtSelect::Iknp { group } => {
+            let _span = ppcs_telemetry::span(Phase::OtExt);
+            knx_receive_io(group, io, rng, num_messages, indices).await
+        }
+        OtSelect::TrustedSim => {
+            let _span = ppcs_telemetry::span(Phase::KnOt);
+            sim_receive_io(io, num_messages, indices).await
+        }
     }
 }
 

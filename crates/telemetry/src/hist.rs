@@ -1,0 +1,209 @@
+//! Fixed-bucket log₂ histograms over atomic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket `i` holds values `v` with `⌊log₂ v⌋ = i`
+/// (value 0 lands in bucket 0), so 64 buckets cover the full `u64` range.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A lock-free power-of-two histogram: every [`record`](Histogram::record)
+/// is one atomic add into a fixed bucket plus min/max/sum maintenance —
+/// no allocation, no locks, safe to hammer from many threads.
+///
+/// Quantile estimates resolve to the **upper bound of the matching
+/// bucket**, clamped into the observed `[min, max]` range, so they are
+/// exact for single-valued distributions and within a factor of two
+/// otherwise — plenty for per-phase latency and frame-size reporting.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Starts at `u64::MAX` so the first `fetch_min` wins.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: `⌊log₂ v⌋`, with 0 mapping to bucket 0.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        value.ilog2() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`).
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper bound of the
+    /// first bucket whose cumulative count reaches `q·count`, clamped to
+    /// the observed range. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Per-bucket counts (index `i` covers `[2^i, 2^(i+1))`).
+    pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        let mut out = [0u64; NUM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Values on either side of every power-of-two boundary land in
+        // adjacent buckets.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        for k in 1..63u32 {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_index(edge - 1), (k - 1) as usize, "below 2^{k}");
+            assert_eq!(bucket_index(edge), k as usize, "at 2^{k}");
+            assert_eq!(bucket_index(edge + 1), k as usize, "above 2^{k}");
+        }
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_inclusive() {
+        for i in 0..63 {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(ub + 1), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 11_106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        // p0 clamps to min, p100 to max; p50 within a factor of 2 of the
+        // true median bucket.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10_000);
+        let p50 = h.quantile(0.5);
+        assert!((3..=7).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        let total: u64 = h.bucket_counts().iter().sum();
+        assert_eq!(total, 8000);
+    }
+}

@@ -1,0 +1,441 @@
+//! Serializable session reports: the snapshot form of a
+//! [`MetricsRegistry`](crate::MetricsRegistry).
+
+use std::fmt;
+
+use crate::json::{num, obj, Json, JsonError};
+
+/// Wall-time statistics for one protocol phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Stable phase name (e.g. `"ompe.point_cloud"`).
+    pub name: String,
+    /// Number of closed spans.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Fastest span.
+    pub min_ns: u64,
+    /// Slowest span.
+    pub max_ns: u64,
+    /// Median span (histogram estimate).
+    pub p50_ns: u64,
+    /// 95th-percentile span (histogram estimate).
+    pub p95_ns: u64,
+}
+
+/// Wire traffic for one frame kind, both directions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindReport {
+    /// The wire frame kind tag.
+    pub kind: u16,
+    /// Frames sent with this kind.
+    pub frames_sent: u64,
+    /// Wire bytes sent with this kind (header + payload).
+    pub bytes_sent: u64,
+    /// Frames received with this kind.
+    pub frames_received: u64,
+    /// Wire bytes received with this kind (header + payload).
+    pub bytes_received: u64,
+}
+
+/// Distribution of frame payload sizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameSizeReport {
+    /// Frames observed.
+    pub count: u64,
+    /// Smallest payload.
+    pub min: u64,
+    /// Largest payload.
+    pub max: u64,
+    /// Median payload (histogram estimate).
+    pub p50: u64,
+    /// 95th-percentile payload (histogram estimate).
+    pub p95: u64,
+}
+
+/// A complete telemetry snapshot for one session and role.
+///
+/// Serializes to JSON with [`to_json`](SessionReport::to_json) /
+/// [`from_json`](SessionReport::from_json) and pretty-prints as a
+/// human-readable table via `Display`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Session id.
+    pub session: u64,
+    /// Local role label (`"client"`, `"server"`, …).
+    pub role: String,
+    /// Nanoseconds since the registry was created.
+    pub elapsed_ns: u64,
+    /// Driver loop iterations (engine polls).
+    pub polls: u64,
+    /// Protocol rounds (frames handled by engines).
+    pub rounds: u64,
+    /// Receive timeouts observed.
+    pub timeouts: u64,
+    /// Warning events emitted.
+    pub warns: u64,
+    /// Frame payload-size distribution.
+    pub frame_sizes: FrameSizeReport,
+    /// Per-phase wall time, report order.
+    pub phases: Vec<PhaseReport>,
+    /// Per-frame-kind wire traffic, sorted by kind.
+    pub kinds: Vec<KindReport>,
+}
+
+impl SessionReport {
+    /// Looks up a phase by its stable name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up wire traffic for a frame kind.
+    pub fn kind(&self, kind: u16) -> Option<&KindReport> {
+        self.kinds.iter().find(|k| k.kind == kind)
+    }
+
+    /// Total wire bytes across every kind, both directions.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.bytes_sent() + self.bytes_received()
+    }
+
+    /// Wire bytes sent, summed over kinds.
+    pub fn bytes_sent(&self) -> u64 {
+        self.kinds.iter().map(|k| k.bytes_sent).sum()
+    }
+
+    /// Wire bytes received, summed over kinds.
+    pub fn bytes_received(&self) -> u64 {
+        self.kinds.iter().map(|k| k.bytes_received).sum()
+    }
+
+    /// Frames sent, summed over kinds.
+    pub fn frames_sent(&self) -> u64 {
+        self.kinds.iter().map(|k| k.frames_sent).sum()
+    }
+
+    /// Frames received, summed over kinds.
+    pub fn frames_received(&self) -> u64 {
+        self.kinds.iter().map(|k| k.frames_received).sum()
+    }
+
+    /// Serializes to a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("name", Json::String(p.name.clone())),
+                    ("count", num(p.count)),
+                    ("total_ns", num(p.total_ns)),
+                    ("min_ns", num(p.min_ns)),
+                    ("max_ns", num(p.max_ns)),
+                    ("p50_ns", num(p.p50_ns)),
+                    ("p95_ns", num(p.p95_ns)),
+                ])
+            })
+            .collect();
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| {
+                obj(vec![
+                    ("kind", num(k.kind as u64)),
+                    ("frames_sent", num(k.frames_sent)),
+                    ("bytes_sent", num(k.bytes_sent)),
+                    ("frames_received", num(k.frames_received)),
+                    ("bytes_received", num(k.bytes_received)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("session", num(self.session)),
+            ("role", Json::String(self.role.clone())),
+            ("elapsed_ns", num(self.elapsed_ns)),
+            ("polls", num(self.polls)),
+            ("rounds", num(self.rounds)),
+            ("timeouts", num(self.timeouts)),
+            ("warns", num(self.warns)),
+            (
+                "frame_sizes",
+                obj(vec![
+                    ("count", num(self.frame_sizes.count)),
+                    ("min", num(self.frame_sizes.min)),
+                    ("max", num(self.frame_sizes.max)),
+                    ("p50", num(self.frame_sizes.p50)),
+                    ("p95", num(self.frame_sizes.p95)),
+                ]),
+            ),
+            ("phases", Json::Array(phases)),
+            ("kinds", Json::Array(kinds)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a report back from [`to_json`](SessionReport::to_json)
+    /// output.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(text)?;
+        let field = |key: &str| -> Result<u64, JsonError> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| JsonError {
+                    message: format!("missing or non-integer field `{key}`"),
+                    offset: 0,
+                })
+        };
+        let bad = |key: &str| JsonError {
+            message: format!("missing or malformed field `{key}`"),
+            offset: 0,
+        };
+        let fs = doc.get("frame_sizes").ok_or_else(|| bad("frame_sizes"))?;
+        let fs_field = |key: &str| fs.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key));
+        let mut phases = Vec::new();
+        for p in doc
+            .get("phases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("phases"))?
+        {
+            let pf = |key: &str| p.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key));
+            phases.push(PhaseReport {
+                name: p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("phases[].name"))?
+                    .to_string(),
+                count: pf("count")?,
+                total_ns: pf("total_ns")?,
+                min_ns: pf("min_ns")?,
+                max_ns: pf("max_ns")?,
+                p50_ns: pf("p50_ns")?,
+                p95_ns: pf("p95_ns")?,
+            });
+        }
+        let mut kinds = Vec::new();
+        for k in doc
+            .get("kinds")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("kinds"))?
+        {
+            let kf = |key: &str| k.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key));
+            kinds.push(KindReport {
+                kind: kf("kind")? as u16,
+                frames_sent: kf("frames_sent")?,
+                bytes_sent: kf("bytes_sent")?,
+                frames_received: kf("frames_received")?,
+                bytes_received: kf("bytes_received")?,
+            });
+        }
+        Ok(SessionReport {
+            session: field("session")?,
+            role: doc
+                .get("role")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("role"))?
+                .to_string(),
+            elapsed_ns: field("elapsed_ns")?,
+            polls: field("polls")?,
+            rounds: field("rounds")?,
+            timeouts: field("timeouts")?,
+            warns: field("warns")?,
+            frame_sizes: FrameSizeReport {
+                count: fs_field("count")?,
+                min: fs_field("min")?,
+                max: fs_field("max")?,
+                p50: fs_field("p50")?,
+                p95: fs_field("p95")?,
+            },
+            phases,
+            kinds,
+        })
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "session {} [{}]: {} wall, {} polls, {} rounds, {} timeouts",
+            self.session,
+            self.role,
+            fmt_ns(self.elapsed_ns),
+            self.polls,
+            self.rounds,
+            self.timeouts,
+        )?;
+        writeln!(
+            f,
+            "  wire: {} sent / {} received ({} / {} frames)",
+            fmt_bytes(self.bytes_sent()),
+            fmt_bytes(self.bytes_received()),
+            self.frames_sent(),
+            self.frames_received(),
+        )?;
+        if !self.phases.is_empty() {
+            writeln!(
+                f,
+                "  {:<18} {:>7} {:>10} {:>10} {:>10}",
+                "phase", "count", "total", "p50", "p95"
+            )?;
+            for p in &self.phases {
+                writeln!(
+                    f,
+                    "  {:<18} {:>7} {:>10} {:>10} {:>10}",
+                    p.name,
+                    p.count,
+                    fmt_ns(p.total_ns),
+                    fmt_ns(p.p50_ns),
+                    fmt_ns(p.p95_ns),
+                )?;
+            }
+        }
+        if !self.kinds.is_empty() {
+            writeln!(
+                f,
+                "  {:<8} {:>9} {:>12} {:>9} {:>12}",
+                "kind", "tx frames", "tx bytes", "rx frames", "rx bytes"
+            )?;
+            for k in &self.kinds {
+                writeln!(
+                    f,
+                    "  0x{:04x}   {:>9} {:>12} {:>9} {:>12}",
+                    k.kind,
+                    k.frames_sent,
+                    fmt_bytes(k.bytes_sent),
+                    k.frames_received,
+                    fmt_bytes(k.bytes_received),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionReport {
+        SessionReport {
+            session: 42,
+            role: "client".into(),
+            elapsed_ns: 123_456_789,
+            polls: 17,
+            rounds: 9,
+            timeouts: 1,
+            warns: 1,
+            frame_sizes: FrameSizeReport {
+                count: 12,
+                min: 6,
+                max: 4096,
+                p50: 127,
+                p95: 4095,
+            },
+            phases: vec![
+                PhaseReport {
+                    name: "base_ot".into(),
+                    count: 1,
+                    total_ns: 2_000_000,
+                    min_ns: 2_000_000,
+                    max_ns: 2_000_000,
+                    p50_ns: 2_000_000,
+                    p95_ns: 2_000_000,
+                },
+                PhaseReport {
+                    name: "classify".into(),
+                    count: 1,
+                    total_ns: 120_000_000,
+                    min_ns: 120_000_000,
+                    max_ns: 120_000_000,
+                    p50_ns: 120_000_000,
+                    p95_ns: 120_000_000,
+                },
+            ],
+            kinds: vec![
+                KindReport {
+                    kind: 0x0100,
+                    frames_sent: 3,
+                    bytes_sent: 300,
+                    frames_received: 2,
+                    bytes_received: 100,
+                },
+                KindReport {
+                    kind: 0x0400,
+                    frames_sent: 0,
+                    bytes_sent: 0,
+                    frames_received: 4,
+                    bytes_received: 5000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample();
+        let text = report.to_json();
+        let back = SessionReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips_too() {
+        let report = SessionReport {
+            role: "server".into(),
+            ..Default::default()
+        };
+        assert_eq!(SessionReport::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        assert!(SessionReport::from_json("{}").is_err());
+        assert!(SessionReport::from_json("not json").is_err());
+        let mut text = sample().to_json();
+        text = text.replace("\"rounds\"", "\"wrong\"");
+        assert!(SessionReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn totals_sum_over_kinds() {
+        let report = sample();
+        assert_eq!(report.bytes_sent(), 300);
+        assert_eq!(report.bytes_received(), 5100);
+        assert_eq!(report.total_wire_bytes(), 5400);
+        assert_eq!(report.frames_sent(), 3);
+        assert_eq!(report.frames_received(), 6);
+    }
+
+    #[test]
+    fn display_summary_names_phases_and_kinds() {
+        let shown = sample().to_string();
+        assert!(shown.contains("session 42 [client]"));
+        assert!(shown.contains("base_ot"));
+        assert!(shown.contains("classify"));
+        assert!(shown.contains("0x0100"));
+        assert!(shown.contains("0x0400"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Thread-local collector installation, span guards, and the compact
+//! trace layer.
+//!
+//! The sans-I/O role futures are polled **on the driving thread**, so
+//! installing a collector around a `Driver::drive` (or any blocking
+//! wrapper built on it) makes every [`span`] opened inside the role
+//! logic land in that registry — no signature changes anywhere in the
+//! protocol stack. When no collector is installed, `span()` costs one
+//! thread-local read and records nothing.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicI8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry::{MetricsRegistry, Phase};
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<MetricsRegistry>>> = const { RefCell::new(None) };
+}
+
+/// `-1` = follow the `PPCS_TRACE` env var, `0` = forced off, `1` = forced on.
+static TRACE_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+static TRACE_ENV: OnceLock<bool> = OnceLock::new();
+
+/// A trace-line consumer installed with [`set_trace_sink`].
+pub type TraceSink = Box<dyn Fn(&str) + Send + 'static>;
+static TRACE_SINK: Mutex<Option<TraceSink>> = Mutex::new(None);
+
+/// Installs `registry` as this thread's span collector; the returned
+/// guard restores the previous collector (if any) on drop, so installs
+/// nest.
+#[must_use = "dropping the guard immediately uninstalls the collector"]
+pub fn install(registry: Arc<MetricsRegistry>) -> CollectorGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(registry)));
+    CollectorGuard { prev }
+}
+
+/// Runs `f` with `registry` installed as the thread's collector.
+pub fn with_collector<T>(registry: Arc<MetricsRegistry>, f: impl FnOnce() -> T) -> T {
+    let _guard = install(registry);
+    f()
+}
+
+/// The collector currently installed on this thread, if any.
+pub fn current() -> Option<Arc<MetricsRegistry>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Restores the previously-installed collector on drop. Returned by
+/// [`install`].
+#[derive(Debug)]
+pub struct CollectorGuard {
+    prev: Option<Arc<MetricsRegistry>>,
+}
+
+impl Drop for CollectorGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.replace(self.prev.take()));
+    }
+}
+
+/// Opens a timing span for `phase` against the thread's collector.
+///
+/// The span closes when the guard drops: the elapsed wall time is
+/// recorded into the registry's per-phase histogram and, when tracing
+/// is on, one compact line is emitted. Spans hold only the phase tag
+/// and a start instant — there is no API to attach payload data, which
+/// is what keeps telemetry privacy-clean by construction.
+pub fn span(phase: Phase) -> SpanGuard {
+    SpanGuard {
+        registry: current(),
+        phase,
+        start: Instant::now(),
+    }
+}
+
+/// A live span; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    registry: Option<Arc<MetricsRegistry>>,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(reg) = self.registry.take() else {
+            return;
+        };
+        let ns = self.start.elapsed().as_nanos() as u64;
+        reg.record_phase_ns(self.phase, ns);
+        if trace_enabled() {
+            emit(&format!(
+                "[ppcs] span={} session={} role={} elapsed_us={}",
+                self.phase.name(),
+                reg.session(),
+                reg.role(),
+                ns / 1_000,
+            ));
+        }
+    }
+}
+
+/// Emits a warning event (counted in the registry, traced when the
+/// trace layer is on). `frame_kind` and `round` locate the event in the
+/// session; pass `None` when unknown.
+pub fn warn_event(message: &str, frame_kind: Option<u16>, round: Option<u64>) {
+    let reg = current();
+    if let Some(reg) = &reg {
+        reg.record_warn();
+    }
+    if trace_enabled() {
+        let mut line = format!("[ppcs] warn={message}");
+        if let Some(reg) = &reg {
+            line.push_str(&format!(" session={} role={}", reg.session(), reg.role()));
+        }
+        if let Some(kind) = frame_kind {
+            line.push_str(&format!(" frame=0x{kind:04x}"));
+        }
+        if let Some(round) = round {
+            line.push_str(&format!(" round={round}"));
+        }
+        emit(&line);
+    }
+}
+
+/// Whether the compact trace layer is on: the [`set_trace`] override if
+/// one was made, otherwise the `PPCS_TRACE` environment variable
+/// (`1`/`true`/`on`, read once).
+pub fn trace_enabled() -> bool {
+    match TRACE_OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => *TRACE_ENV.get_or_init(|| {
+            std::env::var("PPCS_TRACE")
+                .map(|v| matches!(v.as_str(), "1" | "true" | "on"))
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Forces the trace layer on or off, overriding `PPCS_TRACE`.
+/// Process-global; used by tests that capture trace output.
+pub fn set_trace(enabled: bool) {
+    TRACE_OVERRIDE.store(enabled as i8, Ordering::Relaxed);
+}
+
+/// Redirects trace lines to `sink` instead of stderr (pass `None` to
+/// restore stderr). Process-global; the privacy-cleanliness test uses
+/// this to capture a full session's trace in memory.
+pub fn set_trace_sink(sink: Option<TraceSink>) {
+    *TRACE_SINK.lock().unwrap() = sink;
+}
+
+fn emit(line: &str) {
+    let sink = TRACE_SINK.lock().unwrap();
+    match &*sink {
+        Some(f) => f(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_without_collector_is_a_noop() {
+        let _span = span(Phase::Classify);
+        // Nothing to assert beyond "does not panic / allocate a registry".
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn spans_record_into_the_installed_collector() {
+        let reg = MetricsRegistry::new(3, "client");
+        {
+            let _guard = install(reg.clone());
+            let _a = span(Phase::BaseOt);
+            let _b = span(Phase::Classify);
+        }
+        let report = reg.report();
+        assert_eq!(report.phase("base_ot").unwrap().count, 1);
+        assert_eq!(report.phase("classify").unwrap().count, 1);
+        assert!(current().is_none(), "guard uninstalls on drop");
+    }
+
+    #[test]
+    fn installs_nest_and_restore() {
+        let outer = MetricsRegistry::new(1, "outer");
+        let inner = MetricsRegistry::new(2, "inner");
+        let _outer_guard = install(outer.clone());
+        {
+            let _inner_guard = install(inner.clone());
+            span(Phase::KnOt);
+        }
+        span(Phase::KnOt);
+        assert_eq!(inner.report().phase("kn_ot").unwrap().count, 1);
+        assert_eq!(outer.report().phase("kn_ot").unwrap().count, 1);
+    }
+
+    #[test]
+    fn collectors_are_per_thread() {
+        let reg = MetricsRegistry::new(5, "main");
+        let _guard = install(reg.clone());
+        std::thread::spawn(|| {
+            assert!(current().is_none(), "fresh thread has no collector");
+        })
+        .join()
+        .unwrap();
+        assert!(current().is_some());
+    }
+
+    #[test]
+    fn warn_event_counts_against_the_collector() {
+        let reg = MetricsRegistry::new(8, "server");
+        with_collector(reg.clone(), || {
+            warn_event("timeout", Some(0x0400), Some(7));
+        });
+        assert_eq!(reg.report().warns, 1);
+    }
+}

@@ -102,8 +102,28 @@ impl Encodable for Frame {
     }
 }
 
-/// Cumulative traffic counters for one endpoint.
+/// Traffic counters for one wire frame kind.
+///
+/// Coalesced batches are accounted under [`KIND_COALESCED`] — the kind
+/// that actually crossed the wire — so summing `by_kind` always equals
+/// the endpoint totals exactly.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindTraffic {
+    /// The wire frame kind tag.
+    pub kind: u16,
+    /// Frames of this kind sent.
+    pub frames_sent: u64,
+    /// Wire bytes (header + payload) of this kind sent.
+    pub bytes_sent: u64,
+    /// Frames of this kind received.
+    pub frames_received: u64,
+    /// Wire bytes of this kind received.
+    pub bytes_received: u64,
+}
+
+/// Cumulative traffic counters for one endpoint: totals plus a
+/// per-frame-kind breakdown whose sums equal the totals by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Frames sent by this endpoint.
     pub frames_sent: u64,
@@ -113,6 +133,8 @@ pub struct TrafficStats {
     pub frames_received: u64,
     /// Wire bytes received by this endpoint.
     pub bytes_received: u64,
+    /// Per-kind breakdown, sorted by kind.
+    pub by_kind: Vec<KindTraffic>,
 }
 
 impl TrafficStats {
@@ -120,11 +142,73 @@ impl TrafficStats {
     pub fn total_bytes(&self) -> u64 {
         self.bytes_sent + self.bytes_received
     }
+
+    /// The per-kind counters for `kind`, if any traffic used it.
+    pub fn kind(&self, kind: u16) -> Option<&KindTraffic> {
+        self.by_kind
+            .binary_search_by_key(&kind, |k| k.kind)
+            .ok()
+            .map(|i| &self.by_kind[i])
+    }
+
+    fn kind_mut(&mut self, kind: u16) -> &mut KindTraffic {
+        let i = match self.by_kind.binary_search_by_key(&kind, |k| k.kind) {
+            Ok(i) => i,
+            Err(i) => {
+                self.by_kind.insert(
+                    i,
+                    KindTraffic {
+                        kind,
+                        ..KindTraffic::default()
+                    },
+                );
+                i
+            }
+        };
+        &mut self.by_kind[i]
+    }
 }
 
+/// Shared, thread-safe traffic accounting for one endpoint.
+///
+/// Both halves of a TCP endpoint clone the same `Arc<SharedStats>`;
+/// the recording and snapshot APIs here are the only way traffic
+/// counters are touched — no more reaching through the cell's fields.
 #[derive(Debug, Default)]
-struct StatsCell {
+pub(crate) struct SharedStats {
     stats: Mutex<TrafficStats>,
+}
+
+impl SharedStats {
+    /// Accounts one sent wire frame of `kind` and `wire_len` bytes.
+    pub(crate) fn record_sent(&self, kind: u16, wire_len: u64) {
+        let mut s = self.stats.lock();
+        s.frames_sent += 1;
+        s.bytes_sent += wire_len;
+        let k = s.kind_mut(kind);
+        k.frames_sent += 1;
+        k.bytes_sent += wire_len;
+    }
+
+    /// Accounts one received wire frame of `kind` and `wire_len` bytes.
+    pub(crate) fn record_received(&self, kind: u16, wire_len: u64) {
+        let mut s = self.stats.lock();
+        s.frames_received += 1;
+        s.bytes_received += wire_len;
+        let k = s.kind_mut(kind);
+        k.frames_received += 1;
+        k.bytes_received += wire_len;
+    }
+
+    /// A point-in-time copy of the counters.
+    pub(crate) fn snapshot(&self) -> TrafficStats {
+        self.stats.lock().clone()
+    }
+
+    /// Zeroes every counter (totals and per-kind alike).
+    pub(crate) fn reset(&self) {
+        *self.stats.lock() = TrafficStats::default();
+    }
 }
 
 /// The medium an endpoint speaks over.
@@ -157,9 +241,11 @@ enum Backend {
 #[derive(Debug)]
 pub struct Endpoint {
     backend: Backend,
-    stats: Arc<StatsCell>,
+    stats: Arc<SharedStats>,
     /// Default timeout for blocking receives; `None` blocks forever.
-    recv_timeout: Option<Duration>,
+    /// Behind a mutex so drivers can adjust it through a shared
+    /// reference (see `Driver::with_timeout`).
+    recv_timeout: Mutex<Option<Duration>>,
     /// Sub-frames unpacked from a coalesced frame, drained before the
     /// backend is asked for more data.
     pending: Mutex<VecDeque<Frame>>,
@@ -174,8 +260,8 @@ impl Endpoint {
     pub(crate) fn from_tcp(stream: std::net::TcpStream) -> Result<Self, TransportError> {
         Ok(Self {
             backend: Backend::Tcp(Mutex::new(crate::tcp::TcpConnection::new(stream)?)),
-            stats: Arc::new(StatsCell::default()),
-            recv_timeout: Some(Duration::from_secs(30)),
+            stats: Arc::new(SharedStats::default()),
+            recv_timeout: Mutex::new(Some(Duration::from_secs(30))),
             pending: Mutex::new(VecDeque::new()),
         })
     }
@@ -186,6 +272,7 @@ impl Endpoint {
     ///
     /// Returns [`TransportError::Disconnected`] if the peer was dropped.
     pub fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        let kind = frame.kind;
         let len = frame.wire_len() as u64;
         match &self.backend {
             Backend::Memory { tx, .. } => {
@@ -193,9 +280,7 @@ impl Endpoint {
             }
             Backend::Tcp(conn) => conn.lock().send(&frame)?,
         }
-        let mut s = self.stats.stats.lock();
-        s.frames_sent += 1;
-        s.bytes_sent += len;
+        self.stats.record_sent(kind, len);
         Ok(())
     }
 
@@ -237,8 +322,9 @@ impl Endpoint {
         if let Some(f) = self.pending.lock().pop_front() {
             return Ok(f);
         }
+        let timeout = *self.recv_timeout.lock();
         let frame = match &self.backend {
-            Backend::Memory { rx, .. } => match self.recv_timeout {
+            Backend::Memory { rx, .. } => match timeout {
                 None => rx.recv().map_err(|_| TransportError::Disconnected)?,
                 Some(limit) => rx.recv_timeout(limit).map_err(|e| match e {
                     RecvTimeoutError::Timeout => TransportError::Timeout,
@@ -247,15 +333,12 @@ impl Endpoint {
             },
             Backend::Tcp(conn) => {
                 let mut conn = conn.lock();
-                conn.set_read_timeout(self.recv_timeout)?;
+                conn.set_read_timeout(timeout)?;
                 conn.recv()?
             }
         };
-        {
-            let mut s = self.stats.stats.lock();
-            s.frames_received += 1;
-            s.bytes_received += frame.wire_len() as u64;
-        }
+        self.stats
+            .record_received(frame.kind, frame.wire_len() as u64);
         if frame.kind == KIND_COALESCED {
             let mut batch = uncoalesce(&frame.payload)?;
             let first = batch.pop_front().expect("validated batch is non-empty");
@@ -275,19 +358,21 @@ impl Endpoint {
         self.recv()?.decode_as(expected_kind)
     }
 
-    /// Sets the blocking-receive timeout (defaults to 30 s).
-    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
-        self.recv_timeout = timeout;
+    /// Sets the blocking-receive timeout (defaults to 30 s). Takes
+    /// `&self` so drivers can configure a shared endpoint; the new value
+    /// applies from the next [`recv`](Endpoint::recv).
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) {
+        *self.recv_timeout.lock() = timeout;
     }
 
     /// Snapshot of this endpoint's traffic counters.
     pub fn stats(&self) -> TrafficStats {
-        *self.stats.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Resets the traffic counters (used between benchmark iterations).
     pub fn reset_stats(&self) {
-        *self.stats.stats.lock() = TrafficStats::default();
+        self.stats.reset();
     }
 }
 
@@ -406,8 +491,8 @@ pub fn duplex() -> (Endpoint, Endpoint) {
             tx: tx_ab,
             rx: rx_ba,
         },
-        stats: Arc::new(StatsCell::default()),
-        recv_timeout: default_timeout,
+        stats: Arc::new(SharedStats::default()),
+        recv_timeout: Mutex::new(default_timeout),
         pending: Mutex::new(VecDeque::new()),
     };
     let b = Endpoint {
@@ -415,8 +500,8 @@ pub fn duplex() -> (Endpoint, Endpoint) {
             tx: tx_ba,
             rx: rx_ab,
         },
-        stats: Arc::new(StatsCell::default()),
-        recv_timeout: default_timeout,
+        stats: Arc::new(SharedStats::default()),
+        recv_timeout: Mutex::new(default_timeout),
         pending: Mutex::new(VecDeque::new()),
     };
     (a, b)
@@ -541,11 +626,45 @@ mod tests {
         assert_eq!(sa.frames_sent, 2);
         assert_eq!(sa.bytes_sent, 2 * (Frame::HEADER_LEN as u64 + 8));
         assert_eq!(sa.frames_received, 1);
+        let k1 = sa.kind(1).unwrap();
+        assert_eq!(k1.frames_sent, 2);
+        assert_eq!(k1.bytes_sent, sa.bytes_sent);
+        assert_eq!(sa.kind(2).unwrap().bytes_received, sa.bytes_received);
         let sb = b.stats();
         assert_eq!(sb.frames_received, 2);
         assert_eq!(sb.bytes_sent, Frame::HEADER_LEN as u64 + 8 + 100);
         a.reset_stats();
         assert_eq!(a.stats(), TrafficStats::default());
+        assert!(a.stats().by_kind.is_empty(), "reset clears per-kind too");
+    }
+
+    #[test]
+    fn per_kind_counters_sum_to_totals() {
+        let (a, b) = duplex();
+        a.send_msg(1, &1u64).unwrap();
+        a.send_msg(2, &vec![0u8; 64]).unwrap();
+        a.send_coalesced(&[Frame::encode(3, &1u64), Frame::encode(3, &2u64)])
+            .unwrap();
+        for _ in 0..4 {
+            b.recv().unwrap();
+        }
+        for stats in [a.stats(), b.stats()] {
+            let sent: u64 = stats.by_kind.iter().map(|k| k.bytes_sent).sum();
+            let received: u64 = stats.by_kind.iter().map(|k| k.bytes_received).sum();
+            assert_eq!(sent, stats.bytes_sent);
+            assert_eq!(received, stats.bytes_received);
+            let frames: u64 = stats
+                .by_kind
+                .iter()
+                .map(|k| k.frames_sent + k.frames_received)
+                .sum();
+            assert_eq!(frames, stats.frames_sent + stats.frames_received);
+        }
+        // The batch crossed as one KIND_COALESCED wire frame and is
+        // accounted under that kind — logical kind 3 never hit the wire.
+        let sa = a.stats();
+        assert_eq!(sa.kind(KIND_COALESCED).unwrap().frames_sent, 1);
+        assert!(sa.kind(3).is_none());
     }
 
     #[test]
@@ -558,7 +677,7 @@ mod tests {
 
     #[test]
     fn timeout_is_reported() {
-        let (mut a, _b) = duplex();
+        let (a, _b) = duplex();
         a.set_recv_timeout(Some(Duration::from_millis(10)));
         assert_eq!(a.recv().unwrap_err(), TransportError::Timeout);
     }

@@ -9,9 +9,13 @@
 //! [`replay`] re-drives an engine from the recording, asserting it emits
 //! byte-identical output.
 
-use bytes::{Bytes, BytesMut};
+use std::sync::Arc;
+use std::time::Duration;
 
-use crate::channel::{Endpoint, Frame};
+use bytes::{Bytes, BytesMut};
+use ppcs_telemetry::{MetricsRegistry, WireDir};
+
+use crate::channel::{Endpoint, Frame, TrafficStats};
 use crate::engine::{Outgoing, ProtocolEngine};
 use crate::error::{ProtocolError, TransportError};
 use crate::wire::{decode_seq, encode_seq, Encodable};
@@ -175,10 +179,14 @@ impl Encodable for Transcript {
 /// typed error its blocking counterpart would.
 ///
 /// One driver serves one session; enable recording before driving to
-/// capture a [`Transcript`].
+/// capture a [`Transcript`], attach a
+/// [`MetricsRegistry`](ppcs_telemetry::MetricsRegistry) to collect
+/// telemetry.
 #[derive(Debug, Default)]
 pub struct Driver {
     transcript: Option<Transcript>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    timeout: Option<Duration>,
 }
 
 impl Driver {
@@ -191,6 +199,28 @@ impl Driver {
     #[must_use]
     pub fn with_recording(mut self) -> Self {
         self.transcript = Some(Transcript::new());
+        self
+    }
+
+    /// Attaches a telemetry registry: every [`drive`](Self::drive)
+    /// installs it as the thread's span collector (so protocol-phase
+    /// spans inside the role logic land in it) and merges the drive's
+    /// wire-traffic deltas, poll count, and round count into it.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Sets the receive deadline every [`drive`](Self::drive) applies to
+    /// its endpoint before pumping. Configure the drivers on **both**
+    /// parties with the same value to get a symmetric deadline on a TCP
+    /// connection pair; a [`TransportError::Timeout`] during the drive
+    /// is counted in the attached registry and emits a `warn` trace
+    /// event carrying the frame kind last seen and the engine round.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
         self
     }
 
@@ -214,11 +244,48 @@ impl Driver {
     where
         E: From<TransportError>,
     {
+        if let Some(timeout) = self.timeout {
+            ep.set_recv_timeout(Some(timeout));
+        }
+        // Role futures poll on this thread, so installing the collector
+        // here covers every span in the protocol stack — blocking
+        // wrappers and TCP paths get telemetry for free.
+        let _collector = self.metrics.clone().map(ppcs_telemetry::install);
+        let stats_before = self.metrics.is_some().then(|| ep.stats());
+        let rounds_before = engine.rounds();
+        let result = self.drive_loop(ep, engine);
+        if let Some(reg) = &self.metrics {
+            merge_wire_delta(reg, &stats_before.expect("snapshotted"), &ep.stats());
+            reg.record_rounds(engine.rounds() - rounds_before);
+        }
+        result
+    }
+
+    fn drive_loop<T, E>(
+        &mut self,
+        ep: &Endpoint,
+        engine: &mut ProtocolEngine<'_, T, E>,
+    ) -> Result<T, E>
+    where
+        E: From<TransportError>,
+    {
+        // The frame kind most recently sent or delivered: locates a
+        // timeout within the session for the warn event.
+        let mut last_kind: Option<u16> = None;
         loop {
+            if let Some(reg) = &self.metrics {
+                reg.record_polls(1);
+            }
             while let Some(out) = engine.poll_output() {
                 if let Some(t) = &mut self.transcript {
                     t.record(Direction::Sent, &out);
                 }
+                if let Some(reg) = &self.metrics {
+                    for f in out.frames() {
+                        reg.record_frame_size(f.payload.len() as u64);
+                    }
+                }
+                last_kind = out.frames().last().map(|f| f.kind);
                 let sent = match &out {
                     Outgoing::Frame(f) => ep.send(f.clone()),
                     Outgoing::Batch(fs) => ep.send_coalesced(fs),
@@ -239,9 +306,23 @@ impl Driver {
                     if let Some(t) = &mut self.transcript {
                         t.record_received(&frame);
                     }
+                    if let Some(reg) = &self.metrics {
+                        reg.record_frame_size(frame.payload.len() as u64);
+                    }
+                    last_kind = Some(frame.kind);
                     engine.handle_input(frame);
                 }
                 Err(e) => {
+                    if e == TransportError::Timeout {
+                        if let Some(reg) = &self.metrics {
+                            reg.record_timeout();
+                        }
+                        ppcs_telemetry::warn_event(
+                            "recv timeout",
+                            last_kind,
+                            Some(engine.rounds()),
+                        );
+                    }
                     engine.inject_failure(e.clone());
                     return match engine.take_result() {
                         Some(r) => r,
@@ -250,6 +331,35 @@ impl Driver {
                 }
             }
         }
+    }
+}
+
+/// Feeds the change in an endpoint's traffic counters across one drive
+/// into a registry, kind by kind. Deltas (not absolutes) make repeated
+/// drives and concurrent lanes over shared registries compose.
+fn merge_wire_delta(reg: &MetricsRegistry, before: &TrafficStats, after: &TrafficStats) {
+    for k in &after.by_kind {
+        let (fs0, bs0, fr0, br0) = match before.kind(k.kind) {
+            Some(b) => (
+                b.frames_sent,
+                b.bytes_sent,
+                b.frames_received,
+                b.bytes_received,
+            ),
+            None => (0, 0, 0, 0),
+        };
+        reg.record_wire(
+            k.kind,
+            WireDir::Sent,
+            k.frames_sent - fs0,
+            k.bytes_sent - bs0,
+        );
+        reg.record_wire(
+            k.kind,
+            WireDir::Received,
+            k.frames_received - fr0,
+            k.bytes_received - br0,
+        );
     }
 }
 
@@ -507,6 +617,69 @@ mod tests {
         let mut eng = ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
         let err = drive_blocking(&ep_a, &mut eng).unwrap_err();
         assert_eq!(err, TransportError::Disconnected);
+    }
+
+    #[test]
+    fn driver_metrics_match_endpoint_stats() {
+        let (ep_a, ep_b) = duplex();
+        let handle = std::thread::spawn(move || {
+            let mut eng = ProtocolEngine::new(ponger);
+            drive_blocking(&ep_b, &mut eng)
+        });
+        let reg = ppcs_telemetry::MetricsRegistry::new(1, "pinger");
+        let mut driver = Driver::new().with_metrics(reg.clone());
+        let mut eng = ProtocolEngine::new(pinger);
+        assert_eq!(driver.drive(&ep_a, &mut eng), Ok(21));
+        handle.join().expect("peer").expect("peer result");
+
+        let stats = ep_a.stats();
+        let report = reg.report();
+        assert_eq!(report.bytes_sent(), stats.bytes_sent);
+        assert_eq!(report.bytes_received(), stats.bytes_received);
+        assert_eq!(report.frames_sent(), stats.frames_sent);
+        assert_eq!(report.frames_received(), stats.frames_received);
+        assert_eq!(report.rounds, 1, "pinger handles one frame");
+        assert!(report.polls > 0);
+        assert_eq!(report.frame_sizes.count, 2, "one sent + one received");
+    }
+
+    #[test]
+    fn repeated_drives_accumulate_metric_deltas() {
+        let reg = ppcs_telemetry::MetricsRegistry::new(2, "pinger");
+        let mut total = 0;
+        for _ in 0..3 {
+            let (ep_a, ep_b) = duplex();
+            let handle = std::thread::spawn(move || {
+                let mut eng = ProtocolEngine::new(ponger);
+                drive_blocking(&ep_b, &mut eng)
+            });
+            let mut driver = Driver::new().with_metrics(reg.clone());
+            let mut eng = ProtocolEngine::new(pinger);
+            driver.drive(&ep_a, &mut eng).expect("session");
+            handle.join().expect("peer").expect("peer result");
+            total += ep_a.stats().total_bytes();
+        }
+        assert_eq!(reg.report().total_wire_bytes(), total);
+        assert_eq!(reg.report().rounds, 3);
+    }
+
+    #[test]
+    fn driver_timeout_is_counted_and_warned() {
+        let (ep_a, _ep_b) = duplex();
+        let reg = ppcs_telemetry::MetricsRegistry::new(3, "waiter");
+        let mut driver = Driver::new()
+            .with_metrics(reg.clone())
+            .with_timeout(std::time::Duration::from_millis(10));
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move {
+                io.send_msg(5, &1u64)?;
+                io.recv_msg::<u64>(1).await
+            });
+        let err = driver.drive(&ep_a, &mut eng).unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+        let report = reg.report();
+        assert_eq!(report.timeouts, 1);
+        assert_eq!(report.warns, 1);
     }
 
     #[test]

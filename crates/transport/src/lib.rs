@@ -40,7 +40,8 @@ mod tcp;
 mod wire;
 
 pub use channel::{
-    coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, TrafficStats, KIND_COALESCED,
+    coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, KindTraffic, TrafficStats,
+    KIND_COALESCED,
 };
 pub use driver::{
     drive_blocking, replay, run_engine_pair, Direction, Driver, Transcript, TranscriptEntry,

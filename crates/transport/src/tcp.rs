@@ -175,14 +175,14 @@ mod tests {
 
     #[test]
     fn tcp_timeout_honored() {
-        let (mut server, _client) = tcp_pair();
+        let (server, _client) = tcp_pair();
         server.set_recv_timeout(Some(Duration::from_millis(20)));
         assert_eq!(server.recv().unwrap_err(), TransportError::Timeout);
     }
 
     #[test]
     fn tcp_timeout_can_be_retuned_between_receives() {
-        let (mut server, client) = tcp_pair();
+        let (server, client) = tcp_pair();
         // A short deadline times out, then a longer one set on the same
         // connection lets a late frame through — the cached timeout must
         // be re-applied when the endpoint deadline changes.
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn tcp_zero_timeout_is_clamped_not_rejected() {
-        let (mut server, _client) = tcp_pair();
+        let (server, _client) = tcp_pair();
         server.set_recv_timeout(Some(Duration::ZERO));
         // std's set_read_timeout errors on a zero duration; the clamp
         // turns it into an immediate Timeout instead of an Io error.

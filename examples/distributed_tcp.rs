@@ -11,14 +11,30 @@
 //! ```
 
 use std::net::TcpListener;
+use std::sync::Arc;
 
 use ppcs_core::{Client, ProtocolConfig, Trainer};
 use ppcs_math::FixedFpAlgebra;
 use ppcs_ot::NaorPinkasOt;
 use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
-use ppcs_transport::{tcp_accept, tcp_connect};
+use ppcs_telemetry::{MetricsRegistry, WireDir};
+use ppcs_transport::{tcp_accept, tcp_connect, TrafficStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Folds an endpoint's per-kind traffic counters into the registry, so
+/// the session report's byte columns match [`TrafficStats`] exactly.
+fn merge_traffic(reg: &MetricsRegistry, stats: &TrafficStats) {
+    for k in &stats.by_kind {
+        reg.record_wire(k.kind, WireDir::Sent, k.frames_sent, k.bytes_sent);
+        reg.record_wire(
+            k.kind,
+            WireDir::Received,
+            k.frames_received,
+            k.bytes_received,
+        );
+    }
+}
 
 fn train_model() -> SvmModel {
     let mut rng = StdRng::seed_from_u64(99);
@@ -55,15 +71,23 @@ fn run_trainer(addr: &str) {
     let trainer =
         Trainer::new(FixedFpAlgebra::new(16), &train_model(), cfg).expect("trainer setup");
     let mut rng = StdRng::seed_from_u64(1);
-    let served = trainer
-        .serve(&ep, &NaorPinkasOt::fast_insecure(), &mut rng)
-        .expect("serve session");
+    let reg = MetricsRegistry::new(1, "trainer");
+    let served = {
+        // The blocking wrapper polls the role future on this thread, so
+        // installing a collector here captures every protocol span.
+        let _collector = ppcs_telemetry::install(Arc::clone(&reg));
+        trainer
+            .serve(&ep, &NaorPinkasOt::fast_insecure(), &mut rng)
+            .expect("serve session")
+    };
     let stats = ep.stats();
+    merge_traffic(&reg, &stats);
     println!(
         "[trainer] served {served} private classifications \
          ({} B sent, {} B received); the samples never reached us in the clear.",
         stats.bytes_sent, stats.bytes_received
     );
+    println!("{}", reg.report());
 }
 
 fn run_client(addr: &str) {
@@ -73,13 +97,19 @@ fn run_client(addr: &str) {
     let client = Client::new(FixedFpAlgebra::new(16), cfg);
     let mut rng = StdRng::seed_from_u64(2);
     let samples = client_samples();
-    let labels = client
-        .classify_batch(&ep, &NaorPinkasOt::fast_insecure(), &mut rng, &samples)
-        .expect("classification");
+    let reg = MetricsRegistry::new(1, "client");
+    let labels = {
+        let _collector = ppcs_telemetry::install(Arc::clone(&reg));
+        client
+            .classify_batch(&ep, &NaorPinkasOt::fast_insecure(), &mut rng, &samples)
+            .expect("classification")
+    };
     for (s, l) in samples.iter().zip(&labels) {
         println!("[client] {s:?} → class {l}");
     }
     println!("[client] the model never reached us; we learned only these classes.");
+    merge_traffic(&reg, &ep.stats());
+    println!("{}", reg.report());
 }
 
 fn main() {

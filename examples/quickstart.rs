@@ -6,11 +6,15 @@
 //! ```text
 //! cargo run -p ppcs-examples --bin quickstart --release
 //! ```
+//!
+//! Set `PPCS_TRACE=1` to watch the protocol phases stream by as compact
+//! one-line spans, and see the per-phase summary table at the end.
 
 use ppcs_core::{Client, ProtocolConfig, Trainer};
 use ppcs_math::FixedFpAlgebra;
 use ppcs_ot::NaorPinkasOt;
 use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+use ppcs_telemetry::{MetricsRegistry, WireDir};
 use ppcs_transport::run_pair;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +57,8 @@ fn main() {
     let expected: Vec<Label> = samples.iter().map(|s| model.predict(s)).collect();
 
     let samples_for_bob = samples.clone();
+    let reg = MetricsRegistry::new(1, "client");
+    let reg_for_bob = reg.clone();
     let (served, labels) = run_pair(
         move |ep| {
             let mut rng = StdRng::seed_from_u64(1);
@@ -61,11 +67,24 @@ fn main() {
             (n, ep.stats())
         },
         move |ep| {
+            // The collector makes Bob's protocol spans (and, with
+            // PPCS_TRACE=1, the live trace lines) land in `reg`.
+            let _collector = ppcs_telemetry::install(reg_for_bob.clone());
             let mut rng = StdRng::seed_from_u64(2);
             let ot = NaorPinkasOt::fast_insecure();
-            client
+            let labels = client
                 .classify_batch(&ep, &ot, &mut rng, &samples_for_bob)
-                .expect("classify")
+                .expect("classify");
+            for k in &ep.stats().by_kind {
+                reg_for_bob.record_wire(k.kind, WireDir::Sent, k.frames_sent, k.bytes_sent);
+                reg_for_bob.record_wire(
+                    k.kind,
+                    WireDir::Received,
+                    k.frames_received,
+                    k.bytes_received,
+                );
+            }
+            labels
         },
     );
 
@@ -79,4 +98,5 @@ fn main() {
         "Traffic on Alice's endpoint: {} bytes sent, {} bytes received.",
         served.1.bytes_sent, served.1.bytes_received
     );
+    println!("\nBob's per-phase telemetry:\n{}", reg.report());
 }
