@@ -18,14 +18,18 @@
 //! hyperplane from `n + 1` exact distance values (the tangent attack of
 //! Fig. 6, implemented in [`privacy`](crate::privacy)).
 
+use std::time::Duration;
+
 use ppcs_math::{Algebra, DenseAffine};
 use ppcs_ompe::{
-    ompe_receive_batch_io, ompe_receive_io, ompe_send_batch_io, ompe_send_io, OmpeParams,
+    ompe_receive_batch_io, ompe_receive_io, ompe_send_batch_io, ompe_send_io, OmpeError, OmpeParams,
 };
-use ppcs_ot::{ObliviousTransfer, OtSelect};
+use ppcs_ot::{ObliviousTransfer, OtError, OtSelect};
 use ppcs_svm::{Kernel, Label, SvmModel};
 use ppcs_telemetry::Phase;
-use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
+use ppcs_transport::{
+    drive_blocking, Encodable, Frame, FrameIo, Lane, ProtocolEngine, TransportError,
+};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -35,6 +39,22 @@ use crate::expansion::{expand_model, BasisKind};
 
 const KIND_CLS_HELLO: u16 = 0x0500;
 const KIND_CLS_SPEC: u16 = 0x0501;
+/// Sent by the parallel client to tell a trainer lane that no more
+/// sessions are coming, so its serve loop can finish cleanly.
+const KIND_CLS_FIN: u16 = 0x0502;
+
+/// The transport failure at the root of a classification error, if any —
+/// however deep it sits (direct, under OMPE, or under OMPE's OT layer).
+/// Transport failures are transient and make a lane worth retrying;
+/// everything else is deterministic and would just fail again.
+fn transport_cause(e: &PpcsError) -> Option<&TransportError> {
+    match e {
+        PpcsError::Transport(te) => Some(te),
+        PpcsError::Ompe(OmpeError::Transport(te)) => Some(te),
+        PpcsError::Ompe(OmpeError::Ot(OtError::Transport(te))) => Some(te),
+        _ => None,
+    }
+}
 
 /// Fixed-point scale power of the decision value both sides decode at
 /// (inputs and coefficients sit at scale 1, so products sit at 2).
@@ -248,9 +268,9 @@ where
     /// # Errors
     ///
     /// Transport, OT, and OMPE failures.
-    pub fn serve(
+    pub fn serve<L: Lane + ?Sized>(
         &self,
-        ep: &Endpoint,
+        ep: &L,
         ot: &dyn ObliviousTransfer,
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
@@ -296,10 +316,17 @@ where
         })
     }
 
-    /// Serves one classification session per lane, each on its own
+    /// Serves classification sessions per lane, each lane on its own
     /// thread — the trainer half of
     /// [`Client::classify_batch_parallel`]. Returns the total number of
     /// samples served across all lanes.
+    ///
+    /// Each lane runs a **session loop**: every `HELLO` opens a fresh
+    /// session (so a client retrying or requeueing a failed chunk is
+    /// served again on the same lane), a failed session abandons only
+    /// itself, and the loop ends on a `FIN` frame, a disconnect, or a
+    /// receive timeout. One bad session therefore costs latency, not the
+    /// batch.
     ///
     /// Per-lane randomness is derived from `seed` (lane `i` uses
     /// `seed + i`), so a run is reproducible without sharing one RNG
@@ -307,13 +334,14 @@ where
     ///
     /// # Errors
     ///
-    /// The first lane error, if any lane fails.
-    pub fn serve_parallel(
+    /// The first non-recoverable lane error, if any lane hits one.
+    pub fn serve_parallel<L: Lane>(
         &self,
-        lanes: &[Endpoint],
+        lanes: &[L],
         ot: &dyn ObliviousTransfer,
         seed: u64,
     ) -> Result<usize, PpcsError> {
+        let sel = ot.select();
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .iter()
@@ -321,7 +349,7 @@ where
                 .map(|(i, ep)| {
                     scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-                        self.serve(ep, ot, &mut rng)
+                        self.serve_lane(ep, sel, &mut rng)
                     })
                 })
                 .collect();
@@ -331,6 +359,48 @@ where
                 .collect::<Vec<_>>()
         });
         results.into_iter().sum()
+    }
+
+    /// One lane's session loop: serve every `HELLO`-opened session until
+    /// the client says `FIN` or the lane dies.
+    fn serve_lane<L: Lane + ?Sized>(
+        &self,
+        ep: &L,
+        sel: OtSelect,
+        rng: &mut StdRng,
+    ) -> Result<usize, PpcsError> {
+        let mut total = 0usize;
+        loop {
+            let first = match ep.recv() {
+                Ok(f) => f,
+                // The client went away (or will never come back before
+                // the deadline): this lane is done, not failed.
+                Err(TransportError::Disconnected | TransportError::Timeout) => break,
+                Err(e) => return Err(PpcsError::Transport(e)),
+            };
+            if first.kind == KIND_CLS_FIN {
+                break;
+            }
+            if first.kind != KIND_CLS_HELLO {
+                // Stale traffic from an abandoned session: skip until
+                // the next HELLO opens a fresh one.
+                continue;
+            }
+            let r = &mut *rng;
+            let mut engine =
+                ProtocolEngine::new(|io| async move { self.serve_io(&io, sel, r).await });
+            engine.handle_input(first);
+            match drive_blocking(ep, &mut engine) {
+                Ok(n) => total += n,
+                Err(e) => match transport_cause(&e) {
+                    Some(TransportError::Disconnected) => break,
+                    // A timed-out or derailed session abandons itself;
+                    // the lane resyncs on the next HELLO.
+                    Some(_) | None => continue,
+                },
+            }
+        }
+        Ok(total)
     }
 }
 
@@ -394,9 +464,9 @@ where
     /// [`PpcsError::Protocol`] if the trainer's announced spec disagrees
     /// with the samples' dimensionality or this client's configuration,
     /// plus transport/OMPE failures.
-    pub fn classify_batch(
+    pub fn classify_batch<L: Lane + ?Sized>(
         &self,
-        ep: &Endpoint,
+        ep: &L,
         ot: &dyn ObliviousTransfer,
         rng: &mut dyn RngCore,
         samples: &[Vec<f64>],
@@ -439,9 +509,9 @@ where
     /// # Errors
     ///
     /// Same as [`Client::classify_batch`].
-    pub fn classify_batch_values(
+    pub fn classify_batch_values<L: Lane + ?Sized>(
         &self,
-        ep: &Endpoint,
+        ep: &L,
         ot: &dyn ObliviousTransfer,
         rng: &mut dyn RngCore,
         samples: &[Vec<f64>],
@@ -538,13 +608,20 @@ where
     /// [`Client::classify_batch`] over one lane would return for the
     /// same model. Per-lane randomness is derived from `seed`.
     ///
+    /// A lane failing on a **transport** error degrades gracefully: the
+    /// chunk is retried once on its own lane, then requeued onto the
+    /// surviving lanes — one bad connection costs latency, not the
+    /// batch. Deterministic (protocol/codec) failures propagate
+    /// immediately, since replaying the same bytes would fail the same
+    /// way.
+    ///
     /// # Errors
     ///
-    /// [`PpcsError::Protocol`] if `lanes` is empty, plus the first lane
-    /// error, if any lane fails.
-    pub fn classify_batch_parallel(
+    /// [`PpcsError::Protocol`] if `lanes` is empty, any deterministic
+    /// lane error, or the first transport error once every lane is dead.
+    pub fn classify_batch_parallel<L: Lane>(
         &self,
-        lanes: &[Endpoint],
+        lanes: &[L],
         ot: &dyn ObliviousTransfer,
         seed: u64,
         samples: &[Vec<f64>],
@@ -562,8 +639,7 @@ where
                 .enumerate()
                 .map(|(i, (ep, chunk))| {
                     scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-                        self.classify_batch(ep, ot, &mut rng, chunk)
+                        self.classify_chunk(ep, ot, seed.wrapping_add(i as u64), chunk)
                     })
                 })
                 .collect();
@@ -572,11 +648,95 @@ where
                 .map(|h| h.join().expect("classify lane thread panicked"))
                 .collect::<Vec<_>>()
         });
+
+        let mut out: Vec<Option<Vec<Label>>> = Vec::with_capacity(chunks.len());
+        let mut lane_ok = vec![true; lanes.len()];
+        let mut first_err: Option<PpcsError> = None;
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(labels) => out.push(Some(labels)),
+                Err(e) => {
+                    if transport_cause(&e).is_none() {
+                        // Deterministic failure: retrying cannot help.
+                        return Err(e);
+                    }
+                    lane_ok[i] = false;
+                    first_err.get_or_insert(e);
+                    out.push(None);
+                }
+            }
+        }
+
+        // Requeue failed chunks onto surviving lanes, sequentially: the
+        // latency of a rescue matters less than completing the batch.
+        for i in 0..out.len() {
+            if out[i].is_some() {
+                continue;
+            }
+            let mut rescued = None;
+            for (j, ep) in lanes.iter().enumerate() {
+                if !lane_ok[j] {
+                    continue;
+                }
+                // Fresh deterministic randomness for the requeued
+                // attempt, domain-separated from the phase-1 streams.
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1),
+                );
+                match self.classify_batch(ep, ot, &mut rng, chunks[i]) {
+                    Ok(labels) => {
+                        rescued = Some(labels);
+                        break;
+                    }
+                    Err(e) => {
+                        if transport_cause(&e).is_none() {
+                            return Err(e);
+                        }
+                        lane_ok[j] = false;
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            match rescued {
+                Some(labels) => out[i] = Some(labels),
+                None => {
+                    return Err(first_err.expect("a lane failure put us on this path"));
+                }
+            }
+        }
+
+        // Tell every lane's serve loop that no more sessions are coming.
+        // Best effort: a dead lane's trainer thread ends on disconnect
+        // or deadline instead.
+        for ep in lanes {
+            let _ = ep.send(Frame::encode(KIND_CLS_FIN, &0u64));
+        }
+
         let mut labels = Vec::with_capacity(samples.len());
-        for lane_labels in results {
-            labels.extend(lane_labels?);
+        for lane_labels in out {
+            labels.extend(lane_labels.expect("every chunk resolved or we returned early"));
         }
         Ok(labels)
+    }
+
+    /// One lane's phase-1 work: classify the chunk, with a single
+    /// same-lane retry when the failure is transport-rooted (the trainer
+    /// lane resyncs on the retry's `HELLO`).
+    fn classify_chunk<L: Lane + ?Sized>(
+        &self,
+        ep: &L,
+        ot: &dyn ObliviousTransfer,
+        seed: u64,
+        chunk: &[Vec<f64>],
+    ) -> Result<Vec<Label>, PpcsError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.classify_batch(ep, ot, &mut rng, chunk) {
+            Err(e) if transport_cause(&e).is_some() => {
+                std::thread::sleep(Duration::from_millis(10));
+                self.classify_batch(ep, ot, &mut rng, chunk)
+            }
+            r => r,
+        }
     }
 }
 
@@ -619,7 +779,7 @@ mod tests {
     use ppcs_math::{F64Algebra, FixedFpAlgebra};
     use ppcs_ot::{NaorPinkasOt, TrustedSimOt};
     use ppcs_svm::{Dataset, SmoParams};
-    use ppcs_transport::run_pair;
+    use ppcs_transport::{run_pair, Endpoint};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -858,7 +1018,7 @@ mod tests {
     fn parallel_rejects_empty_lane_set() {
         let client = Client::new(F64Algebra::new(), ProtocolConfig::default());
         let err = client
-            .classify_batch_parallel(&[], &SIM, 0, &[vec![0.0]])
+            .classify_batch_parallel::<Endpoint>(&[], &SIM, 0, &[vec![0.0]])
             .unwrap_err();
         assert!(matches!(err, PpcsError::Protocol(_)));
     }

@@ -241,6 +241,28 @@ impl Fp256 {
         Self::from_raw(limbs)
     }
 
+    /// Deserializes from 32 little-endian bytes, rejecting non-canonical
+    /// encodings: returns `None` for values `>= p` instead of silently
+    /// reducing them.
+    ///
+    /// Wire-level decoding must use this form — a malleable encoding
+    /// (`x` and `x + p` decoding to the same element) would let two
+    /// byte-distinct transcripts replay to identical sessions, breaking
+    /// transcript byte-comparison.
+    pub fn from_bytes_canonical(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            *limb = u64::from_le_bytes(b);
+        }
+        if geq(&limbs, &MODULUS) {
+            return None;
+        }
+        let e = Fp256 { mont: limbs };
+        Some(e.mont_mul(&Fp256 { mont: R2_MOD_P }))
+    }
+
     /// Interprets the element as a signed integer in the balanced range
     /// `(-p/2, p/2]` and returns it if it fits in an `i128`.
     ///
@@ -570,6 +592,42 @@ mod tests {
         for v in [0i128, 1, -1, i64::MAX as i128 * 3, -(1i128 << 100)] {
             assert_eq!(Fp256::from_i128(v).to_i128(), Some(v));
         }
+    }
+
+    #[test]
+    fn canonical_decode_rejects_values_at_or_above_p() {
+        let limbs_to_bytes = |limbs: [u64; 4]| {
+            let mut out = [0u8; 32];
+            for (i, limb) in limbs.iter().enumerate() {
+                out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+            }
+            out
+        };
+        // p itself and p + 1 are non-canonical encodings of 0 and 1.
+        let p_bytes = limbs_to_bytes(MODULUS);
+        assert!(Fp256::from_bytes_canonical(&p_bytes).is_none());
+        let mut p_plus_one = MODULUS;
+        p_plus_one[0] += 1;
+        assert!(Fp256::from_bytes_canonical(&limbs_to_bytes(p_plus_one)).is_none());
+        // ...but the permissive decoder silently reduces them.
+        assert_eq!(Fp256::from_bytes(&p_bytes), Fp256::ZERO);
+        // All-ones (2^256 - 1 >= p) is rejected too.
+        assert!(Fp256::from_bytes_canonical(&[0xFF; 32]).is_none());
+    }
+
+    #[test]
+    fn canonical_decode_round_trips_canonical_bytes() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..64 {
+            let e = Fp256::random(&mut rng);
+            let bytes = e.to_bytes();
+            let back = Fp256::from_bytes_canonical(&bytes).expect("canonical bytes accepted");
+            assert_eq!(back, e);
+        }
+        assert_eq!(
+            Fp256::from_bytes_canonical(&Fp256::ONE.to_bytes()),
+            Some(Fp256::ONE)
+        );
     }
 
     #[test]

@@ -128,6 +128,9 @@ pub struct MetricsRegistry {
     rounds: AtomicU64,
     timeouts: AtomicU64,
     warns: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    faults: AtomicU64,
     phase_ns: [Histogram; Phase::ALL.len()],
     frame_sizes: Histogram,
     kinds: [KindSlot; NUM_KIND_SLOTS],
@@ -145,6 +148,9 @@ impl MetricsRegistry {
             rounds: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             warns: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
             phase_ns: std::array::from_fn(|_| Histogram::new()),
             frame_sizes: Histogram::new(),
             kinds: std::array::from_fn(|_| KindSlot::default()),
@@ -179,6 +185,21 @@ impl MetricsRegistry {
     /// Counts one warning event.
     pub fn record_warn(&self) {
         self.warns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session retry (a backoff before a reconnect attempt).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful reconnect after a transport failure.
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one injected transport fault (chaos testing).
+    pub fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one closed span: `ns` of wall time spent in `phase`.
@@ -286,6 +307,9 @@ impl MetricsRegistry {
             rounds: self.rounds.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             warns: self.warns.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
             frame_sizes: FrameSizeReport {
                 count: self.frame_sizes.count(),
                 min: self.frame_sizes.min(),

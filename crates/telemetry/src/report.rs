@@ -75,6 +75,12 @@ pub struct SessionReport {
     pub timeouts: u64,
     /// Warning events emitted.
     pub warns: u64,
+    /// Session retries (backoffs before reconnect attempts).
+    pub retries: u64,
+    /// Successful reconnects after transport failures.
+    pub reconnects: u64,
+    /// Transport faults injected (chaos testing).
+    pub faults: u64,
     /// Frame payload-size distribution.
     pub frame_sizes: FrameSizeReport,
     /// Per-phase wall time, report order.
@@ -157,6 +163,9 @@ impl SessionReport {
             ("rounds", num(self.rounds)),
             ("timeouts", num(self.timeouts)),
             ("warns", num(self.warns)),
+            ("retries", num(self.retries)),
+            ("reconnects", num(self.reconnects)),
+            ("faults", num(self.faults)),
             (
                 "frame_sizes",
                 obj(vec![
@@ -239,6 +248,11 @@ impl SessionReport {
             rounds: field("rounds")?,
             timeouts: field("timeouts")?,
             warns: field("warns")?,
+            // Resilience counters postdate the first report format:
+            // parse leniently so archived bench artifacts still load.
+            retries: doc.get("retries").and_then(Json::as_u64).unwrap_or(0),
+            reconnects: doc.get("reconnects").and_then(Json::as_u64).unwrap_or(0),
+            faults: doc.get("faults").and_then(Json::as_u64).unwrap_or(0),
             frame_sizes: FrameSizeReport {
                 count: fs_field("count")?,
                 min: fs_field("min")?,
@@ -347,6 +361,9 @@ mod tests {
             rounds: 9,
             timeouts: 1,
             warns: 1,
+            retries: 2,
+            reconnects: 1,
+            faults: 3,
             frame_sizes: FrameSizeReport {
                 count: 12,
                 min: 6,
@@ -417,6 +434,22 @@ mod tests {
         let mut text = sample().to_json();
         text = text.replace("\"rounds\"", "\"wrong\"");
         assert!(SessionReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn reports_without_resilience_counters_still_parse() {
+        // Artifacts written before retries/reconnects/faults existed.
+        let mut report = sample();
+        let text = report
+            .to_json()
+            .replace("\"retries\":2,", "")
+            .replace("\"reconnects\":1,", "")
+            .replace("\"faults\":3,", "");
+        let back = SessionReport::from_json(&text).unwrap();
+        report.retries = 0;
+        report.reconnects = 0;
+        report.faults = 0;
+        assert_eq!(back, report);
     }
 
     #[test]

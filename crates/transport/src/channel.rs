@@ -243,9 +243,10 @@ pub struct Endpoint {
     backend: Backend,
     stats: Arc<SharedStats>,
     /// Default timeout for blocking receives; `None` blocks forever.
-    /// Behind a mutex so drivers can adjust it through a shared
-    /// reference (see `Driver::with_timeout`).
-    recv_timeout: Mutex<Option<Duration>>,
+    /// Behind a shared mutex so drivers can adjust it through a shared
+    /// reference (see `Driver::with_timeout`) and so every lane of a
+    /// [`duplex_pool`] side inherits one deadline cell.
+    recv_timeout: Arc<Mutex<Option<Duration>>>,
     /// Sub-frames unpacked from a coalesced frame, drained before the
     /// backend is asked for more data.
     pending: Mutex<VecDeque<Frame>>,
@@ -261,7 +262,7 @@ impl Endpoint {
         Ok(Self {
             backend: Backend::Tcp(Mutex::new(crate::tcp::TcpConnection::new(stream)?)),
             stats: Arc::new(SharedStats::default()),
-            recv_timeout: Mutex::new(Some(Duration::from_secs(30))),
+            recv_timeout: Arc::new(Mutex::new(Some(Duration::from_secs(30)))),
             pending: Mutex::new(VecDeque::new()),
         })
     }
@@ -421,8 +422,10 @@ pub fn coalesce_frames(frames: &[Frame]) -> Result<Frame, TransportError> {
     })
 }
 
-/// Splits a coalesced payload back into its sub-frames.
-fn uncoalesce(payload: &Bytes) -> Result<VecDeque<Frame>, TransportError> {
+/// Splits a coalesced payload back into its sub-frames. Shared with the
+/// fault-injection lane, which re-sequences whole wire frames and must
+/// unpack surviving batches exactly like [`Endpoint::recv`] does.
+pub(crate) fn uncoalesce(payload: &Bytes) -> Result<VecDeque<Frame>, TransportError> {
     let truncated = || TransportError::Decode("truncated coalesced frame".into());
     let read_u32 = |pos: usize| -> Result<u32, TransportError> {
         payload
@@ -481,18 +484,21 @@ fn uncoalesce(payload: &Bytes) -> Result<VecDeque<Frame>, TransportError> {
     Ok(frames)
 }
 
-/// Creates a connected pair of endpoints.
-pub fn duplex() -> (Endpoint, Endpoint) {
+/// Builds one connected in-memory pair whose endpoints use the given
+/// (possibly shared) recv-deadline cells.
+fn duplex_with_cells(
+    cell_a: Arc<Mutex<Option<Duration>>>,
+    cell_b: Arc<Mutex<Option<Duration>>>,
+) -> (Endpoint, Endpoint) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
-    let default_timeout = Some(Duration::from_secs(30));
     let a = Endpoint {
         backend: Backend::Memory {
             tx: tx_ab,
             rx: rx_ba,
         },
         stats: Arc::new(SharedStats::default()),
-        recv_timeout: Mutex::new(default_timeout),
+        recv_timeout: cell_a,
         pending: Mutex::new(VecDeque::new()),
     };
     let b = Endpoint {
@@ -501,24 +507,104 @@ pub fn duplex() -> (Endpoint, Endpoint) {
             rx: rx_ab,
         },
         stats: Arc::new(SharedStats::default()),
-        recv_timeout: Mutex::new(default_timeout),
+        recv_timeout: cell_b,
         pending: Mutex::new(VecDeque::new()),
     };
     (a, b)
 }
 
+/// Default blocking-receive deadline for freshly created endpoints.
+const DEFAULT_RECV_TIMEOUT: Option<Duration> = Some(Duration::from_secs(30));
+
+/// Creates a connected pair of endpoints.
+pub fn duplex() -> (Endpoint, Endpoint) {
+    duplex_with_cells(
+        Arc::new(Mutex::new(DEFAULT_RECV_TIMEOUT)),
+        Arc::new(Mutex::new(DEFAULT_RECV_TIMEOUT)),
+    )
+}
+
 /// Creates `lanes` independent duplex connections for parallel protocol
 /// sessions; returns the two sides as parallel vectors (`left[i]` talks
 /// to `right[i]`).
+///
+/// All lanes of one side share a single recv-deadline cell, so a
+/// [`Endpoint::set_recv_timeout`] (or `Driver::with_timeout`) applied to
+/// any lane governs every lane of that side — a stalled pool lane times
+/// out exactly when its siblings would, instead of waiting forever on a
+/// deadline that was only set on one lane.
 pub fn duplex_pool(lanes: usize) -> (Vec<Endpoint>, Vec<Endpoint>) {
+    let left_cell = Arc::new(Mutex::new(DEFAULT_RECV_TIMEOUT));
+    let right_cell = Arc::new(Mutex::new(DEFAULT_RECV_TIMEOUT));
     let mut left = Vec::with_capacity(lanes);
     let mut right = Vec::with_capacity(lanes);
     for _ in 0..lanes {
-        let (a, b) = duplex();
+        let (a, b) = duplex_with_cells(left_cell.clone(), right_cell.clone());
         left.push(a);
         right.push(b);
     }
     (left, right)
+}
+
+/// A sendable/receivable frame lane: the minimal surface protocol
+/// drivers need, implemented by plain [`Endpoint`]s and by wrappers such
+/// as the fault-injection lane ([`crate::FaultyLane`]).
+///
+/// Having the drivers and the parallel classification pipeline speak to
+/// this trait instead of `Endpoint` directly is what lets the chaos
+/// harness interpose a deterministic fault schedule on any session
+/// without the protocol code knowing.
+pub trait Lane: Send + Sync {
+    /// Sends one frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TransportError`] from the underlying medium.
+    fn send(&self, frame: Frame) -> Result<(), TransportError>;
+
+    /// Coalesces a batch into one wire frame and sends it.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Decode`] for an empty batch, else any transport
+    /// failure.
+    fn send_coalesced(&self, frames: &[Frame]) -> Result<(), TransportError>;
+
+    /// Receives the next frame, honoring the configured deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] past the deadline,
+    /// [`TransportError::Disconnected`] if the peer is gone.
+    fn recv(&self) -> Result<Frame, TransportError>;
+
+    /// Sets the blocking-receive deadline; `None` blocks forever.
+    fn set_recv_timeout(&self, timeout: Option<Duration>);
+
+    /// Snapshot of the lane's traffic counters.
+    fn stats(&self) -> TrafficStats;
+}
+
+impl Lane for Endpoint {
+    fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        Endpoint::send(self, frame)
+    }
+
+    fn send_coalesced(&self, frames: &[Frame]) -> Result<(), TransportError> {
+        Endpoint::send_coalesced(self, frames)
+    }
+
+    fn recv(&self) -> Result<Frame, TransportError> {
+        Endpoint::recv(self)
+    }
+
+    fn set_recv_timeout(&self, timeout: Option<Duration>) {
+        Endpoint::set_recv_timeout(self, timeout)
+    }
+
+    fn stats(&self) -> TrafficStats {
+        Endpoint::stats(self)
+    }
 }
 
 /// Runs two party closures on separate threads over a fresh duplex
@@ -749,6 +835,30 @@ mod tests {
         for (i, r) in right.iter().enumerate() {
             assert_eq!(r.recv_msg::<u64>(1).unwrap(), i as u64);
         }
+    }
+
+    #[test]
+    fn duplex_pool_lanes_share_recv_deadline_per_side() {
+        let (left, right) = duplex_pool(3);
+        // Setting the deadline through one left lane applies to all of
+        // them: a sibling lane with nothing to read times out promptly
+        // instead of waiting out the 30 s default.
+        left[0].set_recv_timeout(Some(Duration::from_millis(10)));
+        assert_eq!(left[2].recv().unwrap_err(), TransportError::Timeout);
+        // The opposite side keeps its own (long) deadline: data queued
+        // for it is still delivered normally.
+        left[1].send_msg(1, &7u64).unwrap();
+        assert_eq!(right[1].recv_msg::<u64>(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn plain_duplex_timeouts_stay_independent() {
+        let (a, b) = duplex();
+        a.set_recv_timeout(Some(Duration::from_millis(10)));
+        assert_eq!(a.recv().unwrap_err(), TransportError::Timeout);
+        // `b` was not reconfigured; it still sees queued traffic.
+        a.send_msg(1, &1u64).unwrap();
+        assert_eq!(b.recv_msg::<u64>(1).unwrap(), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Drivers and transcripts: everything that moves engine frames.
 //!
-//! [`Driver`] pumps one [`ProtocolEngine`] over any [`Endpoint`] backend
+//! [`Driver`] pumps one [`ProtocolEngine`] over any [`Endpoint`](crate::Endpoint) backend
 //! (in-memory duplex, coalesced lanes, TCP) — the blocking protocol entry
 //! points across the workspace are thin wrappers over it.
 //! [`run_engine_pair`] pumps two engines against each other with no
@@ -15,10 +15,71 @@ use std::time::Duration;
 use bytes::{Bytes, BytesMut};
 use ppcs_telemetry::{MetricsRegistry, WireDir};
 
-use crate::channel::{Endpoint, Frame, TrafficStats};
+use crate::channel::{Frame, Lane, TrafficStats};
 use crate::engine::{Outgoing, ProtocolEngine};
 use crate::error::{ProtocolError, TransportError};
+use crate::fault::splitmix64;
 use crate::wire::{decode_seq, encode_seq, Encodable};
+
+/// Frame kind for the resume handshake: after a reconnect, each side
+/// sends one `KIND_RESUME` frame carrying the count of logical frames it
+/// has delivered to its engine, and the peer replays everything after
+/// that ack. Reserved next to [`KIND_COALESCED`](crate::KIND_COALESCED);
+/// protocols never see it.
+pub const KIND_RESUME: u16 = 0x00FE;
+
+/// Bounded-retry configuration for [`Driver::drive_resumable`]:
+/// exponential backoff with deterministic (seeded) jitter between
+/// reconnect attempts, and a patience window for the resume handshake.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total connection attempts (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff before attempt `n+1` starts from `base_delay * 2^n`.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep (before jitter).
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter added to each backoff.
+    pub jitter_seed: u64,
+    /// Recv deadline while waiting for the peer's resume frame — longer
+    /// than the session deadline, since the peer may itself be backing
+    /// off before it reconnects.
+    pub resume_window: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter_seed: 0x5EED,
+            resume_window: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether `e` is a transient transport failure worth a reconnect.
+    /// Codec and protocol errors are deterministic — retrying replays
+    /// the same bytes into the same failure — so only the transport
+    /// layer (disconnect, timeout, I/O) is retryable.
+    pub fn is_retryable(&self, e: &TransportError) -> bool {
+        matches!(
+            e,
+            TransportError::Disconnected | TransportError::Timeout | TransportError::Io(_)
+        )
+    }
+
+    /// The backoff before attempt `attempt + 1`: capped exponential plus
+    /// seeded jitter in `[0, capped / 2)`.
+    fn backoff_delay(&self, attempt: u32, jitter: &mut u64) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.max_delay);
+        let half = (capped.as_nanos() / 2).max(1) as u64;
+        capped + Duration::from_nanos(splitmix64(jitter) % half)
+    }
+}
 
 /// Which way a transcript frame traveled, from the recorded party's
 /// perspective.
@@ -172,7 +233,7 @@ impl Encodable for Transcript {
     }
 }
 
-/// Pumps a [`ProtocolEngine`] over an [`Endpoint`] until the role
+/// Pumps a [`ProtocolEngine`] over any [`Lane`] until the role
 /// completes: outputs are transmitted (batches coalesced), and the
 /// endpoint is polled for input whenever the engine stalls. Transport
 /// failures are injected into the engine so the role surfaces the same
@@ -187,6 +248,7 @@ pub struct Driver {
     transcript: Option<Transcript>,
     metrics: Option<Arc<MetricsRegistry>>,
     timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Driver {
@@ -224,6 +286,14 @@ impl Driver {
         self
     }
 
+    /// Sets the retry policy [`drive_resumable`](Self::drive_resumable)
+    /// uses for reconnects. Without one, the default policy applies.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
     /// Takes the recorded transcript, if recording was enabled.
     pub fn take_transcript(&mut self) -> Option<Transcript> {
         self.transcript.take()
@@ -236,12 +306,9 @@ impl Driver {
     /// The role's own error on protocol failure; transport failures are
     /// reported through the role (injected into its pending receive) so
     /// the error type and variant match the blocking code path exactly.
-    pub fn drive<T, E>(
-        &mut self,
-        ep: &Endpoint,
-        engine: &mut ProtocolEngine<'_, T, E>,
-    ) -> Result<T, E>
+    pub fn drive<L, T, E>(&mut self, ep: &L, engine: &mut ProtocolEngine<'_, T, E>) -> Result<T, E>
     where
+        L: Lane + ?Sized,
         E: From<TransportError>,
     {
         if let Some(timeout) = self.timeout {
@@ -261,12 +328,9 @@ impl Driver {
         result
     }
 
-    fn drive_loop<T, E>(
-        &mut self,
-        ep: &Endpoint,
-        engine: &mut ProtocolEngine<'_, T, E>,
-    ) -> Result<T, E>
+    fn drive_loop<L, T, E>(&mut self, ep: &L, engine: &mut ProtocolEngine<'_, T, E>) -> Result<T, E>
     where
+        L: Lane + ?Sized,
         E: From<TransportError>,
     {
         // The frame kind most recently sent or delivered: locates a
@@ -332,6 +396,172 @@ impl Driver {
             }
         }
     }
+
+    /// Drives `engine` to completion across connection failures: on a
+    /// retryable transport error ([`TransportError::Disconnected`],
+    /// [`TransportError::Timeout`], [`TransportError::Io`]) the current
+    /// lane is dropped, `connect(attempt)` establishes a fresh one after
+    /// a backoff, and the session resumes where it left off via a
+    /// [`KIND_RESUME`] handshake — each side announces how many logical
+    /// frames it has delivered to its engine, and the peer replays the
+    /// unacknowledged tail of its send log. The engine itself never sees
+    /// the failure: its pending receive stays suspended until the
+    /// replayed stream catches up.
+    ///
+    /// Both parties must drive with this method (or otherwise speak the
+    /// resume handshake) for a reconnect to succeed. Transcript
+    /// recording is not supported in resumable mode — replayed frames
+    /// would double-record — and is ignored.
+    ///
+    /// # Errors
+    ///
+    /// The role's own error once retries are exhausted or a
+    /// non-retryable (codec/protocol) failure occurs.
+    pub fn drive_resumable<L, C, T, E>(
+        &mut self,
+        mut connect: C,
+        engine: &mut ProtocolEngine<'_, T, E>,
+    ) -> Result<T, E>
+    where
+        L: Lane,
+        C: FnMut(u32) -> Result<L, TransportError>,
+        E: From<TransportError>,
+    {
+        let policy = self.retry.clone().unwrap_or_default();
+        let _collector = self.metrics.clone().map(ppcs_telemetry::install);
+        let mut sent_log: Vec<Frame> = Vec::new();
+        let mut delivered: u64 = 0;
+        let mut attempt: u32 = 0;
+        let mut jitter = policy.jitter_seed;
+        loop {
+            let lane = match connect(attempt) {
+                Ok(l) => l,
+                Err(e) => {
+                    if policy.is_retryable(&e) && attempt + 1 < policy.max_attempts {
+                        if let Some(reg) = &self.metrics {
+                            reg.record_retry();
+                        }
+                        std::thread::sleep(policy.backoff_delay(attempt, &mut jitter));
+                        attempt += 1;
+                        continue;
+                    }
+                    return fail_engine(engine, e);
+                }
+            };
+            if attempt > 0 {
+                if let Some(reg) = &self.metrics {
+                    reg.record_reconnect();
+                }
+            }
+            let stats_before = self.metrics.is_some().then(|| lane.stats());
+            let rounds_before = engine.rounds();
+            let result = self.pump_resumable(&lane, engine, &mut sent_log, &mut delivered, &policy);
+            if let Some(reg) = &self.metrics {
+                merge_wire_delta(reg, &stats_before.expect("snapshotted"), &lane.stats());
+                reg.record_rounds(engine.rounds() - rounds_before);
+            }
+            match result {
+                Ok(()) => return engine.take_result().expect("engine completed"),
+                Err(e) => {
+                    // Drop the broken lane before backing off so the
+                    // peer observes the disconnect promptly instead of
+                    // waiting out its own deadline.
+                    drop(lane);
+                    if e == TransportError::Timeout {
+                        if let Some(reg) = &self.metrics {
+                            reg.record_timeout();
+                        }
+                        ppcs_telemetry::warn_event("recv timeout", None, Some(engine.rounds()));
+                    }
+                    if policy.is_retryable(&e) && attempt + 1 < policy.max_attempts {
+                        if let Some(reg) = &self.metrics {
+                            reg.record_retry();
+                        }
+                        std::thread::sleep(policy.backoff_delay(attempt, &mut jitter));
+                        attempt += 1;
+                        continue;
+                    }
+                    return fail_engine(engine, e);
+                }
+            }
+        }
+    }
+
+    /// One connection's worth of resumable pumping: the resume
+    /// handshake, the unacknowledged-frame replay, then the normal
+    /// poll/send/recv loop. Returns `Ok(())` once the engine reports
+    /// done (its result — success or protocol error — is taken by the
+    /// caller) and `Err` on any transport failure, leaving the engine
+    /// suspended and resumable.
+    fn pump_resumable<L, T, E>(
+        &mut self,
+        lane: &L,
+        engine: &mut ProtocolEngine<'_, T, E>,
+        sent_log: &mut Vec<Frame>,
+        delivered: &mut u64,
+        policy: &RetryPolicy,
+    ) -> Result<(), TransportError>
+    where
+        L: Lane + ?Sized,
+        E: From<TransportError>,
+    {
+        lane.set_recv_timeout(Some(policy.resume_window));
+        lane.send(Frame::encode(KIND_RESUME, delivered))?;
+        let peer_ack = loop {
+            let f = lane.recv()?;
+            if f.kind == KIND_RESUME {
+                break f.decode_as::<u64>(KIND_RESUME)?;
+            }
+            // A stale in-flight frame from before the reconnect: drop
+            // it. Whatever we have not acknowledged, the peer replays.
+        };
+        lane.set_recv_timeout(Some(self.timeout.unwrap_or(Duration::from_secs(30))));
+        let peer_ack = usize::try_from(peer_ack)
+            .ok()
+            .filter(|&n| n <= sent_log.len())
+            .ok_or_else(|| {
+                TransportError::Decode(format!(
+                    "resume ack {peer_ack} exceeds {} sent frames",
+                    sent_log.len()
+                ))
+            })?;
+        for f in &sent_log[peer_ack..] {
+            lane.send(f.clone())?;
+        }
+        loop {
+            if let Some(reg) = &self.metrics {
+                reg.record_polls(1);
+            }
+            while let Some(out) = engine.poll_output() {
+                if let Some(reg) = &self.metrics {
+                    for f in out.frames() {
+                        reg.record_frame_size(f.payload.len() as u64);
+                    }
+                }
+                // Log before transmitting: a frame lost inside the
+                // transport is still replayable.
+                sent_log.extend(out.frames().iter().cloned());
+                match &out {
+                    Outgoing::Frame(f) => lane.send(f.clone())?,
+                    Outgoing::Batch(fs) => lane.send_coalesced(fs)?,
+                }
+            }
+            if engine.is_done() {
+                return Ok(());
+            }
+            let frame = lane.recv()?;
+            if frame.kind == KIND_RESUME {
+                // A duplicate handshake frame (e.g. replayed by a
+                // faulty lane): not session traffic.
+                continue;
+            }
+            if let Some(reg) = &self.metrics {
+                reg.record_frame_size(frame.payload.len() as u64);
+            }
+            *delivered += 1;
+            engine.handle_input(frame);
+        }
+    }
 }
 
 /// Feeds the change in an endpoint's traffic counters across one drive
@@ -363,14 +593,29 @@ fn merge_wire_delta(reg: &MetricsRegistry, before: &TrafficStats, after: &Traffi
     }
 }
 
-/// Drives an engine over an endpoint with a throwaway [`Driver`] — the
+/// Terminates a session on an unrecoverable transport error: the failure
+/// is injected so the role surfaces its own typed error if it can, with
+/// the raw transport error as the fallback.
+fn fail_engine<T, E>(engine: &mut ProtocolEngine<'_, T, E>, e: TransportError) -> Result<T, E>
+where
+    E: From<TransportError>,
+{
+    engine.inject_failure(e.clone());
+    match engine.take_result() {
+        Some(r) => r,
+        None => Err(E::from(e)),
+    }
+}
+
+/// Drives an engine over a lane with a throwaway [`Driver`] — the
 /// one-liner the blocking protocol wrappers use.
 ///
 /// # Errors
 ///
 /// See [`Driver::drive`].
-pub fn drive_blocking<T, E>(ep: &Endpoint, engine: &mut ProtocolEngine<'_, T, E>) -> Result<T, E>
+pub fn drive_blocking<L, T, E>(ep: &L, engine: &mut ProtocolEngine<'_, T, E>) -> Result<T, E>
 where
+    L: Lane + ?Sized,
     E: From<TransportError>,
 {
     Driver::new().drive(ep, engine)
@@ -518,7 +763,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::duplex;
+    use crate::channel::{duplex, Endpoint};
     use crate::engine::FrameIo;
 
     async fn pinger(io: FrameIo) -> Result<u64, TransportError> {
@@ -680,6 +925,81 @@ mod tests {
         let report = reg.report();
         assert_eq!(report.timeouts, 1);
         assert_eq!(report.warns, 1);
+    }
+
+    #[test]
+    fn resumable_drive_survives_dead_first_connection() {
+        // Pinger's first lane is dead on arrival; attempt 1 gets the
+        // real connection and the session completes via the resume
+        // handshake.
+        let (dead_a, dead_peer) = duplex();
+        drop(dead_peer);
+        let (real_a, real_b) = duplex();
+        let reg = ppcs_telemetry::MetricsRegistry::new(7, "pinger");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let mut eng = ProtocolEngine::new(ponger);
+                let mut real = Some(real_b);
+                Driver::new().drive_resumable(
+                    move |_attempt| real.take().ok_or(TransportError::Disconnected),
+                    &mut eng,
+                )
+            });
+            let mut lanes = vec![real_a, dead_a]; // popped back-to-front
+            let mut eng = ProtocolEngine::new(pinger);
+            let mut driver = Driver::new().with_metrics(reg.clone());
+            let got = driver.drive_resumable(
+                move |_attempt| lanes.pop().ok_or(TransportError::Disconnected),
+                &mut eng,
+            );
+            assert_eq!(got, Ok(21));
+            assert_eq!(handle.join().expect("peer"), Ok(7));
+        });
+        let report = reg.report();
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.reconnects, 1);
+    }
+
+    #[test]
+    fn resumable_drive_exhausts_attempts_with_structured_error() {
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
+        let mut attempts = 0u32;
+        let mut driver = Driver::new().with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            ..Default::default()
+        });
+        let err = driver
+            .drive_resumable(
+                |_attempt| -> Result<Endpoint, TransportError> {
+                    attempts += 1;
+                    Err(TransportError::Disconnected)
+                },
+                &mut eng,
+            )
+            .unwrap_err();
+        assert_eq!(err, TransportError::Disconnected);
+        assert_eq!(attempts, 3, "every allowed attempt was used");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter_seed: 1,
+            resume_window: Duration::from_secs(1),
+        };
+        let mut jitter = policy.jitter_seed;
+        let d0 = policy.backoff_delay(0, &mut jitter);
+        let d3 = policy.backoff_delay(3, &mut jitter);
+        let d9 = policy.backoff_delay(9, &mut jitter);
+        assert!(d0 >= Duration::from_millis(10) && d0 < Duration::from_millis(15));
+        assert!(d3 >= Duration::from_millis(80), "exponential growth");
+        // Cap plus at most half the cap of jitter.
+        assert!(d9 <= Duration::from_millis(120), "cap holds: {d9:?}");
     }
 
     #[test]

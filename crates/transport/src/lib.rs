@@ -36,17 +36,20 @@ mod channel;
 mod driver;
 mod engine;
 mod error;
+mod fault;
 mod tcp;
 mod wire;
 
 pub use channel::{
-    coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, KindTraffic, TrafficStats,
-    KIND_COALESCED,
+    coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, KindTraffic, Lane,
+    TrafficStats, KIND_COALESCED,
 };
 pub use driver::{
-    drive_blocking, replay, run_engine_pair, Direction, Driver, Transcript, TranscriptEntry,
+    drive_blocking, replay, run_engine_pair, Direction, Driver, RetryPolicy, Transcript,
+    TranscriptEntry, KIND_RESUME,
 };
 pub use engine::{Engine, FrameIo, Outgoing, ProtocolEngine, RecvFut};
 pub use error::{ErrorLayer, ProtocolError, TransportError};
+pub use fault::{faulty_pair, FaultKind, FaultSchedule, FaultStats, FaultyLane, KIND_CHAOS};
 pub use tcp::{tcp_accept, tcp_connect};
 pub use wire::{decode_seq, encode_seq, Encodable};

@@ -116,7 +116,11 @@ impl Encodable for Fp256 {
         need(input, 32, "Fp256")?;
         let mut bytes = [0u8; 32];
         input.copy_to_slice(&mut bytes);
-        Ok(Fp256::from_bytes(&bytes))
+        // Reject values >= p rather than silently reducing: a malleable
+        // encoding would let byte-distinct transcripts replay identically.
+        Fp256::from_bytes_canonical(&bytes).ok_or_else(|| {
+            TransportError::Decode("non-canonical Fp256 encoding (value >= field modulus)".into())
+        })
     }
 }
 
@@ -208,6 +212,18 @@ mod tests {
     #[test]
     fn fp256_roundtrip() {
         roundtrip(Fp256::from_i64(-987654321));
+    }
+
+    #[test]
+    fn fp256_decode_rejects_non_canonical_encodings() {
+        // 2^256 - 1 is >= p, so this encoding has no canonical preimage.
+        let mut input = Bytes::copy_from_slice(&[0xFF; 32]);
+        match Fp256::decode(&mut input) {
+            Err(TransportError::Decode(msg)) => {
+                assert!(msg.contains("non-canonical"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
     }
 
     #[test]

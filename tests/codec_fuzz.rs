@@ -1,0 +1,166 @@
+//! Property fuzz of the wire codec and frame plumbing: arbitrary,
+//! truncated, bit-flipped, and length-prefix-mutated inputs must never
+//! panic, never allocate unboundedly, and always surface as structured
+//! [`TransportError`] values — the no-panic half of the resilience
+//! trichotomy, checked at the decoding layer directly.
+
+use bytes::{Bytes, BytesMut};
+use ppcs_core::{Client, ProtocolConfig};
+use ppcs_math::Fp256;
+use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
+use ppcs_transport::{decode_seq, encode_seq, Encodable, Frame, Transcript, TransportError};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(kind, payload)| {
+        Frame {
+            kind,
+            payload: Bytes::from(payload),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary byte soup through every decoder entry point: the only
+    /// acceptable outcomes are a value or a structured error.
+    #[test]
+    fn arbitrary_bytes_decode_totally(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&mut Bytes::copy_from_slice(&bytes));
+        let _ = Transcript::from_bytes(&bytes);
+        let _ = decode_seq::<u64>(&mut Bytes::copy_from_slice(&bytes));
+        let _ = decode_seq::<f64>(&mut Bytes::copy_from_slice(&bytes));
+        let _ = decode_seq::<Frame>(&mut Bytes::copy_from_slice(&bytes));
+        let _ = decode_seq::<Fp256>(&mut Bytes::copy_from_slice(&bytes));
+        let _ = decode_seq::<Vec<u8>>(&mut Bytes::copy_from_slice(&bytes));
+    }
+
+    /// Every strict truncation of a valid frame encoding is rejected
+    /// with a decode error — never accepted, never a panic.
+    #[test]
+    fn truncated_frames_error_cleanly(frame in arb_frame()) {
+        let mut out = BytesMut::new();
+        frame.encode(&mut out);
+        let encoded = out.freeze();
+        for cut in 0..encoded.len() {
+            let mut input = encoded.slice(0..cut);
+            prop_assert!(
+                matches!(Frame::decode(&mut input), Err(TransportError::Decode(_))),
+                "prefix of {cut}/{} bytes must fail to decode",
+                encoded.len()
+            );
+        }
+    }
+
+    /// A single bit flip anywhere in a valid frame encoding either
+    /// decodes to some (different or identical) frame or errors — it
+    /// never panics and never over-reads.
+    #[test]
+    fn bit_flipped_frames_decode_totally(frame in arb_frame(), flip in any::<proptest::sample::Index>()) {
+        let mut out = BytesMut::new();
+        frame.encode(&mut out);
+        let mut bytes = out.to_vec();
+        let bit = flip.index(bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let mut input = Bytes::from(bytes);
+        if let Ok(decoded) = Frame::decode(&mut input) {
+            // A successful decode must have consumed a consistent
+            // payload; its re-encoding is well-formed by construction.
+            let mut re = BytesMut::new();
+            decoded.encode(&mut re);
+            prop_assert!(re.len() >= Frame::HEADER_LEN + 4);
+        }
+    }
+
+    /// Mutated length prefixes far beyond the actual input size are
+    /// rejected up front instead of driving a huge allocation.
+    #[test]
+    fn huge_length_prefixes_error_without_allocating(
+        kind in any::<u16>(),
+        len in (1u64 << 32)..u64::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut bytes = BytesMut::new();
+        kind.encode(&mut bytes);
+        len.encode(&mut bytes);
+        bytes.extend_from_slice(&tail);
+        let mut input = bytes.freeze();
+        prop_assert!(matches!(
+            Frame::decode(&mut input),
+            Err(TransportError::Decode(_))
+        ));
+
+        let mut seq = BytesMut::new();
+        len.encode(&mut seq);
+        seq.extend_from_slice(&tail);
+        let mut input = seq.freeze();
+        prop_assert!(decode_seq::<u64>(&mut input).is_err());
+    }
+
+    /// Valid sequences round-trip; every strict truncation of the
+    /// encoding errors.
+    #[test]
+    fn sequences_round_trip_and_truncations_fail(values in proptest::collection::vec(any::<u64>(), 0..16)) {
+        let mut out = BytesMut::new();
+        encode_seq(&values, &mut out);
+        let encoded = out.freeze();
+        let mut input = encoded.clone();
+        prop_assert_eq!(decode_seq::<u64>(&mut input).unwrap(), values);
+        for cut in 0..encoded.len() {
+            let mut input = encoded.slice(0..cut);
+            prop_assert!(decode_seq::<u64>(&mut input).is_err());
+        }
+    }
+
+    /// Field-element decoding is total over all 2^256 encodings: values
+    /// below the modulus round-trip exactly, everything else is
+    /// rejected as non-canonical (no silent reduction).
+    #[test]
+    fn fp256_decoding_is_total_and_canonical(raw in proptest::collection::vec(any::<u8>(), 32)) {
+        let mut bytes = [0u8; 32];
+        bytes.copy_from_slice(&raw);
+        match Fp256::from_bytes_canonical(&bytes) {
+            Some(v) => prop_assert_eq!(v.to_bytes(), bytes, "canonical values round-trip"),
+            None => {
+                let mut input = Bytes::copy_from_slice(&bytes);
+                prop_assert!(
+                    matches!(Fp256::decode(&mut input), Err(TransportError::Decode(_))),
+                    "wire decode must agree that the encoding is non-canonical"
+                );
+            }
+        }
+        // Reduction-based parsing always yields a canonical value, and
+        // that value always survives the strict wire path.
+        let reduced = Fp256::from_bytes(&bytes);
+        prop_assert_eq!(Fp256::from_bytes_canonical(&reduced.to_bytes()), Some(reduced));
+    }
+
+    /// Feeding arbitrary frames straight into a protocol engine never
+    /// panics: the engine either keeps waiting or terminates with a
+    /// structured protocol error — it can never "succeed" against
+    /// garbage input.
+    #[test]
+    fn classify_engine_survives_arbitrary_frames(
+        frames in proptest::collection::vec(arb_frame(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ProtocolConfig::functional();
+        let client = Client::new(ppcs_math::F64Algebra::new(), cfg);
+        let samples = vec![vec![0.5, -1.0]];
+        let sel = TrustedSimOt.select();
+        let mut eng = client.classify_engine(sel, seed, &samples);
+        for frame in frames {
+            while eng.poll_output().is_some() {}
+            if eng.is_done() {
+                break;
+            }
+            eng.handle_input(frame);
+        }
+        while eng.poll_output().is_some() {}
+        if eng.is_done() {
+            let result = eng.take_result().expect("done engine has a result");
+            prop_assert!(result.is_err(), "garbage frames must not classify anything");
+        }
+    }
+}

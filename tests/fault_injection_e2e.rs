@@ -1,0 +1,600 @@
+//! Chaos soak harness: seeded fault schedules (drop, duplicate,
+//! reorder, corrupt, delay, cut) swept over every protocol family,
+//! asserting the resilience trichotomy — each session either completes
+//! with the correct value, or both parties terminate with a structured
+//! error. Never a hang, never a panic, never a wrong answer.
+//!
+//! Also exercises the recovery path: [`Driver::drive_resumable`]
+//! reconnecting through mid-session connection cuts (in-memory and over
+//! real TCP), and graceful degradation of the parallel classification
+//! pipeline when a lane dies.
+
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ppcs_core::{
+    similarity_request_io, similarity_respond_io, Client, ProtocolConfig, SimilarityConfig, Trainer,
+};
+use ppcs_crypto::DhGroup;
+use ppcs_math::{DenseAffine, F64Algebra};
+use ppcs_ompe::{ompe_receive_batch_io, ompe_send_batch_io, OmpeParams};
+use ppcs_ot::{
+    ot12_receive_io, ot12_send_io, ot_begin_receive_io, ot_begin_send_io, ot_receive_io,
+    ot_send_io, ObliviousTransfer, TrustedSimOt,
+};
+use ppcs_svm::{Kernel, SvmModel};
+use ppcs_telemetry::MetricsRegistry;
+use ppcs_tests::{blob_dataset, random_samples, rotated_model};
+use ppcs_transport::{
+    drive_blocking, duplex, faulty_pair, run_pair, tcp_accept, tcp_connect, Driver, FaultKind,
+    FaultSchedule, FaultyLane, Lane, ProtocolEngine, RetryPolicy, TransportError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static SIM: TrustedSimOt = TrustedSimOt;
+
+/// Per-session recv deadline under chaos: long enough for a healthy
+/// session, short enough that a stalled one resolves quickly.
+const CHAOS_DEADLINE: Duration = Duration::from_millis(200);
+
+/// Seeds per family; five families make the sweep cover
+/// `5 * SEEDS_PER_FAMILY = 220` distinct fault schedules.
+const SEEDS_PER_FAMILY: u64 = 44;
+
+fn err_string<E: Debug>(e: E) -> String {
+    format!("{e:?}")
+}
+
+/// A lane pair where the side picked by `seed % 2` injects the seeded
+/// schedule and the other side is clean.
+fn chaos_lanes(seed: u64) -> (FaultyLane, FaultyLane, FaultSchedule) {
+    let schedule = FaultSchedule::seeded(seed);
+    let (a, b) = if seed.is_multiple_of(2) {
+        faulty_pair(schedule.clone(), FaultSchedule::none())
+    } else {
+        faulty_pair(FaultSchedule::none(), schedule.clone())
+    };
+    a.set_recv_timeout(Some(CHAOS_DEADLINE));
+    b.set_recv_timeout(Some(CHAOS_DEADLINE));
+    (a, b, schedule)
+}
+
+/// Runs one session of a family over fault-free lanes to establish the
+/// expected (correct) values for the sweep.
+fn clean_run<RA, RB, FA, FB>(run_a: &FA, run_b: &FB) -> (RA, RB)
+where
+    FA: Fn(&FaultyLane) -> Result<RA, String> + Sync,
+    FB: Fn(&FaultyLane) -> Result<RB, String> + Sync,
+    RA: Send,
+    RB: Send,
+{
+    let (la, lb) = faulty_pair(FaultSchedule::none(), FaultSchedule::none());
+    la.set_recv_timeout(Some(Duration::from_secs(10)));
+    lb.set_recv_timeout(Some(Duration::from_secs(10)));
+    let (ra, rb) = std::thread::scope(|scope| {
+        let ha = scope.spawn(move || run_a(&la));
+        let hb = scope.spawn(move || run_b(&lb));
+        (ha.join().expect("side A"), hb.join().expect("side B"))
+    });
+    (ra.expect("clean run side A"), rb.expect("clean run side B"))
+}
+
+/// The sweep core: for every seed in `base..base + count`, runs one
+/// session of the family under that seed's fault schedule and asserts
+/// the trichotomy. Joining both threads proves no hang or panic (every
+/// receive is bounded by [`CHAOS_DEADLINE`]); any `Ok` must carry the
+/// clean-run value; lossless schedules must complete on both sides.
+fn chaos_sweep<RA, RB, FA, FB>(
+    family: &str,
+    base: u64,
+    count: u64,
+    expected_a: &RA,
+    expected_b: &RB,
+    run_a: FA,
+    run_b: FB,
+) where
+    FA: Fn(&FaultyLane) -> Result<RA, String> + Sync,
+    FB: Fn(&FaultyLane) -> Result<RB, String> + Sync,
+    RA: PartialEq + Debug + Send,
+    RB: PartialEq + Debug + Send,
+{
+    let mut completed = 0u64;
+    for seed in base..base + count {
+        let (la, lb, schedule) = chaos_lanes(seed);
+        let (ra, rb) = std::thread::scope(|scope| {
+            // Each thread owns its lane and drops it when the session
+            // ends, so a failed party's peer sees a prompt disconnect
+            // instead of waiting out its full deadline.
+            let run_a = &run_a;
+            let run_b = &run_b;
+            let ha = scope.spawn(move || {
+                let r = run_a(&la);
+                drop(la);
+                r
+            });
+            let hb = scope.spawn(move || {
+                let r = run_b(&lb);
+                drop(lb);
+                r
+            });
+            (
+                ha.join().expect("side A must not panic"),
+                hb.join().expect("side B must not panic"),
+            )
+        });
+        if let Ok(va) = &ra {
+            assert_eq!(
+                va, expected_a,
+                "{family}: seed {seed} completed side A with a wrong value"
+            );
+        }
+        if let Ok(vb) = &rb {
+            assert_eq!(
+                vb, expected_b,
+                "{family}: seed {seed} completed side B with a wrong value"
+            );
+        }
+        if schedule.is_lossless() {
+            assert!(
+                ra.is_ok() && rb.is_ok(),
+                "{family}: lossless schedule (seed {seed}, {schedule:?}) must complete, \
+                 got A={ra:?} B={rb:?}"
+            );
+        }
+        if ra.is_ok() && rb.is_ok() {
+            completed += 1;
+        }
+    }
+    println!("{family}: {completed}/{count} chaotic sessions completed cleanly");
+}
+
+#[test]
+fn chaos_base_ot_trichotomy() {
+    let group = DhGroup::modp_768();
+    let (m0, m1) = (b"message zero".to_vec(), b"message one!".to_vec());
+    let run_a = |lane: &FaultyLane| {
+        let (m0, m1) = (&m0, &m1);
+        let mut rng = StdRng::seed_from_u64(100);
+        let mut eng =
+            ProtocolEngine::new(
+                |io| async move { ot12_send_io(group, &io, &mut rng, m0, m1, 7).await },
+            );
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            ot12_receive_io(group, &io, &mut rng, true, 7).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    assert_eq!(eb, m1);
+    chaos_sweep("base_ot", 1000, SEEDS_PER_FAMILY, &ea, &eb, run_a, run_b);
+}
+
+#[test]
+fn chaos_kn_ot_trichotomy() {
+    let messages: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 12]).collect();
+    let indices = [1usize, 4];
+    let sel = SIM.select();
+    let run_a = |lane: &FaultyLane| {
+        let messages = &messages;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            let state = ot_begin_send_io(sel, &io, &mut rng).await?;
+            ot_send_io(sel, &state, &io, &mut rng, messages, indices.len()).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            let state = ot_begin_receive_io(sel, &io).await?;
+            ot_receive_io(sel, &state, &io, &mut rng, 6, &indices).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    assert_eq!(eb[0], messages[1]);
+    chaos_sweep("kn_ot", 2000, SEEDS_PER_FAMILY, &ea, &eb, run_a, run_b);
+}
+
+#[test]
+fn chaos_ompe_batch_trichotomy() {
+    let alg = F64Algebra::new();
+    let params = OmpeParams::new(1, 3, 2).expect("params");
+    let secrets: Vec<DenseAffine<F64Algebra>> = vec![
+        DenseAffine::new(vec![2.0, -3.0], 0.5),
+        DenseAffine::new(vec![0.25, 1.5], -1.0),
+        DenseAffine::new(vec![-4.0, 0.0], 2.0),
+    ];
+    let alphas: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![-0.5, 0.25], vec![3.0, -1.0]];
+    let sel = SIM.select();
+    let run_a = |lane: &FaultyLane| {
+        let (alg, secrets) = (&alg, &secrets);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            ompe_send_batch_io(alg, &io, sel, &mut rng, secrets, &params).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let (alg, alphas) = (&alg, &alphas);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            ompe_receive_batch_io(alg, &io, sel, &mut rng, alphas, &params).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    chaos_sweep("ompe_batch", 3000, SEEDS_PER_FAMILY, &ea, &eb, run_a, run_b);
+}
+
+#[test]
+fn chaos_classification_trichotomy() {
+    let ds = blob_dataset(3, 80, 21);
+    let model = SvmModel::train(&ds, Kernel::Linear, &Default::default());
+    let cfg = ProtocolConfig::functional();
+    let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = random_samples(3, 4, 33);
+    let sel = SIM.select();
+    let run_a = |lane: &FaultyLane| {
+        let mut eng = trainer.serve_engine(sel, 40);
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let mut eng = client.classify_engine(sel, 41, &samples);
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    assert_eq!(ea, samples.len());
+    chaos_sweep(
+        "classification",
+        4000,
+        SEEDS_PER_FAMILY,
+        &ea,
+        &eb,
+        run_a,
+        run_b,
+    );
+}
+
+#[test]
+fn chaos_similarity_trichotomy() {
+    let cfg = SimilarityConfig::default();
+    let model_a = rotated_model(2, 15.0, 4, Kernel::Linear);
+    let model_b = rotated_model(2, 60.0, 5, Kernel::Linear);
+    let sel = SIM.select();
+    let run_a = |lane: &FaultyLane| {
+        let model_a = &model_a;
+        let cfg = &cfg;
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            similarity_respond_io(&F64Algebra::new(), &io, sel, &mut rng, model_a, cfg).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let model_b = &model_b;
+        let cfg = &cfg;
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut eng = ProtocolEngine::new(|io| async move {
+            similarity_request_io(&F64Algebra::new(), &io, sel, &mut rng, model_b, cfg).await
+        });
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    chaos_sweep("similarity", 5000, SEEDS_PER_FAMILY, &ea, &eb, run_a, run_b);
+}
+
+/// A randomized lane of the sweep: the base seed comes from
+/// `PPCS_CHAOS_SEED` (set by CI to a fresh value per run, printed here
+/// so a failure is reproducible) and falls back to a fixed constant for
+/// plain local runs.
+#[test]
+fn chaos_randomized_seed_sweep() {
+    let base: u64 = std::env::var("PPCS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x00C0_FFEE);
+    println!("chaos_randomized_seed_sweep: base seed = {base} (set PPCS_CHAOS_SEED to reproduce)");
+
+    let ds = blob_dataset(3, 80, 55);
+    let model = SvmModel::train(&ds, Kernel::Linear, &Default::default());
+    let cfg = ProtocolConfig::functional();
+    let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = random_samples(3, 3, 56);
+    let sel = SIM.select();
+    let run_a = |lane: &FaultyLane| {
+        let mut eng = trainer.serve_engine(sel, 57);
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let mut eng = client.classify_engine(sel, 58, &samples);
+        drive_blocking(lane, &mut eng).map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    chaos_sweep("randomized", base, 16, &ea, &eb, run_a, run_b);
+}
+
+/// The retry policy for the resume tests: fast backoff, plenty of
+/// attempts, bounded waits throughout.
+fn test_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        jitter_seed: 0x5EED,
+        resume_window: Duration::from_secs(5),
+    }
+}
+
+fn classification_fixture() -> (Trainer<F64Algebra>, Client<F64Algebra>, Vec<Vec<f64>>) {
+    let ds = blob_dataset(3, 80, 91);
+    let model = SvmModel::train(&ds, Kernel::Linear, &Default::default());
+    let cfg = ProtocolConfig::functional();
+    let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = random_samples(3, 5, 92);
+    (trainer, client, samples)
+}
+
+/// Both parties drive resumable sessions through a lane bank whose
+/// first lane dies mid-session (a cut on the client side): the session
+/// must renegotiate onto the second lane and finish with the same
+/// values a clean run produces, recording the retry and the reconnect.
+#[test]
+fn resumable_classification_survives_mid_session_cut() {
+    let (trainer, client, samples) = classification_fixture();
+    let sel = SIM.select();
+
+    let expected = {
+        let trainer = &trainer;
+        let client = &client;
+        let samples = &samples;
+        run_pair(
+            move |ep| {
+                let mut eng = trainer.serve_engine(sel, 70);
+                drive_blocking(&ep, &mut eng).expect("clean serve")
+            },
+            move |ep| {
+                let mut eng = client.classify_engine(sel, 71, samples);
+                drive_blocking(&ep, &mut eng).expect("clean classify")
+            },
+        )
+    };
+
+    let (t0, c0) = duplex();
+    let (t1, c1) = duplex();
+    let trainer_bank = Mutex::new(VecDeque::from([
+        FaultyLane::new(t0, FaultSchedule::none()),
+        FaultyLane::new(t1, FaultSchedule::none()),
+    ]));
+    let client_bank = Mutex::new(VecDeque::from([
+        FaultyLane::new(c0, FaultSchedule::single(3, FaultKind::Cut)),
+        FaultyLane::new(c1, FaultSchedule::none()),
+    ]));
+    let connect_t = |_attempt: u32| {
+        trainer_bank
+            .lock()
+            .unwrap()
+            .pop_front()
+            .ok_or(TransportError::Disconnected)
+    };
+    let connect_c = |_attempt: u32| {
+        client_bank
+            .lock()
+            .unwrap()
+            .pop_front()
+            .ok_or(TransportError::Disconnected)
+    };
+
+    let reg_c = MetricsRegistry::new(1, "client");
+    let (served, values) = std::thread::scope(|scope| {
+        let trainer = &trainer;
+        let t = scope.spawn(move || {
+            let mut eng = trainer.serve_engine(sel, 70);
+            Driver::new()
+                .with_retry(test_retry_policy())
+                .with_timeout(Duration::from_secs(2))
+                .drive_resumable(connect_t, &mut eng)
+        });
+        let client = &client;
+        let samples = &samples;
+        let reg_c = reg_c.clone();
+        let c = scope.spawn(move || {
+            let mut eng = client.classify_engine(sel, 71, samples);
+            Driver::new()
+                .with_retry(test_retry_policy())
+                .with_timeout(Duration::from_secs(2))
+                .with_metrics(reg_c)
+                .drive_resumable(connect_c, &mut eng)
+        });
+        (t.join().expect("trainer"), c.join().expect("client"))
+    });
+
+    assert_eq!(served.expect("serve resumed"), expected.0);
+    assert_eq!(values.expect("classify resumed"), expected.1);
+
+    let report = reg_c.report();
+    assert!(report.retries >= 1, "the cut must register as a retry");
+    assert!(report.reconnects >= 1, "the second lane is a reconnect");
+}
+
+/// Retries exhaust with a structured transport error (never a hang)
+/// when every reconnect attempt fails.
+#[test]
+fn resumable_classification_exhausts_dead_connects() {
+    let (_, client, samples) = classification_fixture();
+    let sel = SIM.select();
+    let mut attempts = 0u32;
+    let connect = |_attempt: u32| -> Result<FaultyLane, TransportError> {
+        attempts += 1;
+        Err(TransportError::Disconnected)
+    };
+    let mut eng = client.classify_engine(sel, 99, &samples);
+    let err = Driver::new()
+        .with_retry(test_retry_policy())
+        .drive_resumable(connect, &mut eng)
+        .expect_err("no lane ever connects");
+    assert_eq!(attempts, test_retry_policy().max_attempts);
+    assert!(
+        err_string(&err).contains("Disconnected"),
+        "structured transport error expected, got {err:?}"
+    );
+}
+
+/// The same recovery over real sockets: the client's first TCP
+/// connection dies mid-session, it redials, and the resume handshake
+/// carries the session to the correct result.
+#[test]
+fn resumable_classification_reconnects_over_tcp() {
+    let (trainer, client, samples) = classification_fixture();
+    let sel = SIM.select();
+
+    let expected = {
+        let trainer = &trainer;
+        let client = &client;
+        let samples = &samples;
+        run_pair(
+            move |ep| {
+                let mut eng = trainer.serve_engine(sel, 80);
+                drive_blocking(&ep, &mut eng).expect("clean serve")
+            },
+            move |ep| {
+                let mut eng = client.classify_engine(sel, 81, samples);
+                drive_blocking(&ep, &mut eng).expect("clean classify")
+            },
+        )
+    };
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    // Both ends must speak the chaos carrier framing, so the trainer
+    // wraps its accepted sockets in clean (fault-free) lanes.
+    let connect_t = |_attempt: u32| -> Result<FaultyLane, TransportError> {
+        Ok(FaultyLane::new(
+            tcp_accept(&listener)?,
+            FaultSchedule::none(),
+        ))
+    };
+    let connect_c = |attempt: u32| -> Result<FaultyLane, TransportError> {
+        let schedule = if attempt == 0 {
+            FaultSchedule::single(4, FaultKind::Cut)
+        } else {
+            FaultSchedule::none()
+        };
+        Ok(FaultyLane::new(tcp_connect(addr)?, schedule))
+    };
+
+    let (served, values) = std::thread::scope(|scope| {
+        let trainer = &trainer;
+        let t = scope.spawn(move || {
+            let mut eng = trainer.serve_engine(sel, 80);
+            Driver::new()
+                .with_retry(test_retry_policy())
+                .with_timeout(Duration::from_secs(2))
+                .drive_resumable(connect_t, &mut eng)
+        });
+        let client = &client;
+        let samples = &samples;
+        let c = scope.spawn(move || {
+            let mut eng = client.classify_engine(sel, 81, samples);
+            Driver::new()
+                .with_retry(test_retry_policy())
+                .with_timeout(Duration::from_secs(2))
+                .drive_resumable(connect_c, &mut eng)
+        });
+        (t.join().expect("trainer"), c.join().expect("client"))
+    });
+
+    assert_eq!(served.expect("serve resumed over TCP"), expected.0);
+    assert_eq!(values.expect("classify resumed over TCP"), expected.1);
+}
+
+/// Graceful degradation in the parallel pipeline: one of three client
+/// lanes is dead from the first frame; its chunk must be requeued onto
+/// the survivors and every sample still classified correctly.
+#[test]
+fn parallel_classification_degrades_around_a_dead_lane() {
+    let ds = blob_dataset(3, 80, 61);
+    let model = SvmModel::train(&ds, Kernel::Linear, &Default::default());
+    let cfg = ProtocolConfig::functional();
+    let trainer = Trainer::new(F64Algebra::new(), &model, cfg).expect("trainer");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let samples = random_samples(3, 6, 62);
+
+    // Sequential baseline over one clean lane.
+    let expected = {
+        let trainer = &trainer;
+        let client = &client;
+        let samples = samples.clone();
+        let (served, labels) = run_pair(
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(63);
+                trainer.serve(&ep, &SIM, &mut rng).expect("serve")
+            },
+            move |ep| {
+                let mut rng = StdRng::seed_from_u64(64);
+                client
+                    .classify_batch(&ep, &SIM, &mut rng, &samples)
+                    .expect("classify")
+            },
+        );
+        assert_eq!(served, labels.len());
+        labels
+    };
+
+    let (t_eps, c_eps) = ppcs_transport::duplex_pool(3);
+    // Both ends must speak the chaos carrier framing: the trainer's
+    // lanes are clean FaultyLane wrappers, the client's lane 1 is cut
+    // before its very first frame.
+    let t_lanes: Vec<FaultyLane> = t_eps
+        .into_iter()
+        .map(|ep| FaultyLane::new(ep, FaultSchedule::none()))
+        .collect();
+    let c_lanes: Vec<FaultyLane> = c_eps
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            let schedule = if i == 1 {
+                FaultSchedule::single(0, FaultKind::Cut)
+            } else {
+                FaultSchedule::none()
+            };
+            FaultyLane::new(ep, schedule)
+        })
+        .collect();
+    c_lanes[0].set_recv_timeout(Some(Duration::from_secs(5)));
+
+    let (served, labels) = std::thread::scope(|scope| {
+        let trainer = &trainer;
+        let t_lanes = &t_lanes;
+        let t = scope.spawn(move || trainer.serve_parallel(t_lanes, &SIM, 65));
+        let client = &client;
+        let samples = &samples;
+        let c = scope.spawn(move || {
+            let labels = client.classify_batch_parallel(&c_lanes, &SIM, 66, samples);
+            // Dropping the lanes here disconnects the trainer's side so
+            // its lane loops terminate promptly.
+            drop(c_lanes);
+            labels
+        });
+        let labels = c.join().expect("client");
+        let served = t.join().expect("trainer");
+        (served, labels)
+    });
+
+    assert_eq!(
+        labels.expect("classification succeeds despite the dead lane"),
+        expected
+    );
+    // Every sample was served by some surviving lane.
+    assert_eq!(served.expect("serve_parallel"), expected.len());
+}
