@@ -37,17 +37,17 @@ use crate::config::ProtocolConfig;
 use crate::error::PpcsError;
 use crate::expansion::{expand_model, BasisKind};
 
-const KIND_CLS_HELLO: u16 = 0x0500;
-const KIND_CLS_SPEC: u16 = 0x0501;
+pub(crate) const KIND_CLS_HELLO: u16 = 0x0500;
+pub(crate) const KIND_CLS_SPEC: u16 = 0x0501;
 /// Sent by the parallel client to tell a trainer lane that no more
 /// sessions are coming, so its serve loop can finish cleanly.
-const KIND_CLS_FIN: u16 = 0x0502;
+pub(crate) const KIND_CLS_FIN: u16 = 0x0502;
 
 /// The transport failure at the root of a classification error, if any —
 /// however deep it sits (direct, under OMPE, or under OMPE's OT layer).
 /// Transport failures are transient and make a lane worth retrying;
 /// everything else is deterministic and would just fail again.
-fn transport_cause(e: &PpcsError) -> Option<&TransportError> {
+pub(crate) fn transport_cause(e: &PpcsError) -> Option<&TransportError> {
     match e {
         PpcsError::Transport(te) => Some(te),
         PpcsError::Ompe(OmpeError::Transport(te)) => Some(te),
@@ -59,6 +59,17 @@ fn transport_cause(e: &PpcsError) -> Option<&TransportError> {
 /// Fixed-point scale power of the decision value both sides decode at
 /// (inputs and coefficients sit at scale 1, so products sit at 2).
 const OUTPUT_SCALE: u32 = 2;
+
+/// Upper bound on the per-session batch size a trainer accepts from the
+/// client's HELLO. The trainer allocates one amplified secret per
+/// requested sample before serving anything, so an unchecked peer-chosen
+/// count is an allocation vector.
+pub const MAX_BATCH_SAMPLES: u64 = 4096;
+
+/// Upper bound on the sample dimensionality a wire-decoded spec may
+/// declare, and on the monomial arity it may expand to.
+pub(crate) const MAX_SPEC_DIM: usize = 4096;
+pub(crate) const MAX_SPEC_ARITY: u64 = 1 << 20;
 
 /// How the client must derive the OMPE input vector from a raw sample —
 /// public protocol metadata sent by the trainer.
@@ -113,19 +124,41 @@ impl ClassifySpec {
         let [dim, tag, degree, bound, sigma, decoy] = fields else {
             return Err(PpcsError::Protocol("malformed classify spec".into()));
         };
+        // The spec arrives from the peer: every field is bounds-checked
+        // before any sizing computation depends on it.
+        let dim = usize::try_from(*dim)
+            .ok()
+            .filter(|d| (1..=MAX_SPEC_DIM).contains(d))
+            .ok_or_else(|| {
+                PpcsError::Protocol(format!(
+                    "spec dimensionality {dim} outside [1, {MAX_SPEC_DIM}]"
+                ))
+            })?;
+        let degree = u32::try_from(*degree)
+            .map_err(|_| PpcsError::Protocol(format!("spec degree {degree} exceeds u32")))?;
         let input_form = match tag {
             0 => InputForm::Direct,
-            1 => InputForm::Monomials(BasisKind::Homogeneous {
-                degree: *degree as u32,
-            }),
-            2 => InputForm::Monomials(BasisKind::UpTo {
-                degree: *degree as u32,
-            }),
+            1 => InputForm::Monomials(BasisKind::Homogeneous { degree }),
+            2 => InputForm::Monomials(BasisKind::UpTo { degree }),
             _ => return Err(PpcsError::Protocol(format!("unknown input form {tag}"))),
         };
+        // `input_arity` unwraps the basis size, so a dim/degree pair
+        // whose monomial count overflows or explodes must fail here —
+        // a typed error, not a later panic or allocation.
+        if let InputForm::Monomials(basis) = input_form {
+            basis
+                .len(dim)
+                .filter(|&arity| arity <= MAX_SPEC_ARITY)
+                .ok_or_else(|| {
+                    PpcsError::Protocol(format!(
+                        "monomial basis for dim {dim}, degree {degree} exceeds \
+                         arity cap {MAX_SPEC_ARITY}"
+                    ))
+                })?;
+        }
         let ompe = OmpeParams::new(*bound as usize, *sigma as usize, *decoy as usize)?;
         Ok(Self {
-            dim: *dim as usize,
+            dim,
             input_form,
             ompe,
         })
@@ -295,6 +328,13 @@ where
     ) -> Result<usize, PpcsError> {
         let _span = ppcs_telemetry::span(Phase::Classify);
         let num_samples: u64 = io.recv_msg(KIND_CLS_HELLO).await?;
+        // The batch size is peer-chosen and sizes the secrets allocation
+        // below: cap it before reserving anything.
+        if num_samples > MAX_BATCH_SAMPLES {
+            return Err(PpcsError::Protocol(format!(
+                "client requested {num_samples} samples, per-session cap is {MAX_BATCH_SAMPLES}"
+            )));
+        }
         io.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
         let secrets: Vec<DenseAffine<A>> = (0..num_samples)
             .map(|_| {

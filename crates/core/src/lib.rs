@@ -51,13 +51,15 @@ mod error;
 pub mod expansion;
 mod multiclass;
 pub mod privacy;
+mod server;
 mod similarity;
 
-pub use classify::{ClassifySpec, Client, InputForm, Trainer};
+pub use classify::{ClassifySpec, Client, InputForm, Trainer, MAX_BATCH_SAMPLES};
 pub use config::ProtocolConfig;
 pub use error::PpcsError;
 pub use expansion::{expand_model, BasisKind, ExpandedDecision};
 pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
+pub use server::{ServeSummary, ServerConfig, SessionSupervisor, TrainerServer};
 pub use similarity::{
     boundary_points_decision, boundary_points_linear, centroid, cos2_between, direction_input,
     similarity_plain, similarity_plain_geometry, similarity_request, similarity_request_geometry,

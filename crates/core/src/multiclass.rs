@@ -131,6 +131,13 @@ where
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
         let num_samples: u64 = io.recv_msg(KIND_MC_HELLO).await?;
+        // Peer-chosen batch size bounds the per-class serving work below.
+        if num_samples > crate::classify::MAX_BATCH_SAMPLES {
+            return Err(PpcsError::Protocol(format!(
+                "client requested {num_samples} samples, per-session cap is {}",
+                crate::classify::MAX_BATCH_SAMPLES
+            )));
+        }
         let mut header: Vec<u8> = Vec::new();
         header.extend_from_slice(&(self.class_ids.len() as u64).to_le_bytes());
         header.extend_from_slice(&self.mode.wire().to_le_bytes());

@@ -1,0 +1,502 @@
+//! Multi-client serving runtime for classification trainers.
+//!
+//! [`TrainerServer`] wraps a [`Trainer`] so it can face many concurrent
+//! client lanes while staying healthy under load and abuse:
+//!
+//! * **Admission control** — at most `max_sessions` classification
+//!   sessions run at once; a session arriving beyond capacity (or after
+//!   a drain began) is answered with one
+//!   [`KIND_BUSY`](ppcs_transport::KIND_BUSY) frame and shed, never
+//!   silently dropped or queued unboundedly.
+//! * **Session budgets** — every admitted session is driven under the
+//!   configured [`SessionLimits`] (wall-clock deadline, frame count,
+//!   wire bytes), so a slow-loris or flooding peer is cut with a typed
+//!   [`TransportError::Budget`](ppcs_transport::TransportError) inside
+//!   its budget instead of holding a slot forever.
+//! * **Graceful drain** — [`SessionSupervisor::drain`] stops admission
+//!   immediately, lets in-flight sessions finish inside the drain
+//!   deadline, then cuts the stragglers through the drivers' shared
+//!   cancel token.
+//!
+//! Every hostile-session outcome is counted ([`ServeSummary`]) and, when
+//! a [`MetricsRegistry`] is attached, surfaces through the standard
+//! telemetry report (`sessions_admitted`, `sessions_shed`,
+//! `budget_exceeded`, `malformed_rejected`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use ppcs_math::Algebra;
+use ppcs_ot::ObliviousTransfer;
+use ppcs_telemetry::MetricsRegistry;
+use ppcs_transport::{Driver, Encodable, Frame, Lane, SessionLimits, TransportError, KIND_BUSY};
+
+use crate::classify::{transport_cause, Trainer, KIND_CLS_FIN, KIND_CLS_HELLO};
+
+/// How often idle lanes and draining watchdogs re-check their flags.
+const POLL_SLICE: Duration = Duration::from_millis(20);
+
+/// Configuration for a [`TrainerServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum classification sessions served concurrently; arrivals
+    /// beyond this are shed with a `KIND_BUSY` frame.
+    pub max_sessions: usize,
+    /// Budgets every admitted session is driven under.
+    pub limits: SessionLimits,
+    /// How long an idle lane (connected, but no session opening) is kept
+    /// before its thread gives up on the client.
+    pub idle_timeout: Duration,
+    /// Grace period between [`SessionSupervisor::drain`] and the forced
+    /// cut of still-running sessions.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 64,
+            limits: SessionLimits::unlimited()
+                .with_deadline(Duration::from_secs(30))
+                .with_max_frames(1 << 16)
+                .with_max_wire_bytes(64 << 20),
+            idle_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SupervisorInner {
+    max_sessions: usize,
+    active: AtomicUsize,
+    draining: AtomicBool,
+    /// Shared with every session driver via `Driver::with_cancel`: set
+    /// once the drain deadline passes to cut in-flight sessions.
+    cut: Arc<AtomicBool>,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    budget_exceeded: AtomicU64,
+    malformed_rejected: AtomicU64,
+}
+
+/// Cloneable control/observation handle over a serving run: admission
+/// state, drain control, and the hostile-session counters.
+///
+/// Obtain one with [`TrainerServer::supervisor`] before calling
+/// [`TrainerServer::serve`], hand it to another thread, and use it to
+/// watch or drain the run.
+#[derive(Clone, Debug)]
+pub struct SessionSupervisor {
+    inner: Arc<SupervisorInner>,
+}
+
+impl SessionSupervisor {
+    fn new(max_sessions: usize) -> Self {
+        Self {
+            inner: Arc::new(SupervisorInner {
+                max_sessions,
+                ..SupervisorInner::default()
+            }),
+        }
+    }
+
+    /// Sessions currently being served.
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::Acquire)
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Begins a graceful drain: admission stops immediately, in-flight
+    /// sessions get the configured drain deadline to finish, then the
+    /// cut token terminates whatever remains.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether the forced cut (post-drain-deadline) has fired.
+    pub fn cut(&self) -> bool {
+        self.inner.cut.load(Ordering::Acquire)
+    }
+
+    fn force_cut(&self) {
+        self.inner.cut.store(true, Ordering::Release);
+    }
+
+    /// Tries to claim a session slot; `None` when at capacity or
+    /// draining. The slot is released when the permit drops.
+    fn try_admit(&self) -> Option<SessionPermit> {
+        if self.draining() {
+            return None;
+        }
+        let mut current = self.inner.active.load(Ordering::Acquire);
+        loop {
+            if current >= self.inner.max_sessions {
+                return None;
+            }
+            match self.inner.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Some(SessionPermit {
+                        supervisor: self.clone(),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn summary(&self, served_samples: usize) -> ServeSummary {
+        ServeSummary {
+            served_samples,
+            sessions_admitted: self.inner.admitted.load(Ordering::Relaxed),
+            sessions_shed: self.inner.shed.load(Ordering::Relaxed),
+            budget_exceeded: self.inner.budget_exceeded.load(Ordering::Relaxed),
+            malformed_rejected: self.inner.malformed_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII admission slot: dropping it frees capacity for the next session.
+struct SessionPermit {
+    supervisor: SessionSupervisor,
+}
+
+impl Drop for SessionPermit {
+    fn drop(&mut self) {
+        self.supervisor.inner.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Outcome counters for one [`TrainerServer::serve`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Samples classified across every successfully completed session.
+    pub served_samples: usize,
+    /// Sessions admitted (whether or not they later completed).
+    pub sessions_admitted: u64,
+    /// Sessions shed at admission with a `KIND_BUSY` reply.
+    pub sessions_shed: u64,
+    /// Admitted sessions terminated for exhausting a budget (including
+    /// drain cuts).
+    pub budget_exceeded: u64,
+    /// Sessions terminated for malformed or protocol-violating input.
+    pub malformed_rejected: u64,
+}
+
+/// A hardened multi-client front for a [`Trainer`]: admission control,
+/// per-session budgets, and graceful drain over any set of [`Lane`]s.
+///
+/// # Examples
+///
+/// ```
+/// use ppcs_core::{ProtocolConfig, ServerConfig, Trainer, TrainerServer};
+/// use ppcs_math::F64Algebra;
+/// use ppcs_ot::TrustedSimOt;
+/// use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+/// use ppcs_transport::duplex_pool;
+///
+/// let mut dataset = Dataset::new(2);
+/// dataset.push(vec![1.0, 1.0], Label::Positive);
+/// dataset.push(vec![-1.0, -1.0], Label::Negative);
+/// let model = SvmModel::train(&dataset, Kernel::Linear, &SmoParams::default());
+/// let trainer = Trainer::new(F64Algebra::new(), &model, ProtocolConfig::default()).unwrap();
+///
+/// let server = TrainerServer::new(&trainer, ServerConfig::default());
+/// let (server_lanes, client_lanes) = duplex_pool(2);
+/// let ot = TrustedSimOt;
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| {
+///         // Clients classify on `client_lanes` concurrently...
+///         drop(client_lanes); // (here: nobody calls, lanes just close)
+///     });
+///     let summary = server.serve(&server_lanes, &ot, 7);
+///     assert_eq!(summary.sessions_shed, 0);
+/// });
+/// ```
+pub struct TrainerServer<'a, A: Algebra> {
+    trainer: &'a Trainer<A>,
+    config: ServerConfig,
+    supervisor: SessionSupervisor,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl<'a, A: Algebra> TrainerServer<'a, A>
+where
+    A::Elem: Encodable,
+{
+    /// Wraps `trainer` for multi-client serving under `config`.
+    pub fn new(trainer: &'a Trainer<A>, config: ServerConfig) -> Self {
+        let supervisor = SessionSupervisor::new(config.max_sessions);
+        Self {
+            trainer,
+            config,
+            supervisor,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a telemetry registry: admission decisions and session
+    /// outcomes are counted there, and every session driver reports its
+    /// wire traffic and budget trips through it.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// A handle for watching or draining the run from another thread.
+    pub fn supervisor(&self) -> SessionSupervisor {
+        self.supervisor.clone()
+    }
+
+    /// Serves classification sessions on every lane concurrently until
+    /// each lane closes (client `FIN`, disconnect, or idle timeout) or a
+    /// drain completes. One lane serves many back-to-back sessions; a
+    /// hostile or failed session terminates with a structured error and
+    /// costs only itself.
+    ///
+    /// Unlike [`Trainer::serve_parallel`], this never returns an error:
+    /// per-session failures are triaged into the [`ServeSummary`] (and
+    /// the attached metrics), because on a hostile network a peer
+    /// failure is an expected outcome, not a server fault.
+    ///
+    /// Per-session randomness derives from `seed`, the lane index, and a
+    /// per-lane session counter, so runs are reproducible.
+    pub fn serve<L: Lane>(
+        &self,
+        lanes: &[L],
+        ot: &dyn ObliviousTransfer,
+        seed: u64,
+    ) -> ServeSummary {
+        let sel = ot.select();
+        let stop_watchdog = AtomicBool::new(false);
+        let served: usize = std::thread::scope(|scope| {
+            let watchdog = scope.spawn(|| self.drain_watchdog(&stop_watchdog));
+            let handles: Vec<_> = lanes
+                .iter()
+                .enumerate()
+                .map(|(i, lane)| scope.spawn(move || self.serve_lane(lane, sel, seed, i as u64)))
+                .collect();
+            let total = handles
+                .into_iter()
+                .map(|h| h.join().expect("serve lane thread panicked"))
+                .sum();
+            stop_watchdog.store(true, Ordering::Release);
+            watchdog.join().expect("watchdog thread panicked");
+            total
+        });
+        self.supervisor.summary(served)
+    }
+
+    /// Arms the forced cut once a drain's grace period expires.
+    fn drain_watchdog(&self, stop: &AtomicBool) {
+        // Wait for a drain to start (or the run to finish).
+        while !self.supervisor.draining() {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(POLL_SLICE);
+        }
+        let drain_started = Instant::now();
+        while drain_started.elapsed() < self.config.drain_deadline {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(POLL_SLICE);
+        }
+        self.supervisor.force_cut();
+    }
+
+    /// One lane's guarded session loop.
+    fn serve_lane<L: Lane + ?Sized>(
+        &self,
+        lane: &L,
+        sel: ppcs_ot::OtSelect,
+        seed: u64,
+        lane_idx: u64,
+    ) -> usize {
+        let sup = &self.supervisor;
+        let mut served = 0usize;
+        let mut sessions: u64 = 0;
+        let mut idle_since = Instant::now();
+        loop {
+            if sup.cut() {
+                break;
+            }
+            // Short recv slices keep the lane responsive to drain/cut
+            // even when the client sends nothing.
+            lane.set_recv_timeout(Some(POLL_SLICE));
+            let first = match lane.recv() {
+                Ok(f) => f,
+                Err(TransportError::Timeout) => {
+                    if sup.draining() || idle_since.elapsed() >= self.config.idle_timeout {
+                        break;
+                    }
+                    continue;
+                }
+                Err(TransportError::Disconnected) => break,
+                Err(_) => {
+                    // Garbage the transport itself rejected (e.g. a
+                    // malformed coalesced batch): note it, stay up.
+                    self.note_malformed();
+                    continue;
+                }
+            };
+            if first.kind == KIND_CLS_FIN {
+                break;
+            }
+            if first.kind != KIND_CLS_HELLO {
+                // A session must open with HELLO; anything else here is
+                // stale or hostile traffic.
+                self.note_malformed();
+                continue;
+            }
+            let Some(permit) = sup.try_admit() else {
+                // At capacity or draining: explicit reject, not a hang.
+                let _ = lane.send(Frame {
+                    kind: KIND_BUSY,
+                    payload: Bytes::new(),
+                });
+                sup.inner.shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = &self.metrics {
+                    reg.record_session_shed();
+                }
+                continue;
+            };
+            sup.inner.admitted.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &self.metrics {
+                reg.record_session_admitted();
+            }
+            sessions += 1;
+            let session_seed = seed
+                .wrapping_add(lane_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(sessions);
+            let mut engine = self.trainer.serve_engine(sel, session_seed);
+            engine.handle_input(first);
+            let mut driver = Driver::new()
+                .with_limits(self.config.limits.clone())
+                .with_cancel(self.supervisor.inner.cut.clone());
+            if let Some(reg) = &self.metrics {
+                driver = driver.with_metrics(reg.clone());
+            }
+            let outcome = driver.drive(lane, &mut engine);
+            drop(permit);
+            idle_since = Instant::now();
+            match outcome {
+                Ok(n) => served += n,
+                Err(e) => match transport_cause(&e) {
+                    Some(TransportError::Disconnected) => break,
+                    Some(TransportError::Budget(_)) => {
+                        sup.inner.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                        // The driver already counted it in the metrics.
+                    }
+                    Some(TransportError::Timeout) => {}
+                    // Codec-level garbage mid-session.
+                    Some(_) => self.note_malformed(),
+                    // Protocol-layer violation (bad spec, oversized
+                    // batch, wrong counts, …): the peer deviated.
+                    None => self.note_malformed(),
+                },
+            }
+        }
+        served
+    }
+
+    fn note_malformed(&self) {
+        self.supervisor
+            .inner
+            .malformed_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = &self.metrics {
+            reg.record_malformed_rejected();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use ppcs_math::F64Algebra;
+    use ppcs_ot::TrustedSimOt;
+    use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
+    use ppcs_transport::duplex_pool;
+
+    fn tiny_trainer() -> Trainer<F64Algebra> {
+        let mut dataset = Dataset::new(2);
+        dataset.push(vec![1.0, 1.0], Label::Positive);
+        dataset.push(vec![-1.0, -1.0], Label::Negative);
+        let model = SvmModel::train(&dataset, Kernel::Linear, &SmoParams::default());
+        Trainer::new(F64Algebra::new(), &model, ProtocolConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn admission_permits_enforce_capacity() {
+        let sup = SessionSupervisor::new(2);
+        let p1 = sup.try_admit().expect("slot 1");
+        let _p2 = sup.try_admit().expect("slot 2");
+        assert!(sup.try_admit().is_none(), "capacity reached");
+        assert_eq!(sup.active(), 2);
+        drop(p1);
+        assert!(sup.try_admit().is_some(), "slot freed on drop");
+    }
+
+    #[test]
+    fn draining_stops_admission() {
+        let sup = SessionSupervisor::new(8);
+        assert!(sup.try_admit().is_some());
+        sup.drain();
+        assert!(sup.try_admit().is_none());
+    }
+
+    #[test]
+    fn honest_clients_are_served_over_the_runtime() {
+        let trainer = tiny_trainer();
+        let server = TrainerServer::new(&trainer, ServerConfig::default());
+        let (server_lanes, client_lanes) = duplex_pool(2);
+        let ot = TrustedSimOt;
+        let samples = [vec![0.9f64, 1.1], vec![-1.0, -0.8]];
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = client_lanes
+                .iter()
+                .zip(&samples)
+                .enumerate()
+                .map(|(i, (lane, s))| {
+                    scope.spawn(move || {
+                        use rand::SeedableRng;
+                        let client =
+                            crate::Client::new(F64Algebra::new(), ProtocolConfig::default());
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+                        let labels = client
+                            .classify_batch(lane, &TrustedSimOt, &mut rng, std::slice::from_ref(s))
+                            .expect("honest session");
+                        lane.send(Frame::encode(super::KIND_CLS_FIN, &0u64))
+                            .unwrap();
+                        labels
+                    })
+                })
+                .collect();
+            let summary = server.serve(&server_lanes, &ot, 99);
+            let labels: Vec<_> = clients
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect();
+            assert_eq!(labels[0], vec![Label::Positive]);
+            assert_eq!(labels[1], vec![Label::Negative]);
+            assert_eq!(summary.sessions_admitted, 2);
+            assert_eq!(summary.sessions_shed, 0);
+            assert_eq!(summary.served_samples, 2);
+        });
+    }
+}

@@ -28,11 +28,24 @@ pub struct OmpeParams {
 }
 
 impl OmpeParams {
+    /// Largest accepted composite degree `degree_bound · sigma`.
+    ///
+    /// Parameter sets are often decoded from peer-supplied bytes, so the
+    /// constructor bounds them above as well as below: the interpolation
+    /// work and point-cloud size are polynomial in these values, and an
+    /// unchecked peer-chosen degree is a resource-exhaustion vector. The
+    /// largest parameter sets in the paper's experiments are two orders
+    /// of magnitude below these caps.
+    pub const MAX_COMPOSITE_DEGREE: usize = 4096;
+    /// Largest accepted total point count `(D + 1) · decoy_factor`.
+    pub const MAX_POINTS: usize = 65536;
+
     /// Validates and builds a parameter set.
     ///
     /// # Errors
     ///
-    /// Returns [`OmpeError::Params`] if any parameter is zero.
+    /// Returns [`OmpeError::Params`] if any parameter is zero, or if the
+    /// composite degree or total point count exceeds its cap.
     pub fn new(degree_bound: usize, sigma: usize, decoy_factor: usize) -> Result<Self, OmpeError> {
         if degree_bound == 0 {
             return Err(OmpeError::Params("degree_bound must be ≥ 1".into()));
@@ -43,6 +56,24 @@ impl OmpeParams {
         if decoy_factor == 0 {
             return Err(OmpeError::Params("decoy_factor must be ≥ 1".into()));
         }
+        let composite = degree_bound
+            .checked_mul(sigma)
+            .filter(|&d| d <= Self::MAX_COMPOSITE_DEGREE)
+            .ok_or_else(|| {
+                OmpeError::Params(format!(
+                    "composite degree {degree_bound}·{sigma} exceeds cap {}",
+                    Self::MAX_COMPOSITE_DEGREE
+                ))
+            })?;
+        (composite + 1)
+            .checked_mul(decoy_factor)
+            .filter(|&n| n <= Self::MAX_POINTS)
+            .ok_or_else(|| {
+                OmpeError::Params(format!(
+                    "point count ({composite}+1)·{decoy_factor} exceeds cap {}",
+                    Self::MAX_POINTS
+                ))
+            })?;
         Ok(Self {
             degree_bound,
             sigma,
@@ -301,6 +332,19 @@ mod tests {
         assert_eq!(p.composite_degree(), 12);
         assert_eq!(p.num_covers(), 13);
         assert_eq!(p.num_points(), 65);
+    }
+
+    #[test]
+    fn params_reject_resource_exhausting_values() {
+        // Composite degree beyond the cap, with and without overflow.
+        assert!(OmpeParams::new(OmpeParams::MAX_COMPOSITE_DEGREE + 1, 1, 1).is_err());
+        assert!(OmpeParams::new(usize::MAX, usize::MAX, 1).is_err());
+        // Degree within cap but the decoy blow-up exceeds MAX_POINTS.
+        assert!(OmpeParams::new(64, 64, 1).is_ok());
+        assert!(OmpeParams::new(64, 64, usize::MAX).is_err());
+        assert!(OmpeParams::new(64, 64, 1000).is_err());
+        // The largest experiment-scale parameters still pass.
+        assert!(OmpeParams::new(6, 16, 5).is_ok());
     }
 
     #[test]

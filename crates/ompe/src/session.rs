@@ -183,13 +183,16 @@ where
             Bytes::from(blob)
         };
         let xs: Vec<A::Elem> = decode_seq(&mut payload)?;
-        let ys_flat: Vec<A::Elem> = decode_seq(&mut payload)?;
+        // Validate the abscissa count before decoding the (much larger)
+        // coordinate block: an oversized cloud is rejected on the first
+        // sequence instead of being fully materialized first.
         if xs.len() != n_points {
             return Err(OmpeError::Protocol(format!(
                 "receiver submitted {} points, parameters require {n_points}",
                 xs.len()
             )));
         }
+        let ys_flat: Vec<A::Elem> = decode_seq(&mut payload)?;
         if ys_flat.len() != n_points * r {
             return Err(OmpeError::Protocol(format!(
                 "receiver submitted {} input coordinates, expected {}",

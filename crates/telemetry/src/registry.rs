@@ -131,6 +131,10 @@ pub struct MetricsRegistry {
     retries: AtomicU64,
     reconnects: AtomicU64,
     faults: AtomicU64,
+    sessions_admitted: AtomicU64,
+    sessions_shed: AtomicU64,
+    budget_exceeded: AtomicU64,
+    malformed_rejected: AtomicU64,
     phase_ns: [Histogram; Phase::ALL.len()],
     frame_sizes: Histogram,
     kinds: [KindSlot; NUM_KIND_SLOTS],
@@ -151,6 +155,10 @@ impl MetricsRegistry {
             retries: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            sessions_admitted: AtomicU64::new(0),
+            sessions_shed: AtomicU64::new(0),
+            budget_exceeded: AtomicU64::new(0),
+            malformed_rejected: AtomicU64::new(0),
             phase_ns: std::array::from_fn(|_| Histogram::new()),
             frame_sizes: Histogram::new(),
             kinds: std::array::from_fn(|_| KindSlot::default()),
@@ -200,6 +208,27 @@ impl MetricsRegistry {
     /// Counts one injected transport fault (chaos testing).
     pub fn record_fault(&self) {
         self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session admitted by the serving runtime.
+    pub fn record_session_admitted(&self) {
+        self.sessions_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session shed at admission (capacity or drain).
+    pub fn record_session_shed(&self) {
+        self.sessions_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session terminated for exhausting a budget.
+    pub fn record_budget_exceeded(&self) {
+        self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session rejected for malformed or protocol-violating
+    /// input.
+    pub fn record_malformed_rejected(&self) {
+        self.malformed_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one closed span: `ns` of wall time spent in `phase`.
@@ -310,6 +339,10 @@ impl MetricsRegistry {
             retries: self.retries.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
+            sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
+            sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
+            budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
+            malformed_rejected: self.malformed_rejected.load(Ordering::Relaxed),
             frame_sizes: FrameSizeReport {
                 count: self.frame_sizes.count(),
                 min: self.frame_sizes.min(),

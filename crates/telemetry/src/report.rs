@@ -81,6 +81,14 @@ pub struct SessionReport {
     pub reconnects: u64,
     /// Transport faults injected (chaos testing).
     pub faults: u64,
+    /// Sessions admitted by the serving runtime.
+    pub sessions_admitted: u64,
+    /// Sessions shed at admission (capacity or drain).
+    pub sessions_shed: u64,
+    /// Sessions terminated for exhausting a budget.
+    pub budget_exceeded: u64,
+    /// Sessions rejected for malformed or protocol-violating input.
+    pub malformed_rejected: u64,
     /// Frame payload-size distribution.
     pub frame_sizes: FrameSizeReport,
     /// Per-phase wall time, report order.
@@ -166,6 +174,10 @@ impl SessionReport {
             ("retries", num(self.retries)),
             ("reconnects", num(self.reconnects)),
             ("faults", num(self.faults)),
+            ("sessions_admitted", num(self.sessions_admitted)),
+            ("sessions_shed", num(self.sessions_shed)),
+            ("budget_exceeded", num(self.budget_exceeded)),
+            ("malformed_rejected", num(self.malformed_rejected)),
             (
                 "frame_sizes",
                 obj(vec![
@@ -253,6 +265,20 @@ impl SessionReport {
             retries: doc.get("retries").and_then(Json::as_u64).unwrap_or(0),
             reconnects: doc.get("reconnects").and_then(Json::as_u64).unwrap_or(0),
             faults: doc.get("faults").and_then(Json::as_u64).unwrap_or(0),
+            // Serving counters are newer still: same lenient treatment.
+            sessions_admitted: doc
+                .get("sessions_admitted")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            sessions_shed: doc.get("sessions_shed").and_then(Json::as_u64).unwrap_or(0),
+            budget_exceeded: doc
+                .get("budget_exceeded")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            malformed_rejected: doc
+                .get("malformed_rejected")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             frame_sizes: FrameSizeReport {
                 count: fs_field("count")?,
                 min: fs_field("min")?,
@@ -308,6 +334,21 @@ impl fmt::Display for SessionReport {
             self.frames_sent(),
             self.frames_received(),
         )?;
+        if self.sessions_admitted
+            + self.sessions_shed
+            + self.budget_exceeded
+            + self.malformed_rejected
+            > 0
+        {
+            writeln!(
+                f,
+                "  serving: {} admitted, {} shed, {} budget-exceeded, {} malformed",
+                self.sessions_admitted,
+                self.sessions_shed,
+                self.budget_exceeded,
+                self.malformed_rejected,
+            )?;
+        }
         if !self.phases.is_empty() {
             writeln!(
                 f,
@@ -364,6 +405,10 @@ mod tests {
             retries: 2,
             reconnects: 1,
             faults: 3,
+            sessions_admitted: 5,
+            sessions_shed: 2,
+            budget_exceeded: 1,
+            malformed_rejected: 4,
             frame_sizes: FrameSizeReport {
                 count: 12,
                 min: 6,
@@ -449,6 +494,24 @@ mod tests {
         report.retries = 0;
         report.reconnects = 0;
         report.faults = 0;
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_serving_counters_still_parse() {
+        // Artifacts written before the serving runtime existed.
+        let mut report = sample();
+        let text = report
+            .to_json()
+            .replace("\"sessions_admitted\":5,", "")
+            .replace("\"sessions_shed\":2,", "")
+            .replace("\"budget_exceeded\":1,", "")
+            .replace("\"malformed_rejected\":4,", "");
+        let back = SessionReport::from_json(&text).unwrap();
+        report.sessions_admitted = 0;
+        report.sessions_shed = 0;
+        report.budget_exceeded = 0;
+        report.malformed_rejected = 0;
         assert_eq!(back, report);
     }
 

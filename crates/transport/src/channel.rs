@@ -22,6 +22,14 @@ use crate::wire::Encodable;
 /// unpacks them, so protocols never see this kind directly.
 pub const KIND_COALESCED: u16 = 0x00FF;
 
+/// Hard cap on the number of sub-frames one coalesced batch may carry.
+///
+/// A uniform batch of zero-length payloads encodes an arbitrary count in
+/// 11 bytes, so no payload-size check can bound the allocation — this cap
+/// is the backstop. The largest legitimate batches (full point clouds for
+/// a large classification batch) are orders of magnitude below it.
+pub const MAX_COALESCED_FRAMES: usize = 1 << 20;
+
 /// A tagged message: a `kind` discriminant plus an opaque payload.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Frame {
@@ -443,13 +451,29 @@ pub(crate) fn uncoalesce(payload: &Bytes) -> Result<VecDeque<Frame>, TransportEr
     if count == 0 {
         return Err(TransportError::Decode("empty coalesced frame".into()));
     }
+    // The count prefix is attacker-controlled: bound it before reserving
+    // any memory. Size checks below handle non-empty payloads; a uniform
+    // batch of zero-length payloads encodes *any* count in 11 bytes, so
+    // the hard cap is the only bound that can catch it.
+    if count > MAX_COALESCED_FRAMES {
+        return Err(TransportError::Decode(format!(
+            "coalesced batch claims {count} frames, cap is {MAX_COALESCED_FRAMES}"
+        )));
+    }
     let uniform = *payload.get(4).ok_or_else(truncated)? != 0;
     let mut pos = 5usize;
-    let mut frames = VecDeque::with_capacity(count);
+    let mut frames;
     if uniform {
         let kind = read_u16(pos)?;
         let len = read_u32(pos + 2)? as usize;
         pos += 6;
+        if len != 0 && count > payload.len().saturating_sub(pos) / len {
+            return Err(TransportError::Decode(format!(
+                "coalesced batch claims {count} frames of {len} bytes but only {} payload bytes remain",
+                payload.len().saturating_sub(pos)
+            )));
+        }
+        frames = VecDeque::with_capacity(count);
         for _ in 0..count {
             if payload.len() < pos + len {
                 return Err(truncated());
@@ -461,6 +485,14 @@ pub(crate) fn uncoalesce(payload: &Bytes) -> Result<VecDeque<Frame>, TransportEr
             pos += len;
         }
     } else {
+        // Every non-uniform sub-frame costs at least its 6-byte header.
+        if count > payload.len().saturating_sub(pos) / 6 {
+            return Err(TransportError::Decode(format!(
+                "coalesced batch claims {count} frames but only {} payload bytes remain",
+                payload.len().saturating_sub(pos)
+            )));
+        }
+        frames = VecDeque::with_capacity(count);
         for _ in 0..count {
             let kind = read_u16(pos)?;
             let len = read_u32(pos + 2)? as usize;
@@ -808,6 +840,59 @@ mod tests {
         })
         .unwrap();
         assert!(matches!(b.recv(), Err(TransportError::Decode(_))));
+    }
+
+    #[test]
+    fn coalesced_count_is_bounded_before_allocation() {
+        // Non-uniform batch claiming u32::MAX frames with an 11-byte
+        // payload: must be rejected by the size bound, not by running
+        // out of memory reserving the deque.
+        let mut hostile = BytesMut::new();
+        hostile.put_u32_le(u32::MAX);
+        hostile.put_u8(0);
+        hostile.extend_from_slice(&[0u8; 6]);
+        match uncoalesce(&hostile.freeze()) {
+            Err(TransportError::Decode(msg)) => {
+                assert!(msg.contains("claims"), "got: {msg}")
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+
+        // Uniform batch of zero-length payloads: any count fits in 11
+        // bytes, so only the hard cap can stop it.
+        let mut hostile = BytesMut::new();
+        hostile.put_u32_le(u32::MAX);
+        hostile.put_u8(1);
+        hostile.put_u16_le(7);
+        hostile.put_u32_le(0);
+        match uncoalesce(&hostile.freeze()) {
+            Err(TransportError::Decode(msg)) => {
+                assert!(msg.contains("cap"), "got: {msg}")
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+
+        // Uniform batch over-claiming against a small payload body.
+        let mut hostile = BytesMut::new();
+        hostile.put_u32_le(1000);
+        hostile.put_u8(1);
+        hostile.put_u16_le(7);
+        hostile.put_u32_le(1 << 20);
+        hostile.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            uncoalesce(&hostile.freeze()),
+            Err(TransportError::Decode(_))
+        ));
+
+        // A legitimate uniform batch of empty payloads still unpacks.
+        let frames: Vec<Frame> = (0..4)
+            .map(|_| Frame {
+                kind: 7,
+                payload: Bytes::new(),
+            })
+            .collect();
+        let packed = coalesce_frames(&frames).unwrap();
+        assert_eq!(uncoalesce(&packed.payload).unwrap().len(), 4);
     }
 
     #[test]

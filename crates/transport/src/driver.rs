@@ -9,8 +9,9 @@
 //! [`replay`] re-drives an engine from the recording, asserting it emits
 //! byte-identical output.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use ppcs_telemetry::{MetricsRegistry, WireDir};
@@ -27,6 +28,61 @@ use crate::wire::{decode_seq, encode_seq, Encodable};
 /// that ack. Reserved next to [`KIND_COALESCED`](crate::KIND_COALESCED);
 /// protocols never see it.
 pub const KIND_RESUME: u16 = 0x00FE;
+
+/// Frame kind for admission-control rejection: a serving peer at
+/// capacity answers a new session's opening frame with one `KIND_BUSY`
+/// frame and hangs up, instead of silently dropping the connection. The
+/// driver translates a received `KIND_BUSY` into
+/// [`TransportError::Busy`] and fails the engine with it — protocols
+/// never see the kind itself. Reserved next to [`KIND_RESUME`].
+pub const KIND_BUSY: u16 = 0x00FD;
+
+/// Per-session resource budgets enforced by [`Driver::drive`].
+///
+/// Each limit is independent and optional; `None` means unlimited. When
+/// any budget trips, the drive fails the engine with
+/// [`TransportError::Budget`] naming the exhausted budget, and an
+/// attached [`MetricsRegistry`](ppcs_telemetry::MetricsRegistry) counts
+/// one `budget_exceeded`.
+#[derive(Clone, Debug, Default)]
+pub struct SessionLimits {
+    /// Total wall-clock budget for the whole session, distinct from the
+    /// per-receive deadline: a peer trickling one frame per recv window
+    /// (a "slow loris") passes every per-recv deadline but not this one.
+    pub deadline: Option<Duration>,
+    /// Maximum logical frames delivered to the engine.
+    pub max_frames: Option<u64>,
+    /// Maximum wire bytes moved (sent + received) during the drive.
+    pub max_wire_bytes: Option<u64>,
+}
+
+impl SessionLimits {
+    /// No limits: every budget unlimited.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the total wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the delivered-frame budget.
+    #[must_use]
+    pub fn with_max_frames(mut self, max_frames: u64) -> Self {
+        self.max_frames = Some(max_frames);
+        self
+    }
+
+    /// Sets the wire-byte budget (sent + received).
+    #[must_use]
+    pub fn with_max_wire_bytes(mut self, max_wire_bytes: u64) -> Self {
+        self.max_wire_bytes = Some(max_wire_bytes);
+        self
+    }
+}
 
 /// Bounded-retry configuration for [`Driver::drive_resumable`]:
 /// exponential backoff with deterministic (seeded) jitter between
@@ -71,13 +127,24 @@ impl RetryPolicy {
         )
     }
 
-    /// The backoff before attempt `attempt + 1`: capped exponential plus
-    /// seeded jitter in `[0, capped / 2)`.
-    fn backoff_delay(&self, attempt: u32, jitter: &mut u64) -> Duration {
-        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
-        let capped = exp.min(self.max_delay);
-        let half = (capped.as_nanos() / 2).max(1) as u64;
-        capped + Duration::from_nanos(splitmix64(jitter) % half)
+    /// The backoff before attempt `attempt + 1` with no jitter applied:
+    /// capped exponential growth from `base_delay`, saturating instead
+    /// of overflowing at large attempt counts.
+    pub fn backoff_base(&self, attempt: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay)
+    }
+
+    /// The backoff before attempt `attempt + 1`:
+    /// [`backoff_base`](Self::backoff_base) plus seeded jitter in
+    /// `[0, base / 2)`, saturating at the extremes instead of panicking.
+    pub fn backoff_delay(&self, attempt: u32, jitter: &mut u64) -> Duration {
+        let capped = self.backoff_base(attempt);
+        let half = ((capped.as_nanos() / 2).min(u128::from(u64::MAX)) as u64).max(1);
+        capped
+            .checked_add(Duration::from_nanos(splitmix64(jitter) % half))
+            .unwrap_or(capped)
     }
 }
 
@@ -249,6 +316,8 @@ pub struct Driver {
     metrics: Option<Arc<MetricsRegistry>>,
     timeout: Option<Duration>,
     retry: Option<RetryPolicy>,
+    limits: Option<SessionLimits>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Driver {
@@ -294,6 +363,28 @@ impl Driver {
         self
     }
 
+    /// Attaches per-session resource budgets enforced on every
+    /// [`drive`](Self::drive): wall-clock deadline, delivered-frame
+    /// count, and wire-byte count. See [`SessionLimits`]. Budgeted
+    /// drives slice their blocking receives into short waits so the
+    /// deadline is observed promptly; they therefore reconfigure the
+    /// lane's recv deadline as they go and should own their lane.
+    #[must_use]
+    pub fn with_limits(mut self, limits: SessionLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Attaches a cancellation token checked on every loop iteration and
+    /// while waiting for input: once set, the drive fails the engine
+    /// with [`TransportError::Budget`]. The serving runtime uses this to
+    /// cut in-flight sessions at the drain deadline.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Takes the recorded transcript, if recording was enabled.
     pub fn take_transcript(&mut self) -> Option<Transcript> {
         self.transcript.take()
@@ -333,6 +424,11 @@ impl Driver {
         L: Lane + ?Sized,
         E: From<TransportError>,
     {
+        let started = Instant::now();
+        let limits = self.limits.clone().unwrap_or_default();
+        let budgeted = self.limits.is_some() || self.cancel.is_some();
+        let bytes_before = budgeted.then(|| ep.stats().total_bytes());
+        let mut frames_delivered: u64 = 0;
         // The frame kind most recently sent or delivered: locates a
         // timeout within the session for the warn event.
         let mut last_kind: Option<u16> = None;
@@ -365,18 +461,33 @@ impl Driver {
             if engine.is_done() {
                 return engine.take_result().expect("engine reported done");
             }
-            match ep.recv() {
+            if budgeted {
+                let wire = ep.stats().total_bytes() - bytes_before.expect("snapshotted");
+                if let Some(e) = self.budget_trip(&limits, started, frames_delivered, wire) {
+                    self.note_budget(&e, last_kind, engine.rounds());
+                    return fail_engine(engine, e);
+                }
+            }
+            match self.recv_within_budget(ep, &limits, budgeted, started) {
                 Ok(frame) => {
+                    if frame.kind == KIND_BUSY {
+                        // The peer shed this session before admission.
+                        return fail_engine(engine, TransportError::Busy);
+                    }
                     if let Some(t) = &mut self.transcript {
                         t.record_received(&frame);
                     }
                     if let Some(reg) = &self.metrics {
                         reg.record_frame_size(frame.payload.len() as u64);
                     }
+                    frames_delivered += 1;
                     last_kind = Some(frame.kind);
                     engine.handle_input(frame);
                 }
                 Err(e) => {
+                    if matches!(e, TransportError::Budget(_)) {
+                        self.note_budget(&e, last_kind, engine.rounds());
+                    }
                     if e == TransportError::Timeout {
                         if let Some(reg) = &self.metrics {
                             reg.record_timeout();
@@ -393,6 +504,105 @@ impl Driver {
                         None => Err(E::from(e)),
                     };
                 }
+            }
+        }
+    }
+
+    /// Returns the budget that has tripped, if any. The cancel token is
+    /// checked first: a drain cut overrides any remaining allowance.
+    fn budget_trip(
+        &self,
+        limits: &SessionLimits,
+        started: Instant,
+        frames_delivered: u64,
+        wire_bytes: u64,
+    ) -> Option<TransportError> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Some(TransportError::Budget(
+                    "session cancelled (drain cut)".into(),
+                ));
+            }
+        }
+        if let Some(deadline) = limits.deadline {
+            if started.elapsed() >= deadline {
+                return Some(TransportError::Budget(format!(
+                    "wall-clock deadline {deadline:?} elapsed"
+                )));
+            }
+        }
+        if let Some(max) = limits.max_frames {
+            if frames_delivered >= max {
+                return Some(TransportError::Budget(format!(
+                    "frame budget {max} exhausted"
+                )));
+            }
+        }
+        if let Some(max) = limits.max_wire_bytes {
+            if wire_bytes > max {
+                return Some(TransportError::Budget(format!(
+                    "wire-byte budget {max} exceeded ({wire_bytes} bytes moved)"
+                )));
+            }
+        }
+        None
+    }
+
+    /// Counts and warns about one tripped budget.
+    fn note_budget(&self, e: &TransportError, last_kind: Option<u16>, rounds: u64) {
+        if let Some(reg) = &self.metrics {
+            reg.record_budget_exceeded();
+        }
+        ppcs_telemetry::warn_event(&e.to_string(), last_kind, Some(rounds));
+    }
+
+    /// Receives one frame. Budgeted drives slice the blocking wait into
+    /// short intervals so a cancel or an elapsed wall-clock deadline is
+    /// observed within one slice even when the peer sends nothing; the
+    /// configured per-recv timeout still applies across slices.
+    fn recv_within_budget<L>(
+        &self,
+        ep: &L,
+        limits: &SessionLimits,
+        budgeted: bool,
+        started: Instant,
+    ) -> Result<Frame, TransportError>
+    where
+        L: Lane + ?Sized,
+    {
+        if !budgeted {
+            return ep.recv();
+        }
+        const SLICE: Duration = Duration::from_millis(20);
+        let per_recv = self.timeout.unwrap_or(Duration::from_secs(30));
+        let recv_started = Instant::now();
+        loop {
+            let mut wait = per_recv.saturating_sub(recv_started.elapsed());
+            if let Some(deadline) = limits.deadline {
+                wait = wait.min(deadline.saturating_sub(started.elapsed()));
+            }
+            ep.set_recv_timeout(Some(wait.min(SLICE).max(Duration::from_millis(1))));
+            match ep.recv() {
+                Err(TransportError::Timeout) => {
+                    if let Some(cancel) = &self.cancel {
+                        if cancel.load(Ordering::Relaxed) {
+                            return Err(TransportError::Budget(
+                                "session cancelled (drain cut)".into(),
+                            ));
+                        }
+                    }
+                    if let Some(deadline) = limits.deadline {
+                        if started.elapsed() >= deadline {
+                            return Err(TransportError::Budget(format!(
+                                "wall-clock deadline {deadline:?} elapsed"
+                            )));
+                        }
+                    }
+                    if recv_started.elapsed() >= per_recv {
+                        return Err(TransportError::Timeout);
+                    }
+                }
+                other => return other,
             }
         }
     }
@@ -509,6 +719,11 @@ impl Driver {
         lane.send(Frame::encode(KIND_RESUME, delivered))?;
         let peer_ack = loop {
             let f = lane.recv()?;
+            if f.kind == KIND_BUSY {
+                // The peer shed this session: not retryable, redialing
+                // the same overloaded server would just be shed again.
+                return Err(TransportError::Busy);
+            }
             if f.kind == KIND_RESUME {
                 break f.decode_as::<u64>(KIND_RESUME)?;
             }
@@ -550,6 +765,9 @@ impl Driver {
                 return Ok(());
             }
             let frame = lane.recv()?;
+            if frame.kind == KIND_BUSY {
+                return Err(TransportError::Busy);
+            }
             if frame.kind == KIND_RESUME {
                 // A duplicate handshake frame (e.g. replayed by a
                 // faulty lane): not session traffic.
@@ -1000,6 +1218,137 @@ mod tests {
         assert!(d3 >= Duration::from_millis(80), "exponential growth");
         // Cap plus at most half the cap of jitter.
         assert!(d9 <= Duration::from_millis(120), "cap holds: {d9:?}");
+    }
+
+    #[test]
+    fn backoff_never_panics_at_extreme_parameters() {
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay: Duration::MAX,
+            max_delay: Duration::MAX,
+            jitter_seed: 42,
+            resume_window: Duration::from_secs(1),
+        };
+        let mut jitter = policy.jitter_seed;
+        for attempt in [0, 16, 63, u32::MAX] {
+            let d = policy.backoff_delay(attempt, &mut jitter);
+            assert!(d >= policy.backoff_base(attempt.min(16)));
+        }
+    }
+
+    #[test]
+    fn budget_deadline_cuts_a_silent_peer() {
+        // The peer endpoint stays alive but never sends: the per-recv
+        // timeout (30 s default) would hold the session for ages, the
+        // wall-clock budget cuts it in tens of milliseconds.
+        let (ep_a, _keep_alive) = duplex();
+        let reg = ppcs_telemetry::MetricsRegistry::new(11, "budgeted");
+        let mut driver = Driver::new()
+            .with_metrics(reg.clone())
+            .with_limits(SessionLimits::unlimited().with_deadline(Duration::from_millis(50)));
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
+        let t0 = std::time::Instant::now();
+        let err = driver.drive(&ep_a, &mut eng).unwrap_err();
+        assert!(matches!(err, TransportError::Budget(_)), "got {err:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadline observed promptly"
+        );
+        assert_eq!(reg.report().budget_exceeded, 1);
+    }
+
+    #[test]
+    fn budget_max_frames_trips_on_a_flooding_peer() {
+        let (ep_a, ep_b) = duplex();
+        for i in 0..8u64 {
+            ep_b.send_msg(1, &i).unwrap();
+        }
+        let mut driver = Driver::new().with_limits(SessionLimits::unlimited().with_max_frames(3));
+        // The engine wants more frames than the budget allows.
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move {
+                let mut sum = 0;
+                for _ in 0..8 {
+                    sum += io.recv_msg::<u64>(1).await?;
+                }
+                Ok(sum)
+            });
+        let err = driver.drive(&ep_a, &mut eng).unwrap_err();
+        match err {
+            TransportError::Budget(msg) => assert!(msg.contains("frame budget"), "{msg}"),
+            other => panic!("expected Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_max_wire_bytes_trips_after_oversized_traffic() {
+        let (ep_a, ep_b) = duplex();
+        ep_b.send_msg(1, &vec![0u8; 4096]).unwrap();
+        let mut driver =
+            Driver::new().with_limits(SessionLimits::unlimited().with_max_wire_bytes(256));
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move {
+                let _big = io.recv_msg::<Vec<u8>>(1).await?;
+                io.recv_msg::<u64>(2).await
+            });
+        let err = driver.drive(&ep_a, &mut eng).unwrap_err();
+        match err {
+            TransportError::Budget(msg) => assert!(msg.contains("wire-byte"), "{msg}"),
+            other => panic!("expected Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_within_budget_complete_normally() {
+        let (ep_a, ep_b) = duplex();
+        let handle = std::thread::spawn(move || {
+            let mut eng = ProtocolEngine::new(ponger);
+            drive_blocking(&ep_b, &mut eng)
+        });
+        let mut driver = Driver::new().with_limits(
+            SessionLimits::unlimited()
+                .with_deadline(Duration::from_secs(10))
+                .with_max_frames(16)
+                .with_max_wire_bytes(1 << 20),
+        );
+        let mut eng = ProtocolEngine::new(pinger);
+        assert_eq!(driver.drive(&ep_a, &mut eng), Ok(21));
+        handle.join().expect("peer").expect("peer result");
+    }
+
+    #[test]
+    fn cancel_token_cuts_an_in_flight_session() {
+        let (ep_a, _keep_alive) = duplex();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut driver = Driver::new().with_cancel(cancel.clone());
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                cancel.store(true, Ordering::Relaxed);
+            });
+            let err = driver.drive(&ep_a, &mut eng).unwrap_err();
+            match err {
+                TransportError::Budget(msg) => assert!(msg.contains("cancelled"), "{msg}"),
+                other => panic!("expected Budget, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn busy_frame_surfaces_as_busy_error() {
+        let (ep_a, ep_b) = duplex();
+        ep_b.send(Frame {
+            kind: KIND_BUSY,
+            payload: Bytes::new(),
+        })
+        .unwrap();
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
+        let err = drive_blocking(&ep_a, &mut eng).unwrap_err();
+        assert_eq!(err, TransportError::Busy);
     }
 
     #[test]

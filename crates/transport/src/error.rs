@@ -23,6 +23,14 @@ pub enum TransportError {
         /// The length of the offending frame's payload in bytes.
         payload_len: usize,
     },
+    /// The peer is at capacity and shed this session before it started
+    /// (it answered with a `KIND_BUSY` control frame). Not retryable on
+    /// the same connection; callers should back off and redial.
+    Busy,
+    /// A session budget ([`SessionLimits`](crate::SessionLimits)) was
+    /// exhausted: wall-clock deadline, frame count, wire-byte count, or a
+    /// drain-deadline cut. The message names the budget that tripped.
+    Budget(String),
 }
 
 impl fmt::Display for TransportError {
@@ -43,6 +51,8 @@ impl fmt::Display for TransportError {
                      expected kind 0x{expected:04x}"
                 )
             }
+            Self::Busy => write!(f, "peer at capacity: session shed before admission"),
+            Self::Budget(msg) => write!(f, "session budget exhausted: {msg}"),
         }
     }
 }
@@ -165,9 +175,11 @@ impl std::error::Error for ProtocolError {
 impl From<TransportError> for ProtocolError {
     fn from(err: TransportError) -> Self {
         match &err {
-            TransportError::Disconnected | TransportError::Timeout | TransportError::Io(_) => {
-                Self::new(ErrorLayer::Transport, err)
-            }
+            TransportError::Disconnected
+            | TransportError::Timeout
+            | TransportError::Io(_)
+            | TransportError::Busy
+            | TransportError::Budget(_) => Self::new(ErrorLayer::Transport, err),
             TransportError::Decode(_) => Self::new(ErrorLayer::Codec, err),
             TransportError::UnexpectedFrame { got, .. } => {
                 let got = *got;
@@ -199,6 +211,8 @@ mod tests {
             TransportError::Disconnected,
             TransportError::Timeout,
             TransportError::Io("reset".into()),
+            TransportError::Busy,
+            TransportError::Budget("deadline 5ms elapsed".into()),
         ] {
             let p = ProtocolError::from(err.clone());
             assert_eq!(p.layer(), ErrorLayer::Transport);

@@ -42,11 +42,11 @@ mod wire;
 
 pub use channel::{
     coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, KindTraffic, Lane,
-    TrafficStats, KIND_COALESCED,
+    TrafficStats, KIND_COALESCED, MAX_COALESCED_FRAMES,
 };
 pub use driver::{
-    drive_blocking, replay, run_engine_pair, Direction, Driver, RetryPolicy, Transcript,
-    TranscriptEntry, KIND_RESUME,
+    drive_blocking, replay, run_engine_pair, Direction, Driver, RetryPolicy, SessionLimits,
+    Transcript, TranscriptEntry, KIND_BUSY, KIND_RESUME,
 };
 pub use engine::{Engine, FrameIo, Outgoing, ProtocolEngine, RecvFut};
 pub use error::{ErrorLayer, ProtocolError, TransportError};

@@ -11,6 +11,15 @@ use crate::error::TransportError;
 
 /// Serialization into the ppcs wire format.
 pub trait Encodable: Sized {
+    /// The smallest number of bytes any encoding of this type occupies.
+    ///
+    /// [`decode_seq`] divides the remaining payload by this bound before
+    /// allocating, so a hostile length prefix can never reserve more
+    /// memory than the payload it arrived in could possibly describe.
+    /// Must never be 0; types whose minimum is unknown keep the default
+    /// of 1 (sound, just a weaker bound).
+    const MIN_WIRE_LEN: usize = 1;
+
     /// Appends the encoded form to `out`.
     fn encode(&self, out: &mut BytesMut);
     /// Decodes a value, advancing `input`.
@@ -43,6 +52,7 @@ impl Encodable for u8 {
 }
 
 impl Encodable for u16 {
+    const MIN_WIRE_LEN: usize = 2;
     fn encode(&self, out: &mut BytesMut) {
         out.put_u16_le(*self);
     }
@@ -53,6 +63,7 @@ impl Encodable for u16 {
 }
 
 impl Encodable for u32 {
+    const MIN_WIRE_LEN: usize = 4;
     fn encode(&self, out: &mut BytesMut) {
         out.put_u32_le(*self);
     }
@@ -63,6 +74,7 @@ impl Encodable for u32 {
 }
 
 impl Encodable for u64 {
+    const MIN_WIRE_LEN: usize = 8;
     fn encode(&self, out: &mut BytesMut) {
         out.put_u64_le(*self);
     }
@@ -73,6 +85,7 @@ impl Encodable for u64 {
 }
 
 impl Encodable for usize {
+    const MIN_WIRE_LEN: usize = 8;
     fn encode(&self, out: &mut BytesMut) {
         out.put_u64_le(*self as u64);
     }
@@ -99,6 +112,7 @@ impl Encodable for bool {
 }
 
 impl Encodable for f64 {
+    const MIN_WIRE_LEN: usize = 8;
     fn encode(&self, out: &mut BytesMut) {
         out.put_u64_le(self.to_bits());
     }
@@ -109,6 +123,7 @@ impl Encodable for f64 {
 }
 
 impl Encodable for Fp256 {
+    const MIN_WIRE_LEN: usize = 32;
     fn encode(&self, out: &mut BytesMut) {
         out.put_slice(&self.to_bytes());
     }
@@ -125,6 +140,8 @@ impl Encodable for Fp256 {
 }
 
 impl Encodable for Vec<u8> {
+    // An empty byte vector still carries its 8-byte length prefix.
+    const MIN_WIRE_LEN: usize = 8;
     fn encode(&self, out: &mut BytesMut) {
         (self.len() as u64).encode(out);
         out.put_slice(self);
@@ -157,11 +174,15 @@ pub fn encode_seq<T: Encodable>(items: &[T], out: &mut BytesMut) {
 /// Returns [`TransportError::Decode`] on truncated or malformed input.
 pub fn decode_seq<T: Encodable>(input: &mut Bytes) -> Result<Vec<T>, TransportError> {
     let len = usize::decode(input)?;
-    // Guard against absurd prefixes on truncated input: each element takes
-    // at least one byte.
-    if len > input.remaining() {
+    // The length prefix is attacker-controlled: before reserving any
+    // memory, check that the remaining payload could actually hold `len`
+    // elements at their minimum encoded size. Otherwise a 16-byte frame
+    // claiming u64::MAX Fp256 elements would reserve gigabytes before
+    // the first element decode failed.
+    let min_len = T::MIN_WIRE_LEN.max(1);
+    if len > input.remaining() / min_len {
         return Err(TransportError::Decode(format!(
-            "sequence length {len} exceeds remaining {} bytes",
+            "sequence length {len} exceeds remaining {} bytes ({min_len}-byte elements)",
             input.remaining()
         )));
     }
@@ -173,6 +194,7 @@ pub fn decode_seq<T: Encodable>(input: &mut Bytes) -> Result<Vec<T>, TransportEr
 }
 
 impl<A: Encodable, B: Encodable> Encodable for (A, B) {
+    const MIN_WIRE_LEN: usize = A::MIN_WIRE_LEN + B::MIN_WIRE_LEN;
     fn encode(&self, out: &mut BytesMut) {
         self.0.encode(out);
         self.1.encode(out);
@@ -259,6 +281,48 @@ mod tests {
         (u64::MAX).encode(&mut out);
         let mut input = out.freeze();
         assert!(decode_seq::<f64>(&mut input).is_err());
+    }
+
+    #[test]
+    fn u64_max_length_prefix_is_rejected_for_every_element_type() {
+        // A u64::MAX prefix followed by a handful of real bytes must be
+        // rejected by the pre-allocation bound, whatever the element type.
+        fn attack<T: Encodable + std::fmt::Debug>() {
+            let mut out = BytesMut::new();
+            (u64::MAX).encode(&mut out);
+            out.extend_from_slice(&[0u8; 64]);
+            let mut input = out.freeze();
+            match decode_seq::<T>(&mut input) {
+                Err(TransportError::Decode(msg)) => {
+                    assert!(msg.contains("exceeds remaining"), "got: {msg}")
+                }
+                other => panic!("expected Decode error, got {other:?}"),
+            }
+        }
+        attack::<u8>();
+        attack::<u64>();
+        attack::<f64>();
+        attack::<Fp256>();
+        attack::<(u64, f64)>();
+        attack::<Vec<u8>>();
+    }
+
+    #[test]
+    fn length_prefix_cannot_reserve_more_than_the_payload_holds() {
+        // 64 remaining bytes can hold at most two 32-byte field elements;
+        // a prefix claiming 64 one-byte "elements" used to slip past the
+        // old `len <= remaining` guard and reserve 64 * 32 bytes.
+        let mut out = BytesMut::new();
+        64u64.encode(&mut out);
+        out.extend_from_slice(&[1u8; 64]);
+        let mut input = out.freeze();
+        assert!(decode_seq::<Fp256>(&mut input).is_err());
+
+        // The same payload really does hold two elements.
+        let mut ok = BytesMut::new();
+        encode_seq(&[Fp256::from_i64(1), Fp256::from_i64(2)], &mut ok);
+        let mut input = ok.freeze();
+        assert_eq!(decode_seq::<Fp256>(&mut input).unwrap().len(), 2);
     }
 
     #[test]

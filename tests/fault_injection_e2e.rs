@@ -29,7 +29,7 @@ use ppcs_telemetry::MetricsRegistry;
 use ppcs_tests::{blob_dataset, random_samples, rotated_model};
 use ppcs_transport::{
     drive_blocking, duplex, faulty_pair, run_pair, tcp_accept, tcp_connect, Driver, FaultKind,
-    FaultSchedule, FaultyLane, Lane, ProtocolEngine, RetryPolicy, TransportError,
+    FaultSchedule, FaultyLane, Lane, ProtocolEngine, RetryPolicy, SessionLimits, TransportError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -597,4 +597,40 @@ fn parallel_classification_degrades_around_a_dead_lane() {
     );
     // Every sample was served by some surviving lane.
     assert_eq!(served.expect("serve_parallel"), expected.len());
+}
+
+/// Chaos and session budgets together: with every driver also enforcing
+/// a [`SessionLimits`] envelope, the resilience trichotomy must keep
+/// holding under seeded fault schedules — and, critically, the budget
+/// machinery must never false-positive: a lossless schedule still
+/// completes (with the correct values) inside a generous budget.
+#[test]
+fn chaos_with_session_budgets_keeps_the_trichotomy() {
+    let (trainer, client, samples) = classification_fixture();
+    let sel = SIM.select();
+    let budget = || {
+        SessionLimits::unlimited()
+            .with_deadline(Duration::from_secs(5))
+            .with_max_frames(1 << 14)
+            .with_max_wire_bytes(64 << 20)
+    };
+    let run_a = |lane: &FaultyLane| {
+        let mut eng = trainer.serve_engine(sel, 170);
+        Driver::new()
+            .with_limits(budget())
+            .with_timeout(CHAOS_DEADLINE)
+            .drive(lane, &mut eng)
+            .map_err(err_string)
+    };
+    let run_b = |lane: &FaultyLane| {
+        let mut eng = client.classify_engine(sel, 171, &samples);
+        Driver::new()
+            .with_limits(budget())
+            .with_timeout(CHAOS_DEADLINE)
+            .drive(lane, &mut eng)
+            .map_err(err_string)
+    };
+    let (ea, eb) = clean_run(&run_a, &run_b);
+    assert_eq!(ea, samples.len());
+    chaos_sweep("budgeted", 6000, 24, &ea, &eb, run_a, run_b);
 }
