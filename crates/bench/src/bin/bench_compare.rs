@@ -1,0 +1,62 @@
+//! CI perf gate: compare a fresh bench artifact against a committed
+//! baseline.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [p50_tol]
+//! ```
+//!
+//! Both files must be valid `ppcs-bench/v1` artifacts for the same
+//! workload. The gate fails (exit code 1) when the fresh p50 exceeds
+//! `baseline * (1 + p50_tol)` (default tolerance 0.15) or when wire
+//! bytes per iteration grow at all; see
+//! [`compare_bench_json`](ppcs_bench::report::compare_bench_json) for
+//! the exact policy.
+
+use std::process::ExitCode;
+
+use ppcs_bench::report::compare_bench_json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [p50_tol]");
+        return ExitCode::from(2);
+    }
+    let p50_tol: f64 = match args.get(3).map(|s| s.parse()) {
+        None => 0.15,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("p50_tol must be a number, got {:?}", args[3]);
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let baseline = match read(&args[1]) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let fresh = match read(&args[2]) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match compare_bench_json(&baseline, &fresh, p50_tol) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("PERF GATE FAILED: {e}");
+            eprintln!(
+                "If this regression is intentional, regenerate the committed \
+                 BENCH_*.json artifacts and apply the `perf-regression-ok` \
+                 label to the pull request."
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -208,6 +208,101 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Compares a fresh bench artifact against a committed baseline and
+/// decides whether the run regressed.
+///
+/// Two gates, mirroring the CI perf policy:
+///
+/// * **Latency**: the fresh p50 must satisfy
+///   `fresh_p50 <= baseline_p50 * (1 + p50_tol)`. Quantiles above p50
+///   are too noisy on shared runners to gate on.
+/// * **Wire bytes**: total bytes on the wire (sent + received),
+///   normalized *per iteration*, must not grow at all. Each bench
+///   iteration is a complete protocol session, so wire traffic scales
+///   linearly with the iteration count and the baseline and fresh runs
+///   may use different counts. The comparison cross-multiplies in
+///   integers (`fresh_bytes * baseline_iters <= baseline_bytes *
+///   fresh_iters`), so it is exact — protocol traffic is deterministic
+///   per session and any growth is a real wire-format regression.
+///
+/// Both documents are structurally validated first and must describe
+/// the same workload (`bench` name).
+///
+/// # Errors
+///
+/// A human-readable description of every gate that failed, or of the
+/// first structural problem.
+pub fn compare_bench_json(baseline: &str, fresh: &str, p50_tol: f64) -> Result<String, String> {
+    validate_bench_json(baseline).map_err(|e| format!("baseline artifact invalid: {e}"))?;
+    validate_bench_json(fresh).map_err(|e| format!("fresh artifact invalid: {e}"))?;
+    if !(0.0..=10.0).contains(&p50_tol) {
+        return Err(format!("p50 tolerance {p50_tol} out of range [0, 10]"));
+    }
+
+    let base = Json::parse(baseline).expect("validated above");
+    let new = Json::parse(fresh).expect("validated above");
+
+    let base_bench = require(&base, "bench")?.as_str().expect("validated");
+    let new_bench = require(&new, "bench")?.as_str().expect("validated");
+    if base_bench != new_bench {
+        return Err(format!(
+            "bench mismatch: baseline is {base_bench:?}, fresh is {new_bench:?}"
+        ));
+    }
+
+    let wire_total = |doc: &Json| -> u64 {
+        let wire = doc.get("wire").expect("validated");
+        wire.get("bytes_sent")
+            .and_then(|j| j.as_u64())
+            .expect("validated")
+            + wire
+                .get("bytes_received")
+                .and_then(|j| j.as_u64())
+                .expect("validated")
+    };
+    let p50_of = |doc: &Json| -> f64 {
+        doc.get("latency_ms")
+            .and_then(|l| l.get("p50"))
+            .and_then(|j| j.as_f64())
+            .expect("validated")
+    };
+
+    let base_iters = require_u64(&base, "iterations")?;
+    let new_iters = require_u64(&new, "iterations")?;
+    let base_p50 = p50_of(&base);
+    let new_p50 = p50_of(&new);
+    let base_bytes = wire_total(&base);
+    let new_bytes = wire_total(&new);
+    let base_bpi = base_bytes as f64 / base_iters as f64;
+    let new_bpi = new_bytes as f64 / new_iters as f64;
+
+    let mut failures = Vec::new();
+    let p50_limit = base_p50 * (1.0 + p50_tol);
+    if new_p50 > p50_limit {
+        failures.push(format!(
+            "p50 regression: {new_p50:.3} ms > limit {p50_limit:.3} ms \
+             (baseline {base_p50:.3} ms, tolerance {:.0}%)",
+            p50_tol * 100.0
+        ));
+    }
+    // Exact per-iteration comparison via integer cross-multiplication.
+    if (new_bytes as u128) * (base_iters as u128) > (base_bytes as u128) * (new_iters as u128) {
+        failures.push(format!(
+            "wire growth: {new_bpi:.1} bytes/iter > baseline {base_bpi:.1} bytes/iter"
+        ));
+    }
+
+    if failures.is_empty() {
+        Ok(format!(
+            "{base_bench}: p50 {new_p50:.3} ms vs baseline {base_p50:.3} ms \
+             (limit {p50_limit:.3} ms); wire {new_bpi:.1} bytes/iter vs \
+             baseline {base_bpi:.1} bytes/iter — OK"
+        ))
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +355,74 @@ mod tests {
         // first occurrence desynchronizes the two.
         let bad = good.replacen("\"bytes_sent\":128", "\"bytes_sent\":129", 1);
         assert!(validate_bench_json(&bad).unwrap_err().contains("disagrees"));
+    }
+
+    /// Artifact with a given iteration count, a flat latency profile at
+    /// `lat_ms`, and `sent`/`recv` wire bytes in one message kind each.
+    fn artifact_with(iterations: u64, lat_ms: f64, sent: u64, recv: u64) -> BenchArtifact {
+        let reg = MetricsRegistry::new(1, "client");
+        reg.record_rounds(3);
+        reg.record_phase_ns(Phase::Classify, 1_000_000);
+        reg.record_wire(0x0500, WireDir::Sent, 2, sent);
+        reg.record_wire(0x0501, WireDir::Received, 2, recv);
+        BenchArtifact {
+            bench: "classification".into(),
+            iterations,
+            latency_ms: vec![lat_ms; iterations as usize],
+            session: reg.report(),
+            overhead: None,
+        }
+    }
+
+    #[test]
+    fn compare_accepts_within_tolerance_and_improvements() {
+        let base = artifact_with(4, 10.0, 1000, 2000).to_json();
+        // 14% slower: inside the 15% gate.
+        let ok = artifact_with(4, 11.4, 1000, 2000).to_json();
+        let msg = compare_bench_json(&base, &ok, 0.15).unwrap();
+        assert!(msg.contains("OK"), "{msg}");
+        // Outright faster and lighter is fine too.
+        let better = artifact_with(4, 6.0, 900, 1800).to_json();
+        compare_bench_json(&base, &better, 0.15).unwrap();
+    }
+
+    #[test]
+    fn compare_rejects_p50_and_byte_regressions() {
+        let base = artifact_with(4, 10.0, 1000, 2000).to_json();
+        let slow = artifact_with(4, 11.6, 1000, 2000).to_json();
+        let err = compare_bench_json(&base, &slow, 0.15).unwrap_err();
+        assert!(err.contains("p50 regression"), "{err}");
+
+        let fat = artifact_with(4, 10.0, 1001, 2000).to_json();
+        let err = compare_bench_json(&base, &fat, 0.15).unwrap_err();
+        assert!(err.contains("wire growth"), "{err}");
+    }
+
+    #[test]
+    fn compare_normalizes_wire_bytes_per_iteration() {
+        // Baseline ran 4 sessions; fresh ran 2 with exactly half the
+        // total traffic — identical per-iteration cost, so it passes.
+        let base = artifact_with(4, 10.0, 1000, 2000).to_json();
+        let fresh = artifact_with(2, 10.0, 500, 1000).to_json();
+        compare_bench_json(&base, &fresh, 0.15).unwrap();
+        // One extra byte per the same 2 iterations fails.
+        let fresh = artifact_with(2, 10.0, 501, 1000).to_json();
+        assert!(compare_bench_json(&base, &fresh, 0.15).is_err());
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_workloads_and_bad_inputs() {
+        let base = artifact_with(4, 10.0, 1000, 2000).to_json();
+        let mut other = artifact_with(4, 10.0, 1000, 2000);
+        other.bench = "similarity".into();
+        let err = compare_bench_json(&base, &other.to_json(), 0.15).unwrap_err();
+        assert!(err.contains("bench mismatch"), "{err}");
+        assert!(compare_bench_json("{}", &base, 0.15)
+            .unwrap_err()
+            .contains("baseline artifact invalid"));
+        assert!(compare_bench_json(&base, "{}", 0.15)
+            .unwrap_err()
+            .contains("fresh artifact invalid"));
+        assert!(compare_bench_json(&base, &base, -0.1).is_err());
     }
 }

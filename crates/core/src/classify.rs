@@ -590,11 +590,9 @@ where
         // Encode every sample's OMPE input up front so the whole batch
         // runs through one receiver session: cover-polynomial storage and
         // the OT base phase are reused, and all point clouds leave in one
-        // coalesced frame.
-        let alphas: Vec<Vec<A::Elem>> = samples
-            .iter()
-            .map(|sample| self.encode_input(sample, &spec))
-            .collect::<Result<_, _>>()?;
+        // coalesced frame. The monomial expansion walks the basis
+        // enumeration once for the entire batch.
+        let alphas = self.encode_inputs(samples, &spec)?;
         let values = ompe_receive_batch_io(&self.alg, io, sel, rng, &alphas, &spec.ompe).await?;
         Ok(values
             .iter()
@@ -636,6 +634,34 @@ where
             InputForm::Monomials(basis) => basis.features(sample),
         };
         Ok(raw_inputs.iter().map(|v| self.alg.encode(*v, 1)).collect())
+    }
+
+    /// Batch counterpart of [`encode_input`](Client::encode_input):
+    /// validates and encodes every sample, sharing one basis-enumeration
+    /// walk across the batch for expanded nonlinear models. Row `k`
+    /// equals `encode_input(&samples[k], spec)`.
+    fn encode_inputs(
+        &self,
+        samples: &[Vec<f64>],
+        spec: &ClassifySpec,
+    ) -> Result<Vec<Vec<A::Elem>>, PpcsError> {
+        for sample in samples {
+            if sample.len() != spec.dim {
+                return Err(PpcsError::Protocol(format!(
+                    "sample has {} features, trainer expects {}",
+                    sample.len(),
+                    spec.dim
+                )));
+            }
+        }
+        let raw_rows: Vec<Vec<f64>> = match spec.input_form {
+            InputForm::Direct => samples.to_vec(),
+            InputForm::Monomials(basis) => basis.features_many(spec.dim, samples),
+        };
+        Ok(raw_rows
+            .iter()
+            .map(|row| row.iter().map(|v| self.alg.encode(*v, 1)).collect())
+            .collect())
     }
 
     /// Classifies a batch across several lanes concurrently, one session

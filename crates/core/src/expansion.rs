@@ -76,6 +76,27 @@ impl BasisKind {
         });
         out
     }
+
+    /// Maps every sample to its monomial features at once, walking the
+    /// basis enumeration a single time for the whole batch instead of
+    /// once per sample. Row `k` equals `features(&samples[k])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's length differs from `dim`.
+    pub fn features_many(&self, dim: usize, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        for t in samples {
+            assert_eq!(t.len(), dim, "sample dimensionality mismatch");
+        }
+        let cap = self.len(dim).unwrap_or(0) as usize;
+        let mut out: Vec<Vec<f64>> = samples.iter().map(|_| Vec::with_capacity(cap)).collect();
+        self.for_each(dim, |tuple| {
+            for (t, row) in samples.iter().zip(out.iter_mut()) {
+                row.push(tuple.iter().map(|&i| t[i as usize]).product());
+            }
+        });
+        out
+    }
 }
 
 /// Enumerates all non-decreasing index tuples of length `degree` over
@@ -568,6 +589,26 @@ mod tests {
         let t = [2.0, 3.0, 5.0];
         // Order: 00, 01, 02, 11, 12, 22.
         assert_eq!(basis.features(&t), vec![4.0, 6.0, 10.0, 9.0, 15.0, 25.0]);
+    }
+
+    #[test]
+    fn features_many_matches_per_sample_features() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for basis in [
+            BasisKind::Homogeneous { degree: 3 },
+            BasisKind::UpTo { degree: 2 },
+        ] {
+            let samples: Vec<Vec<f64>> = (0..9)
+                .map(|_| (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect();
+            let batch = basis.features_many(4, &samples);
+            for (t, row) in samples.iter().zip(&batch) {
+                assert_eq!(&basis.features(t), row);
+            }
+        }
+        assert!(BasisKind::UpTo { degree: 2 }
+            .features_many(3, &[])
+            .is_empty());
     }
 
     #[test]

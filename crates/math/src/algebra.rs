@@ -54,6 +54,41 @@ pub trait Algebra: Clone + Debug + Send + Sync + 'static {
     /// `true` iff `a` is the additive identity.
     fn is_zero(&self, a: &Self::Elem) -> bool;
 
+    /// Pairwise in-place product `a[i] <- a[i] * b[i]`.
+    ///
+    /// The default is an element-wise [`mul`](Algebra::mul) loop;
+    /// [`FixedFpAlgebra`] overrides it to dispatch to the SIMD batch
+    /// kernels. Results are identical either way — field arithmetic is
+    /// exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn mul_many(&self, a: &mut [Self::Elem], b: &[Self::Elem]) {
+        assert_eq!(a.len(), b.len(), "mul_many operand length mismatch");
+        for (x, y) in a.iter_mut().zip(b.iter()) {
+            *x = self.mul(x, y);
+        }
+    }
+
+    /// Evaluates the polynomial with coefficients `coeffs` (ascending by
+    /// degree) at every point in `xs`, using the same Horner recurrence
+    /// as `Polynomial::eval`.
+    ///
+    /// The default is a per-point Horner loop; [`FixedFpAlgebra`]
+    /// overrides it to evaluate four points at a time.
+    fn eval_poly_many(&self, coeffs: &[Self::Elem], xs: &[Self::Elem]) -> Vec<Self::Elem> {
+        xs.iter()
+            .map(|x| {
+                let mut acc = self.zero();
+                for c in coeffs.iter().rev() {
+                    acc = self.add(&self.mul(&acc, x), c);
+                }
+                acc
+            })
+            .collect()
+    }
+
     /// Encodes a real value at fixed-point scale power `scale_pow`.
     ///
     /// Over [`F64Algebra`] the scale power is ignored.
@@ -272,6 +307,16 @@ impl Algebra for FixedFpAlgebra {
         a.is_zero()
     }
 
+    fn mul_many(&self, a: &mut [Fp256], b: &[Fp256]) {
+        crate::simd::mul_many(a, b);
+    }
+
+    fn eval_poly_many(&self, coeffs: &[Fp256], xs: &[Fp256]) -> Vec<Fp256> {
+        let mut out = vec![Fp256::ZERO; xs.len()];
+        crate::simd::eval_cloud_many(coeffs, xs, &mut out);
+        out
+    }
+
     fn encode(&self, x: f64, scale_pow: u32) -> Fp256 {
         let scale = self.frac_bits * scale_pow;
         assert!(
@@ -335,7 +380,7 @@ mod tests {
     #[test]
     fn fixed_encode_decode_roundtrip() {
         let alg = FixedFpAlgebra::new(16);
-        for &x in &[0.0, 1.0, -1.0, 0.5, -3.141592653589793, 123.456] {
+        for &x in &[0.0, 1.0, -1.0, 0.5, -std::f64::consts::PI, 123.456] {
             let e = alg.encode(x, 1);
             assert!((alg.decode(&e, 1) - x).abs() < 1e-4, "x = {x}");
         }
@@ -400,6 +445,35 @@ mod tests {
     #[should_panic(expected = "frac_bits")]
     fn fixed_rejects_oversized_frac_bits() {
         let _ = FixedFpAlgebra::new(32);
+    }
+
+    #[test]
+    fn batch_kernels_agree_with_scalar_ops_on_both_backends() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let fixed = FixedFpAlgebra::new(16);
+        let a: Vec<Fp256> = (0..13).map(|_| fixed.random_mask(&mut rng)).collect();
+        let b: Vec<Fp256> = (0..13).map(|_| fixed.random_mask(&mut rng)).collect();
+        let mut prod = a.clone();
+        fixed.mul_many(&mut prod, &b);
+        for ((x, y), p) in a.iter().zip(&b).zip(&prod) {
+            assert_eq!(fixed.mul(x, y), *p);
+        }
+        let coeffs: Vec<Fp256> = (0..6).map(|_| fixed.random_mask(&mut rng)).collect();
+        let evals = fixed.eval_poly_many(&coeffs, &a);
+        for (x, e) in a.iter().zip(&evals) {
+            let mut acc = fixed.zero();
+            for c in coeffs.iter().rev() {
+                acc = fixed.add(&fixed.mul(&acc, x), c);
+            }
+            assert_eq!(acc, *e);
+        }
+
+        let f64a = F64Algebra::new();
+        let mut fa = vec![1.5, -2.0, 0.25];
+        f64a.mul_many(&mut fa, &[2.0, 3.0, 4.0]);
+        assert_eq!(fa, vec![3.0, -6.0, 1.0]);
+        let fe = f64a.eval_poly_many(&[1.0, 2.0], &[0.0, 1.0, 10.0]);
+        assert_eq!(fe, vec![1.0, 3.0, 21.0]);
     }
 
     #[test]

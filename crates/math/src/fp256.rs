@@ -24,10 +24,17 @@ pub const MODULUS: [u64; 4] = [
 ];
 
 /// `-p^{-1} mod 2^64`, the Montgomery reduction constant.
-const N0_INV: u64 = const_n0_inv();
+///
+/// Crate-visible so the SIMD kernels (which reduce with 32-bit digits)
+/// can derive `-p^{-1} mod 2^32` from its low half.
+pub(crate) const N0_INV: u64 = const_n0_inv();
 
 /// `R mod p` where `R = 2^256`; this is the Montgomery form of 1.
-const R_MOD_P: [u64; 4] = const_r_mod_p();
+///
+/// Crate-visible because it doubles as the additive complement
+/// `2^256 - p` that the SIMD kernels use for borrow-free conditional
+/// subtraction.
+pub(crate) const R_MOD_P: [u64; 4] = const_r_mod_p();
 
 /// `R^2 mod p`, used to convert into Montgomery form.
 const R2_MOD_P: [u64; 4] = const_r2_mod_p();
@@ -309,6 +316,22 @@ impl Fp256 {
         self.mont == [0; 4]
     }
 
+    /// The Montgomery limbs, little-endian — the raw kernel representation.
+    #[inline]
+    pub(crate) fn mont_limbs(self) -> [u64; 4] {
+        self.mont
+    }
+
+    /// Rebuilds an element from Montgomery limbs already reduced to `[0, p)`.
+    #[inline]
+    pub(crate) fn from_mont_limbs(mont: [u64; 4]) -> Self {
+        debug_assert!(
+            !geq(&mont, &MODULUS),
+            "Montgomery limbs must be fully reduced"
+        );
+        Fp256 { mont }
+    }
+
     /// Draws a uniformly random field element.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         // Rejection sampling keeps the distribution exactly uniform; the
@@ -322,6 +345,31 @@ impl Fp256 {
                 return e.mont_mul(&Fp256 { mont: R2_MOD_P });
             }
         }
+    }
+
+    /// Fills a slice with uniformly random field elements.
+    ///
+    /// Draws the *exact* rejection-sampled limb stream that repeated
+    /// [`Fp256::random`] calls would draw — seeded transcripts are
+    /// unchanged — but defers the per-element Montgomery conversion to one
+    /// batched multiply over the whole slice, which the SIMD kernels
+    /// process four elements at a time.
+    pub fn random_fill<R: Rng + ?Sized>(rng: &mut R, out: &mut [Fp256]) {
+        for slot in out.iter_mut() {
+            // Same rejection loop as `random`; see the note there on the
+            // ~2^-224 retry probability.
+            let limbs = loop {
+                let limbs = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+                if !geq(&limbs, &MODULUS) {
+                    break limbs;
+                }
+            };
+            // Canonical limbs parked in the Montgomery slot; the scale
+            // below multiplies by R^2 and reduces, which is exactly the
+            // deferred `mont_mul(R2_MOD_P)` conversion.
+            *slot = Fp256 { mont: limbs };
+        }
+        crate::simd::scale_many(out, Fp256 { mont: R2_MOD_P });
     }
 
     /// Draws a uniformly random *nonzero* field element.
@@ -422,26 +470,38 @@ impl Fp256 {
     /// Returns `false` and leaves `elems` untouched if any element is
     /// zero (a batch containing zero has no well-defined inverse).
     pub fn batch_inv(elems: &mut [Fp256]) -> bool {
+        let mut scratch = Vec::new();
+        Self::batch_inv_with_scratch(elems, &mut scratch)
+    }
+
+    /// [`batch_inv`](Fp256::batch_inv) with a caller-owned scratch buffer,
+    /// so hot loops that invert round after round pay the prefix-product
+    /// allocation once per session instead of once per call.
+    ///
+    /// `scratch` is cleared and refilled; its contents on return are an
+    /// implementation detail.
+    pub fn batch_inv_with_scratch(elems: &mut [Fp256], scratch: &mut Vec<Fp256>) -> bool {
         if elems.iter().any(|e| e.is_zero()) {
             return false;
         }
-        // prefix[i] = e_0 · e_1 · … · e_i
-        let mut prefix = Vec::with_capacity(elems.len());
+        // scratch[i] = e_0 · e_1 · … · e_i
+        scratch.clear();
+        scratch.reserve(elems.len());
         let mut acc = Fp256::ONE;
         for e in elems.iter() {
             acc = acc.mont_mul(e);
-            prefix.push(acc);
+            scratch.push(acc);
         }
         let Some(mut suffix_inv) = acc.inv() else {
             return false;
         };
         // Walking backwards, suffix_inv = (e_0 · … · e_i)^{-1}; peeling
-        // off prefix[i-1] isolates e_i^{-1}.
+        // off scratch[i-1] isolates e_i^{-1}.
         for i in (0..elems.len()).rev() {
             let inv_i = if i == 0 {
                 suffix_inv
             } else {
-                suffix_inv.mont_mul(&prefix[i - 1])
+                suffix_inv.mont_mul(&scratch[i - 1])
             };
             suffix_inv = suffix_inv.mont_mul(&elems[i]);
             elems[i] = inv_i;
@@ -675,6 +735,41 @@ mod tests {
         let before = elems;
         assert!(!Fp256::batch_inv(&mut elems));
         assert_eq!(elems, before);
+    }
+
+    #[test]
+    fn random_fill_matches_sequential_random_draws() {
+        // The batch sampler must consume the identical RNG stream as
+        // repeated `random()` calls, or seeded protocol transcripts would
+        // change shape under the batch path.
+        for n in [0usize, 1, 3, 4, 5, 9, 32] {
+            let mut seq_rng = StdRng::seed_from_u64(123);
+            let sequential: Vec<Fp256> = (0..n).map(|_| Fp256::random(&mut seq_rng)).collect();
+            let mut fill_rng = StdRng::seed_from_u64(123);
+            let mut filled = vec![Fp256::ZERO; n];
+            Fp256::random_fill(&mut fill_rng, &mut filled);
+            assert_eq!(sequential, filled, "n = {n}");
+            // And the RNGs must end in the same state.
+            assert_eq!(seq_rng.gen::<u64>(), fill_rng.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn batch_inv_with_scratch_matches_batch_inv() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut scratch = Vec::new();
+        for n in [0usize, 1, 2, 13, 40] {
+            let elems: Vec<Fp256> = (0..n).map(|_| Fp256::random_nonzero(&mut rng)).collect();
+            let mut plain = elems.clone();
+            let mut scratched = elems.clone();
+            assert!(Fp256::batch_inv(&mut plain));
+            assert!(Fp256::batch_inv_with_scratch(&mut scratched, &mut scratch));
+            assert_eq!(plain, scratched);
+        }
+        // Zero still rejects and leaves the input untouched.
+        let mut with_zero = [Fp256::ONE, Fp256::ZERO];
+        assert!(!Fp256::batch_inv_with_scratch(&mut with_zero, &mut scratch));
+        assert_eq!(with_zero, [Fp256::ONE, Fp256::ZERO]);
     }
 
     #[test]

@@ -90,6 +90,65 @@ pub fn interpolate_at_zero<A: Algebra>(
     Ok(acc)
 }
 
+/// Evaluates many independent interpolation systems at zero, sharing a
+/// single batch inversion across all of them.
+///
+/// Returns `out[k] = interpolate_at_zero(alg, &systems[k])` — results are
+/// bit-identical to the one-at-a-time calls, because field inverses are
+/// unique — but the prime-field backend pays *one* Fermat inversion for
+/// the entire batch instead of one per system, and the barycentric
+/// weight products go through the SIMD `mul_many` kernel. This is the
+/// retrieval step of a whole batch OMPE session in one call.
+///
+/// # Errors
+///
+/// Returns the first validation error across the systems, checked in
+/// order; in that case nothing is computed.
+pub fn interp_batch<A: Algebra>(
+    alg: &A,
+    systems: &[Vec<(A::Elem, A::Elem)>],
+) -> Result<Vec<A::Elem>, InterpolationError> {
+    for points in systems {
+        validate::<A>(alg, points)?;
+    }
+    let total: usize = systems.iter().map(Vec::len).sum();
+    // Same numerator/denominator products as `interpolate_at_zero`,
+    // flattened across every system so one inversion serves them all.
+    let mut nums = Vec::with_capacity(total);
+    let mut dens = Vec::with_capacity(total);
+    for points in systems {
+        for (j, (xj, _)) in points.iter().enumerate() {
+            let mut num = alg.one();
+            let mut den = alg.one();
+            for (i, (xi, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                num = alg.mul(&num, &alg.neg(xi));
+                den = alg.mul(&den, &alg.sub(xj, xi));
+            }
+            nums.push(num);
+            dens.push(den);
+        }
+    }
+    let weights = alg
+        .batch_inv(&dens)
+        .expect("denominators nonzero: abscissae are distinct");
+    // nums[i] <- num_i * weight_i, batched.
+    alg.mul_many(&mut nums, &weights);
+    let mut out = Vec::with_capacity(systems.len());
+    let mut off = 0;
+    for points in systems {
+        let mut acc = alg.zero();
+        for ((_, yj), w) in points.iter().zip(&nums[off..off + points.len()]) {
+            acc = alg.add(&acc, &alg.mul(yj, w));
+        }
+        off += points.len();
+        out.push(acc);
+    }
+    Ok(out)
+}
+
 /// Recovers the full coefficient vector of the interpolant.
 ///
 /// # Errors
@@ -230,6 +289,43 @@ mod tests {
             interpolate_at_zero(&alg, &[(0.0, 2.0)]),
             Err(InterpolationError::ZeroAbscissa)
         );
+    }
+
+    #[test]
+    fn interp_batch_matches_single_system_calls() {
+        let alg = FixedFpAlgebra::new(16);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut systems = Vec::new();
+        for degree in [1usize, 3, 5, 8] {
+            let secret = alg.encode(0.5 + degree as f64, 1);
+            let p = Polynomial::random_with_constant(&alg, degree, secret, &mut rng);
+            let pts: Vec<(Fp256, Fp256)> = (0..=degree)
+                .map(|_| {
+                    let x = alg.random_point(&mut rng);
+                    (x, p.eval(&alg, &x))
+                })
+                .collect();
+            systems.push(pts);
+        }
+        let batch = interp_batch(&alg, &systems).unwrap();
+        for (pts, b) in systems.iter().zip(&batch) {
+            assert_eq!(interpolate_at_zero(&alg, pts).unwrap(), *b);
+        }
+        // Empty batch is fine; a bad system surfaces its error.
+        assert_eq!(interp_batch(&alg, &[]), Ok(Vec::new()));
+        let bad = vec![systems[0].clone(), Vec::new()];
+        assert_eq!(interp_batch(&alg, &bad), Err(InterpolationError::Empty));
+
+        // And over floats, where the default trait hooks run.
+        let f64a = F64Algebra::new();
+        let fsys = vec![
+            vec![(1.0, 3.0), (2.0, 1.0)],
+            vec![(1.0, 2.0), (-1.0, 4.0), (0.5, 2.75)],
+        ];
+        let fb = interp_batch(&f64a, &fsys).unwrap();
+        for (pts, b) in fsys.iter().zip(&fb) {
+            assert!((interpolate_at_zero(&f64a, pts).unwrap() - b).abs() < 1e-9);
+        }
     }
 
     #[test]

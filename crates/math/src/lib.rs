@@ -14,7 +14,11 @@
 //!   ([`FixedFpAlgebra`]);
 //! * [`Polynomial`] / [`MvPolynomial`] — the masking and secret
 //!   polynomials of the OMPE construction;
-//! * [`interpolate_at_zero`] — the Lagrange retrieval step (Eq. 3);
+//! * [`interpolate_at_zero`] / [`interp_batch`] — the Lagrange retrieval
+//!   step (Eq. 3), single-system and batched;
+//! * batch field kernels ([`mul_many`], [`eval_cloud_many`], …) with
+//!   runtime AVX2 dispatch ([`simd_backend`]) and an always-available
+//!   scalar fallback;
 //! * monomial-basis expansion of polynomial kernels
 //!   ([`monomial_exponents`], [`expand_power_dot`]) used by the nonlinear
 //!   protocol of Section IV-B.
@@ -47,7 +51,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 kernels in `simd` carry the one
+// sanctioned, per-invariant-documented `#[allow(unsafe_code)]` scope.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod algebra;
@@ -57,14 +63,19 @@ mod interp;
 mod multinomial;
 mod mvpoly;
 mod poly;
+mod simd;
 
 pub use algebra::{Algebra, F64Algebra, FixedFpAlgebra};
 pub use eval::{DenseAffine, PolyEval};
 pub use fp256::{Fp256, MODULUS};
-pub use interp::{interpolate_at_zero, interpolate_coeffs, InterpolationError};
+pub use interp::{interp_batch, interpolate_at_zero, interpolate_coeffs, InterpolationError};
 pub use multinomial::{
     binomial, expand_power_dot, expanded_dimension, monomial_exponents, monomial_features,
     multinomial_coeff,
 };
 pub use mvpoly::{MvPolynomial, MvTerm};
 pub use poly::Polynomial;
+pub use simd::{
+    avx2_available, eval_cloud_many, eval_cloud_many_with, mul_many, mul_many_with, scale_many,
+    scale_many_with, simd_backend, square_many, square_many_with, SimdBackend,
+};

@@ -112,6 +112,16 @@ impl<A: Algebra> Polynomial<A> {
         acc
     }
 
+    /// Evaluates at every point of `xs` at once.
+    ///
+    /// Same Horner recurrence as [`eval`](Polynomial::eval) — results are
+    /// identical point for point — but routed through
+    /// [`Algebra::eval_poly_many`] so the fixed-point backend can run the
+    /// SIMD point-cloud kernel.
+    pub fn eval_many(&self, alg: &A, xs: &[A::Elem]) -> Vec<A::Elem> {
+        alg.eval_poly_many(&self.coeffs, xs)
+    }
+
     /// The constant term `p(0)`.
     pub fn constant_term(&self, alg: &A) -> A::Elem {
         self.coeffs.first().cloned().unwrap_or_else(|| alg.zero())
@@ -195,6 +205,18 @@ mod tests {
         let prod = p.mul(&alg, &q);
         assert!((prod.eval(&alg, &x) - p.eval(&alg, &x) * q.eval(&alg, &x)).abs() < 1e-10);
         assert_eq!(prod.degree(), 7);
+    }
+
+    #[test]
+    fn eval_many_matches_pointwise_eval() {
+        let alg = FixedFpAlgebra::new(16);
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = Polynomial::random_with_constant(&alg, 7, alg.encode(0.5, 1), &mut rng);
+        let xs: Vec<_> = (0..11).map(|_| alg.random_point(&mut rng)).collect();
+        let batch = p.eval_many(&alg, &xs);
+        for (x, y) in xs.iter().zip(&batch) {
+            assert_eq!(p.eval(&alg, x), *y);
+        }
     }
 
     #[test]

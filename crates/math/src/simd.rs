@@ -1,0 +1,876 @@
+//! Data-parallel batch kernels over [`Fp256`].
+//!
+//! The OMPE hot loops — mask/cover refresh, point-cloud evaluation and
+//! Lagrange interpolation — spend essentially all of their time in
+//! Montgomery multiplications. This module provides batch entry points
+//! (`mul_many`, `square_many`, `scale_many`, `eval_cloud_many`) that
+//! process four field elements at a time with AVX2 when the CPU supports
+//! it, falling back to the scalar CIOS path everywhere else.
+//!
+//! ## Vector kernel layout
+//!
+//! The scalar path multiplies with 4×64-bit limbs and `u128` carries.
+//! AVX2 has no 64×64→128 vector multiply, so the vector path re-digitizes
+//! each element into 8×32-bit words held zero-extended in the 64-bit
+//! lanes of a `__m256i`, structure-of-arrays style: row `j` holds word
+//! `j` of four *different* elements. A CIOS pass with word size `2^32`
+//! then needs only `_mm256_mul_epu32` (32×32→64), 64-bit lane adds,
+//! shifts and masks. Per CIOS step the worst-case lane value is
+//! `(2^32-1) + (2^32-1)^2 + (2^32-1) = 2^64-1`, so carries never
+//! overflow a lane.
+//!
+//! The final conditional subtraction is borrow-free: adding the
+//! complement `2^256 - p` (the crate's `R_MOD_P` constant) and testing
+//! the carry-out decides — and simultaneously computes — the reduced
+//! result, selected per-lane with a blend.
+//!
+//! ## Dispatch
+//!
+//! [`simd_backend`] probes CPUID once (cached in a `OnceLock`) and honors
+//! the `PPCS_SIMD` environment variable as a kill switch: the values
+//! `0`, `off`, `false` and `scalar` force the scalar path, which is what
+//! the CI `scalar-fallback` job pins. Every kernel also has a
+//! `*_with(backend, ..)` variant so equivalence tests can drive both
+//! paths explicitly in one process.
+//!
+//! All kernels compute bit-identical results to the scalar operators:
+//! field arithmetic is exact and every element has a unique reduced
+//! Montgomery representation, so protocol transcripts do not depend on
+//! which path ran.
+
+use std::sync::OnceLock;
+
+use crate::fp256::Fp256;
+
+/// The instruction-set path a batch kernel will take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Portable 4×64-bit limb CIOS — always available.
+    Scalar,
+    /// 4-way 8×32-bit word CIOS in AVX2 registers.
+    Avx2,
+}
+
+/// Returns `true` if the running CPU supports the AVX2 kernels.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Returns `true` if the `PPCS_SIMD` environment variable forces the
+/// scalar path (`0`, `off`, `false` or `scalar`, case-insensitive).
+fn kill_switch_engaged() -> bool {
+    match std::env::var("PPCS_SIMD") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "scalar"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// The backend the batch kernels dispatch to on this process.
+///
+/// Decided once — CPUID probe plus the `PPCS_SIMD` kill switch — and
+/// cached for the lifetime of the process.
+pub fn simd_backend() -> SimdBackend {
+    static BACKEND: OnceLock<SimdBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if !kill_switch_engaged() && avx2_available() {
+            SimdBackend::Avx2
+        } else {
+            SimdBackend::Scalar
+        }
+    })
+}
+
+/// Pairwise in-place product: `a[i] <- a[i] * b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_many(a: &mut [Fp256], b: &[Fp256]) {
+    mul_many_with(simd_backend(), a, b);
+}
+
+/// [`mul_many`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, or if `backend` is
+/// [`SimdBackend::Avx2`] on a CPU without AVX2.
+pub fn mul_many_with(backend: SimdBackend, a: &mut [Fp256], b: &[Fp256]) {
+    assert_eq!(a.len(), b.len(), "mul_many operand length mismatch");
+    match backend {
+        SimdBackend::Scalar => {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x *= *y;
+            }
+        }
+        SimdBackend::Avx2 => avx2_dispatch(|| {
+            // SAFETY (dispatch): `avx2_dispatch` asserted AVX2 support, so
+            // the `target_feature(enable = "avx2")` function is safe to
+            // enter on this CPU.
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::mul_many(a, b)
+            }
+        }),
+    }
+}
+
+/// In-place squaring: `elems[i] <- elems[i]^2`.
+pub fn square_many(elems: &mut [Fp256]) {
+    square_many_with(simd_backend(), elems);
+}
+
+/// [`square_many`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if `backend` is [`SimdBackend::Avx2`] on a CPU without AVX2.
+pub fn square_many_with(backend: SimdBackend, elems: &mut [Fp256]) {
+    match backend {
+        SimdBackend::Scalar => {
+            for e in elems.iter_mut() {
+                *e = e.square();
+            }
+        }
+        SimdBackend::Avx2 => avx2_dispatch(|| {
+            // SAFETY (dispatch): AVX2 support asserted by `avx2_dispatch`.
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::square_many(elems)
+            }
+        }),
+    }
+}
+
+/// In-place uniform scaling: `elems[i] <- elems[i] * k`.
+pub fn scale_many(elems: &mut [Fp256], k: Fp256) {
+    scale_many_with(simd_backend(), elems, k);
+}
+
+/// [`scale_many`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if `backend` is [`SimdBackend::Avx2`] on a CPU without AVX2.
+pub fn scale_many_with(backend: SimdBackend, elems: &mut [Fp256], k: Fp256) {
+    match backend {
+        SimdBackend::Scalar => {
+            for e in elems.iter_mut() {
+                *e *= k;
+            }
+        }
+        SimdBackend::Avx2 => avx2_dispatch(|| {
+            // SAFETY (dispatch): AVX2 support asserted by `avx2_dispatch`.
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::scale_many(elems, k)
+            }
+        }),
+    }
+}
+
+/// Evaluates one polynomial (coefficients ascending by degree) at every
+/// point of a cloud, writing `out[i] = poly(xs[i])`.
+///
+/// Uses the same Horner recurrence as `Polynomial::eval` — field
+/// arithmetic is exact, so results are bit-identical to the scalar
+/// per-point loop.
+///
+/// # Panics
+///
+/// Panics if `out` and `xs` differ in length.
+pub fn eval_cloud_many(coeffs: &[Fp256], xs: &[Fp256], out: &mut [Fp256]) {
+    eval_cloud_many_with(simd_backend(), coeffs, xs, out);
+}
+
+/// [`eval_cloud_many`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if `out` and `xs` differ in length, or if `backend` is
+/// [`SimdBackend::Avx2`] on a CPU without AVX2.
+pub fn eval_cloud_many_with(
+    backend: SimdBackend,
+    coeffs: &[Fp256],
+    xs: &[Fp256],
+    out: &mut [Fp256],
+) {
+    assert_eq!(
+        xs.len(),
+        out.len(),
+        "eval_cloud_many output length mismatch"
+    );
+    match backend {
+        SimdBackend::Scalar => {
+            for (x, o) in xs.iter().zip(out.iter_mut()) {
+                *o = horner(coeffs, *x);
+            }
+        }
+        SimdBackend::Avx2 => avx2_dispatch(|| {
+            // SAFETY (dispatch): AVX2 support asserted by `avx2_dispatch`.
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::eval_cloud_many(coeffs, xs, out)
+            }
+        }),
+    }
+}
+
+/// Scalar Horner evaluation — the reference recurrence every vector path
+/// must reproduce exactly.
+#[inline]
+fn horner(coeffs: &[Fp256], x: Fp256) -> Fp256 {
+    let mut acc = Fp256::ZERO;
+    for c in coeffs.iter().rev() {
+        acc = acc * x + *c;
+    }
+    acc
+}
+
+/// Runs `f` after asserting the AVX2 preconditions hold; the single
+/// funnel every `SimdBackend::Avx2` arm goes through.
+#[inline]
+fn avx2_dispatch<F: FnOnce()>(f: F) {
+    assert!(
+        avx2_available(),
+        "SimdBackend::Avx2 requested on a CPU without AVX2"
+    );
+    f();
+}
+
+/// The AVX2 kernels proper. Everything here is `unsafe` only because of
+/// `target_feature`; all pointer accesses go through safe slices or
+/// stack arrays.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_blendv_epi8, _mm256_cmpeq_epi64,
+        _mm256_mul_epu32, _mm256_set1_epi64x, _mm256_set_epi64x, _mm256_setzero_si256,
+        _mm256_srli_epi64, _mm256_storeu_si256,
+    };
+
+    use crate::fp256::{Fp256, MODULUS, N0_INV, R_MOD_P};
+
+    /// Low-32-bit lane mask.
+    const M32: u64 = 0xFFFF_FFFF;
+
+    /// `-p^{-1} mod 2^32` — the low half of the 64-bit Montgomery
+    /// constant is exactly the 32-bit one.
+    const N0_32: u64 = N0_INV & M32;
+
+    /// Splits 4×64-bit limbs into 8×32-bit words, little-endian, each
+    /// zero-extended into a `u64` so it can live in a 64-bit lane.
+    #[inline]
+    fn words(limbs: [u64; 4]) -> [u64; 8] {
+        [
+            limbs[0] & M32,
+            limbs[0] >> 32,
+            limbs[1] & M32,
+            limbs[1] >> 32,
+            limbs[2] & M32,
+            limbs[2] >> 32,
+            limbs[3] & M32,
+            limbs[3] >> 32,
+        ]
+    }
+
+    /// Reassembles 8×32-bit words into 4×64-bit limbs.
+    #[inline]
+    fn unwords(w: [u64; 8]) -> [u64; 4] {
+        [
+            w[0] | (w[1] << 32),
+            w[2] | (w[3] << 32),
+            w[4] | (w[5] << 32),
+            w[6] | (w[7] << 32),
+        ]
+    }
+
+    /// The modulus in 8×32-bit words.
+    const P32: [u64; 8] = {
+        let p = MODULUS;
+        [
+            p[0] & M32,
+            p[0] >> 32,
+            p[1] & M32,
+            p[1] >> 32,
+            p[2] & M32,
+            p[2] >> 32,
+            p[3] & M32,
+            p[3] >> 32,
+        ]
+    };
+
+    /// The additive complement `2^256 - p` in 8×32-bit words, used for
+    /// borrow-free conditional subtraction.
+    const PC32: [u64; 8] = {
+        let c = R_MOD_P;
+        [
+            c[0] & M32,
+            c[0] >> 32,
+            c[1] & M32,
+            c[1] >> 32,
+            c[2] & M32,
+            c[2] >> 32,
+            c[3] & M32,
+            c[3] >> 32,
+        ]
+    };
+
+    /// Loads four elements into structure-of-arrays rows: row `j` holds
+    /// word `j` of each element in its four 64-bit lanes.
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_rows(e: &[Fp256; 4]) -> [__m256i; 8] {
+        let w0 = words(e[0].mont_limbs());
+        let w1 = words(e[1].mont_limbs());
+        let w2 = words(e[2].mont_limbs());
+        let w3 = words(e[3].mont_limbs());
+        let mut rows = [_mm256_setzero_si256(); 8];
+        for j in 0..8 {
+            rows[j] = _mm256_set_epi64x(w3[j] as i64, w2[j] as i64, w1[j] as i64, w0[j] as i64);
+        }
+        rows
+    }
+
+    /// Broadcasts one element into all four lanes of each word row.
+    #[target_feature(enable = "avx2")]
+    unsafe fn broadcast_rows(e: Fp256) -> [__m256i; 8] {
+        let w = words(e.mont_limbs());
+        let mut rows = [_mm256_setzero_si256(); 8];
+        for j in 0..8 {
+            rows[j] = _mm256_set1_epi64x(w[j] as i64);
+        }
+        rows
+    }
+
+    /// Loads four elements' *canonical* (out-of-Montgomery) values into
+    /// structure-of-arrays rows.
+    ///
+    /// A plain product against these rows equals a Montgomery product
+    /// against the original elements: `limbs(e) * to_raw(x) =
+    /// limbs(e) * limbs(x) * R^{-1} (mod p)`, which is exactly what
+    /// `mont_mul(e, x)` computes — so [`plain_mul_reduce_rows`] with a
+    /// raw-loaded operand is bit-identical to [`mont_mul_rows`] with the
+    /// Montgomery-loaded one, at roughly half the work.
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_raw_rows(e: &[Fp256; 4]) -> [__m256i; 8] {
+        let w0 = words(e[0].to_raw());
+        let w1 = words(e[1].to_raw());
+        let w2 = words(e[2].to_raw());
+        let w3 = words(e[3].to_raw());
+        let mut rows = [_mm256_setzero_si256(); 8];
+        for j in 0..8 {
+            rows[j] = _mm256_set_epi64x(w3[j] as i64, w2[j] as i64, w1[j] as i64, w0[j] as i64);
+        }
+        rows
+    }
+
+    /// Broadcasts one element's canonical value into all four lanes of
+    /// each word row; see [`load_raw_rows`] for why.
+    #[target_feature(enable = "avx2")]
+    unsafe fn broadcast_raw_rows(e: Fp256) -> [__m256i; 8] {
+        let w = words(e.to_raw());
+        let mut rows = [_mm256_setzero_si256(); 8];
+        for j in 0..8 {
+            rows[j] = _mm256_set1_epi64x(w[j] as i64);
+        }
+        rows
+    }
+
+    /// Transposes structure-of-arrays rows back into four elements.
+    ///
+    /// Every lane must already be a fully reduced residue — guaranteed by
+    /// [`reduce_once`] at the end of each kernel and debug-checked in
+    /// `Fp256::from_mont_limbs`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_rows(rows: &[__m256i; 8]) -> [Fp256; 4] {
+        let mut buf = [[0u64; 4]; 8];
+        for j in 0..8 {
+            // SAFETY (store): `buf[j]` is a properly aligned-for-u64,
+            // 32-byte stack array and `_mm256_storeu_si256` performs an
+            // unaligned store, so writing one `__m256i` into it is in
+            // bounds and alignment-free.
+            _mm256_storeu_si256(buf[j].as_mut_ptr() as *mut __m256i, rows[j]);
+        }
+        let mut out = [Fp256::ZERO; 4];
+        for (k, o) in out.iter_mut().enumerate() {
+            let w = [
+                buf[0][k], buf[1][k], buf[2][k], buf[3][k], buf[4][k], buf[5][k], buf[6][k],
+                buf[7][k],
+            ];
+            *o = Fp256::from_mont_limbs(unwords(w));
+        }
+        out
+    }
+
+    /// One conditional subtraction of `p`, borrow-free.
+    ///
+    /// Input: words `t[0..8]` (each `< 2^32`) plus overflow word `t8`
+    /// (`0` or `1`), together a value `< 2p`. Adding the complement
+    /// `2^256 - p` and testing `t8 + carry_out != 0` is equivalent to
+    /// testing `t >= p`; when it fires, the 8 masked sum words *are*
+    /// `t - p`, so a per-lane blend finishes the reduction.
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_once(t: &mut [__m256i; 8], t8: __m256i) {
+        let mask = _mm256_set1_epi64x(M32 as i64);
+        let zero = _mm256_setzero_si256();
+        let mut sum = [_mm256_setzero_si256(); 8];
+        let mut carry = zero;
+        for j in 0..8 {
+            // Lane bound: t[j] + PC32[j] + carry <= 2*(2^32-1) + 1 < 2^64.
+            let c = _mm256_set1_epi64x(PC32[j] as i64);
+            let cur = _mm256_add_epi64(_mm256_add_epi64(t[j], c), carry);
+            sum[j] = _mm256_and_si256(cur, mask);
+            carry = _mm256_srli_epi64::<32>(cur);
+        }
+        // Lanes where t8 + carry_out == 0 keep t; the rest take t - p.
+        let keep = _mm256_cmpeq_epi64(_mm256_add_epi64(t8, carry), zero);
+        for j in 0..8 {
+            t[j] = _mm256_blendv_epi8(sum[j], t[j], keep);
+        }
+    }
+
+    /// Four independent Montgomery products, CIOS with word size `2^32`.
+    ///
+    /// Transliteration of the scalar `Fp256::mont_mul` with n = 8 words:
+    /// per outer step, multiply-accumulate one word of `a` into `t`,
+    /// then fold in `m * p` and shift one word down. Lane bound per
+    /// inner step: `t[j] + a_i*b[j] + carry <= 2^64 - 1` exactly, so
+    /// 64-bit lanes never wrap.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mont_mul_rows(a: &[__m256i; 8], b: &[__m256i; 8]) -> [__m256i; 8] {
+        let mask = _mm256_set1_epi64x(M32 as i64);
+        let n0 = _mm256_set1_epi64x(N0_32 as i64);
+        let mut t = [_mm256_setzero_si256(); 8];
+        let mut t8 = _mm256_setzero_si256();
+        let mut t9 = _mm256_setzero_si256();
+        for &ai in a.iter() {
+            // t += a_i * b
+            let mut carry = _mm256_setzero_si256();
+            for j in 0..8 {
+                let prod = _mm256_mul_epu32(ai, b[j]);
+                let cur = _mm256_add_epi64(_mm256_add_epi64(t[j], prod), carry);
+                t[j] = _mm256_and_si256(cur, mask);
+                carry = _mm256_srli_epi64::<32>(cur);
+            }
+            // Overflow words: t8 <= 2 entering here, carry < 2^32, so the
+            // sum stays below 2^33 and t9 accumulates at most 1.
+            let cur = _mm256_add_epi64(t8, carry);
+            t8 = _mm256_and_si256(cur, mask);
+            t9 = _mm256_add_epi64(t9, _mm256_srli_epi64::<32>(cur));
+
+            // Reduce: t += m * p, then shift one word down.
+            let m = _mm256_and_si256(_mm256_mul_epu32(t[0], n0), mask);
+            let p0 = _mm256_set1_epi64x(P32[0] as i64);
+            // Low word of t + m*p is zero by construction of m; only the
+            // carry out of it matters.
+            let cur = _mm256_add_epi64(t[0], _mm256_mul_epu32(m, p0));
+            let mut carry = _mm256_srli_epi64::<32>(cur);
+            for j in 1..8 {
+                let pj = _mm256_set1_epi64x(P32[j] as i64);
+                let cur = _mm256_add_epi64(_mm256_add_epi64(t[j], _mm256_mul_epu32(m, pj)), carry);
+                t[j - 1] = _mm256_and_si256(cur, mask);
+                carry = _mm256_srli_epi64::<32>(cur);
+            }
+            let cur = _mm256_add_epi64(t8, carry);
+            t[7] = _mm256_and_si256(cur, mask);
+            t8 = _mm256_add_epi64(t9, _mm256_srli_epi64::<32>(cur));
+            t9 = _mm256_setzero_si256();
+        }
+        // CIOS invariant: the result is < 2p with overflow word t8 <= 1,
+        // so a single conditional subtraction reduces fully.
+        reduce_once(&mut t, t8);
+        t
+    }
+
+    /// Adds the 512-bit product `a * b` into 17 lazy columns.
+    ///
+    /// Each `mul_epu32` result splits lo/hi into adjacent columns, so
+    /// the 64 partial products are independent adds with no loop-carried
+    /// carry dependency — the whole point of the plain-product path.
+    /// Lane bound: one product contributes at most 8 lo + 8 hi terms of
+    /// `< 2^32` per column; [`carry_fold_reduce`] tolerates two stacked
+    /// products plus one plain addend (33 terms `< 2^38`) per column.
+    #[target_feature(enable = "avx2")]
+    unsafe fn accum_product_cols(cols: &mut [__m256i; 17], a: &[__m256i; 8], b: &[__m256i; 8]) {
+        let mask = _mm256_set1_epi64x(M32 as i64);
+        for i in 0..8 {
+            let ai = a[i];
+            for j in 0..8 {
+                let p = _mm256_mul_epu32(ai, b[j]);
+                cols[i + j] = _mm256_add_epi64(cols[i + j], _mm256_and_si256(p, mask));
+                cols[i + j + 1] = _mm256_add_epi64(cols[i + j + 1], _mm256_srli_epi64::<32>(p));
+            }
+        }
+    }
+
+    /// Canonicalizes up to `2p^2 + p` worth of lazy columns into fully
+    /// reduced rows, exploiting the sparse modulus:
+    /// `2^256 = 2^32 + 977 (mod p)`.
+    ///
+    /// One carry pass turns the columns into 17 exact 32-bit words
+    /// (values < 2^513, so word 16 is 0 or 1 and nothing carries past
+    /// it). Fold 1 adds `H * (2^32 + 977)` for the 9 high words into the
+    /// low half, leaving a value `< 2^291`; fold 2 repeats for the
+    /// remaining overflow `H2 < 2^36`, leaving `< 2^256 + 2^69` with an
+    /// overflow word of 0 or 1 — which [`reduce_once`] subtracts away
+    /// exactly.
+    #[target_feature(enable = "avx2")]
+    unsafe fn carry_fold_reduce(cols: &[__m256i; 17]) -> [__m256i; 8] {
+        let mask = _mm256_set1_epi64x(M32 as i64);
+        let zero = _mm256_setzero_si256();
+        let c977 = _mm256_set1_epi64x(977);
+
+        // Carry pass: columns (< 2^38) to exact 32-bit words.
+        let mut t = [zero; 17];
+        let mut carry = zero;
+        for (k, col) in cols.iter().enumerate() {
+            let cur = _mm256_add_epi64(*col, carry);
+            t[k] = _mm256_and_si256(cur, mask);
+            carry = _mm256_srli_epi64::<32>(cur);
+        }
+
+        // Fold 1: value = L + H*(2^32 + 977), H = words 8..17. Columns
+        // stay < 2^34: word + lo(977*H[j]) + hi(977*H[j-1]) + H[j-1].
+        let mut cols2 = [zero; 10];
+        for j in 0..9 {
+            let p = _mm256_mul_epu32(t[8 + j], c977); // < 2^42
+            cols2[j] = _mm256_add_epi64(cols2[j], _mm256_and_si256(p, mask));
+            cols2[j + 1] = _mm256_add_epi64(cols2[j + 1], _mm256_srli_epi64::<32>(p));
+            // H * 2^32 shifts each high word up by one column.
+            cols2[j + 1] = _mm256_add_epi64(cols2[j + 1], t[8 + j]);
+        }
+        for j in 0..8 {
+            cols2[j] = _mm256_add_epi64(cols2[j], t[j]);
+        }
+        let mut w = [zero; 10];
+        let mut carry = zero;
+        for (k, col) in cols2.iter().enumerate() {
+            let cur = _mm256_add_epi64(*col, carry);
+            w[k] = _mm256_and_si256(cur, mask);
+            carry = _mm256_srli_epi64::<32>(cur);
+        }
+        // value < 2^291, so word 9 holds < 8 and nothing carries higher.
+        let w9 = w[9];
+
+        // Fold 2: the overflow H2 = w9*2^32 + w[8] (< 2^36) re-enters as
+        // H2*977 into columns 0/1 and H2 shifted into columns 1/2.
+        let mut u = [zero; 8];
+        let p8 = _mm256_mul_epu32(w[8], c977); // < 2^42, lazy in column 0
+        let p9 = _mm256_mul_epu32(w9, c977); // < 2^12
+        let mut carry = zero;
+        for k in 0..8 {
+            let mut cur = _mm256_add_epi64(w[k], carry);
+            if k == 0 {
+                cur = _mm256_add_epi64(cur, p8);
+            } else if k == 1 {
+                cur = _mm256_add_epi64(cur, _mm256_add_epi64(w[8], p9));
+            } else if k == 2 {
+                cur = _mm256_add_epi64(cur, w9);
+            }
+            u[k] = _mm256_and_si256(cur, mask);
+            carry = _mm256_srli_epi64::<32>(cur);
+        }
+        // value < 2^256 + 2^69 < 2p with overflow word 0 or 1: one
+        // conditional subtraction reduces fully.
+        reduce_once(&mut u, carry);
+        u
+    }
+
+    /// Four independent plain products reduced mod `p`.
+    ///
+    /// Combined with [`load_raw_rows`] this computes the same function
+    /// as [`mont_mul_rows`] bit-for-bit (see there) at roughly half the
+    /// work: the lazy-column product has no per-step carry chain and the
+    /// sparse fold replaces the whole CIOS reduce phase.
+    #[target_feature(enable = "avx2")]
+    unsafe fn plain_mul_reduce_rows(a: &[__m256i; 8], b: &[__m256i; 8]) -> [__m256i; 8] {
+        let mut cols = [_mm256_setzero_si256(); 17];
+        accum_product_cols(&mut cols, a, b);
+        carry_fold_reduce(&cols)
+    }
+
+    /// One fused double Horner step: `acc*x^2 + c1*x + c2`, four points
+    /// at a time.
+    ///
+    /// `x2raw`/`xraw` are the canonical values of `x^2` and `x`, so in
+    /// limb terms this equals two sequential steps of
+    /// `add_mod(mont_mul(acc, x), c)` exactly (both expand to
+    /// `limbs(acc)*val(x)^2 + limbs(c1)*val(x) + limbs(c2) mod p`), but
+    /// the two products share one set of lazy columns, one carry pass,
+    /// one fold and one conditional subtraction — the `c2` addend rides
+    /// along in the columns for free. Intermediate values of the
+    /// recurrence never materialize; only the (unique, reduced) final
+    /// value is stored, so bit-identity with the scalar path holds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn horner2_rows(
+        acc: &[__m256i; 8],
+        x2raw: &[__m256i; 8],
+        xraw: &[__m256i; 8],
+        c1: &[__m256i; 8],
+        c2: &[__m256i; 8],
+    ) -> [__m256i; 8] {
+        let mut cols = [_mm256_setzero_si256(); 17];
+        accum_product_cols(&mut cols, acc, x2raw);
+        accum_product_cols(&mut cols, c1, xraw);
+        for j in 0..8 {
+            // Lane bound: 32 product terms + 1 word, each < 2^32 — the
+            // column stays < 2^38, within carry_fold_reduce's budget.
+            cols[j] = _mm256_add_epi64(cols[j], c2[j]);
+        }
+        carry_fold_reduce(&cols)
+    }
+
+    /// Vector body of [`super::mul_many`]: groups of four through the
+    /// CIOS rows, scalar operator for the tail.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_many(a: &mut [Fp256], b: &[Fp256]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let av: [Fp256; 4] = a[i..i + 4].try_into().expect("chunk of 4");
+            let bv: [Fp256; 4] = b[i..i + 4].try_into().expect("chunk of 4");
+            let rows = mont_mul_rows(&load_rows(&av), &load_rows(&bv));
+            a[i..i + 4].copy_from_slice(&store_rows(&rows));
+            i += 4;
+        }
+        for j in i..n {
+            a[j] *= b[j];
+        }
+    }
+
+    /// Vector body of [`super::square_many`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn square_many(elems: &mut [Fp256]) {
+        let n = elems.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let ev: [Fp256; 4] = elems[i..i + 4].try_into().expect("chunk of 4");
+            let rows = load_rows(&ev);
+            let sq = mont_mul_rows(&rows, &rows);
+            elems[i..i + 4].copy_from_slice(&store_rows(&sq));
+            i += 4;
+        }
+        for e in elems[i..].iter_mut() {
+            *e = e.square();
+        }
+    }
+
+    /// Vector body of [`super::scale_many`]: the scalar `k` leaves
+    /// Montgomery form once up front, so every group needs only a plain
+    /// product with the sparse reduction instead of a full CIOS pass.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_many(elems: &mut [Fp256], k: Fp256) {
+        let kraw = broadcast_raw_rows(k);
+        let n = elems.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let ev: [Fp256; 4] = elems[i..i + 4].try_into().expect("chunk of 4");
+            let rows = plain_mul_reduce_rows(&load_rows(&ev), &kraw);
+            elems[i..i + 4].copy_from_slice(&store_rows(&rows));
+            i += 4;
+        }
+        for e in elems[i..].iter_mut() {
+            *e *= k;
+        }
+    }
+
+    /// Vector body of [`super::eval_cloud_many`]: Horner over four points
+    /// at a time, with every coefficient broadcast once up front. Each
+    /// point leaves Montgomery form once (`to_raw`, amortized over the
+    /// whole polynomial) and its square follows from one plain product,
+    /// after which the recurrence runs two coefficients per fused
+    /// [`horner2_rows`] step — one carry pass, one fold and one
+    /// conditional subtraction per coefficient *pair* instead of a full
+    /// CIOS multiply plus modular add per coefficient.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn eval_cloud_many(coeffs: &[Fp256], xs: &[Fp256], out: &mut [Fp256]) {
+        // Highest degree first — the Horner order of `Polynomial::eval`.
+        let crows: Vec<[__m256i; 8]> = coeffs.iter().rev().map(|c| broadcast_rows(*c)).collect();
+        let n = xs.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let xv: [Fp256; 4] = xs[i..i + 4].try_into().expect("chunk of 4");
+            let xraw = load_raw_rows(&xv);
+            // raw(x)^2 mod p = raw(x^2): canonical in, canonical out.
+            let x2raw = plain_mul_reduce_rows(&xraw, &xraw);
+            // Seed with the top coefficient when the count is odd (for
+            // the first step `acc*x + c = c` exactly), leaving an even
+            // number of coefficients for the fused double steps.
+            let mut acc = [_mm256_setzero_si256(); 8];
+            let mut k = 0;
+            if crows.len() % 2 == 1 {
+                acc = crows[0];
+                k = 1;
+            }
+            while k + 1 < crows.len() {
+                acc = horner2_rows(&acc, &x2raw, &xraw, &crows[k], &crows[k + 1]);
+                k += 2;
+            }
+            out[i..i + 4].copy_from_slice(&store_rows(&acc));
+            i += 4;
+        }
+        for (x, o) in xs[i..].iter().zip(out[i..].iter_mut()) {
+            *o = super::horner(coeffs, *x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_elems(seed: u64, n: usize) -> Vec<Fp256> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Fp256::random(&mut rng)).collect()
+    }
+
+    /// Elements at and near the reduction boundaries.
+    fn boundary_elems() -> Vec<Fp256> {
+        let p_minus = |k: u64| -Fp256::from_u64(k);
+        vec![
+            Fp256::ZERO,
+            Fp256::ONE,
+            p_minus(1),
+            p_minus(2),
+            Fp256::from_u64(u64::MAX),
+            Fp256::from_raw([u64::MAX, u64::MAX, 0, 0]),
+            Fp256::from_raw([0, 0, 0, u64::MAX >> 1]),
+            p_minus(977),
+        ]
+    }
+
+    #[test]
+    fn mul_many_matches_operator_on_both_backends() {
+        for n in [0usize, 1, 3, 4, 5, 8, 13] {
+            let a = random_elems(100 + n as u64, n);
+            let b = random_elems(200 + n as u64, n);
+            let expect: Vec<Fp256> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
+            let mut scalar = a.clone();
+            mul_many_with(SimdBackend::Scalar, &mut scalar, &b);
+            assert_eq!(scalar, expect);
+            if avx2_available() {
+                let mut vector = a.clone();
+                mul_many_with(SimdBackend::Avx2, &mut vector, &b);
+                assert_eq!(vector, expect, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_boundary_values() {
+        if !avx2_available() {
+            return;
+        }
+        let edge = boundary_elems();
+        // All ordered pairs of boundary values, padded to a multiple of 4.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for x in &edge {
+            for y in &edge {
+                a.push(*x);
+                b.push(*y);
+            }
+        }
+        let expect: Vec<Fp256> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
+        let mut got = a.clone();
+        mul_many_with(SimdBackend::Avx2, &mut got, &b);
+        assert_eq!(got, expect);
+
+        let mut sq = edge.clone();
+        square_many_with(SimdBackend::Avx2, &mut sq);
+        let sq_expect: Vec<Fp256> = edge.iter().map(|e| e.square()).collect();
+        assert_eq!(sq, sq_expect);
+    }
+
+    #[test]
+    fn square_and_scale_match_operators() {
+        let elems = random_elems(7, 11);
+        let k = Fp256::from_u64(0xDEAD_BEEF);
+        for backend in [SimdBackend::Scalar, SimdBackend::Avx2] {
+            if backend == SimdBackend::Avx2 && !avx2_available() {
+                continue;
+            }
+            let mut sq = elems.clone();
+            square_many_with(backend, &mut sq);
+            for (s, e) in sq.iter().zip(&elems) {
+                assert_eq!(*s, e.square());
+            }
+            let mut scaled = elems.clone();
+            scale_many_with(backend, &mut scaled, k);
+            for (s, e) in scaled.iter().zip(&elems) {
+                assert_eq!(*s, *e * k);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cloud_matches_horner() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (deg, npts) in [(0usize, 7usize), (1, 4), (4, 9), (9, 16), (20, 3)] {
+            let coeffs: Vec<Fp256> = (0..=deg).map(|_| Fp256::random(&mut rng)).collect();
+            let xs: Vec<Fp256> = (0..npts).map(|_| Fp256::random(&mut rng)).collect();
+            let expect: Vec<Fp256> = xs.iter().map(|x| horner(&coeffs, *x)).collect();
+            for backend in [SimdBackend::Scalar, SimdBackend::Avx2] {
+                if backend == SimdBackend::Avx2 && !avx2_available() {
+                    continue;
+                }
+                let mut out = vec![Fp256::ZERO; npts];
+                eval_cloud_many_with(backend, &coeffs, &xs, &mut out);
+                assert_eq!(out, expect, "deg {deg}, {npts} pts, {backend:?}");
+            }
+        }
+        // Empty coefficient list is the zero polynomial.
+        let xs = random_elems(1, 5);
+        let mut out = vec![Fp256::ONE; 5];
+        eval_cloud_many(&[], &xs, &mut out);
+        assert!(out.iter().all(|o| o.is_zero()));
+    }
+
+    #[test]
+    fn dispatch_honors_kill_switch() {
+        // The backend is cached per process, so this test can only check
+        // consistency with the environment it happens to run under; the
+        // CI scalar-fallback job pins PPCS_SIMD=off and the assertion
+        // verifies the switch actually forces Scalar there.
+        let forced_off = matches!(
+            std::env::var("PPCS_SIMD").as_deref().map(str::trim),
+            Ok("0") | Ok("off") | Ok("false") | Ok("scalar")
+        );
+        match simd_backend() {
+            SimdBackend::Scalar => {
+                assert!(forced_off || !avx2_available() || kill_switch_engaged());
+            }
+            SimdBackend::Avx2 => {
+                assert!(avx2_available() && !forced_off);
+            }
+        }
+    }
+
+    #[test]
+    fn default_entry_points_match_forced_backend() {
+        let a = random_elems(5, 10);
+        let b = random_elems(6, 10);
+        let mut via_default = a.clone();
+        mul_many(&mut via_default, &b);
+        let mut via_forced = a.clone();
+        mul_many_with(simd_backend(), &mut via_forced, &b);
+        assert_eq!(via_default, via_forced);
+    }
+}

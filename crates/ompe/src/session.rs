@@ -23,7 +23,7 @@
 //! state.
 
 use bytes::{Bytes, BytesMut};
-use ppcs_math::{interpolate_at_zero, Algebra, PolyEval, Polynomial};
+use ppcs_math::{interp_batch, interpolate_at_zero, Algebra, PolyEval, Polynomial};
 use ppcs_ot::{ot_begin_receive_io, ot_begin_send_io, ot_receive_io, ot_send_io};
 use ppcs_ot::{ObliviousTransfer, OtBatchState, OtSelect};
 use ppcs_telemetry::Phase;
@@ -230,10 +230,13 @@ where
                 .refresh_random_with_constant(alg, params.composite_degree(), alg.zero(), rng);
 
             // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
+            // M is evaluated over the whole cloud in one batched pass so
+            // the fixed-point backend can run the SIMD Horner kernel.
+            let mask_values = self.mask.eval_many(alg, xs);
             let mut answers = Vec::with_capacity(n_points);
-            for (i, x) in xs.iter().enumerate() {
+            for (i, m) in mask_values.iter().enumerate() {
                 let y = &ys_flat[i * r..(i + 1) * r];
-                let q = alg.add(&self.mask.eval(alg, x), &secret.eval(alg, y));
+                let q = alg.add(m, &secret.eval(alg, y));
                 answers.push(encode_elems(std::slice::from_ref(&q)).to_vec());
             }
             answers
@@ -366,13 +369,28 @@ where
         }
 
         // Build the submitted input vectors: S(x) at covers, disguises
-        // elsewhere.
+        // elsewhere. Each cover polynomial is evaluated over all genuine
+        // cover abscissae in one batched pass (the SIMD Horner kernel on
+        // the fixed-point backend); the disguise draws stay interleaved
+        // in position order so the RNG stream is identical to the
+        // point-at-a-time construction.
+        let cover_xs: Vec<A::Elem> = (0..n_points)
+            .filter(|&i| is_cover[i])
+            .map(|i| xs[i].clone())
+            .collect();
+        let cover_evals: Vec<Vec<A::Elem>> = self
+            .cover_polys
+            .iter()
+            .map(|poly| poly.eval_many(alg, &cover_xs))
+            .collect();
         let mut ys_flat = Vec::with_capacity(n_points * r);
-        for (i, x) in xs.iter().enumerate() {
-            if is_cover[i] {
-                for poly in &self.cover_polys {
-                    ys_flat.push(poly.eval(alg, x));
+        let mut cover_rank = 0usize;
+        for &cover in is_cover.iter().take(n_points) {
+            if cover {
+                for evals in &cover_evals {
+                    ys_flat.push(evals[cover_rank].clone());
                 }
+                cover_rank += 1;
             } else {
                 for _ in 0..r {
                     ys_flat.push(alg.random_disguise(rng));
@@ -426,6 +444,26 @@ where
         rng: &mut dyn RngCore,
         round: &PreparedRound<A>,
     ) -> Result<A::Elem, OmpeError> {
+        let points = self.finish_round_points_io(io, sel, rng, round).await?;
+        // Interpolate R(v) = M(v) + P(S(v)) and evaluate at zero:
+        // R(0) = M(0) + P(S(0)) = P(α).
+        let _span = ppcs_telemetry::span(Phase::OmpeInterpolate);
+        Ok(interpolate_at_zero(alg, &points)?)
+    }
+
+    /// The oblivious-transfer half of
+    /// [`finish_round_io`](OmpeReceiverSession::finish_round_io): fetches
+    /// and decodes the masked answers at the cover positions, returning
+    /// the interpolation points without interpolating. Batch drivers
+    /// collect the points of every round and retrieve them all through
+    /// one [`interp_batch`] call.
+    async fn finish_round_points_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        round: &PreparedRound<A>,
+    ) -> Result<Vec<(A::Elem, A::Elem)>, OmpeError> {
         let n_covers = self.params.num_covers();
         let n_points = self.params.num_points();
 
@@ -439,7 +477,6 @@ where
             &round.cover_positions,
         )
         .await?;
-        let _span = ppcs_telemetry::span(Phase::OmpeInterpolate);
         let mut points = Vec::with_capacity(n_covers);
         for (raw_value, &pos) in raw.iter().zip(&round.cover_positions) {
             let mut input = Bytes::from(raw_value.clone());
@@ -449,10 +486,7 @@ where
                 .map_err(|_| OmpeError::Protocol("OT payload is not a single element".into()))?;
             points.push((round.xs[pos].clone(), value));
         }
-
-        // Interpolate R(v) = M(v) + P(S(v)) and evaluate at zero:
-        // R(0) = M(0) + P(S(0)) = P(α).
-        Ok(interpolate_at_zero(alg, &points)?)
+        Ok(points)
     }
 
     /// Prepares, transmits, and finishes one round (the non-coalesced
@@ -621,11 +655,32 @@ where
     // One framed write carries every round's point cloud.
     let frames: Vec<Frame> = rounds.iter().map(PreparedRound::frame).collect();
     io.send_coalesced(&frames)?;
-    let mut values = Vec::with_capacity(rounds.len());
+    // Collect every round's interpolation points first, then retrieve
+    // all the constant terms through one batched interpolation: a single
+    // Fermat inversion serves the whole batch on the fixed-point backend.
+    let mut systems = Vec::with_capacity(rounds.len());
     for round in &rounds {
-        values.push(session.finish_round_io(alg, io, sel, rng, round).await?);
+        systems.push(session.finish_round_points_io(io, sel, rng, round).await?);
     }
-    Ok(values)
+    let _span = ppcs_telemetry::span(Phase::OmpeInterpolate);
+    Ok(interp_batch(alg, &systems)?)
+}
+
+/// Draws `count` pairwise-distinct nonzero evaluation points.
+pub(crate) fn draw_distinct_points<A: Algebra>(
+    alg: &A,
+    count: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<A::Elem> {
+    let mut xs: Vec<A::Elem> = Vec::with_capacity(count);
+    while xs.len() < count {
+        let candidate = alg.random_point(rng);
+        if xs.contains(&candidate) {
+            continue;
+        }
+        xs.push(candidate);
+    }
+    xs
 }
 
 #[cfg(test)]
@@ -791,21 +846,4 @@ mod tests {
         let engine_values = received.expect("receive ok");
         assert_eq!(engine_values, blocking_values);
     }
-}
-
-/// Draws `count` pairwise-distinct nonzero evaluation points.
-pub(crate) fn draw_distinct_points<A: Algebra>(
-    alg: &A,
-    count: usize,
-    rng: &mut dyn RngCore,
-) -> Vec<A::Elem> {
-    let mut xs: Vec<A::Elem> = Vec::with_capacity(count);
-    while xs.len() < count {
-        let candidate = alg.random_point(rng);
-        if xs.contains(&candidate) {
-            continue;
-        }
-        xs.push(candidate);
-    }
-    xs
 }

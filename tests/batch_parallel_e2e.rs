@@ -83,10 +83,7 @@ fn trained(kernel: Kernel) -> SvmModel {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 6,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Linear kernel over the exact field backend: parallel labels are
     /// bitwise-identical to sequential for every lane count and seed.
