@@ -1,0 +1,140 @@
+//! Machine-readable serving bench: each iteration drives one round of
+//! [`BATCH`] concurrent TCP classification sessions through the
+//! `serve_async_tcp` reactor (one server thread, one client-side
+//! `AsyncDriver` multiplexing the whole fleet), and writes a
+//! schema-validated `BENCH_serving.json` artifact with per-round
+//! latency quantiles plus the server-side session report (admission,
+//! reactor wakeup, and timer counters included).
+//!
+//! ```text
+//! cargo run -p ppcs-bench --bin bench_serving --release [iters] [out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppcs_bench::report::{validate_bench_json, BenchArtifact};
+use ppcs_bench::train_entry;
+use ppcs_core::{Client, ProtocolConfig, ServerConfig, Trainer, TrainerServer};
+use ppcs_datasets::spec_by_name;
+use ppcs_math::F64Algebra;
+use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
+use ppcs_svm::{Label, SvmModel};
+use ppcs_telemetry::MetricsRegistry;
+use ppcs_transport::{AsyncDriver, DriveOptions, SessionLimits};
+
+/// Concurrent sessions per measured round.
+const BATCH: usize = 32;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        max_sessions: 2 * BATCH,
+        limits: SessionLimits::unlimited()
+            .with_deadline(Duration::from_secs(30))
+            .with_max_frames(1 << 16)
+            .with_max_wire_bytes(64 << 20),
+        idle_timeout: Duration::from_secs(30),
+        drain_deadline: Duration::from_millis(500),
+    }
+}
+
+/// One round: a fresh server reactor serves `BATCH` concurrent TCP
+/// sessions (one sample each); returns the round's wall time in ms.
+fn run_round(
+    model: &SvmModel,
+    sample: &[f64],
+    cfg: ProtocolConfig,
+    round: u64,
+    metrics: Option<&Arc<MetricsRegistry>>,
+) -> f64 {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let sel = TrustedSimOt.select();
+    let mut server = TrainerServer::new(&trainer, server_config());
+    if let Some(reg) = metrics {
+        server = server.with_metrics(reg.clone());
+    }
+    let supervisor = server.supervisor();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let expected = model.predict(sample);
+    let sample_vec = vec![sample.to_vec()];
+
+    let start = Instant::now();
+    let summary = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| {
+            server
+                .serve_async_tcp(listener, &TrustedSimOt, 1000 * round)
+                .expect("server reactor")
+        });
+        let mut cdrv: AsyncDriver<'_, Vec<(Label, f64)>, ppcs_core::PpcsError> =
+            AsyncDriver::new().expect("client reactor");
+        // Attach the whole fleet before the first poll so all BATCH
+        // sessions are genuinely in flight together.
+        for i in 0..BATCH {
+            let stream = std::net::TcpStream::connect(addr).expect("connect");
+            let id = cdrv.add_tcp(stream).expect("register");
+            cdrv.attach_engine(
+                id,
+                client.classify_engine(sel, 10_000 * round + i as u64, &sample_vec),
+                DriveOptions::new().with_timeout(Duration::from_secs(30)),
+            );
+        }
+        let done = cdrv.drive_all();
+        assert_eq!(done.len(), BATCH, "every session must finish");
+        for (id, res, _) in done {
+            let values = res.unwrap_or_else(|e| panic!("session {id} failed: {e:?}"));
+            assert_eq!(values[0].0, expected, "session {id}: wrong label");
+        }
+        drop(cdrv);
+        supervisor.drain();
+        server_thread.join().expect("server thread")
+    });
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(summary.sessions_admitted, BATCH as u64);
+    assert_eq!(summary.served_samples, BATCH);
+    elapsed_ms
+}
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let out = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_serving.json".into());
+
+    let spec = spec_by_name("diabetes").expect("catalog has diabetes");
+    let entry = train_entry(&spec);
+    let cfg = ProtocolConfig::functional();
+    let sample = entry.test.features(0).to_vec();
+
+    // Warm-up round (allocators, listener setup) before anything is
+    // timed or counted.
+    run_round(&entry.linear, &sample, cfg, 0, None);
+
+    let reg = MetricsRegistry::new(1, "trainer-server");
+    let mut latencies = Vec::with_capacity(iters as usize);
+    for round in 1..=iters {
+        latencies.push(run_round(&entry.linear, &sample, cfg, round, Some(&reg)));
+    }
+
+    let artifact = BenchArtifact {
+        bench: "serving".into(),
+        iterations: iters,
+        latency_ms: latencies,
+        session: reg.report(),
+        overhead: None,
+    };
+    let text = artifact.to_json();
+    validate_bench_json(&text).expect("artifact must pass its own schema validator");
+    std::fs::write(&out, format!("{text}\n")).expect("write artifact");
+
+    println!("{}", artifact.session);
+    println!(
+        "{iters} rounds x {BATCH} concurrent TCP sessions per round, \
+         one reactor thread each side"
+    );
+    println!("wrote {out}");
+}

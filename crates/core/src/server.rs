@@ -23,17 +23,23 @@
 //! telemetry report (`sessions_admitted`, `sessions_shed`,
 //! `budget_exceeded`, `malformed_rejected`).
 
+use std::collections::HashMap;
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use ppcs_math::Algebra;
-use ppcs_ot::ObliviousTransfer;
+use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_telemetry::MetricsRegistry;
-use ppcs_transport::{Driver, Encodable, Frame, Lane, SessionLimits, TransportError, KIND_BUSY};
+use ppcs_transport::{
+    AsyncDriver, AsyncEvent, ConnId, DriveOptions, Driver, Encodable, Frame, Lane, SessionLimits,
+    TransportError, KIND_BUSY,
+};
 
 use crate::classify::{transport_cause, Trainer, KIND_CLS_FIN, KIND_CLS_HELLO};
+use crate::error::PpcsError;
 
 /// How often idle lanes and draining watchdogs re-check their flags.
 const POLL_SLICE: Duration = Duration::from_millis(20);
@@ -80,6 +86,11 @@ struct SupervisorInner {
     shed: AtomicU64,
     budget_exceeded: AtomicU64,
     malformed_rejected: AtomicU64,
+    /// Parks the drain watchdog between events. [`SessionSupervisor::drain`]
+    /// and run completion both notify here, so drain latency is bounded
+    /// by the condvar handoff rather than a sleep-poll quantum.
+    wake_lock: Mutex<()>,
+    wake: Condvar,
 }
 
 /// Cloneable control/observation handle over a serving run: admission
@@ -118,6 +129,17 @@ impl SessionSupervisor {
     /// cut token terminates whatever remains.
     pub fn drain(&self) {
         self.inner.draining.store(true, Ordering::Release);
+        self.wake_watchdog();
+    }
+
+    /// Wakes the drain watchdog (and any other condvar waiter) so it can
+    /// re-check the `draining`/stop flags. Taking the lock first closes
+    /// the store-then-park race: a waiter holding the lock has either
+    /// already seen the new flag value or is inside `wait`, where the
+    /// notification cannot be lost.
+    fn wake_watchdog(&self) {
+        let _guard = self.inner.wake_lock.lock().expect("supervisor wake lock");
+        self.inner.wake.notify_all();
     }
 
     /// Whether the forced cut (post-drain-deadline) has fired.
@@ -168,8 +190,30 @@ impl SessionSupervisor {
 }
 
 /// RAII admission slot: dropping it frees capacity for the next session.
+#[derive(Debug)]
 struct SessionPermit {
     supervisor: SessionSupervisor,
+}
+
+/// Per-connection bookkeeping for the async serving loop: the stable
+/// lane index and session counter feeding the per-session seed formula
+/// (identical to the blocking path), plus the held admission permit
+/// while a session is in flight.
+#[derive(Debug)]
+struct ConnMeta {
+    lane_idx: u64,
+    sessions: u64,
+    permit: Option<SessionPermit>,
+}
+
+impl ConnMeta {
+    fn new(lane_idx: u64) -> Self {
+        Self {
+            lane_idx,
+            sessions: 0,
+            permit: None,
+        }
+    }
 }
 
 impl Drop for SessionPermit {
@@ -293,6 +337,7 @@ where
                 .map(|h| h.join().expect("serve lane thread panicked"))
                 .sum();
             stop_watchdog.store(true, Ordering::Release);
+            self.supervisor.wake_watchdog();
             watchdog.join().expect("watchdog thread panicked");
             total
         });
@@ -300,21 +345,39 @@ where
     }
 
     /// Arms the forced cut once a drain's grace period expires.
+    ///
+    /// Event-driven: the watchdog parks on the supervisor's condvar and
+    /// is notified by [`SessionSupervisor::drain`] or run completion, so
+    /// it reacts immediately instead of discovering flag flips one
+    /// sleep-poll quantum late.
     fn drain_watchdog(&self, stop: &AtomicBool) {
-        // Wait for a drain to start (or the run to finish).
-        while !self.supervisor.draining() {
+        let inner = &self.supervisor.inner;
+        let mut guard = inner.wake_lock.lock().expect("watchdog lock");
+        // Park until a drain begins (or the run finishes first).
+        while !self.supervisor.draining() && !stop.load(Ordering::Acquire) {
+            guard = inner.wake.wait(guard).expect("watchdog wait");
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Grace period: give in-flight sessions until the drain deadline,
+        // still waking immediately if the run completes underneath us.
+        let deadline = Instant::now() + self.config.drain_deadline;
+        loop {
             if stop.load(Ordering::Acquire) {
                 return;
             }
-            std::thread::sleep(POLL_SLICE);
-        }
-        let drain_started = Instant::now();
-        while drain_started.elapsed() < self.config.drain_deadline {
-            if stop.load(Ordering::Acquire) {
-                return;
+            let now = Instant::now();
+            if now >= deadline {
+                break;
             }
-            std::thread::sleep(POLL_SLICE);
+            let (reacquired, _) = inner
+                .wake
+                .wait_timeout(guard, deadline - now)
+                .expect("watchdog wait");
+            guard = reacquired;
         }
+        drop(guard);
         self.supervisor.force_cut();
     }
 
@@ -413,6 +476,256 @@ where
         served
     }
 
+    /// Serves classification sessions on every lane from **one thread**,
+    /// multiplexed through an [`AsyncDriver`] event loop instead of a
+    /// thread per lane.
+    ///
+    /// Behavior matches [`serve`](TrainerServer::serve) exactly —
+    /// admission control, `KIND_BUSY` shedding, session budgets, idle
+    /// timeouts, graceful drain, per-session seeds, and telemetry all
+    /// carry over unchanged — but drain timing is enforced by the event
+    /// loop itself (no watchdog thread), and parked sessions cost no OS
+    /// thread while they wait for the peer.
+    ///
+    /// Returns `Err` only if the reactor itself cannot be constructed;
+    /// per-session failures are triaged into the [`ServeSummary`], as on
+    /// the blocking path.
+    pub fn serve_async<L: Lane>(
+        &self,
+        lanes: &[L],
+        ot: &dyn ObliviousTransfer,
+        seed: u64,
+    ) -> Result<ServeSummary, TransportError> {
+        let sel = ot.select();
+        let mut driver: AsyncDriver<'_, usize, PpcsError> = AsyncDriver::new()?;
+        if let Some(reg) = &self.metrics {
+            driver = driver.with_metrics(reg.clone());
+        }
+        let mut meta: HashMap<ConnId, ConnMeta> = HashMap::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            let id = driver.add_lane(lane as &dyn Lane);
+            driver.set_idle_deadline(id, Some(self.config.idle_timeout));
+            meta.insert(id, ConnMeta::new(i as u64));
+        }
+        let served = self.pump_async(&mut driver, &mut meta, sel, seed, false);
+        Ok(self.supervisor.summary(served))
+    }
+
+    /// Serves classification sessions over TCP from one reactor thread:
+    /// accepts on `listener`, multiplexes every connection through one
+    /// [`AsyncDriver`], and runs until a drain completes (admission
+    /// semantics as in [`serve_async`](TrainerServer::serve_async)).
+    ///
+    /// Unlike the lane-based entry points this cannot end by "all lanes
+    /// closed" — new clients may always connect — so the run ends when
+    /// [`SessionSupervisor::drain`] has been requested *and* every
+    /// connection has finished or been cut.
+    ///
+    /// Per-connection seeds use the accept order as the lane index, so a
+    /// run with a deterministic arrival order is reproducible.
+    pub fn serve_async_tcp(
+        &self,
+        listener: TcpListener,
+        ot: &dyn ObliviousTransfer,
+        seed: u64,
+    ) -> Result<ServeSummary, TransportError> {
+        let sel = ot.select();
+        let mut driver: AsyncDriver<'_, usize, PpcsError> = AsyncDriver::new()?;
+        if let Some(reg) = &self.metrics {
+            driver = driver.with_metrics(reg.clone());
+        }
+        driver.listen(listener)?;
+        let mut meta: HashMap<ConnId, ConnMeta> = HashMap::new();
+        let served = self.pump_async(&mut driver, &mut meta, sel, seed, true);
+        Ok(self.supervisor.summary(served))
+    }
+
+    /// The shared event loop behind both async entry points.
+    ///
+    /// `accepting` selects the termination rule: lane-based runs end when
+    /// every connection closes; accepting (TCP) runs end when a drain has
+    /// been requested and every connection closed. Drain timing is
+    /// enforced inline — pending connections close the moment a drain is
+    /// observed, in-flight sessions get `drain_deadline`, then the cut
+    /// token (checked by parked sessions within one cancel slice)
+    /// terminates the stragglers.
+    fn pump_async<'s>(
+        &'s self,
+        driver: &mut AsyncDriver<'s, usize, PpcsError>,
+        meta: &mut HashMap<ConnId, ConnMeta>,
+        sel: OtSelect,
+        seed: u64,
+        accepting: bool,
+    ) -> usize {
+        let sup = &self.supervisor;
+        let mut served = 0usize;
+        let mut next_lane_idx = meta.len() as u64;
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let idle_now = driver.conns() == 0;
+            if idle_now && (!accepting || sup.draining()) {
+                break;
+            }
+            if sup.draining() {
+                if drain_started.is_none() {
+                    drain_started = Some(Instant::now());
+                    // Admission is over. Pending (sessionless) connections
+                    // get one short slice so a HELLO already in flight is
+                    // still answered with `KIND_BUSY` — exactly the window
+                    // a blocking lane has before its recv slice times out
+                    // — then close; in-flight sessions get the grace
+                    // period.
+                    for id in driver.conn_ids() {
+                        if driver.is_pending(id) {
+                            driver.set_idle_deadline(id, Some(POLL_SLICE));
+                        }
+                    }
+                    continue;
+                }
+                if !sup.cut()
+                    && drain_started.is_some_and(|t0| t0.elapsed() >= self.config.drain_deadline)
+                {
+                    sup.force_cut();
+                }
+            }
+            // While a drain grace period runs, wake at its deadline (or
+            // sooner); otherwise a coarse slice — every actual event
+            // (readiness, timer, waker) interrupts the wait anyway.
+            let max_wait = match drain_started {
+                Some(t0) if !sup.cut() => self
+                    .config
+                    .drain_deadline
+                    .saturating_sub(t0.elapsed())
+                    .clamp(Duration::from_millis(1), POLL_SLICE),
+                _ => Duration::from_millis(50),
+            };
+            for event in driver.poll(max_wait) {
+                match event {
+                    AsyncEvent::Accepted { conn } => {
+                        if sup.draining() {
+                            driver.close(conn);
+                            continue;
+                        }
+                        driver.set_idle_deadline(conn, Some(self.config.idle_timeout));
+                        meta.insert(conn, ConnMeta::new(next_lane_idx));
+                        next_lane_idx += 1;
+                    }
+                    AsyncEvent::Opening { conn, frame } => {
+                        if !driver.is_open(conn) {
+                            continue;
+                        }
+                        if frame.kind == KIND_CLS_FIN {
+                            driver.close(conn);
+                            meta.remove(&conn);
+                            continue;
+                        }
+                        if sup.draining() {
+                            // A session racing the drain is answered like
+                            // any over-capacity arrival: an explicit
+                            // `KIND_BUSY`, then the lane closes.
+                            if frame.kind == KIND_CLS_HELLO {
+                                let _ = driver.send_busy(conn);
+                                sup.inner.shed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(reg) = &self.metrics {
+                                    reg.record_session_shed();
+                                }
+                            } else {
+                                self.note_malformed();
+                            }
+                            driver.close(conn);
+                            meta.remove(&conn);
+                            continue;
+                        }
+                        if frame.kind != KIND_CLS_HELLO {
+                            // A session must open with HELLO; anything
+                            // else here is stale or hostile traffic.
+                            self.note_malformed();
+                            driver.set_idle_deadline(conn, Some(self.config.idle_timeout));
+                            continue;
+                        }
+                        let Some(permit) = sup.try_admit() else {
+                            // At capacity: explicit reject, not a hang.
+                            let _ = driver.send_busy(conn);
+                            sup.inner.shed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(reg) = &self.metrics {
+                                reg.record_session_shed();
+                            }
+                            driver.set_idle_deadline(conn, Some(self.config.idle_timeout));
+                            continue;
+                        };
+                        sup.inner.admitted.fetch_add(1, Ordering::Relaxed);
+                        if let Some(reg) = &self.metrics {
+                            reg.record_session_admitted();
+                        }
+                        let state = meta.get_mut(&conn).expect("meta for open conn");
+                        state.sessions += 1;
+                        let session_seed = seed
+                            .wrapping_add(state.lane_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            .wrapping_add(state.sessions);
+                        state.permit = Some(permit);
+                        let mut engine = self.trainer.serve_engine(sel, session_seed);
+                        engine.handle_input(frame);
+                        let mut opts = DriveOptions::new()
+                            .with_limits(self.config.limits.clone())
+                            .with_cancel(sup.inner.cut.clone());
+                        if let Some(reg) = &self.metrics {
+                            opts = opts.with_metrics(reg.clone());
+                        }
+                        driver.attach_engine(conn, engine, opts);
+                    }
+                    AsyncEvent::Finished { conn, result, .. } => {
+                        if let Some(state) = meta.get_mut(&conn) {
+                            state.permit = None;
+                        }
+                        match result {
+                            Ok(n) => served += n,
+                            Err(e) => match transport_cause(&e) {
+                                Some(TransportError::Disconnected) => {
+                                    driver.close(conn);
+                                    meta.remove(&conn);
+                                    continue;
+                                }
+                                Some(TransportError::Budget(_)) => {
+                                    sup.inner.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                                    // The driver already counted it in the
+                                    // metrics.
+                                }
+                                Some(TransportError::Timeout) => {}
+                                // Codec garbage mid-session, or a
+                                // protocol-layer violation: the peer
+                                // deviated.
+                                Some(_) | None => self.note_malformed(),
+                            },
+                        }
+                        if sup.draining() {
+                            driver.close(conn);
+                            meta.remove(&conn);
+                        } else {
+                            // Back to pending for a follow-up session.
+                            driver.set_idle_deadline(conn, Some(self.config.idle_timeout));
+                        }
+                    }
+                    AsyncEvent::Malformed { conn, .. } => {
+                        self.note_malformed();
+                        if driver.is_open(conn) {
+                            driver.set_idle_deadline(conn, Some(self.config.idle_timeout));
+                        } else {
+                            meta.remove(&conn);
+                        }
+                    }
+                    AsyncEvent::IdleExpired { conn } => {
+                        driver.close(conn);
+                        meta.remove(&conn);
+                    }
+                    AsyncEvent::Closed { conn } => {
+                        meta.remove(&conn);
+                    }
+                }
+            }
+        }
+        served
+    }
+
     fn note_malformed(&self) {
         self.supervisor
             .inner
@@ -497,6 +810,81 @@ mod tests {
             assert_eq!(summary.sessions_admitted, 2);
             assert_eq!(summary.sessions_shed, 0);
             assert_eq!(summary.served_samples, 2);
+        });
+    }
+
+    #[test]
+    fn honest_clients_are_served_over_the_async_runtime() {
+        let trainer = tiny_trainer();
+        let server = TrainerServer::new(&trainer, ServerConfig::default());
+        let (server_lanes, client_lanes) = duplex_pool(2);
+        let ot = TrustedSimOt;
+        let samples = [vec![0.9f64, 1.1], vec![-1.0, -0.8]];
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = client_lanes
+                .iter()
+                .zip(&samples)
+                .enumerate()
+                .map(|(i, (lane, s))| {
+                    scope.spawn(move || {
+                        use rand::SeedableRng;
+                        let client =
+                            crate::Client::new(F64Algebra::new(), ProtocolConfig::default());
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+                        let labels = client
+                            .classify_batch(lane, &TrustedSimOt, &mut rng, std::slice::from_ref(s))
+                            .expect("honest session");
+                        lane.send(Frame::encode(super::KIND_CLS_FIN, &0u64))
+                            .unwrap();
+                        labels
+                    })
+                })
+                .collect();
+            let summary = server.serve_async(&server_lanes, &ot, 99).expect("reactor");
+            let labels: Vec<_> = clients
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect();
+            assert_eq!(labels[0], vec![Label::Positive]);
+            assert_eq!(labels[1], vec![Label::Negative]);
+            assert_eq!(summary.sessions_admitted, 2);
+            assert_eq!(summary.sessions_shed, 0);
+            assert_eq!(summary.served_samples, 2);
+        });
+    }
+
+    #[test]
+    fn async_tcp_run_drains_to_completion() {
+        let trainer = tiny_trainer();
+        let server = TrainerServer::new(&trainer, ServerConfig::default());
+        let sup = server.supervisor();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let client = scope.spawn(move || {
+                use rand::SeedableRng;
+                let lane = ppcs_transport::tcp_connect(addr).expect("connect");
+                let client = crate::Client::new(F64Algebra::new(), ProtocolConfig::default());
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                let labels = client
+                    .classify_batch(&lane, &TrustedSimOt, &mut rng, &[vec![0.9f64, 1.1]])
+                    .expect("honest session");
+                lane.send(Frame::encode(super::KIND_CLS_FIN, &0u64))
+                    .unwrap();
+                labels
+            });
+            let drainer = scope.spawn(move || {
+                // Let the one client finish, then end the accepting run.
+                std::thread::sleep(Duration::from_millis(300));
+                sup.drain();
+            });
+            let summary = server
+                .serve_async_tcp(listener, &TrustedSimOt, 99)
+                .expect("reactor");
+            assert_eq!(client.join().expect("client"), vec![Label::Positive]);
+            drainer.join().expect("drainer");
+            assert_eq!(summary.sessions_admitted, 1);
+            assert_eq!(summary.served_samples, 1);
         });
     }
 }

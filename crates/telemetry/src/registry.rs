@@ -135,6 +135,9 @@ pub struct MetricsRegistry {
     sessions_shed: AtomicU64,
     budget_exceeded: AtomicU64,
     malformed_rejected: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reactor_events: AtomicU64,
+    timer_fires: AtomicU64,
     phase_ns: [Histogram; Phase::ALL.len()],
     frame_sizes: Histogram,
     kinds: [KindSlot; NUM_KIND_SLOTS],
@@ -159,6 +162,9 @@ impl MetricsRegistry {
             sessions_shed: AtomicU64::new(0),
             budget_exceeded: AtomicU64::new(0),
             malformed_rejected: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            reactor_events: AtomicU64::new(0),
+            timer_fires: AtomicU64::new(0),
             phase_ns: std::array::from_fn(|_| Histogram::new()),
             frame_sizes: Histogram::new(),
             kinds: std::array::from_fn(|_| KindSlot::default()),
@@ -229,6 +235,22 @@ impl MetricsRegistry {
     /// input.
     pub fn record_malformed_rejected(&self) {
         self.malformed_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reactor wakeup (a return from `epoll_wait` or the
+    /// sleep-backend nap, whether or not any fd was ready).
+    pub fn record_reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds readiness events delivered by one reactor wakeup.
+    pub fn record_reactor_events(&self, n: u64) {
+        self.reactor_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one timer-wheel expiry delivered to a parked session.
+    pub fn record_timer_fire(&self) {
+        self.timer_fires.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one closed span: `ns` of wall time spent in `phase`.
@@ -343,6 +365,9 @@ impl MetricsRegistry {
             sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
             budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
             malformed_rejected: self.malformed_rejected.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_events: self.reactor_events.load(Ordering::Relaxed),
+            timer_fires: self.timer_fires.load(Ordering::Relaxed),
             frame_sizes: FrameSizeReport {
                 count: self.frame_sizes.count(),
                 min: self.frame_sizes.min(),

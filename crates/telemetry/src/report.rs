@@ -89,6 +89,12 @@ pub struct SessionReport {
     pub budget_exceeded: u64,
     /// Sessions rejected for malformed or protocol-violating input.
     pub malformed_rejected: u64,
+    /// Reactor wakeups (returns from `epoll_wait`/sleep-backend naps).
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered across all reactor wakeups.
+    pub reactor_events: u64,
+    /// Timer-wheel expiries delivered to parked sessions.
+    pub timer_fires: u64,
     /// Frame payload-size distribution.
     pub frame_sizes: FrameSizeReport,
     /// Per-phase wall time, report order.
@@ -178,6 +184,9 @@ impl SessionReport {
             ("sessions_shed", num(self.sessions_shed)),
             ("budget_exceeded", num(self.budget_exceeded)),
             ("malformed_rejected", num(self.malformed_rejected)),
+            ("reactor_wakeups", num(self.reactor_wakeups)),
+            ("reactor_events", num(self.reactor_events)),
+            ("timer_fires", num(self.timer_fires)),
             (
                 "frame_sizes",
                 obj(vec![
@@ -279,6 +288,16 @@ impl SessionReport {
                 .get("malformed_rejected")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            // Reactor counters postdate the serving counters: lenient too.
+            reactor_wakeups: doc
+                .get("reactor_wakeups")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            reactor_events: doc
+                .get("reactor_events")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            timer_fires: doc.get("timer_fires").and_then(Json::as_u64).unwrap_or(0),
             frame_sizes: FrameSizeReport {
                 count: fs_field("count")?,
                 min: fs_field("min")?,
@@ -349,6 +368,13 @@ impl fmt::Display for SessionReport {
                 self.malformed_rejected,
             )?;
         }
+        if self.reactor_wakeups + self.reactor_events + self.timer_fires > 0 {
+            writeln!(
+                f,
+                "  reactor: {} wakeups, {} events, {} timer fires",
+                self.reactor_wakeups, self.reactor_events, self.timer_fires,
+            )?;
+        }
         if !self.phases.is_empty() {
             writeln!(
                 f,
@@ -409,6 +435,9 @@ mod tests {
             sessions_shed: 2,
             budget_exceeded: 1,
             malformed_rejected: 4,
+            reactor_wakeups: 9,
+            reactor_events: 17,
+            timer_fires: 6,
             frame_sizes: FrameSizeReport {
                 count: 12,
                 min: 6,
@@ -512,6 +541,22 @@ mod tests {
         report.sessions_shed = 0;
         report.budget_exceeded = 0;
         report.malformed_rejected = 0;
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_reactor_counters_still_parse() {
+        // Artifacts written before the epoll reactor existed.
+        let mut report = sample();
+        let text = report
+            .to_json()
+            .replace("\"reactor_wakeups\":9,", "")
+            .replace("\"reactor_events\":17,", "")
+            .replace("\"timer_fires\":6,", "");
+        let back = SessionReport::from_json(&text).unwrap();
+        report.reactor_wakeups = 0;
+        report.reactor_events = 0;
+        report.timer_fires = 0;
         assert_eq!(back, report);
     }
 

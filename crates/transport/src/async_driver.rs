@@ -1,0 +1,1289 @@
+//! [`AsyncDriver`]: one thread, one reactor, thousands of sessions.
+//!
+//! Where [`Driver`](crate::Driver) parks an OS thread on every blocking
+//! receive, `AsyncDriver` parks a *session* — an engine, its transcript
+//! recorder, and its budget state — on a readiness event from the
+//! [`Reactor`](crate::Reactor) or a deadline on the
+//! [`TimerWheel`](crate::TimerWheel). The per-session pump is a
+//! line-for-line mirror of `Driver::drive`'s loop (same transcript
+//! entries, same [`KIND_BUSY`] translation, same
+//! [`TransportError::Budget`] messages in the same order), so a session
+//! driven here produces a byte-identical [`Transcript`] and the same
+//! result as its blocking counterpart — the blocking driver stays the
+//! correctness oracle, enforced by the transcript-equality e2e suite.
+//!
+//! Connections come in two flavors:
+//!
+//! * **TCP** ([`AsyncDriver::add_tcp`]) — a nonblocking framed stream
+//!   registered edge-triggered with the reactor; reads drain to
+//!   `WouldBlock`, writes queue under backpressure and resume on
+//!   writable events.
+//! * **In-memory lanes** ([`AsyncDriver::add_lane`]) — any
+//!   [`Lane`] (duplex endpoints, the chaos
+//!   [`FaultyLane`](crate::FaultyLane)) probed with a zero receive
+//!   deadline every turn, so the whole chaos and adversarial toolbox
+//!   runs unchanged through the async path.
+//!
+//! A connection with no engine attached is *pending*: its first frame
+//! surfaces as [`AsyncEvent::Opening`] so a serving layer can perform
+//! admission control (attach an engine, [`send_busy`](AsyncDriver::send_busy),
+//! or [`close`](AsyncDriver::close)) before any protocol work happens.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppcs_telemetry::MetricsRegistry;
+
+use crate::channel::{coalesce_frames, Frame, Lane, TrafficStats};
+use crate::driver::{
+    fail_engine, merge_wire_delta, Direction, SessionLimits, Transcript, KIND_BUSY,
+};
+use crate::engine::{Outgoing, ProtocolEngine};
+use crate::error::TransportError;
+use crate::reactor::{Reactor, ReactorEvent, TimerWheel, Waker};
+use crate::tcp::NbConn;
+
+/// Token reserved for the accept listener.
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// How often a parked session with a cancel token re-checks it, the
+/// async analog of the blocking driver's 20 ms receive slices.
+const CANCEL_SLICE: Duration = Duration::from_millis(20);
+
+/// Per-receive deadline applied when [`DriveOptions::timeout`] is
+/// unset, matching the 30 s default of blocking endpoints.
+const DEFAULT_PER_RECV: Duration = Duration::from_secs(30);
+
+/// Reactor wait cap while in-memory lanes are attached: mem lanes have
+/// no fd to register, so they are probed every turn at this cadence.
+const MEM_POLL_SLICE: Duration = Duration::from_millis(1);
+
+/// Handle to one connection owned by an [`AsyncDriver`]. Slots are
+/// reused after [`close`](AsyncDriver::close); the epoch guards against
+/// a stale handle touching a recycled slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConnId {
+    slot: u32,
+    epoch: u32,
+}
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn {}.{}", self.slot, self.epoch)
+    }
+}
+
+/// Per-session drive configuration, mirroring the builder surface of
+/// the blocking [`Driver`](crate::Driver).
+#[derive(Debug, Default)]
+pub struct DriveOptions {
+    /// Record a [`Transcript`] (returned in [`AsyncEvent::Finished`]).
+    pub recording: bool,
+    /// Telemetry registry for this session's spans, wire deltas, frame
+    /// sizes, polls, rounds, timeouts, and budget trips.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Per-receive deadline (default 30 s, as on blocking endpoints).
+    /// Enforced by the timer wheel — never by `WouldBlock`.
+    pub timeout: Option<Duration>,
+    /// Session budgets, enforced with the exact trip order and
+    /// [`TransportError::Budget`] messages of the blocking driver.
+    pub limits: Option<SessionLimits>,
+    /// Cancellation token checked within one [`CANCEL_SLICE`] while
+    /// parked — the drain-cut mechanism of the serving runtime.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl DriveOptions {
+    /// Options with everything off: no recording, no metrics, default
+    /// per-receive deadline, no budgets, no cancel token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables transcript recording.
+    #[must_use]
+    pub fn with_recording(mut self) -> Self {
+        self.recording = true;
+        self
+    }
+
+    /// Attaches a telemetry registry.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Sets the per-receive deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches session budgets.
+    #[must_use]
+    pub fn with_limits(mut self, limits: SessionLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
+/// What happened during one [`AsyncDriver::poll`] turn.
+#[derive(Debug)]
+pub enum AsyncEvent<T, E> {
+    /// The registered listener accepted a new connection (pending — no
+    /// engine attached yet).
+    Accepted {
+        /// The freshly registered connection.
+        conn: ConnId,
+    },
+    /// A frame arrived on a pending connection. The receiver decides:
+    /// attach an engine (admission), [`AsyncDriver::send_busy`]
+    /// (shedding), ignore (the connection stays pending), or
+    /// [`AsyncDriver::close`].
+    Opening {
+        /// The pending connection.
+        conn: ConnId,
+        /// The frame, exactly as a blocking accept loop would have
+        /// received it (coalesced batches already unpacked).
+        frame: Frame,
+    },
+    /// An attached session ran to completion (successfully or with the
+    /// same typed error its blocking counterpart would report). The
+    /// connection itself stays open and reverts to pending, ready for
+    /// a back-to-back follow-up session.
+    Finished {
+        /// The connection whose session completed.
+        conn: ConnId,
+        /// The engine's result.
+        result: Result<T, E>,
+        /// The recorded transcript, when
+        /// [`DriveOptions::recording`] was set.
+        transcript: Option<Transcript>,
+    },
+    /// A pending connection produced transport-level garbage (a frame
+    /// the codec itself rejected). TCP connections are closed (the
+    /// stream is desynchronized); in-memory lanes stay up, mirroring
+    /// the blocking serve loop.
+    Malformed {
+        /// The offending connection.
+        conn: ConnId,
+        /// What the transport rejected.
+        error: TransportError,
+    },
+    /// A pending connection's idle deadline
+    /// ([`AsyncDriver::set_idle_deadline`]) expired without a frame.
+    /// One-shot: re-arm or close.
+    IdleExpired {
+        /// The idle connection.
+        conn: ConnId,
+    },
+    /// A pending connection disconnected and was removed.
+    Closed {
+        /// The connection that is now gone.
+        conn: ConnId,
+    },
+}
+
+/// One connection's transport, by flavor.
+enum ConnLane<'d> {
+    Tcp(NbConn),
+    Mem(&'d dyn Lane),
+}
+
+impl std::fmt::Debug for ConnLane<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(nb) => f.debug_tuple("Tcp").field(nb).finish(),
+            Self::Mem(_) => f.debug_tuple("Mem").finish(),
+        }
+    }
+}
+
+/// The engine and drive state parked on a connection.
+struct Session<'d, T, E> {
+    engine: ProtocolEngine<'d, T, E>,
+    transcript: Option<Transcript>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    limits: SessionLimits,
+    budgeted: bool,
+    cancel: Option<Arc<AtomicBool>>,
+    per_recv: Duration,
+    started: Instant,
+    /// When the wait for the *current* frame began (reset on every
+    /// delivery) — the async analog of the blocking driver's per-recv
+    /// window.
+    recv_started: Instant,
+    bytes_before: u64,
+    frames_delivered: u64,
+    last_kind: Option<u16>,
+    stats_before: Option<TrafficStats>,
+    rounds_before: u64,
+}
+
+struct Conn<'d, T, E> {
+    lane: ConnLane<'d>,
+    session: Option<Session<'d, T, E>>,
+    /// Idle deadline while pending (no engine). One-shot.
+    idle_deadline: Option<Instant>,
+    /// Bumped on every service: invalidates timers armed before.
+    timer_gen: u64,
+}
+
+struct Slot<'d, T, E> {
+    epoch: u32,
+    conn: Option<Conn<'d, T, E>>,
+    /// Already queued for service this turn (dedup flag).
+    queued: bool,
+}
+
+enum PumpOutcome<T, E> {
+    /// Nothing more to do until an event or `wake_at`.
+    Parked { wake_at: Option<Instant> },
+    /// The session completed.
+    Finished(Box<(Result<T, E>, Option<Transcript>)>),
+}
+
+/// A single-threaded multiplexer pumping many [`ProtocolEngine`]s over
+/// one [`Reactor`]. See the module docs for the model; see
+/// [`poll`](AsyncDriver::poll) for the turn loop.
+pub struct AsyncDriver<'d, T, E> {
+    reactor: Reactor,
+    wheel: TimerWheel,
+    slots: Vec<Slot<'d, T, E>>,
+    free: Vec<u32>,
+    listener: Option<TcpListener>,
+    /// Reactor-level telemetry (wakeups, readiness events, timer
+    /// fires) — distinct from each session's own registry.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Connections to service next turn without waiting for an event
+    /// (freshly attached engines, buffered frames).
+    ready_next: Vec<u32>,
+    active_sessions: usize,
+    mem_conns: usize,
+    conns: usize,
+}
+
+impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
+    /// Opens a driver with its own reactor and timer wheel.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if the reactor cannot be set up.
+    pub fn new() -> Result<Self, TransportError> {
+        Ok(Self {
+            reactor: Reactor::new()?,
+            wheel: TimerWheel::new(Instant::now()),
+            slots: Vec::new(),
+            free: Vec::new(),
+            listener: None,
+            metrics: None,
+            ready_next: Vec::new(),
+            active_sessions: 0,
+            mem_conns: 0,
+            conns: 0,
+        })
+    }
+
+    /// Attaches a registry for reactor-level counters
+    /// (`reactor_wakeups`, `reactor_events`, `timer_fires`).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Whether the readiness backend is real epoll (false: the
+    /// short-sleep fallback — see [`Reactor`]).
+    pub fn is_epoll(&self) -> bool {
+        self.reactor.is_epoll()
+    }
+
+    /// A cross-thread [`Waker`] that interrupts a blocked
+    /// [`poll`](AsyncDriver::poll) — lets drain/cut signals land
+    /// event-driven instead of waiting out the poll timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if the waker socket cannot be cloned.
+    pub fn waker(&self) -> Result<Waker, TransportError> {
+        self.reactor.waker()
+    }
+
+    /// Registers `listener` for nonblocking accepts: every new inbound
+    /// connection is added as a pending TCP connection and reported
+    /// with [`AsyncEvent::Accepted`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on registration failure.
+    pub fn listen(&mut self, listener: TcpListener) -> Result<(), TransportError> {
+        use std::os::fd::AsRawFd;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| TransportError::Io(format!("listener nonblocking: {e}")))?;
+        self.reactor.register(listener.as_raw_fd(), LISTEN_TOKEN)?;
+        self.listener = Some(listener);
+        Ok(())
+    }
+
+    /// Adds `stream` as a pending TCP connection (nonblocking, framed,
+    /// registered edge-triggered).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on socket configuration or registration
+    /// failure.
+    pub fn add_tcp(&mut self, stream: TcpStream) -> Result<ConnId, TransportError> {
+        let nb = NbConn::new(stream)?;
+        let fd = nb.fd();
+        let id = self.insert(Conn {
+            lane: ConnLane::Tcp(nb),
+            session: None,
+            idle_deadline: None,
+            timer_gen: 0,
+        });
+        self.reactor.register(fd, u64::from(id.slot))?;
+        Ok(id)
+    }
+
+    /// Adds any [`Lane`] (a duplex endpoint, a chaos
+    /// [`FaultyLane`](crate::FaultyLane)) as a pending connection. Mem
+    /// lanes are probed with a zero receive deadline every turn; the
+    /// driver owns the lane's deadline cell from here on.
+    pub fn add_lane(&mut self, lane: &'d dyn Lane) -> ConnId {
+        let id = self.insert(Conn {
+            lane: ConnLane::Mem(lane),
+            session: None,
+            idle_deadline: None,
+            timer_gen: 0,
+        });
+        self.mem_conns += 1;
+        // Probe it on the next turn — mem lanes produce no events.
+        self.ready_next.push(id.slot);
+        id
+    }
+
+    fn insert(&mut self, conn: Conn<'d, T, E>) -> ConnId {
+        self.conns += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.conn = Some(conn);
+            ConnId {
+                slot,
+                epoch: s.epoch,
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                epoch: 0,
+                conn: Some(conn),
+                queued: false,
+            });
+            ConnId { slot, epoch: 0 }
+        }
+    }
+
+    fn conn_mut(&mut self, id: ConnId) -> Option<&mut Conn<'d, T, E>> {
+        let s = self.slots.get_mut(id.slot as usize)?;
+        if s.epoch != id.epoch {
+            return None;
+        }
+        s.conn.as_mut()
+    }
+
+    /// Arms (or clears) the pending-idle deadline: if no frame arrives
+    /// on this pending connection within `after`, one
+    /// [`AsyncEvent::IdleExpired`] fires.
+    pub fn set_idle_deadline(&mut self, id: ConnId, after: Option<Duration>) {
+        let Some(conn) = self.conn_mut(id) else {
+            return;
+        };
+        let deadline = after.map(|d| Instant::now() + d);
+        conn.idle_deadline = deadline;
+        conn.timer_gen += 1;
+        let generation = conn.timer_gen;
+        let is_mem = matches!(conn.lane, ConnLane::Mem(_));
+        if let Some(t) = deadline {
+            // Mem conns are probed every turn; only fd conns need a
+            // timer to wake the reactor.
+            if !is_mem {
+                self.wheel.arm(t, u64::from(id.slot), generation);
+            }
+        }
+    }
+
+    /// Attaches `engine` to a pending connection and starts pumping it
+    /// under `opts`. The caller feeds any already-received opening
+    /// frame (`engine.handle_input(first)`) *before* attaching, exactly
+    /// like the blocking serve loop. The first pump happens on the next
+    /// [`poll`](AsyncDriver::poll) turn.
+    ///
+    /// # Panics
+    ///
+    /// If the connection is unknown, closed, or already has a session.
+    pub fn attach_engine(
+        &mut self,
+        id: ConnId,
+        engine: ProtocolEngine<'d, T, E>,
+        opts: DriveOptions,
+    ) {
+        let slot = id.slot;
+        let conn = self.conn_mut(id).expect("attach_engine: unknown conn");
+        assert!(
+            conn.session.is_none(),
+            "attach_engine: session already attached"
+        );
+        let budgeted = opts.limits.is_some() || opts.cancel.is_some();
+        let now = Instant::now();
+        let stats_before = opts.metrics.is_some().then(|| lane_stats(&conn.lane));
+        let bytes_before = if budgeted {
+            lane_stats(&conn.lane).total_bytes()
+        } else {
+            0
+        };
+        let rounds_before = engine.rounds();
+        conn.idle_deadline = None;
+        conn.session = Some(Session {
+            engine,
+            transcript: opts.recording.then(Transcript::new),
+            metrics: opts.metrics,
+            limits: opts.limits.unwrap_or_default(),
+            budgeted,
+            cancel: opts.cancel,
+            per_recv: opts.timeout.unwrap_or(DEFAULT_PER_RECV),
+            started: now,
+            recv_started: now,
+            bytes_before,
+            frames_delivered: 0,
+            last_kind: None,
+            stats_before,
+            rounds_before,
+        });
+        self.active_sessions += 1;
+        self.ready_next.push(slot);
+    }
+
+    /// Answers a pending connection with one [`KIND_BUSY`] frame — the
+    /// admission-control shed. Send failures are reported but the
+    /// connection stays open (the blocking serve loop ignores them
+    /// too).
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure from the underlying lane.
+    pub fn send_busy(&mut self, id: ConnId) -> Result<(), TransportError> {
+        let Some(conn) = self.conn_mut(id) else {
+            return Err(TransportError::Disconnected);
+        };
+        let frame = Frame {
+            kind: KIND_BUSY,
+            payload: bytes::Bytes::new(),
+        };
+        match &mut conn.lane {
+            ConnLane::Tcp(nb) => {
+                nb.queue(&frame)?;
+                nb.flush().map(|_| ())
+            }
+            ConnLane::Mem(l) => l.send(frame),
+        }
+    }
+
+    /// Closes and removes a connection. An in-flight session's engine
+    /// is dropped on the floor — drain logic should prefer cancel
+    /// tokens, which produce a structured Budget error instead.
+    pub fn close(&mut self, id: ConnId) {
+        let Some(s) = self.slots.get_mut(id.slot as usize) else {
+            return;
+        };
+        if s.epoch != id.epoch {
+            return;
+        }
+        let Some(conn) = s.conn.take() else {
+            return;
+        };
+        s.epoch = s.epoch.wrapping_add(1);
+        s.queued = false;
+        self.free.push(id.slot);
+        self.conns -= 1;
+        if conn.session.is_some() {
+            self.active_sessions -= 1;
+        }
+        match conn.lane {
+            ConnLane::Tcp(_) => self.reactor.deregister(u64::from(id.slot)),
+            ConnLane::Mem(_) => self.mem_conns -= 1,
+        }
+    }
+
+    /// Sessions currently attached and not yet finished.
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions
+    }
+
+    /// Open connections (pending + active).
+    pub fn conns(&self) -> usize {
+        self.conns
+    }
+
+    /// Every open connection id, in slot order.
+    pub fn conn_ids(&self) -> Vec<ConnId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.conn.is_some())
+            .map(|(i, s)| ConnId {
+                slot: i as u32,
+                epoch: s.epoch,
+            })
+            .collect()
+    }
+
+    /// Whether `id` still names an open connection.
+    pub fn is_open(&self, id: ConnId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|s| s.epoch == id.epoch && s.conn.is_some())
+    }
+
+    /// Whether `id` is an open connection with no session attached.
+    pub fn is_pending(&self, id: ConnId) -> bool {
+        self.slots.get(id.slot as usize).is_some_and(|s| {
+            s.epoch == id.epoch && s.conn.as_ref().is_some_and(|c| c.session.is_none())
+        })
+    }
+
+    /// One reactor turn: waits up to `max_wait` for readiness (bounded
+    /// by the next timer deadline and pending work), services every
+    /// ready connection, and returns what happened. An empty vector
+    /// means the turn was quiet — poll again.
+    pub fn poll(&mut self, max_wait: Duration) -> Vec<AsyncEvent<T, E>> {
+        let mut events = Vec::new();
+        let now = Instant::now();
+
+        // Bound the wait by whichever comes first: the caller's cap,
+        // the next armed timer, the mem-lane probe cadence, or pending
+        // ready work (which needs a zero wait).
+        let mut wait = max_wait;
+        if let Some(due) = self.wheel.next_due(now) {
+            wait = wait.min(due);
+        }
+        if self.mem_conns > 0 {
+            wait = wait.min(MEM_POLL_SLICE);
+        }
+        if !self.ready_next.is_empty() {
+            wait = Duration::ZERO;
+        }
+
+        let mut revents: Vec<ReactorEvent> = Vec::new();
+        self.reactor.wait(Some(wait), &mut revents);
+        if let Some(reg) = &self.metrics {
+            reg.record_reactor_wakeup();
+            reg.record_reactor_events(revents.len() as u64);
+        }
+
+        // Accept new inbound connections first so their registration
+        // precedes any frame they might already have sent.
+        let saw_listener = revents.iter().any(|e| e.token == LISTEN_TOKEN);
+        if self.listener.is_some() && (saw_listener || !self.reactor.is_epoll()) {
+            self.accept_all(&mut events);
+        }
+
+        // Collect the service set: explicit readiness, fired timers,
+        // carried-over ready work, and every mem lane.
+        let mut ready: Vec<u32> = Vec::new();
+        let mut enqueue = |slots: &mut Vec<Slot<'d, T, E>>, slot: u32| {
+            if let Some(s) = slots.get_mut(slot as usize) {
+                if s.conn.is_some() && !s.queued {
+                    s.queued = true;
+                    ready.push(slot);
+                }
+            }
+        };
+        for ev in &revents {
+            if ev.token == LISTEN_TOKEN || ev.token >= u32::MAX as u64 {
+                continue;
+            }
+            enqueue(&mut self.slots, ev.token as u32);
+        }
+        let mut due: Vec<(u64, u64)> = Vec::new();
+        self.wheel.advance(Instant::now(), &mut due);
+        for (token, generation) in due {
+            let slot = token as u32;
+            let live = self
+                .slots
+                .get(slot as usize)
+                .and_then(|s| s.conn.as_ref())
+                .is_some_and(|c| c.timer_gen == generation);
+            if live {
+                if let Some(reg) = &self.metrics {
+                    reg.record_timer_fire();
+                }
+                enqueue(&mut self.slots, slot);
+            }
+        }
+        for slot in std::mem::take(&mut self.ready_next) {
+            enqueue(&mut self.slots, slot);
+        }
+        if self.mem_conns > 0 {
+            for slot in 0..self.slots.len() as u32 {
+                let is_mem = self.slots[slot as usize]
+                    .conn
+                    .as_ref()
+                    .is_some_and(|c| matches!(c.lane, ConnLane::Mem(_)));
+                if is_mem {
+                    enqueue(&mut self.slots, slot);
+                }
+            }
+        }
+
+        for slot in ready {
+            self.slots[slot as usize].queued = false;
+            self.service(slot, &mut events);
+        }
+        events
+    }
+
+    /// Drives every attached session to completion, collecting their
+    /// results; pending connections are left untouched. The client-side
+    /// fan-out convenience used by tests and benchmarks.
+    pub fn drive_all(&mut self) -> Vec<(ConnId, Result<T, E>, Option<Transcript>)> {
+        let mut done = Vec::new();
+        while self.active_sessions > 0 {
+            for ev in self.poll(Duration::from_millis(100)) {
+                if let AsyncEvent::Finished {
+                    conn,
+                    result,
+                    transcript,
+                } = ev
+                {
+                    done.push((conn, result, transcript));
+                }
+            }
+        }
+        done
+    }
+
+    fn accept_all(&mut self, events: &mut Vec<AsyncEvent<T, E>>) {
+        loop {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => match self.add_tcp(stream) {
+                    Ok(conn) => events.push(AsyncEvent::Accepted { conn }),
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Services one connection: fill + flush its transport, then pump
+    /// its session (or deliver pending frames).
+    fn service(&mut self, slot: u32, events: &mut Vec<AsyncEvent<T, E>>) {
+        let epoch = self.slots[slot as usize].epoch;
+        let id = ConnId { slot, epoch };
+        let Some(conn) = self.slots[slot as usize].conn.as_mut() else {
+            return;
+        };
+        conn.timer_gen += 1;
+
+        // Pull everything the transport has; sticky failures surface
+        // through try_recv below.
+        let fill_err = match &mut conn.lane {
+            ConnLane::Tcp(nb) => {
+                let r = nb.fill();
+                if nb.wants_write() {
+                    let _ = nb.flush();
+                }
+                r.err()
+            }
+            ConnLane::Mem(_) => None,
+        };
+
+        if conn.session.is_some() {
+            let outcome = pump(conn);
+            match outcome {
+                PumpOutcome::Parked { wake_at } => {
+                    if let Some(at) = wake_at {
+                        if matches!(conn.lane, ConnLane::Tcp(_)) {
+                            self.wheel.arm(at, u64::from(slot), conn.timer_gen);
+                        }
+                    }
+                }
+                PumpOutcome::Finished(boxed) => {
+                    let (result, transcript) = *boxed;
+                    conn.session = None;
+                    self.active_sessions -= 1;
+                    let buffered = match &conn.lane {
+                        ConnLane::Tcp(nb) => nb.has_buffered(),
+                        ConnLane::Mem(_) => false,
+                    };
+                    if buffered {
+                        self.ready_next.push(slot);
+                    }
+                    events.push(AsyncEvent::Finished {
+                        conn: id,
+                        result,
+                        transcript,
+                    });
+                }
+            }
+            return;
+        }
+
+        // Pending connection: deliver at most one frame per turn so the
+        // caller can react (admit / shed / close) before the next one.
+        match lane_try_recv(&mut conn.lane) {
+            Ok(Some(frame)) => {
+                let buffered = match &conn.lane {
+                    ConnLane::Tcp(nb) => nb.has_buffered(),
+                    ConnLane::Mem(_) => true,
+                };
+                if buffered {
+                    self.ready_next.push(slot);
+                }
+                events.push(AsyncEvent::Opening { conn: id, frame });
+            }
+            Ok(None) => {
+                if let Some(deadline) = conn.idle_deadline {
+                    if Instant::now() >= deadline {
+                        conn.idle_deadline = None;
+                        events.push(AsyncEvent::IdleExpired { conn: id });
+                    } else if matches!(conn.lane, ConnLane::Tcp(_)) {
+                        self.wheel.arm(deadline, u64::from(slot), conn.timer_gen);
+                    }
+                }
+            }
+            Err(TransportError::Disconnected) => {
+                events.push(AsyncEvent::Closed { conn: id });
+                self.close(id);
+            }
+            Err(e) => {
+                let fatal = matches!(conn.lane, ConnLane::Tcp(_));
+                events.push(AsyncEvent::Malformed {
+                    conn: id,
+                    error: fill_err.unwrap_or(e),
+                });
+                if fatal {
+                    self.close(id);
+                }
+            }
+        }
+    }
+}
+
+impl<T, E> std::fmt::Debug for AsyncDriver<'_, T, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncDriver")
+            .field("conns", &self.conns)
+            .field("active_sessions", &self.active_sessions)
+            .field("epoll", &self.reactor.is_epoll())
+            .finish()
+    }
+}
+
+fn lane_stats(lane: &ConnLane<'_>) -> TrafficStats {
+    match lane {
+        ConnLane::Tcp(nb) => nb.stats(),
+        ConnLane::Mem(l) => l.stats(),
+    }
+}
+
+/// Nonblocking receive: `Ok(None)` = nothing yet (never `Timeout` —
+/// deadlines are the timer wheel's job, see the normalization notes in
+/// `tcp.rs`).
+fn lane_try_recv(lane: &mut ConnLane<'_>) -> Result<Option<Frame>, TransportError> {
+    match lane {
+        ConnLane::Tcp(nb) => {
+            nb.fill()?;
+            nb.try_recv()
+        }
+        ConnLane::Mem(l) => {
+            l.set_recv_timeout(Some(Duration::ZERO));
+            match l.recv() {
+                Ok(f) => Ok(Some(f)),
+                Err(TransportError::Timeout) => Ok(None),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+fn send_out(lane: &mut ConnLane<'_>, out: &Outgoing) -> Result<(), TransportError> {
+    match lane {
+        ConnLane::Tcp(nb) => {
+            match out {
+                Outgoing::Frame(f) => nb.queue(f)?,
+                Outgoing::Batch(fs) => nb.queue(&coalesce_frames(fs)?)?,
+            }
+            // Opportunistic flush: backpressure is not an error, the
+            // remainder rides the next writable event.
+            nb.flush().map(|_| ())
+        }
+        ConnLane::Mem(l) => match out {
+            Outgoing::Frame(f) => l.send(f.clone()),
+            Outgoing::Batch(fs) => l.send_coalesced(fs),
+        },
+    }
+}
+
+/// One session pump: a faithful mirror of the blocking
+/// `Driver::drive_loop`, stepping the engine, transmitting outputs,
+/// enforcing budgets (identical messages, identical order), and
+/// delivering frames — except that where the blocking loop would park
+/// the thread in a sliced `recv`, this returns
+/// [`PumpOutcome::Parked`] with the wake-up deadline for the timer
+/// wheel.
+fn pump<'d, T, E: From<TransportError>>(conn: &mut Conn<'d, T, E>) -> PumpOutcome<T, E> {
+    let lane = &mut conn.lane;
+    let s = conn.session.as_mut().expect("pump without session");
+    // Engines poll on this thread, so installing the session's
+    // collector here captures every protocol-phase span.
+    let _collector = s.metrics.clone().map(ppcs_telemetry::install);
+    let result: Result<T, E> = loop {
+        if let Some(reg) = &s.metrics {
+            reg.record_polls(1);
+        }
+        let mut send_failure: Option<TransportError> = None;
+        while let Some(out) = s.engine.poll_output() {
+            if let Some(t) = &mut s.transcript {
+                t.record(Direction::Sent, &out);
+            }
+            if let Some(reg) = &s.metrics {
+                for f in out.frames() {
+                    reg.record_frame_size(f.payload.len() as u64);
+                }
+            }
+            s.last_kind = out.frames().last().map(|f| f.kind);
+            if let Err(e) = send_out(lane, &out) {
+                send_failure = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = send_failure {
+            s.engine.inject_failure(e.clone());
+            break match s.engine.take_result() {
+                Some(r) => r,
+                None => Err(E::from(e)),
+            };
+        }
+        if s.engine.is_done() {
+            break s.engine.take_result().expect("engine reported done");
+        }
+        if s.budgeted {
+            let wire = lane_stats(lane).total_bytes() - s.bytes_before;
+            if let Some(e) = budget_trip(s, wire) {
+                note_budget(s, &e);
+                break fail_engine(&mut s.engine, e);
+            }
+        }
+        match lane_try_recv(lane) {
+            Ok(Some(frame)) => {
+                if frame.kind == KIND_BUSY {
+                    // The peer shed this session before admission.
+                    break fail_engine(&mut s.engine, TransportError::Busy);
+                }
+                if let Some(t) = &mut s.transcript {
+                    t.record_received(&frame);
+                }
+                if let Some(reg) = &s.metrics {
+                    reg.record_frame_size(frame.payload.len() as u64);
+                }
+                s.frames_delivered += 1;
+                s.last_kind = Some(frame.kind);
+                s.engine.handle_input(frame);
+                s.recv_started = Instant::now();
+            }
+            Ok(None) => {
+                // Nothing to read. Either the per-recv deadline has
+                // truly elapsed (a Timeout, same meaning as on the
+                // blocking path) or the session parks until readiness
+                // or the next relevant deadline.
+                if s.recv_started.elapsed() >= s.per_recv {
+                    let e = TransportError::Timeout;
+                    if let Some(reg) = &s.metrics {
+                        reg.record_timeout();
+                    }
+                    ppcs_telemetry::warn_event(
+                        "recv timeout",
+                        s.last_kind,
+                        Some(s.engine.rounds()),
+                    );
+                    break fail_engine(&mut s.engine, e);
+                }
+                let mut wake = s.recv_started + s.per_recv;
+                if let Some(deadline) = s.limits.deadline {
+                    wake = wake.min(s.started + deadline);
+                }
+                if s.cancel.is_some() {
+                    wake = wake.min(Instant::now() + CANCEL_SLICE);
+                }
+                return PumpOutcome::Parked {
+                    wake_at: Some(wake),
+                };
+            }
+            Err(e) => {
+                if matches!(e, TransportError::Budget(_)) {
+                    note_budget(s, &e);
+                }
+                if e == TransportError::Timeout {
+                    if let Some(reg) = &s.metrics {
+                        reg.record_timeout();
+                    }
+                    ppcs_telemetry::warn_event(
+                        "recv timeout",
+                        s.last_kind,
+                        Some(s.engine.rounds()),
+                    );
+                }
+                s.engine.inject_failure(e.clone());
+                break match s.engine.take_result() {
+                    Some(r) => r,
+                    None => Err(E::from(e)),
+                };
+            }
+        }
+    };
+    if let Some(reg) = &s.metrics {
+        merge_wire_delta(
+            reg,
+            s.stats_before.as_ref().expect("snapshotted"),
+            &lane_stats(lane),
+        );
+        reg.record_rounds(s.engine.rounds() - s.rounds_before);
+    }
+    let transcript = s.transcript.take();
+    PumpOutcome::Finished(Box::new((result, transcript)))
+}
+
+/// The budget that has tripped, if any — cancel first (a drain cut
+/// overrides any remaining allowance), then wall-clock, frames, wire
+/// bytes, with messages identical to the blocking driver's.
+fn budget_trip<T, E>(s: &Session<'_, T, E>, wire_bytes: u64) -> Option<TransportError> {
+    if let Some(cancel) = &s.cancel {
+        if cancel.load(Ordering::Relaxed) {
+            return Some(TransportError::Budget(
+                "session cancelled (drain cut)".into(),
+            ));
+        }
+    }
+    if let Some(deadline) = s.limits.deadline {
+        if s.started.elapsed() >= deadline {
+            return Some(TransportError::Budget(format!(
+                "wall-clock deadline {deadline:?} elapsed"
+            )));
+        }
+    }
+    if let Some(max) = s.limits.max_frames {
+        if s.frames_delivered >= max {
+            return Some(TransportError::Budget(format!(
+                "frame budget {max} exhausted"
+            )));
+        }
+    }
+    if let Some(max) = s.limits.max_wire_bytes {
+        if wire_bytes > max {
+            return Some(TransportError::Budget(format!(
+                "wire-byte budget {max} exceeded ({wire_bytes} bytes moved)"
+            )));
+        }
+    }
+    None
+}
+
+fn note_budget<T, E>(s: &Session<'_, T, E>, e: &TransportError) {
+    if let Some(reg) = &s.metrics {
+        reg.record_budget_exceeded();
+    }
+    ppcs_telemetry::warn_event(&e.to_string(), s.last_kind, Some(s.engine.rounds()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::duplex;
+    use crate::driver::Driver;
+    use crate::engine::FrameIo;
+
+    /// A toy echo protocol: the responder doubles `rounds` numbers, the
+    /// requester checks them.
+    async fn requester(io: FrameIo, rounds: u64) -> Result<u64, TransportError> {
+        let mut acc = 0u64;
+        for i in 0..rounds {
+            io.send_msg(0x0100, &i)?;
+            let doubled: u64 = io.recv_msg(0x0101).await?;
+            if doubled != i * 2 {
+                return Err(TransportError::Decode(format!(
+                    "expected {} got {doubled}",
+                    i * 2
+                )));
+            }
+            acc += doubled;
+        }
+        Ok(acc)
+    }
+
+    async fn responder(io: FrameIo, rounds: u64) -> Result<u64, TransportError> {
+        for _ in 0..rounds {
+            let n: u64 = io.recv_msg(0x0100).await?;
+            io.send_msg(0x0101, &(n * 2))?;
+        }
+        Ok(rounds)
+    }
+
+    #[test]
+    fn async_matches_blocking_transcript_on_duplex() {
+        // Blocking baseline.
+        let (a1, b1) = duplex();
+        let baseline = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut engine = ProtocolEngine::new(|io| responder(io, 5));
+                Driver::new().drive(&b1, &mut engine).expect("responder")
+            });
+            let mut engine = ProtocolEngine::new(|io| requester(io, 5));
+            let mut driver = Driver::new().with_recording();
+            let result = driver.drive(&a1, &mut engine).expect("requester");
+            (result, driver.take_transcript().expect("recorded"))
+        });
+
+        // Async run, same roles, same seeds.
+        let (a2, b2) = duplex();
+        let (result, transcript) = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut engine = ProtocolEngine::new(|io| responder(io, 5));
+                Driver::new().drive(&b2, &mut engine).expect("responder")
+            });
+            let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+            let conn = ad.add_lane(&a2);
+            ad.attach_engine(
+                conn,
+                ProtocolEngine::new(|io| requester(io, 5)),
+                DriveOptions::new().with_recording(),
+            );
+            let mut done = ad.drive_all();
+            assert_eq!(done.len(), 1);
+            let (id, result, transcript) = done.pop().expect("one session");
+            assert_eq!(id, conn);
+            (result.expect("requester"), transcript.expect("recorded"))
+        });
+
+        assert_eq!(result, baseline.0);
+        assert_eq!(transcript, baseline.1, "byte-identical transcripts");
+        assert_eq!(transcript.to_bytes(), baseline.1.to_bytes());
+    }
+
+    #[test]
+    fn async_multiplexes_many_duplex_sessions_on_one_thread() {
+        const N: usize = 32;
+        let pairs: Vec<_> = (0..N).map(|_| duplex()).collect();
+        std::thread::scope(|scope| {
+            for (_, b) in &pairs {
+                scope.spawn(move || {
+                    let mut engine = ProtocolEngine::new(|io| responder(io, 3));
+                    Driver::new().drive(b, &mut engine).expect("responder")
+                });
+            }
+            let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+            for (a, _) in &pairs {
+                let conn = ad.add_lane(a);
+                ad.attach_engine(
+                    conn,
+                    ProtocolEngine::new(|io| requester(io, 3)),
+                    DriveOptions::new(),
+                );
+            }
+            let done = ad.drive_all();
+            assert_eq!(done.len(), N);
+            for (_, result, _) in done {
+                assert_eq!(result.expect("session"), 0 + 2 + 4);
+            }
+        });
+    }
+
+    #[test]
+    fn async_tcp_session_against_blocking_peer() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let ep = crate::tcp::tcp_accept(&listener).expect("accept");
+                let mut engine = ProtocolEngine::new(|io| responder(io, 4));
+                Driver::new().drive(&ep, &mut engine).expect("responder")
+            });
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+            let conn = ad.add_tcp(stream).expect("add");
+            ad.attach_engine(
+                conn,
+                ProtocolEngine::new(|io| requester(io, 4)),
+                DriveOptions::new(),
+            );
+            let done = ad.drive_all();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].1.as_ref().expect("result"), &(0 + 2 + 4 + 6));
+        });
+    }
+
+    #[test]
+    fn budget_messages_match_the_blocking_driver() {
+        // Frame budget: the engine wants 3 exchanges, the budget allows
+        // one delivered frame.
+        let (a, b) = duplex();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut engine = ProtocolEngine::new(|io| responder(io, 3));
+                let _ = Driver::new().drive(&b, &mut engine);
+            });
+            let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+            let conn = ad.add_lane(&a);
+            ad.attach_engine(
+                conn,
+                ProtocolEngine::new(|io| requester(io, 3)),
+                DriveOptions::new().with_limits(SessionLimits::unlimited().with_max_frames(1)),
+            );
+            let done = ad.drive_all();
+            let err = done[0].1.as_ref().expect_err("budget must trip");
+            assert_eq!(
+                err,
+                &TransportError::Budget("frame budget 1 exhausted".into()),
+                "identical message to the blocking driver"
+            );
+        });
+    }
+
+    #[test]
+    fn cancel_token_cuts_a_parked_session() {
+        let (a, _b) = duplex();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+        let conn = ad.add_lane(&a);
+        ad.attach_engine(
+            conn,
+            ProtocolEngine::new(|io| requester(io, 1)),
+            DriveOptions::new().with_cancel(cancel.clone()),
+        );
+        // Let it park waiting for the reply that will never come.
+        let _ = ad.poll(Duration::from_millis(5));
+        cancel.store(true, Ordering::Release);
+        let started = Instant::now();
+        let done = loop {
+            let mut finished = Vec::new();
+            for ev in ad.poll(Duration::from_millis(20)) {
+                if let AsyncEvent::Finished { result, .. } = ev {
+                    finished.push(result);
+                }
+            }
+            if !finished.is_empty() {
+                break finished;
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "cancel never observed"
+            );
+        };
+        let err = done[0].as_ref().expect_err("cancelled");
+        assert_eq!(
+            err,
+            &TransportError::Budget("session cancelled (drain cut)".into())
+        );
+    }
+
+    #[test]
+    fn per_recv_timeout_comes_from_the_timer_wheel() {
+        let (a, _b) = duplex();
+        let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+        let conn = ad.add_lane(&a);
+        ad.attach_engine(
+            conn,
+            ProtocolEngine::new(|io| requester(io, 1)),
+            DriveOptions::new().with_timeout(Duration::from_millis(30)),
+        );
+        let started = Instant::now();
+        let done = ad.drive_all();
+        assert!(
+            started.elapsed() >= Duration::from_millis(25),
+            "deadline observed, not WouldBlock-as-Timeout"
+        );
+        let err = done[0].1.as_ref().expect_err("timed out");
+        assert_eq!(err, &TransportError::Timeout);
+    }
+
+    #[test]
+    fn busy_frame_translates_to_busy_error() {
+        let (a, b) = duplex();
+        let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+        let conn = ad.add_lane(&a);
+        ad.attach_engine(
+            conn,
+            ProtocolEngine::new(|io| requester(io, 1)),
+            DriveOptions::new(),
+        );
+        b.send(Frame {
+            kind: KIND_BUSY,
+            payload: bytes::Bytes::new(),
+        })
+        .expect("send busy");
+        let done = ad.drive_all();
+        assert_eq!(done[0].1.as_ref().expect_err("shed"), &TransportError::Busy);
+    }
+
+    #[test]
+    fn pending_lane_surfaces_opening_frame_and_idle_expiry() {
+        let (a, b) = duplex();
+        let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+        let conn = ad.add_lane(&a);
+        ad.set_idle_deadline(conn, Some(Duration::from_millis(40)));
+        b.send(Frame::encode(0x0500, &7u64)).expect("send hello");
+        let started = Instant::now();
+        let frame = 'outer: loop {
+            for ev in ad.poll(Duration::from_millis(10)) {
+                if let AsyncEvent::Opening { conn: c, frame } = ev {
+                    assert_eq!(c, conn);
+                    break 'outer frame;
+                }
+            }
+            assert!(started.elapsed() < Duration::from_secs(5), "no opening");
+        };
+        assert_eq!(frame.kind, 0x0500);
+        // No engine attached, no more frames: the idle deadline fires.
+        ad.set_idle_deadline(conn, Some(Duration::from_millis(30)));
+        let started = Instant::now();
+        'idle: loop {
+            for ev in ad.poll(Duration::from_millis(10)) {
+                if let AsyncEvent::IdleExpired { conn: c } = ev {
+                    assert_eq!(c, conn);
+                    break 'idle;
+                }
+            }
+            assert!(started.elapsed() < Duration::from_secs(5), "no idle event");
+        }
+    }
+
+    #[test]
+    fn closed_conn_ids_are_not_reused_against_stale_handles() {
+        let (a, b) = duplex();
+        let (c, _d) = duplex();
+        let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+        let first = ad.add_lane(&a);
+        ad.close(first);
+        let second = ad.add_lane(&c);
+        assert_ne!(first, second, "epoch distinguishes the recycled slot");
+        assert!(!ad.is_open(first));
+        assert!(ad.is_open(second));
+        drop(b);
+    }
+}

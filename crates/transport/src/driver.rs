@@ -231,7 +231,7 @@ impl Transcript {
         Self::default()
     }
 
-    fn record(&mut self, direction: Direction, out: &Outgoing) {
+    pub(crate) fn record(&mut self, direction: Direction, out: &Outgoing) {
         let (coalesced, frames) = match out {
             Outgoing::Frame(f) => (false, vec![f.clone()]),
             Outgoing::Batch(fs) => (true, fs.clone()),
@@ -243,7 +243,7 @@ impl Transcript {
         });
     }
 
-    fn record_received(&mut self, frame: &Frame) {
+    pub(crate) fn record_received(&mut self, frame: &Frame) {
         self.entries.push(TranscriptEntry {
             direction: Direction::Received,
             coalesced: false,
@@ -785,7 +785,7 @@ impl Driver {
 /// Feeds the change in an endpoint's traffic counters across one drive
 /// into a registry, kind by kind. Deltas (not absolutes) make repeated
 /// drives and concurrent lanes over shared registries compose.
-fn merge_wire_delta(reg: &MetricsRegistry, before: &TrafficStats, after: &TrafficStats) {
+pub(crate) fn merge_wire_delta(reg: &MetricsRegistry, before: &TrafficStats, after: &TrafficStats) {
     for k in &after.by_kind {
         let (fs0, bs0, fr0, br0) = match before.kind(k.kind) {
             Some(b) => (
@@ -814,7 +814,10 @@ fn merge_wire_delta(reg: &MetricsRegistry, before: &TrafficStats, after: &Traffi
 /// Terminates a session on an unrecoverable transport error: the failure
 /// is injected so the role surfaces its own typed error if it can, with
 /// the raw transport error as the fallback.
-fn fail_engine<T, E>(engine: &mut ProtocolEngine<'_, T, E>, e: TransportError) -> Result<T, E>
+pub(crate) fn fail_engine<T, E>(
+    engine: &mut ProtocolEngine<'_, T, E>,
+    e: TransportError,
+) -> Result<T, E>
 where
     E: From<TransportError>,
 {

@@ -29,16 +29,24 @@
 //! assert_eq!(bytes_sent, (hello.len() + 8 + Frame::HEADER_LEN) as u64);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll reactor needs one `#[allow]`d
+// module of raw syscall shims (`reactor::sys`) because the workspace is
+// fully vendored and does not ship libc bindings. Everything else in the
+// crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod async_driver;
 mod channel;
 mod driver;
 mod engine;
 mod error;
 mod fault;
+mod reactor;
 mod tcp;
 mod wire;
+
+pub use async_driver::{AsyncDriver, AsyncEvent, ConnId, DriveOptions};
 
 pub use channel::{
     coalesce_frames, duplex, duplex_pool, run_pair, Endpoint, Frame, KindTraffic, Lane,
@@ -51,5 +59,6 @@ pub use driver::{
 pub use engine::{Engine, FrameIo, Outgoing, ProtocolEngine, RecvFut};
 pub use error::{ErrorLayer, ProtocolError, TransportError};
 pub use fault::{faulty_pair, FaultKind, FaultSchedule, FaultStats, FaultyLane, KIND_CHAOS};
+pub use reactor::{Reactor, ReactorEvent, TimerWheel, Waker};
 pub use tcp::{tcp_accept, tcp_connect};
 pub use wire::{decode_seq, encode_seq, Encodable};

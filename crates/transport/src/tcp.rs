@@ -103,6 +103,23 @@ impl TcpConnection {
     }
 }
 
+/// Classifies an I/O error from a **blocking** socket.
+///
+/// ## `WouldBlock` vs `TimedOut` normalization
+///
+/// On a blocking socket armed with a read deadline (`SO_RCVTIMEO`), an
+/// expired deadline is reported as `WouldBlock` on Linux/BSD and
+/// `TimedOut` on Windows — the *same* condition under two names — so
+/// both map to [`TransportError::Timeout`] here and `Timeout` always
+/// means "the configured receive deadline elapsed".
+///
+/// On a **nonblocking** socket the same `WouldBlock` code means merely
+/// "no data yet", which is not an error at all, let alone a timeout.
+/// [`NbConn`] therefore intercepts `WouldBlock` before classification
+/// (see [`nb_would_block`]) and surfaces `Timeout` only when the async
+/// driver's timer wheel says the per-receive deadline truly elapsed —
+/// keeping `TransportError::Timeout` identical in meaning across the
+/// blocking and async paths.
 fn io_err(e: std::io::Error) -> TransportError {
     match e.kind() {
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => TransportError::Timeout,
@@ -111,6 +128,230 @@ fn io_err(e: std::io::Error) -> TransportError {
         | std::io::ErrorKind::BrokenPipe
         | std::io::ErrorKind::ConnectionAborted => TransportError::Disconnected,
         _ => TransportError::Io(e.to_string()),
+    }
+}
+
+/// Whether `e` is the nonblocking "no data yet" condition that must
+/// **not** be classified as a timeout. `Interrupted` is grouped here
+/// because the right response is the same: try again later.
+fn nb_would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// A **nonblocking** framed TCP connection for the async serving path:
+/// an incremental frame parser on the read side and a flush-on-ready
+/// backpressure queue on the write side, speaking the exact wire format
+/// of the blocking [`TcpConnection`] (`kind u16 LE | len u32 LE |
+/// payload`, coalesced batches under
+/// [`KIND_COALESCED`](crate::KIND_COALESCED)).
+///
+/// All methods are try-style and never block: reads drain the socket to
+/// `WouldBlock` (as edge-triggered registration requires), writes queue
+/// and flush as far as the kernel accepts. Per the normalization
+/// documented on [`io_err`], `WouldBlock` here is "not ready" — a
+/// [`TransportError::Timeout`] can only be imposed from above by the
+/// async driver's timer wheel.
+#[derive(Debug)]
+pub(crate) struct NbConn {
+    stream: TcpStream,
+    /// Raw inbound bytes not yet parsed into frames.
+    read_buf: Vec<u8>,
+    /// Parsed logical frames (coalesced batches already unpacked),
+    /// ready for delivery.
+    parsed: std::collections::VecDeque<Frame>,
+    /// Encoded outbound bytes the kernel has not accepted yet;
+    /// `write_pos` marks the flushed prefix.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// The peer half-closed the stream (read side saw EOF).
+    eof: bool,
+    /// A fatal framing/socket failure; sticky, reported from every
+    /// subsequent call.
+    failed: Option<TransportError>,
+    stats: std::sync::Arc<crate::channel::SharedStats>,
+}
+
+impl NbConn {
+    /// Chunk size for socket reads.
+    const READ_CHUNK: usize = 64 * 1024;
+
+    pub(crate) fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true).map_err(io_err)?;
+        stream.set_nonblocking(true).map_err(io_err)?;
+        Ok(Self {
+            stream,
+            read_buf: Vec::new(),
+            parsed: std::collections::VecDeque::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            eof: false,
+            failed: None,
+            stats: std::sync::Arc::new(crate::channel::SharedStats::default()),
+        })
+    }
+
+    pub(crate) fn fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    /// Snapshot of wire-traffic counters (sends counted when queued,
+    /// matching the blocking endpoint's count-at-`send` accounting).
+    pub(crate) fn stats(&self) -> crate::channel::TrafficStats {
+        self.stats.snapshot()
+    }
+
+    /// Reads everything the socket has (to `WouldBlock`) and parses
+    /// complete frames. Call on every readable event — edge-triggered
+    /// registration delivers no second chance.
+    pub(crate) fn fill(&mut self) -> Result<(), TransportError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let mut chunk = [0u8; Self::READ_CHUNK];
+        loop {
+            match std::io::Read::read(&mut self.stream, &mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if nb_would_block(&e) => break,
+                Err(e) => {
+                    // A reset/abort on the read side is a disconnect,
+                    // never a timeout: classify with the blocking rules
+                    // minus the WouldBlock arm filtered above.
+                    let err = io_err(e);
+                    self.failed = Some(err.clone());
+                    return Err(err);
+                }
+            }
+        }
+        self.parse_frames()
+    }
+
+    /// Parses as many complete frames as the buffer holds.
+    fn parse_frames(&mut self) -> Result<(), TransportError> {
+        let mut pos = 0usize;
+        while self.read_buf.len() - pos >= Frame::HEADER_LEN {
+            let kind = u16::from_le_bytes(self.read_buf[pos..pos + 2].try_into().expect("2 bytes"));
+            let len =
+                u32::from_le_bytes(self.read_buf[pos + 2..pos + 6].try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD {
+                let err = TransportError::Decode(format!(
+                    "peer announced a {len}-byte frame, cap is {MAX_PAYLOAD}"
+                ));
+                self.failed = Some(err.clone());
+                return Err(err);
+            }
+            let total = Frame::HEADER_LEN + len as usize;
+            if self.read_buf.len() - pos < total {
+                break;
+            }
+            let payload =
+                Bytes::copy_from_slice(&self.read_buf[pos + Frame::HEADER_LEN..pos + total]);
+            pos += total;
+            let frame = Frame { kind, payload };
+            self.stats.record_received(kind, frame.wire_len() as u64);
+            if kind == crate::channel::KIND_COALESCED {
+                match crate::channel::uncoalesce(&frame.payload) {
+                    Ok(batch) => self.parsed.extend(batch),
+                    Err(e) => {
+                        self.failed = Some(e.clone());
+                        return Err(e);
+                    }
+                }
+            } else {
+                self.parsed.push_back(frame);
+            }
+        }
+        if pos == self.read_buf.len() {
+            self.read_buf.clear();
+        } else if pos > 0 {
+            self.read_buf.drain(..pos);
+        }
+        Ok(())
+    }
+
+    /// Pops the next parsed logical frame: `Ok(Some)` on a frame,
+    /// `Ok(None)` when the peer simply has not sent one yet,
+    /// `Err(Disconnected)` once the stream is drained *and* closed.
+    pub(crate) fn try_recv(&mut self) -> Result<Option<Frame>, TransportError> {
+        if let Some(f) = self.parsed.pop_front() {
+            return Ok(Some(f));
+        }
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if self.eof {
+            // A partial trailing frame is a truncated stream, exactly
+            // what the blocking path's read_exact reports.
+            return Err(TransportError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    /// Encodes `frame` onto the write queue and counts it as sent
+    /// (matching the blocking endpoint, which counts at `send` time).
+    /// Call [`flush`](Self::flush) to move bytes toward the kernel.
+    pub(crate) fn queue(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        let len: u32 = frame
+            .payload
+            .len()
+            .try_into()
+            .map_err(|_| TransportError::Decode("frame payload exceeds u32 length".into()))?;
+        if len > MAX_PAYLOAD {
+            return Err(TransportError::Decode(format!(
+                "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+            )));
+        }
+        self.write_buf.extend_from_slice(&frame.kind.to_le_bytes());
+        self.write_buf.extend_from_slice(&len.to_le_bytes());
+        self.write_buf.extend_from_slice(&frame.payload);
+        self.stats.record_sent(frame.kind, frame.wire_len() as u64);
+        Ok(())
+    }
+
+    /// Writes queued bytes until the kernel pushes back. `Ok(true)`
+    /// when the queue fully drained, `Ok(false)` when backpressure
+    /// remains and the next writable event must resume the flush.
+    pub(crate) fn flush(&mut self) -> Result<bool, TransportError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        while self.write_pos < self.write_buf.len() {
+            match std::io::Write::write(&mut self.stream, &self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    let err = TransportError::Disconnected;
+                    self.failed = Some(err.clone());
+                    return Err(err);
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if nb_would_block(&e) => return Ok(false),
+                Err(e) => {
+                    let err = io_err(e);
+                    self.failed = Some(err.clone());
+                    return Err(err);
+                }
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        Ok(true)
+    }
+
+    /// Whether backpressured bytes are waiting for a writable event.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Whether parsed frames are ready for immediate delivery (no
+    /// readiness event required).
+    pub(crate) fn has_buffered(&self) -> bool {
+        !self.parsed.is_empty()
     }
 }
 
@@ -227,5 +468,154 @@ mod tests {
         let big = vec![0xabu8; 1 << 20];
         client.send_msg(9, &big).expect("send");
         assert_eq!(server.recv_msg::<Vec<u8>>(9).expect("recv"), big);
+    }
+
+    fn raw_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (server, client)
+    }
+
+    #[test]
+    fn nb_conn_never_reports_timeout_for_would_block() {
+        // Satellite semantics: on the nonblocking path, "no data yet"
+        // is Ok(None), not TransportError::Timeout — a Timeout can only
+        // come from the async driver's timer wheel.
+        let (server, _client) = raw_pair();
+        let mut nb = NbConn::new(server).expect("nb conn");
+        nb.fill().expect("fill on an empty socket is not an error");
+        assert_eq!(nb.try_recv().expect("no frame is not an error"), None);
+        assert!(nb.flush().expect("empty flush"), "nothing queued");
+    }
+
+    #[test]
+    fn nb_conn_parses_incrementally_across_partial_reads() {
+        let (server, mut client) = raw_pair();
+        let mut nb = NbConn::new(server).expect("nb conn");
+        let frame = Frame::encode(5, &vec![7u8; 1000]);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&frame.kind.to_le_bytes());
+        wire.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&frame.payload);
+        // Feed the frame in two halves with a drain attempt in between.
+        use std::io::Write;
+        client.write_all(&wire[..500]).expect("first half");
+        client.flush().expect("flush");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while nb.read_buf.len() < 500 {
+            nb.fill().expect("fill");
+            assert!(std::time::Instant::now() < deadline, "first half lost");
+        }
+        assert_eq!(nb.try_recv().expect("partial"), None, "incomplete frame");
+        client.write_all(&wire[500..]).expect("second half");
+        client.flush().expect("flush");
+        let got = loop {
+            nb.fill().expect("fill");
+            if let Some(f) = nb.try_recv().expect("recv") {
+                break f;
+            }
+            assert!(std::time::Instant::now() < deadline, "frame never parsed");
+        };
+        assert_eq!(got, frame);
+        assert_eq!(nb.stats().bytes_received, frame.wire_len() as u64);
+    }
+
+    #[test]
+    fn nb_conn_unpacks_coalesced_batches() {
+        let (server, client) = raw_pair();
+        let mut nb = NbConn::new(server).expect("nb conn");
+        let sender = crate::Endpoint::from_tcp(client).expect("endpoint");
+        let frames = vec![Frame::encode(2, &1u64), Frame::encode(2, &2u64)];
+        sender.send_coalesced(&frames).expect("send");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            nb.fill().expect("fill");
+            while let Some(f) = nb.try_recv().expect("recv") {
+                got.push(f);
+            }
+            assert!(std::time::Instant::now() < deadline, "batch never arrived");
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn nb_conn_detects_disconnect_after_drain() {
+        let (server, client) = raw_pair();
+        let mut nb = NbConn::new(server).expect("nb conn");
+        let sender = crate::Endpoint::from_tcp(client).expect("endpoint");
+        sender.send(Frame::encode(1, &9u64)).expect("send");
+        drop(sender);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        // The queued frame is still delivered before the EOF surfaces.
+        let got = loop {
+            nb.fill().expect("fill");
+            if let Some(f) = nb.try_recv().expect("recv") {
+                break f;
+            }
+            assert!(std::time::Instant::now() < deadline, "frame never arrived");
+        };
+        assert_eq!(got.decode_as::<u64>(1).expect("decode"), 9);
+        loop {
+            nb.fill().expect("fill past EOF is not an error");
+            match nb.try_recv() {
+                Err(TransportError::Disconnected) => break,
+                Ok(None) => {}
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
+            assert!(std::time::Instant::now() < deadline, "EOF never surfaced");
+        }
+    }
+
+    #[test]
+    fn nb_conn_rejects_oversized_announcements_stickily() {
+        let (server, mut client) = raw_pair();
+        let mut nb = NbConn::new(server).expect("nb conn");
+        use std::io::Write;
+        let mut header = Vec::new();
+        header.extend_from_slice(&7u16.to_le_bytes());
+        header.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        client.write_all(&header).expect("write");
+        client.flush().expect("flush");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match nb.fill() {
+                Err(TransportError::Decode(msg)) => {
+                    assert!(msg.contains("cap"), "names the cap: {msg}");
+                    break;
+                }
+                Ok(()) => assert!(std::time::Instant::now() < deadline, "never rejected"),
+                Err(e) => panic!("expected Decode, got {e:?}"),
+            }
+        }
+        // Sticky: every subsequent call reports the same failure.
+        assert!(matches!(nb.try_recv(), Err(TransportError::Decode(_))));
+        assert!(matches!(nb.flush(), Err(TransportError::Decode(_))));
+    }
+
+    #[test]
+    fn nb_conn_flush_reports_backpressure_and_resumes() {
+        let (server, client) = raw_pair();
+        let mut nb = NbConn::new(server).expect("nb conn");
+        // Shrink buffers (best effort) and queue far more than the
+        // kernel will take in one gulp so flush must backpressure.
+        let big = Frame::encode(3, &vec![0x5au8; 4 << 20]);
+        nb.queue(&big).expect("queue");
+        assert!(nb.wants_write());
+        let receiver = crate::Endpoint::from_tcp(client).expect("endpoint");
+        let reader = std::thread::spawn(move || {
+            receiver.set_recv_timeout(Some(Duration::from_secs(10)));
+            receiver.recv().expect("receive the big frame")
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !nb.flush().expect("flush") {
+            assert!(std::time::Instant::now() < deadline, "flush never drained");
+        }
+        assert!(!nb.wants_write());
+        let got = reader.join().expect("reader thread");
+        assert_eq!(got, big);
+        assert_eq!(nb.stats().bytes_sent, big.wire_len() as u64);
     }
 }
