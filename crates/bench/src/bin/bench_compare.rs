@@ -5,7 +5,7 @@
 //! bench_compare <baseline.json> <fresh.json> [p50_tol]
 //! ```
 //!
-//! Both files must be valid `ppcs-bench/v1` artifacts for the same
+//! Both files must be valid `ppcs-bench/v2` (or legacy `v1`) artifacts for the same
 //! workload. The gate fails (exit code 1) when the fresh p50 exceeds
 //! `baseline * (1 + p50_tol)` (default tolerance 0.15) or when wire
 //! bytes per iteration grow at all; see

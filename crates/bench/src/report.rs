@@ -1,17 +1,24 @@
 //! Machine-readable bench artifacts.
 //!
-//! The `bench_classification` / `bench_similarity` binaries emit one
-//! `BENCH_<name>.json` file each, built from a telemetry
-//! [`SessionReport`] plus per-iteration wall-clock latencies. The schema
-//! is versioned (`"ppcs-bench/v1"`) and [`validate_bench_json`] checks
-//! it structurally, so CI can assert the artifacts stay well-formed
-//! without parsing them ad hoc.
+//! The `bench_classification` / `bench_similarity` / `bench_serving`
+//! binaries emit one `BENCH_<name>.json` file each, built from a
+//! telemetry [`SessionReport`] plus per-iteration wall-clock latencies.
+//! The schema is versioned (`"ppcs-bench/v2"`, which added the optional
+//! reactor-health block; v1 documents still validate and compare) and
+//! [`validate_bench_json`] checks it structurally, so CI can assert the
+//! artifacts stay well-formed without parsing them ad hoc.
 
 use ppcs_telemetry::json::{num, obj, Json};
 use ppcs_telemetry::SessionReport;
 
-/// Schema tag every artifact carries.
-pub const BENCH_SCHEMA: &str = "ppcs-bench/v1";
+/// Schema tag every artifact carries. v2 added the optional `reactor`
+/// block (loop-lag / event-batch / drift quantiles).
+pub const BENCH_SCHEMA: &str = "ppcs-bench/v2";
+
+/// The previous schema tag, still accepted by the validator and the
+/// baseline side of [`compare_bench_json`] so committed v1 baselines
+/// keep gating fresh v2 runs.
+pub const BENCH_SCHEMA_V1: &str = "ppcs-bench/v1";
 
 /// Telemetry-on vs telemetry-off wall-clock comparison for the same
 /// workload, quantifying the cost of the instrumentation itself.
@@ -105,6 +112,29 @@ impl BenchArtifact {
                 Json::parse(&self.session.to_json()).expect("SessionReport emits valid JSON"),
             ),
         ];
+        if !self.session.reactor_health.is_empty() {
+            // Reactor-health quantiles (v2): one entry per recorded
+            // metric, e.g. loop_lag_ns / event_batch / timer_drift_ns.
+            fields.push((
+                "reactor",
+                obj(self
+                    .session
+                    .reactor_health
+                    .iter()
+                    .map(|h| {
+                        (
+                            h.name.as_str(),
+                            obj(vec![
+                                ("count", num(h.count)),
+                                ("p50", num(h.p50)),
+                                ("p95", num(h.p95)),
+                                ("max", num(h.max)),
+                            ]),
+                        )
+                    })
+                    .collect()),
+            ));
+        }
         if let Some(o) = &self.overhead {
             fields.push((
                 "overhead",
@@ -152,9 +182,9 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let schema = require(&json, "schema")?
         .as_str()
         .ok_or("schema tag must be a string")?;
-    if schema != BENCH_SCHEMA {
+    if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
         return Err(format!(
-            "unknown schema {schema:?}, expected {BENCH_SCHEMA:?}"
+            "unknown schema {schema:?}, expected {BENCH_SCHEMA:?} (or legacy {BENCH_SCHEMA_V1:?})"
         ));
     }
     let bench = require(&json, "bench")?
@@ -198,6 +228,22 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             report.bytes_sent(),
             report.bytes_received()
         ));
+    }
+
+    if let Some(reactor) = json.get("reactor") {
+        let entries = reactor
+            .as_object()
+            .ok_or("reactor block must be an object")?;
+        for (name, entry) in entries {
+            require_u64(entry, "count").map_err(|e| format!("reactor {name:?}: {e}"))?;
+            let p50 = require_u64(entry, "p50").map_err(|e| format!("reactor {name:?}: {e}"))?;
+            let p95 = require_u64(entry, "p95").map_err(|e| format!("reactor {name:?}: {e}"))?;
+            if p50 > p95 {
+                return Err(format!(
+                    "reactor {name:?} quantiles out of order: p50={p50} p95={p95}"
+                ));
+            }
+        }
     }
 
     if let Some(overhead) = json.get("overhead") {
@@ -333,6 +379,47 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_documents_still_validate_and_gate() {
+        let v2 = sample_artifact().to_json();
+        let v1 = v2.replace(BENCH_SCHEMA, BENCH_SCHEMA_V1);
+        validate_bench_json(&v1).unwrap();
+        // A committed v1 baseline gates a fresh v2 run.
+        compare_bench_json(&v1, &v2, 0.15).unwrap();
+    }
+
+    #[test]
+    fn reactor_health_lands_in_the_artifact_and_is_checked() {
+        use ppcs_telemetry::ReactorMetric;
+        let reg = MetricsRegistry::new(1, "trainer-server");
+        reg.record_rounds(1);
+        reg.record_wire(0x0500, WireDir::Sent, 1, 64);
+        reg.record_reactor(ReactorMetric::LoopLagNs, 1_000);
+        reg.record_reactor(ReactorMetric::EventBatch, 8);
+        let artifact = BenchArtifact {
+            bench: "serving".into(),
+            iterations: 1,
+            latency_ms: vec![5.0],
+            session: reg.report(),
+            overhead: None,
+        };
+        let text = artifact.to_json();
+        validate_bench_json(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let reactor = doc.get("reactor").expect("reactor block present");
+        let lag = reactor.get("loop_lag_ns").expect("loop lag entry");
+        assert_eq!(lag.get("count").and_then(Json::as_u64), Some(1));
+        assert!(reactor.get("event_batch").is_some());
+        // Disordered quantiles are rejected.
+        let bad = text.replace(
+            "\"reactor\":{",
+            "\"reactor\":{\"x\":{\"count\":1,\"p50\":9,\"p95\":1},",
+        );
+        assert!(validate_bench_json(&bad)
+            .unwrap_err()
+            .contains("out of order"));
+    }
+
+    #[test]
     fn quantiles_use_nearest_rank() {
         let v = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(quantile_ms(&v, 0.50), 2.0);
@@ -347,7 +434,7 @@ mod tests {
 
         // Flip the schema tag.
         let good = sample_artifact().to_json();
-        let bad = good.replace("ppcs-bench/v1", "ppcs-bench/v0");
+        let bad = good.replace("ppcs-bench/v2", "ppcs-bench/v0");
         assert!(validate_bench_json(&bad).unwrap_err().contains("schema"));
 
         // Break the wire-vs-session consistency check. The `wire` summary

@@ -32,7 +32,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use ppcs_math::Algebra;
 use ppcs_ot::{ObliviousTransfer, OtSelect};
-use ppcs_telemetry::MetricsRegistry;
+use ppcs_telemetry::{
+    FlightEventKind, FlightRecorder, MetricsRegistry, DETAIL_DRAIN_BEGAN, DETAIL_DRAIN_CUT,
+};
 use ppcs_transport::{
     AsyncDriver, AsyncEvent, ConnId, DriveOptions, Driver, Encodable, Frame, Lane, SessionLimits,
     TransportError, KIND_BUSY,
@@ -273,6 +275,13 @@ pub struct TrainerServer<'a, A: Algebra> {
     config: ServerConfig,
     supervisor: SessionSupervisor,
     metrics: Option<Arc<MetricsRegistry>>,
+    /// Post-mortem flight recorder shared with the async driver (and fed
+    /// directly by the blocking path, keyed by lane index).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// A `/metrics` endpoint listener handed to the next async serving
+    /// run. Interior mutability because the serve entry points take
+    /// `&self` but the driver consumes the listener.
+    metrics_endpoint: Mutex<Option<TcpListener>>,
 }
 
 impl<'a, A: Algebra> TrainerServer<'a, A>
@@ -287,6 +296,8 @@ where
             config,
             supervisor,
             metrics: None,
+            recorder: None,
+            metrics_endpoint: Mutex::new(None),
         }
     }
 
@@ -296,6 +307,31 @@ where
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a post-mortem flight recorder: admission, shedding,
+    /// budget trips, malformed input, timer fires, and drain state
+    /// transitions land in its fixed-size ring. At the end of an async
+    /// run the ring is dumped to the path in `PPCS_FLIGHT_OUT` (when
+    /// set); it can also be scraped live through
+    /// [`with_metrics_endpoint`](TrainerServer::with_metrics_endpoint)
+    /// at `GET /flightrecorder`.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Serves a live `/metrics` (Prometheus text exposition plus live
+    /// session table) and `/flightrecorder` endpoint on `listener`
+    /// during the **next** async serving run, multiplexed on the same
+    /// reactor thread as the protocol traffic. Bind to loopback unless
+    /// the scrape network is trusted: the surface never carries
+    /// payloads, but it is unauthenticated.
+    #[must_use]
+    pub fn with_metrics_endpoint(self, listener: TcpListener) -> Self {
+        *self.metrics_endpoint.lock().expect("metrics endpoint lock") = Some(listener);
         self
     }
 
@@ -435,6 +471,9 @@ where
                 if let Some(reg) = &self.metrics {
                     reg.record_session_shed();
                 }
+                if let Some(rec) = &self.recorder {
+                    rec.record(FlightEventKind::Shed, lane_idx as u32, 0, 0);
+                }
                 continue;
             };
             sup.inner.admitted.fetch_add(1, Ordering::Relaxed);
@@ -442,6 +481,11 @@ where
                 reg.record_session_admitted();
             }
             sessions += 1;
+            if let Some(rec) = &self.recorder {
+                // Blocking lanes have no ConnId; the lane index stands
+                // in for the slot (epoch 0).
+                rec.record(FlightEventKind::Admitted, lane_idx as u32, 0, sessions);
+            }
             let session_seed = seed
                 .wrapping_add(lane_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 .wrapping_add(sessions);
@@ -463,6 +507,9 @@ where
                     Some(TransportError::Budget(_)) => {
                         sup.inner.budget_exceeded.fetch_add(1, Ordering::Relaxed);
                         // The driver already counted it in the metrics.
+                        if let Some(rec) = &self.recorder {
+                            rec.record(FlightEventKind::BudgetTrip, lane_idx as u32, 0, sessions);
+                        }
                     }
                     Some(TransportError::Timeout) => {}
                     // Codec-level garbage mid-session.
@@ -501,6 +548,7 @@ where
         if let Some(reg) = &self.metrics {
             driver = driver.with_metrics(reg.clone());
         }
+        self.attach_observability(&mut driver)?;
         let mut meta: HashMap<ConnId, ConnMeta> = HashMap::new();
         for (i, lane) in lanes.iter().enumerate() {
             let id = driver.add_lane(lane as &dyn Lane);
@@ -534,10 +582,31 @@ where
         if let Some(reg) = &self.metrics {
             driver = driver.with_metrics(reg.clone());
         }
+        self.attach_observability(&mut driver)?;
         driver.listen(listener)?;
         let mut meta: HashMap<ConnId, ConnMeta> = HashMap::new();
         let served = self.pump_async(&mut driver, &mut meta, sel, seed, true);
         Ok(self.supervisor.summary(served))
+    }
+
+    /// Hands the configured flight recorder and `/metrics` listener to
+    /// the async driver about to run.
+    fn attach_observability<'s>(
+        &'s self,
+        driver: &mut AsyncDriver<'s, usize, PpcsError>,
+    ) -> Result<(), TransportError> {
+        if let Some(rec) = &self.recorder {
+            driver.set_flight_recorder(rec.clone());
+        }
+        let endpoint = self
+            .metrics_endpoint
+            .lock()
+            .expect("metrics endpoint lock")
+            .take();
+        if let Some(listener) = endpoint {
+            driver.listen_metrics(listener)?;
+        }
+        Ok(())
     }
 
     /// The shared event loop behind both async entry points.
@@ -569,6 +638,7 @@ where
             if sup.draining() {
                 if drain_started.is_none() {
                     drain_started = Some(Instant::now());
+                    self.record_run_transition(DETAIL_DRAIN_BEGAN);
                     // Admission is over. Pending (sessionless) connections
                     // get one short slice so a HELLO already in flight is
                     // still answered with `KIND_BUSY` — exactly the window
@@ -586,6 +656,7 @@ where
                     && drain_started.is_some_and(|t0| t0.elapsed() >= self.config.drain_deadline)
                 {
                     sup.force_cut();
+                    self.record_run_transition(DETAIL_DRAIN_CUT);
                 }
             }
             // While a drain grace period runs, wake at its deadline (or
@@ -723,7 +794,27 @@ where
                 }
             }
         }
+        // Post-mortem artifacts: dump the flight ring to
+        // `PPCS_FLIGHT_OUT` (when set) and flush any Chrome trace-out
+        // buffer (`PPCS_TRACE_OUT`). Both are no-ops when unset.
+        if let Some(rec) = &self.recorder {
+            if let Ok(path) = std::env::var("PPCS_FLIGHT_OUT") {
+                if !path.is_empty() {
+                    rec.dump_to_file(&path);
+                }
+            }
+        }
+        ppcs_telemetry::flush_trace_out();
         served
+    }
+
+    /// Records a run-level (not per-connection) state transition; the
+    /// sentinel slot `u32::MAX` marks events that belong to the serving
+    /// run itself, like drain begin/cut.
+    fn record_run_transition(&self, detail: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(FlightEventKind::StateTransition, u32::MAX, 0, detail);
+        }
     }
 
     fn note_malformed(&self) {

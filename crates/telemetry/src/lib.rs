@@ -54,16 +54,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exposition;
 mod hist;
 pub mod json;
+mod recorder;
 mod registry;
 mod report;
+mod scope;
 mod span;
 
 pub use hist::Histogram;
-pub use registry::{MetricsRegistry, Phase, WireDir, NUM_KIND_SLOTS};
-pub use report::{FrameSizeReport, KindReport, PhaseReport, SessionReport};
+pub use recorder::{
+    FlightEvent, FlightEventKind, FlightRecorder, DETAIL_CONN_CLOSED, DETAIL_DRAIN_BEGAN,
+    DETAIL_DRAIN_CUT, DETAIL_SESSION_ERR, DETAIL_SESSION_OK,
+};
+pub use registry::{MetricsRegistry, Phase, ReactorMetric, WireDir, NUM_KIND_SLOTS};
+pub use report::{FrameSizeReport, HealthReport, KindReport, PhaseReport, SessionReport};
+pub use scope::{
+    current_scope, flush_trace_out, install_scope, set_trace_out, trace_out_enabled,
+    CollectorGuard, TraceScope,
+};
 pub use span::{
     current, install, set_trace, set_trace_sink, span, trace_enabled, warn_event, with_collector,
-    CollectorGuard, SpanGuard, TraceSink,
+    SpanGuard, TraceSink,
 };

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::hist::Histogram;
-use crate::report::{FrameSizeReport, KindReport, PhaseReport, SessionReport};
+use crate::report::{FrameSizeReport, HealthReport, KindReport, PhaseReport, SessionReport};
 
 /// A protocol phase a span can cover.
 ///
@@ -66,6 +66,60 @@ impl Phase {
 
     fn index(self) -> usize {
         Phase::ALL.iter().position(|p| *p == self).unwrap()
+    }
+}
+
+/// A reactor-health dimension recorded as a log₂ histogram.
+///
+/// These are the event-loop vitals DESIGN §3.11 calls out: they answer
+/// "is the reactor keeping up" without touching any session payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReactorMetric {
+    /// Nanoseconds the event loop woke *late*: actual wakeup minus the
+    /// intended deadline passed to `epoll_wait` (0 when woken early by
+    /// readiness).
+    LoopLagNs,
+    /// Readiness events delivered per reactor wakeup.
+    EventBatch,
+    /// Nanoseconds between a timer's armed deadline and the wheel
+    /// advancing past it (wheel granularity + loop lag combined).
+    TimerDriftNs,
+    /// Bytes still queued in a connection's write buffer after a service
+    /// pass (0 = fully flushed; sustained growth = backpressure).
+    WriteBufDepth,
+    /// Nanoseconds a connection spent blocked on `EPOLLOUT` (from the
+    /// first short write until the buffer fully drained).
+    WritableStallNs,
+}
+
+impl ReactorMetric {
+    /// All reactor-health metrics, in report order.
+    pub const ALL: [ReactorMetric; 5] = [
+        ReactorMetric::LoopLagNs,
+        ReactorMetric::EventBatch,
+        ReactorMetric::TimerDriftNs,
+        ReactorMetric::WriteBufDepth,
+        ReactorMetric::WritableStallNs,
+    ];
+
+    /// The stable metric name for this dimension.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReactorMetric::LoopLagNs => "loop_lag_ns",
+            ReactorMetric::EventBatch => "event_batch",
+            ReactorMetric::TimerDriftNs => "timer_drift_ns",
+            ReactorMetric::WriteBufDepth => "write_buf_depth",
+            ReactorMetric::WritableStallNs => "writable_stall_ns",
+        }
+    }
+
+    /// Parses a stable metric name back into a dimension.
+    pub fn from_name(name: &str) -> Option<ReactorMetric> {
+        ReactorMetric::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    fn index(self) -> usize {
+        ReactorMetric::ALL.iter().position(|m| *m == self).unwrap()
     }
 }
 
@@ -141,6 +195,10 @@ pub struct MetricsRegistry {
     phase_ns: [Histogram; Phase::ALL.len()],
     frame_sizes: Histogram,
     kinds: [KindSlot; NUM_KIND_SLOTS],
+    reactor: [Histogram; ReactorMetric::ALL.len()],
+    /// `0` = no span opened yet; `i + 1` = `Phase::ALL[i]` was entered
+    /// last. Read by the live session table.
+    current_phase: AtomicU32,
 }
 
 impl MetricsRegistry {
@@ -168,6 +226,8 @@ impl MetricsRegistry {
             phase_ns: std::array::from_fn(|_| Histogram::new()),
             frame_sizes: Histogram::new(),
             kinds: std::array::from_fn(|_| KindSlot::default()),
+            reactor: std::array::from_fn(|_| Histogram::new()),
+            current_phase: AtomicU32::new(0),
         })
     }
 
@@ -256,6 +316,43 @@ impl MetricsRegistry {
     /// Records one closed span: `ns` of wall time spent in `phase`.
     pub fn record_phase_ns(&self, phase: Phase, ns: u64) {
         self.phase_ns[phase.index()].record(ns);
+    }
+
+    /// Records one observation of a reactor-health dimension.
+    pub fn record_reactor(&self, metric: ReactorMetric, value: u64) {
+        self.reactor[metric.index()].record(value);
+    }
+
+    /// The histogram backing a reactor-health dimension (read-only; the
+    /// Prometheus exposition renders bucket detail from it).
+    pub fn reactor_hist(&self, metric: ReactorMetric) -> &Histogram {
+        &self.reactor[metric.index()]
+    }
+
+    /// The per-phase wall-time histogram for `phase` (read-only).
+    pub fn phase_hist(&self, phase: Phase) -> &Histogram {
+        &self.phase_ns[phase.index()]
+    }
+
+    /// The frame payload-size histogram (read-only).
+    pub fn frame_size_hist(&self) -> &Histogram {
+        &self.frame_sizes
+    }
+
+    /// Marks `phase` as the session's most recently entered phase
+    /// (`None` clears it). Called by the span layer on open.
+    pub fn set_current_phase(&self, phase: Option<Phase>) {
+        let tag = phase.map_or(0, |p| p.index() as u32 + 1);
+        self.current_phase.store(tag, Ordering::Relaxed);
+    }
+
+    /// The most recently entered phase, if any span has opened — the
+    /// live session table reads this as "where is this session now".
+    pub fn current_phase(&self) -> Option<Phase> {
+        match self.current_phase.load(Ordering::Relaxed) {
+            0 => None,
+            tag => Phase::ALL.get(tag as usize - 1).copied(),
+        }
     }
 
     /// Accumulates wire traffic for one frame kind in one direction.
@@ -350,6 +447,22 @@ impl MetricsRegistry {
             });
         }
         kinds.sort_by_key(|k| k.kind);
+        let mut reactor_health = Vec::new();
+        for metric in ReactorMetric::ALL {
+            let h = &self.reactor[metric.index()];
+            if h.count() == 0 {
+                continue;
+            }
+            reactor_health.push(HealthReport {
+                name: metric.name().to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                p50: h.quantile(0.5),
+                p95: h.quantile(0.95),
+            });
+        }
         SessionReport {
             session: self.session,
             role: self.role.clone(),
@@ -377,6 +490,7 @@ impl MetricsRegistry {
             },
             phases,
             kinds,
+            reactor_health,
         }
     }
 }
@@ -448,6 +562,43 @@ mod tests {
         assert_eq!(report.frame_sizes.count, 8_000);
         let pc = report.phase("ompe.point_cloud").unwrap();
         assert_eq!(pc.count, 8000);
+    }
+
+    #[test]
+    fn reactor_metric_names_round_trip() {
+        for metric in ReactorMetric::ALL {
+            assert_eq!(ReactorMetric::from_name(metric.name()), Some(metric));
+        }
+        assert_eq!(ReactorMetric::from_name("nope"), None);
+    }
+
+    #[test]
+    fn reactor_health_lands_in_the_report() {
+        let reg = MetricsRegistry::new(2, "trainer-server");
+        reg.record_reactor(ReactorMetric::LoopLagNs, 1_000);
+        reg.record_reactor(ReactorMetric::LoopLagNs, 3_000);
+        reg.record_reactor(ReactorMetric::EventBatch, 4);
+        let report = reg.report();
+        assert_eq!(report.reactor_health.len(), 2);
+        let lag = report.reactor_metric("loop_lag_ns").unwrap();
+        assert_eq!(lag.count, 2);
+        assert_eq!(lag.sum, 4_000);
+        assert_eq!(lag.min, 1_000);
+        assert_eq!(lag.max, 3_000);
+        assert_eq!(report.reactor_metric("event_batch").unwrap().count, 1);
+        assert!(report.reactor_metric("timer_drift_ns").is_none());
+    }
+
+    #[test]
+    fn current_phase_tracks_the_last_entered_phase() {
+        let reg = MetricsRegistry::new(3, "client");
+        assert_eq!(reg.current_phase(), None);
+        reg.set_current_phase(Some(Phase::BaseOt));
+        assert_eq!(reg.current_phase(), Some(Phase::BaseOt));
+        reg.set_current_phase(Some(Phase::Similarity));
+        assert_eq!(reg.current_phase(), Some(Phase::Similarity));
+        reg.set_current_phase(None);
+        assert_eq!(reg.current_phase(), None);
     }
 
     #[test]

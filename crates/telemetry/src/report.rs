@@ -54,6 +54,25 @@ pub struct FrameSizeReport {
     pub p95: u64,
 }
 
+/// Distribution summary for one reactor-health dimension.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Stable metric name (e.g. `"loop_lag_ns"`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median (histogram estimate).
+    pub p50: u64,
+    /// 95th percentile (histogram estimate).
+    pub p95: u64,
+}
+
 /// A complete telemetry snapshot for one session and role.
 ///
 /// Serializes to JSON with [`to_json`](SessionReport::to_json) /
@@ -101,6 +120,10 @@ pub struct SessionReport {
     pub phases: Vec<PhaseReport>,
     /// Per-frame-kind wire traffic, sorted by kind.
     pub kinds: Vec<KindReport>,
+    /// Reactor-health distributions (loop lag, event batch, timer
+    /// drift, write-buffer depth, writable stall), report order; empty
+    /// dimensions are omitted.
+    pub reactor_health: Vec<HealthReport>,
 }
 
 impl SessionReport {
@@ -112,6 +135,11 @@ impl SessionReport {
     /// Looks up wire traffic for a frame kind.
     pub fn kind(&self, kind: u16) -> Option<&KindReport> {
         self.kinds.iter().find(|k| k.kind == kind)
+    }
+
+    /// Looks up a reactor-health dimension by its stable name.
+    pub fn reactor_metric(&self, name: &str) -> Option<&HealthReport> {
+        self.reactor_health.iter().find(|h| h.name == name)
     }
 
     /// Total wire bytes across every kind, both directions.
@@ -199,6 +227,25 @@ impl SessionReport {
             ),
             ("phases", Json::Array(phases)),
             ("kinds", Json::Array(kinds)),
+            (
+                "reactor_health",
+                Json::Array(
+                    self.reactor_health
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("name", Json::String(h.name.clone())),
+                                ("count", num(h.count)),
+                                ("sum", num(h.sum)),
+                                ("min", num(h.min)),
+                                ("max", num(h.max)),
+                                ("p50", num(h.p50)),
+                                ("p95", num(h.p95)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
         .to_string()
     }
@@ -257,6 +304,27 @@ impl SessionReport {
                 bytes_received: kf("bytes_received")?,
             });
         }
+        // Reactor-health distributions postdate all the counters:
+        // missing section (old artifacts) parses as empty, and any
+        // malformed entry is skipped rather than failing the document.
+        let mut reactor_health = Vec::new();
+        if let Some(entries) = doc.get("reactor_health").and_then(Json::as_array) {
+            for h in entries {
+                let hf = |key: &str| h.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let Some(name) = h.get("name").and_then(Json::as_str) else {
+                    continue;
+                };
+                reactor_health.push(HealthReport {
+                    name: name.to_string(),
+                    count: hf("count"),
+                    sum: hf("sum"),
+                    min: hf("min"),
+                    max: hf("max"),
+                    p50: hf("p50"),
+                    p95: hf("p95"),
+                });
+            }
+        }
         Ok(SessionReport {
             session: field("session")?,
             role: doc
@@ -307,6 +375,7 @@ impl SessionReport {
             },
             phases,
             kinds,
+            reactor_health,
         })
     }
 }
@@ -374,6 +443,20 @@ impl fmt::Display for SessionReport {
                 "  reactor: {} wakeups, {} events, {} timer fires",
                 self.reactor_wakeups, self.reactor_events, self.timer_fires,
             )?;
+        }
+        if !self.reactor_health.is_empty() {
+            writeln!(
+                f,
+                "  {:<18} {:>7} {:>10} {:>10} {:>10}",
+                "reactor health", "count", "p50", "p95", "max"
+            )?;
+            for h in &self.reactor_health {
+                writeln!(
+                    f,
+                    "  {:<18} {:>7} {:>10} {:>10} {:>10}",
+                    h.name, h.count, h.p50, h.p95, h.max,
+                )?;
+            }
         }
         if !self.phases.is_empty() {
             writeln!(
@@ -481,6 +564,15 @@ mod tests {
                     bytes_received: 5000,
                 },
             ],
+            reactor_health: vec![HealthReport {
+                name: "loop_lag_ns".into(),
+                count: 11,
+                sum: 22_000,
+                min: 500,
+                max: 9_000,
+                p50: 1_500,
+                p95: 8_000,
+            }],
         }
     }
 
@@ -557,6 +649,18 @@ mod tests {
         report.reactor_wakeups = 0;
         report.reactor_events = 0;
         report.timer_fires = 0;
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_reactor_health_still_parse() {
+        // Artifacts written before the observability plane existed.
+        let mut report = sample();
+        let full = report.to_json();
+        let start = full.find(",\"reactor_health\":").unwrap();
+        let text = format!("{}{}", &full[..start], "}");
+        let back = SessionReport::from_json(&text).unwrap();
+        report.reactor_health.clear();
         assert_eq!(back, report);
     }
 

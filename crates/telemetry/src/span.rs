@@ -1,5 +1,4 @@
-//! Thread-local collector installation, span guards, and the compact
-//! trace layer.
+//! Span guards and the compact trace layer.
 //!
 //! The sans-I/O role futures are polled **on the driving thread**, so
 //! installing a collector around a `Driver::drive` (or any blocking
@@ -7,17 +6,20 @@
 //! logic land in that registry — no signature changes anywhere in the
 //! protocol stack. When no collector is installed, `span()` costs one
 //! thread-local read and records nothing.
+//!
+//! The thread-local context itself lives in [`crate::scope`]: it is a
+//! full [`TraceScope`](crate::scope::TraceScope) (registry + owning
+//! connection + session sequence number), so under the async reactor's
+//! multiplexing every span and trace line stays attributed to the
+//! session that produced it.
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicI8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::registry::{MetricsRegistry, Phase};
-
-thread_local! {
-    static CURRENT: RefCell<Option<Arc<MetricsRegistry>>> = const { RefCell::new(None) };
-}
+use crate::scope::{current_scope, install_scope, record_chrome_event, trace_out_enabled};
+use crate::scope::{CollectorGuard, TraceScope};
 
 /// `-1` = follow the `PPCS_TRACE` env var, `0` = forced off, `1` = forced on.
 static TRACE_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
@@ -29,11 +31,13 @@ static TRACE_SINK: Mutex<Option<TraceSink>> = Mutex::new(None);
 
 /// Installs `registry` as this thread's span collector; the returned
 /// guard restores the previous collector (if any) on drop, so installs
-/// nest.
+/// nest. Equivalent to installing an unattributed
+/// [`TraceScope`](crate::scope::TraceScope) — drivers that multiplex
+/// sessions use [`install_scope`](crate::scope::install_scope) with a
+/// connection identity instead.
 #[must_use = "dropping the guard immediately uninstalls the collector"]
 pub fn install(registry: Arc<MetricsRegistry>) -> CollectorGuard {
-    let prev = CURRENT.with(|c| c.replace(Some(registry)));
-    CollectorGuard { prev }
+    install_scope(TraceScope::new(registry))
 }
 
 /// Runs `f` with `registry` installed as the thread's collector.
@@ -44,32 +48,25 @@ pub fn with_collector<T>(registry: Arc<MetricsRegistry>, f: impl FnOnce() -> T) 
 
 /// The collector currently installed on this thread, if any.
 pub fn current() -> Option<Arc<MetricsRegistry>> {
-    CURRENT.with(|c| c.borrow().clone())
-}
-
-/// Restores the previously-installed collector on drop. Returned by
-/// [`install`].
-#[derive(Debug)]
-pub struct CollectorGuard {
-    prev: Option<Arc<MetricsRegistry>>,
-}
-
-impl Drop for CollectorGuard {
-    fn drop(&mut self) {
-        CURRENT.with(|c| c.replace(self.prev.take()));
-    }
+    current_scope().map(|s| s.registry().clone())
 }
 
 /// Opens a timing span for `phase` against the thread's collector.
 ///
 /// The span closes when the guard drops: the elapsed wall time is
 /// recorded into the registry's per-phase histogram and, when tracing
-/// is on, one compact line is emitted. Spans hold only the phase tag
-/// and a start instant — there is no API to attach payload data, which
-/// is what keeps telemetry privacy-clean by construction.
+/// is on, one compact line is emitted (tagged with the owning
+/// connection and session sequence when the installed scope carries
+/// one). Spans hold only the phase tag and a start instant — there is
+/// no API to attach payload data, which is what keeps telemetry
+/// privacy-clean by construction.
 pub fn span(phase: Phase) -> SpanGuard {
+    let scope = current_scope();
+    if let Some(scope) = &scope {
+        scope.registry().set_current_phase(Some(phase));
+    }
     SpanGuard {
-        registry: current(),
+        scope,
         phase,
         start: Instant::now(),
     }
@@ -78,25 +75,31 @@ pub fn span(phase: Phase) -> SpanGuard {
 /// A live span; see [`span`].
 #[derive(Debug)]
 pub struct SpanGuard {
-    registry: Option<Arc<MetricsRegistry>>,
+    scope: Option<TraceScope>,
     phase: Phase,
     start: Instant,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(reg) = self.registry.take() else {
+        let Some(scope) = self.scope.take() else {
             return;
         };
-        let ns = self.start.elapsed().as_nanos() as u64;
+        let end = Instant::now();
+        let reg = scope.registry();
+        let ns = end.duration_since(self.start).as_nanos() as u64;
         reg.record_phase_ns(self.phase, ns);
+        if trace_out_enabled() {
+            record_chrome_event(&scope, self.phase, self.start, end);
+        }
         if trace_enabled() {
             emit(&format!(
-                "[ppcs] span={} session={} role={} elapsed_us={}",
+                "[ppcs] span={} session={} role={} elapsed_us={}{}",
                 self.phase.name(),
                 reg.session(),
                 reg.role(),
                 ns / 1_000,
+                scope.trace_suffix(),
             ));
         }
     }
@@ -106,13 +109,14 @@ impl Drop for SpanGuard {
 /// trace layer is on). `frame_kind` and `round` locate the event in the
 /// session; pass `None` when unknown.
 pub fn warn_event(message: &str, frame_kind: Option<u16>, round: Option<u64>) {
-    let reg = current();
-    if let Some(reg) = &reg {
-        reg.record_warn();
+    let scope = current_scope();
+    if let Some(scope) = &scope {
+        scope.registry().record_warn();
     }
     if trace_enabled() {
         let mut line = format!("[ppcs] warn={message}");
-        if let Some(reg) = &reg {
+        if let Some(scope) = &scope {
+            let reg = scope.registry();
             line.push_str(&format!(" session={} role={}", reg.session(), reg.role()));
         }
         if let Some(kind) = frame_kind {
@@ -120,6 +124,9 @@ pub fn warn_event(message: &str, frame_kind: Option<u16>, round: Option<u64>) {
         }
         if let Some(round) = round {
             line.push_str(&format!(" round={round}"));
+        }
+        if let Some(scope) = &scope {
+            line.push_str(&scope.trace_suffix());
         }
         emit(&line);
     }
@@ -219,5 +226,19 @@ mod tests {
             warn_event("timeout", Some(0x0400), Some(7));
         });
         assert_eq!(reg.report().warns, 1);
+    }
+
+    #[test]
+    fn spans_set_the_registry_current_phase() {
+        let reg = MetricsRegistry::new(4, "client");
+        assert_eq!(reg.current_phase(), None);
+        {
+            let _guard = install(reg.clone());
+            let _s = span(Phase::OmpeMask);
+            assert_eq!(reg.current_phase(), Some(Phase::OmpeMask));
+        }
+        // The last phase entered stays visible after the span closes —
+        // the live session table reads it as "where was this session".
+        assert_eq!(reg.current_phase(), Some(Phase::OmpeMask));
     }
 }

@@ -29,12 +29,16 @@
 //! admission control (attach an engine, [`send_busy`](AsyncDriver::send_busy),
 //! or [`close`](AsyncDriver::close)) before any protocol work happens.
 
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ppcs_telemetry::MetricsRegistry;
+use ppcs_telemetry::{
+    FlightEventKind, FlightRecorder, MetricsRegistry, ReactorMetric, TraceScope,
+    DETAIL_CONN_CLOSED, DETAIL_SESSION_ERR, DETAIL_SESSION_OK,
+};
 
 use crate::channel::{coalesce_frames, Frame, Lane, TrafficStats};
 use crate::driver::{
@@ -47,6 +51,18 @@ use crate::tcp::NbConn;
 
 /// Token reserved for the accept listener.
 const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// Token reserved for the `/metrics` endpoint listener.
+const METRICS_LISTEN_TOKEN: u64 = u64::MAX - 2;
+
+/// Metrics scrape connections get tokens at and above this base — past
+/// the `u32` range session slots live in, so the session service loop
+/// never confuses a scrape socket with a protocol connection.
+const METRICS_TOKEN_BASE: u64 = 1 << 32;
+
+/// Request-header cap for the HTTP-lite scrape parser: anything larger
+/// is answered `400` and closed.
+const METRICS_REQ_CAP: usize = 8 * 1024;
 
 /// How often a parked session with a cancel token re-checks it, the
 /// async analog of the blocking driver's 20 ms receive slices.
@@ -67,6 +83,20 @@ const MEM_POLL_SLICE: Duration = Duration::from_millis(1);
 pub struct ConnId {
     slot: u32,
     epoch: u32,
+}
+
+impl ConnId {
+    /// The slot index — stable for the life of the connection, reused
+    /// (under a bumped [`epoch`](ConnId::epoch)) after close.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// The slot-reuse epoch distinguishing this connection from earlier
+    /// occupants of the same slot.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
 }
 
 impl std::fmt::Display for ConnId {
@@ -229,6 +259,20 @@ struct Session<'d, T, E> {
     last_kind: Option<u16>,
     stats_before: Option<TrafficStats>,
     rounds_before: u64,
+    /// Driver-wide session sequence number: with slot reuse, the
+    /// `(slot, epoch, seq)` triple pins every trace line and trace-out
+    /// event to exactly one session.
+    seq: u64,
+}
+
+/// One in-flight HTTP-lite scrape connection on the metrics endpoint:
+/// accumulate the request until the header terminator, render once,
+/// drain the response under backpressure, close.
+struct MetricsConn {
+    stream: TcpStream,
+    req: Vec<u8>,
+    resp: Vec<u8>,
+    sent: usize,
 }
 
 struct Conn<'d, T, E> {
@@ -272,6 +316,16 @@ pub struct AsyncDriver<'d, T, E> {
     active_sessions: usize,
     mem_conns: usize,
     conns: usize,
+    /// The `/metrics` endpoint listener, when one is attached.
+    metrics_listener: Option<TcpListener>,
+    /// In-flight scrape connections by reactor token.
+    metrics_conns: HashMap<u64, MetricsConn>,
+    next_metrics_token: u64,
+    /// Post-mortem flight recorder fed by admission, shedding, budget,
+    /// malformed-input, timer, and state-transition events.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Monotonic session counter feeding [`Session::seq`].
+    session_seq: u64,
 }
 
 impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
@@ -292,6 +346,11 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             active_sessions: 0,
             mem_conns: 0,
             conns: 0,
+            metrics_listener: None,
+            metrics_conns: HashMap::new(),
+            next_metrics_token: METRICS_TOKEN_BASE,
+            recorder: None,
+            session_seq: 0,
         })
     }
 
@@ -335,6 +394,54 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         self.reactor.register(listener.as_raw_fd(), LISTEN_TOKEN)?;
         self.listener = Some(listener);
         Ok(())
+    }
+
+    /// Serves a live observability endpoint on `listener`, multiplexed
+    /// on this reactor — no extra threads. Routes:
+    ///
+    /// * `GET /metrics` — Prometheus text exposition of the driver
+    ///   registry ([`with_metrics`](AsyncDriver::with_metrics)) plus a
+    ///   live connection table (ConnId, phase, rounds, wire bytes,
+    ///   budget remaining).
+    /// * `GET /flightrecorder` — the attached
+    ///   [`FlightRecorder`]'s ring as JSON (404 when none).
+    ///
+    /// Scrape sockets use tokens above the session-slot range, so
+    /// protocol servicing never sees them. Bind to loopback unless the
+    /// scrape network is trusted: the surface carries sizes, counts,
+    /// kinds, and timings (never payloads), but it is unauthenticated.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on registration failure.
+    pub fn listen_metrics(&mut self, listener: TcpListener) -> Result<(), TransportError> {
+        use std::os::fd::AsRawFd;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| TransportError::Io(format!("metrics listener nonblocking: {e}")))?;
+        self.reactor
+            .register(listener.as_raw_fd(), METRICS_LISTEN_TOKEN)?;
+        self.metrics_listener = Some(listener);
+        Ok(())
+    }
+
+    /// The bound address of the `/metrics` endpoint, when listening.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
+    /// Attaches a flight recorder: admission, shedding, budget trips,
+    /// malformed input, live timer fires, and session/connection state
+    /// transitions are recorded into its ring from here on.
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.clone()
     }
 
     /// Adds `stream` as a pending TCP connection (nonblocking, framed,
@@ -439,6 +546,8 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         opts: DriveOptions,
     ) {
         let slot = id.slot;
+        self.session_seq += 1;
+        let seq = self.session_seq;
         let conn = self.conn_mut(id).expect("attach_engine: unknown conn");
         assert!(
             conn.session.is_none(),
@@ -469,9 +578,13 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             last_kind: None,
             stats_before,
             rounds_before,
+            seq,
         });
         self.active_sessions += 1;
         self.ready_next.push(slot);
+        if let Some(rec) = &self.recorder {
+            rec.record(FlightEventKind::Admitted, id.slot, id.epoch, seq);
+        }
     }
 
     /// Answers a pending connection with one [`KIND_BUSY`] frame — the
@@ -490,13 +603,17 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             kind: KIND_BUSY,
             payload: bytes::Bytes::new(),
         };
-        match &mut conn.lane {
+        let result = match &mut conn.lane {
             ConnLane::Tcp(nb) => {
                 nb.queue(&frame)?;
                 nb.flush().map(|_| ())
             }
             ConnLane::Mem(l) => l.send(frame),
+        };
+        if let Some(rec) = &self.recorder {
+            rec.record(FlightEventKind::Shed, id.slot, id.epoch, 0);
         }
+        result
     }
 
     /// Closes and removes a connection. An in-flight session's engine
@@ -522,6 +639,14 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         match conn.lane {
             ConnLane::Tcp(_) => self.reactor.deregister(u64::from(id.slot)),
             ConnLane::Mem(_) => self.mem_conns -= 1,
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record(
+                FlightEventKind::StateTransition,
+                id.slot,
+                id.epoch,
+                DETAIL_CONN_CLOSED,
+            );
         }
     }
 
@@ -585,10 +710,16 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         }
 
         let mut revents: Vec<ReactorEvent> = Vec::new();
+        let wait_started = Instant::now();
         self.reactor.wait(Some(wait), &mut revents);
         if let Some(reg) = &self.metrics {
             reg.record_reactor_wakeup();
             reg.record_reactor_events(revents.len() as u64);
+            // Loop lag: how far past the intended wait the wakeup
+            // landed. Zero when readiness cut the wait short.
+            let lag = wait_started.elapsed().saturating_sub(wait);
+            reg.record_reactor(ReactorMetric::LoopLagNs, lag.as_nanos() as u64);
+            reg.record_reactor(ReactorMetric::EventBatch, revents.len() as u64);
         }
 
         // Accept new inbound connections first so their registration
@@ -596,6 +727,26 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         let saw_listener = revents.iter().any(|e| e.token == LISTEN_TOKEN);
         if self.listener.is_some() && (saw_listener || !self.reactor.is_epoll()) {
             self.accept_all(&mut events);
+        }
+
+        // Scrape traffic rides the same reactor: accept and service
+        // metrics-endpoint sockets before protocol work so a stalled
+        // session can't starve an operator's live scrape.
+        let saw_metrics = revents.iter().any(|e| e.token == METRICS_LISTEN_TOKEN);
+        if self.metrics_listener.is_some() && (saw_metrics || !self.reactor.is_epoll()) {
+            self.accept_metrics();
+        }
+        let scrape_ready: Vec<u64> = if self.reactor.is_epoll() {
+            revents
+                .iter()
+                .map(|e| e.token)
+                .filter(|t| (METRICS_TOKEN_BASE..METRICS_LISTEN_TOKEN).contains(t))
+                .collect()
+        } else {
+            self.metrics_conns.keys().copied().collect()
+        };
+        for token in scrape_ready {
+            self.service_metrics(token);
         }
 
         // Collect the service set: explicit readiness, fired timers,
@@ -615,9 +766,10 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             }
             enqueue(&mut self.slots, ev.token as u32);
         }
-        let mut due: Vec<(u64, u64)> = Vec::new();
-        self.wheel.advance(Instant::now(), &mut due);
-        for (token, generation) in due {
+        let mut due: Vec<(u64, u64, Instant)> = Vec::new();
+        let advance_now = Instant::now();
+        self.wheel.advance_timed(advance_now, &mut due);
+        for (token, generation, deadline) in due {
             let slot = token as u32;
             let live = self
                 .slots
@@ -625,8 +777,19 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
                 .and_then(|s| s.conn.as_ref())
                 .is_some_and(|c| c.timer_gen == generation);
             if live {
+                let drift = advance_now.saturating_duration_since(deadline);
                 if let Some(reg) = &self.metrics {
                     reg.record_timer_fire();
+                    reg.record_reactor(ReactorMetric::TimerDriftNs, drift.as_nanos() as u64);
+                }
+                if let Some(rec) = &self.recorder {
+                    let epoch = self.slots[slot as usize].epoch;
+                    rec.record(
+                        FlightEventKind::TimerFire,
+                        slot,
+                        epoch,
+                        drift.as_nanos() as u64,
+                    );
                 }
                 enqueue(&mut self.slots, slot);
             }
@@ -670,6 +833,9 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
                 }
             }
         }
+        // Non-draining: a later flush (or the serving layer's) simply
+        // rewrites the file with more events.
+        ppcs_telemetry::flush_trace_out();
         done
     }
 
@@ -709,13 +875,22 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
                 if nb.wants_write() {
                     let _ = nb.flush();
                 }
+                if let Some(reg) = &self.metrics {
+                    reg.record_reactor(
+                        ReactorMetric::WriteBufDepth,
+                        nb.pending_write_bytes() as u64,
+                    );
+                    if let Some(ns) = nb.take_stall_ns() {
+                        reg.record_reactor(ReactorMetric::WritableStallNs, ns);
+                    }
+                }
                 r.err()
             }
             ConnLane::Mem(_) => None,
         };
 
         if conn.session.is_some() {
-            let outcome = pump(conn);
+            let outcome = pump(id, conn, self.recorder.as_deref());
             match outcome {
                 PumpOutcome::Parked { wake_at } => {
                     if let Some(at) = wake_at {
@@ -734,6 +909,14 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
                     };
                     if buffered {
                         self.ready_next.push(slot);
+                    }
+                    if let Some(rec) = &self.recorder {
+                        let detail = if result.is_ok() {
+                            DETAIL_SESSION_OK
+                        } else {
+                            DETAIL_SESSION_ERR
+                        };
+                        rec.record(FlightEventKind::StateTransition, slot, epoch, detail);
                     }
                     events.push(AsyncEvent::Finished {
                         conn: id,
@@ -774,6 +957,9 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             }
             Err(e) => {
                 let fatal = matches!(conn.lane, ConnLane::Tcp(_));
+                if let Some(rec) = &self.recorder {
+                    rec.record(FlightEventKind::Malformed, slot, epoch, 0);
+                }
                 events.push(AsyncEvent::Malformed {
                     conn: id,
                     error: fill_err.unwrap_or(e),
@@ -784,6 +970,256 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             }
         }
     }
+
+    fn accept_metrics(&mut self) {
+        use std::os::fd::AsRawFd;
+        loop {
+            let accepted = match &self.metrics_listener {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_metrics_token;
+                    self.next_metrics_token += 1;
+                    if self.reactor.register(stream.as_raw_fd(), token).is_err() {
+                        continue;
+                    }
+                    self.metrics_conns.insert(
+                        token,
+                        MetricsConn {
+                            stream,
+                            req: Vec::new(),
+                            resp: Vec::new(),
+                            sent: 0,
+                        },
+                    );
+                    // Service immediately: the request may already be
+                    // buffered, and the sleep backend has no edges.
+                    self.service_metrics(token);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Advances one scrape connection: drain the request, render once
+    /// the headers are complete, drain the response, close when sent.
+    fn service_metrics(&mut self, token: u64) {
+        use std::io::{Read, Write};
+        let Some(mut mc) = self.metrics_conns.remove(&token) else {
+            return;
+        };
+        let mut dead = false;
+        if mc.resp.is_empty() {
+            let mut buf = [0u8; 1024];
+            loop {
+                match mc.stream.read(&mut buf) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        mc.req.extend_from_slice(&buf[..n]);
+                        if mc.req.len() > METRICS_REQ_CAP
+                            || mc.req.windows(4).any(|w| w == b"\r\n\r\n")
+                        {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                if mc.req.len() > METRICS_REQ_CAP {
+                    mc.resp =
+                        http_response(400, "text/plain; charset=utf-8", "request too large\n");
+                } else if mc.req.windows(4).any(|w| w == b"\r\n\r\n") {
+                    mc.resp = self.respond_http(&mc.req);
+                }
+            }
+        }
+        if !dead && !mc.resp.is_empty() {
+            loop {
+                if mc.sent >= mc.resp.len() {
+                    // Fully sent: `Connection: close` semantics.
+                    dead = true;
+                    break;
+                }
+                match mc.stream.write(&mc.resp[mc.sent..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => mc.sent += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.reactor.deregister(token);
+            // Dropping `mc` closes the stream.
+        } else {
+            self.metrics_conns.insert(token, mc);
+        }
+    }
+
+    /// Routes one parsed HTTP-lite request to its response bytes.
+    fn respond_http(&self, req: &[u8]) -> Vec<u8> {
+        let head = String::from_utf8_lossy(req);
+        let line = head.lines().next().unwrap_or("");
+        let mut parts = line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        if method != "GET" {
+            return http_response(405, "text/plain; charset=utf-8", "method not allowed\n");
+        }
+        match path.split('?').next().unwrap_or(path) {
+            "/metrics" => http_response(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &self.render_metrics_page(),
+            ),
+            "/flightrecorder" => match &self.recorder {
+                Some(rec) => http_response(200, "application/json", &rec.to_json()),
+                None => http_response(
+                    404,
+                    "text/plain; charset=utf-8",
+                    "no flight recorder attached\n",
+                ),
+            },
+            _ => http_response(
+                404,
+                "text/plain; charset=utf-8",
+                "not found; try /metrics or /flightrecorder\n",
+            ),
+        }
+    }
+
+    /// The `/metrics` body: the driver registry's exposition followed
+    /// by the live connection table. Only sizes, counts, kinds, and
+    /// timings — the privacy-cleanliness rule holds on this surface.
+    fn render_metrics_page(&self) -> String {
+        let mut out = match &self.metrics {
+            Some(reg) => reg.render_prometheus(),
+            None => String::new(),
+        };
+        let mut info = String::new();
+        let mut rounds = String::new();
+        let mut wire = String::new();
+        let mut frames_left = String::new();
+        let mut bytes_left = String::new();
+        for (slot, s) in self.slots.iter().enumerate() {
+            let Some(conn) = s.conn.as_ref() else {
+                continue;
+            };
+            let label = format!("conn=\"{}.{}\"", slot, s.epoch);
+            wire.push_str(&format!(
+                "ppcs_conn_wire_bytes{{{label}}} {}\n",
+                lane_stats(&conn.lane).total_bytes()
+            ));
+            match &conn.session {
+                Some(sess) => {
+                    let phase = sess
+                        .metrics
+                        .as_ref()
+                        .and_then(|r| r.current_phase())
+                        .map_or("", |p| p.name());
+                    info.push_str(&format!(
+                        "ppcs_conn_info{{{label},state=\"active\",phase=\"{phase}\"}} 1\n"
+                    ));
+                    rounds.push_str(&format!(
+                        "ppcs_conn_rounds{{{label}}} {}\n",
+                        sess.engine.rounds()
+                    ));
+                    if let Some(max) = sess.limits.max_frames {
+                        frames_left.push_str(&format!(
+                            "ppcs_conn_budget_frames_remaining{{{label}}} {}\n",
+                            max.saturating_sub(sess.frames_delivered)
+                        ));
+                    }
+                    if let Some(max) = sess.limits.max_wire_bytes {
+                        let moved = lane_stats(&conn.lane)
+                            .total_bytes()
+                            .saturating_sub(sess.bytes_before);
+                        bytes_left.push_str(&format!(
+                            "ppcs_conn_budget_wire_bytes_remaining{{{label}}} {}\n",
+                            max.saturating_sub(moved)
+                        ));
+                    }
+                }
+                None => {
+                    info.push_str(&format!(
+                        "ppcs_conn_info{{{label},state=\"pending\",phase=\"\"}} 1\n"
+                    ));
+                }
+            }
+        }
+        let sections: [(&str, &str, &String); 5] = [
+            (
+                "ppcs_conn_info",
+                "Live connection table: state and current protocol phase.",
+                &info,
+            ),
+            (
+                "ppcs_conn_rounds",
+                "Protocol rounds completed by each live session.",
+                &rounds,
+            ),
+            (
+                "ppcs_conn_wire_bytes",
+                "Wire bytes moved on each open connection.",
+                &wire,
+            ),
+            (
+                "ppcs_conn_budget_frames_remaining",
+                "Frames left in each live session's frame budget.",
+                &frames_left,
+            ),
+            (
+                "ppcs_conn_budget_wire_bytes_remaining",
+                "Wire bytes left in each live session's byte budget.",
+                &bytes_left,
+            ),
+        ];
+        for (name, help, body) in sections {
+            if !body.is_empty() {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+                out.push_str(body);
+            }
+        }
+        out
+    }
+}
+
+/// A minimal `HTTP/1.0` response with `Connection: close` semantics.
+fn http_response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        405 => "Method Not Allowed",
+        _ => "Not Found",
+    };
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
 }
 
 impl<T, E> std::fmt::Debug for AsyncDriver<'_, T, E> {
@@ -848,12 +1284,20 @@ fn send_out(lane: &mut ConnLane<'_>, out: &Outgoing) -> Result<(), TransportErro
 /// the thread in a sliced `recv`, this returns
 /// [`PumpOutcome::Parked`] with the wake-up deadline for the timer
 /// wheel.
-fn pump<'d, T, E: From<TransportError>>(conn: &mut Conn<'d, T, E>) -> PumpOutcome<T, E> {
+fn pump<'d, T, E: From<TransportError>>(
+    id: ConnId,
+    conn: &mut Conn<'d, T, E>,
+    recorder: Option<&FlightRecorder>,
+) -> PumpOutcome<T, E> {
     let lane = &mut conn.lane;
     let s = conn.session.as_mut().expect("pump without session");
-    // Engines poll on this thread, so installing the session's
-    // collector here captures every protocol-phase span.
-    let _collector = s.metrics.clone().map(ppcs_telemetry::install);
+    // Engines poll on this thread, so installing the session's scope
+    // here captures every protocol-phase span — and because the scope
+    // carries (slot, epoch, seq), interleaved sessions attribute their
+    // spans, trace lines, and trace-out events to the right ConnId.
+    let _collector = s.metrics.clone().map(|reg| {
+        ppcs_telemetry::install_scope(TraceScope::for_conn(reg, id.slot, id.epoch, s.seq))
+    });
     let result: Result<T, E> = loop {
         if let Some(reg) = &s.metrics {
             reg.record_polls(1);
@@ -887,7 +1331,7 @@ fn pump<'d, T, E: From<TransportError>>(conn: &mut Conn<'d, T, E>) -> PumpOutcom
         if s.budgeted {
             let wire = lane_stats(lane).total_bytes() - s.bytes_before;
             if let Some(e) = budget_trip(s, wire) {
-                note_budget(s, &e);
+                note_budget(s, &e, id, recorder);
                 break fail_engine(&mut s.engine, e);
             }
         }
@@ -938,7 +1382,7 @@ fn pump<'d, T, E: From<TransportError>>(conn: &mut Conn<'d, T, E>) -> PumpOutcom
             }
             Err(e) => {
                 if matches!(e, TransportError::Budget(_)) {
-                    note_budget(s, &e);
+                    note_budget(s, &e, id, recorder);
                 }
                 if e == TransportError::Timeout {
                     if let Some(reg) = &s.metrics {
@@ -1005,9 +1449,22 @@ fn budget_trip<T, E>(s: &Session<'_, T, E>, wire_bytes: u64) -> Option<Transport
     None
 }
 
-fn note_budget<T, E>(s: &Session<'_, T, E>, e: &TransportError) {
+fn note_budget<T, E>(
+    s: &Session<'_, T, E>,
+    e: &TransportError,
+    id: ConnId,
+    recorder: Option<&FlightRecorder>,
+) {
     if let Some(reg) = &s.metrics {
         reg.record_budget_exceeded();
+    }
+    if let Some(rec) = recorder {
+        rec.record(
+            FlightEventKind::BudgetTrip,
+            id.slot,
+            id.epoch,
+            s.frames_delivered,
+        );
     }
     ppcs_telemetry::warn_event(&e.to_string(), s.last_kind, Some(s.engine.rounds()));
 }
@@ -1271,6 +1728,69 @@ mod tests {
             }
             assert!(started.elapsed() < Duration::from_secs(5), "no idle event");
         }
+    }
+
+    #[test]
+    fn metrics_endpoint_scrapes_from_the_reactor_thread() {
+        use std::io::{Read, Write};
+        let reg = MetricsRegistry::new(1, "async-driver");
+        let recorder = FlightRecorder::new(64);
+        let (a, _b) = duplex();
+        let mut ad: AsyncDriver<'_, u64, TransportError> = AsyncDriver::new().expect("driver");
+        ad = ad.with_metrics(reg);
+        ad.set_flight_recorder(recorder.clone());
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        ad.listen_metrics(listener).expect("listen_metrics");
+        let addr = ad.metrics_addr().expect("addr");
+        let conn = ad.add_lane(&a);
+        ad.attach_engine(
+            conn,
+            ProtocolEngine::new(|io| requester(io, 1)),
+            DriveOptions::new().with_limits(SessionLimits::unlimited().with_max_frames(9)),
+        );
+        let _ = ad.poll(Duration::from_millis(5));
+
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("req");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("timeout");
+        let mut body = Vec::new();
+        let started = Instant::now();
+        loop {
+            let _ = ad.poll(Duration::from_millis(5));
+            let mut buf = [0u8; 4096];
+            match stream.read(&mut buf) {
+                Ok(0) => break, // Connection: close — response complete.
+                Ok(n) => body.extend_from_slice(&buf[..n]),
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("scrape read failed: {e}"),
+            }
+            assert!(started.elapsed() < Duration::from_secs(5), "scrape hung");
+        }
+        let text = String::from_utf8(body).expect("utf8");
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text}");
+        assert!(text.contains("ppcs_reactor_wakeups_total"), "{text}");
+        assert!(
+            text.contains("ppcs_conn_info{conn=\"0.0\",state=\"active\""),
+            "live session table present: {text}"
+        );
+        assert!(
+            text.contains("ppcs_conn_budget_frames_remaining{conn=\"0.0\"}"),
+            "budget remaining present: {text}"
+        );
+        // The admission landed in the flight recorder too.
+        let events = recorder.snapshot();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == FlightEventKind::Admitted && e.conn_slot == 0),
+            "{events:?}"
+        );
     }
 
     #[test]

@@ -540,6 +540,19 @@ impl TimerWheel {
     /// passed slot but due a revolution later are re-armed, not fired.
     /// The caller matches generations to discard stale timers.
     pub fn advance(&mut self, now: Instant, due: &mut Vec<(u64, u64)>) {
+        let mut timed = Vec::new();
+        self.advance_timed(now, &mut timed);
+        due.extend(
+            timed
+                .into_iter()
+                .map(|(token, generation, _)| (token, generation)),
+        );
+    }
+
+    /// Like [`advance`](TimerWheel::advance), but each fired entry also
+    /// carries the deadline it was armed for, so the caller can measure
+    /// wheel drift (`now - deadline`) as a reactor health metric.
+    pub fn advance_timed(&mut self, now: Instant, due: &mut Vec<(u64, u64, Instant)>) {
         let mut carry: Vec<TimerEntry> = Vec::new();
         loop {
             let slot_end = self.cursor_time + Self::GRANULARITY;
@@ -550,7 +563,7 @@ impl TimerWheel {
             self.armed -= drained.len();
             for e in drained {
                 if e.deadline <= now {
-                    due.push((e.token, e.generation));
+                    due.push((e.token, e.generation, e.deadline));
                 } else {
                     carry.push(e);
                 }
@@ -566,7 +579,7 @@ impl TimerWheel {
             if current[i].deadline <= now {
                 let e = current.swap_remove(i);
                 self.armed -= 1;
-                due.push((e.token, e.generation));
+                due.push((e.token, e.generation, e.deadline));
             } else {
                 i += 1;
             }
@@ -747,5 +760,19 @@ mod tests {
         let mut due = Vec::new();
         wheel.advance(start + Duration::from_millis(1), &mut due);
         assert_eq!(due, vec![(4, 2)]);
+    }
+
+    #[test]
+    fn advance_timed_carries_the_armed_deadline() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start);
+        let deadline = start + Duration::from_millis(8);
+        wheel.arm(deadline, 6, 1);
+        let mut due = Vec::new();
+        let now = start + Duration::from_millis(20);
+        wheel.advance_timed(now, &mut due);
+        assert_eq!(due, vec![(6, 1, deadline)]);
+        let drift = now.saturating_duration_since(due[0].2);
+        assert_eq!(drift, Duration::from_millis(12));
     }
 }

@@ -172,6 +172,12 @@ pub(crate) struct NbConn {
     /// subsequent call.
     failed: Option<TransportError>,
     stats: std::sync::Arc<crate::channel::SharedStats>,
+    /// When the current `EPOLLOUT` stall began: set on the first
+    /// backpressured flush, cleared when the queue fully drains.
+    stall_since: Option<std::time::Instant>,
+    /// Duration of the most recently *completed* stall, waiting for
+    /// [`take_stall_ns`](Self::take_stall_ns) to collect it.
+    completed_stall_ns: Option<u64>,
 }
 
 impl NbConn {
@@ -190,6 +196,8 @@ impl NbConn {
             eof: false,
             failed: None,
             stats: std::sync::Arc::new(crate::channel::SharedStats::default()),
+            stall_since: None,
+            completed_stall_ns: None,
         })
     }
 
@@ -330,7 +338,12 @@ impl NbConn {
                     return Err(err);
                 }
                 Ok(n) => self.write_pos += n,
-                Err(e) if nb_would_block(&e) => return Ok(false),
+                Err(e) if nb_would_block(&e) => {
+                    // The kernel pushed back: an EPOLLOUT stall begins
+                    // (or continues) until the queue fully drains.
+                    self.stall_since.get_or_insert_with(std::time::Instant::now);
+                    return Ok(false);
+                }
                 Err(e) => {
                     let err = io_err(e);
                     self.failed = Some(err.clone());
@@ -340,12 +353,28 @@ impl NbConn {
         }
         self.write_buf.clear();
         self.write_pos = 0;
+        if let Some(since) = self.stall_since.take() {
+            self.completed_stall_ns = Some(since.elapsed().as_nanos() as u64);
+        }
         Ok(true)
     }
 
     /// Whether backpressured bytes are waiting for a writable event.
     pub(crate) fn wants_write(&self) -> bool {
         self.write_pos < self.write_buf.len()
+    }
+
+    /// Bytes queued but not yet accepted by the kernel — the
+    /// write-buffer depth health metric.
+    pub(crate) fn pending_write_bytes(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Collects the duration of the most recently completed `EPOLLOUT`
+    /// stall, once per stall (`None` when no stall finished since the
+    /// last call).
+    pub(crate) fn take_stall_ns(&mut self) -> Option<u64> {
+        self.completed_stall_ns.take()
     }
 
     /// Whether parsed frames are ready for immediate delivery (no

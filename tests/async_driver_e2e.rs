@@ -717,7 +717,13 @@ fn thousand_concurrent_tcp_sessions_on_one_reactor_thread() {
         drain_deadline: Duration::from_millis(500),
     };
     let registry = ppcs_telemetry::MetricsRegistry::new(1000, "trainer-server");
-    let server = TrainerServer::new(&trainer, config).with_metrics(registry.clone());
+    let recorder = ppcs_telemetry::FlightRecorder::new(4096);
+    let scrape_listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind metrics");
+    let scrape_addr = scrape_listener.local_addr().expect("metrics addr");
+    let server = TrainerServer::new(&trainer, config)
+        .with_metrics(registry.clone())
+        .with_flight_recorder(recorder.clone())
+        .with_metrics_endpoint(scrape_listener);
     let supervisor = server.supervisor();
     let peak_watch = server.supervisor();
 
@@ -726,7 +732,7 @@ fn thousand_concurrent_tcp_sessions_on_one_reactor_thread() {
 
     let sample = vec![0.4f64, 0.4, 0.4];
     let stop_watch = AtomicBool::new(false);
-    let (summary, peak_active) = std::thread::scope(|scope| {
+    let (summary, peak_active, mid_run_scrape) = std::thread::scope(|scope| {
         let server_thread = scope.spawn(|| {
             server
                 .serve_async_tcp(listener, &SIM, 4242)
@@ -734,12 +740,19 @@ fn thousand_concurrent_tcp_sessions_on_one_reactor_thread() {
         });
         let stop = &stop_watch;
         let watcher = scope.spawn(move || {
+            // Track the peak concurrency, and scrape /metrics once the
+            // fleet is at scale — live, from the reactor thread that is
+            // multiplexing all thousand sessions.
             let mut peak = 0usize;
+            let mut scrape = None;
             while !stop.load(Ordering::Acquire) {
                 peak = peak.max(peak_watch.active());
+                if scrape.is_none() && peak >= SESSIONS / 2 {
+                    scrape = Some(ppcs_tests::http_get(scrape_addr, "/metrics"));
+                }
                 std::thread::sleep(Duration::from_millis(2));
             }
-            peak
+            (peak, scrape)
         });
 
         // The whole client fleet runs in one reactor of its own: every
@@ -767,8 +780,8 @@ fn thousand_concurrent_tcp_sessions_on_one_reactor_thread() {
         drop(cdrv); // closes every client socket
         supervisor.drain();
         stop.store(true, Ordering::Release);
-        let peak = watcher.join().expect("watcher");
-        (server_thread.join().expect("server thread"), peak)
+        let (peak, scrape) = watcher.join().expect("watcher");
+        (server_thread.join().expect("server thread"), peak, scrape)
     });
 
     assert_eq!(summary.sessions_admitted, SESSIONS as u64);
@@ -789,6 +802,44 @@ fn thousand_concurrent_tcp_sessions_on_one_reactor_thread() {
     let report = registry.report();
     assert_eq!(report.sessions_admitted, SESSIONS as u64);
     assert!(report.reactor_wakeups > 0, "reactor counters must flow");
+    assert!(
+        report
+            .reactor_health
+            .iter()
+            .any(|h| h.name == "loop_lag_ns" && h.count > 0),
+        "reactor health histograms must flow under load"
+    );
+
+    // The mid-run scrape happened while ≥500 sessions were in flight on
+    // the very thread that rendered it.
+    let scrape = mid_run_scrape.expect("scraped /metrics at peak concurrency");
+    assert!(
+        scrape.starts_with("HTTP/1.0 200 OK\r\n"),
+        "mid-run scrape status: {scrape:?}"
+    );
+    assert!(
+        scrape.contains("ppcs_sessions_admitted_total"),
+        "mid-run scrape carries the serving counters"
+    );
+    assert!(
+        scrape.contains("ppcs_conn_info{"),
+        "mid-run scrape carries the live session table"
+    );
+
+    // Flight-recorder post-mortem: every admission is on the tape (the
+    // ring holds 4096 events, enough for the full run), and the CI job
+    // uploads the dump as an artifact.
+    let admissions = recorder
+        .snapshot()
+        .iter()
+        .filter(|e| e.kind == ppcs_telemetry::FlightEventKind::Admitted)
+        .count() as u64;
+    assert!(
+        admissions + recorder.dropped() >= SESSIONS as u64,
+        "every admission must have hit the flight-recorder tape \
+         (saw {admissions}, dropped {})",
+        recorder.dropped()
+    );
     if let Ok(path) = std::env::var("PPCS_SERVER_REPORT") {
         std::fs::write(&path, report.to_json()).expect("write server report artifact");
         println!("server report written to {path}");

@@ -48,6 +48,30 @@ pub fn blob_dataset(dim: usize, n: usize, seed: u64) -> Dataset {
     ds
 }
 
+/// Issues a minimal HTTP/1.0 `GET` against `addr` and returns the raw
+/// response (status line, headers, and body) as one string. Used by the
+/// observability suites to scrape a reactor's `/metrics` endpoint.
+pub fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape endpoint");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set scrape read timeout");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write scrape request");
+    let mut resp = String::new();
+    stream
+        .read_to_string(&mut resp)
+        .expect("read scrape response");
+    resp
+}
+
+/// The body of a raw HTTP response returned by [`http_get`].
+pub fn http_body(resp: &str) -> &str {
+    resp.split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or_else(|| panic!("response has no header/body separator: {resp:?}"))
+}
+
 /// Draws `n` uniform samples in the `[-1, 1]^dim` box.
 pub fn random_samples(dim: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);

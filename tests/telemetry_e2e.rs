@@ -283,6 +283,10 @@ fn trace_output_is_privacy_clean() {
         "elapsed_us",
         "frame",
         "round",
+        // Appended by reactor-scoped collectors (`TraceScope`): the
+        // owning connection as `slot.epoch` plus the session sequence.
+        "conn",
+        "seq",
     ];
     for line in &lines {
         let rest = line
