@@ -1,7 +1,18 @@
-//! Machine-readable classification bench: runs the private batch
+//! Machine-readable classification bench: runs the private
 //! classification protocol with the telemetry registry attached, and
 //! writes a schema-validated `BENCH_classification.json` artifact with
 //! p50/p95 latency, round counts, and per-kind wire-byte totals.
+//!
+//! The workload is one sample per session — the paper's interactive
+//! serving scenario, and the case the offline/online phase split is
+//! built for (per-sample protocol work is inherently online, so the
+//! split's advantage shrinks as the batch grows and setup amortizes;
+//! batch-throughput behaviour is `bench_serving`'s job). Two latency
+//! series are measured over the same workload: the end-to-end session
+//! (`latency_ms`: cold handshake, inline precompute, per-iteration
+//! thread pair) and the online phase only (`latency_online_ms`: both
+//! sides' offline material drawn outside the timed region, warm
+//! session ticket, single-threaded engine pump).
 //!
 //! ```text
 //! cargo run -p ppcs-bench --bin bench_classification --release [iters] [out.json]
@@ -12,15 +23,17 @@ use std::time::Instant;
 
 use ppcs_bench::report::{validate_bench_json, BenchArtifact, Overhead};
 use ppcs_bench::train_entry;
-use ppcs_core::{Client, ProtocolConfig, Trainer};
+use ppcs_core::{Client, ProtocolConfig, Trainer, WarmSessionCache};
 use ppcs_datasets::spec_by_name;
 use ppcs_math::F64Algebra;
 use ppcs_ot::{ObliviousTransfer, TrustedSimOt};
 use ppcs_svm::SvmModel;
 use ppcs_telemetry::MetricsRegistry;
-use ppcs_transport::{drive_blocking, duplex, Driver};
+use ppcs_transport::{drive_blocking, duplex, run_engine_pair, Driver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-const SAMPLES: usize = 8;
+const SAMPLES: usize = 1;
 
 fn run_sessions(
     model: &SvmModel,
@@ -54,6 +67,50 @@ fn run_sessions(
     latencies
 }
 
+/// Online-phase-only latency: the same batch workload, but every
+/// input-independent step happens outside the timed region — both
+/// sides draw their offline OMPE material up front and the client
+/// holds a warm-session ticket, so the timed part is just the
+/// input-keyed message exchange ([`run_engine_pair`] on one thread,
+/// no spawn cost in the measurement).
+fn run_online_sessions(
+    model: &SvmModel,
+    samples: &[Vec<f64>],
+    cfg: ProtocolConfig,
+    iters: u64,
+) -> Vec<f64> {
+    let trainer = Trainer::new(F64Algebra::new(), model, cfg).expect("trainer setup");
+    let client = Client::new(F64Algebra::new(), cfg);
+    let sel = TrustedSimOt.select();
+    let expected: Vec<_> = samples.iter().map(|s| model.predict(s)).collect();
+    let cache = WarmSessionCache::new();
+    let peer = 7;
+    cache.insert(peer, trainer.spec());
+    let mut latencies = Vec::with_capacity(iters as usize);
+    for i in 0..iters {
+        // Offline phase: precompute both halves, untimed.
+        let mut rng = StdRng::seed_from_u64(9_000 + i);
+        let material = trainer.precompute_material(sel, samples.len(), &mut rng);
+        let mut offline = client
+            .precompute_material(sel, &trainer.spec(), samples.len(), &mut rng)
+            .expect("client offline material");
+        let mut serve = trainer.serve_session_engine(sel, 100 + i, true, Some(material));
+        let mut classify =
+            client.classify_warm_engine(sel, 200 + i, samples, &cache, peer, Some(&mut offline));
+        // Online phase: only the input-keyed exchange is timed.
+        let start = Instant::now();
+        let (served, values) =
+            run_engine_pair(&mut serve, &mut classify).expect("session transport");
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(served.expect("serve"), samples.len());
+        let values = values.expect("classify");
+        for (got, want) in values.iter().zip(&expected) {
+            assert_eq!(got.0, *want, "online phase must match plaintext labels");
+        }
+    }
+    latencies
+}
+
 fn main() {
     let iters: u64 = std::env::args()
         .nth(1)
@@ -72,17 +129,20 @@ fn main() {
 
     // Warm-up (allocators, thread pools) before anything is timed.
     run_sessions(&entry.linear, &samples, cfg, 1, None);
+    run_online_sessions(&entry.linear, &samples, cfg, 1);
 
     let reg = MetricsRegistry::new(1, "client");
     let latencies = run_sessions(&entry.linear, &samples, cfg, iters, Some(&reg));
     let telemetry_on_ms: f64 = latencies.iter().sum();
     let off = run_sessions(&entry.linear, &samples, cfg, iters, None);
     let telemetry_off_ms: f64 = off.iter().sum();
+    let online = run_online_sessions(&entry.linear, &samples, cfg, iters);
 
     let artifact = BenchArtifact {
         bench: "classification".into(),
         iterations: iters,
         latency_ms: latencies,
+        latency_online_ms: Some(online),
         session: reg.report(),
         overhead: Some(Overhead {
             telemetry_on_ms,
@@ -98,6 +158,16 @@ fn main() {
         "telemetry on {telemetry_on_ms:.1} ms vs off {telemetry_off_ms:.1} ms \
          over {iters} sessions (ratio {:.3})",
         artifact.overhead.expect("set above").ratio()
+    );
+    let e2e_p50 = ppcs_bench::report::quantile_ms(&artifact.latency_ms, 0.50);
+    let online_p50 = ppcs_bench::report::quantile_ms(
+        artifact.latency_online_ms.as_deref().expect("set above"),
+        0.50,
+    );
+    println!(
+        "e2e p50 {e2e_p50:.4} ms vs online-phase p50 {online_p50:.4} ms \
+         ({:.1}x)",
+        e2e_p50 / online_p50
     );
     println!("wrote {out}");
 }

@@ -35,6 +35,8 @@ fn server_config() -> ServerConfig {
             .with_max_wire_bytes(64 << 20),
         idle_timeout: Duration::from_secs(30),
         drain_deadline: Duration::from_millis(500),
+        precompute_capacity: 0,
+        precompute_masks: 0,
     }
 }
 
@@ -124,6 +126,7 @@ fn main() {
         bench: "serving".into(),
         iterations: iters,
         latency_ms: latencies,
+        latency_online_ms: None,
         session: reg.report(),
         overhead: None,
     };

@@ -108,6 +108,7 @@ fn main() {
         bench: "similarity".into(),
         iterations: iters,
         latency_ms: latencies,
+        latency_online_ms: None,
         session: reg.report(),
         overhead: Some(Overhead {
             telemetry_on_ms,

@@ -3,21 +3,27 @@
 //! The `bench_classification` / `bench_similarity` / `bench_serving`
 //! binaries emit one `BENCH_<name>.json` file each, built from a
 //! telemetry [`SessionReport`] plus per-iteration wall-clock latencies.
-//! The schema is versioned (`"ppcs-bench/v2"`, which added the optional
-//! reactor-health block; v1 documents still validate and compare) and
-//! [`validate_bench_json`] checks it structurally, so CI can assert the
-//! artifacts stay well-formed without parsing them ad hoc.
+//! The schema is versioned (`"ppcs-bench/v3"`, which added the optional
+//! online-phase latency block; v1/v2 documents still validate and
+//! compare) and [`validate_bench_json`] checks it structurally, so CI
+//! can assert the artifacts stay well-formed without parsing them ad
+//! hoc.
 
 use ppcs_telemetry::json::{num, obj, Json};
 use ppcs_telemetry::SessionReport;
 
 /// Schema tag every artifact carries. v2 added the optional `reactor`
-/// block (loop-lag / event-batch / drift quantiles).
-pub const BENCH_SCHEMA: &str = "ppcs-bench/v2";
+/// block (loop-lag / event-batch / drift quantiles); v3 added the
+/// optional `latency_online_ms` block (online-phase-only latency over
+/// precomputed offline material and a warm session).
+pub const BENCH_SCHEMA: &str = "ppcs-bench/v3";
 
-/// The previous schema tag, still accepted by the validator and the
-/// baseline side of [`compare_bench_json`] so committed v1 baselines
-/// keep gating fresh v2 runs.
+/// The v2 schema tag, still accepted by the validator and the baseline
+/// side of [`compare_bench_json`] so committed v2 baselines keep gating
+/// fresh v3 runs.
+pub const BENCH_SCHEMA_V2: &str = "ppcs-bench/v2";
+
+/// The original schema tag, accepted for the same reason.
 pub const BENCH_SCHEMA_V1: &str = "ppcs-bench/v1";
 
 /// Telemetry-on vs telemetry-off wall-clock comparison for the same
@@ -51,6 +57,11 @@ pub struct BenchArtifact {
     pub iterations: u64,
     /// Per-iteration wall time in milliseconds (unsorted).
     pub latency_ms: Vec<f64>,
+    /// Per-iteration wall time of the *online phase only* — the same
+    /// workload with all input-independent material precomputed outside
+    /// the timed region and the session handshake warm. `None` when the
+    /// bench did not measure a phase split (v3 block is omitted).
+    pub latency_online_ms: Option<Vec<f64>>,
     /// The client/requester registry report accumulated over all
     /// iterations.
     pub session: SessionReport,
@@ -69,34 +80,32 @@ pub fn quantile_ms(values: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
+/// The p50/p95/min/max/mean summary block for one latency series.
+fn latency_block(values: &[f64]) -> Json {
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0, f64::max);
+    obj(vec![
+        ("p50", Json::Number(quantile_ms(values, 0.50))),
+        ("p95", Json::Number(quantile_ms(values, 0.95))),
+        ("min", Json::Number(if min.is_finite() { min } else { 0.0 })),
+        ("max", Json::Number(max)),
+        ("mean", Json::Number(mean)),
+    ])
+}
+
 impl BenchArtifact {
     /// Renders the artifact as a single-line JSON document.
     pub fn to_json(&self) -> String {
-        let mean = if self.latency_ms.is_empty() {
-            0.0
-        } else {
-            self.latency_ms.iter().sum::<f64>() / self.latency_ms.len() as f64
-        };
-        let min = self
-            .latency_ms
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        let max = self.latency_ms.iter().copied().fold(0.0, f64::max);
         let mut fields = vec![
             ("schema", Json::String(BENCH_SCHEMA.into())),
             ("bench", Json::String(self.bench.clone())),
             ("iterations", num(self.iterations)),
-            (
-                "latency_ms",
-                obj(vec![
-                    ("p50", Json::Number(quantile_ms(&self.latency_ms, 0.50))),
-                    ("p95", Json::Number(quantile_ms(&self.latency_ms, 0.95))),
-                    ("min", Json::Number(if min.is_finite() { min } else { 0.0 })),
-                    ("max", Json::Number(max)),
-                    ("mean", Json::Number(mean)),
-                ]),
-            ),
+            ("latency_ms", latency_block(&self.latency_ms)),
             ("rounds", num(self.session.rounds)),
             (
                 "wire",
@@ -112,6 +121,11 @@ impl BenchArtifact {
                 Json::parse(&self.session.to_json()).expect("SessionReport emits valid JSON"),
             ),
         ];
+        if let Some(online) = &self.latency_online_ms {
+            // Online-phase-only latencies (v3): emitted right after the
+            // end-to-end block so the two read side by side.
+            fields.insert(4, ("latency_online_ms", latency_block(online)));
+        }
         if !self.session.reactor_health.is_empty() {
             // Reactor-health quantiles (v2): one entry per recorded
             // metric, e.g. loop_lag_ns / event_batch / timer_drift_ns.
@@ -182,9 +196,10 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let schema = require(&json, "schema")?
         .as_str()
         .ok_or("schema tag must be a string")?;
-    if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
+    if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V2 && schema != BENCH_SCHEMA_V1 {
         return Err(format!(
-            "unknown schema {schema:?}, expected {BENCH_SCHEMA:?} (or legacy {BENCH_SCHEMA_V1:?})"
+            "unknown schema {schema:?}, expected {BENCH_SCHEMA:?} \
+             (or legacy {BENCH_SCHEMA_V2:?} / {BENCH_SCHEMA_V1:?})"
         ));
     }
     let bench = require(&json, "bench")?
@@ -198,16 +213,24 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         return Err("iterations must be >= 1".into());
     }
 
-    let latency = require(&json, "latency_ms")?;
-    let p50 = require_f64(latency, "p50")?;
-    let p95 = require_f64(latency, "p95")?;
-    let min = require_f64(latency, "min")?;
-    let max = require_f64(latency, "max")?;
-    require_f64(latency, "mean")?;
-    if !(min <= p50 && p50 <= p95 && p95 <= max) {
-        return Err(format!(
-            "latency quantiles out of order: min={min} p50={p50} p95={p95} max={max}"
-        ));
+    let check_latency_block = |block: &Json, name: &str| -> Result<(), String> {
+        let p50 = require_f64(block, "p50")?;
+        let p95 = require_f64(block, "p95")?;
+        let min = require_f64(block, "min")?;
+        let max = require_f64(block, "max")?;
+        require_f64(block, "mean")?;
+        if !(min <= p50 && p50 <= p95 && p95 <= max) {
+            return Err(format!(
+                "{name} quantiles out of order: min={min} p50={p50} p95={p95} max={max}"
+            ));
+        }
+        Ok(())
+    };
+    check_latency_block(require(&json, "latency_ms")?, "latency")?;
+    if let Some(online) = json.get("latency_online_ms") {
+        // Optional v3 block: online-phase-only latency over precomputed
+        // material. Same shape and ordering rules as the e2e block.
+        check_latency_block(online, "online latency")?;
     }
 
     require_u64(&json, "rounds")?;
@@ -262,6 +285,11 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
 /// * **Latency**: the fresh p50 must satisfy
 ///   `fresh_p50 <= baseline_p50 * (1 + p50_tol)`. Quantiles above p50
 ///   are too noisy on shared runners to gate on.
+/// * **Online-phase latency**: when *both* artifacts carry the v3
+///   `latency_online_ms` block, the fresh online p50 is gated exactly
+///   like the end-to-end p50. A baseline without the block gates only
+///   end-to-end latency (a fresh run cannot lose a gate by being the
+///   first to measure the phase split).
 /// * **Wire bytes**: total bytes on the wire (sent + received),
 ///   normalized *per iteration*, must not grow at all. Each bench
 ///   iteration is a complete protocol session, so wire traffic scales
@@ -322,6 +350,12 @@ pub fn compare_bench_json(baseline: &str, fresh: &str, p50_tol: f64) -> Result<S
     let base_bpi = base_bytes as f64 / base_iters as f64;
     let new_bpi = new_bytes as f64 / new_iters as f64;
 
+    let online_p50_of = |doc: &Json| -> Option<f64> {
+        doc.get("latency_online_ms")
+            .and_then(|l| l.get("p50"))
+            .and_then(|j| j.as_f64())
+    };
+
     let mut failures = Vec::new();
     let p50_limit = base_p50 * (1.0 + p50_tol);
     if new_p50 > p50_limit {
@@ -330,6 +364,22 @@ pub fn compare_bench_json(baseline: &str, fresh: &str, p50_tol: f64) -> Result<S
              (baseline {base_p50:.3} ms, tolerance {:.0}%)",
             p50_tol * 100.0
         ));
+    }
+    let mut online_note = String::new();
+    if let (Some(base_online), Some(new_online)) = (online_p50_of(&base), online_p50_of(&new)) {
+        let online_limit = base_online * (1.0 + p50_tol);
+        if new_online > online_limit {
+            failures.push(format!(
+                "online-phase p50 regression: {new_online:.3} ms > limit {online_limit:.3} ms \
+                 (baseline {base_online:.3} ms, tolerance {:.0}%)",
+                p50_tol * 100.0
+            ));
+        } else {
+            online_note = format!(
+                "; online p50 {new_online:.3} ms vs baseline {base_online:.3} ms \
+                 (limit {online_limit:.3} ms)"
+            );
+        }
     }
     // Exact per-iteration comparison via integer cross-multiplication.
     if (new_bytes as u128) * (base_iters as u128) > (base_bytes as u128) * (new_iters as u128) {
@@ -341,7 +391,7 @@ pub fn compare_bench_json(baseline: &str, fresh: &str, p50_tol: f64) -> Result<S
     if failures.is_empty() {
         Ok(format!(
             "{base_bench}: p50 {new_p50:.3} ms vs baseline {base_p50:.3} ms \
-             (limit {p50_limit:.3} ms); wire {new_bpi:.1} bytes/iter vs \
+             (limit {p50_limit:.3} ms){online_note}; wire {new_bpi:.1} bytes/iter vs \
              baseline {base_bpi:.1} bytes/iter — OK"
         ))
     } else {
@@ -364,6 +414,7 @@ mod tests {
             bench: "classification".into(),
             iterations: 4,
             latency_ms: vec![2.0, 1.0, 4.0, 3.0],
+            latency_online_ms: Some(vec![0.2, 0.1, 0.4, 0.3]),
             session: reg.report(),
             overhead: Some(Overhead {
                 telemetry_on_ms: 10.1,
@@ -379,12 +430,14 @@ mod tests {
     }
 
     #[test]
-    fn legacy_v1_documents_still_validate_and_gate() {
-        let v2 = sample_artifact().to_json();
-        let v1 = v2.replace(BENCH_SCHEMA, BENCH_SCHEMA_V1);
-        validate_bench_json(&v1).unwrap();
-        // A committed v1 baseline gates a fresh v2 run.
-        compare_bench_json(&v1, &v2, 0.15).unwrap();
+    fn legacy_v1_and_v2_documents_still_validate_and_gate() {
+        let v3 = sample_artifact().to_json();
+        for legacy_tag in [BENCH_SCHEMA_V1, BENCH_SCHEMA_V2] {
+            let legacy = v3.replace(BENCH_SCHEMA, legacy_tag);
+            validate_bench_json(&legacy).unwrap();
+            // A committed legacy baseline gates a fresh v3 run.
+            compare_bench_json(&legacy, &v3, 0.15).unwrap();
+        }
     }
 
     #[test]
@@ -399,6 +452,7 @@ mod tests {
             bench: "serving".into(),
             iterations: 1,
             latency_ms: vec![5.0],
+            latency_online_ms: None,
             session: reg.report(),
             overhead: None,
         };
@@ -434,7 +488,7 @@ mod tests {
 
         // Flip the schema tag.
         let good = sample_artifact().to_json();
-        let bad = good.replace("ppcs-bench/v2", "ppcs-bench/v0");
+        let bad = good.replace(BENCH_SCHEMA, "ppcs-bench/v0");
         assert!(validate_bench_json(&bad).unwrap_err().contains("schema"));
 
         // Break the wire-vs-session consistency check. The `wire` summary
@@ -456,9 +510,43 @@ mod tests {
             bench: "classification".into(),
             iterations,
             latency_ms: vec![lat_ms; iterations as usize],
+            latency_online_ms: None,
             session: reg.report(),
             overhead: None,
         }
+    }
+
+    /// [`artifact_with`] plus a flat online-phase latency profile.
+    fn artifact_with_online(iterations: u64, lat_ms: f64, online_ms: f64) -> BenchArtifact {
+        let mut a = artifact_with(iterations, lat_ms, 1000, 2000);
+        a.latency_online_ms = Some(vec![online_ms; iterations as usize]);
+        a
+    }
+
+    #[test]
+    fn compare_gates_the_online_phase_when_both_measure_it() {
+        let base = artifact_with_online(4, 10.0, 1.0).to_json();
+        // Online within tolerance passes and is reported.
+        let ok = artifact_with_online(4, 10.0, 1.1).to_json();
+        let msg = compare_bench_json(&base, &ok, 0.15).unwrap();
+        assert!(msg.contains("online p50"), "{msg}");
+        // Online regression fails even with e2e p50 flat.
+        let slow = artifact_with_online(4, 10.0, 1.3).to_json();
+        let err = compare_bench_json(&base, &slow, 0.15).unwrap_err();
+        assert!(err.contains("online-phase p50 regression"), "{err}");
+        // A baseline without the block never gates the online phase.
+        let v2_base = artifact_with(4, 10.0, 1000, 2000).to_json();
+        compare_bench_json(&v2_base, &slow, 0.15).unwrap();
+        // A disordered online block is rejected structurally.
+        let mut bad = artifact_with_online(4, 10.0, 1.0);
+        bad.latency_online_ms = Some(vec![1.0, 2.0]);
+        let text = bad.to_json().replace(
+            "\"latency_online_ms\":{\"p50\":1",
+            "\"latency_online_ms\":{\"p50\":9",
+        );
+        assert!(validate_bench_json(&text)
+            .unwrap_err()
+            .contains("online latency quantiles out of order"));
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //! hyperplane from `n + 1` exact distance values (the tangent attack of
 //! Fig. 6, implemented in [`privacy`](crate::privacy)).
 
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use ppcs_math::{Algebra, DenseAffine};
 use ppcs_ompe::{
-    ompe_receive_batch_io, ompe_receive_io, ompe_send_batch_io, ompe_send_io, OmpeError, OmpeParams,
+    ompe_receive_batch_io, ompe_receive_batch_offline_io, ompe_receive_io, ompe_send_batch_io,
+    ompe_send_batch_offline_io, ompe_send_io, ompe_send_offline_io, params_fingerprint, OmpeError,
+    OmpeParams, OmpeReceiverOffline, OmpeSenderOffline,
 };
 use ppcs_ot::{ObliviousTransfer, OtError, OtSelect};
 use ppcs_svm::{Kernel, Label, SvmModel};
@@ -42,6 +46,13 @@ pub(crate) const KIND_CLS_SPEC: u16 = 0x0501;
 /// Sent by the parallel client to tell a trainer lane that no more
 /// sessions are coming, so its serve loop can finish cleanly.
 pub(crate) const KIND_CLS_FIN: u16 = 0x0502;
+/// Opens a **warm** session: `[num_samples, spec_hash]`. A repeat client
+/// presents the hash of the spec it cached from an earlier session so
+/// the trainer can skip re-announcing it.
+pub(crate) const KIND_CLS_WARM_HELLO: u16 = 0x0503;
+/// The trainer's warm-session reply: `[1]` confirms the cached spec is
+/// still current; `[0, spec…]` re-announces the full spec.
+pub(crate) const KIND_CLS_TICKET: u16 = 0x0504;
 
 /// The transport failure at the root of a classification error, if any —
 /// however deep it sits (direct, under OMPE, or under OMPE's OT layer).
@@ -102,6 +113,18 @@ impl ClassifySpec {
                 basis.len(self.dim).expect("validated at construction") as usize
             }
         }
+    }
+
+    /// A short commitment to the wire form of this spec, used by warm
+    /// sessions to skip the spec exchange when the cached copy is still
+    /// current. Not collision-resistant against adversaries — a stale
+    /// match only costs one re-announcement, never correctness.
+    pub(crate) fn wire_hash(&self) -> u64 {
+        let mut acc = 0xC1A5_51F7_5EC0_0001u64;
+        for field in self.encode_wire() {
+            acc = mix64(acc ^ field);
+        }
+        acc
     }
 
     pub(crate) fn encode_wire(&self) -> Vec<u64> {
@@ -270,9 +293,32 @@ where
         self.spec
     }
 
+    /// The numeric backend this trainer encodes with.
+    pub(crate) fn alg(&self) -> &A {
+        &self.alg
+    }
+
+    /// Draws one session's worth of input-independent sender material —
+    /// the OT base-phase commitment plus `rounds` masking polynomials —
+    /// off the critical path. Feed the pack to
+    /// [`Trainer::serve_session_engine`] (or a
+    /// [`PrecomputePool`](crate::PrecomputePool)) and the online phase
+    /// skips every input-independent draw.
+    pub fn precompute_material(
+        &self,
+        sel: OtSelect,
+        rounds: usize,
+        rng: &mut dyn RngCore,
+    ) -> OmpeSenderOffline<A> {
+        OmpeSenderOffline::precompute(&self.alg, sel, &self.spec.ompe, rounds, rng)
+    }
+
     /// Serves a single OMPE round with an explicit amplifier element —
     /// the building block the multi-class session composes (shared or
     /// fresh amplifiers across the per-class rounds of one sample).
+    /// With `material`, the round consumes the precomputed pack instead
+    /// of drawing its offline half inline; the wire traffic is the same
+    /// either way, so the peer never needs to know.
     ///
     /// # Errors
     ///
@@ -283,9 +329,16 @@ where
         sel: OtSelect,
         rng: &mut dyn RngCore,
         amplifier: A::Elem,
+        material: Option<OmpeSenderOffline<A>>,
     ) -> Result<(), PpcsError> {
         let secret = self.base.scale(&self.alg, &amplifier);
-        ompe_send_io(&self.alg, io, sel, rng, &secret, &self.spec.ompe).await?;
+        match material {
+            Some(pack) => {
+                ompe_send_offline_io(&self.alg, io, sel, rng, &secret, &self.spec.ompe, pack)
+                    .await?
+            }
+            None => ompe_send_io(&self.alg, io, sel, rng, &secret, &self.spec.ompe).await?,
+        }
         Ok(())
     }
 
@@ -326,23 +379,67 @@ where
         sel: OtSelect,
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
+        self.serve_session_io(io, sel, rng, false, None).await
+    }
+
+    /// The session-unified trainer role: serves one batch session that
+    /// opened **cold** (`HELLO`/`SPEC` exchange) or **warm**
+    /// (`WARM_HELLO`/`TICKET`, the client already holds the spec), with
+    /// the input-independent sender material optionally supplied by a
+    /// precompute pool instead of drawn inline. Returns the number of
+    /// samples served.
+    ///
+    /// `serve_session_io(io, sel, rng, false, None)` is exactly
+    /// [`Trainer::serve_io`]; every combination produces the same OMPE
+    /// traffic, so cold/warm and offline/inline pair freely with any
+    /// client.
+    ///
+    /// # Errors
+    ///
+    /// Transport, OT, and OMPE failures.
+    pub async fn serve_session_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        warm: bool,
+        material: Option<OmpeSenderOffline<A>>,
+    ) -> Result<usize, PpcsError> {
         let _span = ppcs_telemetry::span(Phase::Classify);
-        let num_samples: u64 = io.recv_msg(KIND_CLS_HELLO).await?;
-        // The batch size is peer-chosen and sizes the secrets allocation
-        // below: cap it before reserving anything.
-        if num_samples > MAX_BATCH_SAMPLES {
-            return Err(PpcsError::Protocol(format!(
-                "client requested {num_samples} samples, per-session cap is {MAX_BATCH_SAMPLES}"
-            )));
-        }
-        io.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
+        let num_samples: u64 = if warm {
+            let hello = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_WARM_HELLO).await?)?;
+            let [n, spec_hash] = hello[..] else {
+                return Err(PpcsError::Protocol("malformed warm hello".into()));
+            };
+            check_batch_cap(n)?;
+            // Confirm the cached spec or re-announce it in the ticket;
+            // either way the session proceeds without a second
+            // round-trip.
+            let mut ticket = vec![u64::from(spec_hash == self.spec.wire_hash())];
+            if ticket[0] == 0 {
+                ticket.extend(self.spec.encode_wire());
+            }
+            io.send_msg(KIND_CLS_TICKET, &encode_u64s(&ticket))?;
+            n
+        } else {
+            let n: u64 = io.recv_msg(KIND_CLS_HELLO).await?;
+            check_batch_cap(n)?;
+            io.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
+            n
+        };
         let secrets: Vec<DenseAffine<A>> = (0..num_samples)
             .map(|_| {
                 let ra = self.alg.encode_int(self.cfg.draw_amplifier(rng));
                 self.base.scale(&self.alg, &ra)
             })
             .collect();
-        ompe_send_batch_io(&self.alg, io, sel, rng, &secrets, &self.spec.ompe).await?;
+        match material {
+            Some(pack) => {
+                ompe_send_batch_offline_io(&self.alg, io, sel, rng, &secrets, &self.spec.ompe, pack)
+                    .await?
+            }
+            None => ompe_send_batch_io(&self.alg, io, sel, rng, &secrets, &self.spec.ompe).await?,
+        }
         Ok(num_samples as usize)
     }
 
@@ -350,9 +447,25 @@ where
     /// owning its RNG (seeded from `seed`), so a session can be driven,
     /// recorded, and re-created bit-identically for transcript replay.
     pub fn serve_engine(&self, sel: OtSelect, seed: u64) -> ProtocolEngine<'_, usize, PpcsError> {
+        self.serve_session_engine(sel, seed, false, None)
+    }
+
+    /// [`Trainer::serve_engine`] with the session-unified knobs: `warm`
+    /// selects the `WARM_HELLO` handshake, `material` feeds the session
+    /// precomputed sender material (from
+    /// [`Trainer::precompute_material`] or a
+    /// [`PrecomputePool`](crate::PrecomputePool)).
+    pub fn serve_session_engine(
+        &self,
+        sel: OtSelect,
+        seed: u64,
+        warm: bool,
+        material: Option<OmpeSenderOffline<A>>,
+    ) -> ProtocolEngine<'_, usize, PpcsError> {
         ProtocolEngine::new(move |io| async move {
             let mut rng = StdRng::seed_from_u64(seed);
-            self.serve_io(&io, sel, &mut rng).await
+            self.serve_session_io(&io, sel, &mut rng, warm, material)
+                .await
         })
     }
 
@@ -421,14 +534,16 @@ where
             if first.kind == KIND_CLS_FIN {
                 break;
             }
-            if first.kind != KIND_CLS_HELLO {
+            if first.kind != KIND_CLS_HELLO && first.kind != KIND_CLS_WARM_HELLO {
                 // Stale traffic from an abandoned session: skip until
                 // the next HELLO opens a fresh one.
                 continue;
             }
+            let warm = first.kind == KIND_CLS_WARM_HELLO;
             let r = &mut *rng;
-            let mut engine =
-                ProtocolEngine::new(|io| async move { self.serve_io(&io, sel, r).await });
+            let mut engine = ProtocolEngine::new(|io| async move {
+                self.serve_session_io(&io, sel, r, warm, None).await
+            });
             engine.handle_input(first);
             match drive_blocking(ep, &mut engine) {
                 Ok(n) => total += n,
@@ -576,16 +691,70 @@ where
         rng: &mut dyn RngCore,
         samples: &[Vec<f64>],
     ) -> Result<Vec<(Label, f64)>, PpcsError> {
+        self.classify_session_io(io, sel, rng, samples, None, None)
+            .await
+    }
+
+    /// The session-unified client role: one batch session that opens
+    /// **cold** (spec exchange) or **warm** (`warm = Some((cache,
+    /// peer))` and the cache holds `peer`'s spec — the handshake shrinks
+    /// to a hash/ticket pair), optionally consuming precomputed
+    /// receiver-side material so the online phase skips the point-cloud
+    /// construction.
+    ///
+    /// An empty cache entry falls back to the cold handshake and
+    /// populates the cache; mismatched or exhausted `offline` material
+    /// falls back to inline construction. Neither fallback changes the
+    /// wire traffic's shape beyond the handshake kind, so any client
+    /// mode pairs with any trainer mode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::classify_batch_values`], plus
+    /// [`PpcsError::Protocol`] on a malformed warm-session ticket.
+    pub async fn classify_session_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        samples: &[Vec<f64>],
+        warm: Option<(&WarmSessionCache, u64)>,
+        offline: Option<&mut OmpeReceiverOffline<A>>,
+    ) -> Result<Vec<(Label, f64)>, PpcsError> {
         let _span = ppcs_telemetry::span(Phase::Classify);
-        io.send_msg(KIND_CLS_HELLO, &(samples.len() as u64))?;
-        let fields = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_SPEC).await?)?;
-        let spec = ClassifySpec::decode_wire(&fields)?;
-        if spec.ompe.sigma != self.cfg.sigma || spec.ompe.decoy_factor != self.cfg.decoy_factor {
-            return Err(PpcsError::Protocol(format!(
-                "trainer announced sigma={} decoys={}, client configured sigma={} decoys={}",
-                spec.ompe.sigma, spec.ompe.decoy_factor, self.cfg.sigma, self.cfg.decoy_factor
-            )));
-        }
+        let spec = match warm {
+            Some((cache, peer)) => match cache.get(peer) {
+                Some(cached) => {
+                    io.send_msg(
+                        KIND_CLS_WARM_HELLO,
+                        &encode_u64s(&[samples.len() as u64, cached.wire_hash()]),
+                    )?;
+                    let ticket = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_TICKET).await?)?;
+                    match ticket.split_first() {
+                        Some((&1, [])) => cached,
+                        Some((&0, fields)) => {
+                            // The trainer's spec moved since we cached
+                            // it: adopt the re-announced one.
+                            let spec = ClassifySpec::decode_wire(fields)?;
+                            self.check_spec(&spec)?;
+                            cache.insert(peer, spec);
+                            spec
+                        }
+                        _ => {
+                            return Err(PpcsError::Protocol("malformed warm-session ticket".into()))
+                        }
+                    }
+                }
+                None => {
+                    // First contact with this peer: cold handshake, then
+                    // remember the spec for the next session.
+                    let spec = self.cold_handshake_io(io, samples.len()).await?;
+                    cache.insert(peer, spec);
+                    spec
+                }
+            },
+            None => self.cold_handshake_io(io, samples.len()).await?,
+        };
 
         // Encode every sample's OMPE input up front so the whole batch
         // runs through one receiver session: cover-polynomial storage and
@@ -593,7 +762,18 @@ where
         // coalesced frame. The monomial expansion walks the basis
         // enumeration once for the entire batch.
         let alphas = self.encode_inputs(samples, &spec)?;
-        let values = ompe_receive_batch_io(&self.alg, io, sel, rng, &alphas, &spec.ompe).await?;
+        let values = match offline {
+            Some(pack)
+                if pack.fingerprint() == params_fingerprint(sel, &spec.ompe)
+                    && pack.dim() == spec.input_arity() =>
+            {
+                ompe_receive_batch_offline_io(&self.alg, io, sel, rng, &alphas, &spec.ompe, pack)
+                    .await?
+            }
+            // Material drawn for a different configuration (or none at
+            // all): build the point clouds inline.
+            _ => ompe_receive_batch_io(&self.alg, io, sel, rng, &alphas, &spec.ompe).await?,
+        };
         Ok(values
             .iter()
             .map(|value| {
@@ -601,6 +781,57 @@ where
                 (Label::from_sign(decoded), decoded)
             })
             .collect())
+    }
+
+    /// The cold session opening: announce the batch size, receive and
+    /// validate the trainer's spec.
+    async fn cold_handshake_io(
+        &self,
+        io: &FrameIo,
+        num_samples: usize,
+    ) -> Result<ClassifySpec, PpcsError> {
+        io.send_msg(KIND_CLS_HELLO, &(num_samples as u64))?;
+        let fields = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_SPEC).await?)?;
+        let spec = ClassifySpec::decode_wire(&fields)?;
+        self.check_spec(&spec)?;
+        Ok(spec)
+    }
+
+    /// Rejects a trainer-announced spec that disagrees with this
+    /// client's configured privacy parameters.
+    fn check_spec(&self, spec: &ClassifySpec) -> Result<(), PpcsError> {
+        if spec.ompe.sigma != self.cfg.sigma || spec.ompe.decoy_factor != self.cfg.decoy_factor {
+            return Err(PpcsError::Protocol(format!(
+                "trainer announced sigma={} decoys={}, client configured sigma={} decoys={}",
+                spec.ompe.sigma, spec.ompe.decoy_factor, self.cfg.sigma, self.cfg.decoy_factor
+            )));
+        }
+        Ok(())
+    }
+
+    /// Draws input-independent receiver material — `rounds` blinded
+    /// point clouds, one consumed per sample — against a known `spec`:
+    /// the client half of the offline/online split.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Ompe`] if the spec's parameters cannot draw the
+    /// distinct abscissae a point cloud needs.
+    pub fn precompute_material(
+        &self,
+        sel: OtSelect,
+        spec: &ClassifySpec,
+        rounds: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<OmpeReceiverOffline<A>, PpcsError> {
+        Ok(OmpeReceiverOffline::precompute(
+            &self.alg,
+            sel,
+            &spec.ompe,
+            spec.input_arity(),
+            rounds,
+            rng,
+        )?)
     }
 
     /// Packages the client role as a self-contained [`ProtocolEngine`]
@@ -617,6 +848,52 @@ where
             self.classify_batch_values_io(&io, sel, &mut rng, samples)
                 .await
         })
+    }
+
+    /// [`Client::classify_engine`] for a repeat client: the session
+    /// opens warm against `cache`'s entry for `peer` (cold and
+    /// cache-filling on first contact) and optionally consumes
+    /// precomputed receiver material.
+    #[allow(clippy::too_many_arguments)]
+    pub fn classify_warm_engine<'a>(
+        &'a self,
+        sel: OtSelect,
+        seed: u64,
+        samples: &'a [Vec<f64>],
+        cache: &'a WarmSessionCache,
+        peer: u64,
+        offline: Option<&'a mut OmpeReceiverOffline<A>>,
+    ) -> ProtocolEngine<'a, Vec<(Label, f64)>, PpcsError> {
+        ProtocolEngine::new(move |io| async move {
+            let mut rng = StdRng::seed_from_u64(seed);
+            self.classify_session_io(&io, sel, &mut rng, samples, Some((cache, peer)), offline)
+                .await
+        })
+    }
+
+    /// Blocking counterpart of [`Client::classify_warm_engine`]:
+    /// classifies a batch over a warm (or first-contact cold) session
+    /// keyed by `peer` in `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::classify_batch_values`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn classify_batch_values_warm<L: Lane + ?Sized>(
+        &self,
+        ep: &L,
+        ot: &dyn ObliviousTransfer,
+        rng: &mut dyn RngCore,
+        samples: &[Vec<f64>],
+        cache: &WarmSessionCache,
+        peer: u64,
+    ) -> Result<Vec<(Label, f64)>, PpcsError> {
+        let sel = ot.select();
+        let mut engine = ProtocolEngine::new(|io| async move {
+            self.classify_session_io(&io, sel, rng, samples, Some((cache, peer)), None)
+                .await
+        });
+        drive_blocking(ep, &mut engine)
     }
 
     /// Validates a sample against the announced spec and encodes it as
@@ -806,6 +1083,60 @@ where
     }
 }
 
+/// A client-side cache of per-peer session specs, keyed by an opaque
+/// peer identifier the caller chooses (an address hash, a connection
+/// slot — anything stable across sessions with the same trainer).
+///
+/// A repeat client holding a cached spec opens its next session
+/// **warm**: the `HELLO`/`SPEC` exchange shrinks to a
+/// `WARM_HELLO`/`TICKET` hash check, riding the same resumable-session
+/// machinery that already redials the transport. The cache is
+/// internally synchronized, so one instance can back every lane of a
+/// parallel client.
+#[derive(Debug, Default)]
+pub struct WarmSessionCache {
+    inner: Mutex<HashMap<u64, ClassifySpec>>,
+}
+
+impl WarmSessionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached spec for `peer`, if any.
+    pub fn get(&self, peer: u64) -> Option<ClassifySpec> {
+        self.inner
+            .lock()
+            .expect("warm cache lock")
+            .get(&peer)
+            .copied()
+    }
+
+    /// Caches (or replaces) the spec for `peer`.
+    pub fn insert(&self, peer: u64, spec: ClassifySpec) {
+        self.inner
+            .lock()
+            .expect("warm cache lock")
+            .insert(peer, spec);
+    }
+
+    /// How many peers have a cached spec.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("warm cache lock").len()
+    }
+
+    /// Whether the cache holds no specs at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets every cached spec.
+    pub fn clear(&self) {
+        self.inner.lock().expect("warm cache lock").clear();
+    }
+}
+
 /// Splits `samples` into `lanes` contiguous chunks whose lengths differ
 /// by at most one (the first `len % lanes` chunks get the extra sample).
 fn shard_evenly(samples: &[Vec<f64>], lanes: usize) -> Vec<&[Vec<f64>]> {
@@ -819,6 +1150,26 @@ fn shard_evenly(samples: &[Vec<f64>], lanes: usize) -> Vec<&[Vec<f64>]> {
         start += len;
     }
     chunks
+}
+
+/// The batch size is peer-chosen and sizes the secrets allocation: cap
+/// it before reserving anything.
+fn check_batch_cap(num_samples: u64) -> Result<(), PpcsError> {
+    if num_samples > MAX_BATCH_SAMPLES {
+        return Err(PpcsError::Protocol(format!(
+            "client requested {num_samples} samples, per-session cap is {MAX_BATCH_SAMPLES}"
+        )));
+    }
+    Ok(())
+}
+
+/// SplitMix64 finalizer — the same avalanche the OMPE offline-material
+/// fingerprint uses, re-stated here so `core` does not depend on a
+/// non-public helper of `ppcs-ompe`.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 fn encode_u64s(vals: &[u64]) -> Vec<u8> {

@@ -50,20 +50,23 @@ mod config;
 mod error;
 pub mod expansion;
 mod multiclass;
+mod precompute;
 pub mod privacy;
 mod server;
 mod similarity;
 
-pub use classify::{ClassifySpec, Client, InputForm, Trainer, MAX_BATCH_SAMPLES};
+pub use classify::{ClassifySpec, Client, InputForm, Trainer, WarmSessionCache, MAX_BATCH_SAMPLES};
 pub use config::ProtocolConfig;
 pub use error::PpcsError;
 pub use expansion::{expand_model, BasisKind, ExpandedDecision};
 pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
+pub use precompute::PrecomputePool;
 pub use server::{ServeSummary, ServerConfig, SessionSupervisor, TrainerServer};
 pub use similarity::{
     boundary_points_decision, boundary_points_linear, centroid, cos2_between, direction_input,
     similarity_plain, similarity_plain_geometry, similarity_request, similarity_request_geometry,
     similarity_request_geometry_io, similarity_request_io, similarity_respond,
-    similarity_respond_geometry, similarity_respond_geometry_io, similarity_respond_io,
-    triangle_area_squared, ModelGeometry, SimilarityConfig,
+    similarity_respond_geometry, similarity_respond_geometry_io,
+    similarity_respond_geometry_offline_io, similarity_respond_io, triangle_area_squared,
+    ModelGeometry, SimilarityConfig, SimilarityResponderOffline,
 };

@@ -21,7 +21,10 @@
 //!   revealing the *ratios* of the class decision values for that sample
 //!   (but still neither their scale nor the models).
 
+use std::collections::VecDeque;
+
 use ppcs_math::Algebra;
+use ppcs_ompe::OmpeSenderOffline;
 use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::MultiClassModel;
 use ppcs_transport::{drive_blocking, Encodable, Endpoint, FrameIo, ProtocolEngine};
@@ -130,6 +133,51 @@ where
         sel: OtSelect,
         rng: &mut dyn RngCore,
     ) -> Result<usize, PpcsError> {
+        self.serve_session_io(io, sel, rng, None).await
+    }
+
+    /// [`MultiClassTrainer::serve_io`] consuming precomputed offline
+    /// material: each per-class round pops one pack from `packs` (see
+    /// [`MultiClassTrainer::precompute_packs`]); when the queue runs dry
+    /// the remaining rounds draw their offline halves inline. Either way
+    /// the wire traffic is identical, so any client pairs with it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiClassTrainer::serve_io`].
+    pub async fn serve_offline_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        packs: &mut VecDeque<OmpeSenderOffline<A>>,
+    ) -> Result<usize, PpcsError> {
+        self.serve_session_io(io, sel, rng, Some(packs)).await
+    }
+
+    /// Draws `rounds` single-round offline packs for this trainer's
+    /// shared per-class spec, ready to feed
+    /// [`MultiClassTrainer::serve_offline_io`]. One pack is consumed per
+    /// class round, so a session over `s` samples and `c` classes wants
+    /// `s·c` of them.
+    pub fn precompute_packs(
+        &self,
+        sel: OtSelect,
+        rounds: usize,
+        rng: &mut dyn RngCore,
+    ) -> VecDeque<OmpeSenderOffline<A>> {
+        (0..rounds)
+            .map(|_| self.trainers[0].precompute_material(sel, 1, rng))
+            .collect()
+    }
+
+    async fn serve_session_io(
+        &self,
+        io: &FrameIo,
+        sel: OtSelect,
+        rng: &mut dyn RngCore,
+        mut packs: Option<&mut VecDeque<OmpeSenderOffline<A>>>,
+    ) -> Result<usize, PpcsError> {
         let num_samples: u64 = io.recv_msg(KIND_MC_HELLO).await?;
         // Peer-chosen batch size bounds the per-class serving work below.
         if num_samples > crate::classify::MAX_BATCH_SAMPLES {
@@ -161,8 +209,9 @@ where
                     Some(ra) => ra,
                     None => self.cfg.draw_amplifier(rng),
                 };
+                let material = packs.as_mut().and_then(|q| q.pop_front());
                 trainer
-                    .serve_one_with_amplifier_io(io, sel, rng, self.alg.encode_int(ra))
+                    .serve_one_with_amplifier_io(io, sel, rng, self.alg.encode_int(ra), material)
                     .await?;
             }
             let _ = sample_idx;

@@ -40,8 +40,11 @@ use ppcs_transport::{
     TransportError, KIND_BUSY,
 };
 
-use crate::classify::{transport_cause, Trainer, KIND_CLS_FIN, KIND_CLS_HELLO};
+use crate::classify::{
+    transport_cause, Trainer, KIND_CLS_FIN, KIND_CLS_HELLO, KIND_CLS_WARM_HELLO,
+};
 use crate::error::PpcsError;
+use crate::precompute::PrecomputePool;
 
 /// How often idle lanes and draining watchdogs re-check their flags.
 const POLL_SLICE: Duration = Duration::from_millis(20);
@@ -60,6 +63,15 @@ pub struct ServerConfig {
     /// Grace period between [`SessionSupervisor::drain`] and the forced
     /// cut of still-running sessions.
     pub drain_deadline: Duration,
+    /// How many precomputed offline packs the serving run keeps ready
+    /// (filled from idle time, drained on
+    /// [`SessionSupervisor::drain`]). `0` disables precomputation
+    /// entirely — every session then runs monolithically.
+    pub precompute_capacity: usize,
+    /// Masking polynomials per precomputed pack — one is consumed per
+    /// sample, so size this near the expected batch size. A session
+    /// whose batch outgrows its pack refreshes the remainder inline.
+    pub precompute_masks: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +84,8 @@ impl Default for ServerConfig {
                 .with_max_wire_bytes(64 << 20),
             idle_timeout: Duration::from_secs(30),
             drain_deadline: Duration::from_secs(1),
+            precompute_capacity: 8,
+            precompute_masks: 16,
         }
     }
 }
@@ -361,12 +375,16 @@ where
     ) -> ServeSummary {
         let sel = ot.select();
         let stop_watchdog = AtomicBool::new(false);
+        let pool = self.build_pool(sel, seed);
         let served: usize = std::thread::scope(|scope| {
             let watchdog = scope.spawn(|| self.drain_watchdog(&stop_watchdog));
             let handles: Vec<_> = lanes
                 .iter()
                 .enumerate()
-                .map(|(i, lane)| scope.spawn(move || self.serve_lane(lane, sel, seed, i as u64)))
+                .map(|(i, lane)| {
+                    let pool = pool.as_ref();
+                    scope.spawn(move || self.serve_lane(lane, sel, seed, i as u64, pool))
+                })
                 .collect();
             let total = handles
                 .into_iter()
@@ -417,6 +435,30 @@ where
         self.supervisor.force_cut();
     }
 
+    /// Builds the serving run's precompute pool (when enabled), bound to
+    /// this trainer's spec and the run's OT engine, with one pack ready
+    /// before the first client arrives.
+    fn build_pool(&self, sel: OtSelect, seed: u64) -> Option<PrecomputePool<A>> {
+        if self.config.precompute_capacity == 0 {
+            return None;
+        }
+        let mut pool = PrecomputePool::new(
+            self.trainer.alg().clone(),
+            sel,
+            self.trainer.spec().ompe,
+            self.config.precompute_capacity,
+            self.config.precompute_masks,
+            // Domain-separated from the session seeds so offline draws
+            // never overlap an online session's randomness.
+            seed ^ 0x0FF1_CE0F_F1CE_0FF1,
+        );
+        if let Some(reg) = &self.metrics {
+            pool = pool.with_metrics(reg.clone());
+        }
+        pool.fill_one();
+        Some(pool)
+    }
+
     /// One lane's guarded session loop.
     fn serve_lane<L: Lane + ?Sized>(
         &self,
@@ -424,6 +466,7 @@ where
         sel: ppcs_ot::OtSelect,
         seed: u64,
         lane_idx: u64,
+        pool: Option<&PrecomputePool<A>>,
     ) -> usize {
         let sup = &self.supervisor;
         let mut served = 0usize;
@@ -439,8 +482,22 @@ where
             let first = match lane.recv() {
                 Ok(f) => f,
                 Err(TransportError::Timeout) => {
-                    if sup.draining() || idle_since.elapsed() >= self.config.idle_timeout {
+                    if sup.draining() {
+                        // No precomputed material outlives the run that
+                        // drew it.
+                        if let Some(p) = pool {
+                            p.clear();
+                        }
                         break;
+                    }
+                    if idle_since.elapsed() >= self.config.idle_timeout {
+                        break;
+                    }
+                    // An idle recv slice with nothing to serve: put it
+                    // toward offline work (budgeted — one pack per
+                    // slice, so drain/cut stay responsive).
+                    if let Some(p) = pool {
+                        p.fill_one();
                     }
                     continue;
                 }
@@ -455,9 +512,9 @@ where
             if first.kind == KIND_CLS_FIN {
                 break;
             }
-            if first.kind != KIND_CLS_HELLO {
-                // A session must open with HELLO; anything else here is
-                // stale or hostile traffic.
+            if first.kind != KIND_CLS_HELLO && first.kind != KIND_CLS_WARM_HELLO {
+                // A session must open with a (cold or warm) HELLO;
+                // anything else here is stale or hostile traffic.
                 self.note_malformed();
                 continue;
             }
@@ -489,7 +546,17 @@ where
             let session_seed = seed
                 .wrapping_add(lane_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 .wrapping_add(sessions);
-            let mut engine = self.trainer.serve_engine(sel, session_seed);
+            let warm = first.kind == KIND_CLS_WARM_HELLO;
+            // A dry pool is a miss, not a failure: the session serves
+            // monolithically. (The pool is built from this trainer's own
+            // spec, so the config-mismatch arm is unreachable here.)
+            let material = pool.and_then(|p| {
+                p.take(sel, &self.trainer.spec().ompe)
+                    .expect("pool built from this trainer's spec")
+            });
+            let mut engine = self
+                .trainer
+                .serve_session_engine(sel, session_seed, warm, material);
             engine.handle_input(first);
             let mut driver = Driver::new()
                 .with_limits(self.config.limits.clone())
@@ -555,7 +622,8 @@ where
             driver.set_idle_deadline(id, Some(self.config.idle_timeout));
             meta.insert(id, ConnMeta::new(i as u64));
         }
-        let served = self.pump_async(&mut driver, &mut meta, sel, seed, false);
+        let pool = self.build_pool(sel, seed);
+        let served = self.pump_async(&mut driver, &mut meta, sel, seed, false, pool.as_ref());
         Ok(self.supervisor.summary(served))
     }
 
@@ -585,7 +653,8 @@ where
         self.attach_observability(&mut driver)?;
         driver.listen(listener)?;
         let mut meta: HashMap<ConnId, ConnMeta> = HashMap::new();
-        let served = self.pump_async(&mut driver, &mut meta, sel, seed, true);
+        let pool = self.build_pool(sel, seed);
+        let served = self.pump_async(&mut driver, &mut meta, sel, seed, true, pool.as_ref());
         Ok(self.supervisor.summary(served))
     }
 
@@ -625,6 +694,7 @@ where
         sel: OtSelect,
         seed: u64,
         accepting: bool,
+        pool: Option<&PrecomputePool<A>>,
     ) -> usize {
         let sup = &self.supervisor;
         let mut served = 0usize;
@@ -639,6 +709,11 @@ where
                 if drain_started.is_none() {
                     drain_started = Some(Instant::now());
                     self.record_run_transition(DETAIL_DRAIN_BEGAN);
+                    // No precomputed material outlives the run that
+                    // drew it.
+                    if let Some(p) = pool {
+                        p.clear();
+                    }
                     // Admission is over. Pending (sessionless) connections
                     // get one short slice so a HELLO already in flight is
                     // still answered with `KIND_BUSY` — exactly the window
@@ -670,7 +745,16 @@ where
                     .clamp(Duration::from_millis(1), POLL_SLICE),
                 _ => Duration::from_millis(50),
             };
-            for event in driver.poll(max_wait) {
+            let events = driver.poll(max_wait);
+            if events.is_empty() && !sup.draining() {
+                // A poll that returned nothing is reactor idle time:
+                // spend it on one budgeted offline pack, then get back
+                // to the event loop.
+                if let Some(p) = pool {
+                    p.fill_one();
+                }
+            }
+            for event in events {
                 match event {
                     AsyncEvent::Accepted { conn } => {
                         if sup.draining() {
@@ -694,7 +778,7 @@ where
                             // A session racing the drain is answered like
                             // any over-capacity arrival: an explicit
                             // `KIND_BUSY`, then the lane closes.
-                            if frame.kind == KIND_CLS_HELLO {
+                            if frame.kind == KIND_CLS_HELLO || frame.kind == KIND_CLS_WARM_HELLO {
                                 let _ = driver.send_busy(conn);
                                 sup.inner.shed.fetch_add(1, Ordering::Relaxed);
                                 if let Some(reg) = &self.metrics {
@@ -707,9 +791,10 @@ where
                             meta.remove(&conn);
                             continue;
                         }
-                        if frame.kind != KIND_CLS_HELLO {
-                            // A session must open with HELLO; anything
-                            // else here is stale or hostile traffic.
+                        if frame.kind != KIND_CLS_HELLO && frame.kind != KIND_CLS_WARM_HELLO {
+                            // A session must open with a (cold or warm)
+                            // HELLO; anything else here is stale or
+                            // hostile traffic.
                             self.note_malformed();
                             driver.set_idle_deadline(conn, Some(self.config.idle_timeout));
                             continue;
@@ -734,7 +819,16 @@ where
                             .wrapping_add(state.lane_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                             .wrapping_add(state.sessions);
                         state.permit = Some(permit);
-                        let mut engine = self.trainer.serve_engine(sel, session_seed);
+                        let warm = frame.kind == KIND_CLS_WARM_HELLO;
+                        // A dry pool is a miss, not a failure: the
+                        // session serves monolithically.
+                        let material = pool.and_then(|p| {
+                            p.take(sel, &self.trainer.spec().ompe)
+                                .expect("pool built from this trainer's spec")
+                        });
+                        let mut engine =
+                            self.trainer
+                                .serve_session_engine(sel, session_seed, warm, material);
                         engine.handle_input(frame);
                         let mut opts = DriveOptions::new()
                             .with_limits(self.config.limits.clone())

@@ -25,8 +25,10 @@
 //! identity to hold, so this implementation uses `d₂ = r_aw⁻²`
 //! (documented erratum, see DESIGN.md §3.4).
 
-use ppcs_math::{Algebra, DenseAffine, MvPolynomial};
-use ppcs_ompe::{ompe_receive_io, ompe_send_io, OmpeParams};
+use ppcs_math::{Algebra, DenseAffine, MvPolynomial, PolyEval};
+use ppcs_ompe::{
+    ompe_receive_io, ompe_send_io, ompe_send_offline_io, OmpeParams, OmpeSenderOffline,
+};
 use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_svm::{Kernel, SvmModel};
 use ppcs_telemetry::Phase;
@@ -562,8 +564,69 @@ where
     A: Algebra,
     A::Elem: Encodable,
 {
+    similarity_respond_session_io(alg, io, sel, rng, geom, kernel, model_dim, cfg, None).await
+}
+
+/// [`similarity_respond_geometry_io`] consuming precomputed offline
+/// material, so the online phase spends nothing on mask refreshes or
+/// OT base-phase setup. Pairs with any requester — see
+/// [`SimilarityResponderOffline`].
+///
+/// # Errors
+///
+/// Same as [`similarity_respond_geometry`].
+#[allow(clippy::too_many_arguments)]
+pub async fn similarity_respond_geometry_offline_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    geom: &ModelGeometry,
+    kernel: Kernel,
+    model_dim: usize,
+    cfg: &SimilarityConfig,
+    offline: SimilarityResponderOffline<A>,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    similarity_respond_session_io(
+        alg,
+        io,
+        sel,
+        rng,
+        geom,
+        kernel,
+        model_dim,
+        cfg,
+        Some(offline),
+    )
+    .await
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn similarity_respond_session_io<A>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    geom: &ModelGeometry,
+    kernel: Kernel,
+    model_dim: usize,
+    cfg: &SimilarityConfig,
+    offline: Option<SimilarityResponderOffline<A>>,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
     let _span = ppcs_telemetry::span(Phase::Similarity);
     cfg.protocol.validate()?;
+    let (off1, off2, off3) = match offline {
+        Some(o) => (Some(o.linear1), Some(o.linear2), Some(o.area)),
+        None => (None, None, None),
+    };
 
     // Round 0: Bob's inseparable aggregates arrive in the clear.
     let hello: Vec<u8> = io.recv_msg(KIND_SIM_HELLO).await?;
@@ -584,7 +647,7 @@ where
             .collect(),
         alg.zero(),
     );
-    ompe_send_io(alg, io, sel, rng, &secret1, &cfg.ompe_linear()?).await?;
+    respond_round(alg, io, sel, rng, &secret1, &cfg.ompe_linear()?, off1).await?;
 
     // Round 2: x₂ = r_aw · (w_A · w_B) + r_b.
     let raw = cfg.protocol.draw_amplifier(rng);
@@ -597,7 +660,7 @@ where
             .collect(),
         rb_enc.clone(),
     );
-    ompe_send_io(alg, io, sel, rng, &secret2, &cfg.ompe_linear()?).await?;
+    respond_round(alg, io, sel, rng, &secret2, &cfg.ompe_linear()?, off2).await?;
 
     // Round 3: the two-variate degree-4 area polynomial.
     let area_poly = build_area_polynomial(
@@ -610,7 +673,72 @@ where
         raw,
         &rb_enc,
     );
-    ompe_send_io(alg, io, sel, rng, &area_poly, &cfg.ompe_area()?).await?;
+    respond_round(alg, io, sel, rng, &area_poly, &cfg.ompe_area()?, off3).await?;
+    Ok(())
+}
+
+/// Input-independent offline material for one responder session: one
+/// precomputed sender pack per OMPE round (two linear cross-term
+/// rounds, then the degree-4 area round), drawn before Bob's inputs —
+/// or Bob himself — exist.
+///
+/// The offline responder produces byte-compatible traffic, so it pairs
+/// with any requester; a requester never knows (or cares) whether the
+/// responder precomputed.
+pub struct SimilarityResponderOffline<A: Algebra> {
+    linear1: OmpeSenderOffline<A>,
+    linear2: OmpeSenderOffline<A>,
+    area: OmpeSenderOffline<A>,
+}
+
+impl<A> SimilarityResponderOffline<A>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+{
+    /// Precomputes the three rounds' sender material under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`PpcsError::Config`] or [`PpcsError::Ompe`] if `cfg`'s protocol
+    /// parameters are invalid.
+    pub fn precompute(
+        alg: &A,
+        sel: OtSelect,
+        cfg: &SimilarityConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, PpcsError> {
+        cfg.protocol.validate()?;
+        let linear = cfg.ompe_linear()?;
+        let area = cfg.ompe_area()?;
+        Ok(Self {
+            linear1: OmpeSenderOffline::precompute(alg, sel, &linear, 1, rng),
+            linear2: OmpeSenderOffline::precompute(alg, sel, &linear, 1, rng),
+            area: OmpeSenderOffline::precompute(alg, sel, &area, 1, rng),
+        })
+    }
+}
+
+/// One responder OMPE round, precomputed or monolithic — the two paths
+/// emit identical frame sequences.
+async fn respond_round<A, P>(
+    alg: &A,
+    io: &FrameIo,
+    sel: OtSelect,
+    rng: &mut dyn RngCore,
+    secret: &P,
+    params: &OmpeParams,
+    pack: Option<OmpeSenderOffline<A>>,
+) -> Result<(), PpcsError>
+where
+    A: Algebra,
+    A::Elem: Encodable,
+    P: PolyEval<A> + ?Sized,
+{
+    match pack {
+        Some(pack) => ompe_send_offline_io(alg, io, sel, rng, secret, params, pack).await?,
+        None => ompe_send_io(alg, io, sel, rng, secret, params).await?,
+    }
     Ok(())
 }
 

@@ -149,6 +149,85 @@ pub fn interp_batch<A: Algebra>(
     Ok(out)
 }
 
+/// Precomputes the Lagrange-at-zero weights for a fixed abscissa set.
+///
+/// Returns `c_j = Π_{i≠j} (-x_i)/(x_j - x_i)`, so that for *any* ordinate
+/// vector over the same abscissae, `B(0) = Σ_j c_j · y_j` — see
+/// [`interpolate_at_zero_weighted`]. This is the input-independent half of
+/// the retrieval step: a receiver that fixes its point cloud offline can
+/// compute the weights once and reduce the online retrieval to one dot
+/// product per round.
+///
+/// # Errors
+///
+/// Same conditions as [`interpolate_at_zero`]: empty input, duplicate
+/// abscissa, or the reserved abscissa zero.
+pub fn lagrange_zero_weights<A: Algebra>(
+    alg: &A,
+    xs: &[A::Elem],
+) -> Result<Vec<A::Elem>, InterpolationError> {
+    if xs.is_empty() {
+        return Err(InterpolationError::Empty);
+    }
+    for (i, xi) in xs.iter().enumerate() {
+        if alg.is_zero(xi) {
+            return Err(InterpolationError::ZeroAbscissa);
+        }
+        for xj in xs.iter().skip(i + 1) {
+            if xi == xj {
+                return Err(InterpolationError::DuplicateAbscissa);
+            }
+        }
+    }
+    let mut nums = Vec::with_capacity(xs.len());
+    let mut dens = Vec::with_capacity(xs.len());
+    for (j, xj) in xs.iter().enumerate() {
+        let mut num = alg.one();
+        let mut den = alg.one();
+        for (i, xi) in xs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num = alg.mul(&num, &alg.neg(xi));
+            den = alg.mul(&den, &alg.sub(xj, xi));
+        }
+        nums.push(num);
+        dens.push(den);
+    }
+    let weights = alg
+        .batch_inv(&dens)
+        .expect("denominators nonzero: abscissae are distinct");
+    alg.mul_many(&mut nums, &weights);
+    Ok(nums)
+}
+
+/// Evaluates the interpolant at zero from precomputed weights.
+///
+/// `weights` must come from [`lagrange_zero_weights`] over the same
+/// abscissae (in the same order) that produced `ys`; the result is then
+/// bit-identical to [`interpolate_at_zero`] on the zipped points. The
+/// caller is responsible for the pairing — this function only checks the
+/// lengths match.
+///
+/// # Errors
+///
+/// Returns [`InterpolationError::Empty`] if `weights` and `ys` have
+/// different lengths or are empty.
+pub fn interpolate_at_zero_weighted<A: Algebra>(
+    alg: &A,
+    weights: &[A::Elem],
+    ys: &[A::Elem],
+) -> Result<A::Elem, InterpolationError> {
+    if weights.is_empty() || weights.len() != ys.len() {
+        return Err(InterpolationError::Empty);
+    }
+    let mut acc = alg.zero();
+    for (w, y) in weights.iter().zip(ys) {
+        acc = alg.add(&acc, &alg.mul(y, w));
+    }
+    Ok(acc)
+}
+
 /// Recovers the full coefficient vector of the interpolant.
 ///
 /// # Errors
@@ -326,6 +405,43 @@ mod tests {
         for (pts, b) in fsys.iter().zip(&fb) {
             assert!((interpolate_at_zero(&f64a, pts).unwrap() - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn weighted_interpolation_matches_direct() {
+        let alg = FixedFpAlgebra::new(16);
+        let mut rng = StdRng::seed_from_u64(41);
+        let xs: Vec<Fp256> = (0..7).map(|_| alg.random_point(&mut rng)).collect();
+        let weights = lagrange_zero_weights(&alg, &xs).unwrap();
+        // Same abscissae, two different ordinate vectors: weights are
+        // reusable and results are bit-identical to the direct path.
+        for seed in [1u64, 2] {
+            let mut prng = StdRng::seed_from_u64(seed);
+            let p = Polynomial::random_with_constant(&alg, 6, alg.encode(2.5, 1), &mut prng);
+            let ys: Vec<Fp256> = xs.iter().map(|x| p.eval(&alg, x)).collect();
+            let pts: Vec<(Fp256, Fp256)> = xs.iter().cloned().zip(ys.iter().cloned()).collect();
+            let direct = interpolate_at_zero(&alg, &pts).unwrap();
+            let weighted = interpolate_at_zero_weighted(&alg, &weights, &ys).unwrap();
+            assert_eq!(direct, weighted);
+        }
+
+        // Validation mirrors the direct path, plus a length check.
+        assert_eq!(
+            lagrange_zero_weights(&alg, &[]),
+            Err(InterpolationError::Empty)
+        );
+        assert_eq!(
+            lagrange_zero_weights(&alg, &[alg.zero()]),
+            Err(InterpolationError::ZeroAbscissa)
+        );
+        assert_eq!(
+            lagrange_zero_weights(&alg, &[xs[0], xs[0]]),
+            Err(InterpolationError::DuplicateAbscissa)
+        );
+        assert_eq!(
+            interpolate_at_zero_weighted(&alg, &weights, &weights[..3]),
+            Err(InterpolationError::Empty)
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ mod simd;
 pub use algebra::{Algebra, F64Algebra, FixedFpAlgebra};
 pub use eval::{DenseAffine, PolyEval};
 pub use fp256::{Fp256, MODULUS};
-pub use interp::{interp_batch, interpolate_at_zero, interpolate_coeffs, InterpolationError};
+pub use interp::{
+    interp_batch, interpolate_at_zero, interpolate_at_zero_weighted, interpolate_coeffs,
+    lagrange_zero_weights, InterpolationError,
+};
 pub use multinomial::{
     binomial, expand_power_dot, expanded_dimension, monomial_exponents, monomial_features,
     multinomial_coeff,

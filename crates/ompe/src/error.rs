@@ -21,6 +21,15 @@ pub enum OmpeError {
     /// The retrieval interpolation failed (duplicate or zero abscissae —
     /// indicates a protocol violation by the peer).
     Interpolation(InterpolationError),
+    /// Precomputed offline material was produced under a different
+    /// configuration (OT engine, group, or OMPE parameters) than the
+    /// session trying to consume it.
+    ConfigMismatch {
+        /// Fingerprint of the consuming session's configuration.
+        expected: u64,
+        /// Fingerprint the offline material was produced under.
+        actual: u64,
+    },
     /// The peer deviated from the protocol.
     Protocol(String),
 }
@@ -33,6 +42,10 @@ impl fmt::Display for OmpeError {
             Self::Ot(e) => write!(f, "oblivious transfer failed: {e}"),
             Self::Transport(e) => write!(f, "transport failed: {e}"),
             Self::Interpolation(e) => write!(f, "retrieval interpolation failed: {e}"),
+            Self::ConfigMismatch { expected, actual } => write!(
+                f,
+                "offline material config {actual:#018x} does not match session config {expected:#018x}"
+            ),
             Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
@@ -75,9 +88,10 @@ impl From<OmpeError> for ProtocolError {
             OmpeError::Transport(t) => Self::from(t),
             OmpeError::Ot(o) => Self::from(o),
             OmpeError::Interpolation(_) => Self::new(ErrorLayer::Crypto, e),
-            OmpeError::Params(_) | OmpeError::SecretMismatch(_) | OmpeError::Protocol(_) => {
-                Self::new(ErrorLayer::Protocol, e)
-            }
+            OmpeError::Params(_)
+            | OmpeError::SecretMismatch(_)
+            | OmpeError::ConfigMismatch { .. }
+            | OmpeError::Protocol(_) => Self::new(ErrorLayer::Protocol, e),
         }
     }
 }

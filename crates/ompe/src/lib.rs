@@ -55,10 +55,15 @@
 #![warn(missing_docs)]
 
 mod error;
+mod offline;
 mod protocol;
 mod session;
 
 pub use error::OmpeError;
+pub use offline::{
+    ompe_receive_batch_offline_io, ompe_send_batch_offline_io, ompe_send_offline_io,
+    params_fingerprint, OmpeReceiverOffline, OmpeSenderOffline,
+};
 pub use protocol::{ompe_receive, ompe_receive_io, ompe_send, ompe_send_io, OmpeParams};
 pub use session::{
     ompe_receive_batch, ompe_receive_batch_io, ompe_send_batch, ompe_send_batch_io,

@@ -22,9 +22,12 @@
 //! points in [`crate::protocol`] wrap one-round sessions with no batch
 //! state.
 
+use std::collections::VecDeque;
+
 use bytes::{Bytes, BytesMut};
 use ppcs_math::{interp_batch, interpolate_at_zero, Algebra, PolyEval, Polynomial};
-use ppcs_ot::{ot_begin_receive_io, ot_begin_send_io, ot_receive_io, ot_send_io};
+use ppcs_ot::{ot_begin_receive_io, ot_begin_send_io, ot_begin_send_precomputed_io};
+use ppcs_ot::{ot_receive_io, ot_send_io};
 use ppcs_ot::{ObliviousTransfer, OtBatchState, OtSelect};
 use ppcs_telemetry::Phase;
 use ppcs_transport::{
@@ -34,6 +37,7 @@ use rand::seq::index::sample;
 use rand::RngCore;
 
 use crate::error::OmpeError;
+use crate::offline::{params_fingerprint, OmpeSenderOffline};
 use crate::protocol::{OmpeParams, KIND_OMPE_POINTS};
 
 fn encode_elems<E: Encodable>(elems: &[E]) -> Bytes {
@@ -44,7 +48,7 @@ fn encode_elems<E: Encodable>(elems: &[E]) -> Bytes {
 
 /// One received point cloud: the `N` abscissae and the `N·r` flattened
 /// input coordinates (row-major).
-type PointCloud<A> = (Vec<<A as Algebra>::Elem>, Vec<<A as Algebra>::Elem>);
+pub(crate) type PointCloud<A> = (Vec<<A as Algebra>::Elem>, Vec<<A as Algebra>::Elem>);
 
 /// Sender-side batch session: owns the per-batch state reused by every
 /// [`send_round`](OmpeSenderSession::send_round).
@@ -53,6 +57,9 @@ pub struct OmpeSenderSession<A: Algebra> {
     params: OmpeParams,
     /// Masking-polynomial storage, refreshed in place each round.
     mask: Polynomial<A>,
+    /// Masking polynomials drawn offline; each round consumes one before
+    /// falling back to an inline refresh.
+    prepared_masks: VecDeque<Polynomial<A>>,
     ot_state: OtBatchState,
 }
 
@@ -96,6 +103,40 @@ where
         Ok(Self {
             params,
             mask: Polynomial::zero(),
+            prepared_masks: VecDeque::new(),
+            ot_state,
+        })
+    }
+
+    /// Sets up the per-batch state from precomputed offline material: the
+    /// OT base-phase commitment goes out without a single exponentiation
+    /// and the offline masking polynomials are moved into the session,
+    /// where each round consumes one before falling back to an inline
+    /// refresh. Synchronous — the offline split leaves the sender's base
+    /// phase with nothing to await.
+    ///
+    /// # Errors
+    ///
+    /// [`OmpeError::ConfigMismatch`] if `offline` was produced under a
+    /// different OT engine, group, or parameter set; transport failures.
+    pub fn new_precomputed_io(
+        io: &FrameIo,
+        sel: OtSelect,
+        params: OmpeParams,
+        offline: OmpeSenderOffline<A>,
+    ) -> Result<Self, OmpeError> {
+        let expected = params_fingerprint(sel, &params);
+        if offline.fingerprint != expected {
+            return Err(OmpeError::ConfigMismatch {
+                expected,
+                actual: offline.fingerprint,
+            });
+        }
+        let ot_state = ot_begin_send_precomputed_io(sel, io, &offline.commitment)?;
+        Ok(Self {
+            params,
+            mask: Polynomial::zero(),
+            prepared_masks: offline.masks,
             ot_state,
         })
     }
@@ -106,6 +147,7 @@ where
         Self {
             params,
             mask: Polynomial::zero(),
+            prepared_masks: VecDeque::new(),
             ot_state: OtBatchState::default(),
         }
     }
@@ -157,7 +199,7 @@ where
             .await
     }
 
-    fn check_degree<P>(&self, secret: &P) -> Result<(), OmpeError>
+    pub(crate) fn check_degree<P>(&self, secret: &P) -> Result<(), OmpeError>
     where
         P: PolyEval<A> + ?Sized,
     {
@@ -175,7 +217,11 @@ where
     /// `N` `r`-dimensional input vectors. In batch mode every cloud of
     /// the batch arrives in one coalesced frame, so these must all be
     /// drained before the per-round oblivious transfers begin.
-    async fn recv_cloud_io(&self, io: &FrameIo, r: usize) -> Result<PointCloud<A>, OmpeError> {
+    pub(crate) async fn recv_cloud_io(
+        &self,
+        io: &FrameIo,
+        r: usize,
+    ) -> Result<PointCloud<A>, OmpeError> {
         let _span = ppcs_telemetry::span(Phase::OmpePointCloud);
         let n_points = self.params.num_points();
         let mut payload: Bytes = {
@@ -205,7 +251,7 @@ where
 
     /// Masks, evaluates, and obliviously transfers the answers for one
     /// received point cloud.
-    async fn answer_cloud_io<P>(
+    pub(crate) async fn answer_cloud_io<P>(
         &mut self,
         alg: &A,
         io: &FrameIo,
@@ -225,9 +271,17 @@ where
             let _span = ppcs_telemetry::span(Phase::OmpeMask);
 
             // Fresh masking polynomial M with M(0) = 0 and degree exactly
-            // D, drawn into the storage set up at session creation.
-            self.mask
-                .refresh_random_with_constant(alg, params.composite_degree(), alg.zero(), rng);
+            // D: one drawn offline if the session was precomputed, else
+            // drawn inline into the storage set up at session creation.
+            match self.prepared_masks.pop_front() {
+                Some(mask) => self.mask = mask,
+                None => self.mask.refresh_random_with_constant(
+                    alg,
+                    params.composite_degree(),
+                    alg.zero(),
+                    rng,
+                ),
+            }
 
             // Q(x_i, y_i) = M(x_i) + P(y_i) for every submitted point.
             // M is evaluated over the whole cloud in one batched pass so
@@ -260,6 +314,16 @@ pub struct PreparedRound<A: Algebra> {
 }
 
 impl<A: Algebra> PreparedRound<A> {
+    /// Assembles a round from parts built elsewhere (the offline path
+    /// binds precomputed blind rounds into exactly this shape).
+    pub(crate) fn from_parts(frame: Frame, xs: Vec<A::Elem>, cover_positions: Vec<usize>) -> Self {
+        Self {
+            frame,
+            xs,
+            cover_positions,
+        }
+    }
+
     /// The point-cloud frame to transmit (cheap to clone; the payload is
     /// reference-counted).
     pub fn frame(&self) -> Frame {
@@ -457,7 +521,7 @@ where
     /// the interpolation points without interpolating. Batch drivers
     /// collect the points of every round and retrieve them all through
     /// one [`interp_batch`] call.
-    async fn finish_round_points_io(
+    pub(crate) async fn finish_round_points_io(
         &self,
         io: &FrameIo,
         sel: OtSelect,

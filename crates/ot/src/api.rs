@@ -38,6 +38,14 @@ pub struct OtBatchState {
     np_c: Option<BigUint>,
 }
 
+impl OtBatchState {
+    /// Batch state carrying a Naor–Pinkas commitment produced offline
+    /// (see [`crate::offline`]).
+    pub(crate) fn with_np_c(big_c: BigUint) -> Self {
+        Self { np_c: Some(big_c) }
+    }
+}
+
 /// Transport-free engine selector for sans-I/O role logic.
 ///
 /// Obtained from [`ObliviousTransfer::select`]; `Copy`, so role
@@ -280,10 +288,10 @@ pub async fn sim_send_io(io: &FrameIo, messages: &[Vec<u8>], k: usize) -> Result
     if !blob.len().is_multiple_of(8) {
         return Err(OtError::Protocol("malformed index blob".into()));
     }
-    let indices: Vec<usize> = blob
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
-        .collect();
+    let mut indices = Vec::with_capacity(blob.len() / 8);
+    for off in (0..blob.len()).step_by(8) {
+        indices.push(crate::error::read_u64_le(&blob, off, "sim index")?);
+    }
     if indices.len() != k {
         return Err(OtError::Protocol(format!(
             "receiver opened {} positions, agreed k = {k}",

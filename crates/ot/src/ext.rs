@@ -20,7 +20,7 @@ use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::{Rng, RngCore};
 
 use crate::base::{ot12_receive_io, ot12_send_io};
-use crate::error::OtError;
+use crate::error::{read_u32_le, OtError};
 
 /// Computational security parameter: number of base OTs / matrix columns.
 pub const KAPPA: usize = 128;
@@ -257,8 +257,7 @@ pub async fn iknp_receive_io(
         if cursor + 4 > payload.len() {
             return Err(OtError::Protocol("truncated extension payload".into()));
         }
-        let len =
-            u32::from_le_bytes(payload[cursor..cursor + 4].try_into().expect("4 bytes")) as usize;
+        let len = read_u32_le(&payload, cursor, "extension pair length")?;
         cursor += 4;
         if cursor + 2 * len > payload.len() {
             return Err(OtError::Protocol("truncated extension payload".into()));

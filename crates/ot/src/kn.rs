@@ -23,7 +23,7 @@ use rand::RngCore;
 use crate::base::{
     ot12_receive_io, ot12_receive_precommitted_io, ot12_send_io, ot12_send_precommitted_io,
 };
-use crate::error::OtError;
+use crate::error::{read_u64_le, OtError};
 
 pub(crate) const KIND_OT1N_CIPHERTEXTS: u16 = 0x0200;
 
@@ -223,8 +223,8 @@ pub async fn ot1n_receive_with_c_io(
     if blob.len() < 16 {
         return Err(OtError::Protocol("ciphertext blob too short".into()));
     }
-    let n = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes")) as usize;
-    let msg_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes")) as usize;
+    let n = read_u64_le(&blob, 0, "ciphertext count")?;
+    let msg_len = read_u64_le(&blob, 8, "ciphertext length")?;
     if n != num_messages {
         return Err(OtError::Protocol(format!(
             "sender transferred {n} messages, receiver expected {num_messages}"

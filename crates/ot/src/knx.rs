@@ -9,7 +9,7 @@ use ppcs_transport::{drive_blocking, Endpoint, FrameIo, ProtocolEngine};
 use rand::RngCore;
 
 use crate::api::{ObliviousTransfer, OtSelect};
-use crate::error::OtError;
+use crate::error::{read_u64_le, OtError};
 use crate::ext::{iknp_receive_io, iknp_send_io};
 use crate::kn::{encrypt_message, message_key, num_bits};
 
@@ -172,8 +172,8 @@ pub async fn knx_receive_io(
         if blob.len() < 16 {
             return Err(OtError::Protocol("message table too short".into()));
         }
-        let n = u64::from_le_bytes(blob[..8].try_into().expect("8 bytes")) as usize;
-        let msg_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes")) as usize;
+        let n = read_u64_le(&blob, 0, "table message count")?;
+        let msg_len = read_u64_le(&blob, 8, "table message length")?;
         if n != num_messages || blob.len() != 16 + n * msg_len {
             return Err(OtError::Protocol("message table shape mismatch".into()));
         }

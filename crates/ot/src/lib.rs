@@ -41,6 +41,7 @@ mod error;
 mod ext;
 mod kn;
 mod knx;
+mod offline;
 
 pub use api::{
     ot_begin_receive_io, ot_begin_send_io, ot_receive_io, ot_send_io, sim_receive_io, sim_send_io,
@@ -59,3 +60,4 @@ pub use kn::{
     otkn_send_with_c, otkn_send_with_c_io,
 };
 pub use knx::{knx_receive_io, knx_send_io, IknpOt};
+pub use offline::{ot_begin_send_precomputed_io, select_fingerprint, OtOfflineCommitment};

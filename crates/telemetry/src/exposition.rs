@@ -164,6 +164,30 @@ impl MetricsRegistry {
             "Timer-wheel expiries delivered to parked sessions.",
             report.timer_fires,
         );
+        counter(
+            &mut out,
+            "ppcs_pool_filled_total",
+            "Precompute-pool entries produced by offline fill work.",
+            report.pool_filled,
+        );
+        counter(
+            &mut out,
+            "ppcs_pool_hits_total",
+            "Sessions served from precomputed pool material.",
+            report.pool_hits,
+        );
+        counter(
+            &mut out,
+            "ppcs_pool_misses_total",
+            "Sessions that found the pool empty and precomputed inline.",
+            report.pool_misses,
+        );
+        out.push_str(&format!(
+            "# HELP ppcs_pool_depth Precompute-pool entries currently ready.\n\
+             # TYPE ppcs_pool_depth gauge\n\
+             ppcs_pool_depth {}\n",
+            report.pool_depth,
+        ));
 
         if !report.kinds.is_empty() {
             out.push_str(

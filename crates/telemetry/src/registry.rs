@@ -30,11 +30,14 @@ pub enum Phase {
     Classify,
     /// A full private-similarity session.
     Similarity,
+    /// Offline precomputation of input-independent protocol material
+    /// (OT commitments, OMPE masks/covers) outside any session.
+    Precompute,
 }
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::BaseOt,
         Phase::KnOt,
         Phase::OtExt,
@@ -43,6 +46,7 @@ impl Phase {
         Phase::OmpeInterpolate,
         Phase::Classify,
         Phase::Similarity,
+        Phase::Precompute,
     ];
 
     /// The stable metric name for this phase.
@@ -56,6 +60,7 @@ impl Phase {
             Phase::OmpeInterpolate => "ompe.interpolate",
             Phase::Classify => "classify",
             Phase::Similarity => "similarity",
+            Phase::Precompute => "precompute",
         }
     }
 
@@ -192,6 +197,10 @@ pub struct MetricsRegistry {
     reactor_wakeups: AtomicU64,
     reactor_events: AtomicU64,
     timer_fires: AtomicU64,
+    pool_filled: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    pool_depth: AtomicU64,
     phase_ns: [Histogram; Phase::ALL.len()],
     frame_sizes: Histogram,
     kinds: [KindSlot; NUM_KIND_SLOTS],
@@ -223,6 +232,10 @@ impl MetricsRegistry {
             reactor_wakeups: AtomicU64::new(0),
             reactor_events: AtomicU64::new(0),
             timer_fires: AtomicU64::new(0),
+            pool_filled: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            pool_depth: AtomicU64::new(0),
             phase_ns: std::array::from_fn(|_| Histogram::new()),
             frame_sizes: Histogram::new(),
             kinds: std::array::from_fn(|_| KindSlot::default()),
@@ -311,6 +324,27 @@ impl MetricsRegistry {
     /// Counts one timer-wheel expiry delivered to a parked session.
     pub fn record_timer_fire(&self) {
         self.timer_fires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one precompute-pool entry produced by offline fill work.
+    pub fn record_pool_filled(&self) {
+        self.pool_filled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session served from precomputed pool material.
+    pub fn record_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session that found the pool empty and fell back to
+    /// inline precomputation.
+    pub fn record_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the current precompute-pool depth gauge.
+    pub fn set_pool_depth(&self, depth: u64) {
+        self.pool_depth.store(depth, Ordering::Relaxed);
     }
 
     /// Records one closed span: `ns` of wall time spent in `phase`.
@@ -481,6 +515,10 @@ impl MetricsRegistry {
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
             reactor_events: self.reactor_events.load(Ordering::Relaxed),
             timer_fires: self.timer_fires.load(Ordering::Relaxed),
+            pool_filled: self.pool_filled.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            pool_depth: self.pool_depth.load(Ordering::Relaxed),
             frame_sizes: FrameSizeReport {
                 count: self.frame_sizes.count(),
                 min: self.frame_sizes.min(),

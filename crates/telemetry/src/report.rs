@@ -114,6 +114,14 @@ pub struct SessionReport {
     pub reactor_events: u64,
     /// Timer-wheel expiries delivered to parked sessions.
     pub timer_fires: u64,
+    /// Precompute-pool entries produced by offline fill work.
+    pub pool_filled: u64,
+    /// Sessions served from precomputed pool material.
+    pub pool_hits: u64,
+    /// Sessions that found the pool empty and precomputed inline.
+    pub pool_misses: u64,
+    /// Precompute-pool depth at snapshot time (a gauge, not a counter).
+    pub pool_depth: u64,
     /// Frame payload-size distribution.
     pub frame_sizes: FrameSizeReport,
     /// Per-phase wall time, report order.
@@ -215,6 +223,10 @@ impl SessionReport {
             ("reactor_wakeups", num(self.reactor_wakeups)),
             ("reactor_events", num(self.reactor_events)),
             ("timer_fires", num(self.timer_fires)),
+            ("pool_filled", num(self.pool_filled)),
+            ("pool_hits", num(self.pool_hits)),
+            ("pool_misses", num(self.pool_misses)),
+            ("pool_depth", num(self.pool_depth)),
             (
                 "frame_sizes",
                 obj(vec![
@@ -366,6 +378,12 @@ impl SessionReport {
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             timer_fires: doc.get("timer_fires").and_then(Json::as_u64).unwrap_or(0),
+            // Precompute-pool counters are newest: lenient, so archived
+            // artifacts from before the offline/online split still load.
+            pool_filled: doc.get("pool_filled").and_then(Json::as_u64).unwrap_or(0),
+            pool_hits: doc.get("pool_hits").and_then(Json::as_u64).unwrap_or(0),
+            pool_misses: doc.get("pool_misses").and_then(Json::as_u64).unwrap_or(0),
+            pool_depth: doc.get("pool_depth").and_then(Json::as_u64).unwrap_or(0),
             frame_sizes: FrameSizeReport {
                 count: fs_field("count")?,
                 min: fs_field("min")?,
@@ -442,6 +460,13 @@ impl fmt::Display for SessionReport {
                 f,
                 "  reactor: {} wakeups, {} events, {} timer fires",
                 self.reactor_wakeups, self.reactor_events, self.timer_fires,
+            )?;
+        }
+        if self.pool_filled + self.pool_hits + self.pool_misses + self.pool_depth > 0 {
+            writeln!(
+                f,
+                "  precompute pool: {} filled, {} hits, {} misses, depth {}",
+                self.pool_filled, self.pool_hits, self.pool_misses, self.pool_depth,
             )?;
         }
         if !self.reactor_health.is_empty() {
@@ -521,6 +546,10 @@ mod tests {
             reactor_wakeups: 9,
             reactor_events: 17,
             timer_fires: 6,
+            pool_filled: 3,
+            pool_hits: 2,
+            pool_misses: 1,
+            pool_depth: 1,
             frame_sizes: FrameSizeReport {
                 count: 12,
                 min: 6,

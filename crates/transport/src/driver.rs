@@ -623,6 +623,12 @@ impl Driver {
     /// recording is not supported in resumable mode — replayed frames
     /// would double-record — and is ignored.
     ///
+    /// [`SessionLimits`] and the cancel token are session-logical: the
+    /// wall-clock deadline starts at the first dial and wire bytes
+    /// accumulate across every lane, so a redial resumes the session's
+    /// remaining budget rather than resetting it, and the resume
+    /// handshake itself never waits past the deadline.
+    ///
     /// # Errors
     ///
     /// The role's own error once retries are exhausted or a
@@ -643,6 +649,13 @@ impl Driver {
         let mut delivered: u64 = 0;
         let mut attempt: u32 = 0;
         let mut jitter = policy.jitter_seed;
+        // Budgets are session-logical: the wall clock starts at the
+        // first dial and wire bytes accumulate across every lane, so a
+        // redial never resets what the session has already spent.
+        let started = Instant::now();
+        let limits = self.limits.clone().unwrap_or_default();
+        let budgeted = self.limits.is_some() || self.cancel.is_some();
+        let mut wire_total: u64 = 0;
         loop {
             let lane = match connect(attempt) {
                 Ok(l) => l,
@@ -664,8 +677,19 @@ impl Driver {
                 }
             }
             let stats_before = self.metrics.is_some().then(|| lane.stats());
+            let lane_bytes_before = lane.stats().total_bytes();
             let rounds_before = engine.rounds();
-            let result = self.pump_resumable(&lane, engine, &mut sent_log, &mut delivered, &policy);
+            let result = self.pump_resumable(
+                &lane,
+                engine,
+                &mut sent_log,
+                &mut delivered,
+                &policy,
+                started,
+                &limits,
+                budgeted,
+                wire_total,
+            );
             if let Some(reg) = &self.metrics {
                 merge_wire_delta(reg, &stats_before.expect("snapshotted"), &lane.stats());
                 reg.record_rounds(engine.rounds() - rounds_before);
@@ -673,6 +697,7 @@ impl Driver {
             match result {
                 Ok(()) => return engine.take_result().expect("engine completed"),
                 Err(e) => {
+                    wire_total += lane.stats().total_bytes() - lane_bytes_before;
                     // Drop the broken lane before backing off so the
                     // peer observes the disconnect promptly instead of
                     // waiting out its own deadline.
@@ -703,6 +728,7 @@ impl Driver {
     /// done (its result — success or protocol error — is taken by the
     /// caller) and `Err` on any transport failure, leaving the engine
     /// suspended and resumable.
+    #[allow(clippy::too_many_arguments)]
     fn pump_resumable<L, T, E>(
         &mut self,
         lane: &L,
@@ -710,15 +736,43 @@ impl Driver {
         sent_log: &mut Vec<Frame>,
         delivered: &mut u64,
         policy: &RetryPolicy,
+        started: Instant,
+        limits: &SessionLimits,
+        budgeted: bool,
+        wire_base: u64,
     ) -> Result<(), TransportError>
     where
         L: Lane + ?Sized,
         E: From<TransportError>,
     {
-        lane.set_recv_timeout(Some(policy.resume_window));
+        let lane_bytes_before = lane.stats().total_bytes();
+        // The resume handshake honours the session deadline too: a
+        // redial late in the session must not wait out the full resume
+        // window when only a sliver of wall clock remains.
+        let mut window = policy.resume_window;
+        if budgeted {
+            if let Some(e) = self.budget_trip(limits, started, *delivered, wire_base) {
+                self.note_budget(&e, None, engine.rounds());
+                return Err(e);
+            }
+            if let Some(deadline) = limits.deadline {
+                let remaining = deadline.saturating_sub(started.elapsed());
+                window = window.min(remaining).max(Duration::from_millis(1));
+            }
+        }
+        lane.set_recv_timeout(Some(window));
         lane.send(Frame::encode(KIND_RESUME, delivered))?;
         let peer_ack = loop {
-            let f = lane.recv()?;
+            let f = match lane.recv() {
+                Err(TransportError::Timeout) if budgeted => {
+                    if let Some(e) = self.budget_trip(limits, started, *delivered, wire_base) {
+                        self.note_budget(&e, None, engine.rounds());
+                        return Err(e);
+                    }
+                    return Err(TransportError::Timeout);
+                }
+                other => other?,
+            };
             if f.kind == KIND_BUSY {
                 // The peer shed this session: not retryable, redialing
                 // the same overloaded server would just be shed again.
@@ -764,7 +818,14 @@ impl Driver {
             if engine.is_done() {
                 return Ok(());
             }
-            let frame = lane.recv()?;
+            if budgeted {
+                let wire = wire_base + (lane.stats().total_bytes() - lane_bytes_before);
+                if let Some(e) = self.budget_trip(limits, started, *delivered, wire) {
+                    self.note_budget(&e, None, engine.rounds());
+                    return Err(e);
+                }
+            }
+            let frame = self.recv_within_budget(lane, limits, budgeted, started)?;
             if frame.kind == KIND_BUSY {
                 return Err(TransportError::Busy);
             }

@@ -62,6 +62,7 @@ fn main() {
                 .with_max_wire_bytes(64 << 20),
             idle_timeout: Duration::from_secs(30),
             drain_deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
         },
     )
     .with_metrics(registry.clone());

@@ -59,6 +59,7 @@ fn main() {
                 .with_max_wire_bytes(16 << 20),
             idle_timeout: Duration::from_millis(400),
             drain_deadline: Duration::from_millis(100),
+            ..ServerConfig::default()
         },
     );
 

@@ -45,6 +45,7 @@ fn tight_config() -> ServerConfig {
             .with_max_wire_bytes(32 << 20),
         idle_timeout: Duration::from_millis(500),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     }
 }
 
@@ -221,6 +222,7 @@ fn flood_beyond_capacity_is_shed_with_busy() {
         limits: SessionLimits::unlimited().with_deadline(Duration::from_secs(10)),
         idle_timeout: Duration::from_millis(500),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let server = TrainerServer::new(&trainer, config);
     let supervisor = server.supervisor();
@@ -346,6 +348,7 @@ fn drain_stops_admission_and_cuts_stragglers() {
         limits: SessionLimits::unlimited().with_deadline(Duration::from_secs(30)),
         idle_timeout: Duration::from_secs(30),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let server = TrainerServer::new(&trainer, config);
     let supervisor = server.supervisor();
@@ -415,6 +418,7 @@ fn flood_of_sixty_four_clients_is_fully_accounted() {
             .with_max_wire_bytes(32 << 20),
         idle_timeout: Duration::from_millis(500),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let registry = MetricsRegistry::new(64, "trainer-server");
     let server = TrainerServer::new(&trainer, config).with_metrics(registry.clone());

@@ -475,6 +475,7 @@ fn async_flood_beyond_capacity_is_shed_with_busy() {
         limits: SessionLimits::unlimited().with_deadline(Duration::from_secs(10)),
         idle_timeout: Duration::from_millis(500),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let server = TrainerServer::new(&trainer, config);
     let supervisor = server.supervisor();
@@ -531,6 +532,7 @@ fn async_slow_loris_is_cut_inside_its_deadline() {
             .with_max_wire_bytes(32 << 20),
         idle_timeout: Duration::from_millis(500),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let server = TrainerServer::new(&trainer, config);
     let (server_lanes, client_lanes) = lanes(1);
@@ -575,6 +577,7 @@ fn async_drain_stops_admission_and_cuts_stragglers() {
         limits: SessionLimits::unlimited().with_deadline(Duration::from_secs(30)),
         idle_timeout: Duration::from_secs(30),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let server = TrainerServer::new(&trainer, config);
     let supervisor = server.supervisor();
@@ -646,6 +649,7 @@ fn async_honest_clients_are_correct_amid_hostile_peers() {
             .with_max_wire_bytes(32 << 20),
         idle_timeout: Duration::from_millis(500),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let server = TrainerServer::new(&trainer, config);
     let (server_lanes, client_lanes) = lanes(5);
@@ -715,6 +719,7 @@ fn thousand_concurrent_tcp_sessions_on_one_reactor_thread() {
             .with_max_wire_bytes(64 << 20),
         idle_timeout: Duration::from_secs(120),
         drain_deadline: Duration::from_millis(500),
+        ..ServerConfig::default()
     };
     let registry = ppcs_telemetry::MetricsRegistry::new(1000, "trainer-server");
     let recorder = ppcs_telemetry::FlightRecorder::new(4096);

@@ -29,7 +29,8 @@ use ppcs_telemetry::MetricsRegistry;
 use ppcs_tests::{blob_dataset, random_samples, rotated_model};
 use ppcs_transport::{
     drive_blocking, duplex, faulty_pair, run_pair, tcp_accept, tcp_connect, Driver, FaultKind,
-    FaultSchedule, FaultyLane, Lane, ProtocolEngine, RetryPolicy, SessionLimits, TransportError,
+    FaultSchedule, FaultyLane, Frame, Lane, ProtocolEngine, RetryPolicy, SessionLimits,
+    TransportError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -633,4 +634,127 @@ fn chaos_with_session_budgets_keeps_the_trichotomy() {
     let (ea, eb) = clean_run(&run_a, &run_b);
     assert_eq!(ea, samples.len());
     chaos_sweep("budgeted", 6000, 24, &ea, &eb, run_a, run_b);
+}
+
+/// The session deadline must keep biting in resumable mode. A peer that
+/// completes the resume handshake and then goes silent used to stall
+/// the client for the full per-recv timeout and then burn every redial
+/// attempt; with session-logical budgets the deadline trips first, as a
+/// structured budget error, in bounded time.
+#[test]
+fn resumable_deadline_survives_silent_peer_after_handshake() {
+    let (_, client, samples) = classification_fixture();
+    let sel = SIM.select();
+    let (peer, ours) = duplex();
+
+    let silent_peer = std::thread::spawn(move || {
+        // Speak the handshake, then never answer session traffic.
+        loop {
+            match peer.recv() {
+                Ok(f) if f.kind == ppcs_transport::KIND_RESUME => {
+                    peer.send(Frame::encode(ppcs_transport::KIND_RESUME, &0u64))
+                        .expect("ack");
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    });
+
+    let bank = Mutex::new(VecDeque::from([ours]));
+    let connect = |_attempt: u32| {
+        bank.lock()
+            .unwrap()
+            .pop_front()
+            .ok_or(TransportError::Disconnected)
+    };
+    let started = std::time::Instant::now();
+    let mut eng = client.classify_engine(sel, 181, &samples);
+    let err = Driver::new()
+        .with_retry(test_retry_policy())
+        .with_timeout(Duration::from_secs(2))
+        .with_limits(SessionLimits::unlimited().with_deadline(Duration::from_millis(300)))
+        .drive_resumable(connect, &mut eng)
+        .expect_err("silent peer must trip the deadline");
+    let elapsed = started.elapsed();
+    assert!(
+        err_string(&err).contains("deadline"),
+        "expected a wall-clock budget error, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "deadline must cut the session promptly, took {elapsed:?}"
+    );
+    silent_peer.join().expect("peer thread");
+}
+
+/// The resume handshake itself honours the deadline: a peer that never
+/// acks must not hold the client for the full resume window when only a
+/// sliver of the session budget remains.
+#[test]
+fn resumable_handshake_honours_deadline() {
+    let (_, client, samples) = classification_fixture();
+    let sel = SIM.select();
+    let (peer, ours) = duplex();
+
+    let mute_peer = std::thread::spawn(move || {
+        // Swallow everything; never speak the handshake.
+        while peer.recv().is_ok() {}
+    });
+
+    let bank = Mutex::new(VecDeque::from([ours]));
+    let connect = |_attempt: u32| {
+        bank.lock()
+            .unwrap()
+            .pop_front()
+            .ok_or(TransportError::Disconnected)
+    };
+    let started = std::time::Instant::now();
+    let mut eng = client.classify_engine(sel, 182, &samples);
+    let err = Driver::new()
+        .with_retry(test_retry_policy()) // resume_window: 5s
+        .with_limits(SessionLimits::unlimited().with_deadline(Duration::from_millis(250)))
+        .drive_resumable(connect, &mut eng)
+        .expect_err("mute peer must trip the deadline");
+    let elapsed = started.elapsed();
+    assert!(
+        err_string(&err).contains("deadline"),
+        "expected a wall-clock budget error, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "handshake wait must be capped by the deadline, took {elapsed:?}"
+    );
+    mute_peer.join().expect("peer thread");
+}
+
+/// A pre-set cancel token (the drain cut) aborts a resumable session
+/// before it dials anything.
+#[test]
+fn resumable_cancel_cuts_session() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let (_, client, samples) = classification_fixture();
+    let sel = SIM.select();
+    let (peer, ours) = duplex();
+    let bank = Mutex::new(VecDeque::from([ours]));
+    let connect = |_attempt: u32| {
+        bank.lock()
+            .unwrap()
+            .pop_front()
+            .ok_or(TransportError::Disconnected)
+    };
+    let cancel = Arc::new(AtomicBool::new(true));
+    let mut eng = client.classify_engine(sel, 183, &samples);
+    let err = Driver::new()
+        .with_retry(test_retry_policy())
+        .with_cancel(cancel)
+        .drive_resumable(connect, &mut eng)
+        .expect_err("pre-cancelled session must not run");
+    assert!(
+        err_string(&err).contains("cancelled"),
+        "expected a drain-cut budget error, got {err:?}"
+    );
+    drop(peer);
 }

@@ -344,6 +344,7 @@ fn metrics_endpoint_serves_prometheus_and_flight_dump_live() {
             .with_max_wire_bytes(32 << 20),
         idle_timeout: Duration::from_secs(30),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let reg = MetricsRegistry::new(7, "trainer-server");
     let recorder = FlightRecorder::new(256);
@@ -460,6 +461,7 @@ fn observability_surfaces_are_privacy_clean() {
         limits: SessionLimits::unlimited().with_deadline(Duration::from_secs(30)),
         idle_timeout: Duration::from_secs(30),
         drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
     };
     let reg = MetricsRegistry::new(8, "trainer-server");
     let recorder = FlightRecorder::new(256);
