@@ -85,7 +85,7 @@ fn run_online_sessions(
     let expected: Vec<_> = samples.iter().map(|s| model.predict(s)).collect();
     let cache = WarmSessionCache::new();
     let peer = 7;
-    cache.insert(peer, trainer.spec());
+    cache.insert(peer, trainer.spec(), trainer.epoch());
     let mut latencies = Vec::with_capacity(iters as usize);
     for i in 0..iters {
         // Offline phase: precompute both halves, untimed.

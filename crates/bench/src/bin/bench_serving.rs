@@ -37,6 +37,7 @@ fn server_config() -> ServerConfig {
         drain_deadline: Duration::from_millis(500),
         precompute_capacity: 0,
         precompute_masks: 0,
+        ..ServerConfig::default()
     }
 }
 

@@ -199,6 +199,11 @@ pub struct Trainer<A: Algebra> {
     cfg: ProtocolConfig,
     base: DenseAffine<A>,
     spec: ClassifySpec,
+    /// The serving process's incarnation, advertised in the cold `SPEC`,
+    /// the warm `TICKET`, and `KIND_HEALTH` replies. A restarted trainer
+    /// bumps it so clients holding cached specs or resume state from the
+    /// previous incarnation fall back to a cold start.
+    epoch: u64,
 }
 
 impl<A: Algebra> Trainer<A>
@@ -252,6 +257,7 @@ where
             cfg,
             base: DenseAffine::new(encoded_weights, encoded_bias),
             spec,
+            epoch: 0,
         })
     }
 
@@ -285,12 +291,30 @@ where
             cfg,
             base: DenseAffine::new(encoded_weights, encoded_bias),
             spec,
+            epoch: 0,
         })
     }
 
     /// The public session header.
     pub fn spec(&self) -> ClassifySpec {
         self.spec
+    }
+
+    /// Stamps this trainer with a serving epoch — its process
+    /// incarnation. A supervisor restarting a crashed trainer should
+    /// hand the replacement a strictly larger epoch: clients detect the
+    /// bump in the `SPEC`/`TICKET` handshake (and in `KIND_HEALTH`
+    /// replies) and discard warm state from the dead incarnation.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The serving epoch this trainer advertises (0 unless set with
+    /// [`Trainer::with_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The numeric backend this trainer encodes with.
@@ -408,15 +432,19 @@ where
         let _span = ppcs_telemetry::span(Phase::Classify);
         let num_samples: u64 = if warm {
             let hello = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_WARM_HELLO).await?)?;
-            let [n, spec_hash] = hello[..] else {
+            let [n, spec_hash, client_epoch] = hello[..] else {
                 return Err(PpcsError::Protocol("malformed warm hello".into()));
             };
             check_batch_cap(n)?;
             // Confirm the cached spec or re-announce it in the ticket;
             // either way the session proceeds without a second
-            // round-trip.
-            let mut ticket = vec![u64::from(spec_hash == self.spec.wire_hash())];
-            if ticket[0] == 0 {
+            // round-trip. A stale epoch forces the re-announcement even
+            // when the spec hash still matches: the client must learn it
+            // is talking to a fresh incarnation whose warm state (resume
+            // logs, pool material) does not include it.
+            let current = spec_hash == self.spec.wire_hash() && client_epoch == self.epoch;
+            let mut ticket = vec![u64::from(current), self.epoch];
+            if !current {
                 ticket.extend(self.spec.encode_wire());
             }
             io.send_msg(KIND_CLS_TICKET, &encode_u64s(&ticket))?;
@@ -424,7 +452,9 @@ where
         } else {
             let n: u64 = io.recv_msg(KIND_CLS_HELLO).await?;
             check_batch_cap(n)?;
-            io.send_msg(KIND_CLS_SPEC, &encode_u64s(&self.spec.encode_wire()))?;
+            let mut fields = self.spec.encode_wire();
+            fields.push(self.epoch);
+            io.send_msg(KIND_CLS_SPEC, &encode_u64s(&fields))?;
             n
         };
         let secrets: Vec<DenseAffine<A>> = (0..num_samples)
@@ -724,20 +754,22 @@ where
         let _span = ppcs_telemetry::span(Phase::Classify);
         let spec = match warm {
             Some((cache, peer)) => match cache.get(peer) {
-                Some(cached) => {
+                Some((cached, cached_epoch)) => {
                     io.send_msg(
                         KIND_CLS_WARM_HELLO,
-                        &encode_u64s(&[samples.len() as u64, cached.wire_hash()]),
+                        &encode_u64s(&[samples.len() as u64, cached.wire_hash(), cached_epoch]),
                     )?;
                     let ticket = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_TICKET).await?)?;
                     match ticket.split_first() {
-                        Some((&1, [])) => cached,
-                        Some((&0, fields)) => {
-                            // The trainer's spec moved since we cached
-                            // it: adopt the re-announced one.
+                        Some((&1, [_epoch])) => cached,
+                        Some((&0, [epoch, fields @ ..])) => {
+                            // The trainer's spec moved — or the trainer
+                            // itself restarted under a fresh epoch —
+                            // since we cached it: adopt the re-announced
+                            // spec and incarnation.
                             let spec = ClassifySpec::decode_wire(fields)?;
                             self.check_spec(&spec)?;
-                            cache.insert(peer, spec);
+                            cache.insert(peer, spec, *epoch);
                             spec
                         }
                         _ => {
@@ -748,12 +780,12 @@ where
                 None => {
                     // First contact with this peer: cold handshake, then
                     // remember the spec for the next session.
-                    let spec = self.cold_handshake_io(io, samples.len()).await?;
-                    cache.insert(peer, spec);
+                    let (spec, epoch) = self.cold_handshake_io(io, samples.len()).await?;
+                    cache.insert(peer, spec, epoch);
                     spec
                 }
             },
-            None => self.cold_handshake_io(io, samples.len()).await?,
+            None => self.cold_handshake_io(io, samples.len()).await?.0,
         };
 
         // Encode every sample's OMPE input up front so the whole batch
@@ -784,17 +816,21 @@ where
     }
 
     /// The cold session opening: announce the batch size, receive and
-    /// validate the trainer's spec.
+    /// validate the trainer's spec (and its serving epoch, appended as
+    /// the final `SPEC` field).
     async fn cold_handshake_io(
         &self,
         io: &FrameIo,
         num_samples: usize,
-    ) -> Result<ClassifySpec, PpcsError> {
+    ) -> Result<(ClassifySpec, u64), PpcsError> {
         io.send_msg(KIND_CLS_HELLO, &(num_samples as u64))?;
         let fields = decode_u64s(&io.recv_msg::<Vec<u8>>(KIND_CLS_SPEC).await?)?;
-        let spec = ClassifySpec::decode_wire(&fields)?;
+        let [spec_fields @ .., epoch] = &fields[..] else {
+            return Err(PpcsError::Protocol("malformed classify spec".into()));
+        };
+        let spec = ClassifySpec::decode_wire(spec_fields)?;
         self.check_spec(&spec)?;
-        Ok(spec)
+        Ok((spec, *epoch))
     }
 
     /// Rejects a trainer-announced spec that disagrees with this
@@ -1093,9 +1129,14 @@ where
 /// machinery that already redials the transport. The cache is
 /// internally synchronized, so one instance can back every lane of a
 /// parallel client.
+///
+/// Each entry remembers the trainer's serving **epoch** alongside the
+/// spec: a trainer restart bumps the epoch, the next warm hello
+/// presents the stale one, and the trainer re-announces — so a cached
+/// ticket can never silently resume into a fresh incarnation.
 #[derive(Debug, Default)]
 pub struct WarmSessionCache {
-    inner: Mutex<HashMap<u64, ClassifySpec>>,
+    inner: Mutex<HashMap<u64, (ClassifySpec, u64)>>,
 }
 
 impl WarmSessionCache {
@@ -1104,8 +1145,8 @@ impl WarmSessionCache {
         Self::default()
     }
 
-    /// The cached spec for `peer`, if any.
-    pub fn get(&self, peer: u64) -> Option<ClassifySpec> {
+    /// The cached `(spec, epoch)` for `peer`, if any.
+    pub fn get(&self, peer: u64) -> Option<(ClassifySpec, u64)> {
         self.inner
             .lock()
             .expect("warm cache lock")
@@ -1113,12 +1154,19 @@ impl WarmSessionCache {
             .copied()
     }
 
-    /// Caches (or replaces) the spec for `peer`.
-    pub fn insert(&self, peer: u64, spec: ClassifySpec) {
+    /// Caches (or replaces) the spec and serving epoch for `peer`.
+    pub fn insert(&self, peer: u64, spec: ClassifySpec, epoch: u64) {
         self.inner
             .lock()
             .expect("warm cache lock")
-            .insert(peer, spec);
+            .insert(peer, (spec, epoch));
+    }
+
+    /// Forgets the cached spec for `peer` (e.g. after observing a fresh
+    /// serving epoch in a health probe: the entry would only buy a
+    /// re-announce round).
+    pub fn remove(&self, peer: u64) {
+        self.inner.lock().expect("warm cache lock").remove(&peer);
     }
 
     /// How many peers have a cached spec.
@@ -1139,7 +1187,7 @@ impl WarmSessionCache {
 
 /// Splits `samples` into `lanes` contiguous chunks whose lengths differ
 /// by at most one (the first `len % lanes` chunks get the extra sample).
-fn shard_evenly(samples: &[Vec<f64>], lanes: usize) -> Vec<&[Vec<f64>]> {
+pub(crate) fn shard_evenly(samples: &[Vec<f64>], lanes: usize) -> Vec<&[Vec<f64>]> {
     let base = samples.len() / lanes;
     let extra = samples.len() % lanes;
     let mut chunks = Vec::with_capacity(lanes);

@@ -49,6 +49,7 @@ mod classify;
 mod config;
 mod error;
 pub mod expansion;
+mod fleet;
 mod multiclass;
 mod precompute;
 pub mod privacy;
@@ -59,6 +60,10 @@ pub use classify::{ClassifySpec, Client, InputForm, Trainer, WarmSessionCache, M
 pub use config::ProtocolConfig;
 pub use error::PpcsError;
 pub use expansion::{expand_model, BasisKind, ExpandedDecision};
+pub use fleet::{
+    BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, Connector, FleetClient,
+    FleetClock, FleetConfig, ManualClock, SystemClock,
+};
 pub use multiclass::{MultiClassClient, MultiClassMode, MultiClassTrainer};
 pub use precompute::PrecomputePool;
 pub use server::{ServeSummary, ServerConfig, SessionSupervisor, TrainerServer};

@@ -29,15 +29,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use ppcs_math::Algebra;
 use ppcs_ot::{ObliviousTransfer, OtSelect};
 use ppcs_telemetry::{
     FlightEventKind, FlightRecorder, MetricsRegistry, DETAIL_DRAIN_BEGAN, DETAIL_DRAIN_CUT,
 };
 use ppcs_transport::{
-    AsyncDriver, AsyncEvent, ConnId, DriveOptions, Driver, Encodable, Frame, Lane, SessionLimits,
-    TransportError, KIND_BUSY,
+    busy_frame, AsyncDriver, AsyncEvent, ConnId, DriveOptions, Driver, Encodable, HealthStatus,
+    Lane, SessionLimits, TransportError, KIND_HEALTH,
 };
 
 use crate::classify::{
@@ -72,6 +71,10 @@ pub struct ServerConfig {
     /// sample, so size this near the expected batch size. A session
     /// whose batch outgrows its pack refreshes the remainder inline.
     pub precompute_masks: usize,
+    /// Retry-after hint carried in `KIND_BUSY` shed replies: how long a
+    /// shed client should wait before redialing. `None` sheds without a
+    /// hint (the client falls back to its own backoff).
+    pub retry_after: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +89,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(1),
             precompute_capacity: 8,
             precompute_masks: 16,
+            retry_after: Some(Duration::from_millis(100)),
         }
     }
 }
@@ -509,6 +513,14 @@ where
                     continue;
                 }
             };
+            if first.kind == KIND_HEALTH {
+                // A liveness/readiness probe: answered before (and
+                // instead of) admission, even at capacity or mid-drain.
+                // Deliberately does not reset `idle_since` — probes must
+                // not keep an otherwise-idle lane alive forever.
+                let _ = lane.send(self.health_status(pool).reply());
+                continue;
+            }
             if first.kind == KIND_CLS_FIN {
                 break;
             }
@@ -519,11 +531,10 @@ where
                 continue;
             }
             let Some(permit) = sup.try_admit() else {
-                // At capacity or draining: explicit reject, not a hang.
-                let _ = lane.send(Frame {
-                    kind: KIND_BUSY,
-                    payload: Bytes::new(),
-                });
+                // At capacity or draining: explicit reject, not a hang,
+                // with the configured retry-after hint so a polite
+                // client redials when a slot is likely free.
+                let _ = lane.send(busy_frame(self.config.retry_after));
                 sup.inner.shed.fetch_add(1, Ordering::Relaxed);
                 if let Some(reg) = &self.metrics {
                     reg.record_session_shed();
@@ -769,6 +780,15 @@ where
                         if !driver.is_open(conn) {
                             continue;
                         }
+                        if frame.kind == KIND_HEALTH {
+                            // A liveness/readiness probe: answered before
+                            // (and instead of) admission, even at capacity
+                            // or mid-drain. Deliberately leaves the idle
+                            // deadline unarmed/unchanged — probes must not
+                            // keep an otherwise-idle connection alive.
+                            let _ = driver.send_frame(conn, self.health_status(pool).reply());
+                            continue;
+                        }
                         if frame.kind == KIND_CLS_FIN {
                             driver.close(conn);
                             meta.remove(&conn);
@@ -779,7 +799,7 @@ where
                             // any over-capacity arrival: an explicit
                             // `KIND_BUSY`, then the lane closes.
                             if frame.kind == KIND_CLS_HELLO || frame.kind == KIND_CLS_WARM_HELLO {
-                                let _ = driver.send_busy(conn);
+                                let _ = driver.send_busy_after(conn, self.config.retry_after);
                                 sup.inner.shed.fetch_add(1, Ordering::Relaxed);
                                 if let Some(reg) = &self.metrics {
                                     reg.record_session_shed();
@@ -800,8 +820,9 @@ where
                             continue;
                         }
                         let Some(permit) = sup.try_admit() else {
-                            // At capacity: explicit reject, not a hang.
-                            let _ = driver.send_busy(conn);
+                            // At capacity: explicit reject, not a hang,
+                            // with the configured retry-after hint.
+                            let _ = driver.send_busy_after(conn, self.config.retry_after);
                             sup.inner.shed.fetch_add(1, Ordering::Relaxed);
                             if let Some(reg) = &self.metrics {
                                 reg.record_session_shed();
@@ -911,6 +932,20 @@ where
         }
     }
 
+    /// The snapshot answered to a [`KIND_HEALTH`] probe: this trainer's
+    /// serving epoch, the drain flag, the current precompute-pool depth,
+    /// and the live session count. Probes are answered from both serving
+    /// runtimes' pre-admission dispatch, so a fleet router can triage a
+    /// replica even when it is at capacity or draining.
+    fn health_status(&self, pool: Option<&PrecomputePool<A>>) -> HealthStatus {
+        HealthStatus {
+            epoch: self.trainer.epoch(),
+            draining: self.supervisor.draining(),
+            pool_depth: pool.map_or(0, |p| p.depth() as u64),
+            active_sessions: self.supervisor.active() as u64,
+        }
+    }
+
     fn note_malformed(&self) {
         self.supervisor
             .inner
@@ -929,7 +964,7 @@ mod tests {
     use ppcs_math::F64Algebra;
     use ppcs_ot::TrustedSimOt;
     use ppcs_svm::{Dataset, Kernel, Label, SmoParams, SvmModel};
-    use ppcs_transport::duplex_pool;
+    use ppcs_transport::{duplex_pool, Frame};
 
     fn tiny_trainer() -> Trainer<F64Algebra> {
         let mut dataset = Dataset::new(2);

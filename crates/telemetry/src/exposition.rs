@@ -188,6 +188,37 @@ impl MetricsRegistry {
              ppcs_pool_depth {}\n",
             report.pool_depth,
         ));
+        counter(
+            &mut out,
+            "ppcs_hedges_fired_total",
+            "Hedged requests fired (backup attempts dispatched).",
+            report.hedges_fired,
+        );
+        counter(
+            &mut out,
+            "ppcs_failovers_total",
+            "Sessions re-dispatched to another replica after a failure.",
+            report.failovers,
+        );
+        counter(
+            &mut out,
+            "ppcs_breaker_opens_total",
+            "Circuit breakers tripped open.",
+            report.breaker_opens,
+        );
+        let replicas = self.replica_states();
+        if !replicas.is_empty() {
+            out.push_str(
+                "# HELP ppcs_replica_state Per-replica circuit-breaker state \
+                 (0 closed, 1 open, 2 half-open).\n\
+                 # TYPE ppcs_replica_state gauge\n",
+            );
+            for (replica, state) in replicas {
+                out.push_str(&format!(
+                    "ppcs_replica_state{{replica=\"{replica}\"}} {state}\n"
+                ));
+            }
+        }
 
         if !report.kinds.is_empty() {
             out.push_str(

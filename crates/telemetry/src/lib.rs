@@ -65,8 +65,9 @@ mod span;
 
 pub use hist::Histogram;
 pub use recorder::{
-    FlightEvent, FlightEventKind, FlightRecorder, DETAIL_CONN_CLOSED, DETAIL_DRAIN_BEGAN,
-    DETAIL_DRAIN_CUT, DETAIL_SESSION_ERR, DETAIL_SESSION_OK,
+    FlightEvent, FlightEventKind, FlightRecorder, DETAIL_BREAKER_CLOSED, DETAIL_BREAKER_HALF_OPEN,
+    DETAIL_BREAKER_OPEN, DETAIL_CONN_CLOSED, DETAIL_DRAIN_BEGAN, DETAIL_DRAIN_CUT, DETAIL_FAILOVER,
+    DETAIL_HEDGE_FIRED, DETAIL_SESSION_ERR, DETAIL_SESSION_OK,
 };
 pub use registry::{MetricsRegistry, Phase, ReactorMetric, WireDir, NUM_KIND_SLOTS};
 pub use report::{FrameSizeReport, HealthReport, KindReport, PhaseReport, SessionReport};

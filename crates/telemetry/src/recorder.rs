@@ -90,6 +90,20 @@ pub const DETAIL_CONN_CLOSED: u64 = 3;
 pub const DETAIL_DRAIN_BEGAN: u64 = 10;
 /// `detail` code: the drain deadline elapsed and survivors were cut.
 pub const DETAIL_DRAIN_CUT: u64 = 11;
+/// `detail` code: a replica's circuit breaker tripped open (the
+/// `conn_slot` field carries the replica index for fleet events).
+pub const DETAIL_BREAKER_OPEN: u64 = 20;
+/// `detail` code: an open breaker's cooldown elapsed and it moved to
+/// half-open, admitting one probe.
+pub const DETAIL_BREAKER_HALF_OPEN: u64 = 21;
+/// `detail` code: a half-open breaker's probe succeeded and it closed.
+pub const DETAIL_BREAKER_CLOSED: u64 = 22;
+/// `detail` code: a session was re-dispatched to another replica after
+/// its first choice failed.
+pub const DETAIL_FAILOVER: u64 = 23;
+/// `detail` code: the hedge delay elapsed and a backup attempt was
+/// dispatched.
+pub const DETAIL_HEDGE_FIRED: u64 = 24;
 
 /// One recorded event, as read back by
 /// [`snapshot`](FlightRecorder::snapshot).

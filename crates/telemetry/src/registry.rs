@@ -1,7 +1,8 @@
 //! The lock-cheap per-session metrics collector.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::hist::Histogram;
@@ -201,6 +202,14 @@ pub struct MetricsRegistry {
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_depth: AtomicU64,
+    hedges_fired: AtomicU64,
+    failovers: AtomicU64,
+    breaker_opens: AtomicU64,
+    /// Per-replica circuit-breaker state gauge, keyed by replica index
+    /// (0 = closed, 1 = open, 2 = half-open). A `Mutex` rather than
+    /// atomics because replicas are discovered dynamically and breaker
+    /// transitions are orders of magnitude rarer than wire updates.
+    replica_states: Mutex<BTreeMap<u32, u64>>,
     phase_ns: [Histogram; Phase::ALL.len()],
     frame_sizes: Histogram,
     kinds: [KindSlot; NUM_KIND_SLOTS],
@@ -236,6 +245,10 @@ impl MetricsRegistry {
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
             pool_depth: AtomicU64::new(0),
+            hedges_fired: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            replica_states: Mutex::new(BTreeMap::new()),
             phase_ns: std::array::from_fn(|_| Histogram::new()),
             frame_sizes: Histogram::new(),
             kinds: std::array::from_fn(|_| KindSlot::default()),
@@ -345,6 +358,43 @@ impl MetricsRegistry {
     /// Sets the current precompute-pool depth gauge.
     pub fn set_pool_depth(&self, depth: u64) {
         self.pool_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Counts one hedged request fired (the hedge delay elapsed and a
+    /// backup attempt was dispatched to another replica).
+    pub fn record_hedge_fired(&self) {
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failover (a session re-dispatched to another replica
+    /// after its first choice failed).
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one circuit breaker tripping open.
+    pub fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the breaker-state gauge for one replica
+    /// (0 = closed, 1 = open, 2 = half-open).
+    pub fn set_replica_state(&self, replica: u32, state: u64) {
+        self.replica_states
+            .lock()
+            .expect("replica state gauge")
+            .insert(replica, state);
+    }
+
+    /// Snapshot of every replica's breaker-state gauge, sorted by
+    /// replica index.
+    pub fn replica_states(&self) -> Vec<(u32, u64)> {
+        self.replica_states
+            .lock()
+            .expect("replica state gauge")
+            .iter()
+            .map(|(&r, &s)| (r, s))
+            .collect()
     }
 
     /// Records one closed span: `ns` of wall time spent in `phase`.
@@ -519,6 +569,9 @@ impl MetricsRegistry {
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             pool_depth: self.pool_depth.load(Ordering::Relaxed),
+            hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             frame_sizes: FrameSizeReport {
                 count: self.frame_sizes.count(),
                 min: self.frame_sizes.min(),

@@ -122,6 +122,13 @@ pub struct SessionReport {
     pub pool_misses: u64,
     /// Precompute-pool depth at snapshot time (a gauge, not a counter).
     pub pool_depth: u64,
+    /// Hedged requests fired (backup attempts dispatched after the
+    /// hedge delay elapsed).
+    pub hedges_fired: u64,
+    /// Sessions re-dispatched to another replica after a failure.
+    pub failovers: u64,
+    /// Circuit breakers tripped open.
+    pub breaker_opens: u64,
     /// Frame payload-size distribution.
     pub frame_sizes: FrameSizeReport,
     /// Per-phase wall time, report order.
@@ -227,6 +234,9 @@ impl SessionReport {
             ("pool_hits", num(self.pool_hits)),
             ("pool_misses", num(self.pool_misses)),
             ("pool_depth", num(self.pool_depth)),
+            ("hedges_fired", num(self.hedges_fired)),
+            ("failovers", num(self.failovers)),
+            ("breaker_opens", num(self.breaker_opens)),
             (
                 "frame_sizes",
                 obj(vec![
@@ -384,6 +394,11 @@ impl SessionReport {
             pool_hits: doc.get("pool_hits").and_then(Json::as_u64).unwrap_or(0),
             pool_misses: doc.get("pool_misses").and_then(Json::as_u64).unwrap_or(0),
             pool_depth: doc.get("pool_depth").and_then(Json::as_u64).unwrap_or(0),
+            // Fleet counters postdate the pool counters: lenient, so
+            // artifacts from before the resilience layer still load.
+            hedges_fired: doc.get("hedges_fired").and_then(Json::as_u64).unwrap_or(0),
+            failovers: doc.get("failovers").and_then(Json::as_u64).unwrap_or(0),
+            breaker_opens: doc.get("breaker_opens").and_then(Json::as_u64).unwrap_or(0),
             frame_sizes: FrameSizeReport {
                 count: fs_field("count")?,
                 min: fs_field("min")?,
@@ -469,6 +484,13 @@ impl fmt::Display for SessionReport {
                 self.pool_filled, self.pool_hits, self.pool_misses, self.pool_depth,
             )?;
         }
+        if self.hedges_fired + self.failovers + self.breaker_opens > 0 {
+            writeln!(
+                f,
+                "  fleet: {} hedges fired, {} failovers, {} breaker opens",
+                self.hedges_fired, self.failovers, self.breaker_opens,
+            )?;
+        }
         if !self.reactor_health.is_empty() {
             writeln!(
                 f,
@@ -550,6 +572,9 @@ mod tests {
             pool_hits: 2,
             pool_misses: 1,
             pool_depth: 1,
+            hedges_fired: 2,
+            failovers: 1,
+            breaker_opens: 1,
             frame_sizes: FrameSizeReport {
                 count: 12,
                 min: 6,
@@ -678,6 +703,22 @@ mod tests {
         report.reactor_wakeups = 0;
         report.reactor_events = 0;
         report.timer_fires = 0;
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_fleet_counters_still_parse() {
+        // Artifacts written before the fleet resilience layer existed.
+        let mut report = sample();
+        let text = report
+            .to_json()
+            .replace("\"hedges_fired\":2,", "")
+            .replace("\"failovers\":1,", "")
+            .replace("\"breaker_opens\":1,", "");
+        let back = SessionReport::from_json(&text).unwrap();
+        report.hedges_fired = 0;
+        report.failovers = 0;
+        report.breaker_opens = 0;
         assert_eq!(back, report);
     }
 

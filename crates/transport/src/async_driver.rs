@@ -42,7 +42,8 @@ use ppcs_telemetry::{
 
 use crate::channel::{coalesce_frames, Frame, Lane, TrafficStats};
 use crate::driver::{
-    fail_engine, merge_wire_delta, Direction, SessionLimits, Transcript, KIND_BUSY,
+    busy_frame, busy_retry_after, fail_engine, merge_wire_delta, Direction, RetryPolicy,
+    SessionLimits, Transcript, KIND_BUSY, KIND_RESUME,
 };
 use crate::engine::{Outgoing, ProtocolEngine};
 use crate::error::TransportError;
@@ -263,6 +264,23 @@ struct Session<'d, T, E> {
     /// `(slot, epoch, seq)` triple pins every trace line and trace-out
     /// event to exactly one session.
     seq: u64,
+    /// Present when the session is being driven by
+    /// [`AsyncDriver::drive_resumable`]: transport failures become
+    /// [`PumpOutcome::NeedsRedial`] instead of terminal injections, and
+    /// sent frames are logged for replay after the redial handshake.
+    resume: Option<ResumeState>,
+}
+
+/// Redial bookkeeping for a resumable session, mirroring the blocking
+/// `pump_resumable`'s send-log/budget accounting.
+struct ResumeState {
+    /// Every logical frame sent this session, in order, for replay
+    /// after a reconnect (appended *before* transmission so a frame
+    /// lost mid-send is replayed too).
+    sent_log: Vec<Frame>,
+    /// Wire bytes spent on previous lanes: the byte budget is
+    /// session-logical and accumulates across redials.
+    wire_base: u64,
 }
 
 /// One in-flight HTTP-lite scrape connection on the metrics endpoint:
@@ -296,6 +314,10 @@ enum PumpOutcome<T, E> {
     Parked { wake_at: Option<Instant> },
     /// The session completed.
     Finished(Box<(Result<T, E>, Option<Transcript>)>),
+    /// Resumable sessions only: the lane failed (or the peer shed or a
+    /// budget tripped) with the engine still alive — the outer
+    /// [`AsyncDriver::drive_resumable`] loop decides whether to redial.
+    NeedsRedial(TransportError),
 }
 
 /// A single-threaded multiplexer pumping many [`ProtocolEngine`]s over
@@ -579,6 +601,7 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
             stats_before,
             rounds_before,
             seq,
+            resume: None,
         });
         self.active_sessions += 1;
         self.ready_next.push(slot);
@@ -588,32 +611,55 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
     }
 
     /// Answers a pending connection with one [`KIND_BUSY`] frame — the
-    /// admission-control shed. Send failures are reported but the
-    /// connection stays open (the blocking serve loop ignores them
-    /// too).
+    /// admission-control shed, with no retry-after hint. Send failures
+    /// are reported but the connection stays open (the blocking serve
+    /// loop ignores them too).
     ///
     /// # Errors
     ///
     /// Any transport failure from the underlying lane.
     pub fn send_busy(&mut self, id: ConnId) -> Result<(), TransportError> {
+        self.send_busy_after(id, None)
+    }
+
+    /// [`send_busy`](AsyncDriver::send_busy) with a retry-after hint:
+    /// the shed frame tells the client how long to wait before
+    /// redialing (honored by [`RetryPolicy::delay_for`]).
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure from the underlying lane.
+    pub fn send_busy_after(
+        &mut self,
+        id: ConnId,
+        retry_after: Option<Duration>,
+    ) -> Result<(), TransportError> {
+        let result = self.send_frame(id, busy_frame(retry_after));
+        if let Some(rec) = &self.recorder {
+            rec.record(FlightEventKind::Shed, id.slot, id.epoch, 0);
+        }
+        result
+    }
+
+    /// Sends one raw control frame on a connection — the mechanism
+    /// behind shed replies and [`KIND_HEALTH`](crate::KIND_HEALTH)
+    /// probe answers, which must go out without attaching a session.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] for an unknown connection, or
+    /// any transport failure from the underlying lane.
+    pub fn send_frame(&mut self, id: ConnId, frame: Frame) -> Result<(), TransportError> {
         let Some(conn) = self.conn_mut(id) else {
             return Err(TransportError::Disconnected);
         };
-        let frame = Frame {
-            kind: KIND_BUSY,
-            payload: bytes::Bytes::new(),
-        };
-        let result = match &mut conn.lane {
+        match &mut conn.lane {
             ConnLane::Tcp(nb) => {
                 nb.queue(&frame)?;
                 nb.flush().map(|_| ())
             }
             ConnLane::Mem(l) => l.send(frame),
-        };
-        if let Some(rec) = &self.recorder {
-            rec.record(FlightEventKind::Shed, id.slot, id.epoch, 0);
         }
-        result
     }
 
     /// Closes and removes a connection. An in-flight session's engine
@@ -839,6 +885,184 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         done
     }
 
+    /// Drives one engine to completion across connection failures — the
+    /// async mirror of
+    /// [`Driver::drive_resumable`](crate::Driver::drive_resumable): the
+    /// same [`KIND_RESUME`] handshake, the same unacknowledged-frame
+    /// replay, the same session-logical budgets (wall clock from the
+    /// first dial, wire bytes accumulated across every lane) and the
+    /// same [`TransportError::Budget`] messages, so either party of a
+    /// resumable session can run on the reactor path while the other
+    /// blocks.
+    ///
+    /// `connect(attempt)` borrows a fresh lane per attempt from a
+    /// caller-owned pool. A failed lane is *abandoned*, not dropped (the
+    /// borrow outlives this call) — a peer relying on a prompt
+    /// disconnect to notice the redial should cap its own receive
+    /// window instead.
+    ///
+    /// Transcript recording is not supported in resumable mode —
+    /// replayed frames would double-record — and is ignored.
+    ///
+    /// # Errors
+    ///
+    /// The role's own error once retries are exhausted or a
+    /// non-retryable (codec/protocol) failure occurs.
+    pub fn drive_resumable<C>(
+        &mut self,
+        engine: ProtocolEngine<'d, T, E>,
+        opts: DriveOptions,
+        policy: &RetryPolicy,
+        mut connect: C,
+    ) -> Result<T, E>
+    where
+        C: FnMut(u32) -> Result<&'d dyn Lane, TransportError>,
+    {
+        let _collector = opts.metrics.clone().map(ppcs_telemetry::install);
+        let limits = opts.limits.clone().unwrap_or_default();
+        let budgeted = opts.limits.is_some() || opts.cancel.is_some();
+        let per_recv = opts.timeout.unwrap_or(DEFAULT_PER_RECV);
+        // Budgets are session-logical: the wall clock starts at the
+        // first dial and wire bytes accumulate across every lane.
+        let started = Instant::now();
+        let mut engine = engine;
+        let mut sent_log: Vec<Frame> = Vec::new();
+        let mut delivered: u64 = 0;
+        let mut wire_total: u64 = 0;
+        let mut attempt: u32 = 0;
+        let mut jitter = policy.jitter_seed;
+        loop {
+            let lane = match connect(attempt) {
+                Ok(l) => l,
+                Err(e) => {
+                    if policy.is_retryable(&e) && attempt + 1 < policy.max_attempts {
+                        if let Some(reg) = &opts.metrics {
+                            reg.record_retry();
+                        }
+                        std::thread::sleep(policy.delay_for(&e, attempt, &mut jitter));
+                        attempt += 1;
+                        continue;
+                    }
+                    return fail_engine(&mut engine, e);
+                }
+            };
+            if attempt > 0 {
+                if let Some(reg) = &opts.metrics {
+                    reg.record_reconnect();
+                }
+            }
+            self.session_seq += 1;
+            let lane_bytes_before = lane.stats().total_bytes();
+            let rounds_before = engine.rounds();
+            let now = Instant::now();
+            // Resumable sessions never occupy a slot: the sentinel slot
+            // keeps their trace and recorder lines distinguishable from
+            // every slotted connection.
+            let id = ConnId {
+                slot: u32::MAX,
+                epoch: attempt,
+            };
+            let mut conn = Conn {
+                lane: ConnLane::Mem(lane),
+                session: Some(Session {
+                    engine,
+                    transcript: None,
+                    metrics: opts.metrics.clone(),
+                    limits: limits.clone(),
+                    budgeted,
+                    cancel: opts.cancel.clone(),
+                    per_recv,
+                    started,
+                    recv_started: now,
+                    bytes_before: lane_bytes_before,
+                    frames_delivered: delivered,
+                    last_kind: None,
+                    stats_before: opts.metrics.is_some().then(|| lane.stats()),
+                    rounds_before,
+                    seq: self.session_seq,
+                    resume: Some(ResumeState {
+                        sent_log: std::mem::take(&mut sent_log),
+                        wire_base: wire_total,
+                    }),
+                }),
+                idle_deadline: None,
+                timer_gen: 0,
+            };
+            let err: TransportError = 'attempt: {
+                {
+                    let s = conn.session.as_ref().expect("resumable session");
+                    let ack = match resume_handshake(lane, s, policy, id, self.recorder.as_deref())
+                    {
+                        Ok(ack) => ack,
+                        Err(e) => break 'attempt e,
+                    };
+                    let log = &s.resume.as_ref().expect("resume state").sent_log;
+                    let Some(ack) = usize::try_from(ack).ok().filter(|&n| n <= log.len()) else {
+                        break 'attempt TransportError::Decode(format!(
+                            "resume ack {ack} exceeds {} sent frames",
+                            log.len()
+                        ));
+                    };
+                    let mut replay_failure = None;
+                    for f in &log[ack..] {
+                        if let Err(e) = lane.send(f.clone()) {
+                            replay_failure = Some(e);
+                            break;
+                        }
+                    }
+                    if let Some(e) = replay_failure {
+                        break 'attempt e;
+                    }
+                }
+                let s = conn.session.as_mut().expect("resumable session");
+                s.recv_started = Instant::now();
+                loop {
+                    match pump(id, &mut conn, self.recorder.as_deref()) {
+                        PumpOutcome::Parked { .. } => {
+                            // Mem lanes have no readiness events; probe
+                            // at the same cadence `poll` would.
+                            std::thread::sleep(MEM_POLL_SLICE);
+                        }
+                        PumpOutcome::Finished(boxed) => return (*boxed).0,
+                        PumpOutcome::NeedsRedial(e) => break 'attempt e,
+                    }
+                }
+            };
+            // Recover the engine and redial bookkeeping from the failed
+            // attempt; pump only merges telemetry on completion, so the
+            // failure path merges this lane's share here.
+            let mut s = conn.session.take().expect("resumable session");
+            if let Some(reg) = &opts.metrics {
+                merge_wire_delta(
+                    reg,
+                    s.stats_before.as_ref().expect("snapshotted"),
+                    &lane.stats(),
+                );
+                reg.record_rounds(s.engine.rounds() - s.rounds_before);
+            }
+            wire_total += lane.stats().total_bytes() - lane_bytes_before;
+            delivered = s.frames_delivered;
+            let rs = s.resume.take().expect("resume state");
+            sent_log = rs.sent_log;
+            engine = s.engine;
+            if err == TransportError::Timeout {
+                if let Some(reg) = &opts.metrics {
+                    reg.record_timeout();
+                }
+                ppcs_telemetry::warn_event("recv timeout", None, Some(engine.rounds()));
+            }
+            if policy.is_retryable(&err) && attempt + 1 < policy.max_attempts {
+                if let Some(reg) = &opts.metrics {
+                    reg.record_retry();
+                }
+                std::thread::sleep(policy.delay_for(&err, attempt, &mut jitter));
+                attempt += 1;
+                continue;
+            }
+            return fail_engine(&mut engine, err);
+        }
+    }
+
     fn accept_all(&mut self, events: &mut Vec<AsyncEvent<T, E>>) {
         loop {
             let accepted = match &self.listener {
@@ -892,6 +1116,9 @@ impl<'d, T, E: From<TransportError>> AsyncDriver<'d, T, E> {
         if conn.session.is_some() {
             let outcome = pump(id, conn, self.recorder.as_deref());
             match outcome {
+                // Unreachable from `service`: resume mode only runs
+                // under `drive_resumable`, which pumps directly.
+                PumpOutcome::NeedsRedial(_) => unreachable!("slotted sessions are not resumable"),
                 PumpOutcome::Parked { wake_at } => {
                     if let Some(at) = wake_at {
                         if matches!(conn.lane, ConnLane::Tcp(_)) {
@@ -1313,12 +1540,20 @@ fn pump<'d, T, E: From<TransportError>>(
                 }
             }
             s.last_kind = out.frames().last().map(|f| f.kind);
+            if let Some(rs) = &mut s.resume {
+                // Log before transmitting: a frame lost mid-send must
+                // be replayed after the redial too.
+                rs.sent_log.extend(out.frames().iter().cloned());
+            }
             if let Err(e) = send_out(lane, &out) {
                 send_failure = Some(e);
                 break;
             }
         }
         if let Some(e) = send_failure {
+            if s.resume.is_some() {
+                return PumpOutcome::NeedsRedial(e);
+            }
             s.engine.inject_failure(e.clone());
             break match s.engine.take_result() {
                 Some(r) => r,
@@ -1329,9 +1564,15 @@ fn pump<'d, T, E: From<TransportError>>(
             break s.engine.take_result().expect("engine reported done");
         }
         if s.budgeted {
-            let wire = lane_stats(lane).total_bytes() - s.bytes_before;
+            // Resumable sessions budget bytes session-logically: wire
+            // spent on previous lanes counts against this one.
+            let wire_base = s.resume.as_ref().map_or(0, |rs| rs.wire_base);
+            let wire = wire_base + lane_stats(lane).total_bytes() - s.bytes_before;
             if let Some(e) = budget_trip(s, wire) {
                 note_budget(s, &e, id, recorder);
+                if s.resume.is_some() {
+                    return PumpOutcome::NeedsRedial(e);
+                }
                 break fail_engine(&mut s.engine, e);
             }
         }
@@ -1339,7 +1580,18 @@ fn pump<'d, T, E: From<TransportError>>(
             Ok(Some(frame)) => {
                 if frame.kind == KIND_BUSY {
                     // The peer shed this session before admission.
-                    break fail_engine(&mut s.engine, TransportError::Busy);
+                    let e = TransportError::Busy {
+                        retry_after_ms: busy_retry_after(&frame.payload),
+                    };
+                    if s.resume.is_some() {
+                        return PumpOutcome::NeedsRedial(e);
+                    }
+                    break fail_engine(&mut s.engine, e);
+                }
+                if frame.kind == KIND_RESUME && s.resume.is_some() {
+                    // A duplicate handshake ack raced the first session
+                    // frame — drop it, it is not protocol traffic.
+                    continue;
                 }
                 if let Some(t) = &mut s.transcript {
                     t.record_received(&frame);
@@ -1359,6 +1611,11 @@ fn pump<'d, T, E: From<TransportError>>(
                 // or the next relevant deadline.
                 if s.recv_started.elapsed() >= s.per_recv {
                     let e = TransportError::Timeout;
+                    if s.resume.is_some() {
+                        // The outer redial loop records the timeout and
+                        // warns, mirroring the blocking driver exactly.
+                        return PumpOutcome::NeedsRedial(e);
+                    }
                     if let Some(reg) = &s.metrics {
                         reg.record_timeout();
                     }
@@ -1381,6 +1638,9 @@ fn pump<'d, T, E: From<TransportError>>(
                 };
             }
             Err(e) => {
+                if s.resume.is_some() {
+                    return PumpOutcome::NeedsRedial(e);
+                }
                 if matches!(e, TransportError::Budget(_)) {
                     note_budget(s, &e, id, recorder);
                 }
@@ -1447,6 +1707,61 @@ fn budget_trip<T, E>(s: &Session<'_, T, E>, wire_bytes: u64) -> Option<Transport
         }
     }
     None
+}
+
+/// The announcing half of the [`KIND_RESUME`] handshake on a fresh
+/// lane, mirroring the blocking `pump_resumable` exactly: budget check
+/// first (a pre-tripped deadline or drain cut never waits out the
+/// window), the resume window clamped to the remaining session
+/// deadline, then announce our delivered count and wait for the peer's
+/// ack.
+fn resume_handshake<T, E>(
+    lane: &dyn Lane,
+    s: &Session<'_, T, E>,
+    policy: &RetryPolicy,
+    id: ConnId,
+    recorder: Option<&FlightRecorder>,
+) -> Result<u64, TransportError> {
+    let wire_base = s.resume.as_ref().map_or(0, |rs| rs.wire_base);
+    let mut window = policy.resume_window;
+    if s.budgeted {
+        if let Some(e) = budget_trip(s, wire_base) {
+            note_budget(s, &e, id, recorder);
+            return Err(e);
+        }
+        if let Some(deadline) = s.limits.deadline {
+            let remaining = deadline.saturating_sub(s.started.elapsed());
+            window = window.min(remaining).max(Duration::from_millis(1));
+        }
+    }
+    lane.set_recv_timeout(Some(window));
+    lane.send(Frame::encode(KIND_RESUME, &s.frames_delivered))?;
+    loop {
+        let f = match lane.recv() {
+            Err(TransportError::Timeout) if s.budgeted => {
+                if let Some(e) = budget_trip(s, wire_base) {
+                    note_budget(s, &e, id, recorder);
+                    return Err(e);
+                }
+                return Err(TransportError::Timeout);
+            }
+            other => other?,
+        };
+        if f.kind == KIND_BUSY {
+            // The peer shed this session: without a retry-after hint
+            // this is terminal (the same overloaded server would shed
+            // the redial too); with one, the outer loop redials after
+            // the hinted delay.
+            return Err(TransportError::Busy {
+                retry_after_ms: busy_retry_after(&f.payload),
+            });
+        }
+        if f.kind == KIND_RESUME {
+            return f.decode_as::<u64>(KIND_RESUME);
+        }
+        // A stale in-flight frame from before the reconnect: drop it.
+        // Whatever we have not acknowledged, the peer replays.
+    }
 }
 
 fn note_budget<T, E>(
@@ -1695,7 +2010,12 @@ mod tests {
         })
         .expect("send busy");
         let done = ad.drive_all();
-        assert_eq!(done[0].1.as_ref().expect_err("shed"), &TransportError::Busy);
+        assert_eq!(
+            done[0].1.as_ref().expect_err("shed"),
+            &TransportError::Busy {
+                retry_after_ms: None
+            }
+        );
     }
 
     #[test]

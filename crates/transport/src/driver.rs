@@ -35,7 +35,35 @@ pub const KIND_RESUME: u16 = 0x00FE;
 /// driver translates a received `KIND_BUSY` into
 /// [`TransportError::Busy`] and fails the engine with it — protocols
 /// never see the kind itself. Reserved next to [`KIND_RESUME`].
+///
+/// The payload is either empty (no guidance) or eight little-endian
+/// bytes carrying a retry-after hint in milliseconds; see [`busy_frame`]
+/// and [`busy_retry_after`].
 pub const KIND_BUSY: u16 = 0x00FD;
+
+/// Builds a [`KIND_BUSY`] shed reply, optionally carrying a retry-after
+/// hint (rounded to whole milliseconds) for the shed client's backoff.
+pub fn busy_frame(retry_after: Option<Duration>) -> Frame {
+    let payload = match retry_after {
+        Some(d) => {
+            Bytes::copy_from_slice(&(d.as_millis().min(u128::from(u64::MAX)) as u64).to_le_bytes())
+        }
+        None => Bytes::new(),
+    };
+    Frame {
+        kind: KIND_BUSY,
+        payload,
+    }
+}
+
+/// Extracts the retry-after hint from a received [`KIND_BUSY`] payload.
+/// An empty payload means the server gave no guidance; any other
+/// malformed payload is treated the same way — a shed reply must never
+/// turn into a decode failure.
+pub fn busy_retry_after(payload: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = payload.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
 
 /// Per-session resource budgets enforced by [`Driver::drive`].
 ///
@@ -119,11 +147,19 @@ impl RetryPolicy {
     /// Whether `e` is a transient transport failure worth a reconnect.
     /// Codec and protocol errors are deterministic — retrying replays
     /// the same bytes into the same failure — so only the transport
-    /// layer (disconnect, timeout, I/O) is retryable.
+    /// layer (disconnect, timeout, I/O) is retryable. A shed
+    /// ([`TransportError::Busy`]) is retryable exactly when the server
+    /// said when to come back: without a retry-after hint, redialing the
+    /// same overloaded server would just be shed again.
     pub fn is_retryable(&self, e: &TransportError) -> bool {
         matches!(
             e,
-            TransportError::Disconnected | TransportError::Timeout | TransportError::Io(_)
+            TransportError::Disconnected
+                | TransportError::Timeout
+                | TransportError::Io(_)
+                | TransportError::Busy {
+                    retry_after_ms: Some(_)
+                }
         )
     }
 
@@ -145,6 +181,19 @@ impl RetryPolicy {
         capped
             .checked_add(Duration::from_nanos(splitmix64(jitter) % half))
             .unwrap_or(capped)
+    }
+
+    /// The delay before the retry prompted by `e`: a shed reply carrying
+    /// a retry-after hint is honored exactly (no jitter — the server
+    /// already knows when capacity frees up), anything else gets the
+    /// jittered exponential [`backoff_delay`](Self::backoff_delay).
+    pub fn delay_for(&self, e: &TransportError, attempt: u32, jitter: &mut u64) -> Duration {
+        match e {
+            TransportError::Busy {
+                retry_after_ms: Some(ms),
+            } => Duration::from_millis(*ms),
+            _ => self.backoff_delay(attempt, jitter),
+        }
     }
 }
 
@@ -472,7 +521,12 @@ impl Driver {
                 Ok(frame) => {
                     if frame.kind == KIND_BUSY {
                         // The peer shed this session before admission.
-                        return fail_engine(engine, TransportError::Busy);
+                        return fail_engine(
+                            engine,
+                            TransportError::Busy {
+                                retry_after_ms: busy_retry_after(&frame.payload),
+                            },
+                        );
                     }
                     if let Some(t) = &mut self.transcript {
                         t.record_received(&frame);
@@ -664,7 +718,7 @@ impl Driver {
                         if let Some(reg) = &self.metrics {
                             reg.record_retry();
                         }
-                        std::thread::sleep(policy.backoff_delay(attempt, &mut jitter));
+                        std::thread::sleep(policy.delay_for(&e, attempt, &mut jitter));
                         attempt += 1;
                         continue;
                     }
@@ -712,7 +766,7 @@ impl Driver {
                         if let Some(reg) = &self.metrics {
                             reg.record_retry();
                         }
-                        std::thread::sleep(policy.backoff_delay(attempt, &mut jitter));
+                        std::thread::sleep(policy.delay_for(&e, attempt, &mut jitter));
                         attempt += 1;
                         continue;
                     }
@@ -774,9 +828,13 @@ impl Driver {
                 other => other?,
             };
             if f.kind == KIND_BUSY {
-                // The peer shed this session: not retryable, redialing
-                // the same overloaded server would just be shed again.
-                return Err(TransportError::Busy);
+                // The peer shed this session: without a retry-after
+                // hint this is terminal (redialing the same overloaded
+                // server would just be shed again); with one, the outer
+                // loop redials after the hinted delay.
+                return Err(TransportError::Busy {
+                    retry_after_ms: busy_retry_after(&f.payload),
+                });
             }
             if f.kind == KIND_RESUME {
                 break f.decode_as::<u64>(KIND_RESUME)?;
@@ -827,7 +885,9 @@ impl Driver {
             }
             let frame = self.recv_within_budget(lane, limits, budgeted, started)?;
             if frame.kind == KIND_BUSY {
-                return Err(TransportError::Busy);
+                return Err(TransportError::Busy {
+                    retry_after_ms: busy_retry_after(&frame.payload),
+                });
             }
             if frame.kind == KIND_RESUME {
                 // A duplicate handshake frame (e.g. replayed by a
@@ -1412,7 +1472,60 @@ mod tests {
         let mut eng: ProtocolEngine<'_, u64, TransportError> =
             ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
         let err = drive_blocking(&ep_a, &mut eng).unwrap_err();
-        assert_eq!(err, TransportError::Busy);
+        assert_eq!(
+            err,
+            TransportError::Busy {
+                retry_after_ms: None
+            }
+        );
+    }
+
+    #[test]
+    fn busy_frame_round_trips_its_retry_after_hint() {
+        let hinted = busy_frame(Some(Duration::from_millis(250)));
+        assert_eq!(hinted.kind, KIND_BUSY);
+        assert_eq!(busy_retry_after(&hinted.payload), Some(250));
+        let bare = busy_frame(None);
+        assert_eq!(busy_retry_after(&bare.payload), None);
+        // Garbage payloads degrade to "no guidance", never a decode error.
+        assert_eq!(busy_retry_after(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn busy_with_hint_surfaces_the_hint_through_the_driver() {
+        let (ep_a, ep_b) = duplex();
+        ep_b.send(busy_frame(Some(Duration::from_millis(40))))
+            .unwrap();
+        let mut eng: ProtocolEngine<'_, u64, TransportError> =
+            ProtocolEngine::new(|io: FrameIo| async move { io.recv_msg::<u64>(1).await });
+        let err = drive_blocking(&ep_a, &mut eng).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Busy {
+                retry_after_ms: Some(40)
+            }
+        );
+    }
+
+    #[test]
+    fn retry_policy_honors_the_busy_hint_over_backoff() {
+        let policy = RetryPolicy::default();
+        let hinted = TransportError::Busy {
+            retry_after_ms: Some(123),
+        };
+        let bare = TransportError::Busy {
+            retry_after_ms: None,
+        };
+        assert!(policy.is_retryable(&hinted));
+        assert!(!policy.is_retryable(&bare), "no hint, no blind redial");
+        let mut jitter = policy.jitter_seed;
+        assert_eq!(
+            policy.delay_for(&hinted, 0, &mut jitter),
+            Duration::from_millis(123),
+            "the hint is exact — no jitter"
+        );
+        let d = policy.delay_for(&TransportError::Disconnected, 0, &mut jitter);
+        assert!(d >= policy.base_delay, "non-busy errors keep the backoff");
     }
 
     #[test]

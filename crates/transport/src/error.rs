@@ -26,7 +26,13 @@ pub enum TransportError {
     /// The peer is at capacity and shed this session before it started
     /// (it answered with a `KIND_BUSY` control frame). Not retryable on
     /// the same connection; callers should back off and redial.
-    Busy,
+    Busy {
+        /// The server's retry-after hint in milliseconds, when its shed
+        /// reply carried one: redialing sooner will just be shed again.
+        /// `None` means the server gave no guidance and the caller's own
+        /// backoff applies.
+        retry_after_ms: Option<u64>,
+    },
     /// A session budget ([`SessionLimits`](crate::SessionLimits)) was
     /// exhausted: wall-clock deadline, frame count, wire-byte count, or a
     /// drain-deadline cut. The message names the budget that tripped.
@@ -51,7 +57,13 @@ impl fmt::Display for TransportError {
                      expected kind 0x{expected:04x}"
                 )
             }
-            Self::Busy => write!(f, "peer at capacity: session shed before admission"),
+            Self::Busy { retry_after_ms } => {
+                write!(f, "peer at capacity: session shed before admission")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms}ms)")?;
+                }
+                Ok(())
+            }
             Self::Budget(msg) => write!(f, "session budget exhausted: {msg}"),
         }
     }
@@ -178,7 +190,7 @@ impl From<TransportError> for ProtocolError {
             TransportError::Disconnected
             | TransportError::Timeout
             | TransportError::Io(_)
-            | TransportError::Busy
+            | TransportError::Busy { .. }
             | TransportError::Budget(_) => Self::new(ErrorLayer::Transport, err),
             TransportError::Decode(_) => Self::new(ErrorLayer::Codec, err),
             TransportError::UnexpectedFrame { got, .. } => {
@@ -211,13 +223,34 @@ mod tests {
             TransportError::Disconnected,
             TransportError::Timeout,
             TransportError::Io("reset".into()),
-            TransportError::Busy,
+            TransportError::Busy {
+                retry_after_ms: None,
+            },
+            TransportError::Busy {
+                retry_after_ms: Some(120),
+            },
             TransportError::Budget("deadline 5ms elapsed".into()),
         ] {
             let p = ProtocolError::from(err.clone());
             assert_eq!(p.layer(), ErrorLayer::Transport);
             assert_eq!(p.downcast_ref::<TransportError>(), Some(&err));
         }
+    }
+
+    #[test]
+    fn busy_display_keeps_capacity_wording_and_shows_the_hint() {
+        let bare = TransportError::Busy {
+            retry_after_ms: None,
+        }
+        .to_string();
+        assert!(bare.contains("capacity"), "{bare}");
+        assert!(!bare.contains("retry after"), "{bare}");
+        let hinted = TransportError::Busy {
+            retry_after_ms: Some(75),
+        }
+        .to_string();
+        assert!(hinted.contains("capacity"), "{hinted}");
+        assert!(hinted.contains("retry after 75ms"), "{hinted}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod driver;
 mod engine;
 mod error;
 mod fault;
+mod health;
 mod reactor;
 mod tcp;
 mod wire;
@@ -53,12 +54,13 @@ pub use channel::{
     TrafficStats, KIND_COALESCED, MAX_COALESCED_FRAMES,
 };
 pub use driver::{
-    drive_blocking, replay, run_engine_pair, Direction, Driver, RetryPolicy, SessionLimits,
-    Transcript, TranscriptEntry, KIND_BUSY, KIND_RESUME,
+    busy_frame, busy_retry_after, drive_blocking, replay, run_engine_pair, Direction, Driver,
+    RetryPolicy, SessionLimits, Transcript, TranscriptEntry, KIND_BUSY, KIND_RESUME,
 };
 pub use engine::{Engine, FrameIo, Outgoing, ProtocolEngine, RecvFut};
 pub use error::{ErrorLayer, ProtocolError, TransportError};
 pub use fault::{faulty_pair, FaultKind, FaultSchedule, FaultStats, FaultyLane, KIND_CHAOS};
+pub use health::{probe_health, probe_health_cancellable, HealthStatus, KIND_HEALTH};
 pub use reactor::{Reactor, ReactorEvent, TimerWheel, Waker};
 pub use tcp::{tcp_accept, tcp_connect};
 pub use wire::{decode_seq, encode_seq, Encodable};

@@ -16,7 +16,10 @@ use ppcs_ot::TrustedSimOt;
 use ppcs_svm::{Kernel, Label, SvmModel};
 use ppcs_telemetry::MetricsRegistry;
 use ppcs_tests::{blob_dataset, random_samples};
-use ppcs_transport::{duplex, Endpoint, Frame, SessionLimits, KIND_BUSY};
+use ppcs_transport::{
+    busy_retry_after, duplex, Endpoint, Frame, RetryPolicy, SessionLimits, TransportError,
+    KIND_BUSY,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -283,6 +286,109 @@ fn flood_beyond_capacity_is_shed_with_busy() {
     assert_eq!(summary.sessions_admitted, 2, "exactly the holders");
     assert_eq!(summary.sessions_shed, 2, "both flood arrivals rejected");
     assert_eq!(summary.served_samples, 0);
+}
+
+/// A shed reply carries the server's configured retry-after hint all
+/// the way out: as wire payload on the raw `KIND_BUSY` frame, as the
+/// typed `Busy { retry_after_ms }` error through a full client stack,
+/// and into `RetryPolicy::delay_for`, which honors the hint exactly
+/// instead of applying its own exponential backoff.
+#[test]
+fn shed_reply_hint_travels_wire_to_retry_policy() {
+    let (_, trainer) = fixture();
+    let hint = Duration::from_millis(75);
+    let config = ServerConfig {
+        max_sessions: 1,
+        retry_after: Some(hint),
+        limits: SessionLimits::unlimited().with_deadline(Duration::from_secs(10)),
+        idle_timeout: Duration::from_millis(500),
+        drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let server = TrainerServer::new(&trainer, config);
+    let supervisor = server.supervisor();
+    let (server_lanes, client_lanes) = lanes(3);
+    let release = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let release = &release;
+        let mut client_iter = client_lanes.into_iter();
+        let holder = client_iter.next().unwrap();
+        scope.spawn(move || {
+            holder.send(Frame::encode(CLS_HELLO, &1u64)).unwrap();
+            while !release.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            drop(holder);
+        });
+        let raw_lane = client_iter.next().unwrap();
+        let typed_lane = client_iter.next().unwrap();
+
+        let coordinator = scope.spawn(move || {
+            let wait_start = Instant::now();
+            while supervisor.active() < 1 {
+                assert!(
+                    wait_start.elapsed() < Duration::from_secs(5),
+                    "the holder must be admitted promptly"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // The wire level: the shed frame's payload is the hint.
+            raw_lane.send(Frame::encode(CLS_HELLO, &1u64)).unwrap();
+            raw_lane.set_recv_timeout(Some(Duration::from_secs(5)));
+            let reply = raw_lane.recv().expect("an explicit reject, not silence");
+            assert_eq!(reply.kind, KIND_BUSY);
+            assert_eq!(
+                busy_retry_after(&reply.payload),
+                Some(hint.as_millis() as u64),
+                "the shed frame must carry the configured hint"
+            );
+            drop(raw_lane);
+
+            // The typed level: a full client stack surfaces the hint.
+            let client = Client::new(F64Algebra::new(), ProtocolConfig::functional());
+            let mut rng = StdRng::seed_from_u64(11);
+            let err = client
+                .classify_batch(&typed_lane, &TrustedSimOt, &mut rng, &[vec![0.1, 0.2, 0.3]])
+                .expect_err("a shed session must surface as an error");
+            let msg = format!("{err}");
+            assert!(
+                msg.contains("retry after 75ms"),
+                "expected the hinted Busy error, got: {msg}"
+            );
+            drop(typed_lane);
+
+            // The policy level: the hint replaces the blind backoff.
+            let policy = RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_secs(1),
+                jitter_seed: 0x5EED,
+                resume_window: Duration::from_secs(5),
+            };
+            let hinted = TransportError::Busy {
+                retry_after_ms: Some(hint.as_millis() as u64),
+            };
+            let mut jitter = policy.jitter_seed;
+            assert!(policy.is_retryable(&hinted), "a hinted shed is retryable");
+            assert_eq!(
+                policy.delay_for(&hinted, 3, &mut jitter),
+                hint,
+                "the hint is honored exactly, attempt count notwithstanding"
+            );
+            let unhinted = TransportError::Busy {
+                retry_after_ms: None,
+            };
+            assert!(
+                !policy.is_retryable(&unhinted),
+                "an unhinted shed stays terminal: redialing would just be shed again"
+            );
+            release.store(true, Ordering::Release);
+        });
+
+        server.serve(&server_lanes, &TrustedSimOt, 5);
+        coordinator.join().expect("coordinator");
+    });
 }
 
 /// The headline guarantee: honest clients interleaved with hostile

@@ -1,0 +1,699 @@
+//! Fleet resilience end-to-end: a [`FleetClient`] spread over three
+//! replica trainers must complete every batch with **zero
+//! client-visible errors** while replicas are killed, restarted, and
+//! drained underneath it — and the labels must be byte-identical to
+//! what a single healthy trainer would have produced.
+//!
+//! Kill schedules are deterministic: a replica "dies" through a
+//! [`FaultyLane`] whose seeded schedule cuts the connection at a fixed
+//! client-send sequence number (pre-handshake, mid-session) or through
+//! a connector that refuses to dial. One randomized run derives its
+//! schedule from `PPCS_CHAOS_SEED` (logged, so any failure is
+//! reproducible by exporting the printed seed).
+
+use std::collections::VecDeque;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ppcs_core::{
+    BreakerConfig, BreakerState, Client, Connector, FleetClient, FleetConfig, ManualClock,
+    ProtocolConfig, ServerConfig, Trainer, TrainerServer,
+};
+use ppcs_math::FixedFpAlgebra;
+use ppcs_ot::TrustedSimOt;
+use ppcs_svm::{Kernel, Label, SmoParams, SvmModel};
+use ppcs_telemetry::{
+    FlightRecorder, MetricsRegistry, DETAIL_BREAKER_CLOSED, DETAIL_BREAKER_HALF_OPEN,
+    DETAIL_BREAKER_OPEN, DETAIL_FAILOVER,
+};
+use ppcs_tests::{blob_dataset, http_body, http_get, random_samples};
+use ppcs_transport::{
+    duplex, faulty_pair, run_pair, tcp_connect, Endpoint, FaultKind, FaultSchedule, FaultyLane,
+    TransportError,
+};
+
+static SIM: TrustedSimOt = TrustedSimOt;
+
+fn trained() -> SvmModel {
+    SvmModel::train(
+        &blob_dataset(3, 80, 7),
+        Kernel::Linear,
+        &SmoParams::default(),
+    )
+}
+
+/// What one healthy trainer returns for `samples` — the byte-level
+/// label oracle every fleet run is compared against. Over the exact
+/// field backend labels are seed-independent, so any fleet seed must
+/// reproduce these exactly.
+fn oracle_labels(model: &SvmModel, cfg: ProtocolConfig, samples: &[Vec<f64>]) -> Vec<Label> {
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, model, cfg).expect("oracle trainer");
+    let client = Client::new(alg, cfg);
+    let samples = samples.to_vec();
+    let (_, labels) = run_pair(
+        move |ep| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            trainer.serve(&ep, &SIM, &mut rng).expect("oracle serve")
+        },
+        move |ep| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            client
+                .classify_batch(&ep, &SIM, &mut rng, &samples)
+                .expect("oracle classify")
+        },
+    );
+    labels
+}
+
+use rand::SeedableRng;
+
+/// A bank of pre-dialed duplex lanes to one replica: the server half is
+/// served by a `TrainerServer` on its own thread, the client half is
+/// popped by the fleet connector — one lane per dial, like a fresh TCP
+/// connect. An exhausted bank refuses the dial, i.e. the replica is
+/// unreachable.
+fn lane_bank(n: usize) -> (Vec<Endpoint>, Arc<Mutex<VecDeque<Endpoint>>>) {
+    let mut server = Vec::with_capacity(n);
+    let mut client = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let (s, c) = duplex();
+        server.push(s);
+        client.push_back(c);
+    }
+    (server, Arc::new(Mutex::new(client)))
+}
+
+/// A connector popping plain lanes from `bank`.
+fn plain_connector(bank: Arc<Mutex<VecDeque<Endpoint>>>) -> Connector {
+    Box::new(move || {
+        bank.lock()
+            .expect("bank lock")
+            .pop_front()
+            .map(|ep| Box::new(ep) as Box<dyn ppcs_transport::Lane>)
+            .ok_or(TransportError::Disconnected)
+    })
+}
+
+/// Like [`lane_bank`], but every pair is chaos-wrapped end to end (the
+/// carrier framing needs both halves wrapped): the client half dies per
+/// `schedule` — the deterministic "kill" of the chaos runs — while the
+/// server half is a transparent chaos peer.
+fn killed_lane_bank(
+    n: usize,
+    schedule: FaultSchedule,
+) -> (Vec<FaultyLane>, Arc<Mutex<VecDeque<FaultyLane>>>) {
+    let mut server = Vec::with_capacity(n);
+    let mut client = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        let (s, c) = faulty_pair(FaultSchedule::none(), schedule.clone());
+        server.push(s);
+        client.push_back(c);
+    }
+    (server, Arc::new(Mutex::new(client)))
+}
+
+/// A connector popping pre-wrapped chaos lanes from a killed bank.
+fn faulty_connector(bank: Arc<Mutex<VecDeque<FaultyLane>>>) -> Connector {
+    Box::new(move || {
+        bank.lock()
+            .expect("bank lock")
+            .pop_front()
+            .map(|l| Box::new(l) as Box<dyn ppcs_transport::Lane>)
+            .ok_or(TransportError::Disconnected)
+    })
+}
+
+fn fleet_config(threshold: u32, cooldown_ms: u64) -> FleetConfig {
+    FleetConfig {
+        breaker: BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ms,
+        },
+        hedge_delay: None,
+        deadline: Some(Duration::from_secs(30)),
+        probe: true,
+        probe_window: Duration::from_secs(5),
+    }
+}
+
+/// The acceptance scenario: three replicas, replica 0 killed mid-batch
+/// by a seeded cut schedule. `classify_batch_parallel` must complete
+/// every sample with zero client-visible errors, the labels must match
+/// the single-trainer oracle byte-for-byte, and the flight recorder
+/// must show exactly one breaker-open and at least one failover.
+#[test]
+fn killed_replica_mid_batch_completes_against_the_oracle() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 12, 42);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    // The seeded kill schedule: replica 0's connection dies at
+    // client-send sequence 2 — after the health probe (0) and the
+    // session hello (1), i.e. mid-session, mid-batch.
+    let (killed_server, killed_bank) =
+        killed_lane_bank(4, FaultSchedule::single(2, FaultKind::Cut));
+    let banks: Vec<_> = (0..2).map(|_| lane_bank(4)).collect();
+
+    std::thread::scope(|scope| {
+        {
+            let trainer = &trainer;
+            scope.spawn(move || {
+                TrainerServer::new(trainer, ServerConfig::default()).serve(&killed_server, &SIM, 7);
+            });
+        }
+        let mut client_banks = Vec::new();
+        for (server_lanes, client_bank) in banks {
+            let trainer = &trainer;
+            scope.spawn(move || {
+                TrainerServer::new(trainer, ServerConfig::default()).serve(&server_lanes, &SIM, 7);
+            });
+            client_banks.push(client_bank);
+        }
+
+        let metrics = MetricsRegistry::new(1, "fleet-client");
+        let recorder = FlightRecorder::new(256);
+        let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(1, 60_000))
+            .with_metrics(metrics.clone())
+            .with_flight_recorder(recorder.clone());
+        fleet.add_replica(faulty_connector(killed_bank.clone()));
+        fleet.add_replica(plain_connector(client_banks[0].clone()));
+        fleet.add_replica(plain_connector(client_banks[1].clone()));
+
+        let got = fleet
+            .classify_batch_parallel(&SIM, 99, &samples)
+            .expect("the fleet absorbs the kill: zero client-visible errors");
+        assert_eq!(got, want, "labels must match the single-trainer oracle");
+
+        // Exactly one breaker-open (threshold 1, one dead replica) and
+        // at least one failover (the dead replica's chunk was rescued).
+        let events = recorder.snapshot();
+        let opens = events
+            .iter()
+            .filter(|e| e.detail == DETAIL_BREAKER_OPEN)
+            .count();
+        let failovers = events
+            .iter()
+            .filter(|e| e.detail == DETAIL_FAILOVER)
+            .count();
+        assert_eq!(opens, 1, "exactly one breaker trips open");
+        assert!(failovers >= 1, "the rescued chunk records a failover");
+        assert_eq!(fleet.replica_state(0), BreakerState::Open);
+        assert_eq!(fleet.replica_state(1), BreakerState::Closed);
+
+        let report = metrics.report();
+        assert_eq!(report.breaker_opens, 1);
+        assert!(report.failovers >= 1);
+        assert_eq!(report.hedges_fired, 0, "hedging disabled in this run");
+
+        // Drop the fleet (and any unused bank lanes) so every server
+        // lane closes and the serve threads can join.
+        drop(fleet);
+        killed_bank.lock().expect("bank lock").clear();
+        for bank in &client_banks {
+            bank.lock().expect("bank lock").clear();
+        }
+    });
+}
+
+/// A replica that is dead on arrival (the very first frame — the
+/// health probe itself — never arrives: killed before any session or
+/// pool fill) trips its breaker and the batch completes on survivors.
+#[test]
+fn replica_dead_at_first_contact_is_absorbed() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 7, 43);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    let (server_lanes, client_bank) = lane_bank(4);
+
+    std::thread::scope(|scope| {
+        let trainer = &trainer;
+        scope.spawn(move || {
+            TrainerServer::new(trainer, ServerConfig::default()).serve(&server_lanes, &SIM, 7);
+        });
+
+        let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(1, 60_000));
+        // Replica 0 never answers anything: cut at send sequence 0 (no
+        // server behind the bank either — the process is simply gone).
+        let (dead_server, dead_bank) =
+            killed_lane_bank(2, FaultSchedule::single(0, FaultKind::Cut));
+        drop(dead_server);
+        fleet.add_replica(faulty_connector(dead_bank));
+        fleet.add_replica(plain_connector(client_bank.clone()));
+
+        let got = fleet
+            .classify_batch(&SIM, 5, &samples)
+            .expect("failover to the healthy replica");
+        assert_eq!(got, want);
+        assert_eq!(fleet.replica_state(0), BreakerState::Open);
+
+        drop(fleet);
+        client_bank.lock().expect("bank lock").clear();
+    });
+}
+
+/// The full breaker lifecycle — closed → open → half-open → closed —
+/// driven end-to-end through classify calls under a manual clock, so
+/// every transition happens at an exact, asserted instant.
+#[test]
+fn breaker_cycle_is_deterministic_under_a_seeded_clock() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 4, 44);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Arc::new(Trainer::new(alg, &model, cfg).expect("trainer"));
+    let clock = Arc::new(ManualClock::new(0));
+    let recorder = FlightRecorder::new(64);
+    let dead = Arc::new(AtomicBool::new(true));
+
+    // One replica whose connector refuses while `dead`, and serves a
+    // fresh single-lane session thread per dial once healed.
+    let connector: Connector = {
+        let dead = dead.clone();
+        let trainer = trainer.clone();
+        Box::new(move || {
+            if dead.load(Ordering::Acquire) {
+                return Err(TransportError::Disconnected);
+            }
+            let (server_ep, client_ep) = duplex();
+            let trainer = trainer.clone();
+            std::thread::spawn(move || {
+                TrainerServer::new(&trainer, ServerConfig::default()).serve(&[server_ep], &SIM, 3);
+            });
+            Ok(Box::new(client_ep) as Box<dyn ppcs_transport::Lane>)
+        })
+    };
+
+    let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(1, 100))
+        .with_clock(clock.clone())
+        .with_flight_recorder(recorder.clone());
+    fleet.add_replica(connector);
+
+    // t=0: the dial fails, the breaker (threshold 1) trips open.
+    fleet
+        .classify_batch(&SIM, 5, &samples)
+        .expect_err("dead replica");
+    assert_eq!(fleet.replica_state(0), BreakerState::Open);
+
+    // t=99: still inside the cooldown — rejected without dialing, even
+    // though the replica has healed.
+    dead.store(false, Ordering::Release);
+    clock.set(99);
+    fleet
+        .classify_batch(&SIM, 5, &samples)
+        .expect_err("cooldown still rejects dispatch");
+    assert_eq!(fleet.replica_state(0), BreakerState::Open);
+
+    // t=100: the cooldown elapsed — the half-open probe goes through
+    // and its success closes the breaker.
+    clock.set(100);
+    let got = fleet
+        .classify_batch(&SIM, 5, &samples)
+        .expect("probe succeeds");
+    assert_eq!(got, want);
+    assert_eq!(fleet.replica_state(0), BreakerState::Closed);
+
+    let details: Vec<u64> = recorder.snapshot().iter().map(|e| e.detail).collect();
+    assert!(details.contains(&DETAIL_BREAKER_OPEN));
+    assert!(details.contains(&DETAIL_BREAKER_HALF_OPEN));
+    assert!(details.contains(&DETAIL_BREAKER_CLOSED));
+}
+
+/// Crash-restart recovery: the replica restarts with a fresh serving
+/// epoch between two sessions. The fleet's health probe sees the new
+/// epoch, discards its warm ticket, and the second session falls back
+/// to a cold handshake — same labels, no stale resume.
+#[test]
+fn restarted_replica_with_fresh_epoch_forces_cold_fallback() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 5, 45);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let before = Arc::new(
+        Trainer::new(alg, &model, cfg)
+            .expect("trainer")
+            .with_epoch(5),
+    );
+    let after = Arc::new(
+        Trainer::new(alg, &model, cfg)
+            .expect("trainer")
+            .with_epoch(6),
+    );
+    // 0 = first incarnation, 1 = restarted.
+    let generation = Arc::new(AtomicU64::new(0));
+
+    let connector: Connector = {
+        let generation = generation.clone();
+        let before = before.clone();
+        let after = after.clone();
+        Box::new(move || {
+            let trainer = if generation.load(Ordering::Acquire) == 0 {
+                before.clone()
+            } else {
+                after.clone()
+            };
+            let (server_ep, client_ep) = duplex();
+            std::thread::spawn(move || {
+                TrainerServer::new(&trainer, ServerConfig::default()).serve(&[server_ep], &SIM, 3);
+            });
+            Ok(Box::new(client_ep) as Box<dyn ppcs_transport::Lane>)
+        })
+    };
+
+    let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(3, 100));
+    fleet.add_replica(connector);
+
+    // Session 1 warms the cache against epoch 5.
+    let got = fleet
+        .classify_batch(&SIM, 5, &samples)
+        .expect("first session");
+    assert_eq!(got, want);
+    assert_eq!(
+        fleet.warm_cache().get(0).map(|(_, epoch)| epoch),
+        Some(5),
+        "the warm ticket remembers the first incarnation's epoch"
+    );
+
+    // The replica crashes and restarts with a bumped epoch.
+    generation.store(1, Ordering::Release);
+
+    // Session 2: the probe reports epoch 6, the stale ticket is
+    // dropped, and the cold handshake completes with identical labels.
+    let got = fleet
+        .classify_batch(&SIM, 6, &samples)
+        .expect("post-restart session");
+    assert_eq!(got, want);
+    assert_eq!(
+        fleet.warm_cache().get(0).map(|(_, epoch)| epoch),
+        Some(6),
+        "the cache re-warmed against the new incarnation"
+    );
+    assert_eq!(fleet.replica_state(0), BreakerState::Closed);
+}
+
+/// A draining replica is routing information, not a fault: the fleet
+/// skips it on the health probe's say-so, fails over to a healthy
+/// replica, and the drained replica's breaker stays closed.
+#[test]
+fn draining_replica_is_skipped_without_breaker_penalty() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 6, 46);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    let (drain_lanes, drain_bank) = lane_bank(2);
+    let (serve_lanes, serve_bank) = lane_bank(2);
+
+    let metrics = MetricsRegistry::new(2, "fleet-client");
+    std::thread::scope(|scope| {
+        let draining_server = TrainerServer::new(&trainer, ServerConfig::default());
+        // Kill-mid-drain schedule: the drain begins before the client's
+        // first dial, so its probe observes `draining` from the start.
+        draining_server.supervisor().drain();
+        let trainer_ref = &trainer;
+        scope.spawn(move || {
+            draining_server.serve(&drain_lanes, &SIM, 7);
+        });
+        scope.spawn(move || {
+            TrainerServer::new(trainer_ref, ServerConfig::default()).serve(&serve_lanes, &SIM, 7);
+        });
+
+        let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(1, 60_000))
+            .with_metrics(metrics.clone());
+        fleet.add_replica(plain_connector(drain_bank.clone()));
+        fleet.add_replica(plain_connector(serve_bank.clone()));
+
+        let got = fleet
+            .classify_batch(&SIM, 5, &samples)
+            .expect("failover around the draining replica");
+        assert_eq!(got, want);
+        assert_eq!(
+            fleet.replica_state(0),
+            BreakerState::Closed,
+            "an orderly drain must not cost breaker state"
+        );
+        let report = metrics.report();
+        assert_eq!(report.breaker_opens, 0);
+        assert!(report.failovers >= 1, "the skip is still a failover");
+
+        drop(fleet);
+        drain_bank.lock().expect("bank lock").clear();
+        serve_bank.lock().expect("bank lock").clear();
+    });
+}
+
+/// The randomized chaos run: the kill point is derived from
+/// `PPCS_CHAOS_SEED` (default 0xF1EE7) and logged, so any failure is
+/// reproducible by exporting the printed seed. Whatever the schedule,
+/// the trichotomy holds: the batch completes correctly on the
+/// survivors.
+#[test]
+fn randomized_kill_schedule_still_completes_correctly() {
+    let seed = std::env::var("PPCS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xF1EE7);
+    eprintln!("fleet chaos seed: {seed} (rerun with PPCS_CHAOS_SEED={seed})");
+    // Cut at the probe itself (0), the hello (1), or mid-session (2) —
+    // all strictly before the session can complete.
+    let cut_at = seed % 3;
+
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 9, seed ^ 0xA5A5);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    let (killed_server, killed_bank) =
+        killed_lane_bank(4, FaultSchedule::single(cut_at, FaultKind::Cut));
+    let banks: Vec<_> = (0..2).map(|_| lane_bank(4)).collect();
+
+    std::thread::scope(|scope| {
+        {
+            let trainer = &trainer;
+            scope.spawn(move || {
+                TrainerServer::new(trainer, ServerConfig::default()).serve(&killed_server, &SIM, 7);
+            });
+        }
+        let mut client_banks = Vec::new();
+        for (server_lanes, client_bank) in banks {
+            let trainer = &trainer;
+            scope.spawn(move || {
+                TrainerServer::new(trainer, ServerConfig::default()).serve(&server_lanes, &SIM, 7);
+            });
+            client_banks.push(client_bank);
+        }
+
+        let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(1, 60_000));
+        fleet.add_replica(faulty_connector(killed_bank.clone()));
+        fleet.add_replica(plain_connector(client_banks[0].clone()));
+        fleet.add_replica(plain_connector(client_banks[1].clone()));
+
+        let got = fleet
+            .classify_batch_parallel(&SIM, seed, &samples)
+            .expect("the fleet absorbs any single-replica kill");
+        assert_eq!(got, want);
+
+        drop(fleet);
+        killed_bank.lock().expect("bank lock").clear();
+        for bank in &client_banks {
+            bank.lock().expect("bank lock").clear();
+        }
+    });
+}
+
+/// The async-stress scenario: one of three replicas is killed at peak
+/// concurrency — all three are serving chunks of the same parallel
+/// batch when the cut lands — while a live `/metrics` endpoint on a
+/// surviving replica's reactor is scraped mid-flight. The batch must
+/// complete against the oracle, the scrape must answer during the
+/// chaos, and the client's Prometheus rendering must carry the
+/// breaker/failover counters.
+#[test]
+fn kill_at_peak_concurrency_with_live_metrics_scrape() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 18, 48);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    // Replica 0 dies mid-session once the batch is in full flight.
+    let (killed_server, killed_bank) =
+        killed_lane_bank(6, FaultSchedule::single(2, FaultKind::Cut));
+
+    // Replicas 1 and 2 are real TCP reactors; replica 1 also exposes
+    // the live `/metrics` scrape surface on its reactor thread.
+    let scrape_listener = TcpListener::bind("127.0.0.1:0").expect("bind scrape");
+    let scrape_addr = scrape_listener.local_addr().expect("scrape addr");
+    let server1 = TrainerServer::new(&trainer, ServerConfig::default())
+        .with_metrics_endpoint(scrape_listener);
+    let watch = server1.supervisor();
+    let sup1 = server1.supervisor();
+    let listener1 = TcpListener::bind("127.0.0.1:0").expect("bind replica 1");
+    let addr1 = listener1.local_addr().expect("replica 1 addr");
+    let server2 = TrainerServer::new(&trainer, ServerConfig::default());
+    let sup2 = server2.supervisor();
+    let listener2 = TcpListener::bind("127.0.0.1:0").expect("bind replica 2");
+    let addr2 = listener2.local_addr().expect("replica 2 addr");
+
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        {
+            let trainer = &trainer;
+            scope.spawn(move || {
+                TrainerServer::new(trainer, ServerConfig::default()).serve(&killed_server, &SIM, 7);
+            });
+        }
+        let t1 = scope.spawn(|| {
+            server1
+                .serve_async_tcp(listener1, &SIM, 7)
+                .expect("replica 1 reactor")
+        });
+        let t2 = scope.spawn(|| {
+            server2
+                .serve_async_tcp(listener2, &SIM, 7)
+                .expect("replica 2 reactor")
+        });
+        // The scraper waits for a live session on replica 1 — i.e. the
+        // batch is genuinely concurrent — then hits /metrics while the
+        // kill on replica 0 is in flight. If the batch outraces the
+        // poll, the `done` flag releases it to scrape the aftermath.
+        let scraper = {
+            let done = done.clone();
+            scope.spawn(move || {
+                let start = std::time::Instant::now();
+                while watch.active() == 0
+                    && !done.load(Ordering::Acquire)
+                    && start.elapsed() < Duration::from_secs(10)
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                http_get(scrape_addr, "/metrics")
+            })
+        };
+
+        let metrics = MetricsRegistry::new(4, "fleet-client");
+        let mut fleet = FleetClient::new(Client::new(alg, cfg), fleet_config(1, 60_000))
+            .with_metrics(metrics.clone());
+        fleet.add_replica(faulty_connector(killed_bank.clone()));
+        fleet.add_replica(Box::new(move || {
+            tcp_connect(addr1).map(|ep| Box::new(ep) as Box<dyn ppcs_transport::Lane>)
+        }));
+        fleet.add_replica(Box::new(move || {
+            tcp_connect(addr2).map(|ep| Box::new(ep) as Box<dyn ppcs_transport::Lane>)
+        }));
+
+        let got = fleet
+            .classify_batch_parallel(&SIM, 48, &samples)
+            .expect("the kill at peak concurrency stays invisible to the caller");
+        done.store(true, Ordering::Release);
+        assert_eq!(got, want, "labels must match the single-trainer oracle");
+        assert_eq!(fleet.replica_state(0), BreakerState::Open);
+
+        let scrape = scraper.join().expect("scraper thread");
+        assert!(
+            scrape.starts_with("HTTP/1.0 200 OK\r\n"),
+            "scrape must answer during the chaos: {scrape:?}"
+        );
+        assert!(
+            http_body(&scrape).contains("ppcs_"),
+            "scrape carries the metrics surface"
+        );
+
+        // The client side's own Prometheus rendering carries the fleet
+        // counters promised on /metrics.
+        let rendered = metrics.render_prometheus();
+        for needle in [
+            "ppcs_replica_state",
+            "ppcs_breaker_opens_total",
+            "ppcs_failovers_total",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
+        }
+        let report = metrics.report();
+        assert_eq!(report.breaker_opens, 1, "threshold 1, one dead replica");
+        assert!(report.failovers >= 1, "the rescued chunk is a failover");
+
+        drop(fleet);
+        killed_bank.lock().expect("bank lock").clear();
+        sup1.drain();
+        sup2.drain();
+        t1.join().expect("replica 1 thread");
+        t2.join().expect("replica 2 thread");
+    });
+}
+
+/// Hedging: a replica that dials but never speaks (a mute lane, no
+/// server behind it) stalls the primary attempt; after the hedge delay
+/// the backup replica answers and the batch completes. The hedge fire
+/// is counted.
+#[test]
+fn hedge_fires_past_a_mute_primary() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 4, 47);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    let (serve_lanes, serve_bank) = lane_bank(2);
+
+    let metrics = MetricsRegistry::new(3, "fleet-client");
+    std::thread::scope(|scope| {
+        let trainer = &trainer;
+        scope.spawn(move || {
+            TrainerServer::new(trainer, ServerConfig::default()).serve(&serve_lanes, &SIM, 7);
+        });
+
+        // The mute primary: lanes exist (the dial succeeds) but the
+        // server halves are parked unanswered, so the probe times out
+        // only after its window — long after the hedge has fired.
+        let (mute_server, mute_bank) = lane_bank(2);
+
+        let config = FleetConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown_ms: 250,
+            },
+            hedge_delay: Some(Duration::from_millis(50)),
+            deadline: Some(Duration::from_secs(30)),
+            probe: true,
+            probe_window: Duration::from_millis(200),
+        };
+        let mut fleet =
+            FleetClient::new(Client::new(alg, cfg), config).with_metrics(metrics.clone());
+        fleet.add_replica(plain_connector(mute_bank.clone()));
+        fleet.add_replica(plain_connector(serve_bank.clone()));
+
+        let got = fleet
+            .classify_batch(&SIM, 5, &samples)
+            .expect("the hedge wins past the mute primary");
+        assert_eq!(got, want);
+        assert!(metrics.report().hedges_fired >= 1, "the hedge was counted");
+
+        drop(fleet);
+        drop(mute_server);
+        mute_bank.lock().expect("bank lock").clear();
+        serve_bank.lock().expect("bank lock").clear();
+    });
+}

@@ -243,7 +243,7 @@ fn warm_session_skips_spec_exchange() {
     let sel = SIM.select();
 
     let cache = WarmSessionCache::new();
-    cache.insert(7, trainer.spec());
+    cache.insert(7, trainer.spec(), trainer.epoch());
     let mut serve = trainer.serve_session_engine(sel, 60, true, None);
     let mut classify = client.classify_warm_engine(sel, 61, &samples, &cache, 7, None);
     let (served, labels) = run_engine_pair(&mut serve, &mut classify).expect("pump");
@@ -265,7 +265,7 @@ fn warm_session_with_stale_spec_adopts_reannounced_spec() {
     let stale_trainer =
         Trainer::new(F64Algebra::new(), &stale, ProtocolConfig::functional()).expect("trainer");
     let cache = WarmSessionCache::new();
-    cache.insert(7, stale_trainer.spec());
+    cache.insert(7, stale_trainer.spec(), stale_trainer.epoch());
 
     let mut serve = trainer.serve_session_engine(sel, 62, true, None);
     let mut classify = client.classify_warm_engine(sel, 63, &samples, &cache, 7, None);
@@ -276,7 +276,7 @@ fn warm_session_with_stale_spec_adopts_reannounced_spec() {
     }
     assert_eq!(
         cache.get(7),
-        Some(trainer.spec()),
+        Some((trainer.spec(), trainer.epoch())),
         "the cache must adopt the re-announced spec"
     );
 }
@@ -298,7 +298,7 @@ fn warm_cache_fills_on_first_contact() {
     assert_eq!(served.expect("serve"), samples.len());
     labels.expect("classify");
     assert_eq!(cache.len(), 1);
-    assert_eq!(cache.get(9), Some(trainer.spec()));
+    assert_eq!(cache.get(9), Some((trainer.spec(), trainer.epoch())));
 
     // Second session: warm on both ends, same labels.
     let mut serve = trainer.serve_session_engine(sel, 66, true, None);
@@ -308,6 +308,136 @@ fn warm_cache_fills_on_first_contact() {
     for ((l, _), sample) in labels.expect("classify").iter().zip(&samples) {
         assert_eq!(*l, model.predict(sample));
     }
+}
+
+/// A server restart bumps the serving epoch. The next warm hello from a
+/// client that cached the previous generation carries the stale epoch,
+/// so the trainer re-announces its (unchanged) spec in the ticket and
+/// the client's cache adopts the fresh epoch — no operator intervention,
+/// no wrong labels.
+#[test]
+fn server_restart_epoch_bump_reannounces_to_stale_warm_clients() {
+    let (model, _, client, samples) = classification_fixture();
+    let cfg = ProtocolConfig::functional();
+    let gen1 = Trainer::new(F64Algebra::new(), &model, cfg)
+        .expect("trainer")
+        .with_epoch(1);
+    let gen2 = Trainer::new(F64Algebra::new(), &model, cfg)
+        .expect("trainer")
+        .with_epoch(2);
+    let sel = SIM.select();
+
+    // First contact against generation 1 primes the cache.
+    let cache = WarmSessionCache::new();
+    let mut serve = gen1.serve_session_engine(sel, 70, false, None);
+    let mut classify = client.classify_warm_engine(sel, 71, &samples, &cache, 11, None);
+    let (served, labels) = run_engine_pair(&mut serve, &mut classify).expect("pump");
+    assert_eq!(served.expect("serve"), samples.len());
+    labels.expect("classify");
+    assert_eq!(cache.get(11), Some((gen1.spec(), 1)));
+
+    // The process restarts: same model, fresh epoch. The warm hello's
+    // epoch is now stale, forcing a re-announce inside the ticket.
+    let mut serve = gen2.serve_session_engine(sel, 72, true, None);
+    let mut classify = client.classify_warm_engine(sel, 73, &samples, &cache, 11, None);
+    let (served, labels) = run_engine_pair(&mut serve, &mut classify).expect("pump");
+    assert_eq!(served.expect("serve"), samples.len());
+    for ((l, _), sample) in labels.expect("classify").iter().zip(&samples) {
+        assert_eq!(*l, model.predict(sample));
+    }
+    assert_eq!(
+        cache.get(11),
+        Some((gen2.spec(), 2)),
+        "the cache must adopt the restarted trainer's epoch"
+    );
+}
+
+/// The fleet's probe-driven invalidation path: a health probe observing
+/// a fresh serving epoch evicts the warm entry, so the next session runs
+/// the cold handshake against the restarted trainer and re-primes the
+/// cache with the new generation.
+#[test]
+fn stale_entry_removal_forces_cold_fallback_and_reprime() {
+    let (model, _, client, samples) = classification_fixture();
+    let cfg = ProtocolConfig::functional();
+    let gen1 = Trainer::new(F64Algebra::new(), &model, cfg)
+        .expect("trainer")
+        .with_epoch(1);
+    let gen2 = Trainer::new(F64Algebra::new(), &model, cfg)
+        .expect("trainer")
+        .with_epoch(2);
+    let sel = SIM.select();
+
+    let cache = WarmSessionCache::new();
+    cache.insert(12, gen1.spec(), gen1.epoch());
+
+    // A health probe against the restarted replica reports epoch 2;
+    // the client drops its generation-1 entry rather than spend a warm
+    // hello that can only come back stale.
+    cache.remove(12);
+    assert_eq!(cache.get(12), None);
+
+    // Cold fallback: the next session speaks the full handshake and
+    // reprimes the cache with the new generation.
+    let mut serve = gen2.serve_session_engine(sel, 74, false, None);
+    let mut classify = client.classify_warm_engine(sel, 75, &samples, &cache, 12, None);
+    let (served, labels) = run_engine_pair(&mut serve, &mut classify).expect("pump");
+    assert_eq!(served.expect("serve"), samples.len());
+    for ((l, _), sample) in labels.expect("classify").iter().zip(&samples) {
+        assert_eq!(*l, model.predict(sample));
+    }
+    assert_eq!(cache.get(12), Some((gen2.spec(), 2)));
+}
+
+/// Two clients sharing one cache race to first contact with the same
+/// trainer: both find the cache cold, both run the full handshake, and
+/// the cache converges to a single consistent entry — the race costs a
+/// redundant spec exchange, never correctness.
+#[test]
+fn first_contact_race_converges_to_one_cache_entry() {
+    let (model, trainer, _, _) = classification_fixture();
+    let trainer = trainer.with_epoch(3);
+    let server = TrainerServer::new(&trainer, ServerConfig::default());
+    let (server_lanes, client_lanes) = duplex_pool(2);
+    let samples = random_samples(3, 2, 309);
+    let cache = WarmSessionCache::new();
+
+    let summary = std::thread::scope(|scope| {
+        let samples = &samples;
+        let model = &model;
+        let cache = &cache;
+        let clients: Vec<_> = client_lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| {
+                scope.spawn(move || {
+                    let client = Client::new(F64Algebra::new(), ProtocolConfig::functional());
+                    let mut rng = StdRng::seed_from_u64(310 + i as u64);
+                    let labels = client
+                        .classify_batch_values_warm(lane, &SIM, &mut rng, samples, cache, 13)
+                        .expect("session");
+                    for ((l, _), sample) in labels.iter().zip(samples) {
+                        assert_eq!(*l, model.predict(sample));
+                    }
+                    lane.send(Frame::encode(CLS_FIN, &0u64)).expect("fin");
+                })
+            })
+            .collect();
+        let summary = server.serve(&server_lanes, &SIM, 311);
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        summary
+    });
+
+    assert_eq!(summary.sessions_admitted, 2);
+    assert_eq!(summary.served_samples, 2 * samples.len());
+    assert_eq!(
+        cache.len(),
+        1,
+        "both racers write the same peer key; the cache must converge"
+    );
+    assert_eq!(cache.get(13), Some((trainer.spec(), 3)));
 }
 
 /// The serving runtime's precompute pool: sessions beyond the pool's
