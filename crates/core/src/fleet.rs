@@ -10,7 +10,10 @@
 //!   closed → open → half-open breaker. Consecutive transport failures
 //!   trip it open; an open breaker rejects dispatch until its cooldown
 //!   elapses, then admits exactly one half-open probe whose outcome
-//!   closes or re-arms it. Time comes from a seedable [`FleetClock`], so
+//!   closes or re-arms it. A probe whose attempt ends without a verdict
+//!   (a busy shed, a client-side deadline expiry, a cancelled hedge
+//!   loser) releases its slot back to open rather than wedging the
+//!   breaker half-open. Time comes from a seedable [`FleetClock`], so
 //!   the whole cycle is deterministic under [`ManualClock`] in tests.
 //! * **Hedged failover** — when a hedge delay is configured and the
 //!   primary attempt has not answered within it, a backup attempt is
@@ -295,6 +298,25 @@ impl CircuitBreaker {
             BreakerState::Open => false,
         }
     }
+
+    /// Releases an unconsumed half-open probe slot: the admitted probe
+    /// attempt ended without a breaker verdict — a busy/draining shed,
+    /// a client-side deadline expiry, a deterministic protocol error,
+    /// or a cancelled hedge loser whose result was discarded. The
+    /// breaker returns to open, keeping its original cooldown origin
+    /// (already elapsed), so the next `allow` can admit a fresh probe
+    /// instead of rejecting forever behind a slot nobody will settle.
+    /// Returns `true` when this moved the breaker back to open.
+    pub fn release_probe(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        if inner.state == BreakerState::HalfOpen && inner.probe_inflight {
+            inner.state = BreakerState::Open;
+            inner.probe_inflight = false;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Fleet-wide routing configuration.
@@ -481,9 +503,19 @@ where
     ) -> Result<Vec<Label>, PpcsError> {
         let deadline = self.config.deadline.map(|d| Instant::now() + d);
         let now = self.clock.now_ms();
-        let targets: Vec<usize> = (0..self.replicas.len())
-            .filter(|&i| self.replicas[i].breaker.allow(now) != BreakerDecision::Reject)
-            .collect();
+        // Each target remembers whether its dispatch claimed a breaker's
+        // half-open probe slot, so the chunk's outcome can settle it.
+        let mut targets: Vec<(usize, bool)> = Vec::new();
+        for idx in 0..self.replicas.len() {
+            match self.replicas[idx].breaker.allow(now) {
+                BreakerDecision::Reject => {}
+                BreakerDecision::Allow => targets.push((idx, false)),
+                BreakerDecision::Probe => {
+                    self.record_breaker_transition(idx, BreakerState::HalfOpen);
+                    targets.push((idx, true));
+                }
+            }
+        }
         if targets.is_empty() {
             return Err(PpcsError::Protocol(
                 "no healthy replica available for dispatch".into(),
@@ -495,7 +527,7 @@ where
                 .iter()
                 .zip(&chunks)
                 .enumerate()
-                .map(|(i, (&idx, chunk))| {
+                .map(|(i, (&(idx, _), chunk))| {
                     scope.spawn(move || {
                         self.attempt_session(
                             idx,
@@ -514,19 +546,27 @@ where
                 .collect()
         });
 
+        // Settle every chunk before returning, so a deterministic
+        // failure in one chunk does not leave another chunk's probe
+        // slot claimed-but-unsettled.
         let mut out: Vec<Option<Vec<Label>>> = Vec::with_capacity(chunks.len());
+        let mut deterministic_err: Option<PpcsError> = None;
         for (i, r) in results.into_iter().enumerate() {
             match r {
                 Ok(labels) => out.push(Some(labels)),
                 Err(e) => {
-                    if transport_cause(&e).is_none() {
-                        // Deterministic failure: no replica can do better.
-                        return Err(e);
+                    let (idx, probing) = targets[i];
+                    self.settle_attempt_failure(idx, &e, probing);
+                    if transport_cause(&e).is_none() && deterministic_err.is_none() {
+                        deterministic_err = Some(e);
                     }
-                    self.note_attempt_failure(targets[i], &e);
                     out.push(None);
                 }
             }
+        }
+        if let Some(e) = deterministic_err {
+            // Deterministic failure: no replica can do better.
+            return Err(e);
         }
 
         // Requeue failed chunks through the failover path, sequentially:
@@ -581,7 +621,8 @@ where
                 if decision == BreakerDecision::Reject {
                     continue;
                 }
-                if decision == BreakerDecision::Probe {
+                let probing = decision == BreakerDecision::Probe;
+                if probing {
                     self.record_breaker_transition(idx, BreakerState::HalfOpen);
                 }
                 if failed_over {
@@ -590,19 +631,32 @@ where
                 let attempt_seed = seed
                     .wrapping_add(pass.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                     .wrapping_add(idx as u64);
-                let result = match self.hedge_backup(idx) {
-                    Some(backup) => {
-                        self.attempt_hedged(idx, backup, ot, attempt_seed, samples, deadline)
-                    }
+                let backup = self.hedge_backup(idx);
+                let result = match backup {
+                    Some(backup) => self.attempt_hedged(
+                        idx,
+                        backup,
+                        ot,
+                        attempt_seed,
+                        samples,
+                        deadline,
+                        probing,
+                    ),
                     None => self.attempt_session(idx, ot, attempt_seed, samples, deadline, None),
                 };
                 match result {
                     Ok(labels) => return Ok(labels),
                     Err(e) => {
+                        // attempt_hedged settles both of its attempts
+                        // (breaker charges and probe release) itself;
+                        // charging here again would double-count one
+                        // failure and misattribute the backup's.
+                        if backup.is_none() {
+                            self.settle_attempt_failure(idx, &e, probing);
+                        }
                         if transport_cause(&e).is_none() {
                             return Err(e);
                         }
-                        self.note_attempt_failure(idx, &e);
                         failed_over = true;
                         last_err = Some(e);
                     }
@@ -627,6 +681,15 @@ where
     /// Dispatches the primary attempt, then a backup attempt on
     /// `backup` if no answer arrives within the hedge delay; first
     /// success wins and the loser is cut through its cancel token.
+    ///
+    /// Owns *all* breaker bookkeeping for both attempts: each failure
+    /// is charged exactly once, to the replica that produced it, and
+    /// when `probing` (the primary holds its breaker's half-open probe
+    /// slot) the slot is released on every path where the primary's
+    /// outcome goes unrecorded — including a cancelled loser whose
+    /// result is discarded. The caller must not charge the returned
+    /// error again.
+    #[allow(clippy::too_many_arguments)]
     fn attempt_hedged(
         &self,
         primary: usize,
@@ -635,6 +698,7 @@ where
         seed: u64,
         samples: &[Vec<f64>],
         deadline: Option<Instant>,
+        probing: bool,
     ) -> Result<Vec<Label>, PpcsError> {
         let hedge_delay = self.config.hedge_delay.expect("hedging configured");
         let cancel_primary = Arc::new(AtomicBool::new(false));
@@ -678,6 +742,11 @@ where
             }
             drop(tx);
             let mut last_err: Option<PpcsError> = None;
+            // Set once the primary's own outcome has been settled (or
+            // consumed as the winning success); any return path where
+            // it is still false discards the primary's result, so a
+            // probing primary must have its probe slot released there.
+            let mut primary_settled = false;
             loop {
                 let (from, result) = match first_answer.take() {
                     Some(answer) => answer,
@@ -687,23 +756,35 @@ where
                     },
                 };
                 outstanding -= 1;
+                let from_primary = from == primary;
                 match result {
                     Ok(labels) => {
                         // Cut the loser; the scope joins it on exit.
                         cancel_primary.store(true, Ordering::Release);
                         cancel_backup.store(true, Ordering::Release);
+                        if !from_primary && probing && !primary_settled {
+                            self.release_probe_slot(primary);
+                        }
                         return Ok(labels);
                     }
                     Err(e) => {
                         if transport_cause(&e).is_none() {
                             cancel_primary.store(true, Ordering::Release);
                             cancel_backup.store(true, Ordering::Release);
+                            self.settle_attempt_failure(from, &e, probing && from_primary);
+                            if !from_primary && probing && !primary_settled {
+                                self.release_probe_slot(primary);
+                            }
                             return Err(e);
                         }
                         // The coordinator owns breaker bookkeeping for
                         // the losing side too: a genuine failure (not a
-                        // cancel cut) counts.
-                        self.note_attempt_failure(from, &e);
+                        // cancel cut) counts, exactly once, against the
+                        // replica that produced it.
+                        self.settle_attempt_failure(from, &e, probing && from_primary);
+                        if from_primary {
+                            primary_settled = true;
+                        }
                         last_err = Some(e);
                         if outstanding == 0 {
                             break;
@@ -781,19 +862,47 @@ where
     }
 
     /// Breaker bookkeeping for one consumed transport failure: a busy
-    /// shed (orderly backpressure) never counts, anything else does.
-    fn note_attempt_failure(&self, idx: usize, err: &PpcsError) {
+    /// shed (orderly backpressure) and a budget expiry (the *client's*
+    /// fleet deadline ran out — every attempt here is driven under the
+    /// remaining fleet budget, so a tight deadline says nothing about
+    /// the replica's health) never count, anything else does. Returns
+    /// whether the failure was charged to the replica's breaker.
+    fn note_attempt_failure(&self, idx: usize, err: &PpcsError) -> bool {
         if matches!(
             transport_cause(err),
-            Some(TransportError::Busy { .. }) | None
+            Some(TransportError::Busy { .. }) | Some(TransportError::Budget(_)) | None
         ) {
-            return;
+            return false;
         }
         let now = self.clock.now_ms();
         if self.replicas[idx].breaker.record_failure(now) {
             if let Some(reg) = &self.metrics {
                 reg.record_breaker_open();
             }
+            self.record_breaker_transition(idx, BreakerState::Open);
+        }
+        true
+    }
+
+    /// Settles one failed attempt against replica `idx`: charges the
+    /// breaker when the failure is genuine, and otherwise — when
+    /// `probing` says the attempt held the breaker's half-open probe
+    /// slot — releases the slot, so an uncharged outcome (busy shed,
+    /// deadline expiry, deterministic protocol error) cannot wedge the
+    /// breaker half-open forever.
+    fn settle_attempt_failure(&self, idx: usize, err: &PpcsError, probing: bool) {
+        let charged = self.note_attempt_failure(idx, err);
+        if probing && !charged {
+            self.release_probe_slot(idx);
+        }
+    }
+
+    /// Releases replica `idx`'s half-open probe slot and mirrors the
+    /// half-open → open move in the gauge and flight recorder. The
+    /// breaker-opens counter is untouched: a released probe is not a
+    /// fresh trip.
+    fn release_probe_slot(&self, idx: usize) {
+        if self.replicas[idx].breaker.release_probe() {
             self.record_breaker_transition(idx, BreakerState::Open);
         }
     }
@@ -925,6 +1034,115 @@ mod tests {
         assert!(!b.record_failure(clock.now_ms()));
         clock.set(100);
         assert_eq!(b.allow(clock.now_ms()), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn released_probe_slot_reopens_and_admits_a_fresh_probe() {
+        let clock = ManualClock::new(0);
+        let b = breaker(1, 100);
+        assert!(b.record_failure(clock.now_ms()));
+        clock.set(100);
+        assert_eq!(b.allow(clock.now_ms()), BreakerDecision::Probe);
+        assert_eq!(
+            b.allow(clock.now_ms()),
+            BreakerDecision::Reject,
+            "slot taken"
+        );
+
+        // The probe ended with no verdict (busy shed / cancelled
+        // loser): releasing the slot re-opens instead of wedging.
+        assert!(b.release_probe());
+        assert_eq!(b.state(), BreakerState::Open);
+        // The cooldown origin is unchanged (already elapsed), so a
+        // fresh probe is admitted immediately.
+        assert_eq!(b.allow(clock.now_ms()), BreakerDecision::Probe);
+
+        // Releasing is a no-op once the probe's outcome was recorded.
+        assert!(b.record_success());
+        assert!(!b.release_probe(), "closed breaker holds no slot");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn busy_and_budget_failures_are_not_charged_to_the_breaker() {
+        use crate::ProtocolConfig;
+        use ppcs_math::F64Algebra;
+
+        let client = Client::new(F64Algebra::new(), ProtocolConfig::functional());
+        let mut fleet = FleetClient::new(
+            client,
+            FleetConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown_ms: 100,
+                },
+                ..FleetConfig::default()
+            },
+        );
+        fleet.add_replica(Box::new(|| Err(TransportError::Disconnected)));
+
+        // Orderly backpressure and the client's own deadline expiring
+        // say nothing about the replica: threshold 1, still closed.
+        fleet.note_attempt_failure(
+            0,
+            &PpcsError::Transport(TransportError::Busy {
+                retry_after_ms: Some(5),
+            }),
+        );
+        assert_eq!(fleet.replica_state(0), BreakerState::Closed);
+        fleet.note_attempt_failure(
+            0,
+            &PpcsError::Transport(TransportError::Budget(
+                "fleet deadline elapsed before dispatch".into(),
+            )),
+        );
+        assert_eq!(fleet.replica_state(0), BreakerState::Closed);
+
+        // A genuine transport failure still trips it.
+        fleet.note_attempt_failure(0, &PpcsError::Transport(TransportError::Disconnected));
+        assert_eq!(fleet.replica_state(0), BreakerState::Open);
+    }
+
+    #[test]
+    fn settling_an_uncharged_probe_failure_releases_the_slot() {
+        use crate::ProtocolConfig;
+        use ppcs_math::F64Algebra;
+
+        let clock = Arc::new(ManualClock::new(0));
+        let client = Client::new(F64Algebra::new(), ProtocolConfig::functional());
+        let mut fleet = FleetClient::new(
+            client,
+            FleetConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown_ms: 100,
+                },
+                ..FleetConfig::default()
+            },
+        )
+        .with_clock(clock.clone());
+        fleet.add_replica(Box::new(|| Err(TransportError::Disconnected)));
+
+        // Trip open, elapse the cooldown, claim the probe slot.
+        fleet.note_attempt_failure(0, &PpcsError::Transport(TransportError::Disconnected));
+        clock.set(100);
+        let b = &fleet.replicas[0].breaker;
+        assert_eq!(b.allow(clock.now_ms()), BreakerDecision::Probe);
+
+        // The probe's attempt was shed busy: the slot must come back.
+        fleet.settle_attempt_failure(
+            0,
+            &PpcsError::Transport(TransportError::Busy {
+                retry_after_ms: None,
+            }),
+            true,
+        );
+        assert_eq!(fleet.replica_state(0), BreakerState::Open);
+        assert_eq!(
+            fleet.replicas[0].breaker.allow(clock.now_ms()),
+            BreakerDecision::Probe,
+            "a fresh probe is admitted instead of rejecting forever"
+        );
     }
 
     #[test]

@@ -643,6 +643,159 @@ fn kill_at_peak_concurrency_with_live_metrics_scrape() {
     });
 }
 
+/// A half-open probe whose attempt ends in a busy shed (the replica
+/// healed into a drain) must release the probe slot: the breaker
+/// re-opens and admits a fresh probe once the replica is truly
+/// healthy, instead of wedging half-open and leaving the replica
+/// unroutable for the client's lifetime.
+#[test]
+fn busy_probe_releases_the_slot_instead_of_wedging_half_open() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 4, 49);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Arc::new(Trainer::new(alg, &model, cfg).expect("trainer"));
+    let clock = Arc::new(ManualClock::new(0));
+    // Replica 0's lifecycle, advanced by the test: 0 = dead (dial
+    // refused), 1 = draining (probe answers `draining`, session shed),
+    // 2 = healthy.
+    let mode = Arc::new(AtomicU64::new(0));
+
+    let flaky: Connector = {
+        let mode = mode.clone();
+        let trainer = trainer.clone();
+        Box::new(move || {
+            if mode.load(Ordering::Acquire) == 0 {
+                return Err(TransportError::Disconnected);
+            }
+            let draining = mode.load(Ordering::Acquire) == 1;
+            let (server_ep, client_ep) = duplex();
+            let trainer = trainer.clone();
+            std::thread::spawn(move || {
+                let server = TrainerServer::new(&trainer, ServerConfig::default());
+                if draining {
+                    server.supervisor().drain();
+                }
+                server.serve(&[server_ep], &SIM, 3);
+            });
+            Ok(Box::new(client_ep) as Box<dyn ppcs_transport::Lane>)
+        })
+    };
+    let healthy: Connector = {
+        let trainer = trainer.clone();
+        Box::new(move || {
+            let (server_ep, client_ep) = duplex();
+            let trainer = trainer.clone();
+            std::thread::spawn(move || {
+                TrainerServer::new(&trainer, ServerConfig::default()).serve(&[server_ep], &SIM, 3);
+            });
+            Ok(Box::new(client_ep) as Box<dyn ppcs_transport::Lane>)
+        })
+    };
+
+    let mut fleet =
+        FleetClient::new(Client::new(alg, cfg), fleet_config(1, 100)).with_clock(clock.clone());
+    fleet.add_replica(flaky);
+    fleet.add_replica(healthy);
+
+    // t=0: replica 0 is dead; the batch fails over to replica 1 and
+    // the dead replica's breaker trips open.
+    let got = fleet.classify_batch(&SIM, 5, &samples).expect("failover");
+    assert_eq!(got, want);
+    assert_eq!(fleet.replica_state(0), BreakerState::Open);
+
+    // t=100: the cooldown elapsed, and replica 0 is back up but
+    // draining. The half-open probe is admitted, sees the drain, and
+    // is shed busy — no breaker charge, and crucially the probe slot
+    // is released: the breaker returns to open, not wedged half-open.
+    mode.store(1, Ordering::Release);
+    clock.set(100);
+    let got = fleet
+        .classify_batch(&SIM, 6, &samples)
+        .expect("failover around the draining probe");
+    assert_eq!(got, want);
+    assert_eq!(
+        fleet.replica_state(0),
+        BreakerState::Open,
+        "an unanswered probe must re-open, not wedge half-open"
+    );
+
+    // Replica 0 finishes its restart. The released slot admits a fresh
+    // probe at the same instant (the cooldown origin never moved), and
+    // its success closes the breaker: the replica is routable again.
+    mode.store(2, Ordering::Release);
+    let got = fleet
+        .classify_batch(&SIM, 7, &samples)
+        .expect("probe succeeds");
+    assert_eq!(got, want);
+    assert_eq!(
+        fleet.replica_state(0),
+        BreakerState::Closed,
+        "the healed replica must not stay unroutable"
+    );
+}
+
+/// With hedging configured, one genuine primary failure is charged to
+/// the primary's breaker exactly once — not once inside the hedge
+/// coordinator and again by the failover loop, which would trip
+/// breakers at half their configured threshold.
+#[test]
+fn hedged_failure_is_charged_once_against_the_failing_replica() {
+    let model = trained();
+    let cfg = ProtocolConfig::default();
+    let samples = random_samples(3, 4, 50);
+    let want = oracle_labels(&model, cfg, &samples);
+
+    let alg = FixedFpAlgebra::new(16);
+    let trainer = Trainer::new(alg, &model, cfg).expect("trainer");
+    let (serve_lanes, serve_bank) = lane_bank(4);
+
+    std::thread::scope(|scope| {
+        let trainer = &trainer;
+        scope.spawn(move || {
+            TrainerServer::new(trainer, ServerConfig::default()).serve(&serve_lanes, &SIM, 7);
+        });
+
+        let config = FleetConfig {
+            breaker: BreakerConfig {
+                // Two strikes to open: a double-counted single failure
+                // would trip the breaker after one classify call.
+                failure_threshold: 2,
+                cooldown_ms: 60_000,
+            },
+            hedge_delay: Some(Duration::from_millis(50)),
+            deadline: Some(Duration::from_secs(30)),
+            probe: true,
+            probe_window: Duration::from_secs(5),
+        };
+        let mut fleet = FleetClient::new(Client::new(alg, cfg), config);
+        // Replica 0 refuses every dial — each attempt is one genuine
+        // failure, answered well inside the hedge delay.
+        fleet.add_replica(Box::new(|| Err(TransportError::Disconnected)));
+        fleet.add_replica(plain_connector(serve_bank.clone()));
+
+        // One failure: at threshold 2 the breaker must still be
+        // closed. Double-counting would open it here.
+        let got = fleet.classify_batch(&SIM, 5, &samples).expect("failover");
+        assert_eq!(got, want);
+        assert_eq!(
+            fleet.replica_state(0),
+            BreakerState::Closed,
+            "one failure charged once stays under a threshold of two"
+        );
+
+        // The second failure reaches the threshold and trips it open.
+        let got = fleet.classify_batch(&SIM, 6, &samples).expect("failover");
+        assert_eq!(got, want);
+        assert_eq!(fleet.replica_state(0), BreakerState::Open);
+
+        drop(fleet);
+        serve_bank.lock().expect("bank lock").clear();
+    });
+}
+
 /// Hedging: a replica that dials but never speaks (a mute lane, no
 /// server behind it) stalls the primary attempt; after the hedge delay
 /// the backup replica answers and the batch completes. The hedge fire
